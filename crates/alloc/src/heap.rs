@@ -1,0 +1,496 @@
+//! The persistent heap: allocation, deallocation, root slots and the
+//! volatile reference-count table.
+
+use crate::layout::{
+    class_index, class_size, root_slot_offset, BLOCK_MAGIC, HEADER_BYTES, HEAP_BASE, MIN_BLOCK,
+    POOL_MAGIC, SIZE_CLASSES,
+};
+use crate::recovery::MarkState;
+use mod_pmem::{Pmem, PmPtr};
+use std::collections::{BTreeMap, HashMap};
+
+/// Allocation statistics, the data source of Table 3.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated (payload class sizes, excl. headers).
+    pub live_bytes: u64,
+    /// Number of live blocks.
+    pub live_blocks: u64,
+    /// High-water mark of `live_bytes`.
+    pub hwm_live_bytes: u64,
+    /// Total payload bytes ever allocated (allocation traffic).
+    pub cumulative_alloc_bytes: u64,
+    /// Number of allocations performed.
+    pub allocs: u64,
+    /// Number of frees performed.
+    pub frees: u64,
+}
+
+/// A persistent heap over a simulated PM pool: an `nvm_malloc` equivalent
+/// with segregated free lists, 64 persistent root slots, and a volatile
+/// reference-count table (paper §5.3 — counts are *not* stored durably;
+/// they are rebuilt from reachability during recovery).
+///
+/// All heap metadata needed after a crash lives in PM (block headers);
+/// everything else (free lists, refcounts, the bump pointer) is volatile
+/// and reconstructed by recovery.
+#[derive(Debug)]
+pub struct NvHeap {
+    pm: Pmem,
+    free_by_class: Vec<Vec<u64>>,
+    /// Coalesced free space discovered by recovery: start → length.
+    regions: BTreeMap<u64, u64>,
+    bump: u64,
+    rc: HashMap<u64, u32>,
+    stats: AllocStats,
+    pub(crate) mark: Option<MarkState>,
+}
+
+impl NvHeap {
+    /// Formats a fresh pool: writes the pool header, zeroes the root
+    /// slots, and makes both durable.
+    pub fn format(mut pm: Pmem) -> NvHeap {
+        pm.trace_alloc(0, HEAP_BASE); // metadata region is "allocated"
+        pm.write_u64(0, POOL_MAGIC);
+        pm.write_u64(8, pm.capacity());
+        for i in 0..crate::layout::N_ROOTS {
+            pm.write_u64(root_slot_offset(i), 0);
+        }
+        pm.flush_range(0, HEAP_BASE);
+        pm.sfence();
+        NvHeap {
+            pm,
+            free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
+            regions: BTreeMap::new(),
+            bump: HEAP_BASE,
+            rc: HashMap::new(),
+            stats: AllocStats::default(),
+            mark: Some(MarkState::default()),
+        }
+        .into_ready()
+    }
+
+    fn into_ready(mut self) -> NvHeap {
+        self.mark = None;
+        self
+    }
+
+    /// Opens an existing pool after a (simulated) restart or crash. The
+    /// heap starts in *recovery mode*: callers must mark every reachable
+    /// block via [`NvHeap::mark_block`] and then call
+    /// [`NvHeap::finish_recovery`] before allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool header magic is invalid (not a formatted pool).
+    pub fn open(mut pm: Pmem) -> NvHeap {
+        let magic = pm.read_u64(0);
+        assert_eq!(magic, POOL_MAGIC, "not a formatted MOD pool");
+        NvHeap {
+            pm,
+            free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
+            regions: BTreeMap::new(),
+            bump: HEAP_BASE,
+            rc: HashMap::new(),
+            stats: AllocStats::default(),
+            mark: Some(MarkState::default()),
+        }
+    }
+
+    /// Whether the heap is still in recovery mode.
+    pub fn in_recovery(&self) -> bool {
+        self.mark.is_some()
+    }
+
+    fn assert_ready(&self) {
+        assert!(
+            self.mark.is_none(),
+            "heap is in recovery mode; finish_recovery() first"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates `len` payload bytes, returning the payload pointer. The
+    /// block header is written (but not flushed — a subsequent
+    /// [`NvHeap::flush_block`] covers it). The new block starts with a
+    /// volatile reference count of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pool exhaustion, zero-size requests, or in recovery mode.
+    pub fn alloc(&mut self, len: u64) -> PmPtr {
+        self.assert_ready();
+        let class = class_size(len);
+        let hdr = self.take_block(class);
+        let payload = hdr + HEADER_BYTES;
+        self.pm.trace_alloc(hdr, HEADER_BYTES + class);
+        // Header: [class size][magic ^ class] — integrity-checkable at
+        // recovery. 15 ns models nvm_malloc's bin bookkeeping.
+        self.pm.charge_ns(15.0);
+        self.pm.write_u64(hdr, class);
+        self.pm.write_u64(hdr + 8, BLOCK_MAGIC ^ class);
+        self.rc.insert(payload, 1);
+        self.stats.allocs += 1;
+        self.stats.live_blocks += 1;
+        self.stats.live_bytes += class;
+        self.stats.cumulative_alloc_bytes += class;
+        self.stats.hwm_live_bytes = self.stats.hwm_live_bytes.max(self.stats.live_bytes);
+        PmPtr::from_addr(payload)
+    }
+
+    fn take_block(&mut self, class: u64) -> u64 {
+        if let Some(idx) = class_index(class) {
+            if let Some(hdr) = self.free_by_class[idx].pop() {
+                return hdr;
+            }
+        }
+        let need = HEADER_BYTES + class;
+        // First-fit from recovered regions.
+        if let Some((&start, &rlen)) = self.regions.iter().find(|&(_, &rlen)| rlen >= need) {
+            self.regions.remove(&start);
+            let rest = rlen - need;
+            if rest >= MIN_BLOCK {
+                self.regions.insert(start + need, rest);
+            }
+            return start;
+        }
+        // Bump allocation.
+        let hdr = self.bump;
+        assert!(
+            hdr + need <= self.pm.capacity(),
+            "persistent pool exhausted: bump {hdr:#x} + {need} > capacity {:#x}",
+            self.pm.capacity()
+        );
+        self.bump += need;
+        hdr
+    }
+
+    /// Frees the block at `ptr` (payload pointer), returning its payload
+    /// to the free lists. Removes any refcount entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is null or its header fails the integrity check.
+    pub fn free(&mut self, ptr: PmPtr) {
+        self.assert_ready();
+        assert!(!ptr.is_null(), "freeing null PmPtr");
+        let class = self.block_len(ptr);
+        let hdr = ptr.addr() - HEADER_BYTES;
+        self.pm.trace_free(hdr, HEADER_BYTES + class);
+        self.pm.charge_ns(10.0);
+        self.rc.remove(&ptr.addr());
+        if let Some(idx) = class_index(class) {
+            self.free_by_class[idx].push(hdr);
+        } else {
+            self.regions.insert(hdr, HEADER_BYTES + class);
+        }
+        self.stats.frees += 1;
+        self.stats.live_blocks -= 1;
+        self.stats.live_bytes -= class;
+    }
+
+    /// Payload class size of the block at `ptr`, read from its header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header magic does not match (corruption or a stray
+    /// pointer).
+    pub fn block_len(&mut self, ptr: PmPtr) -> u64 {
+        let hdr = ptr.addr() - HEADER_BYTES;
+        let class = self.pm.read_u64(hdr);
+        let magic = self.pm.read_u64(hdr + 8);
+        assert_eq!(
+            magic,
+            BLOCK_MAGIC ^ class,
+            "corrupt block header at {hdr:#x}"
+        );
+        class
+    }
+
+    /// Flushes the whole block (header + payload) with unordered `clwb`s.
+    pub fn flush_block(&mut self, ptr: PmPtr) {
+        let hdr = ptr.addr() - HEADER_BYTES;
+        let class = self.pm.read_u64(hdr);
+        self.pm.flush_range(hdr, HEADER_BYTES + class);
+    }
+
+    // ------------------------------------------------------------------
+    // Volatile reference counts (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Increments the volatile refcount of the block at `ptr`.
+    pub fn rc_inc(&mut self, ptr: PmPtr) {
+        *self.rc.entry(ptr.addr()).or_insert(0) += 1;
+    }
+
+    /// Decrements the volatile refcount; returns the new count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero/absent (double release).
+    pub fn rc_dec(&mut self, ptr: PmPtr) -> u32 {
+        let c = self
+            .rc
+            .get_mut(&ptr.addr())
+            .unwrap_or_else(|| panic!("rc_dec on untracked block {ptr}"));
+        assert!(*c > 0, "refcount underflow at {ptr}");
+        *c -= 1;
+        *c
+    }
+
+    /// Current refcount of a block (0 if untracked).
+    pub fn rc_get(&self, ptr: PmPtr) -> u32 {
+        self.rc.get(&ptr.addr()).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Root slots
+    // ------------------------------------------------------------------
+
+    /// PM address of root slot `i` (for commit-time pointer writes).
+    pub fn root_slot_addr(&self, i: usize) -> u64 {
+        root_slot_offset(i)
+    }
+
+    /// Reads root slot `i`.
+    pub fn read_root(&mut self, i: usize) -> PmPtr {
+        let a = root_slot_offset(i);
+        PmPtr::from_addr(self.pm.read_u64(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Pass-throughs to the PM device
+    // ------------------------------------------------------------------
+
+    /// The underlying simulated PM pool.
+    pub fn pm(&self) -> &Pmem {
+        &self.pm
+    }
+
+    /// Mutable access to the underlying simulated PM pool.
+    pub fn pm_mut(&mut self) -> &mut Pmem {
+        &mut self.pm
+    }
+
+    /// Consumes the heap, returning the pool (e.g. to build crash images).
+    pub fn into_pm(self) -> Pmem {
+        self.pm
+    }
+
+    /// Reads a `u64` through the cache model.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        self.pm.read_u64(addr)
+    }
+
+    /// Writes a `u64` through the cache model.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.pm.write_u64(addr, v)
+    }
+
+    /// Reads a `u32` through the cache model.
+    pub fn read_u32(&mut self, addr: u64) -> u32 {
+        self.pm.read_u32(addr)
+    }
+
+    /// Writes a `u32` through the cache model.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.pm.write_u32(addr, v)
+    }
+
+    /// Reads bytes through the cache model.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.pm.read_bytes(addr, buf)
+    }
+
+    /// Writes bytes through the cache model.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        self.pm.write_bytes(addr, buf)
+    }
+
+    /// Reads `len` bytes into a fresh vector through the cache model.
+    pub fn read_vec(&mut self, addr: u64, len: u64) -> Vec<u8> {
+        self.pm.read_vec(addr, len)
+    }
+
+    /// Issues a `clwb` for the line containing `addr`.
+    pub fn clwb(&mut self, addr: u64) {
+        self.pm.clwb(addr)
+    }
+
+    /// Flushes every line covering the range.
+    pub fn flush_range(&mut self, addr: u64, len: u64) {
+        self.pm.flush_range(addr, len)
+    }
+
+    /// Executes the ordering point.
+    pub fn sfence(&mut self) {
+        self.pm.sfence()
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut AllocStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn rebuild_volatile(
+        &mut self,
+        free_by_class: Vec<Vec<u64>>,
+        regions: BTreeMap<u64, u64>,
+        bump: u64,
+        rc: HashMap<u64, u32>,
+    ) {
+        self.free_by_class = free_by_class;
+        self.regions = regions;
+        self.bump = bump;
+        self.rc = rc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_pmem::PmemConfig;
+
+    fn heap() -> NvHeap {
+        NvHeap::format(Pmem::new(PmemConfig::testing()))
+    }
+
+    #[test]
+    fn format_writes_magic_durably() {
+        let h = heap();
+        assert_eq!(h.pm().peek_u64(0), POOL_MAGIC);
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(0), POOL_MAGIC);
+    }
+
+    #[test]
+    fn alloc_returns_distinct_aligned_blocks() {
+        let mut h = heap();
+        let a = h.alloc(24);
+        let b = h.alloc(24);
+        assert_ne!(a, b);
+        assert_eq!(a.addr() % 16, 0);
+        assert_eq!(b.addr() % 16, 0);
+        assert!(a.addr() >= HEAP_BASE + HEADER_BYTES);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let mut h = heap();
+        let a = h.alloc(100);
+        h.free(a);
+        let b = h.alloc(100);
+        assert_eq!(a, b, "same class should reuse the freed block");
+    }
+
+    #[test]
+    fn block_len_reads_class() {
+        let mut h = heap();
+        let a = h.alloc(100);
+        assert_eq!(h.block_len(a), 128);
+    }
+
+    #[test]
+    fn stats_track_live_and_cumulative() {
+        let mut h = heap();
+        let a = h.alloc(16);
+        let b = h.alloc(16);
+        assert_eq!(h.stats().live_bytes, 32);
+        assert_eq!(h.stats().cumulative_alloc_bytes, 32);
+        h.free(a);
+        assert_eq!(h.stats().live_bytes, 16);
+        assert_eq!(h.stats().cumulative_alloc_bytes, 32);
+        h.free(b);
+        assert_eq!(h.stats().live_blocks, 0);
+        assert_eq!(h.stats().hwm_live_bytes, 32);
+    }
+
+    #[test]
+    fn refcounts_start_at_one() {
+        let mut h = heap();
+        let a = h.alloc(16);
+        assert_eq!(h.rc_get(a), 1);
+        h.rc_inc(a);
+        assert_eq!(h.rc_get(a), 2);
+        assert_eq!(h.rc_dec(a), 1);
+        assert_eq!(h.rc_dec(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn rc_underflow_panics() {
+        let mut h = heap();
+        let a = h.alloc(16);
+        h.rc_dec(a);
+        h.rc_dec(a);
+    }
+
+    #[test]
+    fn flush_block_covers_header_and_payload() {
+        let mut h = heap();
+        let a = h.alloc(128);
+        h.write_bytes(a.addr(), &[7u8; 128]);
+        h.flush_block(a);
+        h.sfence();
+        assert_eq!(h.pm().dirty_lines(), 0, "everything flushed");
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+        let mut buf = [0u8; 128];
+        img.peek_bytes(a.addr(), &mut buf);
+        assert_eq!(buf, [7u8; 128]);
+    }
+
+    #[test]
+    fn root_slots_default_null() {
+        let mut h = heap();
+        for i in 0..crate::layout::N_ROOTS {
+            assert!(h.read_root(i).is_null());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt block header")]
+    fn stray_pointer_detected() {
+        let mut h = heap();
+        let _ = h.alloc(64);
+        h.block_len(PmPtr::from_addr(HEAP_BASE + HEADER_BYTES + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn pool_exhaustion_panics() {
+        let pm = Pmem::new(PmemConfig {
+            capacity: 1 << 16,
+            ..PmemConfig::testing()
+        });
+        let mut h = NvHeap::format(pm);
+        for _ in 0..1000 {
+            let _ = h.alloc(4096);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery mode")]
+    fn alloc_during_recovery_panics() {
+        let h = heap();
+        let pm = h.into_pm();
+        let mut reopened = NvHeap::open(pm);
+        let _ = reopened.alloc(16);
+    }
+
+    #[test]
+    fn large_alloc_beyond_classes() {
+        let mut h = heap();
+        let a = h.alloc(10_000);
+        assert_eq!(h.block_len(a), 12288);
+        h.free(a);
+        let b = h.alloc(12_000);
+        assert_eq!(a, b, "large free block should be reused via regions");
+    }
+}

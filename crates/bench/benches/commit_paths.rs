@@ -1,0 +1,71 @@
+//! Criterion bench of the three commit protocols (Fig 8): single,
+//! siblings, unrelated — the ablation behind MOD's one-fence claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mod_core::{DurableDs, ModHeap};
+use mod_funcds::PmMap;
+use mod_pmem::{Pmem, PmemConfig};
+use std::hint::black_box;
+
+fn bench_commit_single(c: &mut Criterion) {
+    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+    let mut cur = PmMap::empty(heap.nv_mut());
+    heap.publish_root(0, cur);
+    let mut i = 0u64;
+    c.bench_function("commit_single", |b| {
+        b.iter(|| {
+            i += 1;
+            let next = cur.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
+            heap.commit_single(0, cur, &[], next);
+            cur = next;
+        })
+    });
+}
+
+fn bench_commit_siblings(c: &mut Criterion) {
+    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+    let stable = PmMap::empty(heap.nv_mut());
+    let mut cur = PmMap::empty(heap.nv_mut());
+    heap.commit_siblings(
+        0,
+        mod_pmem::PmPtr::NULL,
+        &[stable.erase(), cur.erase()],
+        &[stable.erase(), cur.erase()],
+    );
+    let mut i = 0u64;
+    c.bench_function("commit_siblings", |b| {
+        b.iter(|| {
+            i += 1;
+            let old_parent = heap.read_root(0);
+            let next = cur.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
+            heap.commit_siblings(0, old_parent, &[stable.erase(), next.erase()], &[next.erase()]);
+            cur = next;
+        })
+    });
+}
+
+fn bench_commit_unrelated(c: &mut Criterion) {
+    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+    let mut a = PmMap::empty(heap.nv_mut());
+    let mut b_map = PmMap::empty(heap.nv_mut());
+    heap.publish_root(0, a);
+    heap.publish_root(1, b_map);
+    let mut i = 0u64;
+    c.bench_function("commit_unrelated", |b| {
+        b.iter(|| {
+            i += 1;
+            let na = a.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
+            let nb = b_map.insert(heap.nv_mut(), black_box(i % 10_000), b"w");
+            heap.commit_unrelated(&[(0, a.erase(), na.erase()), (1, b_map.erase(), nb.erase())]);
+            a = na;
+            b_map = nb;
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_commit_single, bench_commit_siblings, bench_commit_unrelated
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs every figure/table binary's logic in sequence — the one-shot
+//! regeneration of the paper's whole evaluation section.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["fig4", "fig2", "fig9", "fig10", "fig11", "table3", "ablation"] {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 2: fraction of execution time spent logging and flushing in PM
+//! workloads under the PMDK-style v1.5 STM.
+
+use mod_bench::{banner, percent, TextTable};
+use mod_workloads::{run_workload, ScaleConfig, System, Workload};
+
+fn main() {
+    banner("Figure 2: PMDK v1.5 execution-time breakdown");
+    let scale = ScaleConfig::from_env();
+    println!(
+        "scale: {} ops, {} preload (MOD_OPS / MOD_PRELOAD to change)\n",
+        scale.ops, scale.preload
+    );
+    let mut t = TextTable::new(vec!["workload", "other", "flush", "log"]);
+    let mut flush_sum = 0.0;
+    let mut log_sum = 0.0;
+    let mut n = 0.0;
+    for w in Workload::all() {
+        eprintln!("  running {w} ...");
+        let r = run_workload(w, System::Pmdk15, &scale);
+        let total = r.time.total_ns();
+        t.row(vec![
+            w.name().to_string(),
+            percent(r.time.other_ns / total),
+            percent(r.time.flush_ns / total),
+            percent(r.time.log_ns / total),
+        ]);
+        flush_sum += r.time.flush_ns / total;
+        log_sum += r.time.log_ns / total;
+        n += 1.0;
+    }
+    println!("{}", t.render());
+    println!(
+        "mean flush fraction: {} (paper: ~64%)   mean log fraction: {} (paper: ~9%)",
+        percent(flush_sum / n),
+        percent(log_sum / n)
+    );
+}

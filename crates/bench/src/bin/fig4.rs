@@ -1,0 +1,37 @@
+//! Figure 4: average PM cacheline flush latency vs flush concurrency,
+//! observed (WPQ event model) against the Amdahl fit, plus the
+//! Karp–Flatt-estimated parallel fraction, as in the paper's §3.
+
+use mod_bench::{banner, TextTable};
+use mod_pmem::{fit_parallel_fraction, LatencyModel, WpqModel};
+
+fn main() {
+    banner("Figure 4: flush latency vs flushes overlapped per fence");
+    let model = LatencyModel::optane();
+    let wpq = WpqModel::from_latency(&model);
+    let levels: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32];
+    let observed = wpq.observed_curve(&levels);
+    let amdahl = model.amdahl_curve(&levels);
+    let mut t = TextTable::new(vec![
+        "flushes/fence",
+        "observed (ns)",
+        "amdahl f=0.82 (ns)",
+    ]);
+    for (o, a) in observed.iter().zip(&amdahl) {
+        t.row(vec![
+            o.0.to_string(),
+            format!("{:.1}", o.1),
+            format!("{:.1}", a.1),
+        ]);
+    }
+    println!("{}", t.render());
+    let fit = fit_parallel_fraction(&observed);
+    println!("Karp-Flatt fit of observed curve: parallel fraction f = {fit:.3}");
+    println!("Paper: f = 0.82 (82% parallel / 18% serial)");
+    let l1 = observed[0].1;
+    let l16 = observed.iter().find(|&&(n, _)| n == 16).unwrap().1;
+    println!(
+        "16-way overlap cuts average flush latency by {:.0}% (paper: 75%)",
+        (1.0 - l16 / l1) * 100.0
+    );
+}

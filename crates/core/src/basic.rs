@@ -1,0 +1,445 @@
+//! The Basic interface (paper Fig 6a): mutable-looking durable
+//! datastructures whose every update is a self-contained FASE.
+//!
+//! Each wrapper owns a root slot and the currently published version.
+//! An update performs the pure shadow update, commits with one ordering
+//! point ([`ModHeap::commit_single`]), and hands the superseded version to
+//! deferred reclamation — hiding Functional Shadowing entirely, the way
+//! the paper's `Update(dsPtr, params)` does. Lookups need no flushes or
+//! fences at all.
+
+use crate::heap::ModHeap;
+use mod_funcds::{PmMap, PmQueue, PmSet, PmStack, PmVector};
+
+macro_rules! common_impl {
+    ($wrapper:ident, $handle:ty, $article:literal) => {
+        impl $wrapper {
+            /// Creates an empty structure and publishes it in `slot`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the slot is already occupied.
+            pub fn create(heap: &mut ModHeap, slot: usize) -> $wrapper {
+                let cur = <$handle>::empty(heap.nv_mut());
+                heap.publish_root(slot, cur);
+                $wrapper { slot, cur }
+            }
+
+            /// Reattaches to the version published in `slot` (after
+            /// recovery).
+            ///
+            /// # Panics
+            ///
+            /// Panics if the slot is empty.
+            pub fn open(heap: &mut ModHeap, slot: usize) -> $wrapper {
+                let cur: $handle = crate::recovery::root_handle(heap, slot);
+                $wrapper { slot, cur }
+            }
+
+            /// The currently published version (for Composition-interface
+            /// interop or read snapshots).
+            pub fn current(&self) -> $handle {
+                self.cur
+            }
+
+            /// The root slot this structure is published in.
+            pub fn slot(&self) -> usize {
+                self.slot
+            }
+
+            fn commit(&mut self, heap: &mut ModHeap, new: $handle) {
+                heap.commit_single(self.slot, self.cur, &[], new);
+                self.cur = new;
+            }
+        }
+    };
+}
+
+/// A durable map with logically in-place updates (Basic interface).
+#[derive(Debug)]
+pub struct DurableMap {
+    slot: usize,
+    cur: PmMap,
+}
+
+common_impl!(DurableMap, PmMap, "a map");
+
+impl DurableMap {
+    /// Failure-atomically inserts or updates `key`.
+    pub fn insert(&mut self, heap: &mut ModHeap, key: u64, value: &[u8]) {
+        let new = self.cur.insert(heap.nv_mut(), key, value);
+        self.commit(heap, new);
+    }
+
+    /// Looks up `key` (no flushes, no fences).
+    pub fn get(&self, heap: &mut ModHeap, key: u64) -> Option<Vec<u8>> {
+        self.cur.get(heap.nv_mut(), key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, heap: &mut ModHeap, key: u64) -> bool {
+        self.cur.contains_key(heap.nv_mut(), key)
+    }
+
+    /// Failure-atomically removes `key`; returns whether it was present.
+    pub fn remove(&mut self, heap: &mut ModHeap, key: u64) -> bool {
+        let (new, removed) = self.cur.remove(heap.nv_mut(), key);
+        if removed {
+            self.commit(heap, new);
+        }
+        removed
+    }
+
+    /// Number of entries.
+    pub fn len(&self, heap: &mut ModHeap) -> u64 {
+        self.cur.len(heap.nv_mut())
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+        self.len(heap) == 0
+    }
+}
+
+/// A durable set with logically in-place updates (Basic interface).
+#[derive(Debug)]
+pub struct DurableSet {
+    slot: usize,
+    cur: PmSet,
+}
+
+common_impl!(DurableSet, PmSet, "a set");
+
+impl DurableSet {
+    /// Failure-atomically inserts `key`; returns whether it was new. A
+    /// duplicate insert is a no-op FASE: detected by lookup, no shadow is
+    /// built and no ordering point is paid.
+    pub fn insert(&mut self, heap: &mut ModHeap, key: u64) -> bool {
+        if self.cur.contains(heap.nv_mut(), key) {
+            return false;
+        }
+        let (new, added) = self.cur.insert(heap.nv_mut(), key);
+        debug_assert!(added);
+        self.commit(heap, new);
+        true
+    }
+
+    /// Membership test (no flushes, no fences).
+    pub fn contains(&self, heap: &mut ModHeap, key: u64) -> bool {
+        self.cur.contains(heap.nv_mut(), key)
+    }
+
+    /// Failure-atomically removes `key`; returns whether it was present.
+    pub fn remove(&mut self, heap: &mut ModHeap, key: u64) -> bool {
+        let (new, removed) = self.cur.remove(heap.nv_mut(), key);
+        if removed {
+            self.commit(heap, new);
+        }
+        removed
+    }
+
+    /// Number of elements.
+    pub fn len(&self, heap: &mut ModHeap) -> u64 {
+        self.cur.len(heap.nv_mut())
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+        self.len(heap) == 0
+    }
+}
+
+/// A durable vector with logically in-place updates (Basic interface).
+#[derive(Debug)]
+pub struct DurableVector {
+    slot: usize,
+    cur: PmVector,
+}
+
+common_impl!(DurableVector, PmVector, "a vector");
+
+impl DurableVector {
+    /// Creates a vector pre-filled from `elems`, published in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied.
+    pub fn create_from(heap: &mut ModHeap, slot: usize, elems: &[u64]) -> DurableVector {
+        let cur = PmVector::from_slice(heap.nv_mut(), elems);
+        heap.publish_root(slot, cur);
+        DurableVector { slot, cur }
+    }
+
+    /// Failure-atomically appends `elem`.
+    pub fn push_back(&mut self, heap: &mut ModHeap, elem: u64) {
+        let new = self.cur.push_back(heap.nv_mut(), elem);
+        self.commit(heap, new);
+    }
+
+    /// Failure-atomically writes `elem` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn update(&mut self, heap: &mut ModHeap, index: u64, elem: u64) {
+        let new = self.cur.update(heap.nv_mut(), index, elem);
+        self.commit(heap, new);
+    }
+
+    /// Element at `index` (no flushes, no fences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, heap: &mut ModHeap, index: u64) -> u64 {
+        self.cur.get(heap.nv_mut(), index)
+    }
+
+    /// Failure-atomically removes and returns the last element.
+    pub fn pop_back(&mut self, heap: &mut ModHeap) -> Option<u64> {
+        let (new, elem) = self.cur.pop_back(heap.nv_mut())?;
+        self.commit(heap, new);
+        Some(elem)
+    }
+
+    /// Failure-atomically swaps elements `i` and `j` — the vec-swap FASE
+    /// of Fig 7b: two pure updates, one commit, one ordering point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap(&mut self, heap: &mut ModHeap, i: u64, j: u64) {
+        if i == j {
+            return;
+        }
+        let vi = self.cur.get(heap.nv_mut(), i);
+        let vj = self.cur.get(heap.nv_mut(), j);
+        let shadow = self.cur.update(heap.nv_mut(), i, vj);
+        let shadow_shadow = shadow.update(heap.nv_mut(), j, vi);
+        heap.commit_single(self.slot, self.cur, &[shadow], shadow_shadow);
+        self.cur = shadow_shadow;
+    }
+
+    /// Number of elements.
+    pub fn len(&self, heap: &mut ModHeap) -> u64 {
+        self.cur.len(heap.nv_mut())
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+        self.len(heap) == 0
+    }
+}
+
+/// A durable stack with logically in-place updates (Basic interface).
+#[derive(Debug)]
+pub struct DurableStack {
+    slot: usize,
+    cur: PmStack,
+}
+
+common_impl!(DurableStack, PmStack, "a stack");
+
+impl DurableStack {
+    /// Failure-atomically pushes `elem`.
+    pub fn push(&mut self, heap: &mut ModHeap, elem: u64) {
+        let new = self.cur.push(heap.nv_mut(), elem);
+        self.commit(heap, new);
+    }
+
+    /// Failure-atomically pops the top element.
+    pub fn pop(&mut self, heap: &mut ModHeap) -> Option<u64> {
+        let (new, elem) = self.cur.pop(heap.nv_mut())?;
+        self.commit(heap, new);
+        Some(elem)
+    }
+
+    /// Top element (no flushes, no fences).
+    pub fn peek(&self, heap: &mut ModHeap) -> Option<u64> {
+        self.cur.peek(heap.nv_mut())
+    }
+
+    /// Number of elements.
+    pub fn len(&self, heap: &mut ModHeap) -> u64 {
+        self.cur.len(heap.nv_mut())
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+        self.len(heap) == 0
+    }
+}
+
+/// A durable FIFO queue with logically in-place updates (Basic interface).
+#[derive(Debug)]
+pub struct DurableQueue {
+    slot: usize,
+    cur: PmQueue,
+}
+
+common_impl!(DurableQueue, PmQueue, "a queue");
+
+impl DurableQueue {
+    /// Failure-atomically enqueues `elem`.
+    pub fn enqueue(&mut self, heap: &mut ModHeap, elem: u64) {
+        let new = self.cur.enqueue(heap.nv_mut(), elem);
+        self.commit(heap, new);
+    }
+
+    /// Failure-atomically dequeues the head element.
+    pub fn dequeue(&mut self, heap: &mut ModHeap) -> Option<u64> {
+        let (new, elem) = self.cur.dequeue(heap.nv_mut())?;
+        self.commit(heap, new);
+        Some(elem)
+    }
+
+    /// Head element (no flushes, no fences).
+    pub fn peek(&self, heap: &mut ModHeap) -> Option<u64> {
+        self.cur.peek(heap.nv_mut())
+    }
+
+    /// Number of elements.
+    pub fn len(&self, heap: &mut ModHeap) -> u64 {
+        self.cur.len(heap.nv_mut())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+        self.len(heap) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{recover, RootSpec};
+    use crate::RootKind;
+    use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+    fn mh() -> ModHeap {
+        ModHeap::create(Pmem::new(PmemConfig::testing()))
+    }
+
+    #[test]
+    fn durable_map_basic_ops() {
+        let mut h = mh();
+        let mut m = DurableMap::create(&mut h, 0);
+        m.insert(&mut h, 1, b"one");
+        m.insert(&mut h, 2, b"two");
+        assert_eq!(m.get(&mut h, 1), Some(b"one".to_vec()));
+        assert_eq!(m.len(&mut h), 2);
+        assert!(m.remove(&mut h, 1));
+        assert!(!m.remove(&mut h, 1));
+        assert!(!m.contains_key(&mut h, 1));
+    }
+
+    #[test]
+    fn one_fence_per_basic_update() {
+        let mut h = mh();
+        let mut m = DurableMap::create(&mut h, 0);
+        let before = h.nv().pm().stats().fences;
+        for i in 0..10 {
+            m.insert(&mut h, i, b"value-bytes-here");
+        }
+        assert_eq!(h.nv().pm().stats().fences - before, 10);
+    }
+
+    #[test]
+    fn lookups_cost_no_fences_or_flushes() {
+        let mut h = mh();
+        let mut m = DurableMap::create(&mut h, 0);
+        m.insert(&mut h, 1, b"x");
+        let s = h.nv().pm().stats().clone();
+        let _ = m.get(&mut h, 1);
+        let _ = m.contains_key(&mut h, 2);
+        let after = h.nv().pm().stats();
+        assert_eq!(after.fences, s.fences);
+        assert_eq!(after.flushes, s.flushes);
+    }
+
+    #[test]
+    fn durable_vector_swap_is_one_fase() {
+        let mut h = mh();
+        let mut v = DurableVector::create_from(&mut h, 0, &(0..100).collect::<Vec<_>>());
+        let before = h.nv().pm().stats().fences;
+        v.swap(&mut h, 3, 97);
+        assert_eq!(h.nv().pm().stats().fences - before, 1);
+        assert_eq!(v.get(&mut h, 3), 97);
+        assert_eq!(v.get(&mut h, 97), 3);
+        v.swap(&mut h, 5, 5); // no-op swap commits nothing
+        assert_eq!(v.get(&mut h, 5), 5);
+    }
+
+    #[test]
+    fn durable_stack_and_queue() {
+        let mut h = mh();
+        let mut s = DurableStack::create(&mut h, 0);
+        let mut q = DurableQueue::create(&mut h, 1);
+        for i in 0..5 {
+            s.push(&mut h, i);
+            q.enqueue(&mut h, i);
+        }
+        assert_eq!(s.pop(&mut h), Some(4));
+        assert_eq!(q.dequeue(&mut h), Some(0));
+        assert_eq!(s.peek(&mut h), Some(3));
+        assert_eq!(q.peek(&mut h), Some(1));
+        assert_eq!(s.len(&mut h), 4);
+        assert_eq!(q.len(&mut h), 4);
+    }
+
+    #[test]
+    fn set_duplicate_insert_does_not_commit() {
+        let mut h = mh();
+        let mut s = DurableSet::create(&mut h, 0);
+        assert!(s.insert(&mut h, 9));
+        let fences = h.nv().pm().stats().fences;
+        assert!(!s.insert(&mut h, 9));
+        assert_eq!(h.nv().pm().stats().fences, fences, "no FASE for a no-op");
+        assert_eq!(s.len(&mut h), 1);
+    }
+
+    #[test]
+    fn survives_crash_and_reopen() {
+        let mut h = mh();
+        let mut m = DurableMap::create(&mut h, 0);
+        let mut q = DurableQueue::create(&mut h, 1);
+        for i in 0..20u64 {
+            m.insert(&mut h, i, &i.to_le_bytes());
+            q.enqueue(&mut h, i);
+        }
+        h.quiesce();
+        let pm = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(
+            pm,
+            &[
+                RootSpec::new(0, RootKind::Map),
+                RootSpec::new(1, RootKind::Queue),
+            ],
+        );
+        let m2 = DurableMap::open(&mut h2, 0);
+        let mut q2 = DurableQueue::open(&mut h2, 1);
+        assert_eq!(m2.len(&mut h2), 20);
+        assert_eq!(m2.get(&mut h2, 13), Some(13u64.to_le_bytes().to_vec()));
+        assert_eq!(q2.dequeue(&mut h2), Some(0));
+        assert_eq!(q2.len(&mut h2), 19);
+    }
+
+    #[test]
+    fn steady_state_memory_is_bounded() {
+        // Version churn must not grow the heap: deferred reclamation keeps
+        // at most one superseded version alive.
+        let mut h = mh();
+        let mut m = DurableMap::create(&mut h, 0);
+        for i in 0..50u64 {
+            m.insert(&mut h, i % 4, b"overwritten-repeatedly");
+        }
+        h.quiesce();
+        let live_after_50 = h.nv().stats().live_bytes;
+        for i in 0..500u64 {
+            m.insert(&mut h, i % 4, b"overwritten-repeatedly");
+        }
+        h.quiesce();
+        let live_after_550 = h.nv().stats().live_bytes;
+        assert_eq!(live_after_50, live_after_550, "no leak under churn");
+    }
+}

@@ -1,0 +1,62 @@
+//! # mod-core — MOD: Minimally Ordered Durable datastructures
+//!
+//! The primary contribution of *"MOD: Minimally Ordered Durable
+//! Datastructures for Persistent Memory"* (Haria, Hill, Swift — ASPLOS
+//! 2020), reproduced in Rust over a simulated PM substrate.
+//!
+//! MOD makes failure-atomic, durable updates cheap by **minimizing
+//! ordering points**: instead of logging and carefully ordered in-place
+//! writes (PM-STM), every update is a *pure* out-of-place shadow built
+//! from a functional datastructure, flushed with freely overlapping
+//! `clwb`s, and published with **one `sfence` plus one atomic 8-byte
+//! pointer store** (Fig 8).
+//!
+//! Two interfaces, as in the paper (Fig 6):
+//!
+//! * **Basic** ([`basic`]) — [`DurableMap`], [`DurableSet`],
+//!   [`DurableVector`], [`DurableStack`], [`DurableQueue`]: mutable-
+//!   looking structures where each update is a self-contained FASE.
+//! * **Composition** ([`ModHeap`]) — pure updates on any number of
+//!   structures, then [`ModHeap::commit_single`],
+//!   [`ModHeap::commit_siblings`] or [`ModHeap::commit_unrelated`]
+//!   to publish them failure-atomically together.
+//!
+//! Recovery ([`recovery::recover`]) redoes any interrupted unrelated
+//! commit, garbage-collects mid-FASE leaks by reachability, and rebuilds
+//! the volatile reference counts (§5.2–5.3).
+//!
+//! ## Example: composing updates to two structures
+//!
+//! ```
+//! use mod_core::{ModHeap, DurableDs, recovery::{recover, RootSpec}, RootKind};
+//! use mod_funcds::{PmMap, PmQueue};
+//! use mod_pmem::{Pmem, PmemConfig};
+//!
+//! let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+//! let m0 = PmMap::empty(heap.nv_mut());
+//! let q0 = PmQueue::empty(heap.nv_mut());
+//! heap.publish_root(0, m0);
+//! heap.publish_root(1, q0);
+//!
+//! // FASE: move a work item into the map, atomically w.r.t. failure.
+//! let q1 = q0.enqueue(heap.nv_mut(), 42);
+//! let m1 = m0.insert(heap.nv_mut(), 42, b"payload");
+//! heap.commit_unrelated(&[
+//!     (0, m0.erase(), m1.erase()),
+//!     (1, q0.erase(), q1.erase()),
+//! ]);
+//! assert_eq!(heap.read_root(0), m1.root());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod erased;
+pub mod heap;
+pub mod parent;
+pub mod recovery;
+
+pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
+pub use erased::{DurableDs, ErasedDs, RootKind};
+pub use heap::{ModHeap, ULOG_CAP};
+pub use recovery::{recover, root_handle, try_root_handle, RootSpec};

@@ -1,0 +1,114 @@
+//! Parent objects for `CommitSiblings` (paper Fig 8c).
+//!
+//! When several datastructures belong to one logical entity (vacation's
+//! manager holds multiple maps), they are grouped under a *parent object*:
+//! a small PM block of `(kind, root)` pairs. Committing sibling updates
+//! builds a new parent pointing at the new versions, flushes it, fences
+//! once, and swings a single pointer at the parent — keeping the whole
+//! multi-datastructure FASE at one ordering point.
+
+use crate::erased::{ErasedDs, RootKind};
+use mod_alloc::NvHeap;
+use mod_pmem::PmPtr;
+
+/// Builds and flushes a parent object owning `children`. Layout:
+/// `[count][(kind, root) × count]`. Increments each child root's refcount
+/// (the parent owns its children).
+pub fn store_parent(nv: &mut NvHeap, children: &[ErasedDs]) -> PmPtr {
+    assert!(!children.is_empty(), "parent object needs children");
+    let len = 8 + 16 * children.len() as u64;
+    let ptr = nv.alloc(len);
+    nv.write_u64(ptr.addr(), children.len() as u64);
+    for (i, c) in children.iter().enumerate() {
+        let base = ptr.addr() + 8 + 16 * i as u64;
+        nv.write_u64(base, c.kind.to_u64());
+        nv.write_u64(base + 8, c.root.addr());
+    }
+    nv.flush_block(ptr);
+    for c in children {
+        nv.rc_inc(c.root);
+    }
+    ptr
+}
+
+/// Reads the children of a parent object.
+pub fn children_of(nv: &mut NvHeap, parent: PmPtr) -> Vec<ErasedDs> {
+    let count = nv.read_u64(parent.addr()) as usize;
+    (0..count)
+        .map(|i| {
+            let base = parent.addr() + 8 + 16 * i as u64;
+            let kind = RootKind::from_u64(nv.read_u64(base));
+            let root = PmPtr::from_addr(nv.read_u64(base + 8));
+            ErasedDs { kind, root }
+        })
+        .collect()
+}
+
+/// Releases one reference to a parent object, cascading to its children
+/// at zero.
+pub fn release_parent(nv: &mut NvHeap, parent: PmPtr) {
+    if nv.rc_dec(parent) > 0 {
+        return;
+    }
+    let children = children_of(nv, parent);
+    nv.free(parent);
+    for c in children {
+        c.release(nv);
+    }
+}
+
+/// Marks a parent object and its children during recovery GC.
+pub fn mark_parent(nv: &mut NvHeap, parent: PmPtr) {
+    if !nv.mark_block(parent) {
+        return;
+    }
+    for c in children_of(nv, parent) {
+        c.mark(nv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erased::DurableDs;
+    use mod_funcds::{PmMap, PmQueue};
+    use mod_pmem::{Pmem, PmemConfig};
+
+    fn heap() -> NvHeap {
+        NvHeap::format(Pmem::new(PmemConfig::testing()))
+    }
+
+    #[test]
+    fn parent_roundtrip() {
+        let mut nv = heap();
+        let m = PmMap::empty(&mut nv);
+        let q = PmQueue::empty(&mut nv);
+        let p = store_parent(&mut nv, &[m.erase(), q.erase()]);
+        let kids = children_of(&mut nv, p);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].kind, RootKind::Map);
+        assert_eq!(kids[0].root, m.root());
+        assert_eq!(kids[1].kind, RootKind::Queue);
+        assert_eq!(kids[1].root, q.root());
+    }
+
+    #[test]
+    fn parent_owns_children() {
+        let mut nv = heap();
+        let m = PmMap::empty(&mut nv);
+        let p = store_parent(&mut nv, &[m.erase()]);
+        assert_eq!(nv.rc_get(m.root()), 2);
+        // Dropping our handle's reference leaves the parent's.
+        m.release(&mut nv);
+        assert_eq!(nv.rc_get(m.root()), 1);
+        release_parent(&mut nv, p);
+        assert_eq!(nv.stats().live_blocks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs children")]
+    fn empty_parent_rejected() {
+        let mut nv = heap();
+        store_parent(&mut nv, &[]);
+    }
+}

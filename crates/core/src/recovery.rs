@@ -1,0 +1,339 @@
+//! Crash recovery (paper §5.2, §5.3).
+//!
+//! Opening a pool after a crash performs, in order:
+//!
+//! 1. **Unrelated-commit redo** — if the short transaction of Fig 8d had
+//!    reached its commit point (log state = committed), its slot stores
+//!    are re-applied idempotently and the log retired.
+//! 2. **Reachability GC** — every datastructure named in the caller's
+//!    root directory is walked from its slot, marking live blocks and
+//!    counting references (rebuilding the volatile refcounts the paper
+//!    deliberately never flushes). Everything unmarked — including shadow
+//!    nodes leaked by a FASE the crash interrupted — becomes free space.
+//!
+//! GC time is charged to the simulated clock: the paper includes recovery
+//! garbage collection in its measured results.
+
+use crate::erased::{ErasedDs, RootKind};
+use crate::heap::{ModHeap, ULOG_COMMITTED, ULOG_COUNT, ULOG_ENTRIES, ULOG_STATE};
+use mod_alloc::{NvHeap, RecoveryReport};
+use mod_pmem::{PmPtr, Pmem};
+
+/// A root directory entry: which datastructure type lives in which slot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RootSpec {
+    /// Root slot index.
+    pub slot: usize,
+    /// Type of the structure the slot points at.
+    pub kind: RootKind,
+}
+
+impl RootSpec {
+    /// Convenience constructor.
+    pub fn new(slot: usize, kind: RootKind) -> RootSpec {
+        RootSpec { slot, kind }
+    }
+}
+
+/// Recovers a MOD heap from a (possibly crashed) pool.
+///
+/// `roots` declares the application's persistent datastructures, exactly
+/// like the typed root registries PM applications keep at well-known
+/// addresses. Null slots are skipped, so passing the full directory of an
+/// app that crashed before creating some structures is fine.
+///
+/// # Panics
+///
+/// Panics if the pool is not a formatted MOD pool or its live blocks fail
+/// integrity checks.
+pub fn recover(pm: Pmem, roots: &[RootSpec]) -> (ModHeap, RecoveryReport) {
+    let mut nv = NvHeap::open(pm);
+    redo_unrelated_log(&mut nv);
+    for spec in roots {
+        let root = nv.read_root(spec.slot);
+        if root.is_null() {
+            continue;
+        }
+        ErasedDs {
+            kind: spec.kind,
+            root,
+        }
+        .mark(&mut nv);
+    }
+    let report = nv.finish_recovery();
+    (ModHeap::from_parts(nv), report)
+}
+
+fn redo_unrelated_log(nv: &mut NvHeap) {
+    let pm = nv.pm_mut();
+    if pm.read_u64(ULOG_STATE) != ULOG_COMMITTED {
+        return;
+    }
+    // The commit point was reached: every (slot, root) entry is durable
+    // (they were fenced before the state flag). Re-apply them all.
+    let count = pm.read_u64(ULOG_COUNT);
+    pm.begin_commit();
+    for i in 0..count {
+        let base = ULOG_ENTRIES + 16 * i;
+        let slot = pm.read_u64(base) as usize;
+        let root = pm.read_u64(base + 8);
+        let addr = mod_alloc::layout::root_slot_offset(slot);
+        pm.write_u64(addr, root);
+        pm.clwb(addr);
+    }
+    pm.write_u64(ULOG_STATE, 0);
+    pm.clwb(ULOG_STATE);
+    pm.sfence();
+    pm.end_commit();
+}
+
+/// Reads a typed handle back out of a recovered slot.
+///
+/// # Panics
+///
+/// Panics if the slot is null — the structure was never published, which
+/// callers should handle by creating it afresh.
+pub fn root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> D {
+    let root = heap.read_root(slot);
+    assert!(!root.is_null(), "slot {slot} is empty; create the structure");
+    D::from_root_ptr(root)
+}
+
+/// Reads a typed handle if the slot is non-null.
+pub fn try_root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> Option<D> {
+    let root = heap.read_root(slot);
+    (!root.is_null()).then(|| D::from_root_ptr(root))
+}
+
+/// Looks up a parent object's children after recovery (CommitSiblings
+/// pattern): returns the erased child handles in parent order.
+pub fn parent_children(heap: &mut ModHeap, slot: usize) -> Vec<ErasedDs> {
+    let parent = heap.read_root(slot);
+    assert!(!parent.is_null(), "slot {slot} holds no parent object");
+    crate::parent::children_of(heap.nv_mut(), parent)
+}
+
+/// The null pointer, re-exported for root-directory code readability.
+pub const NULL_ROOT: PmPtr = PmPtr::NULL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erased::DurableDs;
+    use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
+    use mod_pmem::{CrashPolicy, PmemConfig};
+
+    fn mh() -> ModHeap {
+        ModHeap::create(Pmem::new(PmemConfig::testing()))
+    }
+
+    fn crash(h: ModHeap, policy: CrashPolicy) -> Pmem {
+        h.into_pm().crash_image(policy)
+    }
+
+    #[test]
+    fn recover_committed_map() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        h.publish_root(0, m0);
+        let m1 = m0.insert(h.nv_mut(), 10, b"ten");
+        h.commit_single(0, m0, &[], m1);
+        h.quiesce(); // slot store durable
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, report) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
+        assert!(report.live_blocks > 0);
+        let m: PmMap = root_handle(&mut h2, 0);
+        assert_eq!(m.get(h2.nv_mut(), 10), Some(b"ten".to_vec()));
+        assert_eq!(m.len(h2.nv_mut()), 1);
+    }
+
+    #[test]
+    fn crash_mid_fase_recovers_old_version_and_reclaims_shadow() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        h.publish_root(0, m0);
+        let m1 = m0.insert(h.nv_mut(), 1, b"committed");
+        h.commit_single(0, m0, &[], m1);
+        h.quiesce();
+        let live_at_commit = h.nv().stats().live_bytes;
+        // FASE interrupted: shadow built and flushed, commit never runs.
+        let _shadow = m1.insert(h.nv_mut(), 2, b"lost");
+        let pm = crash(h, CrashPolicy::PersistAll); // even fully persisted
+        let (mut h2, report) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
+        let m: PmMap = root_handle(&mut h2, 0);
+        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"committed".to_vec()));
+        assert_eq!(m.get(h2.nv_mut(), 2), None, "uncommitted update invisible");
+        // The shadow's blocks were leaked by the crash and swept by GC.
+        assert_eq!(report.live_bytes, live_at_commit);
+    }
+
+    #[test]
+    fn adversarial_crash_during_fase_yields_old_or_nothing_new() {
+        // Whatever subset of unfenced lines persists, recovery must see
+        // the committed version only.
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        h.publish_root(0, m0);
+        let mut cur = m0;
+        for i in 0..10u64 {
+            let next = cur.insert(h.nv_mut(), i, &i.to_le_bytes());
+            h.commit_single(0, cur, &[], next);
+            cur = next;
+        }
+        h.quiesce();
+        let _shadow = cur.insert(h.nv_mut(), 99, b"inflight");
+        for seed in 0..20u64 {
+            let pm = h.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+            let (mut h2, _) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
+            let m: PmMap = root_handle(&mut h2, 0);
+            assert_eq!(m.len(h2.nv_mut()), 10, "seed {seed}");
+            for i in 0..10u64 {
+                assert_eq!(
+                    m.get(h2.nv_mut(), i),
+                    Some(i.to_le_bytes().to_vec()),
+                    "seed {seed} key {i}"
+                );
+            }
+            assert!(!m.contains_key(h2.nv_mut(), 99));
+        }
+    }
+
+    #[test]
+    fn unrelated_log_redo_applies_after_commit_point() {
+        let mut h = mh();
+        let a0 = PmMap::empty(h.nv_mut());
+        let b0 = PmStack::empty(h.nv_mut());
+        h.publish_root(0, a0);
+        h.publish_root(1, b0);
+        h.quiesce();
+        let a1 = a0.insert(h.nv_mut(), 1, b"x");
+        let b1 = b0.push(h.nv_mut(), 7);
+        // Simulate the commit reaching its commit point but crashing
+        // before the slot stores: write the log exactly as
+        // commit_unrelated does, fence, set committed, fence, crash.
+        {
+            let pm = h.nv_mut().pm_mut();
+            pm.begin_commit();
+            pm.write_u64(ULOG_COUNT, 2);
+            pm.write_u64(ULOG_ENTRIES, 0);
+            pm.write_u64(ULOG_ENTRIES + 8, a1.root_ptr().addr());
+            pm.write_u64(ULOG_ENTRIES + 16, 1);
+            pm.write_u64(ULOG_ENTRIES + 24, b1.root_ptr().addr());
+            pm.flush_range(ULOG_COUNT, 8 + 32);
+            pm.sfence();
+            pm.write_u64(ULOG_STATE, ULOG_COMMITTED);
+            pm.clwb(ULOG_STATE);
+            pm.sfence();
+            pm.end_commit();
+        }
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(
+            pm,
+            &[
+                RootSpec::new(0, RootKind::Map),
+                RootSpec::new(1, RootKind::Stack),
+            ],
+        );
+        let a: PmMap = root_handle(&mut h2, 0);
+        let b: PmStack = root_handle(&mut h2, 1);
+        assert_eq!(a.get(h2.nv_mut(), 1), Some(b"x".to_vec()), "redo applied");
+        assert_eq!(b.peek(h2.nv_mut()), Some(7), "redo applied to stack too");
+        assert_eq!(h2.nv_mut().pm_mut().read_u64(ULOG_STATE), 0, "log retired");
+    }
+
+    #[test]
+    fn unrelated_log_ignored_before_commit_point() {
+        let mut h = mh();
+        let a0 = PmMap::empty(h.nv_mut());
+        h.publish_root(0, a0);
+        h.quiesce();
+        let a1 = a0.insert(h.nv_mut(), 5, b"new");
+        // Log written and fenced, but state flag never set.
+        {
+            let pm = h.nv_mut().pm_mut();
+            pm.begin_commit();
+            pm.write_u64(ULOG_COUNT, 1);
+            pm.write_u64(ULOG_ENTRIES, 0);
+            pm.write_u64(ULOG_ENTRIES + 8, a1.root_ptr().addr());
+            pm.flush_range(ULOG_COUNT, 24);
+            pm.sfence();
+            pm.end_commit();
+        }
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
+        let a: PmMap = root_handle(&mut h2, 0);
+        assert!(!a.contains_key(h2.nv_mut(), 5), "uncommitted tx discarded");
+    }
+
+    #[test]
+    fn recover_all_five_kinds() {
+        let mut h = mh();
+        let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"m");
+        let s = {
+            let s0 = mod_funcds::PmSet::empty(h.nv_mut());
+            s0.insert(h.nv_mut(), 2).0
+        };
+        let v = PmVector::from_slice(h.nv_mut(), &[10, 20, 30]);
+        let st = PmStack::empty(h.nv_mut()).push(h.nv_mut(), 4);
+        let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 5);
+        h.publish_root(0, m);
+        h.publish_root(1, s);
+        h.publish_root(2, v);
+        h.publish_root(3, st);
+        h.publish_root(4, q);
+        h.quiesce();
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(
+            pm,
+            &[
+                RootSpec::new(0, RootKind::Map),
+                RootSpec::new(1, RootKind::Set),
+                RootSpec::new(2, RootKind::Vector),
+                RootSpec::new(3, RootKind::Stack),
+                RootSpec::new(4, RootKind::Queue),
+            ],
+        );
+        let m: PmMap = root_handle(&mut h2, 0);
+        let s: mod_funcds::PmSet = root_handle(&mut h2, 1);
+        let v: PmVector = root_handle(&mut h2, 2);
+        let st: PmStack = root_handle(&mut h2, 3);
+        let q: PmQueue = root_handle(&mut h2, 4);
+        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"m".to_vec()));
+        assert!(s.contains(h2.nv_mut(), 2));
+        assert_eq!(v.to_vec(h2.nv_mut()), vec![10, 20, 30]);
+        assert_eq!(st.peek(h2.nv_mut()), Some(4));
+        assert_eq!(q.peek(h2.nv_mut()), Some(5));
+    }
+
+    #[test]
+    fn recover_parent_slot() {
+        let mut h = mh();
+        let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"one");
+        let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 2);
+        h.commit_siblings(7, NULL_ROOT, &[m.erase(), q.erase()], &[m.erase(), q.erase()]);
+        h.quiesce();
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(pm, &[RootSpec::new(7, RootKind::Parent)]);
+        let kids = parent_children(&mut h2, 7);
+        assert_eq!(kids.len(), 2);
+        let m = PmMap::from_root(kids[0].root);
+        let q = PmQueue::from_root(kids[1].root);
+        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"one".to_vec()));
+        assert_eq!(q.peek(h2.nv_mut()), Some(2));
+    }
+
+    #[test]
+    fn empty_slots_are_skipped() {
+        let h = mh();
+        let pm = crash(h, CrashPolicy::OnlyFenced);
+        let (mut h2, report) = recover(
+            pm,
+            &[
+                RootSpec::new(0, RootKind::Map),
+                RootSpec::new(1, RootKind::Queue),
+            ],
+        );
+        assert_eq!(report.live_blocks, 0);
+        assert!(try_root_handle::<PmMap>(&mut h2, 0).is_none());
+    }
+}

@@ -1,0 +1,904 @@
+//! CHAMP trie — the MOD **map** and **set** substrate.
+//!
+//! A Compressed Hash-Array Mapped Prefix-tree (Steindorfer & Vinju,
+//! OOPSLA '15), the functional map implementation the paper converts into
+//! a durable datastructure (§4.2). Keys are `u64`; values are immutable
+//! byte blobs. The trie consumes the key hash five bits per level; each
+//! bitmap node packs data entries and sub-node pointers into one compact
+//! block; full 64-bit hash collisions overflow into collision nodes.
+//!
+//! All updates are pure path copies: the handful of nodes on the root-to-
+//! leaf path are rewritten out of place (flushed with unordered `clwb`s)
+//! while every untouched subtree is shared with the previous version —
+//! the structural sharing that keeps shadow overheads below 0.01 %/update
+//! (§4.1, Table 3).
+
+use crate::blob::{blob_create, blob_mark, blob_read, blob_release};
+use crate::node::{NodeBuf, KIND_BITMAP, KIND_COLLISION};
+use mod_alloc::NvHeap;
+use mod_pmem::PmPtr;
+
+/// Hash chunking: 5 bits per level.
+const BITS: u32 = 5;
+/// Levels before full-hash collisions overflow into collision nodes.
+const MAX_DEPTH: u32 = 13;
+/// Root object size: `[count][root node][hash kind]`.
+const ROOT_WORDS: usize = 3;
+
+/// Key-hashing discipline of a map instance (stored persistently in the
+/// root object so recovery rebuilds identical tries).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum HashKind {
+    /// SplitMix64 mixing — the production hash.
+    #[default]
+    SplitMix,
+    /// `key & 0xF` — pathological on purpose, to exercise deep tries and
+    /// collision nodes in tests.
+    WeakLow4,
+}
+
+impl HashKind {
+    fn to_u64(self) -> u64 {
+        match self {
+            HashKind::SplitMix => 0,
+            HashKind::WeakLow4 => 1,
+        }
+    }
+
+    fn from_u64(v: u64) -> HashKind {
+        match v {
+            0 => HashKind::SplitMix,
+            1 => HashKind::WeakLow4,
+            _ => panic!("corrupt hash kind {v}"),
+        }
+    }
+
+    fn hash(self, key: u64) -> u64 {
+        match self {
+            HashKind::SplitMix => {
+                let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+            HashKind::WeakLow4 => key & 0xF,
+        }
+    }
+}
+
+#[inline]
+fn chunk(hash: u64, depth: u32) -> u32 {
+    ((hash >> (BITS * depth)) & 0x1F) as u32
+}
+
+/// Handle to one immutable version of a persistent hash map.
+///
+/// The handle points at the version's root object; updates return new
+/// handles and never modify existing versions (Functional Shadowing).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub struct PmMap {
+    root: PmPtr,
+}
+
+// ---------------------------------------------------------------------
+// Volatile node images
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct BitmapImg {
+    datamap: u32,
+    nodemap: u32,
+    data: Vec<(u64, PmPtr)>,
+    children: Vec<PmPtr>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CollisionImg {
+    entries: Vec<(u64, PmPtr)>,
+}
+
+#[derive(Debug, Clone)]
+enum NodeImg {
+    Bitmap(BitmapImg),
+    Collision(CollisionImg),
+}
+
+fn read_node(heap: &mut NvHeap, node: PmPtr) -> NodeImg {
+    let a = node.addr();
+    let kind = heap.read_u64(a);
+    match kind {
+        KIND_BITMAP => {
+            let maps = heap.read_u64(a + 8);
+            let datamap = (maps & 0xFFFF_FFFF) as u32;
+            let nodemap = (maps >> 32) as u32;
+            let d = datamap.count_ones() as usize;
+            let n = nodemap.count_ones() as usize;
+            let body = heap.read_vec(a + 16, (16 * d + 8 * n) as u64);
+            let mut data = Vec::with_capacity(d);
+            for i in 0..d {
+                let k = u64::from_le_bytes(body[16 * i..16 * i + 8].try_into().unwrap());
+                let v = u64::from_le_bytes(body[16 * i + 8..16 * i + 16].try_into().unwrap());
+                data.push((k, PmPtr::from_addr(v)));
+            }
+            let base = 16 * d;
+            let mut children = Vec::with_capacity(n);
+            for i in 0..n {
+                let p =
+                    u64::from_le_bytes(body[base + 8 * i..base + 8 * i + 8].try_into().unwrap());
+                children.push(PmPtr::from_addr(p));
+            }
+            NodeImg::Bitmap(BitmapImg {
+                datamap,
+                nodemap,
+                data,
+                children,
+            })
+        }
+        KIND_COLLISION => {
+            let count = heap.read_u64(a + 8) as usize;
+            let body = heap.read_vec(a + 16, (16 * count) as u64);
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let k = u64::from_le_bytes(body[16 * i..16 * i + 8].try_into().unwrap());
+                let v = u64::from_le_bytes(body[16 * i + 8..16 * i + 16].try_into().unwrap());
+                entries.push((k, PmPtr::from_addr(v)));
+            }
+            NodeImg::Collision(CollisionImg { entries })
+        }
+        k => panic!("corrupt CHAMP node kind {k} at {node}"),
+    }
+}
+
+/// Stores a bitmap node. Ownership rule: the stored node *owns* every
+/// pointer written into it, so this increments the refcount of each
+/// non-null child and value; callers drop their own temporary ownership
+/// of freshly created pointers afterwards.
+fn store_bitmap(heap: &mut NvHeap, img: &BitmapImg) -> PmPtr {
+    debug_assert_eq!(img.datamap.count_ones() as usize, img.data.len());
+    debug_assert_eq!(img.nodemap.count_ones() as usize, img.children.len());
+    let mut b = NodeBuf::with_words(2 + 2 * img.data.len() + img.children.len());
+    b.push_u64(KIND_BITMAP)
+        .push_u64(img.datamap as u64 | ((img.nodemap as u64) << 32));
+    for &(k, v) in &img.data {
+        b.push_u64(k).push_ptr(v);
+    }
+    for &c in &img.children {
+        b.push_ptr(c);
+    }
+    let ptr = b.store(heap);
+    for &(_, v) in &img.data {
+        if !v.is_null() {
+            heap.rc_inc(v);
+        }
+    }
+    for &c in &img.children {
+        heap.rc_inc(c);
+    }
+    ptr
+}
+
+/// Stores a collision node; same ownership rule as [`store_bitmap`].
+fn store_collision(heap: &mut NvHeap, img: &CollisionImg) -> PmPtr {
+    let mut b = NodeBuf::with_words(2 + 2 * img.entries.len());
+    b.push_u64(KIND_COLLISION).push_u64(img.entries.len() as u64);
+    for &(k, v) in &img.entries {
+        b.push_u64(k).push_ptr(v);
+    }
+    let ptr = b.store(heap);
+    for &(_, v) in &img.entries {
+        if !v.is_null() {
+            heap.rc_inc(v);
+        }
+    }
+    ptr
+}
+
+/// Drops one temporary ownership reference on a freshly stored node.
+fn drop_temp(heap: &mut NvHeap, ptr: PmPtr) {
+    debug_assert!(heap.rc_get(ptr) >= 2, "temp node should be co-owned");
+    heap.rc_dec(ptr);
+}
+
+enum RemoveResult {
+    NotFound,
+    /// New (fresh) node; null if the subtree vanished entirely.
+    Removed(PmPtr),
+    /// The subtree shrank to a single entry: inline it into the parent.
+    Inlined(u64, PmPtr),
+}
+
+impl PmMap {
+    // ------------------------------------------------------------------
+    // Construction and handle plumbing
+    // ------------------------------------------------------------------
+
+    /// Creates an empty map with the production hash.
+    pub fn empty(heap: &mut NvHeap) -> PmMap {
+        PmMap::empty_with_hash(heap, HashKind::SplitMix)
+    }
+
+    /// Creates an empty map with an explicit [`HashKind`].
+    pub fn empty_with_hash(heap: &mut NvHeap, hk: HashKind) -> PmMap {
+        let mut b = NodeBuf::with_words(ROOT_WORDS);
+        b.push_u64(0).push_ptr(PmPtr::NULL).push_u64(hk.to_u64());
+        PmMap { root: b.store(heap) }
+    }
+
+    /// Rebuilds a handle from a raw root pointer (root slot contents).
+    pub fn from_root(root: PmPtr) -> PmMap {
+        PmMap { root }
+    }
+
+    /// The version's root object pointer (what commit stores in a slot).
+    pub fn root(&self) -> PmPtr {
+        self.root
+    }
+
+    fn read_root_obj(&self, heap: &mut NvHeap) -> (u64, PmPtr, HashKind) {
+        let a = self.root.addr();
+        let count = heap.read_u64(a);
+        let node = PmPtr::from_addr(heap.read_u64(a + 8));
+        let hk = HashKind::from_u64(heap.read_u64(a + 16));
+        (count, node, hk)
+    }
+
+    fn store_root_obj(heap: &mut NvHeap, count: u64, node: PmPtr, hk: HashKind) -> PmMap {
+        let mut b = NodeBuf::with_words(ROOT_WORDS);
+        b.push_u64(count).push_ptr(node).push_u64(hk.to_u64());
+        let root = b.store(heap);
+        if !node.is_null() {
+            heap.rc_inc(node);
+        }
+        PmMap { root }
+    }
+
+    /// Number of entries.
+    pub fn len(&self, heap: &mut NvHeap) -> u64 {
+        heap.read_u64(self.root.addr())
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
+        self.len(heap) == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Looks up `key`, returning its value bytes. A present key with an
+    /// empty value (set membership) yields `Some(vec![])`.
+    pub fn get(&self, heap: &mut NvHeap, key: u64) -> Option<Vec<u8>> {
+        self.get_ptr(heap, key)
+            .map(|v| blob_read(heap, v))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, heap: &mut NvHeap, key: u64) -> bool {
+        self.get_ptr(heap, key).is_some()
+    }
+
+    fn get_ptr(&self, heap: &mut NvHeap, key: u64) -> Option<PmPtr> {
+        let (_, mut node, hk) = self.read_root_obj(heap);
+        let hash = hk.hash(key);
+        let mut depth = 0u32;
+        while !node.is_null() {
+            match read_node(heap, node) {
+                NodeImg::Bitmap(img) => {
+                    let bit = 1u32 << chunk(hash, depth);
+                    if img.datamap & bit != 0 {
+                        let pos = (img.datamap & (bit - 1)).count_ones() as usize;
+                        let (k, v) = img.data[pos];
+                        return (k == key).then_some(v);
+                    }
+                    if img.nodemap & bit != 0 {
+                        let pos = (img.nodemap & (bit - 1)).count_ones() as usize;
+                        node = img.children[pos];
+                        depth += 1;
+                        continue;
+                    }
+                    return None;
+                }
+                NodeImg::Collision(img) => {
+                    return img.entries.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Pure insert/update: returns the new version. See
+    /// [`PmMap::insert_query`] to learn whether the key was new.
+    pub fn insert(&self, heap: &mut NvHeap, key: u64, value: &[u8]) -> PmMap {
+        self.insert_query(heap, key, value).0
+    }
+
+    /// Pure insert/update returning `(new_version, was_new_key)`.
+    pub fn insert_query(&self, heap: &mut NvHeap, key: u64, value: &[u8]) -> (PmMap, bool) {
+        let (count, node, hk) = self.read_root_obj(heap);
+        let hash = hk.hash(key);
+        let val = blob_create(heap, value); // temp-owned by this op
+        let (new_node, added) = insert_node(heap, node, 0, hash, hk, key, val);
+        blob_release(heap, val); // node(s) now own it
+        let map = Self::store_root_obj(heap, count + added as u64, new_node, hk);
+        drop_temp(heap, new_node);
+        (map, added)
+    }
+
+    // ------------------------------------------------------------------
+    // Remove
+    // ------------------------------------------------------------------
+
+    /// Pure removal: returns `(new_version, removed)`. When the key is
+    /// absent, the *same* handle is returned with `removed == false`; the
+    /// caller must not release the old version in that case (they are the
+    /// same version).
+    pub fn remove(&self, heap: &mut NvHeap, key: u64) -> (PmMap, bool) {
+        let (count, node, hk) = self.read_root_obj(heap);
+        if node.is_null() {
+            return (*self, false);
+        }
+        let hash = hk.hash(key);
+        match remove_node(heap, node, 0, hash, key) {
+            RemoveResult::NotFound => (*self, false),
+            RemoveResult::Removed(new_node) => {
+                let map = Self::store_root_obj(heap, count - 1, new_node, hk);
+                if !new_node.is_null() {
+                    drop_temp(heap, new_node);
+                }
+                (map, true)
+            }
+            RemoveResult::Inlined(k, v) => {
+                // The whole trie shrank to one entry: root becomes a
+                // single-entry bitmap node.
+                let img = BitmapImg {
+                    datamap: 1 << chunk(hk.hash(k), 0),
+                    nodemap: 0,
+                    data: vec![(k, v)],
+                    children: Vec::new(),
+                };
+                let n = store_bitmap(heap, &img);
+                let map = Self::store_root_obj(heap, count - 1, n, hk);
+                drop_temp(heap, n);
+                (map, true)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration
+    // ------------------------------------------------------------------
+
+    /// Collects all entries (unordered). Intended for tests, recovery
+    /// audits and small maps.
+    pub fn to_vec(&self, heap: &mut NvHeap) -> Vec<(u64, Vec<u8>)> {
+        let (_, node, _) = self.read_root_obj(heap);
+        let mut out = Vec::new();
+        if node.is_null() {
+            return out;
+        }
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            match read_node(heap, n) {
+                NodeImg::Bitmap(img) => {
+                    for (k, v) in img.data {
+                        let bytes = blob_read(heap, v);
+                        out.push((k, bytes));
+                    }
+                    stack.extend(img.children);
+                }
+                NodeImg::Collision(img) => {
+                    for (k, v) in img.entries {
+                        let bytes = blob_read(heap, v);
+                        out.push((k, bytes));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Collects all keys (unordered).
+    pub fn keys(&self, heap: &mut NvHeap) -> Vec<u64> {
+        self.to_vec(heap).into_iter().map(|(k, _)| k).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reclamation and recovery
+    // ------------------------------------------------------------------
+
+    /// Releases this version's reference to its data (commit-time reclaim
+    /// of superseded versions, §5.3).
+    pub fn release(self, heap: &mut NvHeap) {
+        if heap.rc_dec(self.root) == 0 {
+            let (_, node, _) = self.read_root_obj(heap);
+            heap.free(self.root);
+            if !node.is_null() {
+                release_node(heap, node);
+            }
+        }
+    }
+
+    /// Marks this version's blocks during recovery GC.
+    pub fn mark(&self, heap: &mut NvHeap) {
+        if !heap.mark_block(self.root) {
+            return;
+        }
+        let node = PmPtr::from_addr(heap.pm_mut().read_u64(self.root.addr() + 8));
+        if !node.is_null() {
+            mark_node(heap, node);
+        }
+    }
+}
+
+fn insert_node(
+    heap: &mut NvHeap,
+    node: PmPtr,
+    depth: u32,
+    hash: u64,
+    hk: HashKind,
+    key: u64,
+    val: PmPtr,
+) -> (PmPtr, bool) {
+    if node.is_null() {
+        let img = BitmapImg {
+            datamap: 1 << chunk(hash, depth),
+            nodemap: 0,
+            data: vec![(key, val)],
+            children: Vec::new(),
+        };
+        return (store_bitmap(heap, &img), true);
+    }
+    match read_node(heap, node) {
+        NodeImg::Bitmap(mut img) => {
+            let idx = chunk(hash, depth);
+            let bit = 1u32 << idx;
+            if img.datamap & bit != 0 {
+                let pos = (img.datamap & (bit - 1)).count_ones() as usize;
+                let (ekey, eval) = img.data[pos];
+                if ekey == key {
+                    // Replace value in place (path copy).
+                    img.data[pos] = (key, val);
+                    return (store_bitmap(heap, &img), false);
+                }
+                // Split: push both entries one level down.
+                let ehash = hk.hash(ekey);
+                let sub = make_subnode(heap, depth + 1, ehash, ekey, eval, hash, key, val);
+                img.datamap &= !bit;
+                img.data.remove(pos);
+                let npos = (img.nodemap & (bit - 1)).count_ones() as usize;
+                img.nodemap |= bit;
+                img.children.insert(npos, sub);
+                let fresh = store_bitmap(heap, &img);
+                drop_temp(heap, sub);
+                (fresh, true)
+            } else if img.nodemap & bit != 0 {
+                let pos = (img.nodemap & (bit - 1)).count_ones() as usize;
+                let child = img.children[pos];
+                let (new_child, added) = insert_node(heap, child, depth + 1, hash, hk, key, val);
+                img.children[pos] = new_child;
+                let fresh = store_bitmap(heap, &img);
+                drop_temp(heap, new_child);
+                (fresh, added)
+            } else {
+                let pos = (img.datamap & (bit - 1)).count_ones() as usize;
+                img.datamap |= bit;
+                img.data.insert(pos, (key, val));
+                (store_bitmap(heap, &img), true)
+            }
+        }
+        NodeImg::Collision(mut img) => {
+            if let Some(e) = img.entries.iter_mut().find(|e| e.0 == key) {
+                e.1 = val;
+                (store_collision(heap, &img), false)
+            } else {
+                img.entries.push((key, val));
+                (store_collision(heap, &img), true)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_subnode(
+    heap: &mut NvHeap,
+    depth: u32,
+    h1: u64,
+    k1: u64,
+    v1: PmPtr,
+    h2: u64,
+    k2: u64,
+    v2: PmPtr,
+) -> PmPtr {
+    if depth >= MAX_DEPTH {
+        let img = CollisionImg {
+            entries: vec![(k1, v1), (k2, v2)],
+        };
+        return store_collision(heap, &img);
+    }
+    let c1 = chunk(h1, depth);
+    let c2 = chunk(h2, depth);
+    if c1 != c2 {
+        let (data, datamap) = if c1 < c2 {
+            (vec![(k1, v1), (k2, v2)], (1 << c1) | (1 << c2))
+        } else {
+            (vec![(k2, v2), (k1, v1)], (1 << c1) | (1 << c2))
+        };
+        let img = BitmapImg {
+            datamap,
+            nodemap: 0,
+            data,
+            children: Vec::new(),
+        };
+        store_bitmap(heap, &img)
+    } else {
+        let sub = make_subnode(heap, depth + 1, h1, k1, v1, h2, k2, v2);
+        let img = BitmapImg {
+            datamap: 0,
+            nodemap: 1 << c1,
+            data: Vec::new(),
+            children: vec![sub],
+        };
+        let fresh = store_bitmap(heap, &img);
+        drop_temp(heap, sub);
+        fresh
+    }
+}
+
+fn remove_node(
+    heap: &mut NvHeap,
+    node: PmPtr,
+    depth: u32,
+    hash: u64,
+    key: u64,
+) -> RemoveResult {
+    match read_node(heap, node) {
+        NodeImg::Bitmap(mut img) => {
+            let idx = chunk(hash, depth);
+            let bit = 1u32 << idx;
+            if img.datamap & bit != 0 {
+                let pos = (img.datamap & (bit - 1)).count_ones() as usize;
+                if img.data[pos].0 != key {
+                    return RemoveResult::NotFound;
+                }
+                img.datamap &= !bit;
+                img.data.remove(pos);
+                finalize_removed(heap, img, depth)
+            } else if img.nodemap & bit != 0 {
+                let pos = (img.nodemap & (bit - 1)).count_ones() as usize;
+                let child = img.children[pos];
+                match remove_node(heap, child, depth + 1, hash, key) {
+                    RemoveResult::NotFound => RemoveResult::NotFound,
+                    RemoveResult::Removed(new_child) => {
+                        if new_child.is_null() {
+                            img.nodemap &= !bit;
+                            img.children.remove(pos);
+                            finalize_removed(heap, img, depth)
+                        } else {
+                            img.children[pos] = new_child;
+                            let fresh = store_bitmap(heap, &img);
+                            drop_temp(heap, new_child);
+                            RemoveResult::Removed(fresh)
+                        }
+                    }
+                    RemoveResult::Inlined(k, v) => {
+                        // Pull the surviving entry up into this node.
+                        img.nodemap &= !bit;
+                        img.children.remove(pos);
+                        let dpos = (img.datamap & (bit - 1)).count_ones() as usize;
+                        img.datamap |= bit;
+                        img.data.insert(dpos, (k, v));
+                        finalize_removed(heap, img, depth)
+                    }
+                }
+            } else {
+                RemoveResult::NotFound
+            }
+        }
+        NodeImg::Collision(mut img) => {
+            let Some(pos) = img.entries.iter().position(|&(k, _)| k == key) else {
+                return RemoveResult::NotFound;
+            };
+            img.entries.remove(pos);
+            match img.entries.len() {
+                0 => RemoveResult::Removed(PmPtr::NULL),
+                1 => {
+                    let (k, v) = img.entries[0];
+                    RemoveResult::Inlined(k, v)
+                }
+                _ => RemoveResult::Removed(store_collision(heap, &img)),
+            }
+        }
+    }
+}
+
+/// Canonicalizes a mutated bitmap image: empty → vanish; a single data
+/// entry below the root → inline into the parent; otherwise store.
+fn finalize_removed(heap: &mut NvHeap, img: BitmapImg, depth: u32) -> RemoveResult {
+    if img.data.is_empty() && img.children.is_empty() {
+        return RemoveResult::Removed(PmPtr::NULL);
+    }
+    if depth > 0 && img.children.is_empty() && img.data.len() == 1 {
+        let (k, v) = img.data[0];
+        return RemoveResult::Inlined(k, v);
+    }
+    RemoveResult::Removed(store_bitmap(heap, &img))
+}
+
+fn release_node(heap: &mut NvHeap, node: PmPtr) {
+    if heap.rc_dec(node) > 0 {
+        return;
+    }
+    match read_node(heap, node) {
+        NodeImg::Bitmap(img) => {
+            heap.free(node);
+            for (_, v) in img.data {
+                blob_release(heap, v);
+            }
+            for c in img.children {
+                release_node(heap, c);
+            }
+        }
+        NodeImg::Collision(img) => {
+            heap.free(node);
+            for (_, v) in img.entries {
+                blob_release(heap, v);
+            }
+        }
+    }
+}
+
+fn mark_node(heap: &mut NvHeap, node: PmPtr) {
+    if !heap.mark_block(node) {
+        return;
+    }
+    match read_node(heap, node) {
+        NodeImg::Bitmap(img) => {
+            for (_, v) in img.data {
+                blob_mark(heap, v);
+            }
+            for c in img.children {
+                mark_node(heap, c);
+            }
+        }
+        NodeImg::Collision(img) => {
+            for (_, v) in img.entries {
+                blob_mark(heap, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_pmem::{Pmem, PmemConfig};
+    use std::collections::HashMap;
+
+    fn heap() -> NvHeap {
+        NvHeap::format(Pmem::new(PmemConfig::testing()))
+    }
+
+    /// Insert committing like the Basic interface: keep only the newest
+    /// version.
+    fn step_insert(heap: &mut NvHeap, m: PmMap, k: u64, v: &[u8]) -> PmMap {
+        let next = m.insert(heap, k, v);
+        m.release(heap);
+        next
+    }
+
+    fn step_remove(heap: &mut NvHeap, m: PmMap, k: u64) -> (PmMap, bool) {
+        let (next, removed) = m.remove(heap, k);
+        if removed {
+            m.release(heap);
+        }
+        (next, removed)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = heap();
+        let m0 = PmMap::empty(&mut h);
+        let m1 = m0.insert(&mut h, 1, b"one");
+        let m2 = m1.insert(&mut h, 2, b"two");
+        assert_eq!(m2.get(&mut h, 1), Some(b"one".to_vec()));
+        assert_eq!(m2.get(&mut h, 2), Some(b"two".to_vec()));
+        assert_eq!(m2.get(&mut h, 3), None);
+        assert_eq!(m2.len(&mut h), 2);
+        // Old versions unchanged.
+        assert_eq!(m1.get(&mut h, 2), None);
+        assert!(m0.is_empty(&mut h));
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let mut h = heap();
+        let m = PmMap::empty(&mut h);
+        let m = step_insert(&mut h, m, 7, b"a");
+        let (m2, added) = m.insert_query(&mut h, 7, b"b");
+        assert!(!added);
+        assert_eq!(m2.get(&mut h, 7), Some(b"b".to_vec()));
+        assert_eq!(m.get(&mut h, 7), Some(b"a".to_vec()));
+        assert_eq!(m2.len(&mut h), 1);
+    }
+
+    #[test]
+    fn empty_value_is_present() {
+        let mut h = heap();
+        let m = PmMap::empty(&mut h);
+        let m = m.insert(&mut h, 5, b"");
+        assert_eq!(m.get(&mut h, 5), Some(Vec::new()));
+        assert!(m.contains_key(&mut h, 5));
+        assert!(!m.contains_key(&mut h, 6));
+    }
+
+    #[test]
+    fn thousand_inserts_match_hashmap() {
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        let mut model = HashMap::new();
+        for i in 0..1000u64 {
+            let key = i.wrapping_mul(2654435761) % 500; // forces updates
+            let val = key.to_le_bytes().to_vec();
+            m = step_insert(&mut h, m, key, &val);
+            model.insert(key, val);
+        }
+        assert_eq!(m.len(&mut h) as usize, model.len());
+        for (&k, v) in &model {
+            assert_eq!(m.get(&mut h, k).as_ref(), Some(v));
+        }
+        let mut got = m.to_vec(&mut h);
+        got.sort();
+        let mut want: Vec<_> = model.into_iter().collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        for i in 0..100u64 {
+            m = step_insert(&mut h, m, i, &i.to_le_bytes());
+        }
+        for i in (0..100u64).step_by(2) {
+            let (next, removed) = step_remove(&mut h, m, i);
+            assert!(removed);
+            m = next;
+        }
+        assert_eq!(m.len(&mut h), 50);
+        for i in 0..100u64 {
+            assert_eq!(m.contains_key(&mut h, i), i % 2 == 1, "key {i}");
+        }
+        let (same, removed) = m.remove(&mut h, 0);
+        assert!(!removed);
+        assert_eq!(same, m, "absent-key removal returns the same version");
+    }
+
+    #[test]
+    fn remove_to_empty_and_reuse() {
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        m = step_insert(&mut h, m, 1, b"x");
+        let (m2, removed) = step_remove(&mut h, m, 1);
+        assert!(removed);
+        assert!(m2.is_empty(&mut h));
+        let m3 = step_insert(&mut h, m2, 2, b"y");
+        assert_eq!(m3.get(&mut h, 2), Some(b"y".to_vec()));
+    }
+
+    #[test]
+    fn weak_hash_exercises_collision_nodes() {
+        let mut h = heap();
+        let mut m = PmMap::empty_with_hash(&mut h, HashKind::WeakLow4);
+        // Keys 0x10, 0x20, ... all hash to 0 → full-hash collisions.
+        let keys: Vec<u64> = (1..=20u64).map(|i| i << 4).collect();
+        for &k in &keys {
+            m = step_insert(&mut h, m, k, &k.to_le_bytes());
+        }
+        assert_eq!(m.len(&mut h), 20);
+        for &k in &keys {
+            assert_eq!(m.get(&mut h, k), Some(k.to_le_bytes().to_vec()));
+        }
+        // Update inside a collision node.
+        m = step_insert(&mut h, m, keys[3], b"updated");
+        assert_eq!(m.get(&mut h, keys[3]), Some(b"updated".to_vec()));
+        assert_eq!(m.len(&mut h), 20);
+        // Remove down to one entry (exercises collision→inline).
+        for &k in &keys[..19] {
+            let (next, removed) = step_remove(&mut h, m, k);
+            assert!(removed, "key {k:#x}");
+            m = next;
+        }
+        assert_eq!(m.len(&mut h), 1);
+        assert!(m.contains_key(&mut h, keys[19]));
+    }
+
+    #[test]
+    fn no_leaks_when_releasing_all_versions() {
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        for i in 0..200u64 {
+            m = step_insert(&mut h, m, i, &[i as u8; 32]);
+        }
+        for i in 0..200u64 {
+            let (next, removed) = step_remove(&mut h, m, i);
+            assert!(removed);
+            m = next;
+        }
+        m.release(&mut h);
+        assert_eq!(h.stats().live_blocks, 0, "every block reclaimed");
+    }
+
+    #[test]
+    fn structural_sharing_keeps_update_allocations_tiny() {
+        // Table 3's point: one update allocates a few path nodes,
+        // independent of map size.
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        for i in 0..10_000u64 {
+            m = step_insert(&mut h, m, i, &i.to_le_bytes());
+        }
+        let live = h.stats().live_bytes;
+        let before = h.stats().cumulative_alloc_bytes;
+        let m2 = m.insert(&mut h, 999_999, b"shadow");
+        let delta = h.stats().cumulative_alloc_bytes - before;
+        // The shadow is a constant few path nodes; at the paper's 1M scale
+        // this lands below 0.01% (verified by the table3 bench). At this
+        // test's 10k scale, 0.5% is the same constant cost.
+        assert!(
+            (delta as f64) < 0.005 * live as f64,
+            "shadow cost {delta}B vs {live}B live (>0.5%)"
+        );
+        assert_eq!(m2.len(&mut h), 10_001);
+        assert_eq!(m.len(&mut h), 10_000);
+    }
+
+    #[test]
+    fn everything_flushed_before_fence() {
+        let mut h = heap();
+        let m = PmMap::empty(&mut h);
+        let _m2 = m.insert(&mut h, 42, &[1u8; 32]);
+        h.sfence();
+        assert_eq!(h.pm().dirty_lines(), 0);
+    }
+
+    #[test]
+    fn deep_split_chain() {
+        // SplitMix keys whose hashes share leading chunks force multi-level
+        // make_subnode chains; verify a bunch of random keys anyway.
+        let mut h = heap();
+        let mut m = PmMap::empty(&mut h);
+        let mut model = HashMap::new();
+        let mut x = 0x12345678u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            m = step_insert(&mut h, m, x, &x.to_le_bytes());
+            model.insert(x, x.to_le_bytes().to_vec());
+        }
+        for (&k, v) in &model {
+            assert_eq!(m.get(&mut h, k).as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn durable_after_fence_survives_crash() {
+        let mut h = heap();
+        let m = PmMap::empty(&mut h);
+        let m = m.insert(&mut h, 11, b"hello");
+        h.sfence();
+        let root = m.root();
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+        let mut h2 = NvHeap::open(img);
+        let m2 = PmMap::from_root(root);
+        m2.mark(&mut h2);
+        h2.finish_recovery();
+        assert_eq!(m2.get(&mut h2, 11), Some(b"hello".to_vec()));
+    }
+}

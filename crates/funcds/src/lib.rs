@@ -1,0 +1,49 @@
+//! # mod-funcds — purely functional PM datastructures
+//!
+//! The functional-datastructure layer the MOD paper converts into durable
+//! datastructures (§4.2's recipe): every structure lives in the persistent
+//! heap, every update is a *pure* path copy that flushes its freshly
+//! written cachelines with unordered `clwb`s and returns a new version
+//! handle, and structural sharing keeps per-update allocation tiny.
+//! No fences are issued here — ordering is the commit layer's job
+//! (`mod-core`), giving the paper's one-fence-per-FASE property.
+//!
+//! | Type | Substrate | Paper reference |
+//! |------|-----------|-----------------|
+//! | [`PmMap`]/[`PmSet`] | CHAMP trie | §4.2 (Steindorfer & Vinju) |
+//! | [`PmVector`] | RRB tree + tail | §4.2 (Stucki et al., Puente) |
+//! | [`PmStack`] | cons list | Fig 1 |
+//! | [`PmQueue`] | two-list banker's queue | §6.4 |
+//!
+//! Reclamation uses the heap's volatile reference counts (§5.3): handles
+//! expose `release` (drop one version) and `mark` (recovery GC walk).
+//!
+//! ## Example
+//!
+//! ```
+//! use mod_alloc::NvHeap;
+//! use mod_funcds::PmMap;
+//! use mod_pmem::{Pmem, PmemConfig};
+//!
+//! let mut heap = NvHeap::format(Pmem::new(PmemConfig::testing()));
+//! let v1 = PmMap::empty(&mut heap);
+//! let v2 = v1.insert(&mut heap, 7, b"seven");   // pure: v1 unchanged
+//! assert_eq!(v2.get(&mut heap, 7), Some(b"seven".to_vec()));
+//! assert_eq!(v1.get(&mut heap, 7), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod champ;
+pub mod list;
+pub mod node;
+pub mod queue;
+pub mod rrb;
+pub mod set;
+
+pub use champ::{HashKind, PmMap};
+pub use list::PmStack;
+pub use queue::PmQueue;
+pub use rrb::PmVector;
+pub use set::PmSet;

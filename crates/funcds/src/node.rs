@@ -1,0 +1,149 @@
+//! Shared node plumbing for the functional datastructures.
+//!
+//! Every persistent node starts with a kind word so that traversal bugs
+//! surface as assertion failures instead of silent corruption, and so that
+//! debugging tools can identify blocks. Nodes are written once (out of
+//! place), flushed with unordered `clwb`s, and never modified afterwards —
+//! the Functional Shadowing discipline of §4.1.
+
+use mod_alloc::NvHeap;
+use mod_pmem::PmPtr;
+
+/// Kind tag: CHAMP bitmap node.
+pub const KIND_BITMAP: u64 = 1;
+/// Kind tag: CHAMP hash-collision node.
+pub const KIND_COLLISION: u64 = 2;
+/// Kind tag: RRB leaf node.
+pub const KIND_LEAF: u64 = 3;
+/// Kind tag: RRB internal node.
+pub const KIND_INNER: u64 = 4;
+/// Kind tag: cons-list cell.
+pub const KIND_CONS: u64 = 5;
+
+/// A little-endian `u64` writer used to assemble node images before the
+/// single `write_bytes` that stores them.
+#[derive(Debug, Default)]
+pub struct NodeBuf {
+    bytes: Vec<u8>,
+}
+
+impl NodeBuf {
+    /// Creates a buffer with capacity for `words` u64s.
+    pub fn with_words(words: usize) -> NodeBuf {
+        NodeBuf {
+            bytes: Vec::with_capacity(words * 8),
+        }
+    }
+
+    /// Appends a `u64`.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a pointer.
+    pub fn push_ptr(&mut self, p: PmPtr) -> &mut Self {
+        self.push_u64(p.addr())
+    }
+
+    /// Appends raw bytes.
+    pub fn push_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(b);
+        self
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Allocates a block, stores the buffer into it, and flushes exactly
+    /// the written extent (block header + payload bytes) with unordered
+    /// `clwb`s — not the rounded-up size class, so flush counts reflect
+    /// data actually produced. The block's refcount starts at 1 (owned by
+    /// the caller).
+    pub fn store(self, heap: &mut NvHeap) -> PmPtr {
+        let len = self.bytes.len() as u64;
+        let ptr = heap.alloc(len);
+        heap.write_bytes(ptr.addr(), &self.bytes);
+        heap.flush_range(ptr.addr() - mod_alloc::HEADER_BYTES, mod_alloc::HEADER_BYTES + len);
+        ptr
+    }
+}
+
+/// Reads the kind word of a node and asserts it matches `expect`.
+///
+/// # Panics
+///
+/// Panics on a kind mismatch — a traversal reached a block of the wrong
+/// type, which indicates a datastructure bug.
+pub fn check_kind(heap: &mut NvHeap, node: PmPtr, expect: u64) -> u64 {
+    let k = heap.read_u64(node.addr());
+    assert_eq!(
+        k,
+        expect,
+        "node {node} has kind {k}, expected {expect} — corrupt traversal"
+    );
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_pmem::{Pmem, PmemConfig};
+
+    fn heap() -> NvHeap {
+        NvHeap::format(Pmem::new(PmemConfig::testing()))
+    }
+
+    #[test]
+    fn nodebuf_roundtrip() {
+        let mut h = heap();
+        let mut b = NodeBuf::with_words(3);
+        b.push_u64(KIND_CONS).push_u64(42).push_ptr(PmPtr::NULL);
+        assert_eq!(b.len(), 24);
+        let p = b.store(&mut h);
+        assert_eq!(h.read_u64(p.addr()), KIND_CONS);
+        assert_eq!(h.read_u64(p.addr() + 8), 42);
+        assert_eq!(h.read_u64(p.addr() + 16), 0);
+        assert_eq!(h.rc_get(p), 1);
+    }
+
+    #[test]
+    fn stored_node_is_fully_flushed() {
+        let mut h = heap();
+        let mut b = NodeBuf::with_words(40);
+        for i in 0..40u64 {
+            b.push_u64(i);
+        }
+        let p = b.store(&mut h);
+        h.sfence();
+        assert_eq!(h.pm().dirty_lines(), 0);
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(p.addr() + 39 * 8), 39);
+    }
+
+    #[test]
+    fn check_kind_accepts_match() {
+        let mut h = heap();
+        let mut b = NodeBuf::with_words(1);
+        b.push_u64(KIND_LEAF);
+        let p = b.store(&mut h);
+        assert_eq!(check_kind(&mut h, p, KIND_LEAF), KIND_LEAF);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt traversal")]
+    fn check_kind_rejects_mismatch() {
+        let mut h = heap();
+        let mut b = NodeBuf::with_words(1);
+        b.push_u64(KIND_LEAF);
+        let p = b.store(&mut h);
+        check_kind(&mut h, p, KIND_BITMAP);
+    }
+}

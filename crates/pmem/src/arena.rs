@@ -1,0 +1,188 @@
+//! Segmented byte storage backing the simulated PM pool.
+//!
+//! Segments are allocated lazily (zero-filled) so a large pool costs
+//! memory only where it is touched — important because crash-simulation
+//! mode keeps a second arena holding the durable image.
+
+/// log2 of the segment size (4 MiB).
+const SEG_SHIFT: u32 = 22;
+/// Segment size in bytes.
+pub const SEGMENT_BYTES: u64 = 1 << SEG_SHIFT;
+
+/// Lazily-allocated, zero-initialized flat byte space.
+#[derive(Clone, Debug, Default)]
+pub struct Arena {
+    segs: Vec<Option<Box<[u8]>>>,
+    capacity: u64,
+}
+
+impl Arena {
+    /// Creates an arena addressing `[0, capacity)` bytes.
+    pub fn new(capacity: u64) -> Arena {
+        let n_segs = capacity.div_ceil(SEGMENT_BYTES) as usize;
+        Arena {
+            segs: vec![None; n_segs],
+            capacity,
+        }
+    }
+
+    /// Addressable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of host memory actually committed to segments.
+    pub fn resident_bytes(&self) -> u64 {
+        self.segs.iter().filter(|s| s.is_some()).count() as u64 * SEGMENT_BYTES
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, len: u64) {
+        assert!(
+            addr.checked_add(len).is_some_and(|end| end <= self.capacity),
+            "PM access out of bounds: [{addr:#x}, +{len}) beyond capacity {:#x}",
+            self.capacity
+        );
+    }
+
+    #[inline]
+    fn seg_mut(&mut self, idx: usize) -> &mut [u8] {
+        self.segs[idx].get_or_insert_with(|| vec![0u8; SEGMENT_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the arena capacity.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        self.check(addr, buf.len() as u64);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let seg_idx = (a >> SEG_SHIFT) as usize;
+            let in_seg = (a & (SEGMENT_BYTES - 1)) as usize;
+            let chunk = usize::min(buf.len() - off, SEGMENT_BYTES as usize - in_seg);
+            match &self.segs[seg_idx] {
+                Some(seg) => buf[off..off + chunk].copy_from_slice(&seg[in_seg..in_seg + chunk]),
+                None => buf[off..off + chunk].fill(0),
+            }
+            off += chunk;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the arena capacity.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) {
+        self.check(addr, buf.len() as u64);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let seg_idx = (a >> SEG_SHIFT) as usize;
+            let in_seg = (a & (SEGMENT_BYTES - 1)) as usize;
+            let chunk = usize::min(buf.len() - off, SEGMENT_BYTES as usize - in_seg);
+            let seg = self.seg_mut(seg_idx);
+            seg[in_seg..in_seg + chunk].copy_from_slice(&buf[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Copies `len` bytes at `addr` from `src` into `self` (used to build
+    /// durable images line by line).
+    pub fn copy_from(&mut self, src: &Arena, addr: u64, len: u64) {
+        let mut buf = [0u8; 64];
+        let mut remaining = len;
+        let mut a = addr;
+        while remaining > 0 {
+            let chunk = u64::min(remaining, 64);
+            src.read(a, &mut buf[..chunk as usize]);
+            self.write(a, &buf[..chunk as usize]);
+            a += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let a = Arena::new(1 << 24);
+        let mut buf = [0xFFu8; 16];
+        a.read(12345, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = Arena::new(1 << 24);
+        a.write(100, b"hello world");
+        let mut buf = [0u8; 11];
+        a.read(100, &mut buf);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn cross_segment_access() {
+        let mut a = Arena::new(3 * SEGMENT_BYTES);
+        let addr = SEGMENT_BYTES - 5;
+        let data: Vec<u8> = (0..32).collect();
+        a.write(addr, &data);
+        let mut buf = vec![0u8; 32];
+        a.read(addr, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut a = Arena::new(1 << 22);
+        a.write_u64(64, 0xDEADBEEF_CAFEBABE);
+        assert_eq!(a.read_u64(64), 0xDEADBEEF_CAFEBABE);
+    }
+
+    #[test]
+    fn lazy_segments() {
+        let mut a = Arena::new(64 * SEGMENT_BYTES);
+        assert_eq!(a.resident_bytes(), 0);
+        a.write_u64(0, 1);
+        assert_eq!(a.resident_bytes(), SEGMENT_BYTES);
+        a.write_u64(10 * SEGMENT_BYTES, 1);
+        assert_eq!(a.resident_bytes(), 2 * SEGMENT_BYTES);
+    }
+
+    #[test]
+    fn copy_from_moves_lines() {
+        let mut src = Arena::new(1 << 22);
+        let mut dst = Arena::new(1 << 22);
+        src.write(128, b"durable-data");
+        dst.copy_from(&src, 128, 12);
+        let mut buf = [0u8; 12];
+        dst.read(128, &mut buf);
+        assert_eq!(&buf, b"durable-data");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let a = Arena::new(100);
+        let mut b = [0u8; 8];
+        a.read(96, &mut b);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cacheline arithmetic and the persistent pointer type.
+
+/// Size of a cacheline in bytes (x86-64).
+pub const CACHELINE: u64 = 64;
+
+/// Returns the address of the cacheline containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(CACHELINE - 1)
+}
+
+/// Iterates over the cacheline base addresses covering `[addr, addr + len)`.
+///
+/// Yields nothing when `len == 0`.
+#[inline]
+pub fn lines_covering(addr: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = if len == 0 { 1 } else { line_of(addr) };
+    let last = if len == 0 { 0 } else { line_of(addr + len - 1) };
+    (0..)
+        .map(move |i| first + i * CACHELINE)
+        .take_while(move |&l| l <= last)
+}
+
+/// A pointer into simulated persistent memory: a byte offset from the pool
+/// base. Offset 0 is reserved as the null pointer.
+///
+/// `PmPtr` is the only currency datastructures use to refer to persistent
+/// state; it stays valid across simulated crashes and "process lifetimes"
+/// because it is a pool-relative offset, exactly like PMDK's `PMEMoid`
+/// offsets or nvm_malloc's relative pointers.
+///
+/// ```
+/// use mod_pmem::PmPtr;
+/// let p = PmPtr::from_addr(128);
+/// assert!(!p.is_null());
+/// assert_eq!(p.addr(), 128);
+/// assert!(PmPtr::NULL.is_null());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PmPtr(u64);
+
+impl PmPtr {
+    /// The null persistent pointer (offset 0).
+    pub const NULL: PmPtr = PmPtr(0);
+
+    /// Creates a pointer from a raw pool offset. Offset 0 yields the null
+    /// pointer; use [`PmPtr::NULL`] to make that intent explicit.
+    #[inline]
+    pub fn from_addr(addr: u64) -> PmPtr {
+        PmPtr(addr)
+    }
+
+    /// The raw pool offset.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Pointer to `self + bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called on a null pointer (offsetting null
+    /// is always a logic error).
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PmPtr {
+        debug_assert!(!self.is_null(), "offsetting a null PmPtr");
+        PmPtr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Debug for PmPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "PmPtr(null)")
+        } else {
+            write!(f, "PmPtr({:#x})", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for PmPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<PmPtr> for u64 {
+    fn from(p: PmPtr) -> u64 {
+        p.addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_rounds_down() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+
+    #[test]
+    fn lines_covering_single_line() {
+        let v: Vec<u64> = lines_covering(10, 8).collect();
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn lines_covering_spanning() {
+        let v: Vec<u64> = lines_covering(60, 8).collect();
+        assert_eq!(v, vec![0, 64]);
+        let v: Vec<u64> = lines_covering(64, 129).collect();
+        assert_eq!(v, vec![64, 128, 192]);
+    }
+
+    #[test]
+    fn lines_covering_empty() {
+        assert_eq!(lines_covering(100, 0).count(), 0);
+    }
+
+    #[test]
+    fn lines_covering_exact_line() {
+        let v: Vec<u64> = lines_covering(128, 64).collect();
+        assert_eq!(v, vec![128]);
+    }
+
+    #[test]
+    fn null_ptr_behaviour() {
+        assert!(PmPtr::NULL.is_null());
+        assert!(PmPtr::default().is_null());
+        assert_eq!(PmPtr::from_addr(0), PmPtr::NULL);
+        assert!(!PmPtr::from_addr(8).is_null());
+    }
+
+    #[test]
+    fn ptr_offset() {
+        let p = PmPtr::from_addr(64);
+        assert_eq!(p.offset(16).addr(), 80);
+    }
+
+    #[test]
+    fn ptr_debug_format() {
+        assert_eq!(format!("{:?}", PmPtr::NULL), "PmPtr(null)");
+        assert_eq!(format!("{:?}", PmPtr::from_addr(255)), "PmPtr(0xff)");
+    }
+}

@@ -1,0 +1,162 @@
+//! Flush/fence counters and the flushes-per-fence histogram.
+//!
+//! Fig 10 of the paper plots *flushes per operation* against *fences per
+//! operation*; §3 reports the median number of flushes overlapped per
+//! fence. [`PmStats`] collects the raw counters and [`EpochHistogram`]
+//! the per-fence overlap distribution (one "epoch" = the span between two
+//! ordering points).
+
+use std::collections::BTreeMap;
+
+/// Histogram over the number of flushes outstanding at each fence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochHistogram {
+    counts: BTreeMap<u32, u64>,
+    total_epochs: u64,
+}
+
+impl EpochHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> EpochHistogram {
+        EpochHistogram::default()
+    }
+
+    /// Records a fence that found `flushes` outstanding flushes.
+    pub fn record(&mut self, flushes: u32) {
+        *self.counts.entry(flushes).or_insert(0) += 1;
+        self.total_epochs += 1;
+    }
+
+    /// Number of recorded epochs (= fences).
+    pub fn epochs(&self) -> u64 {
+        self.total_epochs
+    }
+
+    /// Mean flushes per epoch; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total_epochs == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().map(|(&k, &v)| k as u64 * v).sum();
+        sum as f64 / self.total_epochs as f64
+    }
+
+    /// Median flushes per epoch; 0 if empty.
+    pub fn median(&self) -> u32 {
+        if self.total_epochs == 0 {
+            return 0;
+        }
+        let mid = self.total_epochs.div_ceil(2);
+        let mut seen = 0;
+        for (&k, &v) in &self.counts {
+            seen += v;
+            if seen >= mid {
+                return k;
+            }
+        }
+        0
+    }
+
+    /// Iterates `(flushes_in_epoch, occurrences)` in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Raw counters of simulated PM activity.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PmStats {
+    /// `clwb` instructions issued.
+    pub flushes: u64,
+    /// `clwb`s that actually transitioned a dirty line to in-flight
+    /// (excludes redundant flushes of clean/already-flushed lines).
+    pub effective_flushes: u64,
+    /// `sfence` instructions executed.
+    pub fences: u64,
+    /// Read accesses (of any width).
+    pub reads: u64,
+    /// Write accesses (of any width).
+    pub writes: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Distribution of flushes outstanding per fence.
+    pub epoch_hist: EpochHistogram,
+}
+
+impl PmStats {
+    /// Creates zeroed counters.
+    pub fn new() -> PmStats {
+        PmStats::default()
+    }
+
+    /// Counter-wise difference `self - earlier` (histogram omitted: the
+    /// difference of histograms is rarely meaningful; it is left empty).
+    pub fn since(&self, earlier: &PmStats) -> PmStats {
+        PmStats {
+            flushes: self.flushes - earlier.flushes,
+            effective_flushes: self.effective_flushes - earlier.effective_flushes,
+            fences: self.fences - earlier.fences,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            epoch_hist: EpochHistogram::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_median() {
+        let mut h = EpochHistogram::new();
+        for n in [1u32, 1, 2, 8, 8, 8] {
+            h.record(n);
+        }
+        assert_eq!(h.epochs(), 6);
+        assert!((h.mean() - 28.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.median(), 2);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = EpochHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.epochs(), 0);
+    }
+
+    #[test]
+    fn histogram_single() {
+        let mut h = EpochHistogram::new();
+        h.record(5);
+        assert_eq!(h.median(), 5);
+        assert_eq!(h.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_iter_sorted() {
+        let mut h = EpochHistogram::new();
+        h.record(3);
+        h.record(1);
+        h.record(3);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn stats_since() {
+        let mut a = PmStats::new();
+        a.flushes = 10;
+        a.fences = 2;
+        let mut b = a.clone();
+        b.flushes = 25;
+        b.fences = 3;
+        b.writes = 7;
+        let d = b.since(&a);
+        assert_eq!(d.flushes, 15);
+        assert_eq!(d.fences, 1);
+        assert_eq!(d.writes, 7);
+    }
+}

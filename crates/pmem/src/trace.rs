@@ -1,0 +1,462 @@
+//! Execution traces and the paper's automated-testing invariants (§5.4).
+//!
+//! The paper proposes testing recoverable datastructures by recording all
+//! PM allocations, writes, flushes, commits and fences, then verifying:
+//!
+//! 1. every PM write *outside a commit section* targets newly allocated
+//!    memory (out-of-place discipline — no reachable data is overwritten);
+//! 2. every PM write is followed by a flush of its cacheline before the
+//!    next fence (nothing the FASE produced can be left unflushed when the
+//!    ordering point retires).
+//!
+//! [`TraceChecker`] implements exactly those two checks over a
+//! [`TraceEvent`] stream.
+
+use crate::line::{line_of, lines_covering};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// One recorded PM event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Persistent allocation of `[addr, addr+len)`.
+    Alloc {
+        /// Start of the allocated payload.
+        addr: u64,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// Deallocation of `[addr, addr+len)`.
+    Free {
+        /// Start of the freed payload.
+        addr: u64,
+        /// Payload length in bytes.
+        len: u64,
+    },
+    /// A store of `len` bytes at `addr`.
+    Write {
+        /// Start address of the store.
+        addr: u64,
+        /// Store width in bytes.
+        len: u64,
+    },
+    /// A `clwb` of the line containing `line`.
+    Clwb {
+        /// Line base address.
+        line: u64,
+    },
+    /// An `sfence`.
+    Fence,
+    /// Start of a commit section (pointer-swing writes are exempt from
+    /// invariant 1 inside it).
+    CommitBegin,
+    /// End of a commit section; the FASE's fresh-allocation set resets.
+    CommitEnd,
+}
+
+/// A violation of the §5.4 invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A write outside a commit section hit memory that was not freshly
+    /// allocated in the current FASE.
+    WriteToLiveData {
+        /// Address written.
+        addr: u64,
+        /// Width of the write.
+        len: u64,
+        /// Index of the offending event in the trace.
+        event_index: usize,
+    },
+    /// A fence retired while a written line had not been flushed since its
+    /// last write.
+    UnflushedWriteAtFence {
+        /// The offending cacheline base.
+        line: u64,
+        /// Index of the fence event in the trace.
+        event_index: usize,
+    },
+    /// CommitEnd without CommitBegin, or nested CommitBegin.
+    UnbalancedCommitMarker {
+        /// Index of the offending event.
+        event_index: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WriteToLiveData {
+                addr,
+                len,
+                event_index,
+            } => write!(
+                f,
+                "write to live (non-fresh) PM at {addr:#x}+{len} (event {event_index})"
+            ),
+            Violation::UnflushedWriteAtFence { line, event_index } => write!(
+                f,
+                "fence retired with unflushed written line {line:#x} (event {event_index})"
+            ),
+            Violation::UnbalancedCommitMarker { event_index } => {
+                write!(f, "unbalanced commit marker (event {event_index})")
+            }
+        }
+    }
+}
+
+/// A set of disjoint half-open intervals, used to track freshly allocated
+/// PM within the current FASE.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalSet {
+    // start -> end, disjoint, non-adjacent-merged.
+    map: BTreeMap<u64, u64>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging with neighbours.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Absorb any interval overlapping or adjacent to [start, end).
+        let overlapping: Vec<u64> = self
+            .map
+            .range(..=end)
+            .filter(|&(&s, &e)| e >= start && s <= end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.map.remove(&s).unwrap();
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+        }
+        self.map.insert(new_start, new_end);
+    }
+
+    /// Removes `[start, end)`, splitting intervals as needed.
+    pub fn remove(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let overlapping: Vec<(u64, u64)> = self
+            .map
+            .range(..end)
+            .filter(|&(&s, &e)| e > start && s < end)
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        for (s, e) in overlapping {
+            self.map.remove(&s);
+            if s < start {
+                self.map.insert(s, start);
+            }
+            if e > end {
+                self.map.insert(end, e);
+            }
+        }
+    }
+
+    /// Whether `[start, end)` is fully contained.
+    pub fn contains_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.map.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of disjoint intervals (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Streaming checker for the §5.4 invariants.
+#[derive(Debug, Default)]
+pub struct TraceChecker {
+    fresh: IntervalSet,
+    in_commit: bool,
+    seq: u64,
+    last_write: HashMap<u64, u64>, // line -> seq of last write
+    last_flush: HashMap<u64, u64>, // line -> seq of last clwb
+    index: usize,
+    violations: Vec<Violation>,
+}
+
+impl TraceChecker {
+    /// Creates a checker with an empty fresh set.
+    pub fn new() -> TraceChecker {
+        TraceChecker::default()
+    }
+
+    /// Feeds one event.
+    pub fn feed(&mut self, ev: &TraceEvent) {
+        self.seq += 1;
+        match *ev {
+            TraceEvent::Alloc { addr, len } => {
+                self.fresh.insert(addr, addr + len);
+            }
+            TraceEvent::Free { addr, len } => {
+                self.fresh.remove(addr, addr + len);
+            }
+            TraceEvent::Write { addr, len } => {
+                if !self.in_commit && !self.fresh.contains_range(addr, addr + len) {
+                    self.violations.push(Violation::WriteToLiveData {
+                        addr,
+                        len,
+                        event_index: self.index,
+                    });
+                }
+                for line in lines_covering(addr, len) {
+                    self.last_write.insert(line, self.seq);
+                }
+            }
+            TraceEvent::Clwb { line } => {
+                self.last_flush.insert(line_of(line), self.seq);
+            }
+            TraceEvent::Fence => {
+                for (&line, &wseq) in &self.last_write {
+                    let flushed = self.last_flush.get(&line).copied().unwrap_or(0);
+                    if flushed < wseq {
+                        self.violations.push(Violation::UnflushedWriteAtFence {
+                            line,
+                            event_index: self.index,
+                        });
+                    }
+                }
+                self.last_write.clear();
+                self.last_flush.clear();
+            }
+            TraceEvent::CommitBegin => {
+                if self.in_commit {
+                    self.violations.push(Violation::UnbalancedCommitMarker {
+                        event_index: self.index,
+                    });
+                }
+                self.in_commit = true;
+            }
+            TraceEvent::CommitEnd => {
+                if !self.in_commit {
+                    self.violations.push(Violation::UnbalancedCommitMarker {
+                        event_index: self.index,
+                    });
+                }
+                self.in_commit = false;
+                // FASE complete: subsequent writes need fresh allocations.
+                self.fresh.clear();
+            }
+        }
+        self.index += 1;
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the checker, returning `Err` with all violations if any.
+    pub fn finish(self) -> Result<(), Vec<Violation>> {
+        if self.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(self.violations)
+        }
+    }
+}
+
+/// Checks a complete trace against the §5.4 invariants.
+///
+/// # Errors
+///
+/// Returns every violation found, in trace order.
+///
+/// ```
+/// use mod_pmem::trace::{check_trace, TraceEvent};
+/// let trace = vec![
+///     TraceEvent::Alloc { addr: 0x100, len: 64 },
+///     TraceEvent::Write { addr: 0x100, len: 8 },
+///     TraceEvent::Clwb { line: 0x100 },
+///     TraceEvent::Fence,
+/// ];
+/// check_trace(&trace)?;
+/// # Ok::<(), Vec<mod_pmem::trace::Violation>>(())
+/// ```
+pub fn check_trace(events: &[TraceEvent]) -> Result<(), Vec<Violation>> {
+    let mut c = TraceChecker::new();
+    for ev in events {
+        c.feed(ev);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_insert_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.len(), 2);
+        s.insert(10, 20); // bridges
+        assert_eq!(s.len(), 1);
+        assert!(s.contains_range(0, 30));
+    }
+
+    #[test]
+    fn interval_remove_splits() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.remove(40, 60);
+        assert!(s.contains_range(0, 40));
+        assert!(s.contains_range(60, 100));
+        assert!(!s.contains_range(39, 41));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn interval_contains_partial() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        assert!(!s.contains_range(5, 15));
+        assert!(!s.contains_range(15, 25));
+        assert!(s.contains_range(10, 20));
+        assert!(s.contains_range(12, 18));
+    }
+
+    #[test]
+    fn interval_empty_range_trivially_contained() {
+        let s = IntervalSet::new();
+        assert!(s.contains_range(5, 5));
+    }
+
+    #[test]
+    fn clean_mod_style_trace_passes() {
+        let t = vec![
+            TraceEvent::Alloc { addr: 0x100, len: 64 },
+            TraceEvent::Write { addr: 0x100, len: 64 },
+            TraceEvent::Clwb { line: 0x100 },
+            TraceEvent::CommitBegin,
+            TraceEvent::Write { addr: 0x0, len: 8 }, // root slot
+            TraceEvent::Clwb { line: 0x0 },
+            TraceEvent::Fence,
+            TraceEvent::CommitEnd,
+        ];
+        assert!(check_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn in_place_write_is_flagged() {
+        // Write to memory never allocated in this FASE.
+        let t = vec![TraceEvent::Write { addr: 0x500, len: 8 }];
+        let errs = check_trace(&t).unwrap_err();
+        assert!(matches!(errs[0], Violation::WriteToLiveData { addr: 0x500, .. }));
+    }
+
+    #[test]
+    fn write_after_commit_end_needs_new_alloc() {
+        let t = vec![
+            TraceEvent::Alloc { addr: 0x100, len: 64 },
+            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Clwb { line: 0x100 },
+            TraceEvent::CommitBegin,
+            TraceEvent::Fence,
+            TraceEvent::CommitEnd,
+            // Next FASE writes the same (now live) node: violation.
+            TraceEvent::Write { addr: 0x100, len: 8 },
+        ];
+        let errs = check_trace(&t).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Violation::WriteToLiveData { .. }));
+    }
+
+    #[test]
+    fn unflushed_write_at_fence_is_flagged() {
+        let t = vec![
+            TraceEvent::Alloc { addr: 0x100, len: 128 },
+            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Write { addr: 0x140, len: 8 },
+            TraceEvent::Clwb { line: 0x100 },
+            TraceEvent::Fence, // 0x140 written but never flushed
+        ];
+        let errs = check_trace(&t).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::UnflushedWriteAtFence { line: 0x140, .. })));
+    }
+
+    #[test]
+    fn write_after_flush_before_fence_is_flagged() {
+        let t = vec![
+            TraceEvent::Alloc { addr: 0x100, len: 64 },
+            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Clwb { line: 0x100 },
+            TraceEvent::Write { addr: 0x108, len: 8 }, // dirties line again
+            TraceEvent::Fence,
+        ];
+        let errs = check_trace(&t).unwrap_err();
+        assert!(matches!(errs[0], Violation::UnflushedWriteAtFence { line: 0x100, .. }));
+    }
+
+    #[test]
+    fn freed_memory_is_not_fresh() {
+        let t = vec![
+            TraceEvent::Alloc { addr: 0x100, len: 64 },
+            TraceEvent::Free { addr: 0x100, len: 64 },
+            TraceEvent::Write { addr: 0x100, len: 8 },
+        ];
+        let errs = check_trace(&t).unwrap_err();
+        assert!(matches!(errs[0], Violation::WriteToLiveData { .. }));
+    }
+
+    #[test]
+    fn commit_writes_are_exempt_from_freshness() {
+        let t = vec![
+            TraceEvent::CommitBegin,
+            TraceEvent::Write { addr: 0x0, len: 8 },
+            TraceEvent::Clwb { line: 0x0 },
+            TraceEvent::Fence,
+            TraceEvent::CommitEnd,
+        ];
+        assert!(check_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_commit_markers_flagged() {
+        let errs = check_trace(&[TraceEvent::CommitEnd]).unwrap_err();
+        assert!(matches!(errs[0], Violation::UnbalancedCommitMarker { .. }));
+        let errs = check_trace(&[TraceEvent::CommitBegin, TraceEvent::CommitBegin]).unwrap_err();
+        assert!(matches!(errs[0], Violation::UnbalancedCommitMarker { .. }));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::WriteToLiveData {
+            addr: 0x10,
+            len: 8,
+            event_index: 3,
+        };
+        let s = v.to_string();
+        assert!(s.contains("0x10"));
+        assert!(s.contains("live"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Event model of the memory controller's write-pending queue (WPQ).
+//!
+//! Fig 4 of the paper shows the *observed* average flush latency on Optane
+//! DCPMM against flush concurrency, and notes it closely follows Amdahl's
+//! law with an ~82 % parallel / ~18 % serial split (the hardware cause of
+//! the serialization is unknown — the DIMM is a black box). This module
+//! plays the role of that black box: a small event simulation in which
+//! each writeback has an overlappable launch phase and a serialized drain
+//! phase, plus a serial per-`clwb` issue cost and deterministic
+//! pseudo-random drain jitter. Running the paper's 320-line flush
+//! microbenchmark against it produces the "observed" curve; fitting the
+//! Karp–Flatt metric to that curve recovers the parallel fraction.
+
+use crate::model::LatencyModel;
+
+/// Parameters of the WPQ event model.
+#[derive(Clone, Debug)]
+pub struct WpqModel {
+    /// Pipeline launch latency each writeback incurs; overlaps freely.
+    pub launch_ns: f64,
+    /// Serialized drain occupancy per line (the ~18 % component).
+    pub drain_ns: f64,
+    /// Serial issue cost of each `clwb` on the core.
+    pub issue_ns: f64,
+    /// Relative jitter applied to each drain (0.05 = ±5 %).
+    pub jitter: f64,
+    /// Seed for deterministic jitter.
+    pub seed: u64,
+}
+
+impl WpqModel {
+    /// Derives the WPQ model matching a [`LatencyModel`]: launch is the
+    /// parallel share of the base flush latency and drain the serial
+    /// share, so the emergent behaviour matches the Amdahl fit.
+    pub fn from_latency(m: &LatencyModel) -> WpqModel {
+        WpqModel {
+            launch_ns: m.fence_base_ns * m.amdahl_f,
+            drain_ns: m.fence_base_ns * (1.0 - m.amdahl_f),
+            issue_ns: 2.0,
+            jitter: 0.04,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    fn jittered(&self, base: f64, k: u64) -> f64 {
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let mut z = self.seed ^ k.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        // Uniform in [-1, 1).
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        base * (1.0 + self.jitter * u)
+    }
+
+    /// Simulates the paper's §3 microbenchmark: `total_flushes` cachelines
+    /// flushed with an `sfence` after every `per_fence` flushes. Returns
+    /// the average latency per flush in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_fence` is zero or `total_flushes` is zero.
+    pub fn avg_flush_latency_ns(&self, per_fence: usize, total_flushes: usize) -> f64 {
+        assert!(per_fence > 0 && total_flushes > 0);
+        let mut now = 0.0f64;
+        let mut flush_id = 0u64;
+        let mut issued = 0usize;
+        let mut drain_free_at = 0.0f64; // the serial drain channel
+        let mut last_completion = 0.0f64;
+        while issued < total_flushes {
+            let batch = usize::min(per_fence, total_flushes - issued);
+            for _ in 0..batch {
+                now += self.issue_ns; // core issues the clwb
+                let launch_done = now + self.launch_ns;
+                let drain = self.jittered(self.drain_ns, flush_id);
+                let start = f64::max(launch_done, drain_free_at);
+                drain_free_at = start + drain;
+                last_completion = drain_free_at;
+                flush_id += 1;
+            }
+            // sfence: stall until every in-flight writeback has drained.
+            now = f64::max(now, last_completion);
+            issued += batch;
+        }
+        now / total_flushes as f64
+    }
+
+    /// The observed curve over a set of concurrency levels, using the
+    /// paper's 320-flush microbenchmark.
+    pub fn observed_curve(&self, per_fence_levels: &[usize]) -> Vec<(usize, f64)> {
+        per_fence_levels
+            .iter()
+            .map(|&n| (n, self.avg_flush_latency_ns(n, 320)))
+            .collect()
+    }
+}
+
+impl Default for WpqModel {
+    fn default() -> WpqModel {
+        WpqModel::from_latency(&LatencyModel::optane())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fit_parallel_fraction;
+
+    #[test]
+    fn unoverlapped_flush_near_353ns() {
+        let w = WpqModel::default();
+        let lat = w.avg_flush_latency_ns(1, 320);
+        assert!(
+            (lat - 353.0).abs() < 25.0,
+            "expected ~353 ns, got {lat:.1}"
+        );
+    }
+
+    #[test]
+    fn overlap_reduces_latency_like_fig4() {
+        let w = WpqModel::default();
+        let l1 = w.avg_flush_latency_ns(1, 320);
+        let l16 = w.avg_flush_latency_ns(16, 320);
+        let l32 = w.avg_flush_latency_ns(32, 320);
+        let reduction = 1.0 - l16 / l1;
+        assert!(
+            (0.65..0.85).contains(&reduction),
+            "16-way overlap should cut ~75%, got {:.1}%",
+            reduction * 100.0
+        );
+        let marginal = 1.0 - l32 / l16;
+        assert!(marginal < 0.15, "beyond 16 gains should be small");
+    }
+
+    #[test]
+    fn karp_flatt_fit_recovers_f_near_082() {
+        let w = WpqModel::default();
+        let curve = w.observed_curve(&[1, 2, 4, 8, 16, 24, 32]);
+        let f = fit_parallel_fraction(&curve);
+        assert!(
+            (f - 0.82).abs() < 0.06,
+            "fit parallel fraction {f:.3} should be near 0.82"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = WpqModel::default();
+        assert_eq!(
+            w.avg_flush_latency_ns(8, 320),
+            w.avg_flush_latency_ns(8, 320)
+        );
+    }
+
+    #[test]
+    fn curve_monotone_nonincreasing_roughly() {
+        let w = WpqModel::default();
+        let c = w.observed_curve(&[1, 2, 4, 8, 16, 32]);
+        for pair in c.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 * 1.02);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_per_fence_panics() {
+        WpqModel::default().avg_flush_latency_ns(0, 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mod-stm — PMDK-style PM-STM baseline
+//!
+//! The comparison system of the MOD paper: an emulation of Intel PMDK's
+//! `libpmemobj` transactions at the protocol level, in two flavours —
+//! undo logging ([`TxMode::Undo`], v1.4-style, a fence per `tx_add`) and
+//! hybrid undo-redo ([`TxMode::Hybrid`], v1.5-style, batched log ordering
+//! with deferred stores and load interposition). On top of the engine sit
+//! the baseline in-place datastructures the paper benchmarks against:
+//! the WHISPER-style chained [`StmHashMap`], the flat-array
+//! [`StmVector`], and linked [`StmStack`]/[`StmQueue`].
+//!
+//! ## Example
+//!
+//! ```
+//! use mod_stm::{StmHashMap, TxHeap, TxMode};
+//! use mod_pmem::{Pmem, PmemConfig};
+//!
+//! let mut heap = TxHeap::format(Pmem::new(PmemConfig::testing()), TxMode::Hybrid);
+//! let map = StmHashMap::create(&mut heap, 8);
+//! map.insert(&mut heap, 7, b"seven");      // one failure-atomic tx
+//! assert_eq!(map.get(&mut heap, 7), Some(b"seven".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hashmap;
+pub mod stackqueue;
+pub mod tx;
+pub mod value;
+pub mod vector;
+
+pub use hashmap::StmHashMap;
+pub use stackqueue::{StmQueue, StmStack};
+pub use tx::{TxHeap, TxMode, TxStats, LOG_SLOT};
+pub use vector::StmVector;

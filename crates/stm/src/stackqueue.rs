@@ -1,0 +1,314 @@
+//! In-place linked stack and queue — the PMDK baselines.
+//!
+//! Both PMDK and MOD implement stacks/queues as pointer chains (the paper
+//! notes their cache behaviour is comparable, Fig 11); the difference is
+//! purely the update discipline: these mutate head/tail pointers in place
+//! under transactions, while MOD's are pure.
+
+use crate::tx::TxHeap;
+use mod_pmem::PmPtr;
+
+// Node: [elem][next].
+const NODE_BYTES: u64 = 16;
+// Stack root: [len][head]; queue root: [len][head][tail].
+const STACK_ROOT: u64 = 16;
+const QUEUE_ROOT: u64 = 24;
+
+/// A durable LIFO stack updated in place under PM-STM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StmStack {
+    root: PmPtr,
+}
+
+impl StmStack {
+    /// Creates an empty stack.
+    pub fn create(h: &mut TxHeap) -> StmStack {
+        h.begin();
+        let root = h.alloc_tx(STACK_ROOT);
+        h.write_fresh(root.addr(), &[0u8; 16]);
+        h.commit();
+        StmStack { root }
+    }
+
+    /// Rebuilds a handle from a root pointer.
+    pub fn from_root(root: PmPtr) -> StmStack {
+        StmStack { root }
+    }
+
+    /// The root block pointer.
+    pub fn root(&self) -> PmPtr {
+        self.root
+    }
+
+    /// Number of elements.
+    pub fn len(&self, h: &mut TxHeap) -> u64 {
+        h.read_u64(self.root.addr())
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self, h: &mut TxHeap) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Transactionally pushes `elem`.
+    pub fn push(&self, h: &mut TxHeap, elem: u64) {
+        h.begin();
+        let head = h.read_u64(self.root.addr() + 8);
+        let node = h.alloc_tx(NODE_BYTES);
+        let mut img = Vec::with_capacity(16);
+        img.extend_from_slice(&elem.to_le_bytes());
+        img.extend_from_slice(&head.to_le_bytes());
+        h.write_fresh(node.addr(), &img);
+        let len = h.read_u64(self.root.addr());
+        h.tx_add(self.root.addr(), 16);
+        h.write_u64(self.root.addr(), len + 1);
+        h.write_u64(self.root.addr() + 8, node.addr());
+        h.commit();
+    }
+
+    /// Transactionally pops the top element.
+    pub fn pop(&self, h: &mut TxHeap) -> Option<u64> {
+        let head = PmPtr::from_addr(h.read_u64(self.root.addr() + 8));
+        if head.is_null() {
+            return None;
+        }
+        let elem = h.read_u64(head.addr());
+        let next = h.read_u64(head.addr() + 8);
+        h.begin();
+        let len = h.read_u64(self.root.addr());
+        h.tx_add(self.root.addr(), 16);
+        h.write_u64(self.root.addr(), len - 1);
+        h.write_u64(self.root.addr() + 8, next);
+        h.free_tx(head);
+        h.commit();
+        Some(elem)
+    }
+
+    /// Top element, if any (no transaction).
+    pub fn peek(&self, h: &mut TxHeap) -> Option<u64> {
+        let head = PmPtr::from_addr(h.read_u64(self.root.addr() + 8));
+        if head.is_null() {
+            None
+        } else {
+            Some(h.read_u64(head.addr()))
+        }
+    }
+
+    /// Marks the stack's blocks during recovery GC.
+    pub fn mark(&self, h: &mut TxHeap) {
+        if !h.nv_mut().mark_block(self.root) {
+            return;
+        }
+        let mut cur = PmPtr::from_addr(h.nv_mut().read_u64(self.root.addr() + 8));
+        while !cur.is_null() {
+            if !h.nv_mut().mark_block(cur) {
+                break;
+            }
+            cur = PmPtr::from_addr(h.nv_mut().read_u64(cur.addr() + 8));
+        }
+    }
+}
+
+/// A durable FIFO queue updated in place under PM-STM.
+///
+/// Singly-linked with head and tail pointers: enqueue links at the tail,
+/// dequeue unlinks at the head — each a small transaction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StmQueue {
+    root: PmPtr,
+}
+
+impl StmQueue {
+    /// Creates an empty queue.
+    pub fn create(h: &mut TxHeap) -> StmQueue {
+        h.begin();
+        let root = h.alloc_tx(QUEUE_ROOT);
+        h.write_fresh(root.addr(), &[0u8; 24]);
+        h.commit();
+        StmQueue { root }
+    }
+
+    /// Rebuilds a handle from a root pointer.
+    pub fn from_root(root: PmPtr) -> StmQueue {
+        StmQueue { root }
+    }
+
+    /// The root block pointer.
+    pub fn root(&self) -> PmPtr {
+        self.root
+    }
+
+    /// Number of elements.
+    pub fn len(&self, h: &mut TxHeap) -> u64 {
+        h.read_u64(self.root.addr())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, h: &mut TxHeap) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Transactionally enqueues `elem` at the tail.
+    pub fn enqueue(&self, h: &mut TxHeap, elem: u64) {
+        h.begin();
+        let tail = PmPtr::from_addr(h.read_u64(self.root.addr() + 16));
+        let node = h.alloc_tx(NODE_BYTES);
+        let mut img = Vec::with_capacity(16);
+        img.extend_from_slice(&elem.to_le_bytes());
+        img.extend_from_slice(&0u64.to_le_bytes());
+        h.write_fresh(node.addr(), &img);
+        if tail.is_null() {
+            // Empty queue: head and tail both point at the new node.
+            let len = h.read_u64(self.root.addr());
+            h.tx_add(self.root.addr(), 24);
+            h.write_u64(self.root.addr(), len + 1);
+            h.write_u64(self.root.addr() + 8, node.addr());
+            h.write_u64(self.root.addr() + 16, node.addr());
+        } else {
+            h.tx_add(tail.addr() + 8, 8);
+            h.write_u64(tail.addr() + 8, node.addr());
+            let len = h.read_u64(self.root.addr());
+            h.tx_add(self.root.addr(), 8);
+            h.write_u64(self.root.addr(), len + 1);
+            h.tx_add(self.root.addr() + 16, 8);
+            h.write_u64(self.root.addr() + 16, node.addr());
+        }
+        h.commit();
+    }
+
+    /// Transactionally dequeues the head element.
+    pub fn dequeue(&self, h: &mut TxHeap) -> Option<u64> {
+        let head = PmPtr::from_addr(h.read_u64(self.root.addr() + 8));
+        if head.is_null() {
+            return None;
+        }
+        let elem = h.read_u64(head.addr());
+        let next = h.read_u64(head.addr() + 8);
+        h.begin();
+        let len = h.read_u64(self.root.addr());
+        h.tx_add(self.root.addr(), 24);
+        h.write_u64(self.root.addr(), len - 1);
+        h.write_u64(self.root.addr() + 8, next);
+        if next == 0 {
+            h.write_u64(self.root.addr() + 16, 0);
+        }
+        h.free_tx(head);
+        h.commit();
+        Some(elem)
+    }
+
+    /// Head element, if any (no transaction).
+    pub fn peek(&self, h: &mut TxHeap) -> Option<u64> {
+        let head = PmPtr::from_addr(h.read_u64(self.root.addr() + 8));
+        if head.is_null() {
+            None
+        } else {
+            Some(h.read_u64(head.addr()))
+        }
+    }
+
+    /// Marks the queue's blocks during recovery GC.
+    pub fn mark(&self, h: &mut TxHeap) {
+        if !h.nv_mut().mark_block(self.root) {
+            return;
+        }
+        let mut cur = PmPtr::from_addr(h.nv_mut().read_u64(self.root.addr() + 8));
+        while !cur.is_null() {
+            if !h.nv_mut().mark_block(cur) {
+                break;
+            }
+            cur = PmPtr::from_addr(h.nv_mut().read_u64(cur.addr() + 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxMode;
+    use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+    use std::collections::VecDeque;
+
+    fn th(mode: TxMode) -> TxHeap {
+        TxHeap::format(Pmem::new(PmemConfig::testing()), mode)
+    }
+
+    #[test]
+    fn stack_lifo() {
+        let mut h = th(TxMode::Hybrid);
+        let s = StmStack::create(&mut h);
+        for i in 0..10 {
+            s.push(&mut h, i);
+        }
+        assert_eq!(s.peek(&mut h), Some(9));
+        for i in (0..10).rev() {
+            assert_eq!(s.pop(&mut h), Some(i));
+        }
+        assert_eq!(s.pop(&mut h), None);
+        assert!(s.is_empty(&mut h));
+    }
+
+    #[test]
+    fn queue_fifo_matches_model() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let q = StmQueue::create(&mut h);
+            let mut model = VecDeque::new();
+            let mut x = 5u64;
+            for step in 0..300u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if !x.is_multiple_of(3) {
+                    q.enqueue(&mut h, step);
+                    model.push_back(step);
+                } else {
+                    assert_eq!(q.dequeue(&mut h), model.pop_front(), "{mode:?}");
+                }
+                assert_eq!(q.len(&mut h) as usize, model.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stack_survives_crash() {
+        let mut h = th(TxMode::Hybrid);
+        let s = StmStack::create(&mut h);
+        for i in 0..10 {
+            s.push(&mut h, i);
+        }
+        let root = s.root();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+        let s2 = StmStack::from_root(root);
+        s2.mark(&mut h2);
+        h2.nv_mut().finish_recovery();
+        assert_eq!(s2.len(&mut h2), 10);
+        assert_eq!(s2.pop(&mut h2), Some(9));
+    }
+
+    #[test]
+    fn crash_mid_enqueue_rolls_back() {
+        for seed in 0..8u64 {
+            let mut h = th(TxMode::Hybrid);
+            let q = StmQueue::create(&mut h);
+            q.enqueue(&mut h, 1);
+            let root = q.root();
+            // Enqueue that crashes before commit.
+            h.begin();
+            let tail = PmPtr::from_addr(h.read_u64(root.addr() + 16));
+            let node = h.alloc_tx(NODE_BYTES);
+            h.write_fresh(node.addr(), &[9u8; 16]);
+            h.tx_add(tail.addr() + 8, 8);
+            h.write_u64(tail.addr() + 8, node.addr());
+            h.tx_add(root.addr(), 8);
+            h.write_u64(root.addr(), 2);
+            let img = h.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+            let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+            let q2 = StmQueue::from_root(root);
+            q2.mark(&mut h2);
+            h2.nv_mut().finish_recovery();
+            assert_eq!(q2.len(&mut h2), 1, "seed {seed}");
+            assert_eq!(q2.dequeue(&mut h2), Some(1));
+            assert_eq!(q2.dequeue(&mut h2), None);
+        }
+    }
+}

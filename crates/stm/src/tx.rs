@@ -1,0 +1,892 @@
+//! PMDK-style PM-STM transaction engine.
+//!
+//! Reproduces the *protocol-level* behaviour and cost structure of Intel
+//! PMDK's `libpmemobj` transactions, the paper's baseline:
+//!
+//! * **Undo mode (v1.4-style):** every `tx_add` snapshots the old bytes
+//!   into a persistent undo log, flushes the entry and **fences** before
+//!   the in-place store proceeds — ordering points scale with the number
+//!   of annotated ranges (§7.1: undo logging can need ~50 per tx). The
+//!   v1.4 allocator publishes each reservation with its own two ordering
+//!   points (reserve + publish).
+//! * **Hybrid mode (v1.5-style):** small updates go through a **redo**
+//!   discipline — new values are appended to the log with unordered
+//!   flushes, the in-place stores are deferred to commit, and the commit
+//!   point is a single fence guarded by a whole-log checksum (PMDK v1.5
+//!   checksums its ulog entries for exactly this reason). Allocator
+//!   metadata costs one ordering point. This lands transactions in the
+//!   paper's 5–11 fences/op band and reproduces v1.5's ~23 % win over
+//!   v1.4 (Fig 9). The price is **load interposition**: transactional
+//!   reads consult the store buffer — the redo cost the paper calls out
+//!   in §7.1.
+//!
+//! Both modes flush log entries *and* modified data lines; the `Log` time
+//! tag captures entry-construction work (Fig 2's ~9 %).
+//!
+//! ## Crash soundness (verified by adversarial tests)
+//!
+//! The simulated device may persist *any* subset of unfenced lines at a
+//! crash. Undo entries carry per-entry checksums so a torn tail entry
+//! (whose guarded data write never executed) is skipped during rollback;
+//! the hybrid commit point validates a checksum across all entries, so a
+//! commit flag that persisted ahead of some entry is recognised and the
+//! transaction discarded; fresh-block contents are flushed *before* the
+//! commit point so replayed pointers never expose uninitialised nodes.
+
+use mod_alloc::{class_size, NvHeap};
+use mod_pmem::trace::IntervalSet;
+use mod_pmem::{lines_covering, PmPtr, Pmem, TimeCategory};
+use std::collections::{BTreeSet, HashMap};
+
+/// Logging discipline of the transaction engine.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TxMode {
+    /// Undo logging with a fence per `tx_add` (PMDK v1.4-style).
+    Undo,
+    /// Hybrid undo-redo with batched log ordering (PMDK v1.5-style).
+    Hybrid,
+}
+
+/// Root slot reserved for the transaction log block.
+pub const LOG_SLOT: usize = 63;
+/// Log block payload size.
+const LOG_BYTES: u64 = 64 * 1024;
+/// Log header: `[state][count][log_csum][alloc_publish][lane_stage]`.
+const LOG_HDR: u64 = 40;
+/// Per-entry header: `[addr][len][entry_csum]`.
+const ENTRY_HEADER: u64 = 24;
+/// `len` marker for allocator-metadata records.
+const ALLOC_RECORD: u64 = u64::MAX;
+/// Extra read cost of consulting the store buffer (load interposition).
+const INTERPOSE_NS: f64 = 2.0;
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn entry_checksum(addr: u64, len: u64, data: &[u8]) -> u64 {
+    let mut acc = mix64(addr ^ len.rotate_left(17) ^ 0xC5A1_7101);
+    for chunk in data.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        acc = mix64(acc ^ u64::from_le_bytes(w));
+    }
+    acc
+}
+
+/// A persistent-memory heap with PMDK-style transactions.
+///
+/// All datastructure updates happen (logically) in place inside
+/// `begin`/`commit` pairs, with [`TxHeap::tx_add`] annotations before each
+/// modified range — the programming model (and annotation-bug surface,
+/// §1) of `libpmemobj`.
+#[derive(Debug)]
+pub struct TxHeap {
+    nv: NvHeap,
+    mode: TxMode,
+    log: PmPtr,
+    in_tx: bool,
+    /// Bytes appended to the log so far this tx.
+    log_tail: u64,
+    /// Entries appended this tx.
+    entry_count: u64,
+    /// Running xor-fold of entry checksums (hybrid commit guard).
+    running_csum: u64,
+    /// Undo snapshots recorded this tx (volatile mirror for abort).
+    undo_entries: Vec<(u64, Vec<u8>)>,
+    /// Hybrid: deferred stores in program order.
+    redo: Vec<(u64, u64)>,
+    /// Hybrid: store buffer for load interposition.
+    store_buf: HashMap<u64, u64>,
+    /// Ranges covered by tx_add (writes outside them are rejected).
+    added: IntervalSet,
+    /// Fresh allocations of this tx (writable without snapshots).
+    fresh: IntervalSet,
+    /// Modified in-place/fresh data lines to flush before the fence that
+    /// precedes the commit point.
+    dirty_lines: BTreeSet<u64>,
+    /// Blocks allocated in this tx (freed on abort, GC'd after a crash).
+    tx_allocs: Vec<PmPtr>,
+    /// Blocks to free if the tx commits.
+    tx_frees: Vec<PmPtr>,
+    /// Alternating allocator-publish token (gives the v1.4 publish fence
+    /// real work to order).
+    publish_token: u64,
+    /// Lane stage counter persisted at each tx begin, as libpmemobj
+    /// persists its lane state transitions.
+    lane_token: u64,
+    stats: TxStats,
+}
+
+/// Counters of transaction activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+    /// Log entries written (undo snapshots, redo records, alloc records).
+    pub log_entries: u64,
+    /// Bytes of data copied through the log.
+    pub log_bytes: u64,
+}
+
+impl TxHeap {
+    /// Formats a fresh pool: persistent heap plus the transaction log
+    /// block (published durably in [`LOG_SLOT`]).
+    pub fn format(pm: Pmem, mode: TxMode) -> TxHeap {
+        let mut nv = NvHeap::format(pm);
+        let log = nv.alloc(LOG_BYTES);
+        nv.write_bytes(log.addr(), &[0u8; LOG_HDR as usize]);
+        nv.flush_range(log.addr(), LOG_HDR);
+        let slot = nv.root_slot_addr(LOG_SLOT);
+        nv.write_u64(slot, log.addr());
+        nv.clwb(slot);
+        nv.sfence();
+        TxHeap::from_parts(nv, mode, log)
+    }
+
+    fn from_parts(nv: NvHeap, mode: TxMode, log: PmPtr) -> TxHeap {
+        TxHeap {
+            nv,
+            mode,
+            log,
+            in_tx: false,
+            log_tail: LOG_HDR,
+            entry_count: 0,
+            running_csum: 0,
+            undo_entries: Vec::new(),
+            redo: Vec::new(),
+            store_buf: HashMap::new(),
+            added: IntervalSet::new(),
+            fresh: IntervalSet::new(),
+            dirty_lines: BTreeSet::new(),
+            tx_allocs: Vec::new(),
+            tx_frees: Vec::new(),
+            publish_token: 0,
+            lane_token: 0,
+            stats: TxStats::default(),
+        }
+    }
+
+    /// Reopens a crashed pool: rolls back (undo) or re-applies (redo) any
+    /// interrupted transaction, validating entry checksums against torn
+    /// writes. The heap stays in recovery mode — the caller marks live
+    /// datastructures and finishes recovery through [`TxHeap::nv_mut`];
+    /// the log block itself is already marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was not formatted by [`TxHeap::format`].
+    pub fn recover(pm: Pmem, mode: TxMode) -> TxHeap {
+        let mut nv = NvHeap::open(pm);
+        let log = nv.read_root(LOG_SLOT);
+        assert!(!log.is_null(), "pool has no transaction log");
+        let state = nv.read_u64(log.addr());
+        match (mode, state) {
+            (TxMode::Undo, 1) => Self::rollback_undo(&mut nv, log),
+            (TxMode::Hybrid, 1) => Self::replay_redo(&mut nv, log),
+            _ => {}
+        }
+        nv.mark_block(log);
+        TxHeap::from_parts(nv, mode, log)
+    }
+
+    /// Parses entries, returning `(offset, addr, len, csum_ok)` tuples.
+    fn parse_entries(nv: &mut NvHeap, log: PmPtr) -> Vec<(u64, u64, u64, bool)> {
+        let count = nv
+            .read_u64(log.addr() + 8)
+            .min(LOG_BYTES / ENTRY_HEADER);
+        let mut out = Vec::new();
+        let mut off = LOG_HDR;
+        for _ in 0..count {
+            if off + ENTRY_HEADER > LOG_BYTES {
+                break; // torn count pointing past the log
+            }
+            let addr = nv.read_u64(log.addr() + off);
+            let len = nv.read_u64(log.addr() + off + 8);
+            let csum = nv.read_u64(log.addr() + off + 16);
+            let data_len = if len == ALLOC_RECORD {
+                0
+            } else {
+                len.min(LOG_BYTES) // bound torn lengths
+            };
+            if off + ENTRY_HEADER + data_len.div_ceil(8) * 8 > LOG_BYTES {
+                break;
+            }
+            let data = nv.read_vec(log.addr() + off + ENTRY_HEADER, data_len);
+            let ok = entry_checksum(addr, len, &data) == csum;
+            out.push((off, addr, len, ok));
+            off += ENTRY_HEADER + data_len.div_ceil(8) * 8;
+            if !ok {
+                break; // later entries are untrustworthy
+            }
+        }
+        out
+    }
+
+    fn rollback_undo(nv: &mut NvHeap, log: PmPtr) {
+        // Restore intact snapshots in reverse order (undo semantics). A
+        // torn tail entry is skipped: its fence never retired, so the
+        // guarded data write never executed.
+        let entries = Self::parse_entries(nv, log);
+        for &(off, addr, len, ok) in entries.iter().rev() {
+            if !ok || len == ALLOC_RECORD {
+                continue;
+            }
+            let old = nv.read_vec(log.addr() + off + ENTRY_HEADER, len);
+            nv.write_bytes(addr, &old);
+            nv.flush_range(addr, len);
+        }
+        nv.sfence();
+        nv.write_u64(log.addr(), 0);
+        nv.clwb(log.addr());
+        nv.sfence();
+    }
+
+    fn replay_redo(nv: &mut NvHeap, log: PmPtr) {
+        // state == 1: the commit flag persisted. Only replay if the whole
+        // log checksum validates — otherwise the flag raced ahead of some
+        // entry and the transaction never reached its commit point.
+        let count = nv.read_u64(log.addr() + 8);
+        let expect = nv.read_u64(log.addr() + 16);
+        let entries = Self::parse_entries(nv, log);
+        let all_ok = entries.len() as u64 == count && entries.iter().all(|&(_, _, _, ok)| ok);
+        let mut fold = mix64(count ^ 0xFEED_F00D);
+        if all_ok {
+            for &(off, addr, len, _) in &entries {
+                let data_len = if len == ALLOC_RECORD { 0 } else { len };
+                let data = nv.read_vec(log.addr() + off + ENTRY_HEADER, data_len);
+                fold ^= entry_checksum(addr, len, &data);
+            }
+        }
+        if all_ok && fold == expect {
+            for &(off, addr, len, _) in &entries {
+                if len == ALLOC_RECORD {
+                    continue;
+                }
+                let new = nv.read_vec(log.addr() + off + ENTRY_HEADER, len);
+                nv.write_bytes(addr, &new);
+                nv.flush_range(addr, len);
+            }
+            nv.sfence();
+        }
+        nv.write_u64(log.addr(), 0);
+        nv.clwb(log.addr());
+        nv.sfence();
+    }
+
+    /// The logging mode.
+    pub fn mode(&self) -> TxMode {
+        self.mode
+    }
+
+    /// The underlying heap.
+    pub fn nv(&self) -> &NvHeap {
+        &self.nv
+    }
+
+    /// Mutable access to the underlying heap (reads outside txs, recovery
+    /// marking).
+    pub fn nv_mut(&mut self) -> &mut NvHeap {
+        &mut self.nv
+    }
+
+    /// Consumes the heap, returning the raw pool.
+    pub fn into_pm(self) -> Pmem {
+        self.nv.into_pm()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nested transactions (flatten them, as PMDK does).
+    pub fn begin(&mut self) {
+        assert!(!self.in_tx, "nested transaction");
+        self.in_tx = true;
+        // Persist the lane stage transition (libpmemobj marks its lane
+        // TX_STAGE_WORK durably before user code runs).
+        self.lane_token += 1;
+        let token = self.lane_token;
+        self.nv.pm_mut().push_tag(TimeCategory::Log);
+        self.nv.write_u64(self.log.addr() + 32, token);
+        self.nv.pm_mut().pop_tag();
+        self.nv.clwb(self.log.addr() + 32);
+        self.nv.sfence();
+        self.log_tail = LOG_HDR;
+        self.entry_count = 0;
+        self.running_csum = 0;
+        self.undo_entries.clear();
+        self.redo.clear();
+        self.store_buf.clear();
+        self.added.clear();
+        self.fresh.clear();
+        self.dirty_lines.clear();
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+    }
+
+    fn append_log_entry(&mut self, addr: u64, len: u64, bytes: &[u8], set_state: bool) -> u64 {
+        let data = if len == ALLOC_RECORD { 0u64 } else { len };
+        let entry_len = ENTRY_HEADER + data.div_ceil(8) * 8;
+        assert!(
+            self.log_tail + entry_len <= LOG_BYTES,
+            "transaction log overflow"
+        );
+        let csum = entry_checksum(addr, len, bytes);
+        let pm_log = self.log.addr() + self.log_tail;
+        self.nv.pm_mut().push_tag(TimeCategory::Log);
+        let overhead = self.nv.pm().config().latency.log_entry_overhead_ns;
+        self.nv.pm_mut().charge_ns(overhead);
+        self.nv.write_u64(pm_log, addr);
+        self.nv.write_u64(pm_log + 8, len);
+        self.nv.write_u64(pm_log + 16, csum);
+        if !bytes.is_empty() {
+            self.nv.write_bytes(pm_log + ENTRY_HEADER, bytes);
+        }
+        if set_state {
+            self.nv.write_u64(self.log.addr(), 1);
+        }
+        self.nv.write_u64(self.log.addr() + 8, self.entry_count + 1);
+        self.nv.pm_mut().pop_tag();
+        self.nv.flush_range(self.log.addr(), 16);
+        self.nv.flush_range(pm_log, entry_len);
+        self.log_tail += entry_len;
+        self.entry_count += 1;
+        self.running_csum ^= csum;
+        self.stats.log_entries += 1;
+        self.stats.log_bytes += data;
+        csum
+    }
+
+    /// Annotates `[addr, addr+len)` as modifiable (PMDK's `TX_ADD`). In
+    /// undo mode this snapshots the old bytes, flushes the entry and
+    /// fences; in hybrid mode annotation is cheap and the log is written
+    /// at store time (redo records).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction or on log overflow.
+    pub fn tx_add(&mut self, addr: u64, len: u64) {
+        assert!(self.in_tx, "tx_add outside transaction");
+        if self.added.contains_range(addr, addr + len) {
+            return; // already annotated
+        }
+        if self.mode == TxMode::Undo {
+            let old = self.nv.read_vec(addr, len);
+            self.append_log_entry(addr, len, &old, self.undo_entries.is_empty());
+            // v1.4: the snapshot must be durable before the in-place
+            // store — one fence per annotated range.
+            self.nv.sfence();
+            self.undo_entries.push((addr, old));
+        }
+        self.added.insert(addr, addr + len);
+    }
+
+    fn check_writable(&self, addr: u64, len: u64) {
+        assert!(
+            self.added.contains_range(addr, addr + len)
+                || self.fresh.contains_range(addr, addr + len),
+            "tx write to {addr:#x}+{len} without tx_add — the PMDK bug class of §1"
+        );
+    }
+
+    /// Transactional store of a `u64` to annotated (existing) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction or if the range was neither
+    /// `tx_add`ed nor freshly allocated in this transaction.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        assert!(self.in_tx, "tx write outside transaction");
+        self.check_writable(addr, 8);
+        match self.mode {
+            TxMode::Undo => {
+                self.nv.write_u64(addr, v);
+                self.note_dirty(addr, 8);
+            }
+            TxMode::Hybrid => {
+                if self.fresh.contains_range(addr, addr + 8) {
+                    // Fresh memory: direct store, no redo needed.
+                    self.nv.write_u64(addr, v);
+                    self.note_dirty(addr, 8);
+                    return;
+                }
+                // Redo: log the new value, defer the in-place store.
+                self.append_log_entry(addr, 8, &v.to_le_bytes(), false);
+                self.redo.push((addr, v));
+                self.store_buf.insert(addr, v);
+            }
+        }
+    }
+
+    /// Transactional read of a `u64`. In hybrid mode this interposes on
+    /// the store buffer (the redo-logging read penalty of §7.1); outside
+    /// a transaction it is a plain read.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        if self.in_tx && self.mode == TxMode::Hybrid {
+            self.nv.pm_mut().charge_ns(INTERPOSE_NS);
+            if let Some(&v) = self.store_buf.get(&addr) {
+                return v;
+            }
+        }
+        self.nv.read_u64(addr)
+    }
+
+    /// Reads bytes (plain; large reads are not interposed because the
+    /// baseline structures only redo-log word stores).
+    pub fn read_vec(&mut self, addr: u64, len: u64) -> Vec<u8> {
+        self.nv.read_vec(addr, len)
+    }
+
+    fn note_dirty(&mut self, addr: u64, len: u64) {
+        for l in lines_covering(addr, len) {
+            self.dirty_lines.insert(l);
+        }
+    }
+
+    /// Allocates inside the transaction. The allocator's metadata update
+    /// is logged; the v1.4 allocator publishes each reservation with two
+    /// ordering points (reserve + publish), the v1.5 allocator with one —
+    /// the allocator-path improvement Intel shipped with the hybrid
+    /// engine. Fresh blocks are writable without snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn alloc_tx(&mut self, len: u64) -> PmPtr {
+        assert!(self.in_tx, "alloc outside transaction");
+        let ptr = self.nv.alloc(len);
+        self.append_log_entry(ptr.addr(), ALLOC_RECORD, &[], false);
+        self.nv.sfence();
+        if self.mode == TxMode::Undo {
+            // Publish step: a second persistent metadata update + fence.
+            self.publish_token += 1;
+            let token = self.publish_token;
+            self.nv.pm_mut().push_tag(TimeCategory::Log);
+            self.nv.write_u64(self.log.addr() + 24, token);
+            self.nv.pm_mut().pop_tag();
+            self.nv.clwb(self.log.addr() + 24);
+            self.nv.sfence();
+        }
+        self.tx_allocs.push(ptr);
+        self.fresh.insert(ptr.addr(), ptr.addr() + class_size(len));
+        // Flush span includes the block header (recovery validates it).
+        self.note_dirty(
+            ptr.addr() - mod_alloc::HEADER_BYTES,
+            class_size(len) + mod_alloc::HEADER_BYTES,
+        );
+        ptr
+    }
+
+    /// Writes into a block allocated earlier in this transaction (fresh
+    /// memory needs no log entries; it is flushed before the commit
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not freshly allocated in this transaction.
+    pub fn write_fresh(&mut self, addr: u64, bytes: &[u8]) {
+        assert!(self.in_tx, "write outside transaction");
+        assert!(
+            self.fresh.contains_range(addr, addr + bytes.len() as u64),
+            "write_fresh outside this tx's allocations"
+        );
+        self.nv.write_bytes(addr, bytes);
+        self.note_dirty(addr, bytes.len() as u64);
+    }
+
+    /// Schedules a free for commit time (PMDK frees take effect on
+    /// commit).
+    pub fn free_tx(&mut self, ptr: PmPtr) {
+        assert!(self.in_tx, "free outside transaction");
+        self.tx_frees.push(ptr);
+    }
+
+    fn flush_dirty(&mut self) {
+        let lines: Vec<u64> = self.dirty_lines.iter().copied().collect();
+        self.dirty_lines.clear();
+        for l in lines {
+            self.nv.clwb(l);
+        }
+    }
+
+    /// Commits the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn commit(&mut self) {
+        assert!(self.in_tx, "commit outside transaction");
+        match self.mode {
+            TxMode::Undo => {
+                // Data went in place under per-add log fences; flush the
+                // modified lines, order them, then retire the log.
+                self.flush_dirty();
+                self.nv.sfence();
+                self.nv.write_u64(self.log.addr(), 0);
+                self.nv.clwb(self.log.addr());
+                self.nv.sfence();
+            }
+            TxMode::Hybrid => {
+                // Fresh-block contents must be durable at the commit
+                // point: flush them along with the redo entries, then one
+                // checksum-guarded fence is the commit point.
+                self.flush_dirty();
+                let fold = mix64(self.entry_count ^ 0xFEED_F00D) ^ self.running_csum;
+                self.nv.pm_mut().push_tag(TimeCategory::Log);
+                self.nv.write_u64(self.log.addr(), 1);
+                self.nv.write_u64(self.log.addr() + 8, self.entry_count);
+                self.nv.write_u64(self.log.addr() + 16, fold);
+                self.nv.pm_mut().pop_tag();
+                self.nv.flush_range(self.log.addr(), 24);
+                self.nv.sfence(); // commit point
+                // Apply deferred stores in place and flush them.
+                let redo = std::mem::take(&mut self.redo);
+                for (addr, v) in redo {
+                    self.nv.write_u64(addr, v);
+                    self.note_dirty(addr, 8);
+                }
+                self.flush_dirty();
+                self.nv.sfence();
+                // Retire the log, fenced: otherwise the next tx's redo
+                // entries could persist while this retire store does not,
+                // and recovery would replay uncommitted entries.
+                self.nv.write_u64(self.log.addr(), 0);
+                self.nv.clwb(self.log.addr());
+                self.nv.sfence();
+            }
+        }
+        let frees = std::mem::take(&mut self.tx_frees);
+        for p in frees {
+            self.nv.free(p);
+        }
+        self.store_buf.clear();
+        self.in_tx = false;
+        self.stats.commits += 1;
+    }
+
+    /// Aborts: undo mode restores every snapshot; hybrid mode simply
+    /// discards the deferred stores. Allocations are freed, frees
+    /// cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a transaction.
+    pub fn abort(&mut self) {
+        assert!(self.in_tx, "abort outside transaction");
+        if self.mode == TxMode::Undo {
+            for (addr, old) in self.undo_entries.clone().iter().rev() {
+                self.nv.write_bytes(*addr, old);
+                self.nv.flush_range(*addr, old.len() as u64);
+            }
+            self.nv.sfence();
+        }
+        self.nv.write_u64(self.log.addr(), 0);
+        self.nv.clwb(self.log.addr());
+        self.nv.sfence();
+        let allocs = std::mem::take(&mut self.tx_allocs);
+        for p in allocs {
+            self.nv.free(p);
+        }
+        self.redo.clear();
+        self.store_buf.clear();
+        self.tx_frees.clear();
+        self.in_tx = false;
+        self.stats.aborts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_pmem::{CrashPolicy, PmemConfig};
+
+    fn th(mode: TxMode) -> TxHeap {
+        TxHeap::format(Pmem::new(PmemConfig::testing()), mode)
+    }
+
+    fn durable_block(h: &mut TxHeap, len: u64, init: u64) -> PmPtr {
+        let b = h.nv_mut().alloc(len);
+        h.nv_mut().write_u64(b.addr(), init);
+        h.nv_mut().flush_range(b.addr() - 16, len + 16);
+        h.nv_mut().sfence();
+        b
+    }
+
+    #[test]
+    fn committed_tx_is_durable_both_modes() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let blk = durable_block(&mut h, 64, 0);
+            h.begin();
+            h.tx_add(blk.addr(), 8);
+            h.write_u64(blk.addr(), 777);
+            h.commit();
+            let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+            assert_eq!(img.peek_u64(blk.addr()), 777, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn uncommitted_tx_invisible_after_any_crash() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            for seed in 0..10u64 {
+                let mut h = th(mode);
+                let blk = durable_block(&mut h, 64, 1);
+                h.begin();
+                h.tx_add(blk.addr(), 8);
+                h.write_u64(blk.addr(), 2);
+                let img = h.into_pm().crash_image(CrashPolicy::Seeded(seed));
+                let mut h2 = TxHeap::recover(img, mode);
+                h2.nv_mut().finish_recovery();
+                assert_eq!(
+                    h2.read_u64(blk.addr()),
+                    1,
+                    "{mode:?} seed {seed}: old value must survive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_reads_see_own_writes() {
+        let mut h = th(TxMode::Hybrid);
+        let blk = durable_block(&mut h, 64, 5);
+        h.begin();
+        h.tx_add(blk.addr(), 8);
+        h.write_u64(blk.addr(), 6);
+        assert_eq!(h.read_u64(blk.addr()), 6, "store buffer interposition");
+        h.commit();
+        assert_eq!(h.read_u64(blk.addr()), 6);
+    }
+
+    #[test]
+    fn undo_mode_fences_per_tx_add() {
+        let mut h = th(TxMode::Undo);
+        let blk = durable_block(&mut h, 256, 0);
+        let before = h.nv().pm().stats().fences;
+        h.begin();
+        for i in 0..4 {
+            h.tx_add(blk.addr() + i * 64, 8);
+            h.write_u64(blk.addr() + i * 64, i);
+        }
+        h.commit();
+        let fences = h.nv().pm().stats().fences - before;
+        // Lane fence + 4 per-add fences + data fence + log-retire fence.
+        assert_eq!(fences, 7);
+    }
+
+    #[test]
+    fn hybrid_mode_batches_log_fences() {
+        let mut h = th(TxMode::Hybrid);
+        let blk = durable_block(&mut h, 256, 0);
+        let before = h.nv().pm().stats().fences;
+        h.begin();
+        for i in 0..4 {
+            h.tx_add(blk.addr() + i * 64, 8);
+            h.write_u64(blk.addr() + i * 64, i);
+        }
+        h.commit();
+        let fences = h.nv().pm().stats().fences - before;
+        // Lane fence + commit-point fence + data fence + retire fence,
+        // regardless of the number of annotated ranges.
+        assert_eq!(fences, 4);
+    }
+
+    #[test]
+    fn undo_allocs_cost_more_fences_than_hybrid() {
+        let mut counts = Vec::new();
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let before = h.nv().pm().stats().fences;
+            h.begin();
+            for _ in 0..3 {
+                let a = h.alloc_tx(64);
+                h.write_fresh(a.addr(), &[1u8; 64]);
+            }
+            h.commit();
+            counts.push(h.nv().pm().stats().fences - before);
+        }
+        // Undo: 2 fences per alloc (reserve + publish) + 2 at commit;
+        // hybrid: 1 per alloc + 3 at commit.
+        assert!(
+            counts[0] > counts[1],
+            "v1.4 alloc path must fence more: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_commit_point_replays_redo() {
+        let mut h = th(TxMode::Hybrid);
+        let blk = durable_block(&mut h, 64, 1);
+        h.begin();
+        h.tx_add(blk.addr(), 8);
+        h.write_u64(blk.addr(), 2);
+        // Drive the engine to its commit point by hand, then "crash"
+        // before the in-place stores: recovery must replay to 2.
+        let fold = mix64(h.entry_count ^ 0xFEED_F00D) ^ h.running_csum;
+        let log = h.log;
+        let count = h.entry_count;
+        h.nv_mut().write_u64(log.addr(), 1);
+        h.nv_mut().write_u64(log.addr() + 8, count);
+        h.nv_mut().write_u64(log.addr() + 16, fold);
+        h.nv_mut().flush_range(log.addr(), 24);
+        h.nv_mut().sfence();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+        h2.nv_mut().finish_recovery();
+        assert_eq!(h2.read_u64(blk.addr()), 2, "redo replay applies stores");
+    }
+
+    #[test]
+    fn hybrid_commit_flag_without_entries_is_discarded() {
+        // Adversary: commit flag persists but a redo entry does not. The
+        // checksum must reject the replay.
+        let mut h = th(TxMode::Hybrid);
+        let blk = durable_block(&mut h, 64, 1);
+        h.begin();
+        h.tx_add(blk.addr(), 8);
+        h.write_u64(blk.addr(), 2);
+        // Force ONLY the header line durable: write flag, flush header,
+        // fence — while entry lines remain unfenced, then drop them.
+        let log = h.log;
+        let count = h.entry_count;
+        h.nv_mut().write_u64(log.addr(), 1);
+        h.nv_mut().write_u64(log.addr() + 8, count);
+        h.nv_mut().write_u64(log.addr() + 16, 0xBAD); // wrong checksum
+        h.nv_mut().flush_range(log.addr(), 24);
+        h.nv_mut().sfence();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+        h2.nv_mut().finish_recovery();
+        assert_eq!(h2.read_u64(blk.addr()), 1, "bad checksum must discard");
+    }
+
+    #[test]
+    fn duplicate_tx_add_is_coalesced() {
+        let mut h = th(TxMode::Undo);
+        let blk = durable_block(&mut h, 64, 0);
+        h.begin();
+        h.tx_add(blk.addr(), 8);
+        h.tx_add(blk.addr(), 8);
+        assert_eq!(h.stats().log_entries, 1);
+        h.write_u64(blk.addr(), 5);
+        h.commit();
+    }
+
+    #[test]
+    fn abort_restores_and_reclaims() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let blk = durable_block(&mut h, 64, 10);
+            let live = h.nv().stats().live_blocks;
+            h.begin();
+            h.tx_add(blk.addr(), 8);
+            h.write_u64(blk.addr(), 20);
+            let extra = h.alloc_tx(32);
+            h.write_fresh(extra.addr(), &[1u8; 32]);
+            h.abort();
+            assert_eq!(h.read_u64(blk.addr()), 10, "{mode:?}");
+            assert_eq!(h.nv().stats().live_blocks, live, "{mode:?} alloc undone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without tx_add")]
+    fn unannotated_write_rejected() {
+        let mut h = th(TxMode::Hybrid);
+        let blk = durable_block(&mut h, 64, 0);
+        h.begin();
+        h.write_u64(blk.addr(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nested_tx_rejected() {
+        let mut h = th(TxMode::Hybrid);
+        h.begin();
+        h.begin();
+    }
+
+    #[test]
+    fn log_time_is_attributed() {
+        let mut h = th(TxMode::Undo);
+        let blk = durable_block(&mut h, 64, 0);
+        h.begin();
+        h.tx_add(blk.addr(), 32);
+        for i in 0..4 {
+            h.write_u64(blk.addr() + i * 8, i);
+        }
+        h.commit();
+        let b = h.nv().pm().clock().breakdown();
+        assert!(b.log_ns > 0.0, "snapshot work must appear as Log time");
+        assert!(b.flush_ns > 0.0);
+    }
+
+    #[test]
+    fn multi_tx_sequence_recovers_last_committed() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let blk = durable_block(&mut h, 64, 0);
+            for v in 1..=5u64 {
+                h.begin();
+                h.tx_add(blk.addr(), 8);
+                h.write_u64(blk.addr(), v);
+                h.commit();
+            }
+            // Sixth tx crashes mid-flight under various adversaries.
+            h.begin();
+            h.tx_add(blk.addr(), 8);
+            h.write_u64(blk.addr(), 6);
+            for seed in 0..8u64 {
+                let img = h.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+                let mut h2 = TxHeap::recover(img, mode);
+                h2.nv_mut().finish_recovery();
+                assert_eq!(h2.read_u64(blk.addr()), 5, "{mode:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_block_contents_durable_at_commit_point() {
+        // Crash right after the hybrid commit point: replay publishes a
+        // pointer to a fresh block, whose contents must already be in PM.
+        let mut h = th(TxMode::Hybrid);
+        let slot = durable_block(&mut h, 64, 0);
+        h.begin();
+        let node = h.alloc_tx(64);
+        h.write_fresh(node.addr(), &[0xCDu8; 64]);
+        h.tx_add(slot.addr(), 8);
+        h.write_u64(slot.addr(), node.addr());
+        // Reach the commit point exactly as commit() does.
+        h.flush_dirty();
+        let fold = mix64(h.entry_count ^ 0xFEED_F00D) ^ h.running_csum;
+        let log = h.log;
+        let count = h.entry_count;
+        h.nv_mut().write_u64(log.addr(), 1);
+        h.nv_mut().write_u64(log.addr() + 8, count);
+        h.nv_mut().write_u64(log.addr() + 16, fold);
+        h.nv_mut().flush_range(log.addr(), 24);
+        h.nv_mut().sfence();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+        h2.nv_mut().finish_recovery();
+        let ptr = h2.read_u64(slot.addr());
+        assert_eq!(ptr, node.addr(), "pointer replayed");
+        let bytes = h2.read_vec(node.addr(), 64);
+        assert_eq!(bytes, vec![0xCDu8; 64], "fresh contents durable");
+    }
+}

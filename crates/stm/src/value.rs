@@ -1,0 +1,75 @@
+//! Single-owner value blobs for the baseline datastructures.
+//!
+//! Unlike the refcounted blobs of the functional layer, PMDK-style
+//! structures own their values exclusively: an update allocates the new
+//! blob inside the transaction, swings one pointer, and frees the old
+//! blob at commit.
+
+use crate::tx::TxHeap;
+use mod_pmem::PmPtr;
+
+const HEADER: u64 = 8;
+
+/// Allocates and fills a value blob inside the current transaction.
+/// Empty input is encoded as null.
+pub fn value_create_tx(h: &mut TxHeap, bytes: &[u8]) -> PmPtr {
+    if bytes.is_empty() {
+        return PmPtr::NULL;
+    }
+    let ptr = h.alloc_tx(HEADER + bytes.len() as u64);
+    let mut buf = Vec::with_capacity(8 + bytes.len());
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(bytes);
+    h.write_fresh(ptr.addr(), &buf);
+    ptr
+}
+
+/// Reads a value blob (null yields empty).
+pub fn value_read(h: &mut TxHeap, ptr: PmPtr) -> Vec<u8> {
+    if ptr.is_null() {
+        return Vec::new();
+    }
+    let len = u32::from_le_bytes(h.read_vec(ptr.addr(), 4).try_into().unwrap()) as u64;
+    h.read_vec(ptr.addr() + HEADER, len)
+}
+
+/// Schedules a blob free at commit (no-op for null).
+pub fn value_free_tx(h: &mut TxHeap, ptr: PmPtr) {
+    if !ptr.is_null() {
+        h.free_tx(ptr);
+    }
+}
+
+/// Marks a blob during recovery GC (no-op for null).
+pub fn value_mark(h: &mut TxHeap, ptr: PmPtr) {
+    if !ptr.is_null() {
+        h.nv_mut().mark_block(ptr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxMode;
+    use mod_pmem::{Pmem, PmemConfig};
+
+    #[test]
+    fn roundtrip_within_tx() {
+        let mut h = TxHeap::format(Pmem::new(PmemConfig::testing()), TxMode::Hybrid);
+        h.begin();
+        let p = value_create_tx(&mut h, b"hello");
+        h.commit();
+        assert_eq!(value_read(&mut h, p), b"hello");
+        assert_eq!(value_read(&mut h, PmPtr::NULL), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn empty_is_null() {
+        let mut h = TxHeap::format(Pmem::new(PmemConfig::testing()), TxMode::Hybrid);
+        h.begin();
+        let p = value_create_tx(&mut h, b"");
+        h.commit();
+        assert!(p.is_null());
+    }
+}

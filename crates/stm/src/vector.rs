@@ -1,0 +1,309 @@
+//! In-place flat-array vector — the PMDK **vector** baseline.
+//!
+//! A contiguous `u64` array updated in place inside transactions: one
+//! logged 8-byte store per write, two for a swap. This is the layout
+//! whose density makes PMDK *win* the vector comparison in the paper
+//! (Fig 9: MOD's tree-based vector flushes far more lines — Fig 10 — and
+//! misses more in L1D — Fig 11).
+
+use crate::tx::TxHeap;
+use mod_pmem::PmPtr;
+
+// Root block: [len][cap][data_ptr].
+const ROOT_BYTES: u64 = 24;
+
+/// A durable flat-array vector updated in place under PM-STM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StmVector {
+    root: PmPtr,
+}
+
+impl StmVector {
+    /// Creates a vector with capacity `cap`, length 0.
+    pub fn create(h: &mut TxHeap, cap: u64) -> StmVector {
+        assert!(cap > 0, "capacity must be positive");
+        h.begin();
+        let root = h.alloc_tx(ROOT_BYTES);
+        let data = h.alloc_tx(cap * 8);
+        let mut img = Vec::with_capacity(24);
+        img.extend_from_slice(&0u64.to_le_bytes());
+        img.extend_from_slice(&cap.to_le_bytes());
+        img.extend_from_slice(&data.addr().to_le_bytes());
+        h.write_fresh(root.addr(), &img);
+        h.write_fresh(data.addr(), &vec![0u8; (cap * 8) as usize]);
+        h.commit();
+        StmVector { root }
+    }
+
+    /// Creates a vector pre-filled from `elems` (capacity = length).
+    pub fn create_from(h: &mut TxHeap, elems: &[u64]) -> StmVector {
+        let v = StmVector::create(h, elems.len().max(1) as u64);
+        h.begin();
+        h.tx_add(v.root.addr(), 8);
+        h.write_u64(v.root.addr(), elems.len() as u64);
+        h.commit();
+        let data = h.read_u64(v.root.addr() + 16);
+        // Bulk fill outside a transaction (setup, like pre-faulting in
+        // the paper's microbenchmark): direct stores + flush + fence.
+        let bytes: Vec<u8> = elems.iter().flat_map(|e| e.to_le_bytes()).collect();
+        h.nv_mut().write_bytes(data, &bytes);
+        h.nv_mut().flush_range(data, bytes.len() as u64);
+        h.nv_mut().sfence();
+        v
+    }
+
+    /// Rebuilds a handle from a root pointer.
+    pub fn from_root(root: PmPtr) -> StmVector {
+        StmVector { root }
+    }
+
+    /// The root block pointer.
+    pub fn root(&self) -> PmPtr {
+        self.root
+    }
+
+    /// Number of elements.
+    pub fn len(&self, h: &mut TxHeap) -> u64 {
+        h.read_u64(self.root.addr())
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self, h: &mut TxHeap) -> bool {
+        self.len(h) == 0
+    }
+
+    fn elem_addr(&self, h: &mut TxHeap, index: u64) -> u64 {
+        let len = h.read_u64(self.root.addr());
+        assert!(index < len, "index {index} out of bounds ({len})");
+        let data = h.read_u64(self.root.addr() + 16);
+        data + index * 8
+    }
+
+    /// Element at `index` (no transaction needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, h: &mut TxHeap, index: u64) -> u64 {
+        let a = self.elem_addr(h, index);
+        h.read_u64(a)
+    }
+
+    /// Transactionally writes `elem` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn update(&self, h: &mut TxHeap, index: u64, elem: u64) {
+        let a = self.elem_addr(h, index);
+        h.begin();
+        h.tx_add(a, 8);
+        h.write_u64(a, elem);
+        h.commit();
+    }
+
+    /// Transactionally appends `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed capacity is exhausted.
+    pub fn push_back(&self, h: &mut TxHeap, elem: u64) {
+        let len = h.read_u64(self.root.addr());
+        let cap = h.read_u64(self.root.addr() + 8);
+        assert!(len < cap, "fixed-capacity vector is full");
+        let data = h.read_u64(self.root.addr() + 16);
+        h.begin();
+        h.tx_add(data + len * 8, 8);
+        h.write_u64(data + len * 8, elem);
+        h.tx_add(self.root.addr(), 8);
+        h.write_u64(self.root.addr(), len + 1);
+        h.commit();
+    }
+
+    /// Transactionally appends `elem`, doubling the backing array when
+    /// full (classic dynamic-array growth: allocate, copy, swing the data
+    /// pointer, free the old array — all in one transaction).
+    pub fn push_back_growing(&self, h: &mut TxHeap, elem: u64) {
+        let len = h.read_u64(self.root.addr());
+        let cap = h.read_u64(self.root.addr() + 8);
+        if len < cap {
+            self.push_back(h, elem);
+            return;
+        }
+        let old_data = h.read_u64(self.root.addr() + 16);
+        let old_bytes = h.read_vec(old_data, len * 8);
+        let new_cap = (cap * 2).max(1);
+        h.begin();
+        let new_data = h.alloc_tx(new_cap * 8);
+        h.write_fresh(new_data.addr(), &old_bytes);
+        h.write_fresh(
+            new_data.addr() + len * 8,
+            &vec![0u8; ((new_cap - len) * 8) as usize],
+        );
+        h.write_fresh(new_data.addr() + len * 8, &elem.to_le_bytes());
+        h.tx_add(self.root.addr(), 24);
+        h.write_u64(self.root.addr(), len + 1);
+        h.write_u64(self.root.addr() + 8, new_cap);
+        h.write_u64(self.root.addr() + 16, new_data.addr());
+        h.free_tx(mod_pmem::PmPtr::from_addr(old_data));
+        h.commit();
+    }
+
+    /// Transactionally swaps elements `i` and `j` — the paper's vec-swap
+    /// workload kernel (canneal's main computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap(&self, h: &mut TxHeap, i: u64, j: u64) {
+        if i == j {
+            return;
+        }
+        let ai = self.elem_addr(h, i);
+        let aj = self.elem_addr(h, j);
+        let vi = h.read_u64(ai);
+        let vj = h.read_u64(aj);
+        h.begin();
+        h.tx_add(ai, 8);
+        h.tx_add(aj, 8);
+        h.write_u64(ai, vj);
+        h.write_u64(aj, vi);
+        h.commit();
+    }
+
+    /// Collects all elements (tests).
+    pub fn to_vec(&self, h: &mut TxHeap) -> Vec<u64> {
+        let len = h.read_u64(self.root.addr());
+        let data = h.read_u64(self.root.addr() + 16);
+        (0..len).map(|i| h.read_u64(data + i * 8)).collect()
+    }
+
+    /// Marks the vector's blocks during recovery GC.
+    pub fn mark(&self, h: &mut TxHeap) {
+        if !h.nv_mut().mark_block(self.root) {
+            return;
+        }
+        let data = PmPtr::from_addr(h.nv_mut().read_u64(self.root.addr() + 16));
+        h.nv_mut().mark_block(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::TxMode;
+    use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+    fn th(mode: TxMode) -> TxHeap {
+        TxHeap::format(Pmem::new(PmemConfig::testing()), mode)
+    }
+
+    #[test]
+    fn create_update_get() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create_from(&mut h, &[1, 2, 3, 4]);
+        assert_eq!(v.to_vec(&mut h), vec![1, 2, 3, 4]);
+        v.update(&mut h, 2, 99);
+        assert_eq!(v.get(&mut h, 2), 99);
+        assert_eq!(v.len(&mut h), 4);
+    }
+
+    #[test]
+    fn push_back_grows_len() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create(&mut h, 8);
+        for i in 0..8 {
+            v.push_back(&mut h, i * 10);
+        }
+        assert_eq!(v.len(&mut h), 8);
+        assert_eq!(v.get(&mut h, 7), 70);
+    }
+
+    #[test]
+    fn swap_swaps() {
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            let mut h = th(mode);
+            let v = StmVector::create_from(&mut h, &(0..50).collect::<Vec<_>>());
+            v.swap(&mut h, 1, 48);
+            assert_eq!(v.get(&mut h, 1), 48, "{mode:?}");
+            assert_eq!(v.get(&mut h, 48), 1, "{mode:?}");
+            v.swap(&mut h, 5, 5);
+            assert_eq!(v.get(&mut h, 5), 5);
+        }
+    }
+
+    #[test]
+    fn committed_updates_survive_crash() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create_from(&mut h, &[0; 16]);
+        for i in 0..16u64 {
+            v.update(&mut h, i, i + 100);
+        }
+        let root = v.root();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let mut h2 = TxHeap::recover(img, TxMode::Hybrid);
+        let v2 = StmVector::from_root(root);
+        v2.mark(&mut h2);
+        h2.nv_mut().finish_recovery();
+        assert_eq!(
+            v2.to_vec(&mut h2),
+            (100..116u64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_mid_swap_leaves_consistent_pair() {
+        // A torn swap would violate the canneal invariant (elements are a
+        // permutation); the undo/redo log must prevent it.
+        for mode in [TxMode::Undo, TxMode::Hybrid] {
+            for seed in 0..10u64 {
+                let mut h = th(mode);
+                let v = StmVector::create_from(&mut h, &[10, 20]);
+                let root = v.root();
+                // Swap that crashes before commit.
+                h.begin();
+                let data = h.read_u64(root.addr() + 16);
+                h.tx_add(data, 8);
+                h.tx_add(data + 8, 8);
+                h.write_u64(data, 20);
+                h.write_u64(data + 8, 10);
+                let img = h.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+                let mut h2 = TxHeap::recover(img, mode);
+                let v2 = StmVector::from_root(root);
+                v2.mark(&mut h2);
+                h2.nv_mut().finish_recovery();
+                let got = v2.to_vec(&mut h2);
+                assert_eq!(got, vec![10, 20], "{mode:?} seed {seed}: rolled back");
+            }
+        }
+    }
+
+    #[test]
+    fn growing_push_doubles_capacity() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create(&mut h, 2);
+        for i in 0..40 {
+            v.push_back_growing(&mut h, i);
+        }
+        assert_eq!(v.to_vec(&mut h), (0..40).collect::<Vec<_>>());
+        let cap = h.read_u64(v.root().addr() + 8);
+        assert!((40..=64).contains(&cap));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create_from(&mut h, &[1]);
+        v.get(&mut h, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn push_past_capacity_panics() {
+        let mut h = th(TxMode::Hybrid);
+        let v = StmVector::create(&mut h, 1);
+        v.push_back(&mut h, 1);
+        v.push_back(&mut h, 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Vacation — the travel-reservation application kernel (WHISPER/STAMP).
+//!
+//! A manager object owns four recoverable maps (cars, flights, rooms,
+//! customers). Each transaction either makes a reservation (reads tables,
+//! writes the customer record), updates table capacity, or deletes a
+//! customer — §6.2: "vacation's logic required composing failure-atomic
+//! updates to multiple distinct maps that were members of the same
+//! object, for which we used our Composition interface with
+//! CommitSiblings". The PMDK version wraps the same updates in one
+//! transaction. Mix follows Table 2: ~80 % of the key range queried,
+//! 55 % user (reservation) transactions.
+
+use crate::micro::value32;
+use crate::report::{OpProfile, RunReport, Snapshot};
+use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
+use mod_core::{DurableDs, ErasedDs, ModHeap};
+use mod_funcds::PmMap;
+use mod_pmem::{Pmem, PmemConfig, PmPtr};
+use mod_stm::{StmHashMap, TxHeap, TxMode};
+
+/// Parent-object slot holding the manager's four maps.
+pub const MANAGER_SLOT: usize = 0;
+
+const N_TABLES: usize = 3; // cars, flights, rooms
+
+/// Runs the vacation kernel.
+pub fn run_vacation(sys: System, scale: &ScaleConfig) -> RunReport {
+    match sys {
+        System::Mod => vacation_mod(scale),
+        System::Pmdk14 => vacation_stm(scale, TxMode::Undo, sys),
+        System::Pmdk15 => vacation_stm(scale, TxMode::Hybrid, sys),
+    }
+}
+
+struct Action {
+    kind: u8, // 0 = reserve, 1 = add capacity, 2 = delete customer
+    table: usize,
+    item: u64,
+    customer: u64,
+}
+
+fn plan(rng: &mut WorkloadRng, relations: u64) -> Action {
+    // Query 80% of the key range (Table 2's query range).
+    let range = (relations * 80 / 100).max(1);
+    let kind = if rng.percent(55) {
+        0
+    } else if rng.percent(50) {
+        1
+    } else {
+        2
+    };
+    Action {
+        kind,
+        table: rng.below(N_TABLES as u64) as usize,
+        item: rng.below(range),
+        customer: rng.below(relations),
+    }
+}
+
+fn vacation_mod(scale: &ScaleConfig) -> RunReport {
+    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(scale.capacity)));
+    let relations = (scale.preload / 4).max(64);
+    // Manager: [cars, flights, rooms, customers] under one parent.
+    let mut tables: Vec<PmMap> = Vec::new();
+    for t in 0..N_TABLES {
+        let mut m = PmMap::empty(heap.nv_mut());
+        for i in 0..relations {
+            let next = m.insert(heap.nv_mut(), i, &value32(100 + t as u64));
+            m.release(heap.nv_mut());
+            m = next;
+        }
+        tables.push(m);
+    }
+    let mut customers = PmMap::empty(heap.nv_mut());
+    let kids: Vec<ErasedDs> = tables
+        .iter()
+        .map(|t| t.erase())
+        .chain([customers.erase()])
+        .collect();
+    heap.commit_siblings(MANAGER_SLOT, PmPtr::NULL, &kids, &kids);
+    let mut rng = WorkloadRng::new(scale.seed);
+    let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
+    let mut profile = OpProfile {
+        op: "vacation-txn".into(),
+        ..OpProfile::default()
+    };
+    for op in 0..scale.ops {
+        let a = plan(&mut rng, relations);
+        let before = crate::report::OpCounters::read(heap.nv().pm());
+        let old_parent = heap.read_root(MANAGER_SLOT);
+        match a.kind {
+            0 => {
+                // Reservation: read the three tables, record the booking.
+                for t in &tables {
+                    let _ = t.get(heap.nv_mut(), a.item);
+                }
+                let mut record = Vec::with_capacity(32);
+                record.extend_from_slice(&a.item.to_le_bytes());
+                record.extend_from_slice(&(a.table as u64).to_le_bytes());
+                record.extend_from_slice(&op.to_le_bytes());
+                record.extend_from_slice(&[0u8; 8]);
+                let new_customers = customers.insert(heap.nv_mut(), a.customer, &record);
+                let kids: Vec<ErasedDs> = tables
+                    .iter()
+                    .map(|t| t.erase())
+                    .chain([new_customers.erase()])
+                    .collect();
+                heap.commit_siblings(MANAGER_SLOT, old_parent, &kids, &[new_customers.erase()]);
+                customers = new_customers;
+            }
+            1 => {
+                // Capacity update on one table.
+                let new_table =
+                    tables[a.table].insert(heap.nv_mut(), a.item, &value32(op));
+                let mut new_tables = tables.clone();
+                new_tables[a.table] = new_table;
+                let kids: Vec<ErasedDs> = new_tables
+                    .iter()
+                    .map(|t| t.erase())
+                    .chain([customers.erase()])
+                    .collect();
+                heap.commit_siblings(MANAGER_SLOT, old_parent, &kids, &[new_table.erase()]);
+                tables = new_tables;
+            }
+            _ => {
+                // Delete customer (skip commit when absent: no-op FASE).
+                let (new_customers, removed) =
+                    customers.remove(heap.nv_mut(), a.customer);
+                if removed {
+                    let kids: Vec<ErasedDs> = tables
+                        .iter()
+                        .map(|t| t.erase())
+                        .chain([new_customers.erase()])
+                        .collect();
+                    heap.commit_siblings(
+                        MANAGER_SLOT,
+                        old_parent,
+                        &kids,
+                        &[new_customers.erase()],
+                    );
+                    customers = new_customers;
+                }
+            }
+        }
+        let (f, s) = crate::report::OpCounters::read(heap.nv().pm()).since(&before);
+        profile.record(f, s);
+    }
+    snap.finish(
+        heap.nv().pm(),
+        heap.nv().stats().cumulative_alloc_bytes,
+        heap.nv().stats().live_bytes,
+        Workload::Vacation,
+        System::Mod,
+        scale.ops,
+        vec![profile],
+    )
+}
+
+fn vacation_stm(scale: &ScaleConfig, mode: TxMode, sys: System) -> RunReport {
+    let mut heap = TxHeap::format(Pmem::new(PmemConfig::benchmarking(scale.capacity)), mode);
+    let relations = (scale.preload / 4).max(64);
+    let bits = scale.bucket_bits().saturating_sub(2).max(4);
+    let tables: Vec<StmHashMap> = (0..N_TABLES)
+        .map(|t| {
+            let m = StmHashMap::create(&mut heap, bits);
+            for i in 0..relations {
+                m.insert(&mut heap, i, &value32(100 + t as u64));
+            }
+            m
+        })
+        .collect();
+    let customers = StmHashMap::create(&mut heap, bits);
+    let mut rng = WorkloadRng::new(scale.seed);
+    let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
+    let mut profile = OpProfile {
+        op: "vacation-txn".into(),
+        ..OpProfile::default()
+    };
+    for op in 0..scale.ops {
+        let a = plan(&mut rng, relations);
+        let before = crate::report::OpCounters::read(heap.nv().pm());
+        match a.kind {
+            0 => {
+                for t in &tables {
+                    let _ = t.get(&mut heap, a.item);
+                }
+                let mut record = Vec::with_capacity(32);
+                record.extend_from_slice(&a.item.to_le_bytes());
+                record.extend_from_slice(&(a.table as u64).to_le_bytes());
+                record.extend_from_slice(&op.to_le_bytes());
+                record.extend_from_slice(&[0u8; 8]);
+                customers.insert(&mut heap, a.customer, &record);
+            }
+            1 => {
+                tables[a.table].insert(&mut heap, a.item, &value32(op));
+            }
+            _ => {
+                customers.remove(&mut heap, a.customer);
+            }
+        }
+        let (f, s) = crate::report::OpCounters::read(heap.nv().pm()).since(&before);
+        profile.record(f, s);
+    }
+    snap.finish(
+        heap.nv().pm(),
+        heap.nv().stats().cumulative_alloc_bytes,
+        heap.nv().stats().live_bytes,
+        Workload::Vacation,
+        sys,
+        scale.ops,
+        vec![profile],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_core::recovery::{parent_children, recover, RootSpec};
+    use mod_core::RootKind;
+    use mod_pmem::CrashPolicy;
+
+    #[test]
+    fn runs_all_systems() {
+        let scale = ScaleConfig::testing();
+        for sys in System::all() {
+            let r = run_vacation(sys, &scale);
+            assert_eq!(r.ops, scale.ops);
+            assert!(r.fences > 0);
+        }
+    }
+
+    #[test]
+    fn mod_vacation_single_fence_per_committed_txn() {
+        let scale = ScaleConfig::testing();
+        let r = run_vacation(System::Mod, &scale);
+        // Delete-of-absent-customer FASEs commit nothing, so the mean is
+        // at most 1 fence/op — and well under PMDK's 5+.
+        assert!(r.profiles[0].fences_per_op() <= 1.0);
+        assert!(r.profiles[0].fences_per_op() > 0.5);
+    }
+
+    #[test]
+    fn mod_vacation_faster_than_pmdk() {
+        let scale = ScaleConfig::testing();
+        let m = run_vacation(System::Mod, &scale);
+        let p = run_vacation(System::Pmdk15, &scale);
+        assert!(
+            m.total_ns() < p.total_ns(),
+            "Fig 9: vacation favours MOD ({:.0} vs {:.0})",
+            m.total_ns(),
+            p.total_ns()
+        );
+    }
+
+    #[test]
+    fn manager_recovers_with_four_children() {
+        // Crash-and-recover the MOD manager mid-run.
+        let scale = ScaleConfig::testing();
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+        let m1 = PmMap::empty(heap.nv_mut()).insert(heap.nv_mut(), 1, b"cars");
+        let m2 = PmMap::empty(heap.nv_mut());
+        let m3 = PmMap::empty(heap.nv_mut());
+        let m4 = PmMap::empty(heap.nv_mut()).insert(heap.nv_mut(), 9, b"cust");
+        heap.commit_siblings(
+            MANAGER_SLOT,
+            PmPtr::NULL,
+            &[m1.erase(), m2.erase(), m3.erase(), m4.erase()],
+            &[m1.erase(), m2.erase(), m3.erase(), m4.erase()],
+        );
+        heap.quiesce();
+        let pm = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (mut h2, _) = recover(pm, &[RootSpec::new(MANAGER_SLOT, RootKind::Parent)]);
+        let kids = parent_children(&mut h2, MANAGER_SLOT);
+        assert_eq!(kids.len(), 4);
+        let cars = PmMap::from_root(kids[0].root);
+        let cust = PmMap::from_root(kids[3].root);
+        assert_eq!(cars.get(h2.nv_mut(), 1), Some(b"cars".to_vec()));
+        assert_eq!(cust.get(h2.nv_mut(), 9), Some(b"cust".to_vec()));
+        let _ = scale;
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the MOD reproduction workspace.
+//!
+//! Re-exports the member crates so that examples and integration tests can
+//! use a single dependency. See [`mod_core`] for the paper's contribution
+//! (the MOD library itself) and `DESIGN.md` for the system inventory.
+
+pub use mod_alloc as alloc;
+pub use mod_core as core;
+pub use mod_funcds as funcds;
+pub use mod_pmem as pmem;
+pub use mod_stm as stm;
+pub use mod_workloads as workloads;

@@ -1,0 +1,184 @@
+//! Property-based crash-atomicity tests: for random operation sequences
+//! and random crash points, under adversarial choices of which unfenced
+//! cachelines persisted, recovery must yield exactly the state after some
+//! committed prefix of operations — never a torn state (§5.2).
+
+use mod_core::basic::{DurableMap, DurableQueue, DurableStack};
+use mod_core::recovery::{recover, RootSpec};
+use mod_core::{ModHeap, RootKind};
+use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u8),
+    Remove(u8),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| MapOp::Insert(k % 16, v)),
+        any::<u8>().prop_map(|k| MapOp::Remove(k % 16)),
+    ]
+}
+
+fn apply_map(model: &mut std::collections::HashMap<u64, Vec<u8>>, op: &MapOp) {
+    match *op {
+        MapOp::Insert(k, v) => {
+            model.insert(k as u64, vec![v; 8]);
+        }
+        MapOp::Remove(k) => {
+            model.remove(&(k as u64));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn map_recovers_to_a_committed_prefix(
+        ops in prop::collection::vec(map_op(), 1..20),
+        crash_after in 0usize..20,
+        seed in 0u64..8,
+    ) {
+        let crash_after = crash_after.min(ops.len());
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+        let mut map = DurableMap::create(&mut heap, 0);
+        heap.quiesce(); // creation itself must be durable before we rely on the slot
+        // Models of every committed prefix state.
+        let mut prefix_states = vec![std::collections::HashMap::new()];
+        let mut model = std::collections::HashMap::new();
+        for op in ops.iter().take(crash_after) {
+            match *op {
+                MapOp::Insert(k, v) => map.insert(&mut heap, k as u64, &[v; 8]),
+                MapOp::Remove(k) => {
+                    map.remove(&mut heap, k as u64);
+                }
+            }
+            apply_map(&mut model, op);
+            prefix_states.push(model.clone());
+        }
+        // One more op is in flight (shadow built, maybe partially flushed,
+        // commit may or may not have its pointer persist).
+        if crash_after < ops.len() {
+            let op = &ops[crash_after];
+            match *op {
+                MapOp::Insert(k, v) => map.insert(&mut heap, k as u64, &[v; 8]),
+                MapOp::Remove(k) => {
+                    map.remove(&mut heap, k as u64);
+                }
+            }
+            apply_map(&mut model, op);
+            prefix_states.push(model.clone());
+        }
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Map)]);
+        let recovered = DurableMap::open(&mut h2, 0);
+        let mut got: Vec<(u64, Vec<u8>)> = recovered.current().to_vec(h2.nv_mut());
+        got.sort();
+        let matches_some_prefix = prefix_states.iter().any(|state| {
+            let mut want: Vec<(u64, Vec<u8>)> =
+                state.iter().map(|(&k, v)| (k, v.clone())).collect();
+            want.sort();
+            want == got
+        });
+        prop_assert!(
+            matches_some_prefix,
+            "recovered state matches no committed prefix: {got:?}"
+        );
+    }
+
+    #[test]
+    fn queue_recovers_to_a_committed_prefix(
+        pushes in prop::collection::vec(any::<u8>(), 1..15),
+        pops in 0usize..10,
+        seed in 0u64..6,
+    ) {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+        let mut queue = DurableQueue::create(&mut heap, 0);
+        heap.quiesce();
+        let mut prefix_states: Vec<Vec<u64>> = vec![Vec::new()];
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        for &e in &pushes {
+            queue.enqueue(&mut heap, e as u64);
+            model.push_back(e as u64);
+            prefix_states.push(model.iter().copied().collect());
+        }
+        for _ in 0..pops {
+            if queue.dequeue(&mut heap).is_some() {
+                model.pop_front();
+                prefix_states.push(model.iter().copied().collect());
+            }
+        }
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Queue)]);
+        let q = DurableQueue::open(&mut h2, 0);
+        let got = q.current().to_vec(h2.nv_mut());
+        prop_assert!(
+            prefix_states.contains(&got),
+            "queue state {got:?} matches no committed prefix"
+        );
+    }
+
+    #[test]
+    fn stack_recovers_to_a_committed_prefix(
+        entries in prop::collection::vec(any::<u8>(), 1..15),
+        seed in 0u64..6,
+    ) {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+        let mut stack = DurableStack::create(&mut heap, 0);
+        heap.quiesce();
+        let mut prefix_states: Vec<Vec<u64>> = vec![Vec::new()];
+        let mut model = Vec::new();
+        for &e in &entries {
+            stack.push(&mut heap, e as u64);
+            model.push(e as u64);
+            let mut top_first = model.clone();
+            top_first.reverse();
+            prefix_states.push(top_first);
+        }
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Stack)]);
+        let s = DurableStack::open(&mut h2, 0);
+        let got = s.current().to_vec(h2.nv_mut());
+        prop_assert!(
+            prefix_states.contains(&got),
+            "stack state {got:?} matches no committed prefix"
+        );
+    }
+}
+
+#[test]
+fn unrelated_commit_is_all_or_nothing_under_crashes() {
+    use mod_core::DurableDs;
+    use mod_funcds::PmMap;
+    // The general-case commit (Fig 8d) must move both slots or neither.
+    for seed in 0..30u64 {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+        let a0 = PmMap::empty(heap.nv_mut());
+        let b0 = PmMap::empty(heap.nv_mut());
+        heap.publish_root(0, a0);
+        heap.publish_root(1, b0);
+        heap.quiesce();
+        let a1 = a0.insert(heap.nv_mut(), 1, b"a1");
+        let b1 = b0.insert(heap.nv_mut(), 2, b"b1");
+        heap.commit_unrelated(&[(0, a0.erase(), a1.erase()), (1, b0.erase(), b1.erase())]);
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let (mut h2, _) = recover(
+            img,
+            &[
+                RootSpec::new(0, RootKind::Map),
+                RootSpec::new(1, RootKind::Map),
+            ],
+        );
+        let a = DurableMap::open(&mut h2, 0);
+        let b = DurableMap::open(&mut h2, 1);
+        let a_new = a.contains_key(&mut h2, 1);
+        let b_new = b.contains_key(&mut h2, 2);
+        assert_eq!(
+            a_new, b_new,
+            "seed {seed}: unrelated commit tore (a={a_new}, b={b_new})"
+        );
+    }
+}
