@@ -6,7 +6,7 @@ use crate::layout::{
     POOL_MAGIC, SIZE_CLASSES,
 };
 use crate::recovery::MarkState;
-use mod_pmem::{Pmem, PmPtr};
+use mod_pmem::{PmPtr, Pmem};
 use std::collections::{BTreeMap, HashMap};
 
 /// Allocation statistics, the data source of Table 3.
@@ -261,6 +261,12 @@ impl NvHeap {
         PmPtr::from_addr(self.pm.read_u64(a))
     }
 
+    /// Reads root slot `i` without touching the cache/time model (see
+    /// [`NvHeap::peek_u64`]).
+    pub fn peek_root(&self, i: usize) -> PmPtr {
+        PmPtr::from_addr(self.pm.peek_u64(root_slot_offset(i)))
+    }
+
     // ------------------------------------------------------------------
     // Pass-throughs to the PM device
     // ------------------------------------------------------------------
@@ -313,6 +319,35 @@ impl NvHeap {
     /// Reads `len` bytes into a fresh vector through the cache model.
     pub fn read_vec(&mut self, addr: u64, len: u64) -> Vec<u8> {
         self.pm.read_vec(addr, len)
+    }
+
+    /// Reads a `u64` *without* charging the cache/time model.
+    ///
+    /// Peek reads back the read-only access path of the typed API
+    /// (`&ModHeap` lookups): they need no exclusive access and no
+    /// instrumentation, exactly like a load from a mapped PM pool.
+    pub fn peek_u64(&self, addr: u64) -> u64 {
+        self.pm.peek_u64(addr)
+    }
+
+    /// Reads a `u32` without charging the cache/time model.
+    pub fn peek_u32(&self, addr: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        self.pm.peek_bytes(addr, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Reads bytes without charging the cache/time model.
+    pub fn peek_bytes(&self, addr: u64, buf: &mut [u8]) {
+        self.pm.peek_bytes(addr, buf)
+    }
+
+    /// Reads `len` bytes into a fresh vector without charging the
+    /// cache/time model.
+    pub fn peek_vec(&self, addr: u64, len: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; len as usize];
+        self.pm.peek_bytes(addr, &mut buf);
+        buf
     }
 
     /// Issues a `clwb` for the line containing `addr`.

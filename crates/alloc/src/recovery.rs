@@ -161,7 +161,10 @@ mod tests {
         // pointer rather than a gap region: the next allocation of its
         // size lands exactly where the leaked block was.
         let reused = h.alloc(64);
-        assert_eq!(reused.addr(), HEAP_BASE + 2 * (HEADER_BYTES + 16) + HEADER_BYTES);
+        assert_eq!(
+            reused.addr(),
+            HEAP_BASE + 2 * (HEADER_BYTES + 16) + HEADER_BYTES
+        );
         // Live data intact.
         assert_eq!(h.read_u64(n1.addr()), n2.addr());
         // Refcounts rebuilt.

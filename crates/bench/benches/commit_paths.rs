@@ -1,71 +1,59 @@
-//! Criterion bench of the three commit protocols (Fig 8): single,
-//! siblings, unrelated — the ablation behind MOD's one-fence claim.
+//! Host-side bench of the FASE commit paths (Fig 8): a single-root FASE,
+//! a multi-root FASE (siblings via the root directory), and the
+//! deprecated three-fence unrelated commit — the ablation behind MOD's
+//! one-fence claim.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mod_core::{DurableDs, ModHeap};
+use mod_bench::harness::{bench, bench_main};
+use mod_core::ModHeap;
 use mod_funcds::PmMap;
 use mod_pmem::{Pmem, PmemConfig};
 use std::hint::black_box;
 
-fn bench_commit_single(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let mut cur = PmMap::empty(heap.nv_mut());
-    heap.publish_root(0, cur);
-    let mut i = 0u64;
-    c.bench_function("commit_single", |b| {
-        b.iter(|| {
+fn main() {
+    bench_main(|| {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let m0 = PmMap::empty(heap.nv_mut());
+        let map = heap.publish(m0);
+        let mut i = 0u64;
+        bench("fase_single_root", || {
             i += 1;
-            let next = cur.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
-            heap.commit_single(0, cur, &[], next);
-            cur = next;
-        })
+            let k = black_box(i % 10_000);
+            heap.fase(|tx| tx.update(map, |nv, m| m.insert(nv, k, b"v")));
+        });
+
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let a0 = PmMap::empty(heap.nv_mut());
+        let b0 = PmMap::empty(heap.nv_mut());
+        let a = heap.publish(a0);
+        let b = heap.publish(b0);
+        let mut i = 0u64;
+        bench("fase_two_roots", || {
+            i += 1;
+            let k = black_box(i % 10_000);
+            heap.fase(|tx| {
+                tx.update(a, |nv, m| m.insert(nv, k, b"v"));
+                tx.update(b, |nv, m| m.insert(nv, k, b"w"));
+            });
+        });
+
+        #[allow(deprecated)]
+        {
+            use mod_core::DurableDs;
+            let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+            let mut a = PmMap::empty(heap.nv_mut());
+            let mut b = PmMap::empty(heap.nv_mut());
+            heap.publish_root(0, a);
+            heap.publish_root(1, b);
+            let mut i = 0u64;
+            bench("commit_unrelated_legacy", || {
+                i += 1;
+                let k = black_box(i % 10_000);
+                let na = a.insert(heap.nv_mut(), k, b"v");
+                let nb = b.insert(heap.nv_mut(), k, b"w");
+                heap.commit_unrelated(&[(0, a.erase(), na.erase()), (1, b.erase(), nb.erase())]);
+                a = na;
+                b = nb;
+            });
+        }
     });
 }
-
-fn bench_commit_siblings(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let stable = PmMap::empty(heap.nv_mut());
-    let mut cur = PmMap::empty(heap.nv_mut());
-    heap.commit_siblings(
-        0,
-        mod_pmem::PmPtr::NULL,
-        &[stable.erase(), cur.erase()],
-        &[stable.erase(), cur.erase()],
-    );
-    let mut i = 0u64;
-    c.bench_function("commit_siblings", |b| {
-        b.iter(|| {
-            i += 1;
-            let old_parent = heap.read_root(0);
-            let next = cur.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
-            heap.commit_siblings(0, old_parent, &[stable.erase(), next.erase()], &[next.erase()]);
-            cur = next;
-        })
-    });
-}
-
-fn bench_commit_unrelated(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let mut a = PmMap::empty(heap.nv_mut());
-    let mut b_map = PmMap::empty(heap.nv_mut());
-    heap.publish_root(0, a);
-    heap.publish_root(1, b_map);
-    let mut i = 0u64;
-    c.bench_function("commit_unrelated", |b| {
-        b.iter(|| {
-            i += 1;
-            let na = a.insert(heap.nv_mut(), black_box(i % 10_000), b"v");
-            let nb = b_map.insert(heap.nv_mut(), black_box(i % 10_000), b"w");
-            heap.commit_unrelated(&[(0, a.erase(), na.erase()), (1, b_map.erase(), nb.erase())]);
-            a = na;
-            b_map = nb;
-        })
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_commit_single, bench_commit_siblings, bench_commit_unrelated
-);
-criterion_main!(benches);

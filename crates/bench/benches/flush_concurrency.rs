@@ -1,37 +1,26 @@
-//! Criterion bench over the Fig 4 machinery: the WPQ event model and the
+//! Host-side bench over the Fig 4 machinery: the WPQ event model and the
 //! analytical Amdahl curve at each concurrency level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mod_bench::harness::{bench, bench_main};
 use mod_pmem::{LatencyModel, WpqModel};
 use std::hint::black_box;
 
-fn bench_wpq(c: &mut Criterion) {
-    let wpq = WpqModel::default();
-    let mut g = c.benchmark_group("wpq_microbenchmark");
-    for n in [1usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(wpq.avg_flush_latency_ns(n, 320)))
-        });
-    }
-    g.finish();
-}
+fn main() {
+    bench_main(|| {
+        let wpq = WpqModel::default();
+        for n in [1usize, 8, 32] {
+            bench(&format!("wpq_microbenchmark/{n}"), || {
+                black_box(wpq.avg_flush_latency_ns(black_box(n), 320));
+            });
+        }
 
-fn bench_fence_model(c: &mut Criterion) {
-    let m = LatencyModel::optane();
-    c.bench_function("fence_stall_model", |b| {
-        b.iter(|| {
+        let m = LatencyModel::optane();
+        bench("fence_stall_model", || {
             let mut acc = 0.0;
             for n in 1..=32 {
                 acc += m.fence_stall_ns(black_box(n));
             }
-            black_box(acc)
-        })
+            black_box(acc);
+        });
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_wpq, bench_fence_model
-);
-criterion_main!(benches);

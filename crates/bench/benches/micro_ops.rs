@@ -1,85 +1,68 @@
-//! Criterion microbenchmarks: host-side cost of one failure-atomic update
-//! per datastructure per system. (The *simulated* PM time is what the
-//! fig9 binary reports; these benches track the simulator's own speed so
+//! Host-side microbenchmarks: wall-clock cost of one failure-atomic
+//! update per datastructure per system. (The *simulated* PM time is what
+//! the fig9 binary reports; these track the simulator's own speed so
 //! regressions in the reproduction harness are caught.)
+//!
+//! Dependency-free harness: `cargo bench --bench micro_ops` runs each
+//! closure in timed batches and prints ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mod_core::basic::{DurableMap, DurableQueue, DurableStack, DurableVector};
-use mod_core::ModHeap;
+use mod_bench::harness::{bench, bench_main};
+use mod_core::{DurableMap, DurableQueue, DurableStack, DurableVector, ModHeap};
 use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmHashMap, TxHeap, TxMode};
 use std::hint::black_box;
 
-fn bench_mod_map_insert(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let mut map = DurableMap::create(&mut heap, 0);
-    let mut key = 0u64;
-    c.bench_function("mod_map_insert", |b| {
-        b.iter(|| {
+fn main() {
+    bench_main(|| {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let map: DurableMap<u64, [u8; 32]> = DurableMap::create(&mut heap);
+        let mut key = 0u64;
+        bench("mod_map_insert", || {
             key = key.wrapping_add(1) % 100_000;
-            map.insert(&mut heap, black_box(key), b"value-32-bytes-of-payload-data!!");
-        })
-    });
-}
+            map.insert(
+                &mut heap,
+                black_box(&key),
+                b"value-32-bytes-of-payload-data!!",
+            );
+        });
 
-fn bench_pmdk_map_insert(c: &mut Criterion) {
-    let mut heap = TxHeap::format(Pmem::new(PmemConfig::benchmarking(1 << 30)), TxMode::Hybrid);
-    let map = StmHashMap::create(&mut heap, 14);
-    let mut key = 0u64;
-    c.bench_function("pmdk15_map_insert", |b| {
-        b.iter(|| {
+        let mut heap = TxHeap::format(Pmem::new(PmemConfig::benchmarking(1 << 30)), TxMode::Hybrid);
+        let map = StmHashMap::create(&mut heap, 14);
+        let mut key = 0u64;
+        bench("pmdk15_map_insert", || {
             key = key.wrapping_add(1) % 100_000;
-            map.insert(&mut heap, black_box(key), b"value-32-bytes-of-payload-data!!");
-        })
-    });
-}
+            map.insert(
+                &mut heap,
+                black_box(key),
+                b"value-32-bytes-of-payload-data!!",
+            );
+        });
 
-fn bench_mod_queue_ops(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let mut q = DurableQueue::create(&mut heap, 0);
-    let mut i = 0u64;
-    c.bench_function("mod_queue_enq_deq", |b| {
-        b.iter(|| {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let q: DurableQueue<u64> = DurableQueue::create(&mut heap);
+        let mut i = 0u64;
+        bench("mod_queue_enq_deq", || {
             i += 1;
-            q.enqueue(&mut heap, black_box(i));
+            q.enqueue(&mut heap, black_box(&i));
             q.dequeue(&mut heap);
-        })
-    });
-}
+        });
 
-fn bench_mod_stack_ops(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let mut s = DurableStack::create(&mut heap, 0);
-    let mut i = 0u64;
-    c.bench_function("mod_stack_push_pop", |b| {
-        b.iter(|| {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let s: DurableStack<u64> = DurableStack::create(&mut heap);
+        let mut i = 0u64;
+        bench("mod_stack_push_pop", || {
             i += 1;
-            s.push(&mut heap, black_box(i));
+            s.push(&mut heap, black_box(&i));
             s.pop(&mut heap);
-        })
-    });
-}
+        });
 
-fn bench_mod_vector_update(c: &mut Criterion) {
-    let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
-    let elems: Vec<u64> = (0..65_536).collect();
-    let mut v = DurableVector::create_from(&mut heap, 0, &elems);
-    let mut i = 0u64;
-    c.bench_function("mod_vector_update", |b| {
-        b.iter(|| {
+        let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(1 << 30)));
+        let elems: Vec<u64> = (0..65_536).collect();
+        let v = DurableVector::create_from(&mut heap, &elems);
+        let mut i = 0u64;
+        bench("mod_vector_update", || {
             i = (i + 12_345) % 65_536;
-            v.update(&mut heap, black_box(i), i);
-        })
+            v.update(&mut heap, black_box(i), &i);
+        });
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mod_map_insert,
-        bench_pmdk_map_insert,
-        bench_mod_queue_ops,
-        bench_mod_stack_ops,
-        bench_mod_vector_update
-);
-criterion_main!(benches);

@@ -13,8 +13,7 @@
 //!    data yet wins on normal hardware — the paper's §8 point).
 
 use mod_bench::{banner, ratio, TextTable};
-use mod_core::basic::DurableMap;
-use mod_core::ModHeap;
+use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{LatencyModel, Pmem, PmemConfig};
 use mod_stm::{StmHashMap, TxHeap, TxMode};
 use mod_workloads::micro::value32;
@@ -33,19 +32,19 @@ fn run_mod(scale: &ScaleConfig, latency: LatencyModel) -> Outcome {
         ..PmemConfig::benchmarking(scale.capacity)
     });
     let mut heap = ModHeap::create(pm);
-    let mut map = DurableMap::create(&mut heap, 0);
+    let map: DurableMap<u64, [u8; 32]> = DurableMap::create(&mut heap);
     let mut rng = WorkloadRng::new(scale.seed);
     let key_space = scale.preload * 2;
     for _ in 0..scale.preload {
         let k = rng.below(key_space);
-        map.insert(&mut heap, k, &value32(k));
+        map.insert(&mut heap, &k, &value32(k));
     }
     let t0 = heap.nv().pm().clock().now_ns();
     let f0 = heap.nv().pm().stats().flushes;
     let s0 = heap.nv().pm().stats().fences;
     for _ in 0..scale.ops {
         let k = rng.below(key_space);
-        map.insert(&mut heap, k, &value32(k));
+        map.insert(&mut heap, &k, &value32(k));
     }
     Outcome {
         ns_per_op: (heap.nv().pm().clock().now_ns() - t0) / scale.ops as f64,
@@ -106,7 +105,10 @@ fn main() {
         "fences/op",
     ]);
     let mut speedups = Vec::new();
-    for (hw_name, hw) in [("optane (f=0.82)", optane), ("no-overlap (f=0)", no_overlap)] {
+    for (hw_name, hw) in [
+        ("optane (f=0.82)", optane),
+        ("no-overlap (f=0)", no_overlap),
+    ] {
         let m = run_mod(&scale, hw.clone());
         let p = run_pmdk(&scale, hw.clone());
         t.row(vec![

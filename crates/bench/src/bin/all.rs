@@ -6,7 +6,9 @@ use std::process::Command;
 fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    for bin in ["fig4", "fig2", "fig9", "fig10", "fig11", "table3", "ablation"] {
+    for bin in [
+        "fig4", "fig2", "fig9", "fig10", "fig11", "table3", "ablation",
+    ] {
         let path = dir.join(bin);
         let status = Command::new(&path)
             .status()

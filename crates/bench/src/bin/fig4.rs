@@ -12,11 +12,7 @@ fn main() {
     let levels: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32];
     let observed = wpq.observed_curve(&levels);
     let amdahl = model.amdahl_curve(&levels);
-    let mut t = TextTable::new(vec![
-        "flushes/fence",
-        "observed (ns)",
-        "amdahl f=0.82 (ns)",
-    ]);
+    let mut t = TextTable::new(vec!["flushes/fence", "observed (ns)", "amdahl f=0.82 (ns)"]);
     for (o, a) in observed.iter().zip(&amdahl) {
         t.row(vec![
             o.0.to_string(),

@@ -14,7 +14,13 @@ fn main() {
     );
     let reports = run_everything(&scale);
     let mut t = TextTable::new(vec![
-        "workload", "system", "norm time", "other", "flush", "log", "ns/op",
+        "workload",
+        "system",
+        "norm time",
+        "other",
+        "flush",
+        "log",
+        "ns/op",
     ]);
     for w in Workload::all() {
         let base = find(&reports, w, System::Pmdk14).total_ns();
@@ -35,7 +41,12 @@ fn main() {
     println!("{}", t.render());
 
     // §6.3 summary lines.
-    let pointer_micro = [Workload::Map, Workload::Set, Workload::Queue, Workload::Stack];
+    let pointer_micro = [
+        Workload::Map,
+        Workload::Set,
+        Workload::Queue,
+        Workload::Stack,
+    ];
     let apps = [Workload::Bfs, Workload::Vacation, Workload::Memcached];
     let all = Workload::all();
 
@@ -54,8 +65,7 @@ fn main() {
     let mod_vs_v15_micro: Vec<f64> = pointer_micro
         .iter()
         .map(|&w| {
-            find(&reports, w, System::Mod).total_ns()
-                / find(&reports, w, System::Pmdk15).total_ns()
+            find(&reports, w, System::Mod).total_ns() / find(&reports, w, System::Pmdk15).total_ns()
         })
         .collect();
     println!(
@@ -76,8 +86,7 @@ fn main() {
     let mod_vs_v15_apps: Vec<f64> = apps
         .iter()
         .map(|&w| {
-            find(&reports, w, System::Mod).total_ns()
-                / find(&reports, w, System::Pmdk15).total_ns()
+            find(&reports, w, System::Mod).total_ns() / find(&reports, w, System::Pmdk15).total_ns()
         })
         .collect();
     println!(

@@ -10,8 +10,8 @@
 //! nodes), so the traffic column is the one to compare there.
 
 use mod_bench::{banner, TextTable};
-use mod_core::basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
 use mod_core::ModHeap;
+use mod_core::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
 use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmHashMap, StmQueue, StmStack, StmVector, TxHeap, TxMode};
 use mod_workloads::micro::value32;
@@ -51,16 +51,19 @@ fn mod_growth(ds: &str, n: u64) -> Growth {
     let mut heap = ModHeap::create(pool(n));
     match ds {
         "map" => {
-            let mut m = DurableMap::create(&mut heap, 0);
+            let m: DurableMap<u64, [u8; 32]> = DurableMap::create(&mut heap);
             let heap_cell = std::cell::RefCell::new(heap);
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
-                    m.insert(&mut h, i, &value32(i));
+                    m.insert(&mut h, &i, &value32(i));
                     if i % 64 == 0 {
                         h.quiesce();
                     }
@@ -69,16 +72,19 @@ fn mod_growth(ds: &str, n: u64) -> Growth {
             )
         }
         "set" => {
-            let mut s = DurableSet::create(&mut heap, 0);
+            let s: DurableSet<u64> = DurableSet::create(&mut heap);
             let heap_cell = std::cell::RefCell::new(heap);
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
-                    s.insert(&mut h, i);
+                    s.insert(&mut h, &i);
                     if i % 64 == 0 {
                         h.quiesce();
                     }
@@ -87,16 +93,19 @@ fn mod_growth(ds: &str, n: u64) -> Growth {
             )
         }
         "stack" => {
-            let mut s = DurableStack::create(&mut heap, 0);
+            let s: DurableStack<u64> = DurableStack::create(&mut heap);
             let heap_cell = std::cell::RefCell::new(heap);
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
-                    s.push(&mut h, i);
+                    s.push(&mut h, &i);
                     if i % 64 == 0 {
                         h.quiesce();
                     }
@@ -105,16 +114,19 @@ fn mod_growth(ds: &str, n: u64) -> Growth {
             )
         }
         "queue" => {
-            let mut q = DurableQueue::create(&mut heap, 0);
+            let q: DurableQueue<u64> = DurableQueue::create(&mut heap);
             let heap_cell = std::cell::RefCell::new(heap);
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
-                    q.enqueue(&mut h, i);
+                    q.enqueue(&mut h, &i);
                     if i % 64 == 0 {
                         h.quiesce();
                     }
@@ -123,16 +135,19 @@ fn mod_growth(ds: &str, n: u64) -> Growth {
             )
         }
         "vector" => {
-            let mut v = DurableVector::create(&mut heap, 0);
+            let v: DurableVector<u64> = DurableVector::create(&mut heap);
             let heap_cell = std::cell::RefCell::new(heap);
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
-                    v.push_back(&mut h, i);
+                    v.push_back(&mut h, &i);
                     if i % 64 == 0 {
                         h.quiesce();
                     }
@@ -157,7 +172,10 @@ fn stm_growth(ds: &str, n: u64) -> Growth {
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
@@ -173,7 +191,10 @@ fn stm_growth(ds: &str, n: u64) -> Growth {
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
@@ -188,7 +209,10 @@ fn stm_growth(ds: &str, n: u64) -> Growth {
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();
@@ -203,7 +227,10 @@ fn stm_growth(ds: &str, n: u64) -> Growth {
             measure(
                 || {
                     let h = heap_cell.borrow();
-                    (h.nv().stats().live_bytes, h.nv().stats().cumulative_alloc_bytes)
+                    (
+                        h.nv().stats().live_bytes,
+                        h.nv().stats().cumulative_alloc_bytes,
+                    )
                 },
                 |i| {
                     let mut h = heap_cell.borrow_mut();

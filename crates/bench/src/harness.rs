@@ -1,0 +1,50 @@
+//! A dependency-free micro-benchmark harness (`std::time` only).
+//!
+//! The container builds offline, so the benches cannot pull in criterion;
+//! this provides the small subset they need: warmup, timed batches, and a
+//! `name ... ns/iter` report line per benchmark. Under `cargo test`
+//! (which builds bench targets in test mode) the iteration counts drop to
+//! a smoke-test level so the suite stays fast.
+
+use std::time::Instant;
+
+/// Iterations per timed batch.
+fn batch_iters() -> u64 {
+    if cfg!(test) {
+        10
+    } else {
+        std::env::var("MOD_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000)
+    }
+}
+
+/// Number of timed batches (the median is reported).
+const BATCHES: usize = 5;
+
+/// Runs `f` in warmup + timed batches and prints the median ns/iter.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    let iters = batch_iters();
+    for _ in 0..iters / 2 {
+        f();
+    }
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<32} {:>12.0} ns/iter", per_iter[BATCHES / 2]);
+}
+
+/// Wraps a bench suite: prints a header, runs the suite, prints a footer.
+pub fn bench_main(suite: impl FnOnce()) {
+    println!("running host-side benches (MOD_BENCH_ITERS to rescale)");
+    suite();
+    println!("done");
+}

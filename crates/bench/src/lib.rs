@@ -19,6 +19,8 @@
 
 use mod_workloads::{RunReport, ScaleConfig, System, Workload};
 
+pub mod harness;
+
 /// A simple fixed-width text table.
 #[derive(Debug, Default)]
 pub struct TextTable {

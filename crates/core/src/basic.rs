@@ -1,310 +1,677 @@
-//! The Basic interface (paper Fig 6a): mutable-looking durable
-//! datastructures whose every update is a self-contained FASE.
+//! The Basic interface (paper Fig 6a), typed: mutable-looking durable
+//! collections whose every update is a self-contained FASE.
 //!
-//! Each wrapper owns a root slot and the currently published version.
-//! An update performs the pure shadow update, commits with one ordering
-//! point ([`ModHeap::commit_single`]), and hands the superseded version to
-//! deferred reclamation — hiding Functional Shadowing entirely, the way
-//! the paper's `Update(dsPtr, params)` does. Lookups need no flushes or
-//! fences at all.
+//! Each wrapper is a thin, `Copy` view over a typed [`Root`]: updates run
+//! one [`ModHeap::fase`] (pure shadow update, one ordering point, old
+//! version handed to deferred reclamation) and lookups are **read-only**
+//! — they take `&ModHeap`, need no flushes, fences, or exclusive access.
+//!
+//! Keys and values are application types bridged onto the raw `u64`/bytes
+//! substrate by the [`crate::codec`] traits, so callers no longer
+//! hand-roll FNV hashing or length-prefix framing:
+//!
+//! ```
+//! use mod_core::{DurableMap, ModHeap};
+//! use mod_pmem::{Pmem, PmemConfig};
+//!
+//! let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+//! let map: DurableMap<String, Vec<u8>> = DurableMap::create(&mut heap);
+//! map.insert(&mut heap, &"user:42".to_string(), &b"Ada".to_vec());
+//! assert_eq!(map.get(&heap, &"user:42".to_string()), Some(b"Ada".to_vec()));
+//! ```
+//!
+//! Every wrapper also composes into multi-structure FASEs through its
+//! `*_in` methods, which stage the update on a [`Fase`] instead of
+//! committing immediately.
 
+use crate::codec::{frames, push_frame, KeyRepr, PmKey, PmValue, PmWord};
+use crate::fase::Fase;
 use crate::heap::ModHeap;
-use mod_funcds::{PmMap, PmQueue, PmSet, PmStack, PmVector};
+use crate::root::Root;
+use mod_alloc::HeapRead;
+use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
+use std::marker::PhantomData;
 
-macro_rules! common_impl {
-    ($wrapper:ident, $handle:ty, $article:literal) => {
-        impl $wrapper {
-            /// Creates an empty structure and publishes it in `slot`.
-            ///
-            /// # Panics
-            ///
-            /// Panics if the slot is already occupied.
-            pub fn create(heap: &mut ModHeap, slot: usize) -> $wrapper {
-                let cur = <$handle>::empty(heap.nv_mut());
-                heap.publish_root(slot, cur);
-                $wrapper { slot, cur }
-            }
-
-            /// Reattaches to the version published in `slot` (after
-            /// recovery).
-            ///
-            /// # Panics
-            ///
-            /// Panics if the slot is empty.
-            pub fn open(heap: &mut ModHeap, slot: usize) -> $wrapper {
-                let cur: $handle = crate::recovery::root_handle(heap, slot);
-                $wrapper { slot, cur }
-            }
-
-            /// The currently published version (for Composition-interface
-            /// interop or read snapshots).
-            pub fn current(&self) -> $handle {
-                self.cur
-            }
-
-            /// The root slot this structure is published in.
-            pub fn slot(&self) -> usize {
-                self.slot
-            }
-
-            fn commit(&mut self, heap: &mut ModHeap, new: $handle) {
-                heap.commit_single(self.slot, self.cur, &[], new);
-                self.cur = new;
-            }
-        }
-    };
+/// One map lookup through either read path (charged or peek).
+fn raw_get(cur: PmMap, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
+    match heap {
+        HeapRead::Charged(nv) => cur.get(nv, key),
+        HeapRead::Peek(nv) => cur.peek_get(nv, key),
+    }
 }
+
+/// Decodes a typed lookup: exact keys read the value directly; hashed
+/// keys scan the bucket's frames for the matching key bytes.
+fn lookup<V: PmValue>(cur: PmMap, heap: &mut HeapRead<'_>, repr: &KeyRepr) -> Option<V> {
+    match repr {
+        KeyRepr::Exact(w) => raw_get(cur, heap, *w).map(|b| V::from_value_bytes(&b)),
+        KeyRepr::Hashed { hash, bytes } => {
+            let bucket = raw_get(cur, heap, *hash)?;
+            let found = frames(&bucket)
+                .find(|(k, _)| k == bytes)
+                .map(|(_, v)| V::from_value_bytes(v));
+            found
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------
 
 /// A durable map with logically in-place updates (Basic interface).
-#[derive(Debug)]
-pub struct DurableMap {
-    slot: usize,
-    cur: PmMap,
+///
+/// `K` selects the key encoding (exact integers or hashed-and-verified
+/// byte keys) and `V` the value encoding; see [`crate::codec`].
+pub struct DurableMap<K: PmKey, V: PmValue> {
+    root: Root<PmMap>,
+    _kv: PhantomData<fn() -> (K, V)>,
 }
 
-common_impl!(DurableMap, PmMap, "a map");
+impl<K: PmKey, V: PmValue> Clone for DurableMap<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-impl DurableMap {
-    /// Failure-atomically inserts or updates `key`.
-    pub fn insert(&mut self, heap: &mut ModHeap, key: u64, value: &[u8]) {
-        let new = self.cur.insert(heap.nv_mut(), key, value);
-        self.commit(heap, new);
+impl<K: PmKey, V: PmValue> Copy for DurableMap<K, V> {}
+
+impl<K: PmKey, V: PmValue> std::fmt::Debug for DurableMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DurableMap({:?})", self.root)
+    }
+}
+
+impl<K: PmKey, V: PmValue> DurableMap<K, V> {
+    /// Creates an empty map and publishes it as a new typed root.
+    pub fn create(heap: &mut ModHeap) -> Self {
+        let m0 = PmMap::empty(heap.nv_mut());
+        let root = heap.publish(m0);
+        Self::from_root(root)
     }
 
-    /// Looks up `key` (no flushes, no fences).
-    pub fn get(&self, heap: &mut ModHeap, key: u64) -> Option<Vec<u8>> {
-        self.cur.get(heap.nv_mut(), key)
+    /// Reattaches to the map published at directory `index` (after
+    /// recovery).
+    ///
+    /// The *structure* kind is checked against the persistent directory;
+    /// the `K`/`V` codec types are not persisted (yet), so reopening
+    /// with a different key/value encoding than the map was written
+    /// with is undetected — keep the types consistent across restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root exists at `index` or it is not a map.
+    pub fn open(heap: &ModHeap, index: usize) -> Self {
+        Self::from_root(heap.open_root(index))
     }
 
-    /// Whether `key` is present.
-    pub fn contains_key(&self, heap: &mut ModHeap, key: u64) -> bool {
-        self.cur.contains_key(heap.nv_mut(), key)
-    }
-
-    /// Failure-atomically removes `key`; returns whether it was present.
-    pub fn remove(&mut self, heap: &mut ModHeap, key: u64) -> bool {
-        let (new, removed) = self.cur.remove(heap.nv_mut(), key);
-        if removed {
-            self.commit(heap, new);
+    /// Wraps an already-opened typed root.
+    pub fn from_root(root: Root<PmMap>) -> Self {
+        DurableMap {
+            root,
+            _kv: PhantomData,
         }
-        removed
     }
 
-    /// Number of entries.
-    pub fn len(&self, heap: &mut ModHeap) -> u64 {
-        self.cur.len(heap.nv_mut())
+    /// The typed root this map is published under.
+    pub fn root(&self) -> Root<PmMap> {
+        self.root
     }
 
-    /// Whether the map is empty.
-    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
-        self.len(heap) == 0
+    /// Failure-atomically inserts or updates `key` (one FASE).
+    pub fn insert(&self, heap: &mut ModHeap, key: &K, value: &V) {
+        heap.fase(|tx| self.insert_in(tx, key, value));
+    }
+
+    /// Stages an insert on an in-progress FASE.
+    pub fn insert_in(&self, tx: &mut Fase<'_>, key: &K, value: &V) {
+        let value = value.value_bytes();
+        match key.repr() {
+            KeyRepr::Exact(w) => tx.update(self.root, |nv, m| m.insert(nv, w, &value)),
+            KeyRepr::Hashed { hash, bytes } => tx.update(self.root, |nv, m| {
+                let mut bucket = Vec::with_capacity(8 + bytes.len() + value.len());
+                push_frame(&mut bucket, &bytes, &value);
+                if let Some(old) = m.get(nv, hash) {
+                    // Preserve colliding keys other than ours.
+                    for (k, v) in frames(&old) {
+                        if k != bytes {
+                            push_frame(&mut bucket, k, v);
+                        }
+                    }
+                }
+                m.insert(nv, hash, &bucket)
+            }),
+        }
+    }
+
+    /// Failure-atomically removes `key` (one FASE); returns whether it
+    /// was present. An absent key is a no-op FASE: no ordering point.
+    pub fn remove(&self, heap: &mut ModHeap, key: &K) -> bool {
+        heap.fase(|tx| self.remove_in(tx, key))
+    }
+
+    /// Stages a removal on an in-progress FASE.
+    pub fn remove_in(&self, tx: &mut Fase<'_>, key: &K) -> bool {
+        match key.repr() {
+            KeyRepr::Exact(w) => tx.update_with(self.root, |nv, m| m.remove(nv, w)),
+            KeyRepr::Hashed { hash, bytes } => tx.update_with(self.root, |nv, m| {
+                let Some(old) = m.get(nv, hash) else {
+                    return (m, false);
+                };
+                if !frames(&old).any(|(k, _)| k == bytes) {
+                    return (m, false);
+                }
+                let mut bucket = Vec::new();
+                for (k, v) in frames(&old) {
+                    if k != bytes {
+                        push_frame(&mut bucket, k, v);
+                    }
+                }
+                if bucket.is_empty() {
+                    (m.remove(nv, hash).0, true)
+                } else {
+                    (m.insert(nv, hash, &bucket), true)
+                }
+            }),
+        }
+    }
+
+    /// Looks up `key`. Read-only: no flushes, no fences, no `&mut`.
+    pub fn get(&self, heap: &ModHeap, key: &K) -> Option<V> {
+        lookup(heap.current(self.root), &mut heap.nv().into(), &key.repr())
+    }
+
+    /// Looks up `key` as this FASE sees it (read-your-writes).
+    pub fn get_in(&self, tx: &Fase<'_>, key: &K) -> Option<V> {
+        lookup(tx.current(self.root), &mut tx.nv().into(), &key.repr())
+    }
+
+    /// Whether `key` is present. Read-only.
+    pub fn contains_key(&self, heap: &ModHeap, key: &K) -> bool {
+        match key.repr() {
+            KeyRepr::Exact(w) => heap.current(self.root).peek_contains_key(heap.nv(), w),
+            KeyRepr::Hashed { .. } => self.get(heap, key).is_some(),
+        }
+    }
+
+    /// Number of entries. Read-only. `O(1)` for exact keys; for hashed
+    /// keys this scans the buckets (`O(n)`) because a rare 64-bit hash
+    /// collision packs two entries into one substrate slot.
+    pub fn len(&self, heap: &ModHeap) -> u64 {
+        let cur = heap.current(self.root);
+        if !K::EXACT {
+            cur.peek_to_vec(heap.nv())
+                .iter()
+                .map(|(_, bucket)| frames(bucket).count() as u64)
+                .sum()
+        } else {
+            cur.peek_len(heap.nv())
+        }
+    }
+
+    /// Whether the map is empty. Read-only, `O(1)`.
+    pub fn is_empty(&self, heap: &ModHeap) -> bool {
+        heap.current(self.root).peek_is_empty(heap.nv())
+    }
+
+    /// Looks up `key` through the charged (instrumented) read path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DurableMap::get`, which takes `&ModHeap`"
+    )]
+    pub fn get_mut(&self, heap: &mut ModHeap, key: &K) -> Option<V> {
+        let cur = heap.current(self.root);
+        lookup(cur, &mut heap.nv_mut().into(), &key.repr())
+    }
+
+    /// Membership test through the charged (instrumented) read path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DurableMap::contains_key`, which takes `&ModHeap`"
+    )]
+    #[allow(deprecated)]
+    pub fn contains_key_mut(&self, heap: &mut ModHeap, key: &K) -> bool {
+        match key.repr() {
+            KeyRepr::Exact(w) => heap.current(self.root).contains_key(heap.nv_mut(), w),
+            KeyRepr::Hashed { .. } => self.get_mut(heap, key).is_some(),
+        }
+    }
+
+    /// Entry count through the charged (instrumented) read path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DurableMap::len`, which takes `&ModHeap`"
+    )]
+    pub fn len_mut(&self, heap: &mut ModHeap) -> u64 {
+        let cur = heap.current(self.root);
+        if !K::EXACT {
+            cur.to_vec(heap.nv_mut())
+                .iter()
+                .map(|(_, bucket)| frames(bucket).count() as u64)
+                .sum()
+        } else {
+            cur.len(heap.nv_mut())
+        }
     }
 }
+
+// ---------------------------------------------------------------------
+// Set
+// ---------------------------------------------------------------------
 
 /// A durable set with logically in-place updates (Basic interface).
-#[derive(Debug)]
-pub struct DurableSet {
-    slot: usize,
-    cur: PmSet,
+///
+/// Implemented as a [`DurableMap`] with unit values, which makes hashed
+/// (byte) keys collision-correct; membership costs no value blobs.
+pub struct DurableSet<K: PmKey> {
+    map: DurableMap<K, ()>,
 }
 
-common_impl!(DurableSet, PmSet, "a set");
+impl<K: PmKey> Clone for DurableSet<K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-impl DurableSet {
+impl<K: PmKey> Copy for DurableSet<K> {}
+
+impl<K: PmKey> std::fmt::Debug for DurableSet<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DurableSet({:?})", self.map.root())
+    }
+}
+
+impl<K: PmKey> DurableSet<K> {
+    /// Creates an empty set and publishes it as a new typed root.
+    pub fn create(heap: &mut ModHeap) -> Self {
+        DurableSet {
+            map: DurableMap::create(heap),
+        }
+    }
+
+    /// Reattaches to the set published at directory `index`.
+    pub fn open(heap: &ModHeap, index: usize) -> Self {
+        DurableSet {
+            map: DurableMap::open(heap, index),
+        }
+    }
+
+    /// Wraps an already-opened typed root.
+    pub fn from_root(root: Root<PmMap>) -> Self {
+        DurableSet {
+            map: DurableMap::from_root(root),
+        }
+    }
+
+    /// The typed root this set is published under.
+    pub fn root(&self) -> Root<PmMap> {
+        self.map.root()
+    }
+
     /// Failure-atomically inserts `key`; returns whether it was new. A
-    /// duplicate insert is a no-op FASE: detected by lookup, no shadow is
-    /// built and no ordering point is paid.
-    pub fn insert(&mut self, heap: &mut ModHeap, key: u64) -> bool {
-        if self.cur.contains(heap.nv_mut(), key) {
+    /// duplicate insert is a no-op FASE: no shadow, no ordering point.
+    pub fn insert(&self, heap: &mut ModHeap, key: &K) -> bool {
+        heap.fase(|tx| self.insert_in(tx, key))
+    }
+
+    /// Stages an insert on an in-progress FASE; returns whether new.
+    pub fn insert_in(&self, tx: &mut Fase<'_>, key: &K) -> bool {
+        if self.map.get_in(tx, key).is_some() {
             return false;
         }
-        let (new, added) = self.cur.insert(heap.nv_mut(), key);
-        debug_assert!(added);
-        self.commit(heap, new);
+        self.map.insert_in(tx, key, &());
         true
     }
 
-    /// Membership test (no flushes, no fences).
-    pub fn contains(&self, heap: &mut ModHeap, key: u64) -> bool {
-        self.cur.contains(heap.nv_mut(), key)
+    /// Membership test. Read-only: no flushes, fences, or `&mut`.
+    pub fn contains(&self, heap: &ModHeap, key: &K) -> bool {
+        self.map.contains_key(heap, key)
     }
 
     /// Failure-atomically removes `key`; returns whether it was present.
-    pub fn remove(&mut self, heap: &mut ModHeap, key: u64) -> bool {
-        let (new, removed) = self.cur.remove(heap.nv_mut(), key);
-        if removed {
-            self.commit(heap, new);
-        }
-        removed
+    pub fn remove(&self, heap: &mut ModHeap, key: &K) -> bool {
+        self.map.remove(heap, key)
     }
 
-    /// Number of elements.
-    pub fn len(&self, heap: &mut ModHeap) -> u64 {
-        self.cur.len(heap.nv_mut())
+    /// Stages a removal on an in-progress FASE.
+    pub fn remove_in(&self, tx: &mut Fase<'_>, key: &K) -> bool {
+        self.map.remove_in(tx, key)
     }
 
-    /// Whether the set is empty.
-    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
-        self.len(heap) == 0
+    /// Number of elements. Read-only.
+    pub fn len(&self, heap: &ModHeap) -> u64 {
+        self.map.len(heap)
+    }
+
+    /// Whether the set is empty. Read-only.
+    pub fn is_empty(&self, heap: &ModHeap) -> bool {
+        self.map.is_empty(heap)
     }
 }
+
+// ---------------------------------------------------------------------
+// Vector
+// ---------------------------------------------------------------------
 
 /// A durable vector with logically in-place updates (Basic interface).
-#[derive(Debug)]
-pub struct DurableVector {
-    slot: usize,
-    cur: PmVector,
+pub struct DurableVector<V: PmWord> {
+    root: Root<PmVector>,
+    _v: PhantomData<fn() -> V>,
 }
 
-common_impl!(DurableVector, PmVector, "a vector");
+impl<V: PmWord> Clone for DurableVector<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-impl DurableVector {
-    /// Creates a vector pre-filled from `elems`, published in `slot`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slot is already occupied.
-    pub fn create_from(heap: &mut ModHeap, slot: usize, elems: &[u64]) -> DurableVector {
-        let cur = PmVector::from_slice(heap.nv_mut(), elems);
-        heap.publish_root(slot, cur);
-        DurableVector { slot, cur }
+impl<V: PmWord> Copy for DurableVector<V> {}
+
+impl<V: PmWord> std::fmt::Debug for DurableVector<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DurableVector({:?})", self.root)
+    }
+}
+
+impl<V: PmWord> DurableVector<V> {
+    /// Creates an empty vector and publishes it as a new typed root.
+    pub fn create(heap: &mut ModHeap) -> Self {
+        let v0 = PmVector::empty(heap.nv_mut());
+        let root = heap.publish(v0);
+        Self::from_root(root)
     }
 
-    /// Failure-atomically appends `elem`.
-    pub fn push_back(&mut self, heap: &mut ModHeap, elem: u64) {
-        let new = self.cur.push_back(heap.nv_mut(), elem);
-        self.commit(heap, new);
+    /// Creates a vector pre-filled from `elems`, published as a new root.
+    pub fn create_from(heap: &mut ModHeap, elems: &[V]) -> Self {
+        let words: Vec<u64> = elems.iter().map(PmWord::to_word).collect();
+        let v0 = PmVector::from_slice(heap.nv_mut(), &words);
+        let root = heap.publish(v0);
+        Self::from_root(root)
     }
 
-    /// Failure-atomically writes `elem` at `index`.
+    /// Reattaches to the vector published at directory `index`.
+    pub fn open(heap: &ModHeap, index: usize) -> Self {
+        Self::from_root(heap.open_root(index))
+    }
+
+    /// Wraps an already-opened typed root.
+    pub fn from_root(root: Root<PmVector>) -> Self {
+        DurableVector {
+            root,
+            _v: PhantomData,
+        }
+    }
+
+    /// The typed root this vector is published under.
+    pub fn root(&self) -> Root<PmVector> {
+        self.root
+    }
+
+    /// Failure-atomically appends `elem` (one FASE).
+    pub fn push_back(&self, heap: &mut ModHeap, elem: &V) {
+        heap.fase(|tx| self.push_back_in(tx, elem));
+    }
+
+    /// Stages an append on an in-progress FASE.
+    pub fn push_back_in(&self, tx: &mut Fase<'_>, elem: &V) {
+        let w = elem.to_word();
+        tx.update(self.root, |nv, v| v.push_back(nv, w));
+    }
+
+    /// Failure-atomically writes `elem` at `index` (one FASE).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    pub fn update(&mut self, heap: &mut ModHeap, index: u64, elem: u64) {
-        let new = self.cur.update(heap.nv_mut(), index, elem);
-        self.commit(heap, new);
+    pub fn update(&self, heap: &mut ModHeap, index: u64, elem: &V) {
+        heap.fase(|tx| self.update_in(tx, index, elem));
     }
 
-    /// Element at `index` (no flushes, no fences).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of bounds.
-    pub fn get(&self, heap: &mut ModHeap, index: u64) -> u64 {
-        self.cur.get(heap.nv_mut(), index)
+    /// Stages a point write on an in-progress FASE.
+    pub fn update_in(&self, tx: &mut Fase<'_>, index: u64, elem: &V) {
+        let w = elem.to_word();
+        tx.update(self.root, |nv, v| v.update(nv, index, w));
     }
 
     /// Failure-atomically removes and returns the last element.
-    pub fn pop_back(&mut self, heap: &mut ModHeap) -> Option<u64> {
-        let (new, elem) = self.cur.pop_back(heap.nv_mut())?;
-        self.commit(heap, new);
-        Some(elem)
+    pub fn pop_back(&self, heap: &mut ModHeap) -> Option<V> {
+        heap.fase(|tx| {
+            tx.update_with(self.root, |nv, v| match v.pop_back(nv) {
+                Some((nv2, e)) => (nv2, Some(V::from_word(e))),
+                None => (v, None),
+            })
+        })
     }
 
     /// Failure-atomically swaps elements `i` and `j` — the vec-swap FASE
-    /// of Fig 7b: two pure updates, one commit, one ordering point.
+    /// of Fig 7b: two chained pure updates, one ordering point.
     ///
     /// # Panics
     ///
     /// Panics if either index is out of bounds.
-    pub fn swap(&mut self, heap: &mut ModHeap, i: u64, j: u64) {
+    pub fn swap(&self, heap: &mut ModHeap, i: u64, j: u64) {
         if i == j {
             return;
         }
-        let vi = self.cur.get(heap.nv_mut(), i);
-        let vj = self.cur.get(heap.nv_mut(), j);
-        let shadow = self.cur.update(heap.nv_mut(), i, vj);
-        let shadow_shadow = shadow.update(heap.nv_mut(), j, vi);
-        heap.commit_single(self.slot, self.cur, &[shadow], shadow_shadow);
-        self.cur = shadow_shadow;
+        heap.fase(|tx| {
+            let cur = tx.current(self.root);
+            let vi = cur.peek_get(tx.nv(), i);
+            let vj = cur.peek_get(tx.nv(), j);
+            tx.update(self.root, |nv, v| v.update(nv, i, vj));
+            tx.update(self.root, |nv, v| v.update(nv, j, vi));
+        });
     }
 
-    /// Number of elements.
-    pub fn len(&self, heap: &mut ModHeap) -> u64 {
-        self.cur.len(heap.nv_mut())
+    /// Element at `index`. Read-only: no flushes, fences, or `&mut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, heap: &ModHeap, index: u64) -> V {
+        V::from_word(heap.current(self.root).peek_get(heap.nv(), index))
     }
 
-    /// Whether the vector is empty.
-    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+    /// Number of elements. Read-only.
+    pub fn len(&self, heap: &ModHeap) -> u64 {
+        heap.current(self.root).peek_len(heap.nv())
+    }
+
+    /// Whether the vector is empty. Read-only.
+    pub fn is_empty(&self, heap: &ModHeap) -> bool {
         self.len(heap) == 0
     }
+
+    /// Collects all elements in order. Read-only.
+    pub fn to_vec(&self, heap: &ModHeap) -> Vec<V> {
+        heap.current(self.root)
+            .peek_to_vec(heap.nv())
+            .into_iter()
+            .map(V::from_word)
+            .collect()
+    }
 }
+
+// ---------------------------------------------------------------------
+// Stack
+// ---------------------------------------------------------------------
 
 /// A durable stack with logically in-place updates (Basic interface).
-#[derive(Debug)]
-pub struct DurableStack {
-    slot: usize,
-    cur: PmStack,
+pub struct DurableStack<V: PmWord> {
+    root: Root<PmStack>,
+    _v: PhantomData<fn() -> V>,
 }
 
-common_impl!(DurableStack, PmStack, "a stack");
+impl<V: PmWord> Clone for DurableStack<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-impl DurableStack {
-    /// Failure-atomically pushes `elem`.
-    pub fn push(&mut self, heap: &mut ModHeap, elem: u64) {
-        let new = self.cur.push(heap.nv_mut(), elem);
-        self.commit(heap, new);
+impl<V: PmWord> Copy for DurableStack<V> {}
+
+impl<V: PmWord> std::fmt::Debug for DurableStack<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DurableStack({:?})", self.root)
+    }
+}
+
+impl<V: PmWord> DurableStack<V> {
+    /// Creates an empty stack and publishes it as a new typed root.
+    pub fn create(heap: &mut ModHeap) -> Self {
+        let s0 = PmStack::empty(heap.nv_mut());
+        let root = heap.publish(s0);
+        Self::from_root(root)
     }
 
-    /// Failure-atomically pops the top element.
-    pub fn pop(&mut self, heap: &mut ModHeap) -> Option<u64> {
-        let (new, elem) = self.cur.pop(heap.nv_mut())?;
-        self.commit(heap, new);
-        Some(elem)
+    /// Reattaches to the stack published at directory `index`.
+    pub fn open(heap: &ModHeap, index: usize) -> Self {
+        Self::from_root(heap.open_root(index))
     }
 
-    /// Top element (no flushes, no fences).
-    pub fn peek(&self, heap: &mut ModHeap) -> Option<u64> {
-        self.cur.peek(heap.nv_mut())
+    /// Wraps an already-opened typed root.
+    pub fn from_root(root: Root<PmStack>) -> Self {
+        DurableStack {
+            root,
+            _v: PhantomData,
+        }
     }
 
-    /// Number of elements.
-    pub fn len(&self, heap: &mut ModHeap) -> u64 {
-        self.cur.len(heap.nv_mut())
+    /// The typed root this stack is published under.
+    pub fn root(&self) -> Root<PmStack> {
+        self.root
     }
 
-    /// Whether the stack is empty.
-    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+    /// Failure-atomically pushes `elem` (one FASE).
+    pub fn push(&self, heap: &mut ModHeap, elem: &V) {
+        heap.fase(|tx| self.push_in(tx, elem));
+    }
+
+    /// Stages a push on an in-progress FASE.
+    pub fn push_in(&self, tx: &mut Fase<'_>, elem: &V) {
+        let w = elem.to_word();
+        tx.update(self.root, |nv, s| s.push(nv, w));
+    }
+
+    /// Failure-atomically pops the top element (no-op FASE when empty).
+    pub fn pop(&self, heap: &mut ModHeap) -> Option<V> {
+        heap.fase(|tx| self.pop_in(tx))
+    }
+
+    /// Stages a pop on an in-progress FASE.
+    pub fn pop_in(&self, tx: &mut Fase<'_>) -> Option<V> {
+        tx.update_with(self.root, |nv, s| match s.pop(nv) {
+            Some((ns, e)) => (ns, Some(V::from_word(e))),
+            None => (s, None),
+        })
+    }
+
+    /// Top element. Read-only: no flushes, fences, or `&mut`.
+    pub fn peek(&self, heap: &ModHeap) -> Option<V> {
+        heap.current(self.root)
+            .peek_top(heap.nv())
+            .map(V::from_word)
+    }
+
+    /// Number of elements. Read-only.
+    pub fn len(&self, heap: &ModHeap) -> u64 {
+        heap.current(self.root).peek_len(heap.nv())
+    }
+
+    /// Whether the stack is empty. Read-only.
+    pub fn is_empty(&self, heap: &ModHeap) -> bool {
         self.len(heap) == 0
     }
 }
 
-/// A durable FIFO queue with logically in-place updates (Basic interface).
-#[derive(Debug)]
-pub struct DurableQueue {
-    slot: usize,
-    cur: PmQueue,
+// ---------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------
+
+/// A durable FIFO queue with logically in-place updates (Basic
+/// interface).
+pub struct DurableQueue<V: PmWord> {
+    root: Root<PmQueue>,
+    _v: PhantomData<fn() -> V>,
 }
 
-common_impl!(DurableQueue, PmQueue, "a queue");
+impl<V: PmWord> Clone for DurableQueue<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
 
-impl DurableQueue {
-    /// Failure-atomically enqueues `elem`.
-    pub fn enqueue(&mut self, heap: &mut ModHeap, elem: u64) {
-        let new = self.cur.enqueue(heap.nv_mut(), elem);
-        self.commit(heap, new);
+impl<V: PmWord> Copy for DurableQueue<V> {}
+
+impl<V: PmWord> std::fmt::Debug for DurableQueue<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DurableQueue({:?})", self.root)
+    }
+}
+
+impl<V: PmWord> DurableQueue<V> {
+    /// Creates an empty queue and publishes it as a new typed root.
+    pub fn create(heap: &mut ModHeap) -> Self {
+        let q0 = PmQueue::empty(heap.nv_mut());
+        let root = heap.publish(q0);
+        Self::from_root(root)
     }
 
-    /// Failure-atomically dequeues the head element.
-    pub fn dequeue(&mut self, heap: &mut ModHeap) -> Option<u64> {
-        let (new, elem) = self.cur.dequeue(heap.nv_mut())?;
-        self.commit(heap, new);
-        Some(elem)
+    /// Reattaches to the queue published at directory `index`.
+    pub fn open(heap: &ModHeap, index: usize) -> Self {
+        Self::from_root(heap.open_root(index))
     }
 
-    /// Head element (no flushes, no fences).
-    pub fn peek(&self, heap: &mut ModHeap) -> Option<u64> {
-        self.cur.peek(heap.nv_mut())
+    /// Wraps an already-opened typed root.
+    pub fn from_root(root: Root<PmQueue>) -> Self {
+        DurableQueue {
+            root,
+            _v: PhantomData,
+        }
     }
 
-    /// Number of elements.
-    pub fn len(&self, heap: &mut ModHeap) -> u64 {
-        self.cur.len(heap.nv_mut())
+    /// The typed root this queue is published under.
+    pub fn root(&self) -> Root<PmQueue> {
+        self.root
     }
 
-    /// Whether the queue is empty.
-    pub fn is_empty(&self, heap: &mut ModHeap) -> bool {
+    /// Failure-atomically enqueues `elem` (one FASE).
+    pub fn enqueue(&self, heap: &mut ModHeap, elem: &V) {
+        heap.fase(|tx| self.enqueue_in(tx, elem));
+    }
+
+    /// Stages an enqueue on an in-progress FASE.
+    pub fn enqueue_in(&self, tx: &mut Fase<'_>, elem: &V) {
+        let w = elem.to_word();
+        tx.update(self.root, |nv, q| q.enqueue(nv, w));
+    }
+
+    /// Failure-atomically dequeues the head (no-op FASE when empty).
+    pub fn dequeue(&self, heap: &mut ModHeap) -> Option<V> {
+        heap.fase(|tx| self.dequeue_in(tx))
+    }
+
+    /// Stages a dequeue on an in-progress FASE.
+    pub fn dequeue_in(&self, tx: &mut Fase<'_>) -> Option<V> {
+        tx.update_with(self.root, |nv, q| match q.dequeue(nv) {
+            Some((nq, e)) => (nq, Some(V::from_word(e))),
+            None => (q, None),
+        })
+    }
+
+    /// Head element. Read-only: no flushes, fences, or `&mut`.
+    pub fn peek(&self, heap: &ModHeap) -> Option<V> {
+        heap.current(self.root)
+            .peek_front(heap.nv())
+            .map(V::from_word)
+    }
+
+    /// Number of elements. Read-only.
+    pub fn len(&self, heap: &ModHeap) -> u64 {
+        heap.current(self.root).peek_len(heap.nv())
+    }
+
+    /// Whether the queue is empty. Read-only.
+    pub fn is_empty(&self, heap: &ModHeap) -> bool {
         self.len(heap) == 0
     }
 }
@@ -312,134 +679,102 @@ impl DurableQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recovery::{recover, RootSpec};
-    use crate::RootKind;
     use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
 
     fn mh() -> ModHeap {
         ModHeap::create(Pmem::new(PmemConfig::testing()))
     }
 
-    #[test]
-    fn durable_map_basic_ops() {
-        let mut h = mh();
-        let mut m = DurableMap::create(&mut h, 0);
-        m.insert(&mut h, 1, b"one");
-        m.insert(&mut h, 2, b"two");
-        assert_eq!(m.get(&mut h, 1), Some(b"one".to_vec()));
-        assert_eq!(m.len(&mut h), 2);
-        assert!(m.remove(&mut h, 1));
-        assert!(!m.remove(&mut h, 1));
-        assert!(!m.contains_key(&mut h, 1));
-    }
+    /// A key type whose every value hashes to the same bucket, forcing
+    /// the collision branches of the bucket framing.
+    struct Colliding(&'static str);
 
-    #[test]
-    fn one_fence_per_basic_update() {
-        let mut h = mh();
-        let mut m = DurableMap::create(&mut h, 0);
-        let before = h.nv().pm().stats().fences;
-        for i in 0..10 {
-            m.insert(&mut h, i, b"value-bytes-here");
+    impl PmKey for Colliding {
+        const EXACT: bool = false;
+
+        fn repr(&self) -> KeyRepr {
+            KeyRepr::Hashed {
+                hash: 42,
+                bytes: self.0.as_bytes().to_vec(),
+            }
         }
-        assert_eq!(h.nv().pm().stats().fences - before, 10);
     }
 
     #[test]
-    fn lookups_cost_no_fences_or_flushes() {
+    fn colliding_hashed_keys_stay_distinct() {
         let mut h = mh();
-        let mut m = DurableMap::create(&mut h, 0);
-        m.insert(&mut h, 1, b"x");
-        let s = h.nv().pm().stats().clone();
-        let _ = m.get(&mut h, 1);
-        let _ = m.contains_key(&mut h, 2);
-        let after = h.nv().pm().stats();
-        assert_eq!(after.fences, s.fences);
-        assert_eq!(after.flushes, s.flushes);
+        let map: DurableMap<Colliding, String> = DurableMap::create(&mut h);
+        map.insert(&mut h, &Colliding("alpha"), &"a1".to_string());
+        map.insert(&mut h, &Colliding("beta"), &"b1".to_string());
+        map.insert(&mut h, &Colliding("gamma"), &"c1".to_string());
+        assert_eq!(map.len(&h), 3, "three frames share one bucket");
+        assert_eq!(map.get(&h, &Colliding("alpha")).as_deref(), Some("a1"));
+        assert_eq!(map.get(&h, &Colliding("beta")).as_deref(), Some("b1"));
+        assert_eq!(map.get(&h, &Colliding("gamma")).as_deref(), Some("c1"));
+        assert_eq!(map.get(&h, &Colliding("delta")), None);
+
+        // Overwriting one colliding key must preserve its siblings.
+        map.insert(&mut h, &Colliding("beta"), &"b2".to_string());
+        assert_eq!(map.len(&h), 3);
+        assert_eq!(map.get(&h, &Colliding("alpha")).as_deref(), Some("a1"));
+        assert_eq!(map.get(&h, &Colliding("beta")).as_deref(), Some("b2"));
+        assert_eq!(map.get(&h, &Colliding("gamma")).as_deref(), Some("c1"));
+
+        // Removing one colliding key re-packs the bucket without the rest.
+        assert!(map.remove(&mut h, &Colliding("alpha")));
+        assert!(!map.remove(&mut h, &Colliding("alpha")));
+        assert_eq!(map.len(&h), 2);
+        assert_eq!(map.get(&h, &Colliding("alpha")), None);
+        assert_eq!(map.get(&h, &Colliding("beta")).as_deref(), Some("b2"));
+
+        // Draining the bucket removes the substrate entry entirely.
+        assert!(map.remove(&mut h, &Colliding("beta")));
+        assert!(map.remove(&mut h, &Colliding("gamma")));
+        assert_eq!(map.len(&h), 0);
+        assert!(map.is_empty(&h));
+
+        // The bucket slot is reusable afterwards.
+        map.insert(&mut h, &Colliding("omega"), &"o1".to_string());
+        assert_eq!(map.get(&h, &Colliding("omega")).as_deref(), Some("o1"));
     }
 
     #[test]
-    fn durable_vector_swap_is_one_fase() {
+    fn colliding_set_members_stay_distinct() {
         let mut h = mh();
-        let mut v = DurableVector::create_from(&mut h, 0, &(0..100).collect::<Vec<_>>());
-        let before = h.nv().pm().stats().fences;
-        v.swap(&mut h, 3, 97);
-        assert_eq!(h.nv().pm().stats().fences - before, 1);
-        assert_eq!(v.get(&mut h, 3), 97);
-        assert_eq!(v.get(&mut h, 97), 3);
-        v.swap(&mut h, 5, 5); // no-op swap commits nothing
-        assert_eq!(v.get(&mut h, 5), 5);
+        let set: DurableSet<Colliding> = DurableSet::create(&mut h);
+        assert!(set.insert(&mut h, &Colliding("x")));
+        assert!(set.insert(&mut h, &Colliding("y")));
+        assert!(!set.insert(&mut h, &Colliding("x")), "duplicate");
+        assert_eq!(set.len(&h), 2);
+        assert!(set.contains(&h, &Colliding("x")));
+        assert!(set.contains(&h, &Colliding("y")));
+        assert!(!set.contains(&h, &Colliding("z")));
+        assert!(set.remove(&mut h, &Colliding("x")));
+        assert!(!set.contains(&h, &Colliding("x")));
+        assert!(set.contains(&h, &Colliding("y")), "sibling survives");
     }
 
     #[test]
-    fn durable_stack_and_queue() {
+    fn typed_wrappers_roundtrip_and_survive_restart() {
         let mut h = mh();
-        let mut s = DurableStack::create(&mut h, 0);
-        let mut q = DurableQueue::create(&mut h, 1);
-        for i in 0..5 {
-            s.push(&mut h, i);
-            q.enqueue(&mut h, i);
-        }
-        assert_eq!(s.pop(&mut h), Some(4));
-        assert_eq!(q.dequeue(&mut h), Some(0));
-        assert_eq!(s.peek(&mut h), Some(3));
-        assert_eq!(q.peek(&mut h), Some(1));
-        assert_eq!(s.len(&mut h), 4);
-        assert_eq!(q.len(&mut h), 4);
-    }
-
-    #[test]
-    fn set_duplicate_insert_does_not_commit() {
-        let mut h = mh();
-        let mut s = DurableSet::create(&mut h, 0);
-        assert!(s.insert(&mut h, 9));
-        let fences = h.nv().pm().stats().fences;
-        assert!(!s.insert(&mut h, 9));
-        assert_eq!(h.nv().pm().stats().fences, fences, "no FASE for a no-op");
-        assert_eq!(s.len(&mut h), 1);
-    }
-
-    #[test]
-    fn survives_crash_and_reopen() {
-        let mut h = mh();
-        let mut m = DurableMap::create(&mut h, 0);
-        let mut q = DurableQueue::create(&mut h, 1);
-        for i in 0..20u64 {
-            m.insert(&mut h, i, &i.to_le_bytes());
-            q.enqueue(&mut h, i);
-        }
+        let map: DurableMap<String, u32> = DurableMap::create(&mut h);
+        let vec: DurableVector<i64> = DurableVector::create_from(&mut h, &[-3, 0, 7]);
+        let stack: DurableStack<u64> = DurableStack::create(&mut h);
+        let queue: DurableQueue<u32> = DurableQueue::create(&mut h);
+        map.insert(&mut h, &"k".to_string(), &9);
+        stack.push(&mut h, &5);
+        queue.enqueue(&mut h, &6);
+        vec.update(&mut h, 1, &100);
         h.quiesce();
-        let pm = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(
-            pm,
-            &[
-                RootSpec::new(0, RootKind::Map),
-                RootSpec::new(1, RootKind::Queue),
-            ],
-        );
-        let m2 = DurableMap::open(&mut h2, 0);
-        let mut q2 = DurableQueue::open(&mut h2, 1);
-        assert_eq!(m2.len(&mut h2), 20);
-        assert_eq!(m2.get(&mut h2, 13), Some(13u64.to_le_bytes().to_vec()));
-        assert_eq!(q2.dequeue(&mut h2), Some(0));
-        assert_eq!(q2.len(&mut h2), 19);
-    }
-
-    #[test]
-    fn steady_state_memory_is_bounded() {
-        // Version churn must not grow the heap: deferred reclamation keeps
-        // at most one superseded version alive.
-        let mut h = mh();
-        let mut m = DurableMap::create(&mut h, 0);
-        for i in 0..50u64 {
-            m.insert(&mut h, i % 4, b"overwritten-repeatedly");
-        }
-        h.quiesce();
-        let live_after_50 = h.nv().stats().live_bytes;
-        for i in 0..500u64 {
-            m.insert(&mut h, i % 4, b"overwritten-repeatedly");
-        }
-        h.quiesce();
-        let live_after_550 = h.nv().stats().live_bytes;
-        assert_eq!(live_after_50, live_after_550, "no leak under churn");
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (h2, _) = ModHeap::open(img);
+        let map: DurableMap<String, u32> = DurableMap::open(&h2, 0);
+        let vec: DurableVector<i64> = DurableVector::open(&h2, 1);
+        let stack: DurableStack<u64> = DurableStack::open(&h2, 2);
+        let queue: DurableQueue<u32> = DurableQueue::open(&h2, 3);
+        assert_eq!(map.get(&h2, &"k".to_string()), Some(9));
+        assert_eq!(vec.to_vec(&h2), vec![-3, 100, 7]);
+        assert_eq!(stack.peek(&h2), Some(5));
+        assert_eq!(queue.peek(&h2), Some(6));
     }
 }

@@ -1,0 +1,430 @@
+//! Closure-based failure-atomic sections (FASEs).
+//!
+//! [`ModHeap::fase`] is the write path of the typed API: the closure
+//! receives a [`Fase`] transaction handle and stages pure shadow updates
+//! against any number of typed roots; when the closure returns, all
+//! staged updates are published together with **exactly one ordering
+//! point** (one `sfence` + one atomic 8-byte pointer store — the paper's
+//! Fig 8 headline, now for arbitrary multi-structure FASEs via the root
+//! directory).
+//!
+//! ```
+//! use mod_core::ModHeap;
+//! use mod_funcds::{PmMap, PmQueue};
+//! use mod_pmem::{Pmem, PmemConfig};
+//!
+//! let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+//! let m0 = PmMap::empty(heap.nv_mut());
+//! let q0 = PmQueue::empty(heap.nv_mut());
+//! let map = heap.publish(m0);
+//! let queue = heap.publish(q0);
+//!
+//! // One FASE over two structures: move a work item into the map.
+//! heap.fase(|tx| {
+//!     tx.update(map, |nv, m| m.insert(nv, 42, b"payload"));
+//!     tx.update(queue, |nv, q| q.enqueue(nv, 42));
+//! });
+//! assert_eq!(heap.current(map).peek_get(heap.nv(), 42), Some(b"payload".to_vec()));
+//! ```
+//!
+//! Within one FASE, repeated updates to the same root chain: the second
+//! closure sees the first's shadow, and superseded intra-FASE shadows
+//! (Fig 7b's `shadow_shadow` pattern) are reclaimed right after commit.
+//! A FASE that stages nothing — or whose updates all return the version
+//! they were given — commits nothing and costs no ordering point.
+//!
+//! If the closure panics, nothing is published: the staged shadows are
+//! dropped (their blocks are reclaimed by GC on the next recovery, like
+//! any crash-interrupted FASE) and the heap's committed state is intact.
+
+use crate::erased::{DurableDs, ErasedDs, RootKind};
+use crate::heap::ModHeap;
+use crate::parent;
+use crate::root::{current_of, Root, ROOT_DIR_SLOT};
+use mod_alloc::NvHeap;
+use mod_pmem::{PmPtr, Pmem};
+
+/// One staged root update inside a FASE.
+#[derive(Debug)]
+struct PendingUpdate {
+    index: usize,
+    kind: RootKind,
+    /// The shadow that will be published for this root.
+    new: PmPtr,
+    /// Shadows superseded by later updates to the same root in this FASE
+    /// (never published; reclaimed immediately after commit).
+    intermediates: Vec<ErasedDs>,
+}
+
+/// An in-progress failure-atomic section over typed roots.
+///
+/// Created by [`ModHeap::fase`]; stages pure updates via [`Fase::update`]
+/// and [`Fase::update_with`]. Nothing becomes visible or durable until
+/// the `fase` closure returns.
+#[derive(Debug)]
+pub struct Fase<'h> {
+    heap: &'h mut ModHeap,
+    pending: Vec<PendingUpdate>,
+}
+
+impl Fase<'_> {
+    /// The version of `root` this FASE currently sees: the shadow staged
+    /// by an earlier [`Fase::update`] in this FASE, or the published
+    /// version.
+    pub fn current<D: DurableDs>(&self, root: Root<D>) -> D {
+        match self.find(root.index()) {
+            Some(p) => D::from_root_ptr(p.new),
+            None => current_of(self.heap.nv(), root),
+        }
+    }
+
+    /// Stages a pure update: `f` receives the heap and the current
+    /// version and returns the new version. Returning the input version
+    /// unchanged makes this a no-op (nothing staged, nothing committed).
+    pub fn update<D: DurableDs>(&mut self, root: Root<D>, f: impl FnOnce(&mut NvHeap, D) -> D) {
+        self.update_with(root, |nv, cur| (f(nv, cur), ()))
+    }
+
+    /// Stages a pure update that also computes a result, e.g. a dequeued
+    /// element or a was-removed flag: `f` returns `(new_version, result)`.
+    pub fn update_with<D: DurableDs, R>(
+        &mut self,
+        root: Root<D>,
+        f: impl FnOnce(&mut NvHeap, D) -> (D, R),
+    ) -> R {
+        let cur = self.current(root);
+        let (next, out) = f(self.heap.nv_mut(), cur);
+        if next.root_ptr() == cur.root_ptr() {
+            return out; // no-op update: stage nothing
+        }
+        let published = current_of(self.heap.nv(), root).root_ptr();
+        match self.pending.iter().position(|p| p.index == root.index()) {
+            Some(i) if next.root_ptr() == published => {
+                // The chain reverted to the published version: the root is
+                // back to a no-op. Unstage it and reclaim every shadow this
+                // FASE built for it — publishing the already-owned version
+                // as "fresh" would double-release it at commit.
+                let p = self.pending.remove(i);
+                ErasedDs {
+                    kind: p.kind,
+                    root: p.new,
+                }
+                .release(self.heap.nv_mut());
+                for im in p.intermediates {
+                    im.release(self.heap.nv_mut());
+                }
+            }
+            Some(i) => {
+                let p = &mut self.pending[i];
+                // If the closure resurfaced an earlier shadow, it becomes
+                // the head again instead of staying an intermediate.
+                p.intermediates.retain(|im| im.root != next.root_ptr());
+                p.intermediates.push(ErasedDs {
+                    kind: p.kind,
+                    root: p.new,
+                });
+                p.new = next.root_ptr();
+            }
+            None => self.pending.push(PendingUpdate {
+                index: root.index(),
+                kind: D::KIND,
+                new: next.root_ptr(),
+                intermediates: Vec::new(),
+            }),
+        }
+        out
+    }
+
+    /// Read access to the underlying heap (peek reads, stats).
+    pub fn nv(&self) -> &NvHeap {
+        self.heap.nv()
+    }
+
+    /// Mutable heap access for charged reads or hand-built shadows.
+    /// Updates staged through [`Fase::update`] are the supported write
+    /// path; direct writes here must follow the shadow discipline (write
+    /// only to freshly allocated blocks).
+    pub fn nv_mut(&mut self) -> &mut NvHeap {
+        self.heap.nv_mut()
+    }
+
+    /// The underlying simulated PM pool (crash images in tests).
+    pub fn pm(&self) -> &Pmem {
+        self.heap.nv().pm()
+    }
+
+    /// Number of roots with updates staged so far.
+    pub fn staged(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn find(&self, index: usize) -> Option<&PendingUpdate> {
+        self.pending.iter().find(|p| p.index == index)
+    }
+}
+
+impl ModHeap {
+    /// Runs a failure-atomic section: every update staged by `f` commits
+    /// atomically with exactly one ordering point (or not at all, if the
+    /// process dies first). Returns the closure's result.
+    pub fn fase<R>(&mut self, f: impl FnOnce(&mut Fase<'_>) -> R) -> R {
+        let mut tx = Fase {
+            heap: self,
+            pending: Vec::new(),
+        };
+        let out = f(&mut tx);
+        let pending = std::mem::take(&mut tx.pending);
+        drop(tx);
+        self.commit_fase(pending);
+        out
+    }
+
+    /// Publishes staged FASE updates with exactly one ordering point.
+    ///
+    /// Single-root FASEs take the Fig 8b path: the directory entry is an
+    /// 8-byte root pointer, so after the fence one atomic in-place store
+    /// (wrapped as a commit write, like a root-slot store) swings it — no
+    /// directory rebuild, no allocation, one `clwb`. Multi-root FASEs
+    /// build one fresh directory (Fig 8c): flush it, fence once, swing
+    /// the directory slot.
+    fn commit_fase(&mut self, pending: Vec<PendingUpdate>) {
+        if pending.is_empty() {
+            return;
+        }
+        let dir = self.nv_mut().read_root(ROOT_DIR_SLOT);
+        assert!(!dir.is_null(), "FASE update with no published roots");
+        if let [p] = pending.as_slice() {
+            let entry_addr = dir.addr() + 8 + 16 * p.index as u64 + 8;
+            let old = PmPtr::from_addr(self.nv_mut().read_u64(entry_addr));
+            let old = ErasedDs {
+                kind: p.kind,
+                root: old,
+            };
+            self.fence_and_drain();
+            {
+                let pm = self.nv_mut().pm_mut();
+                pm.begin_commit();
+                pm.write_u64(entry_addr, p.new.addr());
+                pm.clwb(entry_addr);
+                pm.end_commit();
+            }
+            // The FASE's temporary ownership of the shadow transfers to
+            // the directory; the directory's reference to the superseded
+            // version becomes a deferred reclaim.
+            self.defer_release(old);
+        } else {
+            let mut children = parent::children_of(self.nv_mut(), dir);
+            let mut fresh = Vec::with_capacity(pending.len());
+            for p in &pending {
+                let entry = &mut children[p.index];
+                debug_assert_eq!(entry.kind, p.kind, "directory kind drift");
+                entry.root = p.new;
+                fresh.push(*entry);
+            }
+            self.swing_directory(dir, &children, &fresh);
+        }
+        // Intra-FASE shadows were never published: reclaim immediately.
+        for p in pending {
+            for im in p.intermediates {
+                im.release(self.nv_mut());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
+    use mod_pmem::PmemConfig;
+
+    fn mh() -> ModHeap {
+        ModHeap::create(Pmem::new(PmemConfig::testing()))
+    }
+
+    #[test]
+    fn single_root_fase_one_fence() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        let fences = h.nv().pm().stats().fences;
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"v")));
+        assert_eq!(h.nv().pm().stats().fences - fences, 1);
+        assert_eq!(h.current(map).peek_get(h.nv(), 1), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn multi_structure_fase_one_fence() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let q0 = PmQueue::empty(h.nv_mut());
+        let s0 = PmStack::empty(h.nv_mut());
+        let map = h.publish(m0);
+        let queue = h.publish(q0);
+        let stack = h.publish(s0);
+        let fences = h.nv().pm().stats().fences;
+        h.fase(|tx| {
+            tx.update(map, |nv, m| m.insert(nv, 7, b"seven"));
+            tx.update(queue, |nv, q| q.enqueue(nv, 7));
+            tx.update(stack, |nv, s| s.push(nv, 7));
+        });
+        assert_eq!(
+            h.nv().pm().stats().fences - fences,
+            1,
+            "three structures, still exactly one ordering point"
+        );
+        assert_eq!(h.current(queue).peek_front(h.nv()), Some(7));
+        assert_eq!(h.current(stack).peek_top(h.nv()), Some(7));
+    }
+
+    #[test]
+    fn chained_updates_reclaim_intermediates() {
+        let mut h = mh();
+        let v0 = PmVector::from_slice(h.nv_mut(), &[1, 2, 3, 4]);
+        let vec = h.publish(v0);
+        let frees = h.nv().stats().frees;
+        let fences = h.nv().pm().stats().fences;
+        // Fig 7b's vec-swap: two chained pure updates, one FASE.
+        h.fase(|tx| {
+            tx.update(vec, |nv, v| v.update(nv, 0, 4));
+            tx.update(vec, |nv, v| v.update(nv, 3, 1));
+        });
+        assert_eq!(h.nv().pm().stats().fences - fences, 1);
+        assert!(
+            h.nv().stats().frees > frees,
+            "intermediate shadow reclaimed immediately"
+        );
+        assert_eq!(h.current(vec).peek_to_vec(h.nv()), vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn empty_fase_commits_nothing() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        let fences = h.nv().pm().stats().fences;
+        let out = h.fase(|_| 41) + 1;
+        h.fase(|tx| {
+            // A staged no-op: the closure returns the version unchanged.
+            tx.update(map, |_, m| m);
+        });
+        assert_eq!(h.nv().pm().stats().fences, fences, "no-op FASEs are free");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn update_with_returns_result() {
+        let mut h = mh();
+        let q0 = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 5);
+        let queue = h.publish(q0);
+        let popped = h.fase(|tx| {
+            tx.update_with(queue, |nv, q| match q.dequeue(nv) {
+                Some((nq, e)) => (nq, Some(e)),
+                None => (q, None),
+            })
+        });
+        assert_eq!(popped, Some(5));
+        assert!(h.current(queue).peek_is_empty(h.nv()));
+        // Empty queue: dequeue is a no-op FASE.
+        let fences = h.nv().pm().stats().fences;
+        let popped = h.fase(|tx| {
+            tx.update_with(queue, |nv, q| match q.dequeue(nv) {
+                Some((nq, e)) => (nq, Some(e)),
+                None => (q, None),
+            })
+        });
+        assert_eq!(popped, None);
+        assert_eq!(h.nv().pm().stats().fences, fences);
+    }
+
+    #[test]
+    fn fase_sees_its_own_updates() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        let (before, within) = h.fase(|tx| {
+            let before = tx.current(map).contains_key(tx.nv_mut(), 9);
+            tx.update(map, |nv, m| m.insert(nv, 9, b"x"));
+            let within = tx.current(map).contains_key(tx.nv_mut(), 9);
+            (before, within)
+        });
+        assert!(!before);
+        assert!(within, "read-your-writes within the FASE");
+    }
+
+    #[test]
+    fn deferred_reclaim_of_old_versions() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"a")));
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 2, b"b")));
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 3, b"c")));
+        h.quiesce();
+        // Only the live version (plus directory) remains.
+        let live = h.nv().stats().live_blocks;
+        let cur = h.current(map);
+        assert_eq!(cur.peek_len(h.nv()), 3);
+        assert!(live > 0);
+        // Steady state: churn does not grow the heap.
+        for i in 0..50u64 {
+            h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, i % 3, b"over")));
+        }
+        h.quiesce();
+        let live2 = h.nv().stats().live_blocks;
+        for i in 0..200u64 {
+            h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, i % 3, b"over")));
+        }
+        h.quiesce();
+        assert_eq!(h.nv().stats().live_blocks, live2, "no leak under churn");
+        let _ = live;
+    }
+
+    #[test]
+    fn reverted_update_chain_is_a_noop_fase() {
+        // A second update returning the originally *published* version
+        // must unstage the root entirely — publishing the already-owned
+        // version as fresh would double-release it (use-after-free).
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"keep");
+        let map = h.publish(m0);
+        h.quiesce();
+        let fences = h.nv().pm().stats().fences;
+        let live = h.nv().stats().live_blocks;
+        h.fase(|tx| {
+            let orig = tx.current(map);
+            tx.update(map, |nv, m| m.insert(nv, 2, b"staged"));
+            tx.update(map, |nv, m| m.insert(nv, 3, b"chained"));
+            tx.update(map, |_, _| orig); // revert everything
+        });
+        assert_eq!(h.nv().pm().stats().fences, fences, "revert = no-op FASE");
+        assert_eq!(h.nv().stats().live_blocks, live, "staged shadows reclaimed");
+        // The published version is intact and still owned by the directory.
+        let cur = h.current(map);
+        assert_eq!(cur.root(), m0.root());
+        assert_eq!(cur.peek_get(h.nv(), 1), Some(b"keep".to_vec()));
+        assert_eq!(h.nv().rc_get(m0.root()), 1);
+        // And the heap keeps working: further FASEs publish normally.
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 4, b"after")));
+        h.quiesce();
+        assert_eq!(h.current(map).peek_get(h.nv(), 4), Some(b"after".to_vec()));
+    }
+
+    #[test]
+    fn panicking_fase_publishes_nothing() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"committed")));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.fase(|tx| {
+                tx.update(map, |nv, m| m.insert(nv, 2, b"doomed"));
+                panic!("application bug mid-FASE");
+            })
+        }));
+        assert!(result.is_err());
+        let cur = h.current(map);
+        assert_eq!(cur.peek_get(h.nv(), 1), Some(b"committed".to_vec()));
+        assert_eq!(cur.peek_get(h.nv(), 2), None, "aborted FASE invisible");
+    }
+}

@@ -29,6 +29,7 @@
 
 use crate::erased::{DurableDs, ErasedDs};
 use crate::parent::store_parent;
+use crate::root::ROOT_DIR_SLOT;
 use mod_alloc::NvHeap;
 use mod_pmem::{PmPtr, Pmem};
 
@@ -84,18 +85,48 @@ impl ModHeap {
         self.nv.into_pm()
     }
 
-    /// Reads a root slot.
+    /// Reads a root slot (raw-slot interface; typed code uses
+    /// [`ModHeap::current`] instead).
     pub fn read_root(&mut self, slot: usize) -> PmPtr {
         self.nv.read_root(slot)
     }
 
-    fn fence_and_drain(&mut self) {
+    /// Queues a superseded version for release after the next fence.
+    pub(crate) fn defer_release(&mut self, old: ErasedDs) {
+        self.pending.push(old);
+    }
+
+    pub(crate) fn fence_and_drain(&mut self) {
         self.nv.sfence();
         // The previous commit's pointer store is now durable; its old
         // version can never be observed by recovery again.
         let pending = std::mem::take(&mut self.pending);
         for e in pending {
             e.release(&mut self.nv);
+        }
+    }
+
+    /// Publishes a fresh root directory (Fig 8c on the directory parent):
+    /// flush the new parent, fence once, swing the directory pointer.
+    /// `fresh` names the children whose temporary FASE ownership transfers
+    /// to the new directory.
+    pub(crate) fn swing_directory(
+        &mut self,
+        old_dir: PmPtr,
+        children: &[ErasedDs],
+        fresh: &[ErasedDs],
+    ) {
+        let new_dir = store_parent(&mut self.nv, children);
+        for f in fresh {
+            self.nv.rc_dec(f.root);
+        }
+        self.fence_and_drain();
+        self.store_root_slot(ROOT_DIR_SLOT, new_dir);
+        if !old_dir.is_null() {
+            self.pending.push(ErasedDs {
+                kind: crate::erased::RootKind::Parent,
+                root: old_dir,
+            });
         }
     }
 
@@ -120,6 +151,10 @@ impl ModHeap {
     /// # Panics
     ///
     /// Panics if `new` aliases `old` (a no-op FASE must skip commit).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModHeap::fase` with a typed `Root<D>` instead of raw slots"
+    )]
     pub fn commit_single<D: DurableDs>(
         &mut self,
         slot: usize,
@@ -127,6 +162,10 @@ impl ModHeap {
         intermediates: &[D],
         new: D,
     ) {
+        assert_ne!(
+            slot, ROOT_DIR_SLOT,
+            "slot {slot} is reserved for the typed root directory"
+        );
         assert_ne!(
             old.root_ptr(),
             new.root_ptr(),
@@ -143,7 +182,20 @@ impl ModHeap {
 
     /// Publishes the very first version into an empty slot (no previous
     /// version to supersede). One ordering point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied or is [`ROOT_DIR_SLOT`] (reserved
+    /// for the typed root directory).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModHeap::publish`, which returns a typed `Root<D>`"
+    )]
     pub fn publish_root<D: DurableDs>(&mut self, slot: usize, new: D) {
+        assert_ne!(
+            slot, ROOT_DIR_SLOT,
+            "slot {slot} is reserved for the typed root directory"
+        );
         let cur = self.nv.read_root(slot);
         assert!(cur.is_null(), "slot {slot} already holds {cur}");
         self.fence_and_drain();
@@ -166,6 +218,10 @@ impl ModHeap {
     /// # Panics
     ///
     /// Panics if `children` is empty.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModHeap::fase` — all typed roots are siblings under the root directory"
+    )]
     pub fn commit_siblings(
         &mut self,
         slot: usize,
@@ -173,6 +229,10 @@ impl ModHeap {
         children: &[ErasedDs],
         fresh: &[ErasedDs],
     ) {
+        assert_ne!(
+            slot, ROOT_DIR_SLOT,
+            "slot {slot} is reserved for the typed root directory"
+        );
         let new_parent = store_parent(&mut self.nv, children);
         // The new parent now owns every child; drop this FASE's temporary
         // ownership of the shadows it built.
@@ -204,6 +264,11 @@ impl ModHeap {
     ///
     /// Panics if more than [`ULOG_CAP`] slots are updated at once, or on a
     /// no-op pair.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModHeap::fase` — the root directory commits any root combination \
+                with one ordering point instead of this three-fence redo log"
+    )]
     pub fn commit_unrelated(&mut self, updates: &[(usize, ErasedDs, ErasedDs)]) {
         assert!(updates.len() <= ULOG_CAP, "too many slots in one FASE");
         // Build the redo log (metadata region, no allocation needed).
@@ -212,6 +277,10 @@ impl ModHeap {
             pm.begin_commit();
             pm.write_u64(ULOG_COUNT, updates.len() as u64);
             for (i, (slot, old, new)) in updates.iter().enumerate() {
+                assert_ne!(
+                    *slot, ROOT_DIR_SLOT,
+                    "slot {slot} is reserved for the typed root directory"
+                );
                 assert_ne!(old.root, new.root, "no-op FASE entry for slot {slot}");
                 let base = ULOG_ENTRIES + 16 * i as u64;
                 pm.write_u64(base, *slot as u64);
@@ -262,6 +331,7 @@ impl ModHeap {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated raw-slot commit protocols
 mod tests {
     use super::*;
     use mod_funcds::{PmMap, PmQueue};
@@ -340,7 +410,12 @@ mod tests {
         let mut h = mh();
         let m = PmMap::empty(h.nv_mut());
         let q = PmQueue::empty(h.nv_mut());
-        h.commit_siblings(3, PmPtr::NULL, &[m.erase(), q.erase()], &[m.erase(), q.erase()]);
+        h.commit_siblings(
+            3,
+            PmPtr::NULL,
+            &[m.erase(), q.erase()],
+            &[m.erase(), q.erase()],
+        );
         let fences_before = h.nv().pm().stats().fences;
         let old_parent = h.read_root(3);
         let m2 = m.insert(h.nv_mut(), 5, b"x");

@@ -11,52 +11,70 @@
 //! `clwb`s, and published with **one `sfence` plus one atomic 8-byte
 //! pointer store** (Fig 8).
 //!
-//! Two interfaces, as in the paper (Fig 6):
+//! Two interfaces, as in the paper (Fig 6), both typed:
 //!
-//! * **Basic** ([`basic`]) — [`DurableMap`], [`DurableSet`],
-//!   [`DurableVector`], [`DurableStack`], [`DurableQueue`]: mutable-
-//!   looking structures where each update is a self-contained FASE.
-//! * **Composition** ([`ModHeap`]) — pure updates on any number of
-//!   structures, then [`ModHeap::commit_single`],
-//!   [`ModHeap::commit_siblings`] or [`ModHeap::commit_unrelated`]
-//!   to publish them failure-atomically together.
+//! * **Basic** ([`basic`]) — [`DurableMap<K, V>`], [`DurableSet<K>`],
+//!   [`DurableVector<V>`], [`DurableStack<V>`], [`DurableQueue<V>`]:
+//!   mutable-looking collections where each update is a self-contained
+//!   FASE and lookups are read-only (`&ModHeap`). Keys and values are
+//!   application types, bridged by the [`codec`] traits.
+//! * **Composition** ([`ModHeap::fase`]) — one closure stages pure
+//!   updates to any number of typed [`Root`]s; all of them publish
+//!   together with exactly one ordering point.
 //!
-//! Recovery ([`recovery::recover`]) redoes any interrupted unrelated
-//! commit, garbage-collects mid-FASE leaks by reachability, and rebuilds
-//! the volatile reference counts (§5.2–5.3).
+//! Recovery ([`ModHeap::open`]) is self-describing: typed roots live in a
+//! persistent root directory that records each structure's [`RootKind`],
+//! so reopening a pool needs no caller-supplied slot specs. It redoes any
+//! interrupted legacy unrelated commit, garbage-collects mid-FASE leaks
+//! by reachability, and rebuilds the volatile reference counts (§5.2–5.3).
 //!
-//! ## Example: composing updates to two structures
+//! ## Example: one FASE over two structures
 //!
 //! ```
-//! use mod_core::{ModHeap, DurableDs, recovery::{recover, RootSpec}, RootKind};
+//! use mod_core::ModHeap;
 //! use mod_funcds::{PmMap, PmQueue};
 //! use mod_pmem::{Pmem, PmemConfig};
 //!
 //! let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
 //! let m0 = PmMap::empty(heap.nv_mut());
 //! let q0 = PmQueue::empty(heap.nv_mut());
-//! heap.publish_root(0, m0);
-//! heap.publish_root(1, q0);
+//! let map = heap.publish(m0);
+//! let queue = heap.publish(q0);
 //!
-//! // FASE: move a work item into the map, atomically w.r.t. failure.
-//! let q1 = q0.enqueue(heap.nv_mut(), 42);
-//! let m1 = m0.insert(heap.nv_mut(), 42, b"payload");
-//! heap.commit_unrelated(&[
-//!     (0, m0.erase(), m1.erase()),
-//!     (1, q0.erase(), q1.erase()),
-//! ]);
-//! assert_eq!(heap.read_root(0), m1.root());
+//! // FASE: move a work item into the map, atomically w.r.t. failure —
+//! // one sfence, one pointer store, however many structures.
+//! heap.fase(|tx| {
+//!     tx.update(queue, |nv, q| q.enqueue(nv, 42));
+//!     tx.update(map, |nv, m| m.insert(nv, 42, b"payload"));
+//! });
+//!
+//! assert_eq!(heap.current(queue).peek_front(heap.nv()), Some(42));
+//! assert_eq!(
+//!     heap.current(map).peek_get(heap.nv(), 42),
+//!     Some(b"payload".to_vec())
+//! );
 //! ```
+//!
+//! The pre-0.2 raw-slot entry points (`publish_root`, `commit_single`,
+//! `commit_siblings`, `commit_unrelated`, spec-based `recover`) remain as
+//! deprecated shims for one release.
 
 #![warn(missing_docs)]
 
 pub mod basic;
+pub mod codec;
 pub mod erased;
+pub mod fase;
 pub mod heap;
 pub mod parent;
 pub mod recovery;
+pub mod root;
 
 pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
+pub use codec::{PmKey, PmValue, PmWord};
 pub use erased::{DurableDs, ErasedDs, RootKind};
+pub use fase::Fase;
 pub use heap::{ModHeap, ULOG_CAP};
+#[allow(deprecated)]
 pub use recovery::{recover, root_handle, try_root_handle, RootSpec};
+pub use root::{Root, ROOT_DIR_SLOT};

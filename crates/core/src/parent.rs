@@ -8,7 +8,7 @@
 //! multi-datastructure FASE at one ordering point.
 
 use crate::erased::{ErasedDs, RootKind};
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 /// Builds and flushes a parent object owning `children`. Layout:
@@ -33,12 +33,22 @@ pub fn store_parent(nv: &mut NvHeap, children: &[ErasedDs]) -> PmPtr {
 
 /// Reads the children of a parent object.
 pub fn children_of(nv: &mut NvHeap, parent: PmPtr) -> Vec<ErasedDs> {
-    let count = nv.read_u64(parent.addr()) as usize;
+    children_of_r(&mut nv.into(), parent)
+}
+
+/// Reads the children of a parent object without charging the cache/time
+/// model (read-only `&NvHeap` access).
+pub fn peek_children_of(nv: &NvHeap, parent: PmPtr) -> Vec<ErasedDs> {
+    children_of_r(&mut nv.into(), parent)
+}
+
+fn children_of_r(nv: &mut HeapRead<'_>, parent: PmPtr) -> Vec<ErasedDs> {
+    let count = nv.u64(parent.addr()) as usize;
     (0..count)
         .map(|i| {
             let base = parent.addr() + 8 + 16 * i as u64;
-            let kind = RootKind::from_u64(nv.read_u64(base));
-            let root = PmPtr::from_addr(nv.read_u64(base + 8));
+            let kind = RootKind::from_u64(nv.u64(base));
+            let root = PmPtr::from_addr(nv.u64(base + 8));
             ErasedDs { kind, root }
         })
         .collect()

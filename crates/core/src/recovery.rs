@@ -35,20 +35,58 @@ impl RootSpec {
     }
 }
 
-/// Recovers a MOD heap from a (possibly crashed) pool.
+impl ModHeap {
+    /// Opens a (possibly crashed) pool and recovers it: redoes any
+    /// committed unrelated-commit log, walks every typed root reachable
+    /// from the root directory (whose entries carry their own
+    /// [`RootKind`] — no caller-supplied specs needed), rebuilds the
+    /// volatile refcounts, and sweeps everything unreachable (including
+    /// shadows leaked by an interrupted FASE) back into free space.
+    ///
+    /// Reattach to structures with [`ModHeap::open_root`] /
+    /// [`ModHeap::try_open_root`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is not a formatted MOD pool or its live blocks
+    /// fail integrity checks.
+    pub fn open(pm: Pmem) -> (ModHeap, RecoveryReport) {
+        recover_impl(pm, &[])
+    }
+}
+
+/// Recovers a MOD heap from a (possibly crashed) pool, marking the given
+/// raw root slots in addition to the typed root directory.
 ///
-/// `roots` declares the application's persistent datastructures, exactly
-/// like the typed root registries PM applications keep at well-known
-/// addresses. Null slots are skipped, so passing the full directory of an
-/// app that crashed before creating some structures is fine.
+/// `roots` declares the application's raw-slot datastructures. Null slots
+/// are skipped, so passing the full directory of an app that crashed
+/// before creating some structures is fine.
 ///
 /// # Panics
 ///
 /// Panics if the pool is not a formatted MOD pool or its live blocks fail
 /// integrity checks.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ModHeap::open` — the typed root directory is self-describing"
+)]
 pub fn recover(pm: Pmem, roots: &[RootSpec]) -> (ModHeap, RecoveryReport) {
+    recover_impl(pm, roots)
+}
+
+fn recover_impl(pm: Pmem, roots: &[RootSpec]) -> (ModHeap, RecoveryReport) {
     let mut nv = NvHeap::open(pm);
     redo_unrelated_log(&mut nv);
+    // The typed root directory is self-describing: marking its parent
+    // object cascades to every typed root.
+    let dir = nv.read_root(crate::root::ROOT_DIR_SLOT);
+    if !dir.is_null() {
+        ErasedDs {
+            kind: RootKind::Parent,
+            root: dir,
+        }
+        .mark(&mut nv);
+    }
     for spec in roots {
         let root = nv.read_root(spec.slot);
         if root.is_null() {
@@ -93,13 +131,24 @@ fn redo_unrelated_log(nv: &mut NvHeap) {
 ///
 /// Panics if the slot is null — the structure was never published, which
 /// callers should handle by creating it afresh.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ModHeap::open_root`, which checks the stored kind"
+)]
 pub fn root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> D {
     let root = heap.read_root(slot);
-    assert!(!root.is_null(), "slot {slot} is empty; create the structure");
+    assert!(
+        !root.is_null(),
+        "slot {slot} is empty; create the structure"
+    );
     D::from_root_ptr(root)
 }
 
 /// Reads a typed handle if the slot is non-null.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ModHeap::try_open_root`, which checks the stored kind"
+)]
 pub fn try_root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> Option<D> {
     let root = heap.read_root(slot);
     (!root.is_null()).then(|| D::from_root_ptr(root))
@@ -107,6 +156,10 @@ pub fn try_root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: us
 
 /// Looks up a parent object's children after recovery (CommitSiblings
 /// pattern): returns the erased child handles in parent order.
+#[deprecated(
+    since = "0.2.0",
+    note = "typed roots are directory entries; use `ModHeap::open_root` per structure"
+)]
 pub fn parent_children(heap: &mut ModHeap, slot: usize) -> Vec<ErasedDs> {
     let parent = heap.read_root(slot);
     assert!(!parent.is_null(), "slot {slot} holds no parent object");
@@ -117,6 +170,7 @@ pub fn parent_children(heap: &mut ModHeap, slot: usize) -> Vec<ErasedDs> {
 pub const NULL_ROOT: PmPtr = PmPtr::NULL;
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated raw-slot recovery path
 mod tests {
     use super::*;
     use crate::erased::DurableDs;
@@ -310,7 +364,12 @@ mod tests {
         let mut h = mh();
         let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"one");
         let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 2);
-        h.commit_siblings(7, NULL_ROOT, &[m.erase(), q.erase()], &[m.erase(), q.erase()]);
+        h.commit_siblings(
+            7,
+            NULL_ROOT,
+            &[m.erase(), q.erase()],
+            &[m.erase(), q.erase()],
+        );
         h.quiesce();
         let pm = crash(h, CrashPolicy::OnlyFenced);
         let (mut h2, _) = recover(pm, &[RootSpec::new(7, RootKind::Parent)]);

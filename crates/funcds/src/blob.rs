@@ -5,7 +5,7 @@
 //! reference counted like nodes because structural sharing makes multiple
 //! node versions point at the same value.
 
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 const BLOB_HEADER: u64 = 8;
@@ -22,17 +22,25 @@ pub fn blob_create(heap: &mut NvHeap, bytes: &[u8]) -> PmPtr {
     heap.write_u32(ptr.addr(), bytes.len() as u32);
     heap.write_u32(ptr.addr() + 4, 0);
     heap.write_bytes(ptr.addr() + BLOB_HEADER, bytes);
-    heap.flush_range(ptr.addr() - mod_alloc::HEADER_BYTES, mod_alloc::HEADER_BYTES + len);
+    heap.flush_range(
+        ptr.addr() - mod_alloc::HEADER_BYTES,
+        mod_alloc::HEADER_BYTES + len,
+    );
     ptr
 }
 
 /// Reads a blob's contents. Null yields the empty vector.
 pub fn blob_read(heap: &mut NvHeap, ptr: PmPtr) -> Vec<u8> {
+    blob_read_r(&mut heap.into(), ptr)
+}
+
+/// Reads a blob's contents through a [`HeapRead`] (charged or peek).
+pub fn blob_read_r(heap: &mut HeapRead<'_>, ptr: PmPtr) -> Vec<u8> {
     if ptr.is_null() {
         return Vec::new();
     }
-    let len = heap.read_u32(ptr.addr()) as u64;
-    heap.read_vec(ptr.addr() + BLOB_HEADER, len)
+    let len = heap.u32(ptr.addr()) as u64;
+    heap.vec(ptr.addr() + BLOB_HEADER, len)
 }
 
 /// Length in bytes of a blob (0 for null).

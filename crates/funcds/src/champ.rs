@@ -13,9 +13,9 @@
 //! the structural sharing that keeps shadow overheads below 0.01 %/update
 //! (§4.1, Table 3).
 
-use crate::blob::{blob_create, blob_mark, blob_read, blob_release};
+use crate::blob::{blob_create, blob_mark, blob_read_r, blob_release};
 use crate::node::{NodeBuf, KIND_BITMAP, KIND_COLLISION};
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 /// Hash chunking: 5 bits per level.
@@ -104,16 +104,20 @@ enum NodeImg {
 }
 
 fn read_node(heap: &mut NvHeap, node: PmPtr) -> NodeImg {
+    read_node_r(&mut heap.into(), node)
+}
+
+fn read_node_r(heap: &mut HeapRead<'_>, node: PmPtr) -> NodeImg {
     let a = node.addr();
-    let kind = heap.read_u64(a);
+    let kind = heap.u64(a);
     match kind {
         KIND_BITMAP => {
-            let maps = heap.read_u64(a + 8);
+            let maps = heap.u64(a + 8);
             let datamap = (maps & 0xFFFF_FFFF) as u32;
             let nodemap = (maps >> 32) as u32;
             let d = datamap.count_ones() as usize;
             let n = nodemap.count_ones() as usize;
-            let body = heap.read_vec(a + 16, (16 * d + 8 * n) as u64);
+            let body = heap.vec(a + 16, (16 * d + 8 * n) as u64);
             let mut data = Vec::with_capacity(d);
             for i in 0..d {
                 let k = u64::from_le_bytes(body[16 * i..16 * i + 8].try_into().unwrap());
@@ -135,8 +139,8 @@ fn read_node(heap: &mut NvHeap, node: PmPtr) -> NodeImg {
             })
         }
         KIND_COLLISION => {
-            let count = heap.read_u64(a + 8) as usize;
-            let body = heap.read_vec(a + 16, (16 * count) as u64);
+            let count = heap.u64(a + 8) as usize;
+            let body = heap.vec(a + 16, (16 * count) as u64);
             let mut entries = Vec::with_capacity(count);
             for i in 0..count {
                 let k = u64::from_le_bytes(body[16 * i..16 * i + 8].try_into().unwrap());
@@ -180,7 +184,8 @@ fn store_bitmap(heap: &mut NvHeap, img: &BitmapImg) -> PmPtr {
 /// Stores a collision node; same ownership rule as [`store_bitmap`].
 fn store_collision(heap: &mut NvHeap, img: &CollisionImg) -> PmPtr {
     let mut b = NodeBuf::with_words(2 + 2 * img.entries.len());
-    b.push_u64(KIND_COLLISION).push_u64(img.entries.len() as u64);
+    b.push_u64(KIND_COLLISION)
+        .push_u64(img.entries.len() as u64);
     for &(k, v) in &img.entries {
         b.push_u64(k).push_ptr(v);
     }
@@ -221,7 +226,9 @@ impl PmMap {
     pub fn empty_with_hash(heap: &mut NvHeap, hk: HashKind) -> PmMap {
         let mut b = NodeBuf::with_words(ROOT_WORDS);
         b.push_u64(0).push_ptr(PmPtr::NULL).push_u64(hk.to_u64());
-        PmMap { root: b.store(heap) }
+        PmMap {
+            root: b.store(heap),
+        }
     }
 
     /// Rebuilds a handle from a raw root pointer (root slot contents).
@@ -235,10 +242,14 @@ impl PmMap {
     }
 
     fn read_root_obj(&self, heap: &mut NvHeap) -> (u64, PmPtr, HashKind) {
+        self.read_root_obj_r(&mut heap.into())
+    }
+
+    fn read_root_obj_r(&self, heap: &mut HeapRead<'_>) -> (u64, PmPtr, HashKind) {
         let a = self.root.addr();
-        let count = heap.read_u64(a);
-        let node = PmPtr::from_addr(heap.read_u64(a + 8));
-        let hk = HashKind::from_u64(heap.read_u64(a + 16));
+        let count = heap.u64(a);
+        let node = PmPtr::from_addr(heap.u64(a + 8));
+        let hk = HashKind::from_u64(heap.u64(a + 16));
         (count, node, hk)
     }
 
@@ -257,9 +268,19 @@ impl PmMap {
         heap.read_u64(self.root.addr())
     }
 
+    /// Number of entries, without charging the cache/time model.
+    pub fn peek_len(&self, heap: &NvHeap) -> u64 {
+        heap.peek_u64(self.root.addr())
+    }
+
     /// Whether the map is empty.
     pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
         self.len(heap) == 0
+    }
+
+    /// Whether the map is empty, without charging the cache/time model.
+    pub fn peek_is_empty(&self, heap: &NvHeap) -> bool {
+        self.peek_len(heap) == 0
     }
 
     // ------------------------------------------------------------------
@@ -269,21 +290,36 @@ impl PmMap {
     /// Looks up `key`, returning its value bytes. A present key with an
     /// empty value (set membership) yields `Some(vec![])`.
     pub fn get(&self, heap: &mut NvHeap, key: u64) -> Option<Vec<u8>> {
-        self.get_ptr(heap, key)
-            .map(|v| blob_read(heap, v))
+        self.get_r(&mut heap.into(), key)
+    }
+
+    /// Read-only lookup on `&NvHeap`: no exclusive access, no simulated
+    /// cache/time charges — the substrate of the typed API's shared read
+    /// path.
+    pub fn peek_get(&self, heap: &NvHeap, key: u64) -> Option<Vec<u8>> {
+        self.get_r(&mut heap.into(), key)
+    }
+
+    fn get_r(&self, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
+        self.get_ptr_r(heap, key).map(|v| blob_read_r(heap, v))
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, heap: &mut NvHeap, key: u64) -> bool {
-        self.get_ptr(heap, key).is_some()
+        self.get_ptr_r(&mut heap.into(), key).is_some()
     }
 
-    fn get_ptr(&self, heap: &mut NvHeap, key: u64) -> Option<PmPtr> {
-        let (_, mut node, hk) = self.read_root_obj(heap);
+    /// Read-only membership test on `&NvHeap`.
+    pub fn peek_contains_key(&self, heap: &NvHeap, key: u64) -> bool {
+        self.get_ptr_r(&mut heap.into(), key).is_some()
+    }
+
+    fn get_ptr_r(&self, heap: &mut HeapRead<'_>, key: u64) -> Option<PmPtr> {
+        let (_, mut node, hk) = self.read_root_obj_r(heap);
         let hash = hk.hash(key);
         let mut depth = 0u32;
         while !node.is_null() {
-            match read_node(heap, node) {
+            match read_node_r(heap, node) {
                 NodeImg::Bitmap(img) => {
                     let bit = 1u32 << chunk(hash, depth);
                     if img.datamap & bit != 0 {
@@ -300,7 +336,11 @@ impl PmMap {
                     return None;
                 }
                 NodeImg::Collision(img) => {
-                    return img.entries.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+                    return img
+                        .entries
+                        .iter()
+                        .find(|&&(k, _)| k == key)
+                        .map(|&(_, v)| v);
                 }
             }
         }
@@ -376,24 +416,33 @@ impl PmMap {
     /// Collects all entries (unordered). Intended for tests, recovery
     /// audits and small maps.
     pub fn to_vec(&self, heap: &mut NvHeap) -> Vec<(u64, Vec<u8>)> {
-        let (_, node, _) = self.read_root_obj(heap);
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    /// Read-only collection of all entries on `&NvHeap` (unordered).
+    pub fn peek_to_vec(&self, heap: &NvHeap) -> Vec<(u64, Vec<u8>)> {
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    fn collect_entries_r(&self, heap: &mut HeapRead<'_>) -> Vec<(u64, Vec<u8>)> {
+        let (_, node, _) = self.read_root_obj_r(heap);
         let mut out = Vec::new();
         if node.is_null() {
             return out;
         }
         let mut stack = vec![node];
         while let Some(n) = stack.pop() {
-            match read_node(heap, n) {
+            match read_node_r(heap, n) {
                 NodeImg::Bitmap(img) => {
                     for (k, v) in img.data {
-                        let bytes = blob_read(heap, v);
+                        let bytes = blob_read_r(heap, v);
                         out.push((k, bytes));
                     }
                     stack.extend(img.children);
                 }
                 NodeImg::Collision(img) => {
                     for (k, v) in img.entries {
-                        let bytes = blob_read(heap, v);
+                        let bytes = blob_read_r(heap, v);
                         out.push((k, bytes));
                     }
                 }
@@ -549,13 +598,7 @@ fn make_subnode(
     }
 }
 
-fn remove_node(
-    heap: &mut NvHeap,
-    node: PmPtr,
-    depth: u32,
-    hash: u64,
-    key: u64,
-) -> RemoveResult {
+fn remove_node(heap: &mut NvHeap, node: PmPtr, depth: u32, hash: u64, key: u64) -> RemoveResult {
     match read_node(heap, node) {
         NodeImg::Bitmap(mut img) => {
             let idx = chunk(hash, depth);

@@ -7,7 +7,7 @@
 //! counted (volatile counts, §5.3).
 
 use crate::node::{check_kind, NodeBuf, KIND_CONS};
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 const ROOT_WORDS: usize = 2; // [len][head]
@@ -41,6 +41,16 @@ pub(crate) fn cell_next(heap: &mut NvHeap, cell: PmPtr) -> PmPtr {
     PmPtr::from_addr(heap.read_u64(cell.addr() + 16))
 }
 
+pub(crate) fn cell_elem_r(heap: &mut HeapRead<'_>, cell: PmPtr) -> u64 {
+    let k = heap.u64(cell.addr());
+    assert_eq!(k, KIND_CONS, "cell {cell} has kind {k} — corrupt traversal");
+    heap.u64(cell.addr() + 8)
+}
+
+pub(crate) fn cell_next_r(heap: &mut HeapRead<'_>, cell: PmPtr) -> PmPtr {
+    PmPtr::from_addr(heap.u64(cell.addr() + 16))
+}
+
 /// Releases one reference to a chain starting at `head`, freeing cells
 /// whose count reaches zero. Iterative: chains can be millions long.
 pub(crate) fn release_chain(heap: &mut NvHeap, head: PmPtr) {
@@ -71,7 +81,9 @@ impl PmStack {
     pub fn empty(heap: &mut NvHeap) -> PmStack {
         let mut b = NodeBuf::with_words(ROOT_WORDS);
         b.push_u64(0).push_ptr(PmPtr::NULL);
-        PmStack { root: b.store(heap) }
+        PmStack {
+            root: b.store(heap),
+        }
     }
 
     /// Rebuilds a handle from a raw root pointer (e.g. a root slot after
@@ -90,9 +102,19 @@ impl PmStack {
         heap.read_u64(self.root.addr())
     }
 
+    /// Number of elements, without charging the cache/time model.
+    pub fn peek_len(&self, heap: &NvHeap) -> u64 {
+        heap.peek_u64(self.root.addr())
+    }
+
     /// Whether the stack is empty.
     pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
         self.len(heap) == 0
+    }
+
+    /// Whether the stack is empty, without charging the cache/time model.
+    pub fn peek_is_empty(&self, heap: &NvHeap) -> bool {
+        self.peek_len(heap) == 0
     }
 
     fn head(&self, heap: &mut NvHeap) -> PmPtr {
@@ -110,7 +132,9 @@ impl PmStack {
         let cell = cons(heap, elem, head);
         let mut b = NodeBuf::with_words(ROOT_WORDS);
         b.push_u64(len + 1).push_ptr(cell);
-        PmStack { root: b.store(heap) }
+        PmStack {
+            root: b.store(heap),
+        }
     }
 
     /// Top element, if any.
@@ -120,6 +144,17 @@ impl PmStack {
             None
         } else {
             Some(cell_elem(heap, head))
+        }
+    }
+
+    /// Top element without charging the cache/time model.
+    pub fn peek_top(&self, heap: &NvHeap) -> Option<u64> {
+        let mut r = HeapRead::from(heap);
+        let head = PmPtr::from_addr(r.u64(self.root.addr() + 8));
+        if head.is_null() {
+            None
+        } else {
+            Some(cell_elem_r(&mut r, head))
         }
     }
 
@@ -138,7 +173,12 @@ impl PmStack {
         }
         let mut b = NodeBuf::with_words(ROOT_WORDS);
         b.push_u64(len - 1).push_ptr(next);
-        Some((PmStack { root: b.store(heap) }, elem))
+        Some((
+            PmStack {
+                root: b.store(heap),
+            },
+            elem,
+        ))
     }
 
     /// Collects the stack top-to-bottom (diagnostics and tests).
@@ -148,6 +188,18 @@ impl PmStack {
         while !cur.is_null() {
             out.push(cell_elem(heap, cur));
             cur = cell_next(heap, cur);
+        }
+        out
+    }
+
+    /// Collects the stack top-to-bottom on `&NvHeap` (read-only).
+    pub fn peek_to_vec(&self, heap: &NvHeap) -> Vec<u64> {
+        let mut r = HeapRead::from(heap);
+        let mut out = Vec::new();
+        let mut cur = PmPtr::from_addr(r.u64(self.root.addr() + 8));
+        while !cur.is_null() {
+            out.push(cell_elem_r(&mut r, cur));
+            cur = cell_next_r(&mut r, cur);
         }
         out
     }

@@ -71,7 +71,10 @@ impl NodeBuf {
         let len = self.bytes.len() as u64;
         let ptr = heap.alloc(len);
         heap.write_bytes(ptr.addr(), &self.bytes);
-        heap.flush_range(ptr.addr() - mod_alloc::HEADER_BYTES, mod_alloc::HEADER_BYTES + len);
+        heap.flush_range(
+            ptr.addr() - mod_alloc::HEADER_BYTES,
+            mod_alloc::HEADER_BYTES + len,
+        );
         ptr
     }
 }
@@ -85,8 +88,7 @@ impl NodeBuf {
 pub fn check_kind(heap: &mut NvHeap, node: PmPtr, expect: u64) -> u64 {
     let k = heap.read_u64(node.addr());
     assert_eq!(
-        k,
-        expect,
+        k, expect,
         "node {node} has kind {k}, expected {expect} — corrupt traversal"
     );
     k

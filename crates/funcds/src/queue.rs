@@ -8,9 +8,11 @@
 //! flushing activity" (§6.4) — the reversal allocates and flushes a fresh
 //! chain, all with unordered `clwb`s.
 
-use crate::list::{cell_elem, cell_next, cons, mark_chain, release_chain};
+use crate::list::{
+    cell_elem, cell_elem_r, cell_next, cell_next_r, cons, mark_chain, release_chain,
+};
 use crate::node::NodeBuf;
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 const ROOT_WORDS: usize = 5; // [len][front][front_len][rear][rear_len]
@@ -38,7 +40,9 @@ impl PmQueue {
             .push_u64(0)
             .push_ptr(PmPtr::NULL)
             .push_u64(0);
-        PmQueue { root: b.store(heap) }
+        PmQueue {
+            root: b.store(heap),
+        }
     }
 
     /// Rebuilds a handle from a raw root pointer.
@@ -52,13 +56,17 @@ impl PmQueue {
     }
 
     fn read_root(&self, heap: &mut NvHeap) -> RootImage {
+        self.read_root_r(&mut heap.into())
+    }
+
+    fn read_root_r(&self, heap: &mut HeapRead<'_>) -> RootImage {
         let a = self.root.addr();
         RootImage {
-            len: heap.read_u64(a),
-            front: PmPtr::from_addr(heap.read_u64(a + 8)),
-            front_len: heap.read_u64(a + 16),
-            rear: PmPtr::from_addr(heap.read_u64(a + 24)),
-            rear_len: heap.read_u64(a + 32),
+            len: heap.u64(a),
+            front: PmPtr::from_addr(heap.u64(a + 8)),
+            front_len: heap.u64(a + 16),
+            rear: PmPtr::from_addr(heap.u64(a + 24)),
+            rear_len: heap.u64(a + 32),
         }
     }
 
@@ -69,7 +77,9 @@ impl PmQueue {
             .push_u64(img.front_len)
             .push_ptr(img.rear)
             .push_u64(img.rear_len);
-        PmQueue { root: b.store(heap) }
+        PmQueue {
+            root: b.store(heap),
+        }
     }
 
     /// Number of elements.
@@ -77,9 +87,19 @@ impl PmQueue {
         heap.read_u64(self.root.addr())
     }
 
+    /// Number of elements, without charging the cache/time model.
+    pub fn peek_len(&self, heap: &NvHeap) -> u64 {
+        heap.peek_u64(self.root.addr())
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
         self.len(heap) == 0
+    }
+
+    /// Whether the queue is empty, without charging the cache/time model.
+    pub fn peek_is_empty(&self, heap: &NvHeap) -> bool {
+        self.peek_len(heap) == 0
     }
 
     /// Pure enqueue: new version with `elem` at the back.
@@ -145,37 +165,55 @@ impl PmQueue {
 
     /// The element at the head, if any.
     pub fn peek(&self, heap: &mut NvHeap) -> Option<u64> {
-        let img = self.read_root(heap);
+        self.peek_r(&mut heap.into())
+    }
+
+    /// Head element without charging the cache/time model.
+    pub fn peek_front(&self, heap: &NvHeap) -> Option<u64> {
+        self.peek_r(&mut heap.into())
+    }
+
+    fn peek_r(&self, heap: &mut HeapRead<'_>) -> Option<u64> {
+        let img = self.read_root_r(heap);
         if img.len == 0 {
             return None;
         }
         if !img.front.is_null() {
-            return Some(cell_elem(heap, img.front));
+            return Some(cell_elem_r(heap, img.front));
         }
         // Head is the last cell of the rear chain.
         let mut cur = img.rear;
         let mut last = 0;
         while !cur.is_null() {
-            last = cell_elem(heap, cur);
-            cur = cell_next(heap, cur);
+            last = cell_elem_r(heap, cur);
+            cur = cell_next_r(heap, cur);
         }
         Some(last)
     }
 
     /// Collects front-to-back (diagnostics and tests).
     pub fn to_vec(&self, heap: &mut NvHeap) -> Vec<u64> {
-        let img = self.read_root(heap);
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    /// Collects front-to-back on `&NvHeap` (read-only).
+    pub fn peek_to_vec(&self, heap: &NvHeap) -> Vec<u64> {
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    fn collect_entries_r(&self, heap: &mut HeapRead<'_>) -> Vec<u64> {
+        let img = self.read_root_r(heap);
         let mut out = Vec::new();
         let mut cur = img.front;
         while !cur.is_null() {
-            out.push(cell_elem(heap, cur));
-            cur = cell_next(heap, cur);
+            out.push(cell_elem_r(heap, cur));
+            cur = cell_next_r(heap, cur);
         }
         let mut rear = Vec::new();
         let mut cur = img.rear;
         while !cur.is_null() {
-            rear.push(cell_elem(heap, cur));
-            cur = cell_next(heap, cur);
+            rear.push(cell_elem_r(heap, cur));
+            cur = cell_next_r(heap, cur);
         }
         rear.reverse();
         out.extend(rear);

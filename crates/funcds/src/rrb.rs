@@ -13,7 +13,7 @@
 //! PMDK's flat array, and why Fig 9 shows vector as MOD's losing case.
 
 use crate::node::{NodeBuf, KIND_INNER, KIND_LEAF};
-use mod_alloc::NvHeap;
+use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 /// Branching factor.
@@ -51,10 +51,14 @@ struct InnerImg {
 }
 
 fn read_leaf(heap: &mut NvHeap, node: PmPtr) -> LeafImg {
-    let kind = heap.read_u64(node.addr());
+    read_leaf_r(&mut heap.into(), node)
+}
+
+fn read_leaf_r(heap: &mut HeapRead<'_>, node: PmPtr) -> LeafImg {
+    let kind = heap.u64(node.addr());
     assert_eq!(kind, KIND_LEAF, "expected leaf at {node}, kind {kind}");
-    let count = heap.read_u64(node.addr() + 8) as usize;
-    let body = heap.read_vec(node.addr() + 16, (8 * count) as u64);
+    let count = heap.u64(node.addr() + 8) as usize;
+    let body = heap.vec(node.addr() + 16, (8 * count) as u64);
     let elems = body
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -63,13 +67,17 @@ fn read_leaf(heap: &mut NvHeap, node: PmPtr) -> LeafImg {
 }
 
 fn read_inner(heap: &mut NvHeap, node: PmPtr) -> InnerImg {
-    let kind = heap.read_u64(node.addr());
+    read_inner_r(&mut heap.into(), node)
+}
+
+fn read_inner_r(heap: &mut HeapRead<'_>, node: PmPtr) -> InnerImg {
+    let kind = heap.u64(node.addr());
     assert_eq!(kind, KIND_INNER, "expected inner at {node}, kind {kind}");
-    let meta = heap.read_u64(node.addr() + 8);
+    let meta = heap.u64(node.addr() + 8);
     let count = (meta & 0xFFFF_FFFF) as usize;
     let has_sizes = (meta >> 32) != 0;
     let words = count + if has_sizes { count } else { 0 };
-    let body = heap.read_vec(node.addr() + 16, (8 * words) as u64);
+    let body = heap.vec(node.addr() + 16, (8 * words) as u64);
     let children = body[..8 * count]
         .chunks_exact(8)
         .map(|c| PmPtr::from_addr(u64::from_le_bytes(c.try_into().unwrap())))
@@ -451,13 +459,17 @@ impl PmVector {
     }
 
     fn read_root_obj(&self, heap: &mut NvHeap) -> RootImg {
+        self.read_root_obj_r(&mut heap.into())
+    }
+
+    fn read_root_obj_r(&self, heap: &mut HeapRead<'_>) -> RootImg {
         let a = self.root.addr();
         RootImg {
-            len: heap.read_u64(a),
-            shift: heap.read_u64(a + 8),
-            root: PmPtr::from_addr(heap.read_u64(a + 16)),
-            tail: PmPtr::from_addr(heap.read_u64(a + 24)),
-            tail_len: heap.read_u64(a + 32),
+            len: heap.u64(a),
+            shift: heap.u64(a + 8),
+            root: PmPtr::from_addr(heap.u64(a + 16)),
+            tail: PmPtr::from_addr(heap.u64(a + 24)),
+            tail_len: heap.u64(a + 32),
         }
     }
 
@@ -484,9 +496,19 @@ impl PmVector {
         heap.read_u64(self.root.addr())
     }
 
+    /// Number of elements, without charging the cache/time model.
+    pub fn peek_len(&self, heap: &NvHeap) -> u64 {
+        heap.peek_u64(self.root.addr())
+    }
+
     /// Whether the vector is empty.
     pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
         self.len(heap) == 0
+    }
+
+    /// Whether the vector is empty, without charging the cache/time model.
+    pub fn peek_is_empty(&self, heap: &NvHeap) -> bool {
+        self.peek_len(heap) == 0
     }
 
     // ------------------------------------------------------------------
@@ -499,17 +521,31 @@ impl PmVector {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, heap: &mut NvHeap, index: u64) -> u64 {
-        let img = self.read_root_obj(heap);
+        self.get_r(&mut heap.into(), index)
+    }
+
+    /// Read-only indexing on `&NvHeap`: no exclusive access, no simulated
+    /// cache/time charges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn peek_get(&self, heap: &NvHeap, index: u64) -> u64 {
+        self.get_r(&mut heap.into(), index)
+    }
+
+    fn get_r(&self, heap: &mut HeapRead<'_>, index: u64) -> u64 {
+        let img = self.read_root_obj_r(heap);
         assert!(index < img.len, "index {index} out of bounds ({})", img.len);
         let tail_offset = img.len - img.tail_len;
         if index >= tail_offset {
-            return heap.read_u64(img.tail.addr() + 16 + 8 * (index - tail_offset));
+            return heap.u64(img.tail.addr() + 16 + 8 * (index - tail_offset));
         }
         let mut node = img.root;
         let mut shift = img.shift;
         let mut i = index;
         while shift > 0 {
-            let inner = read_inner(heap, node);
+            let inner = read_inner_r(heap, node);
             let j = match &inner.sizes {
                 Some(sizes) => {
                     let j = sizes.partition_point(|&s| s <= i);
@@ -527,7 +563,7 @@ impl PmVector {
             node = inner.children[j];
             shift -= BITS;
         }
-        heap.read_u64(node.addr() + 16 + 8 * i)
+        heap.u64(node.addr() + 16 + 8 * i)
     }
 
     // ------------------------------------------------------------------
@@ -727,13 +763,22 @@ impl PmVector {
 
     /// Collects all elements in order (tests and small vectors).
     pub fn to_vec(&self, heap: &mut NvHeap) -> Vec<u64> {
-        let img = self.read_root_obj(heap);
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    /// Collects all elements in order on `&NvHeap` (read-only).
+    pub fn peek_to_vec(&self, heap: &NvHeap) -> Vec<u64> {
+        self.collect_entries_r(&mut heap.into())
+    }
+
+    fn collect_entries_r(&self, heap: &mut HeapRead<'_>) -> Vec<u64> {
+        let img = self.read_root_obj_r(heap);
         let mut out = Vec::with_capacity(img.len as usize);
         if !img.root.is_null() {
             collect_rec(heap, img.root, img.shift, &mut out);
         }
         if !img.tail.is_null() {
-            let tail = read_leaf(heap, img.tail);
+            let tail = read_leaf_r(heap, img.tail);
             out.extend(tail.elems);
         }
         out
@@ -820,13 +865,13 @@ fn wrap_to(heap: &mut NvHeap, node: PmPtr, from: u64, to: u64) -> PmPtr {
     cur
 }
 
-fn collect_rec(heap: &mut NvHeap, node: PmPtr, shift: u64, out: &mut Vec<u64>) {
+fn collect_rec(heap: &mut HeapRead<'_>, node: PmPtr, shift: u64, out: &mut Vec<u64>) {
     if shift == 0 {
-        let leaf = read_leaf(heap, node);
+        let leaf = read_leaf_r(heap, node);
         out.extend(leaf.elems);
         return;
     }
-    let img = read_inner(heap, node);
+    let img = read_inner_r(heap, node);
     for c in img.children {
         collect_rec(heap, c, shift - BITS, out);
     }

@@ -45,9 +45,19 @@ impl PmSet {
         self.map.len(heap)
     }
 
+    /// Number of elements, without charging the cache/time model.
+    pub fn peek_len(&self, heap: &NvHeap) -> u64 {
+        self.map.peek_len(heap)
+    }
+
     /// Whether the set is empty.
     pub fn is_empty(&self, heap: &mut NvHeap) -> bool {
         self.map.is_empty(heap)
+    }
+
+    /// Whether the set is empty, without charging the cache/time model.
+    pub fn peek_is_empty(&self, heap: &NvHeap) -> bool {
+        self.map.peek_is_empty(heap)
     }
 
     /// Pure insert: returns `(new_version, was_new)`.
@@ -61,6 +71,11 @@ impl PmSet {
         self.map.contains_key(heap, key)
     }
 
+    /// Read-only membership test on `&NvHeap`.
+    pub fn peek_contains(&self, heap: &NvHeap, key: u64) -> bool {
+        self.map.peek_contains_key(heap, key)
+    }
+
     /// Pure removal: `(new_version, removed)`. Absent keys return the same
     /// version (do not release the old handle in that case).
     pub fn remove(&self, heap: &mut NvHeap, key: u64) -> (PmSet, bool) {
@@ -71,6 +86,15 @@ impl PmSet {
     /// Collects all elements (unordered).
     pub fn to_vec(&self, heap: &mut NvHeap) -> Vec<u64> {
         self.map.keys(heap)
+    }
+
+    /// Read-only collection of all elements on `&NvHeap` (unordered).
+    pub fn peek_to_vec(&self, heap: &NvHeap) -> Vec<u64> {
+        self.map
+            .peek_to_vec(heap)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
     }
 
     /// Releases this version's reference to its data.

@@ -39,7 +39,8 @@ impl Arena {
     #[inline]
     fn check(&self, addr: u64, len: u64) {
         assert!(
-            addr.checked_add(len).is_some_and(|end| end <= self.capacity),
+            addr.checked_add(len)
+                .is_some_and(|end| end <= self.capacity),
             "PM access out of bounds: [{addr:#x}, +{len}) beyond capacity {:#x}",
             self.capacity
         );

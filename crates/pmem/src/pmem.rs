@@ -546,9 +546,8 @@ mod tests {
         let a = pm.crash_image(CrashPolicy::Seeded(1));
         let b = pm.crash_image(CrashPolicy::Seeded(1));
         let c = pm.crash_image(CrashPolicy::Seeded(2));
-        let read = |p: &Pmem| -> Vec<u64> {
-            (0..64u64).map(|i| p.peek_u64(0x1000 + i * 64)).collect()
-        };
+        let read =
+            |p: &Pmem| -> Vec<u64> { (0..64u64).map(|i| p.peek_u64(0x1000 + i * 64)).collect() };
         assert_eq!(read(&a), read(&b));
         assert_ne!(read(&a), read(&c), "different seeds should differ");
         // And a seeded policy should persist a strict subset.

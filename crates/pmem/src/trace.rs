@@ -352,8 +352,14 @@ mod tests {
     #[test]
     fn clean_mod_style_trace_passes() {
         let t = vec![
-            TraceEvent::Alloc { addr: 0x100, len: 64 },
-            TraceEvent::Write { addr: 0x100, len: 64 },
+            TraceEvent::Alloc {
+                addr: 0x100,
+                len: 64,
+            },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 64,
+            },
             TraceEvent::Clwb { line: 0x100 },
             TraceEvent::CommitBegin,
             TraceEvent::Write { addr: 0x0, len: 8 }, // root slot
@@ -367,22 +373,37 @@ mod tests {
     #[test]
     fn in_place_write_is_flagged() {
         // Write to memory never allocated in this FASE.
-        let t = vec![TraceEvent::Write { addr: 0x500, len: 8 }];
+        let t = vec![TraceEvent::Write {
+            addr: 0x500,
+            len: 8,
+        }];
         let errs = check_trace(&t).unwrap_err();
-        assert!(matches!(errs[0], Violation::WriteToLiveData { addr: 0x500, .. }));
+        assert!(matches!(
+            errs[0],
+            Violation::WriteToLiveData { addr: 0x500, .. }
+        ));
     }
 
     #[test]
     fn write_after_commit_end_needs_new_alloc() {
         let t = vec![
-            TraceEvent::Alloc { addr: 0x100, len: 64 },
-            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Alloc {
+                addr: 0x100,
+                len: 64,
+            },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 8,
+            },
             TraceEvent::Clwb { line: 0x100 },
             TraceEvent::CommitBegin,
             TraceEvent::Fence,
             TraceEvent::CommitEnd,
             // Next FASE writes the same (now live) node: violation.
-            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 8,
+            },
         ];
         let errs = check_trace(&t).unwrap_err();
         assert_eq!(errs.len(), 1);
@@ -392,9 +413,18 @@ mod tests {
     #[test]
     fn unflushed_write_at_fence_is_flagged() {
         let t = vec![
-            TraceEvent::Alloc { addr: 0x100, len: 128 },
-            TraceEvent::Write { addr: 0x100, len: 8 },
-            TraceEvent::Write { addr: 0x140, len: 8 },
+            TraceEvent::Alloc {
+                addr: 0x100,
+                len: 128,
+            },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 8,
+            },
+            TraceEvent::Write {
+                addr: 0x140,
+                len: 8,
+            },
             TraceEvent::Clwb { line: 0x100 },
             TraceEvent::Fence, // 0x140 written but never flushed
         ];
@@ -407,22 +437,43 @@ mod tests {
     #[test]
     fn write_after_flush_before_fence_is_flagged() {
         let t = vec![
-            TraceEvent::Alloc { addr: 0x100, len: 64 },
-            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Alloc {
+                addr: 0x100,
+                len: 64,
+            },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 8,
+            },
             TraceEvent::Clwb { line: 0x100 },
-            TraceEvent::Write { addr: 0x108, len: 8 }, // dirties line again
+            TraceEvent::Write {
+                addr: 0x108,
+                len: 8,
+            }, // dirties line again
             TraceEvent::Fence,
         ];
         let errs = check_trace(&t).unwrap_err();
-        assert!(matches!(errs[0], Violation::UnflushedWriteAtFence { line: 0x100, .. }));
+        assert!(matches!(
+            errs[0],
+            Violation::UnflushedWriteAtFence { line: 0x100, .. }
+        ));
     }
 
     #[test]
     fn freed_memory_is_not_fresh() {
         let t = vec![
-            TraceEvent::Alloc { addr: 0x100, len: 64 },
-            TraceEvent::Free { addr: 0x100, len: 64 },
-            TraceEvent::Write { addr: 0x100, len: 8 },
+            TraceEvent::Alloc {
+                addr: 0x100,
+                len: 64,
+            },
+            TraceEvent::Free {
+                addr: 0x100,
+                len: 64,
+            },
+            TraceEvent::Write {
+                addr: 0x100,
+                len: 8,
+            },
         ];
         let errs = check_trace(&t).unwrap_err();
         assert!(matches!(errs[0], Violation::WriteToLiveData { .. }));

@@ -112,10 +112,7 @@ mod tests {
     fn unoverlapped_flush_near_353ns() {
         let w = WpqModel::default();
         let lat = w.avg_flush_latency_ns(1, 320);
-        assert!(
-            (lat - 353.0).abs() < 25.0,
-            "expected ~353 ns, got {lat:.1}"
-        );
+        assert!((lat - 353.0).abs() < 25.0, "expected ~353 ns, got {lat:.1}");
     }
 
     #[test]

@@ -196,9 +196,7 @@ impl TxHeap {
 
     /// Parses entries, returning `(offset, addr, len, csum_ok)` tuples.
     fn parse_entries(nv: &mut NvHeap, log: PmPtr) -> Vec<(u64, u64, u64, bool)> {
-        let count = nv
-            .read_u64(log.addr() + 8)
-            .min(LOG_BYTES / ENTRY_HEADER);
+        let count = nv.read_u64(log.addr() + 8).min(LOG_BYTES / ENTRY_HEADER);
         let mut out = Vec::new();
         let mut off = LOG_HDR;
         for _ in 0..count {
@@ -553,7 +551,7 @@ impl TxHeap {
                 self.nv.pm_mut().pop_tag();
                 self.nv.flush_range(self.log.addr(), 24);
                 self.nv.sfence(); // commit point
-                // Apply deferred stores in place and flush them.
+                                  // Apply deferred stores in place and flush them.
                 let redo = std::mem::take(&mut self.redo);
                 for (addr, v) in redo {
                     self.nv.write_u64(addr, v);

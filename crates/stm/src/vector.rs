@@ -245,10 +245,7 @@ mod tests {
         let v2 = StmVector::from_root(root);
         v2.mark(&mut h2);
         h2.nv_mut().finish_recovery();
-        assert_eq!(
-            v2.to_vec(&mut h2),
-            (100..116u64).collect::<Vec<_>>()
-        );
+        assert_eq!(v2.to_vec(&mut h2), (100..116u64).collect::<Vec<_>>());
     }
 
     #[test]

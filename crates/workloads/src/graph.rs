@@ -10,8 +10,7 @@
 
 use crate::report::{OpProfile, RunReport, Snapshot};
 use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
-use mod_core::basic::DurableQueue;
-use mod_core::ModHeap;
+use mod_core::{DurableQueue, ModHeap};
 use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmQueue, TxHeap, TxMode};
 
@@ -101,7 +100,7 @@ pub fn run_bfs(sys: System, scale: &ScaleConfig) -> RunReport {
 
 fn bfs_mod(g: &Graph, scale: &ScaleConfig) -> RunReport {
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(scale.capacity)));
-    let mut queue = DurableQueue::create(&mut heap, 0);
+    let queue: DurableQueue<u64> = DurableQueue::create(&mut heap);
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut profile = OpProfile {
         op: "bfs-queue-op".into(),
@@ -109,7 +108,7 @@ fn bfs_mod(g: &Graph, scale: &ScaleConfig) -> RunReport {
     };
     let mut level = vec![u32::MAX; g.nodes()];
     level[0] = 0;
-    queue.enqueue(&mut heap, 0);
+    queue.enqueue(&mut heap, &0);
     profile.count += 1;
     let mut ops = 1u64;
     while let Some(u) = {
@@ -122,7 +121,7 @@ fn bfs_mod(g: &Graph, scale: &ScaleConfig) -> RunReport {
             heap.nv_mut().pm_mut().charge_ns(1.0);
             if level[v as usize] == u32::MAX {
                 level[v as usize] = level[u] + 1;
-                queue.enqueue(&mut heap, v as u64);
+                queue.enqueue(&mut heap, &(v as u64));
                 ops += 1;
             }
         }

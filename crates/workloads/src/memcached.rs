@@ -3,15 +3,18 @@
 //! The paper ports memcached to keep its cache in one recoverable map
 //! (§4.3.1: "memcached relies on a single recoverable map to implement
 //! its cache and FASEs involve a single set operation"). Table 2's mix:
-//! 95 % sets, 5 % gets, 16-byte keys, 512-byte values. The 16-byte key is
-//! hashed to the map's 64-bit key and stored verbatim at the head of the
-//! value so gets can verify it (the collision check a real KV store
-//! performs).
+//! 95 % sets, 5 % gets, 16-byte keys, 512-byte values.
+//!
+//! The MOD side stores the 16-byte keys directly in a typed
+//! [`DurableMap<[u8; 16], Vec<u8>>`]: the codec layer hashes the key to
+//! the substrate's 64-bit key and frames the key bytes for verification —
+//! the collision check a real KV store performs, which this module used
+//! to hand-roll. The STM baselines keep the manual hash-and-embed scheme
+//! (they model PMDK applications, which have no such codec layer).
 
 use crate::report::{OpCounters, OpProfile, RunReport, Snapshot};
 use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
-use mod_core::basic::DurableMap;
-use mod_core::ModHeap;
+use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmHashMap, TxHeap, TxMode};
 
@@ -31,10 +34,21 @@ fn gen_key(rng: &mut WorkloadRng, key_space: u64) -> ([u8; 16], u64) {
     (key, z ^ (z >> 31))
 }
 
+/// Value for the STM paths: the key is embedded at the head so their
+/// hand-rolled `verify_get` can check it.
 fn build_value(key: &[u8; 16], payload_seed: u64) -> Vec<u8> {
     let mut v = vec![0u8; VALUE_BYTES];
     v[..16].copy_from_slice(key);
     v[16..24].copy_from_slice(&payload_seed.to_le_bytes());
+    v
+}
+
+/// Value for the MOD path: the codec layer already frames and verifies
+/// the key, so embedding it again would double-store it and inflate
+/// MOD's write traffic relative to the baselines.
+fn build_payload(payload_seed: u64) -> Vec<u8> {
+    let mut v = vec![0u8; VALUE_BYTES];
+    v[..8].copy_from_slice(&payload_seed.to_le_bytes());
     v
 }
 
@@ -56,12 +70,12 @@ pub fn run_memcached(sys: System, scale: &ScaleConfig) -> RunReport {
 
 fn memcached_mod(scale: &ScaleConfig) -> RunReport {
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(scale.capacity)));
-    let mut map = DurableMap::create(&mut heap, 0);
+    let map: DurableMap<[u8; 16], Vec<u8>> = DurableMap::create(&mut heap);
     let mut rng = WorkloadRng::new(scale.seed);
     let key_space = scale.preload.max(16);
     for _ in 0..scale.preload {
-        let (key, mk) = gen_key(&mut rng, key_space);
-        map.insert(&mut heap, mk, &build_value(&key, 0));
+        let (key, _) = gen_key(&mut rng, key_space);
+        map.insert(&mut heap, &key, &build_payload(0));
     }
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut set = OpProfile {
@@ -70,15 +84,19 @@ fn memcached_mod(scale: &ScaleConfig) -> RunReport {
     };
     let mut hits = 0u64;
     for op in 0..scale.ops {
-        let (key, mk) = gen_key(&mut rng, key_space);
+        let (key, _) = gen_key(&mut rng, key_space);
         if rng.percent(95) {
             let before = OpCounters::read(heap.nv().pm());
-            map.insert(&mut heap, mk, &build_value(&key, op));
+            map.insert(&mut heap, &key, &build_payload(op));
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             set.record(f, s);
         } else {
-            let got = map.get(&mut heap, mk);
-            if verify_get(&key, got.as_deref()) {
+            // Charged read path so MOD gets pay the same simulated
+            // cache/time costs the STM baselines pay (Fig 9 fidelity);
+            // the codec layer already verified the framed key bytes.
+            #[allow(deprecated)]
+            let got = map.get_mut(&mut heap, &key);
+            if got.is_some() {
                 hits += 1;
             }
         }

@@ -7,8 +7,8 @@
 
 use crate::report::{OpCounters, OpProfile, RunReport, Snapshot};
 use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
-use mod_core::basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
-use mod_core::ModHeap;
+use mod_core::{ModHeap, Root};
+use mod_funcds::{PmMap, PmQueue, PmSet, PmStack, PmVector};
 use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmHashMap, StmQueue, StmStack, StmVector, TxHeap, TxMode};
 
@@ -65,6 +65,19 @@ pub fn run_micro(w: Workload, sys: System, scale: &ScaleConfig) -> RunReport {
 // map / set
 // ---------------------------------------------------------------------
 
+/// One set-insert FASE: a duplicate insert builds no shadow and pays no
+/// ordering point; returns whether the key was new.
+fn set_insert_fase(heap: &mut ModHeap, set: Root<PmSet>, key: u64) -> bool {
+    heap.fase(|tx| {
+        let cur = tx.current(set);
+        if cur.contains(tx.nv_mut(), key) {
+            return false;
+        }
+        tx.update_with(set, |nv, s| s.insert(nv, key));
+        true
+    })
+}
+
 fn mod_map(scale: &ScaleConfig, as_set: bool) -> RunReport {
     let (workload, label) = if as_set {
         (Workload::Set, "set-insert")
@@ -79,21 +92,25 @@ fn mod_map(scale: &ScaleConfig, as_set: bool) -> RunReport {
         ..OpProfile::default()
     };
     if as_set {
-        let mut set = DurableSet::create(&mut heap, 0);
+        let s0 = PmSet::empty(heap.nv_mut());
+        let set = heap.publish(s0);
         for _ in 0..scale.preload {
-            set.insert(&mut heap, rng.below(key_space));
+            let k = rng.below(key_space);
+            set_insert_fase(&mut heap, set, k);
         }
         let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
         for _ in 0..scale.ops {
+            let k = rng.below(key_space);
             let before = OpCounters::read(heap.nv().pm());
-            let added = set.insert(&mut heap, rng.below(key_space));
+            let added = set_insert_fase(&mut heap, set, k);
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             if added {
                 // Fig 10 profiles update operations; duplicate inserts
                 // are no-op FASEs with no flushes or fences.
                 profile.record(f, s);
             }
-            let _ = set.contains(&mut heap, rng.below(key_space));
+            let probe = rng.below(key_space);
+            let _ = heap.current(set).contains(heap.nv_mut(), probe);
         }
         snap.finish(
             heap.nv().pm(),
@@ -105,19 +122,21 @@ fn mod_map(scale: &ScaleConfig, as_set: bool) -> RunReport {
             vec![profile],
         )
     } else {
-        let mut map = DurableMap::create(&mut heap, 0);
+        let m0 = PmMap::empty(heap.nv_mut());
+        let map = heap.publish(m0);
         for _ in 0..scale.preload {
             let k = rng.below(key_space);
-            map.insert(&mut heap, k, &value32(k));
+            heap.fase(|tx| tx.update(map, |nv, m| m.insert(nv, k, &value32(k))));
         }
         let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
         for _ in 0..scale.ops {
             let k = rng.below(key_space);
             let before = OpCounters::read(heap.nv().pm());
-            map.insert(&mut heap, k, &value32(k));
+            heap.fase(|tx| tx.update(map, |nv, m| m.insert(nv, k, &value32(k))));
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             profile.record(f, s);
-            let _ = map.get(&mut heap, rng.below(key_space));
+            let probe = rng.below(key_space);
+            let _ = heap.current(map).get(heap.nv_mut(), probe);
         }
         snap.finish(
             heap.nv().pm(),
@@ -143,7 +162,11 @@ fn stm_map(scale: &ScaleConfig, mode: TxMode, sys: System, as_set: bool) -> RunR
     let key_space = (scale.preload * 2).max(16);
     for _ in 0..scale.preload {
         let k = rng.below(key_space);
-        let v = if as_set { Vec::new() } else { value32(k).to_vec() };
+        let v = if as_set {
+            Vec::new()
+        } else {
+            value32(k).to_vec()
+        };
         map.insert(&mut heap, k, &v);
     }
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
@@ -153,7 +176,11 @@ fn stm_map(scale: &ScaleConfig, mode: TxMode, sys: System, as_set: bool) -> RunR
     };
     for _ in 0..scale.ops {
         let k = rng.below(key_space);
-        let v = if as_set { Vec::new() } else { value32(k).to_vec() };
+        let v = if as_set {
+            Vec::new()
+        } else {
+            value32(k).to_vec()
+        };
         let before = OpCounters::read(heap.nv().pm());
         map.insert(&mut heap, k, &v);
         let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
@@ -177,10 +204,11 @@ fn stm_map(scale: &ScaleConfig, mode: TxMode, sys: System, as_set: bool) -> RunR
 
 fn mod_stack(scale: &ScaleConfig) -> RunReport {
     let mut heap = ModHeap::create(bench_pm(scale));
-    let mut stack = DurableStack::create(&mut heap, 0);
+    let s0 = PmStack::empty(heap.nv_mut());
+    let stack = heap.publish(s0);
     let mut rng = WorkloadRng::new(scale.seed);
     for i in 0..scale.preload {
-        stack.push(&mut heap, i);
+        heap.fase(|tx| tx.update(stack, |nv, s| s.push(nv, i)));
     }
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut push = OpProfile {
@@ -192,13 +220,19 @@ fn mod_stack(scale: &ScaleConfig) -> RunReport {
         ..OpProfile::default()
     };
     for i in 0..scale.ops {
+        let empty = heap.current(stack).is_empty(heap.nv_mut());
         let before = OpCounters::read(heap.nv().pm());
-        if rng.percent(55) || stack.is_empty(&mut heap) {
-            stack.push(&mut heap, i);
+        if rng.percent(55) || empty {
+            heap.fase(|tx| tx.update(stack, |nv, s| s.push(nv, i)));
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             push.record(f, s);
         } else {
-            stack.pop(&mut heap);
+            heap.fase(|tx| {
+                tx.update_with(stack, |nv, s| match s.pop(nv) {
+                    Some((ns, e)) => (ns, Some(e)),
+                    None => (s, None),
+                })
+            });
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             pop.record(f, s);
         }
@@ -255,10 +289,11 @@ fn stm_stack(scale: &ScaleConfig, mode: TxMode, sys: System) -> RunReport {
 
 fn mod_queue(scale: &ScaleConfig) -> RunReport {
     let mut heap = ModHeap::create(bench_pm(scale));
-    let mut queue = DurableQueue::create(&mut heap, 0);
+    let q0 = PmQueue::empty(heap.nv_mut());
+    let queue = heap.publish(q0);
     let mut rng = WorkloadRng::new(scale.seed);
     for i in 0..scale.preload {
-        queue.enqueue(&mut heap, i);
+        heap.fase(|tx| tx.update(queue, |nv, q| q.enqueue(nv, i)));
     }
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut push = OpProfile {
@@ -270,13 +305,19 @@ fn mod_queue(scale: &ScaleConfig) -> RunReport {
         ..OpProfile::default()
     };
     for i in 0..scale.ops {
+        let empty = heap.current(queue).is_empty(heap.nv_mut());
         let before = OpCounters::read(heap.nv().pm());
-        if rng.percent(55) || queue.is_empty(&mut heap) {
-            queue.enqueue(&mut heap, i);
+        if rng.percent(55) || empty {
+            heap.fase(|tx| tx.update(queue, |nv, q| q.enqueue(nv, i)));
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             push.record(f, s);
         } else {
-            queue.dequeue(&mut heap);
+            heap.fase(|tx| {
+                tx.update_with(queue, |nv, q| match q.dequeue(nv) {
+                    Some((nq, e)) => (nq, Some(e)),
+                    None => (q, None),
+                })
+            });
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             pop.record(f, s);
         }
@@ -339,7 +380,8 @@ fn mod_vector(scale: &ScaleConfig, swaps: bool) -> RunReport {
     let n = scale.preload.max(VECTOR_MIN_PRELOAD);
     let elems: Vec<u64> = (0..n).collect();
     let mut heap = ModHeap::create(bench_pm(scale));
-    let mut vec = DurableVector::create_from(&mut heap, 0, &elems);
+    let v0 = PmVector::from_slice(heap.nv_mut(), &elems);
+    let vec = heap.publish(v0);
     let mut rng = WorkloadRng::new(scale.seed);
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let (workload, label) = if swaps {
@@ -356,14 +398,26 @@ fn mod_vector(scale: &ScaleConfig, swaps: bool) -> RunReport {
         if swaps {
             let i = rng.below(n);
             let j = rng.below(n);
-            vec.swap(&mut heap, i, j);
+            if i != j {
+                // Fig 7b: two chained pure updates, one FASE, one fence.
+                heap.fase(|tx| {
+                    let cur = tx.current(vec);
+                    let vi = cur.get(tx.nv_mut(), i);
+                    let vj = cur.get(tx.nv_mut(), j);
+                    tx.update(vec, |nv, v| v.update(nv, i, vj));
+                    tx.update(vec, |nv, v| v.update(nv, j, vi));
+                });
+            }
         } else {
-            vec.update(&mut heap, rng.below(n), rng.next_u64());
+            let i = rng.below(n);
+            let e = rng.next_u64();
+            heap.fase(|tx| tx.update(vec, |nv, v| v.update(nv, i, e)));
         }
         let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
         profile.record(f, s);
         if !swaps {
-            let _ = vec.get(&mut heap, rng.below(n));
+            let probe = rng.below(n);
+            let _ = heap.current(vec).get(heap.nv_mut(), probe);
         }
     }
     snap.finish(

@@ -183,15 +183,7 @@ mod tests {
         pm.write_u64(0x140, 2);
         pm.clwb(0x140);
         pm.sfence();
-        let report = snap.finish(
-            &pm,
-            0,
-            0,
-            Workload::Map,
-            System::Mod,
-            1,
-            Vec::new(),
-        );
+        let report = snap.finish(&pm, 0, 0, Workload::Map, System::Mod, 1, Vec::new());
         assert_eq!(report.flushes, 1);
         assert_eq!(report.fences, 1);
         assert!(report.total_ns() > 0.0);

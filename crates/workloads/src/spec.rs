@@ -165,9 +165,7 @@ pub struct WorkloadRng {
 impl WorkloadRng {
     /// Seeds the generator.
     pub fn new(seed: u64) -> WorkloadRng {
-        WorkloadRng {
-            state: seed.max(1),
-        }
+        WorkloadRng { state: seed.max(1) }
     }
 
     /// Next raw value.

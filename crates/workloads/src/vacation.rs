@@ -1,25 +1,23 @@
 //! Vacation — the travel-reservation application kernel (WHISPER/STAMP).
 //!
-//! A manager object owns four recoverable maps (cars, flights, rooms,
+//! A manager owns four recoverable maps (cars, flights, rooms,
 //! customers). Each transaction either makes a reservation (reads tables,
 //! writes the customer record), updates table capacity, or deletes a
 //! customer — §6.2: "vacation's logic required composing failure-atomic
 //! updates to multiple distinct maps that were members of the same
-//! object, for which we used our Composition interface with
-//! CommitSiblings". The PMDK version wraps the same updates in one
+//! object". The four maps are typed roots — siblings under the root
+//! directory — so each transaction is one `heap.fase(..)` with exactly
+//! one ordering point. The PMDK version wraps the same updates in one
 //! transaction. Mix follows Table 2: ~80 % of the key range queried,
 //! 55 % user (reservation) transactions.
 
 use crate::micro::value32;
 use crate::report::{OpProfile, RunReport, Snapshot};
 use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
-use mod_core::{DurableDs, ErasedDs, ModHeap};
+use mod_core::{ModHeap, Root};
 use mod_funcds::PmMap;
-use mod_pmem::{Pmem, PmemConfig, PmPtr};
+use mod_pmem::{Pmem, PmemConfig};
 use mod_stm::{StmHashMap, TxHeap, TxMode};
-
-/// Parent-object slot holding the manager's four maps.
-pub const MANAGER_SLOT: usize = 0;
 
 const N_TABLES: usize = 3; // cars, flights, rooms
 
@@ -57,27 +55,36 @@ fn plan(rng: &mut WorkloadRng, relations: u64) -> Action {
     }
 }
 
+/// The manager's typed roots: three capacity tables plus the customer
+/// book, all siblings under the root directory.
+struct Manager {
+    tables: [Root<PmMap>; N_TABLES],
+    customers: Root<PmMap>,
+}
+
+impl Manager {
+    fn create(heap: &mut ModHeap, relations: u64) -> Manager {
+        let tables = std::array::from_fn(|t| {
+            let mut m = PmMap::empty(heap.nv_mut());
+            for i in 0..relations {
+                let next = m.insert(heap.nv_mut(), i, &value32(100 + t as u64));
+                m.release(heap.nv_mut());
+                m = next;
+            }
+            heap.publish(m)
+        });
+        let c0 = PmMap::empty(heap.nv_mut());
+        Manager {
+            tables,
+            customers: heap.publish(c0),
+        }
+    }
+}
+
 fn vacation_mod(scale: &ScaleConfig) -> RunReport {
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::benchmarking(scale.capacity)));
     let relations = (scale.preload / 4).max(64);
-    // Manager: [cars, flights, rooms, customers] under one parent.
-    let mut tables: Vec<PmMap> = Vec::new();
-    for t in 0..N_TABLES {
-        let mut m = PmMap::empty(heap.nv_mut());
-        for i in 0..relations {
-            let next = m.insert(heap.nv_mut(), i, &value32(100 + t as u64));
-            m.release(heap.nv_mut());
-            m = next;
-        }
-        tables.push(m);
-    }
-    let mut customers = PmMap::empty(heap.nv_mut());
-    let kids: Vec<ErasedDs> = tables
-        .iter()
-        .map(|t| t.erase())
-        .chain([customers.erase()])
-        .collect();
-    heap.commit_siblings(MANAGER_SLOT, PmPtr::NULL, &kids, &kids);
+    let mgr = Manager::create(&mut heap, relations);
     let mut rng = WorkloadRng::new(scale.seed);
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut profile = OpProfile {
@@ -87,59 +94,34 @@ fn vacation_mod(scale: &ScaleConfig) -> RunReport {
     for op in 0..scale.ops {
         let a = plan(&mut rng, relations);
         let before = crate::report::OpCounters::read(heap.nv().pm());
-        let old_parent = heap.read_root(MANAGER_SLOT);
         match a.kind {
             0 => {
-                // Reservation: read the three tables, record the booking.
-                for t in &tables {
-                    let _ = t.get(heap.nv_mut(), a.item);
-                }
-                let mut record = Vec::with_capacity(32);
-                record.extend_from_slice(&a.item.to_le_bytes());
-                record.extend_from_slice(&(a.table as u64).to_le_bytes());
-                record.extend_from_slice(&op.to_le_bytes());
-                record.extend_from_slice(&[0u8; 8]);
-                let new_customers = customers.insert(heap.nv_mut(), a.customer, &record);
-                let kids: Vec<ErasedDs> = tables
-                    .iter()
-                    .map(|t| t.erase())
-                    .chain([new_customers.erase()])
-                    .collect();
-                heap.commit_siblings(MANAGER_SLOT, old_parent, &kids, &[new_customers.erase()]);
-                customers = new_customers;
+                // Reservation: read the three tables, record the booking —
+                // one FASE, one ordering point.
+                heap.fase(|tx| {
+                    for &t in &mgr.tables {
+                        let table = tx.current(t);
+                        let _ = table.get(tx.nv_mut(), a.item);
+                    }
+                    let mut record = Vec::with_capacity(32);
+                    record.extend_from_slice(&a.item.to_le_bytes());
+                    record.extend_from_slice(&(a.table as u64).to_le_bytes());
+                    record.extend_from_slice(&op.to_le_bytes());
+                    record.extend_from_slice(&[0u8; 8]);
+                    tx.update(mgr.customers, |nv, c| c.insert(nv, a.customer, &record));
+                });
             }
             1 => {
                 // Capacity update on one table.
-                let new_table =
-                    tables[a.table].insert(heap.nv_mut(), a.item, &value32(op));
-                let mut new_tables = tables.clone();
-                new_tables[a.table] = new_table;
-                let kids: Vec<ErasedDs> = new_tables
-                    .iter()
-                    .map(|t| t.erase())
-                    .chain([customers.erase()])
-                    .collect();
-                heap.commit_siblings(MANAGER_SLOT, old_parent, &kids, &[new_table.erase()]);
-                tables = new_tables;
+                heap.fase(|tx| {
+                    tx.update(mgr.tables[a.table], |nv, t| {
+                        t.insert(nv, a.item, &value32(op))
+                    });
+                });
             }
             _ => {
-                // Delete customer (skip commit when absent: no-op FASE).
-                let (new_customers, removed) =
-                    customers.remove(heap.nv_mut(), a.customer);
-                if removed {
-                    let kids: Vec<ErasedDs> = tables
-                        .iter()
-                        .map(|t| t.erase())
-                        .chain([new_customers.erase()])
-                        .collect();
-                    heap.commit_siblings(
-                        MANAGER_SLOT,
-                        old_parent,
-                        &kids,
-                        &[new_customers.erase()],
-                    );
-                    customers = new_customers;
-                }
+                // Delete customer: absent keys make this a no-op FASE.
+                heap.fase(|tx| tx.update_with(mgr.customers, |nv, c| c.remove(nv, a.customer)));
             }
         }
         let (f, s) = crate::report::OpCounters::read(heap.nv().pm()).since(&before);
@@ -215,8 +197,6 @@ fn vacation_stm(scale: &ScaleConfig, mode: TxMode, sys: System) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mod_core::recovery::{parent_children, recover, RootSpec};
-    use mod_core::RootKind;
     use mod_pmem::CrashPolicy;
 
     #[test]
@@ -253,29 +233,28 @@ mod tests {
     }
 
     #[test]
-    fn manager_recovers_with_four_children() {
-        // Crash-and-recover the MOD manager mid-run.
-        let scale = ScaleConfig::testing();
+    fn manager_recovers_with_four_roots() {
+        // Crash-and-recover the MOD manager mid-run: the four maps come
+        // back as typed roots with their kinds checked, no specs needed.
         let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let m1 = PmMap::empty(heap.nv_mut()).insert(heap.nv_mut(), 1, b"cars");
-        let m2 = PmMap::empty(heap.nv_mut());
-        let m3 = PmMap::empty(heap.nv_mut());
-        let m4 = PmMap::empty(heap.nv_mut()).insert(heap.nv_mut(), 9, b"cust");
-        heap.commit_siblings(
-            MANAGER_SLOT,
-            PmPtr::NULL,
-            &[m1.erase(), m2.erase(), m3.erase(), m4.erase()],
-            &[m1.erase(), m2.erase(), m3.erase(), m4.erase()],
-        );
+        let mgr = Manager::create(&mut heap, 8);
+        heap.fase(|tx| {
+            tx.update(mgr.tables[0], |nv, t| t.insert(nv, 1, b"cars"));
+            tx.update(mgr.customers, |nv, c| c.insert(nv, 9, b"cust"));
+        });
         heap.quiesce();
         let pm = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(pm, &[RootSpec::new(MANAGER_SLOT, RootKind::Parent)]);
-        let kids = parent_children(&mut h2, MANAGER_SLOT);
-        assert_eq!(kids.len(), 4);
-        let cars = PmMap::from_root(kids[0].root);
-        let cust = PmMap::from_root(kids[3].root);
-        assert_eq!(cars.get(h2.nv_mut(), 1), Some(b"cars".to_vec()));
-        assert_eq!(cust.get(h2.nv_mut(), 9), Some(b"cust".to_vec()));
-        let _ = scale;
+        let (h2, _) = ModHeap::open(pm);
+        assert_eq!(h2.root_count(), 4);
+        let cars: Root<PmMap> = h2.open_root(0);
+        let cust: Root<PmMap> = h2.open_root(3);
+        assert_eq!(
+            h2.current(cars).peek_get(h2.nv(), 1),
+            Some(b"cars".to_vec())
+        );
+        assert_eq!(
+            h2.current(cust).peek_get(h2.nv(), 9),
+            Some(b"cust".to_vec())
+        );
     }
 }

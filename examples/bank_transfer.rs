@@ -1,35 +1,26 @@
 //! Composition interface demo: failure-atomic transfers between two
-//! unrelated durable maps (paper Fig 6b / Fig 7c).
+//! durable maps (paper Fig 6b / Fig 7c).
 //!
 //! ```text
 //! cargo run --example bank_transfer
 //! ```
 //!
 //! Moving money between two account books must never half-happen. Each
-//! transfer performs two pure updates and publishes both atomically with
-//! `CommitUnrelated`; an adversarial crash mid-transfer leaves the total
-//! balance intact.
+//! transfer is one `heap.fase(..)` staging pure updates to both books:
+//! because typed roots are siblings under the root directory, the pair
+//! publishes with **one** ordering point (the old raw-slot API needed the
+//! three-fence `CommitUnrelated` log for this). An adversarial crash
+//! mid-transfer leaves the total balance intact.
 
-use mod_core::recovery::{recover, root_handle, RootSpec};
-use mod_core::{DurableDs, ModHeap, RootKind};
-use mod_funcds::PmMap;
+use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
 
-const CHECKING_SLOT: usize = 0;
-const SAVINGS_SLOT: usize = 1;
+type Book = DurableMap<u64, u64>;
 
-fn balance(heap: &mut ModHeap, m: &PmMap, acct: u64) -> u64 {
-    m.get(heap.nv_mut(), acct)
-        .map(|v| u64::from_le_bytes(v.try_into().expect("8-byte balance")))
-        .unwrap_or(0)
-}
-
-fn total(heap: &mut ModHeap, a: &PmMap, b: &PmMap) -> u64 {
-    let mut sum = 0;
-    for acct in 0..4u64 {
-        sum += balance(heap, a, acct) + balance(heap, b, acct);
-    }
-    sum
+fn total(heap: &ModHeap, a: &Book, b: &Book) -> u64 {
+    (0..4u64)
+        .map(|acct| a.get(heap, &acct).unwrap_or(0) + b.get(heap, &acct).unwrap_or(0))
+        .sum()
 }
 
 fn main() {
@@ -40,59 +31,51 @@ fn main() {
     });
     let mut heap = ModHeap::create(pool);
 
-    // Two unrelated books: checking and savings, 4 accounts each.
-    let mut checking = PmMap::empty(heap.nv_mut());
-    let mut savings = PmMap::empty(heap.nv_mut());
+    // Two account books: checking and savings, 4 accounts each.
+    let checking: Book = DurableMap::create(&mut heap);
+    let savings: Book = DurableMap::create(&mut heap);
     for acct in 0..4u64 {
-        let c2 = checking.insert(heap.nv_mut(), acct, &1000u64.to_le_bytes());
-        checking.release(heap.nv_mut());
-        checking = c2;
-        let s2 = savings.insert(heap.nv_mut(), acct, &500u64.to_le_bytes());
-        savings.release(heap.nv_mut());
-        savings = s2;
+        heap.fase(|tx| {
+            checking.insert_in(tx, &acct, &1000);
+            savings.insert_in(tx, &acct, &500);
+        });
     }
-    heap.publish_root(CHECKING_SLOT, checking);
-    heap.publish_root(SAVINGS_SLOT, savings);
     heap.quiesce();
-    println!("initial total: {}", total(&mut heap, &checking, &savings));
+    println!("initial total: {}", total(&heap, &checking, &savings));
 
     // One failure-atomic transfer: checking[2] -> savings[2], 250 units.
-    let from = balance(&mut heap, &checking, 2);
-    let to = balance(&mut heap, &savings, 2);
-    let new_checking = checking.insert(heap.nv_mut(), 2, &(from - 250).to_le_bytes());
-    let new_savings = savings.insert(heap.nv_mut(), 2, &(to + 250).to_le_bytes());
-    heap.commit_unrelated(&[
-        (CHECKING_SLOT, checking.erase(), new_checking.erase()),
-        (SAVINGS_SLOT, savings.erase(), new_savings.erase()),
-    ]);
-    let (checking, savings) = (new_checking, new_savings);
+    let fences_before = heap.nv().pm().stats().fences;
+    heap.fase(|tx| {
+        let from = checking.get_in(tx, &2).unwrap_or(0);
+        let to = savings.get_in(tx, &2).unwrap_or(0);
+        checking.insert_in(tx, &2, &(from - 250));
+        savings.insert_in(tx, &2, &(to + 250));
+    });
     println!(
-        "after transfer: checking[2]={} savings[2]={} total={}",
-        balance(&mut heap, &checking, 2),
-        balance(&mut heap, &savings, 2),
-        total(&mut heap, &checking, &savings),
+        "after transfer: checking[2]={} savings[2]={} total={} ({} fence)",
+        checking.get(&heap, &2).unwrap(),
+        savings.get(&heap, &2).unwrap(),
+        total(&heap, &checking, &savings),
+        heap.nv().pm().stats().fences - fences_before,
     );
     heap.quiesce();
 
-    // A transfer interrupted by a crash: both shadows built, commit never
-    // runs. Try several adversarial persistence subsets.
-    let from = balance(&mut heap, &checking, 0);
-    let to = balance(&mut heap, &savings, 0);
-    let _shadow_c = checking.insert(heap.nv_mut(), 0, &(from - 999).to_le_bytes());
-    let _shadow_s = savings.insert(heap.nv_mut(), 0, &(to + 999).to_le_bytes());
+    // A transfer interrupted by a crash: both shadows built (moving 999
+    // units — a torn commit would visibly change the total), but the
+    // machine dies before the FASE's single ordering point.
+    let c = heap.current(checking.root());
+    let s = heap.current(savings.root());
+    let from = checking.get(&heap, &0).unwrap();
+    let to = savings.get(&heap, &0).unwrap();
+    let _shadow_c = c.insert(heap.nv_mut(), 0, &(from - 999).to_le_bytes());
+    let _shadow_s = s.insert(heap.nv_mut(), 0, &(to + 999).to_le_bytes());
     println!("-- crash mid-transfer (testing 5 adversarial subsets) --");
     for seed in 0..5u64 {
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (mut h2, _) = recover(
-            img,
-            &[
-                RootSpec::new(CHECKING_SLOT, RootKind::Map),
-                RootSpec::new(SAVINGS_SLOT, RootKind::Map),
-            ],
-        );
-        let c: PmMap = root_handle(&mut h2, CHECKING_SLOT);
-        let s: PmMap = root_handle(&mut h2, SAVINGS_SLOT);
-        let t = total(&mut h2, &c, &s);
+        let (h2, _) = ModHeap::open(img);
+        let c2: Book = DurableMap::open(&h2, 0);
+        let s2: Book = DurableMap::open(&h2, 1);
+        let t = total(&h2, &c2, &s2);
         println!("  seed {seed}: total after recovery = {t}");
         assert_eq!(t, 6000, "money neither created nor destroyed");
     }

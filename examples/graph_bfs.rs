@@ -1,19 +1,15 @@
 //! Recoverable breadth-first search — the paper's bfs workload as an
-//! application: the frontier queue lives in persistent memory, so a
-//! crashed traversal resumes from where it died instead of restarting.
+//! application: the frontier queue and level map live in persistent
+//! memory, so a crashed traversal resumes from where it died instead of
+//! restarting.
 //!
 //! ```text
 //! cargo run --example graph_bfs
 //! ```
 
-use mod_core::basic::{DurableMap, DurableQueue};
-use mod_core::recovery::{recover, RootSpec};
-use mod_core::{ModHeap, RootKind};
+use mod_core::{DurableMap, DurableQueue, ModHeap};
 use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
 use mod_workloads::graph::{bfs_volatile, generate_scale_free};
-
-const FRONTIER_SLOT: usize = 0;
-const LEVELS_SLOT: usize = 1;
 
 fn main() {
     // The graph itself is volatile (rebuilt each run, like the paper's
@@ -31,25 +27,43 @@ fn main() {
         ..PmemConfig::default()
     });
     let mut heap = ModHeap::create(pool);
-    let mut frontier = DurableQueue::create(&mut heap, FRONTIER_SLOT);
-    let mut levels = DurableMap::create(&mut heap, LEVELS_SLOT);
+    let frontier: DurableQueue<u32> = DurableQueue::create(&mut heap);
+    let levels: DurableMap<u64, u32> = DurableMap::create(&mut heap);
+
+    /// One whole BFS step — dequeue the head node, record every
+    /// unvisited neighbor's level and extend the frontier — as a single
+    /// FASE: a crash anywhere leaves the step entirely done or entirely
+    /// undone (the head still queued), so no node's expansion can be
+    /// half-lost.
+    fn bfs_step(
+        heap: &mut ModHeap,
+        graph: &mod_workloads::graph::Graph,
+        frontier: &DurableQueue<u32>,
+        levels: &DurableMap<u64, u32>,
+    ) -> Option<u32> {
+        let u = frontier.peek(heap)?;
+        let lvl = levels.get(heap, &(u as u64)).unwrap();
+        heap.fase(|tx| {
+            frontier.dequeue_in(tx);
+            for &v in &graph.adj[u as usize] {
+                if levels.get_in(tx, &(v as u64)).is_none() {
+                    levels.insert_in(tx, &(v as u64), &(lvl + 1));
+                    frontier.enqueue_in(tx, &v);
+                }
+            }
+        });
+        Some(u)
+    }
 
     // Start BFS from node 0, but "crash" partway through.
-    levels.insert(&mut heap, 0, &0u32.to_le_bytes());
-    frontier.enqueue(&mut heap, 0);
+    levels.insert(&mut heap, &0, &0);
+    frontier.enqueue(&mut heap, &0);
     let mut visited = 0u32;
-    while let Some(u) = frontier.dequeue(&mut heap) {
+    while bfs_step(&mut heap, &graph, &frontier, &levels).is_some() {
         visited += 1;
         if visited == 1500 {
             println!("-- simulated power failure after visiting 1500 nodes --");
             break;
-        }
-        let lvl = u32::from_le_bytes(levels.get(&mut heap, u).unwrap().try_into().unwrap());
-        for &v in &graph.adj[u as usize] {
-            if !levels.contains_key(&mut heap, v as u64) {
-                levels.insert(&mut heap, v as u64, &(lvl + 1).to_le_bytes());
-                frontier.enqueue(&mut heap, v as u64);
-            }
         }
     }
 
@@ -57,43 +71,25 @@ fn main() {
     // resumes without revisiting the first 1500 nodes.
     heap.quiesce();
     let img = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
-    let (mut heap, report) = recover(
-        img,
-        &[
-            RootSpec::new(FRONTIER_SLOT, RootKind::Queue),
-            RootSpec::new(LEVELS_SLOT, RootKind::Map),
-        ],
-    );
-    let mut frontier = DurableQueue::open(&mut heap, FRONTIER_SLOT);
-    let mut levels = DurableMap::open(&mut heap, LEVELS_SLOT);
+    let (mut heap, report) = ModHeap::open(img);
+    let frontier: DurableQueue<u32> = DurableQueue::open(&heap, 0);
+    let levels: DurableMap<u64, u32> = DurableMap::open(&heap, 1);
     println!(
         "recovered: frontier holds {} nodes, {} levels recorded, {} live blocks",
-        frontier.len(&mut heap),
-        levels.len(&mut heap),
+        frontier.len(&heap),
+        levels.len(&heap),
         report.live_blocks
     );
 
-    while let Some(u) = frontier.dequeue(&mut heap) {
-        let lvl = u32::from_le_bytes(levels.get(&mut heap, u).unwrap().try_into().unwrap());
-        for &v in &graph.adj[u as usize] {
-            if !levels.contains_key(&mut heap, v as u64) {
-                levels.insert(&mut heap, v as u64, &(lvl + 1).to_le_bytes());
-                frontier.enqueue(&mut heap, v as u64);
-            }
-        }
-    }
+    while bfs_step(&mut heap, &graph, &frontier, &levels).is_some() {}
 
     // Cross-check against a volatile BFS oracle.
     let oracle = bfs_volatile(&graph, 0);
     let mut checked = 0;
     for (node, &want) in oracle.iter().enumerate() {
-        let got = u32::from_le_bytes(
-            levels
-                .get(&mut heap, node as u64)
-                .unwrap_or_else(|| panic!("node {node} unvisited"))
-                .try_into()
-                .unwrap(),
-        );
+        let got = levels
+            .get(&heap, &(node as u64))
+            .unwrap_or_else(|| panic!("node {node} unvisited"));
         assert_eq!(got, want, "node {node}");
         checked += 1;
     }

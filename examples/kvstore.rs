@@ -2,63 +2,46 @@
 //! the paper's flagship application pattern (§4.3.1): every `set` is a
 //! single-FASE map update, `get`s are free of flushes and fences.
 //!
+//! The store is just a typed `DurableMap<String, Vec<u8>>`: the codec
+//! layer hashes the string key onto the 64-bit substrate and frames the
+//! key bytes into the stored blob for verification — the FNV hashing and
+//! length-prefix framing this example used to implement by hand.
+//!
 //! ```text
 //! cargo run --example kvstore
 //! ```
 
-use mod_core::basic::DurableMap;
-use mod_core::recovery::{recover, RootSpec};
-use mod_core::{ModHeap, RootKind};
+use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
 
-const CACHE_SLOT: usize = 0;
-
-/// A tiny text-keyed KV store: keys are hashed to the map's u64 key and
-/// stored inside the value for verification, exactly like the memcached
-/// workload kernel.
+/// A tiny text-keyed KV store.
 struct KvStore {
-    map: DurableMap,
-}
-
-fn hash_key(key: &str) -> u64 {
-    let mut z = 0xCBF2_9CE4_8422_2325u64;
-    for b in key.bytes() {
-        z ^= b as u64;
-        z = z.wrapping_mul(0x100_0000_01B3);
-    }
-    z
+    map: DurableMap<String, Vec<u8>>,
 }
 
 impl KvStore {
     fn create(heap: &mut ModHeap) -> KvStore {
         KvStore {
-            map: DurableMap::create(heap, CACHE_SLOT),
+            map: DurableMap::create(heap),
         }
     }
 
-    fn open(heap: &mut ModHeap) -> KvStore {
+    fn open(heap: &ModHeap) -> KvStore {
         KvStore {
-            map: DurableMap::open(heap, CACHE_SLOT),
+            map: DurableMap::open(heap, 0),
         }
     }
 
     fn set(&mut self, heap: &mut ModHeap, key: &str, value: &[u8]) {
-        let mut stored = Vec::with_capacity(2 + key.len() + value.len());
-        stored.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        stored.extend_from_slice(key.as_bytes());
-        stored.extend_from_slice(value);
-        self.map.insert(heap, hash_key(key), &stored);
+        self.map.insert(heap, &key.to_string(), &value.to_vec());
     }
 
-    fn get(&self, heap: &mut ModHeap, key: &str) -> Option<Vec<u8>> {
-        let stored = self.map.get(heap, hash_key(key))?;
-        let klen = u16::from_le_bytes([stored[0], stored[1]]) as usize;
-        // Verify the embedded key (hash-collision check).
-        (&stored[2..2 + klen] == key.as_bytes()).then(|| stored[2 + klen..].to_vec())
+    fn get(&self, heap: &ModHeap, key: &str) -> Option<Vec<u8>> {
+        self.map.get(heap, &key.to_string())
     }
 
     fn delete(&mut self, heap: &mut ModHeap, key: &str) -> bool {
-        self.map.remove(heap, hash_key(key))
+        self.map.remove(heap, &key.to_string())
     }
 }
 
@@ -82,27 +65,27 @@ fn main() {
     println!("performed {sets} mutations with {fences} total fences");
     println!(
         "  name  = {:?}",
-        kv.get(&mut heap, "user:42:name").map(String::from_utf8)
+        kv.get(&heap, "user:42:name").map(String::from_utf8)
     );
     println!(
         "  email = {:?}",
-        kv.get(&mut heap, "user:42:email").map(String::from_utf8)
+        kv.get(&heap, "user:42:email").map(String::from_utf8)
     );
 
     // Restart the "process": reopen the pool and find everything intact.
     heap.quiesce();
     let img = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
     println!("-- restart --");
-    let (mut heap, _) = recover(img, &[RootSpec::new(CACHE_SLOT, RootKind::Map)]);
-    let kv = KvStore::open(&mut heap);
+    let (heap, _) = ModHeap::open(img);
+    let kv = KvStore::open(&heap);
     assert_eq!(
-        kv.get(&mut heap, "user:42:email"),
+        kv.get(&heap, "user:42:email"),
         Some(b"ada@example.org".to_vec())
     );
-    assert!(kv.get(&mut heap, "session:abc").is_none());
+    assert!(kv.get(&heap, "session:abc").is_none());
     println!("store intact after restart:");
     println!(
         "  email = {:?}",
-        kv.get(&mut heap, "user:42:email").map(String::from_utf8)
+        kv.get(&heap, "user:42:email").map(String::from_utf8)
     );
 }

@@ -4,16 +4,13 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! Shows the Basic interface (paper Fig 6a): every update is a
-//! failure-atomic section with exactly one ordering point, and recovery
-//! brings the structure back after a simulated power failure.
+//! Shows the typed Basic interface (paper Fig 6a): every update is a
+//! failure-atomic section with exactly one ordering point, lookups are
+//! read-only (`&heap`), and recovery brings the structure back after a
+//! simulated power failure — no slot numbers, no root specs.
 
-use mod_core::basic::DurableMap;
-use mod_core::recovery::{recover, RootSpec};
-use mod_core::{ModHeap, RootKind};
+use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
-
-const MAP_SLOT: usize = 0;
 
 fn main() {
     // A simulated persistent-memory pool (would be a DAX mapping on real
@@ -25,13 +22,13 @@ fn main() {
     });
     let mut heap = ModHeap::create(pool);
 
-    // Create a durable map published in root slot 0 and fill it. Each
+    // Create a durable map published as typed root 0 and fill it. Each
     // insert is one FASE: pure shadow update + one sfence + pointer swing.
-    let mut map = DurableMap::create(&mut heap, MAP_SLOT);
+    let map: DurableMap<u64, String> = DurableMap::create(&mut heap);
     for (k, v) in [(1u64, "alpha"), (2, "beta"), (3, "gamma")] {
-        map.insert(&mut heap, k, v.as_bytes());
+        map.insert(&mut heap, &k, &v.to_string());
     }
-    println!("inserted {} entries", map.len(&mut heap));
+    println!("inserted {} entries", map.len(&heap));
     println!(
         "fences so far: {} (one per update + setup)",
         heap.nv().pm().stats().fences
@@ -40,8 +37,8 @@ fn main() {
     // An update that never commits: the shadow is built and flushed, but
     // the machine dies before the FASE's ordering point retires it.
     heap.quiesce();
-    let doomed = map
-        .current()
+    let doomed = heap
+        .current(map.root())
         .insert(heap.nv_mut(), 99, b"never-committed");
     let _ = doomed;
 
@@ -50,19 +47,21 @@ fn main() {
     let crashed = heap.into_pm().crash_image(CrashPolicy::PersistAll);
     println!("-- crash --");
 
-    let (mut heap, report) = recover(crashed, &[RootSpec::new(MAP_SLOT, RootKind::Map)]);
+    // Recovery is self-describing: the root directory knows there is a
+    // map at index 0 (opening it as another type would panic).
+    let (heap, report) = ModHeap::open(crashed);
     println!(
         "recovered {} live blocks ({} bytes); leaked shadow reclaimed by GC",
         report.live_blocks, report.live_bytes
     );
-    let map = DurableMap::open(&mut heap, MAP_SLOT);
+    let map: DurableMap<u64, String> = DurableMap::open(&heap, 0);
     for k in [1u64, 2, 3, 99] {
-        match map.get(&mut heap, k) {
-            Some(v) => println!("  key {k} -> {:?}", String::from_utf8_lossy(&v)),
+        match map.get(&heap, &k) {
+            Some(v) => println!("  key {k} -> {v:?}"),
             None => println!("  key {k} -> (absent)"),
         }
     }
-    assert_eq!(map.len(&mut heap), 3);
-    assert!(map.get(&mut heap, 99).is_none());
+    assert_eq!(map.len(&heap), 3);
+    assert!(map.get(&heap, &99).is_none());
     println!("committed data survived; uncommitted update did not. QED.");
 }

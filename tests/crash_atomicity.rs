@@ -1,81 +1,70 @@
-//! Property-based crash-atomicity tests: for random operation sequences
-//! and random crash points, under adversarial choices of which unfenced
-//! cachelines persisted, recovery must yield exactly the state after some
-//! committed prefix of operations — never a torn state (§5.2).
+//! Crash-atomicity tests: for randomized operation sequences and random
+//! crash points, under adversarial choices of which unfenced cachelines
+//! persisted, recovery must yield exactly the state after some committed
+//! prefix of operations — never a torn state (§5.2).
+//!
+//! Deterministic xorshift streams replace an external property-testing
+//! framework: every case is enumerated over seeds, so failures reproduce
+//! exactly.
 
-use mod_core::basic::{DurableMap, DurableQueue, DurableStack};
-use mod_core::recovery::{recover, RootSpec};
-use mod_core::{ModHeap, RootKind};
-use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
-use proptest::prelude::*;
+use mod_core::{DurableMap, DurableQueue, DurableStack, ModHeap};
+use mod_pmem::{CrashPolicy, PmStats, Pmem, PmemConfig};
+use mod_workloads::WorkloadRng;
 
-#[derive(Debug, Clone)]
+fn fresh_heap() -> ModHeap {
+    ModHeap::create(Pmem::new(PmemConfig::testing()))
+}
+
+#[derive(Debug, Clone, Copy)]
 enum MapOp {
-    Insert(u8, u8),
-    Remove(u8),
+    Insert(u64, u8),
+    Remove(u64),
 }
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| MapOp::Insert(k % 16, v)),
-        any::<u8>().prop_map(|k| MapOp::Remove(k % 16)),
-    ]
+fn map_ops(rng: &mut WorkloadRng, n: usize) -> Vec<MapOp> {
+    (0..n)
+        .map(|_| {
+            if rng.percent(60) {
+                MapOp::Insert(rng.below(16), rng.below(251) as u8)
+            } else {
+                MapOp::Remove(rng.below(16))
+            }
+        })
+        .collect()
 }
 
-fn apply_map(model: &mut std::collections::HashMap<u64, Vec<u8>>, op: &MapOp) {
-    match *op {
-        MapOp::Insert(k, v) => {
-            model.insert(k as u64, vec![v; 8]);
-        }
-        MapOp::Remove(k) => {
-            model.remove(&(k as u64));
-        }
-    }
-}
+#[test]
+fn map_recovers_to_a_committed_prefix() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::new(0xA11CE + case);
+        let n_ops = 1 + rng.below(19) as usize;
+        let ops = map_ops(&mut rng, n_ops);
+        let crash_after = (rng.below(20) as usize).min(ops.len());
+        let seed = rng.below(8);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn map_recovers_to_a_committed_prefix(
-        ops in prop::collection::vec(map_op(), 1..20),
-        crash_after in 0usize..20,
-        seed in 0u64..8,
-    ) {
-        let crash_after = crash_after.min(ops.len());
-        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let mut map = DurableMap::create(&mut heap, 0);
-        heap.quiesce(); // creation itself must be durable before we rely on the slot
-        // Models of every committed prefix state.
+        let mut heap = fresh_heap();
+        let map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
+        heap.quiesce(); // creation must be durable before we rely on it
         let mut prefix_states = vec![std::collections::HashMap::new()];
         let mut model = std::collections::HashMap::new();
-        for op in ops.iter().take(crash_after) {
+        // `crash_after` committed ops, then one more in flight.
+        for op in ops.iter().take(crash_after + 1) {
             match *op {
-                MapOp::Insert(k, v) => map.insert(&mut heap, k as u64, &[v; 8]),
+                MapOp::Insert(k, v) => {
+                    map.insert(&mut heap, &k, &vec![v; 8]);
+                    model.insert(k, vec![v; 8]);
+                }
                 MapOp::Remove(k) => {
-                    map.remove(&mut heap, k as u64);
+                    map.remove(&mut heap, &k);
+                    model.remove(&k);
                 }
             }
-            apply_map(&mut model, op);
-            prefix_states.push(model.clone());
-        }
-        // One more op is in flight (shadow built, maybe partially flushed,
-        // commit may or may not have its pointer persist).
-        if crash_after < ops.len() {
-            let op = &ops[crash_after];
-            match *op {
-                MapOp::Insert(k, v) => map.insert(&mut heap, k as u64, &[v; 8]),
-                MapOp::Remove(k) => {
-                    map.remove(&mut heap, k as u64);
-                }
-            }
-            apply_map(&mut model, op);
             prefix_states.push(model.clone());
         }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Map)]);
-        let recovered = DurableMap::open(&mut h2, 0);
-        let mut got: Vec<(u64, Vec<u8>)> = recovered.current().to_vec(h2.nv_mut());
+        let (mut h2, _) = ModHeap::open(img);
+        let recovered: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 0);
+        let mut got: Vec<(u64, Vec<u8>)> = h2.current(recovered.root()).to_vec(h2.nv_mut());
         got.sort();
         let matches_some_prefix = prefix_states.iter().any(|state| {
             let mut want: Vec<(u64, Vec<u8>)> =
@@ -83,26 +72,30 @@ proptest! {
             want.sort();
             want == got
         });
-        prop_assert!(
+        assert!(
             matches_some_prefix,
-            "recovered state matches no committed prefix: {got:?}"
+            "case {case}: recovered state matches no committed prefix: {got:?}"
         );
     }
+}
 
-    #[test]
-    fn queue_recovers_to_a_committed_prefix(
-        pushes in prop::collection::vec(any::<u8>(), 1..15),
-        pops in 0usize..10,
-        seed in 0u64..6,
-    ) {
-        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let mut queue = DurableQueue::create(&mut heap, 0);
+#[test]
+fn queue_recovers_to_a_committed_prefix() {
+    for case in 0..18u64 {
+        let mut rng = WorkloadRng::new(0xBEE + case);
+        let pushes = 1 + rng.below(14);
+        let pops = rng.below(10);
+        let seed = rng.below(6);
+
+        let mut heap = fresh_heap();
+        let queue: DurableQueue<u64> = DurableQueue::create(&mut heap);
         heap.quiesce();
         let mut prefix_states: Vec<Vec<u64>> = vec![Vec::new()];
         let mut model: std::collections::VecDeque<u64> = Default::default();
-        for &e in &pushes {
-            queue.enqueue(&mut heap, e as u64);
-            model.push_back(e as u64);
+        for _ in 0..pushes {
+            let e = rng.below(256);
+            queue.enqueue(&mut heap, &e);
+            model.push_back(e);
             prefix_states.push(model.iter().copied().collect());
         }
         for _ in 0..pops {
@@ -112,73 +105,182 @@ proptest! {
             }
         }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Queue)]);
-        let q = DurableQueue::open(&mut h2, 0);
-        let got = q.current().to_vec(h2.nv_mut());
-        prop_assert!(
+        let (mut h2, _) = ModHeap::open(img);
+        let q: DurableQueue<u64> = DurableQueue::open(&h2, 0);
+        let got = h2.current(q.root()).to_vec(h2.nv_mut());
+        assert!(
             prefix_states.contains(&got),
-            "queue state {got:?} matches no committed prefix"
-        );
-    }
-
-    #[test]
-    fn stack_recovers_to_a_committed_prefix(
-        entries in prop::collection::vec(any::<u8>(), 1..15),
-        seed in 0u64..6,
-    ) {
-        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let mut stack = DurableStack::create(&mut heap, 0);
-        heap.quiesce();
-        let mut prefix_states: Vec<Vec<u64>> = vec![Vec::new()];
-        let mut model = Vec::new();
-        for &e in &entries {
-            stack.push(&mut heap, e as u64);
-            model.push(e as u64);
-            let mut top_first = model.clone();
-            top_first.reverse();
-            prefix_states.push(top_first);
-        }
-        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Stack)]);
-        let s = DurableStack::open(&mut h2, 0);
-        let got = s.current().to_vec(h2.nv_mut());
-        prop_assert!(
-            prefix_states.contains(&got),
-            "stack state {got:?} matches no committed prefix"
+            "case {case}: queue state {got:?} matches no committed prefix"
         );
     }
 }
 
 #[test]
-fn unrelated_commit_is_all_or_nothing_under_crashes() {
-    use mod_core::DurableDs;
-    use mod_funcds::PmMap;
-    // The general-case commit (Fig 8d) must move both slots or neither.
-    for seed in 0..30u64 {
-        let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let a0 = PmMap::empty(heap.nv_mut());
-        let b0 = PmMap::empty(heap.nv_mut());
-        heap.publish_root(0, a0);
-        heap.publish_root(1, b0);
+fn stack_recovers_to_a_committed_prefix() {
+    for case in 0..18u64 {
+        let mut rng = WorkloadRng::new(0x57ACC + case);
+        let entries = 1 + rng.below(14);
+        let seed = rng.below(6);
+
+        let mut heap = fresh_heap();
+        let stack: DurableStack<u64> = DurableStack::create(&mut heap);
         heap.quiesce();
-        let a1 = a0.insert(heap.nv_mut(), 1, b"a1");
-        let b1 = b0.insert(heap.nv_mut(), 2, b"b1");
-        heap.commit_unrelated(&[(0, a0.erase(), a1.erase()), (1, b0.erase(), b1.erase())]);
+        let mut prefix_states: Vec<Vec<u64>> = vec![Vec::new()];
+        let mut model = Vec::new();
+        for _ in 0..entries {
+            let e = rng.below(256);
+            stack.push(&mut heap, &e);
+            model.push(e);
+            let mut top_first = model.clone();
+            top_first.reverse();
+            prefix_states.push(top_first);
+        }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (mut h2, _) = recover(
-            img,
-            &[
-                RootSpec::new(0, RootKind::Map),
-                RootSpec::new(1, RootKind::Map),
-            ],
+        let (mut h2, _) = ModHeap::open(img);
+        let s: DurableStack<u64> = DurableStack::open(&h2, 0);
+        let got = h2.current(s.root()).to_vec(h2.nv_mut());
+        assert!(
+            prefix_states.contains(&got),
+            "case {case}: stack state {got:?} matches no committed prefix"
         );
-        let a = DurableMap::open(&mut h2, 0);
-        let b = DurableMap::open(&mut h2, 1);
-        let a_new = a.contains_key(&mut h2, 1);
-        let b_new = b.contains_key(&mut h2, 2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-structure FASE crash injection
+// ---------------------------------------------------------------------
+
+/// State of the three structures, as recovered.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct TriState {
+    map: Vec<(u64, Vec<u8>)>,
+    queue: Vec<u64>,
+    stack: Vec<u64>,
+}
+
+fn observe(pm: Pmem) -> TriState {
+    let (mut h, _) = ModHeap::open(pm);
+    let map: DurableMap<u64, Vec<u8>> = DurableMap::open(&h, 0);
+    let queue: DurableQueue<u64> = DurableQueue::open(&h, 1);
+    let stack: DurableStack<u64> = DurableStack::open(&h, 2);
+    let mut m = h.current(map.root()).to_vec(h.nv_mut());
+    m.sort();
+    TriState {
+        map: m,
+        queue: h.current(queue.root()).to_vec(h.nv_mut()),
+        stack: h.current(stack.root()).to_vec(h.nv_mut()),
+    }
+}
+
+/// Interrupts a three-structure `heap.fase(..)` at every step boundary —
+/// after each of the three staged updates, right after the closure
+/// (before commit internals complete is not observable: they are one
+/// call), and after commit but before the pointer store is fenced — and
+/// asserts all-or-nothing recovery under adversarial persistence at each
+/// point. Also pins the acceptance criterion: the whole FASE executes
+/// exactly one `sfence` (PmStats).
+#[test]
+fn three_structure_fase_interrupts_at_every_step_boundary() {
+    for seed in 0..12u64 {
+        let mut heap = fresh_heap();
+        let map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
+        let queue: DurableQueue<u64> = DurableQueue::create(&mut heap);
+        let stack: DurableStack<u64> = DurableStack::create(&mut heap);
+        // A committed baseline state.
+        heap.fase(|tx| {
+            map.insert_in(tx, &1, &b"one".to_vec());
+            queue.enqueue_in(tx, &10);
+            stack.push_in(tx, &100);
+        });
+        heap.quiesce();
+        let before = observe(heap.nv().pm().crash_image(CrashPolicy::OnlyFenced));
+
+        // The FASE under test, with crash images captured at every step
+        // boundary inside the closure.
+        let mut mid_images: Vec<(&'static str, Pmem)> = Vec::new();
+        let stats_before: PmStats = heap.nv().pm().stats().clone();
+        heap.fase(|tx| {
+            mid_images.push((
+                "before-any-update",
+                tx.pm().crash_image(CrashPolicy::Seeded(seed)),
+            ));
+            map.insert_in(tx, &2, &b"two".to_vec());
+            mid_images.push((
+                "after-map-update",
+                tx.pm().crash_image(CrashPolicy::Seeded(seed)),
+            ));
+            queue.enqueue_in(tx, &20);
+            mid_images.push((
+                "after-queue-update",
+                tx.pm().crash_image(CrashPolicy::Seeded(seed)),
+            ));
+            stack.push_in(tx, &200);
+            mid_images.push((
+                "after-stack-update",
+                tx.pm().crash_image(CrashPolicy::Seeded(seed)),
+            ));
+        });
+        let fases_fences = heap.nv().pm().stats().fences - stats_before.fences;
+        assert_eq!(
+            fases_fences, 1,
+            "a three-structure FASE must cost exactly one ordering point"
+        );
+
+        // Any crash inside the closure: nothing published — recovery must
+        // see exactly the baseline on all three structures.
+        for (boundary, img) in mid_images {
+            let got = observe(img);
+            assert_eq!(
+                got, before,
+                "seed {seed}: crash {boundary} must recover the old state"
+            );
+        }
+
+        // Crash after the FASE returned but before its pointer store is
+        // known durable: recovery sees the old state or the new state,
+        // never a mix.
+        let mut after = before.clone();
+        after.map.push((2, b"two".to_vec()));
+        after.map.sort();
+        after.queue.push(20);
+        after.stack.insert(0, 200);
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let got = observe(img);
+        assert!(
+            got == before || got == after,
+            "seed {seed}: post-commit crash tore the FASE: {got:?}"
+        );
+
+        // Once fenced, the new state must be the one recovered.
+        heap.quiesce();
+        let got = observe(heap.into_pm().crash_image(CrashPolicy::OnlyFenced));
+        assert_eq!(got, after, "seed {seed}: fenced state lost");
+    }
+}
+
+/// The same all-or-nothing property across heterogeneous updates in a
+/// single FASE, driven through many adversarial persistence subsets with
+/// `PersistAll` sanity anchors.
+#[test]
+fn multi_root_fase_is_all_or_nothing_under_crashes() {
+    for seed in 0..30u64 {
+        let mut heap = fresh_heap();
+        let a: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
+        let b: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
+        heap.quiesce();
+        heap.fase(|tx| {
+            a.insert_in(tx, &1, &b"a1".to_vec());
+            b.insert_in(tx, &2, &b"b1".to_vec());
+        });
+        let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
+        let (h2, _) = ModHeap::open(img);
+        let a2: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 0);
+        let b2: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 1);
+        let a_new = a2.contains_key(&h2, &1);
+        let b_new = b2.contains_key(&h2, &2);
         assert_eq!(
             a_new, b_new,
-            "seed {seed}: unrelated commit tore (a={a_new}, b={b_new})"
+            "seed {seed}: multi-root FASE tore (a={a_new}, b={b_new})"
         );
     }
 }

@@ -3,9 +3,7 @@
 //! multiple simulated process lifetimes; all Table 2 workloads run end to
 //! end on all three systems.
 
-use mod_core::basic::{DurableMap, DurableVector};
-use mod_core::recovery::{recover, RootSpec};
-use mod_core::{ModHeap, RootKind};
+use mod_core::{DurableMap, DurableVector, ModHeap};
 use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
 use mod_stm::{StmHashMap, StmVector, TxHeap, TxMode};
 use mod_workloads::{run_workload, ScaleConfig, System, Workload};
@@ -31,16 +29,16 @@ fn mod_and_stm_maps_agree_on_final_contents() {
 
     // MOD.
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-    let mut dmap = DurableMap::create(&mut heap, 0);
+    let dmap: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
     for (k, v) in &ops {
         match v {
-            Some(v) => dmap.insert(&mut heap, *k, v),
+            Some(v) => dmap.insert(&mut heap, k, v),
             None => {
-                dmap.remove(&mut heap, *k);
+                dmap.remove(&mut heap, k);
             }
         }
     }
-    let mut mod_contents = dmap.current().to_vec(heap.nv_mut());
+    let mut mod_contents = heap.current(dmap.root()).to_vec(heap.nv_mut());
     mod_contents.sort();
 
     // PMDK-style, both modes.
@@ -57,11 +55,8 @@ fn mod_and_stm_maps_agree_on_final_contents() {
                 }
             }
         }
-        let mut stm_contents: Vec<(u64, Vec<u8>)> = Vec::new();
-        for (k, v) in &ops {
-            let _ = (k, v);
-        }
         // Collect via lookups over the key space.
+        let mut stm_contents: Vec<(u64, Vec<u8>)> = Vec::new();
         for k in 0..64u64 {
             if let Some(v) = smap.get(&mut th, k) {
                 stm_contents.push((k, v));
@@ -90,11 +85,11 @@ fn vectors_agree_after_identical_update_streams() {
     let elems: Vec<u64> = (0..n).collect();
 
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-    let mut dvec = DurableVector::create_from(&mut heap, 0, &elems);
+    let dvec = DurableVector::create_from(&mut heap, &elems);
     for &(i, v) in &updates {
-        dvec.update(&mut heap, i, v);
+        dvec.update(&mut heap, i, &v);
     }
-    let mod_result = dvec.current().to_vec(heap.nv_mut());
+    let mod_result: Vec<u64> = dvec.to_vec(&heap);
 
     let mut th = TxHeap::format(Pmem::new(PmemConfig::testing()), TxMode::Hybrid);
     let svec = StmVector::create_from(&mut th, &elems);
@@ -110,31 +105,31 @@ fn vectors_agree_after_identical_update_streams() {
 fn multiple_process_lifetimes() {
     let mut pm = {
         let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let mut map = DurableMap::create(&mut heap, 0);
-        map.insert(&mut heap, 0, b"generation-0");
+        let map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut heap);
+        map.insert(&mut heap, &0, &b"generation-0".to_vec());
         heap.quiesce();
         heap.into_pm().crash_image(CrashPolicy::OnlyFenced)
     };
     for generation in 1..=5u64 {
-        let (mut heap, report) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
-        let mut map = DurableMap::open(&mut heap, 0);
+        let (mut heap, report) = ModHeap::open(pm);
+        let map: DurableMap<u64, Vec<u8>> = DurableMap::open(&heap, 0);
         // Everything from previous generations is present.
         for g in 0..generation {
             let want = format!("generation-{g}");
             assert_eq!(
-                map.get(&mut heap, g),
+                map.get(&heap, &g),
                 Some(want.into_bytes()),
                 "generation {generation} lost key {g}"
             );
         }
-        assert_eq!(map.len(&mut heap), generation);
+        assert_eq!(map.len(&heap), generation);
         // Heap stays bounded: live bytes grow only with real data.
         assert!(report.live_bytes < 64 * 1024);
         let value = format!("generation-{generation}");
-        map.insert(&mut heap, generation, value.as_bytes());
+        map.insert(&mut heap, &generation, &value.into_bytes());
         // Start an update that never commits (leaked by the crash).
-        let _ = map
-            .current()
+        let _ = heap
+            .current(map.root())
             .insert(heap.nv_mut(), 999, b"uncommitted");
         heap.quiesce();
         pm = heap.into_pm().crash_image(CrashPolicy::Seeded(generation));

@@ -1,11 +1,15 @@
-//! Property-based equivalence of the functional datastructures against
+//! Randomized equivalence of the functional datastructures against
 //! std-library models, including version immutability (old handles always
 //! observe their original contents) and zero-leak reclamation.
+//!
+//! Deterministic xorshift streams replace an external property-testing
+//! framework: cases are enumerated over seeds, so failures reproduce
+//! exactly.
 
 use mod_alloc::NvHeap;
 use mod_funcds::{HashKind, PmMap, PmQueue, PmStack, PmVector};
 use mod_pmem::{Pmem, PmemConfig};
-use proptest::prelude::*;
+use mod_workloads::WorkloadRng;
 use std::collections::HashMap;
 
 fn heap() -> NvHeap {
@@ -17,29 +21,37 @@ fn heap() -> NvHeap {
     }))
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Insert(u8, u8),
     Remove(u8),
 }
 
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
-            any::<u8>().prop_map(Op::Remove),
-        ],
-        1..80,
-    )
+fn ops_stream(rng: &mut WorkloadRng) -> Vec<Op> {
+    let n = 1 + rng.below(79) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.percent(60) {
+                Op::Insert(rng.below(256) as u8, rng.below(256) as u8)
+            } else {
+                Op::Remove(rng.below(256) as u8)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn champ_matches_hashmap(ops in ops_strategy(), weak in any::<bool>()) {
+#[test]
+fn champ_matches_hashmap() {
+    for case in 0..48u64 {
+        let mut rng = WorkloadRng::new(0xC4A4 + case);
+        let ops = ops_stream(&mut rng);
+        let weak = case % 2 == 0;
         let mut h = heap();
-        let hk = if weak { HashKind::WeakLow4 } else { HashKind::SplitMix };
+        let hk = if weak {
+            HashKind::WeakLow4
+        } else {
+            HashKind::SplitMix
+        };
         let mut m = PmMap::empty_with_hash(&mut h, hk);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
         for op in &ops {
@@ -52,31 +64,35 @@ proptest! {
                 }
                 Op::Remove(k) => {
                     let (next, removed) = m.remove(&mut h, k as u64);
-                    prop_assert_eq!(removed, model.remove(&(k as u64)).is_some());
+                    assert_eq!(removed, model.remove(&(k as u64)).is_some(), "case {case}");
                     if removed {
                         m.release(&mut h);
                         m = next;
                     }
                 }
             }
-            prop_assert_eq!(m.len(&mut h) as usize, model.len());
+            assert_eq!(m.len(&mut h) as usize, model.len(), "case {case}");
         }
         for (&k, v) in &model {
-            let got = m.get(&mut h, k);
-            prop_assert_eq!(got.as_ref(), Some(v));
+            // Exercise both the charged and the peek read paths.
+            assert_eq!(m.get(&mut h, k).as_ref(), Some(v), "case {case}");
+            assert_eq!(m.peek_get(&h, k).as_ref(), Some(v), "case {case}");
         }
         // Releasing the last version reclaims every block.
         m.release(&mut h);
-        prop_assert_eq!(h.stats().live_blocks, 0);
+        assert_eq!(h.stats().live_blocks, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn rrb_matches_vec(
-        init in prop::collection::vec(any::<u64>(), 0..200),
-        pushes in prop::collection::vec(any::<u64>(), 0..64),
-        updates in prop::collection::vec((any::<u16>(), any::<u64>()), 0..32),
-        pops in 0usize..48,
-    ) {
+#[test]
+fn rrb_matches_vec() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::new(0x44B + case);
+        let init: Vec<u64> = (0..rng.below(200)).map(|_| rng.next_u64()).collect();
+        let pushes: Vec<u64> = (0..rng.below(64)).map(|_| rng.next_u64()).collect();
+        let n_updates = rng.below(32);
+        let pops = rng.below(48) as usize;
+
         let mut h = heap();
         let mut v = PmVector::from_slice(&mut h, &init);
         let mut model = init.clone();
@@ -86,9 +102,12 @@ proptest! {
             v = next;
             model.push(e);
         }
-        for &(i, val) in &updates {
-            if model.is_empty() { continue; }
-            let idx = i as u64 % model.len() as u64;
+        for _ in 0..n_updates {
+            if model.is_empty() {
+                continue;
+            }
+            let idx = rng.below(model.len() as u64);
+            let val = rng.next_u64();
             let next = v.update(&mut h, idx, val);
             v.release(&mut h);
             v = next;
@@ -97,41 +116,49 @@ proptest! {
         for _ in 0..pops {
             match v.pop_back(&mut h) {
                 Some((next, e)) => {
-                    prop_assert_eq!(Some(e), model.pop());
+                    assert_eq!(Some(e), model.pop(), "case {case}");
                     v.release(&mut h);
                     v = next;
                 }
-                None => prop_assert!(model.is_empty()),
+                None => assert!(model.is_empty(), "case {case}"),
             }
         }
-        prop_assert_eq!(v.to_vec(&mut h), model);
+        assert_eq!(v.to_vec(&mut h), model, "case {case}");
+        assert_eq!(v.peek_to_vec(&h), model, "case {case}");
         v.release(&mut h);
-        prop_assert_eq!(h.stats().live_blocks, 0);
+        assert_eq!(h.stats().live_blocks, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn rrb_concat_matches_vec_concat(
-        a in prop::collection::vec(any::<u64>(), 0..120),
-        b in prop::collection::vec(any::<u64>(), 0..120),
-    ) {
+#[test]
+fn rrb_concat_matches_vec_concat() {
+    for case in 0..16u64 {
+        let mut rng = WorkloadRng::new(0xC0CA + case);
+        let a: Vec<u64> = (0..rng.below(120)).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..rng.below(120)).map(|_| rng.next_u64()).collect();
         let mut h = heap();
         let va = PmVector::from_slice(&mut h, &a);
         let vb = PmVector::from_slice(&mut h, &b);
         let vc = va.concat(&mut h, &vb);
         let mut want = a.clone();
         want.extend(&b);
-        prop_assert_eq!(vc.to_vec(&mut h), want.clone());
-        // Indexed access through any relaxed nodes.
+        assert_eq!(vc.to_vec(&mut h), want, "case {case}");
+        // Indexed access through any relaxed nodes, on both read paths.
         for idx in (0..want.len()).step_by(17) {
-            prop_assert_eq!(vc.get(&mut h, idx as u64), want[idx]);
+            assert_eq!(vc.get(&mut h, idx as u64), want[idx], "case {case}");
+            assert_eq!(vc.peek_get(&h, idx as u64), want[idx], "case {case}");
         }
         // Originals untouched.
-        prop_assert_eq!(va.to_vec(&mut h), a);
-        prop_assert_eq!(vb.to_vec(&mut h), b);
+        assert_eq!(va.to_vec(&mut h), a, "case {case}");
+        assert_eq!(vb.to_vec(&mut h), b, "case {case}");
     }
+}
 
-    #[test]
-    fn old_versions_are_immutable(ops in ops_strategy()) {
+#[test]
+fn old_versions_are_immutable() {
+    for case in 0..12u64 {
+        let mut rng = WorkloadRng::new(0x01D + case);
+        let ops = ops_stream(&mut rng);
         // Keep every version alive and verify each still shows its own
         // snapshot at the end — multi-versioning done right.
         let mut h = heap();
@@ -155,12 +182,17 @@ proptest! {
             }
         }
         for (v, model) in &versions {
-            prop_assert_eq!(&v.to_vec(&mut h), model);
+            assert_eq!(&v.to_vec(&mut h), model, "case {case}");
+            assert_eq!(&v.peek_to_vec(&h), model, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn queue_matches_vecdeque(ops in ops_strategy()) {
+#[test]
+fn queue_matches_vecdeque() {
+    for case in 0..24u64 {
+        let mut rng = WorkloadRng::new(0x0DE + case);
+        let ops = ops_stream(&mut rng);
         let mut h = heap();
         let mut q = PmQueue::empty(&mut h);
         let mut model: std::collections::VecDeque<u64> = Default::default();
@@ -174,17 +206,18 @@ proptest! {
                 }
                 Op::Remove(_) => match q.dequeue(&mut h) {
                     Some((next, e)) => {
-                        prop_assert_eq!(Some(e), model.pop_front());
+                        assert_eq!(Some(e), model.pop_front(), "case {case}");
                         q.release(&mut h);
                         q = next;
                     }
-                    None => prop_assert!(model.is_empty()),
+                    None => assert!(model.is_empty(), "case {case}"),
                 },
             }
+            assert_eq!(q.peek_front(&h), model.front().copied(), "case {case}");
         }
         let want: Vec<u64> = model.into_iter().collect();
-        prop_assert_eq!(q.to_vec(&mut h), want);
+        assert_eq!(q.to_vec(&mut h), want, "case {case}");
         q.release(&mut h);
-        prop_assert_eq!(h.stats().live_blocks, 0);
+        assert_eq!(h.stats().live_blocks, 0, "case {case}");
     }
 }
