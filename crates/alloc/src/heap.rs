@@ -26,6 +26,19 @@ pub struct AllocStats {
     pub frees: u64,
 }
 
+/// One allocation shard: an arena carved from the pool with its own bump
+/// pointer, free lists and statistics, so each worker thread allocates
+/// without contending on a shared bump pointer or mixing free lists.
+#[derive(Debug)]
+struct ShardAlloc {
+    free_by_class: Vec<Vec<u64>>,
+    /// Arena bounds: `[start, end)` within the pool.
+    start: u64,
+    end: u64,
+    bump: u64,
+    stats: AllocStats,
+}
+
 /// A persistent heap over a simulated PM pool: an `nvm_malloc` equivalent
 /// with segregated free lists, 64 persistent root slots, and a volatile
 /// reference-count table (paper §5.3 — counts are *not* stored durably;
@@ -34,6 +47,9 @@ pub struct AllocStats {
 /// All heap metadata needed after a crash lives in PM (block headers);
 /// everything else (free lists, refcounts, the bump pointer) is volatile
 /// and reconstructed by recovery.
+///
+/// [`NvHeap::configure_shards`] switches the heap into sharded mode for
+/// thread-per-shard front ends (see `mod-core`'s `SharedModHeap`).
 #[derive(Debug)]
 pub struct NvHeap {
     pm: Pmem,
@@ -43,6 +59,9 @@ pub struct NvHeap {
     bump: u64,
     rc: HashMap<u64, u32>,
     stats: AllocStats,
+    /// Allocation shards (empty unless [`NvHeap::configure_shards`] ran).
+    shards: Vec<ShardAlloc>,
+    active_shard: usize,
     pub(crate) mark: Option<MarkState>,
 }
 
@@ -65,6 +84,8 @@ impl NvHeap {
             bump: HEAP_BASE,
             rc: HashMap::new(),
             stats: AllocStats::default(),
+            shards: Vec::new(),
+            active_shard: 0,
             mark: Some(MarkState::default()),
         }
         .into_ready()
@@ -93,6 +114,8 @@ impl NvHeap {
             bump: HEAP_BASE,
             rc: HashMap::new(),
             stats: AllocStats::default(),
+            shards: Vec::new(),
+            active_shard: 0,
             mark: Some(MarkState::default()),
         }
     }
@@ -107,6 +130,128 @@ impl NvHeap {
             self.mark.is_none(),
             "heap is in recovery mode; finish_recovery() first"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation shards
+    // ------------------------------------------------------------------
+
+    /// Splits the largest contiguous free span of the pool into `n`
+    /// equal arenas, one per shard: each gets its own bump pointer, free
+    /// lists and [`AllocStats`]. Also configures `n` shard lanes on the
+    /// underlying [`Pmem`]. Shard 0 becomes active; blocks outside the
+    /// carved span stay valid (their frees land in the shared free
+    /// lists, a fallback for every shard).
+    ///
+    /// The span is the unallocated tail *or* a coalesced free region
+    /// left by recovery, whichever is larger — after a crash/reopen the
+    /// bump pointer sits above the highest live block and most free
+    /// space lives in the region list, so carving only the tail would
+    /// shrink the arenas on every reopen cycle until sharding failed.
+    ///
+    /// Per-shard statistics attribute traffic to the shard that was
+    /// active when it happened; the global [`NvHeap::stats`] roll-up
+    /// (Table 3) stays exact regardless of which shard frees a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, in recovery mode, if shards are already
+    /// configured, or if the largest free span is too small to give
+    /// every shard a useful arena.
+    pub fn configure_shards(&mut self, n: usize) {
+        self.assert_ready();
+        assert!(n > 0, "need at least one shard");
+        assert!(self.shards.is_empty(), "shards already configured");
+        let tail = (self.bump, self.pm.capacity() - self.bump);
+        let (base, len) = self
+            .regions
+            .iter()
+            .map(|(&s, &l)| (s, l))
+            .chain(std::iter::once(tail))
+            .max_by_key(|&(_, l)| l)
+            .unwrap();
+        let per = (len / n as u64) & !15;
+        assert!(
+            per >= 64 * MIN_BLOCK,
+            "pool too fragmented to shard: largest free span gives {per} bytes per shard"
+        );
+        if base == self.bump {
+            // The span is the tail; the shards own it now.
+            self.bump = self.pm.capacity();
+        } else {
+            self.regions.remove(&base);
+        }
+        self.shards = (0..n as u64)
+            .map(|i| {
+                let start = base + i * per;
+                ShardAlloc {
+                    free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
+                    start,
+                    // The last shard absorbs the span's alignment
+                    // remainder.
+                    end: if i == n as u64 - 1 {
+                        base + len
+                    } else {
+                        start + per
+                    },
+                    bump: start,
+                    stats: AllocStats::default(),
+                }
+            })
+            .collect();
+        self.active_shard = 0;
+        self.pm.configure_shards(n);
+    }
+
+    /// Number of configured allocation shards (0 when unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes subsequent allocations (and stats/time attribution, via the
+    /// pool's shard lanes) to shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn set_active_shard(&mut self, s: usize) {
+        assert!(
+            s < self.shards.len().max(1),
+            "shard {s} out of range ({} configured)",
+            self.shards.len()
+        );
+        self.active_shard = s;
+        if self.pm.shard_count() > 0 {
+            self.pm.set_active_shard(s);
+        }
+    }
+
+    /// The shard currently receiving allocations (0 when unsharded).
+    pub fn active_shard(&self) -> usize {
+        self.active_shard
+    }
+
+    /// Allocation statistics attributed to shard `s`. Alloc/free counts
+    /// and cumulative bytes sum exactly to the global [`NvHeap::stats`]
+    /// for traffic since sharding; `live_*` is approximate per shard when
+    /// blocks are freed by a different shard than allocated them (the
+    /// global roll-up stays exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn shard_stats(&self, s: usize) -> &AllocStats {
+        &self.shards[s].stats
+    }
+
+    /// The shard whose arena contains `addr`, if any.
+    fn shard_of_addr(&self, addr: u64) -> Option<usize> {
+        if self.shards.is_empty() || addr < self.shards[0].start {
+            return None;
+        }
+        self.shards
+            .iter()
+            .position(|s| addr >= s.start && addr < s.end)
     }
 
     // ------------------------------------------------------------------
@@ -138,16 +283,38 @@ impl NvHeap {
         self.stats.live_bytes += class;
         self.stats.cumulative_alloc_bytes += class;
         self.stats.hwm_live_bytes = self.stats.hwm_live_bytes.max(self.stats.live_bytes);
+        if let Some(shard) = self.shards.get_mut(self.active_shard) {
+            let s = &mut shard.stats;
+            s.allocs += 1;
+            s.live_blocks += 1;
+            s.live_bytes += class;
+            s.cumulative_alloc_bytes += class;
+            s.hwm_live_bytes = s.hwm_live_bytes.max(s.live_bytes);
+        }
         PmPtr::from_addr(payload)
     }
 
     fn take_block(&mut self, class: u64) -> u64 {
+        let need = HEADER_BYTES + class;
+        if let Some(shard) = self.shards.get_mut(self.active_shard) {
+            if let Some(idx) = class_index(class) {
+                if let Some(hdr) = shard.free_by_class[idx].pop() {
+                    return hdr;
+                }
+            }
+            if shard.bump + need <= shard.end {
+                let hdr = shard.bump;
+                shard.bump += need;
+                return hdr;
+            }
+            // Arena exhausted: fall through to the shared free lists and
+            // pre-sharding regions before giving up.
+        }
         if let Some(idx) = class_index(class) {
             if let Some(hdr) = self.free_by_class[idx].pop() {
                 return hdr;
             }
         }
-        let need = HEADER_BYTES + class;
         // First-fit from recovered regions.
         if let Some((&start, &rlen)) = self.regions.iter().find(|&(_, &rlen)| rlen >= need) {
             self.regions.remove(&start);
@@ -156,6 +323,18 @@ impl NvHeap {
                 self.regions.insert(start + need, rest);
             }
             return start;
+        }
+        // Steal bump space from the sibling shard with the most arena
+        // left: a skewed workload must not die of "pool exhausted" while
+        // other arenas sit empty. (Ownership follows the address, so the
+        // stolen block's frees return to the donor shard's lists.)
+        if let Some(i) = (0..self.shards.len())
+            .filter(|&i| self.shards[i].end - self.shards[i].bump >= need)
+            .max_by_key(|&i| self.shards[i].end - self.shards[i].bump)
+        {
+            let hdr = self.shards[i].bump;
+            self.shards[i].bump += need;
+            return hdr;
         }
         // Bump allocation.
         let hdr = self.bump;
@@ -182,14 +361,32 @@ impl NvHeap {
         self.pm.trace_free(hdr, HEADER_BYTES + class);
         self.pm.charge_ns(10.0);
         self.rc.remove(&ptr.addr());
-        if let Some(idx) = class_index(class) {
-            self.free_by_class[idx].push(hdr);
-        } else {
-            self.regions.insert(hdr, HEADER_BYTES + class);
+        // Blocks return to the free lists of the shard whose arena owns
+        // them (locality: that shard's allocations reuse them); blocks
+        // predating shard configuration go back to the shared lists.
+        let owner = self.shard_of_addr(hdr);
+        let list = match (owner, class_index(class)) {
+            (Some(s), Some(idx)) => Some(&mut self.shards[s].free_by_class[idx]),
+            (None, Some(idx)) => Some(&mut self.free_by_class[idx]),
+            (_, None) => None,
+        };
+        match list {
+            Some(l) => l.push(hdr),
+            None => {
+                self.regions.insert(hdr, HEADER_BYTES + class);
+            }
         }
         self.stats.frees += 1;
         self.stats.live_blocks -= 1;
         self.stats.live_bytes -= class;
+        if let Some(shard) = self.shards.get_mut(self.active_shard) {
+            let s = &mut shard.stats;
+            s.frees += 1;
+            // Cross-shard frees can undercut a shard's own live figures;
+            // saturate instead of underflowing (global stats stay exact).
+            s.live_blocks = s.live_blocks.saturating_sub(1);
+            s.live_bytes = s.live_bytes.saturating_sub(class);
+        }
     }
 
     /// Payload class size of the block at `ptr`, read from its header.
@@ -517,6 +714,156 @@ mod tests {
         let pm = h.into_pm();
         let mut reopened = NvHeap::open(pm);
         let _ = reopened.alloc(16);
+    }
+
+    #[test]
+    fn shards_allocate_from_disjoint_arenas() {
+        let mut h = heap();
+        let before = h.alloc(32); // pre-shard block
+        h.configure_shards(4);
+        assert_eq!(h.shard_count(), 4);
+        assert_eq!(h.pm().shard_count(), 4, "pool lanes configured too");
+        let mut ptrs = Vec::new();
+        for s in 0..4 {
+            h.set_active_shard(s);
+            let a = h.alloc(64);
+            let b = h.alloc(64);
+            assert!(a.addr() > before.addr());
+            ptrs.push((s, a, b));
+        }
+        // Arena disjointness: shard i's blocks all sit below shard i+1's.
+        for w in ptrs.windows(2) {
+            let (_, _, hi_of_lower) = w[0];
+            let (_, lo_of_upper, _) = w[1];
+            assert!(hi_of_lower.addr() < lo_of_upper.addr());
+        }
+    }
+
+    #[test]
+    fn shards_survive_crash_reopen_cycles() {
+        // After a crash, most free space is in the recovered region
+        // list, not above the bump pointer; configure_shards must carve
+        // from the largest free span or reopening a nearly empty pool
+        // would fail after a handful of cycles.
+        let pm = Pmem::new(mod_pmem::PmemConfig {
+            capacity: 1 << 22,
+            ..mod_pmem::PmemConfig::testing()
+        });
+        let mut h = NvHeap::format(pm);
+        for cycle in 0..10 {
+            h.configure_shards(4);
+            // One small live block, written by the *last* shard (the
+            // worst case: its arena sits at the top of the span, so the
+            // recovered bump lands near the pool's end).
+            h.set_active_shard(3);
+            let live = h.alloc(1024);
+            h.write_u64(live.addr(), cycle);
+            h.flush_block(live);
+            let slot = h.root_slot_addr(0);
+            h.write_u64(slot, live.addr());
+            h.clwb(slot);
+            h.sfence();
+            let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+            h = NvHeap::open(img);
+            let root = h.read_root(0);
+            assert!(h.mark_block(root), "cycle {cycle}");
+            assert_eq!(h.finish_recovery().live_blocks, 1);
+            assert_eq!(h.read_u64(root.addr()), cycle);
+        }
+    }
+
+    #[test]
+    fn skewed_worker_steals_from_sibling_arenas() {
+        // One worker allocating far beyond its own arena must borrow
+        // bump space from sibling shards instead of dying of "pool
+        // exhausted" while three arenas sit empty.
+        let pm = Pmem::new(mod_pmem::PmemConfig {
+            capacity: 1 << 20,
+            ..mod_pmem::PmemConfig::testing()
+        });
+        let mut h = NvHeap::format(pm);
+        h.configure_shards(4);
+        h.set_active_shard(0);
+        // ~256 KiB per arena; allocate ~700 KiB from shard 0 alone.
+        let ptrs: Vec<PmPtr> = (0..170).map(|_| h.alloc(4096)).collect();
+        let mut uniq: Vec<u64> = ptrs.iter().map(|p| p.addr()).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ptrs.len(), "stolen blocks must not alias");
+        // Stolen blocks free back to their owning (donor) shards and are
+        // reusable.
+        for p in &ptrs {
+            h.free(*p);
+        }
+        let again = h.alloc(4096);
+        assert!(
+            uniq.binary_search(&again.addr()).is_ok(),
+            "freed space reused"
+        );
+    }
+
+    #[test]
+    fn shard_frees_reuse_within_owning_shard() {
+        let mut h = heap();
+        h.configure_shards(2);
+        h.set_active_shard(1);
+        let a = h.alloc(100);
+        // Freed from the *other* shard: still returns to shard 1's list
+        // (ownership is by arena address).
+        h.set_active_shard(0);
+        h.free(a);
+        h.set_active_shard(1);
+        let b = h.alloc(100);
+        assert_eq!(a, b, "shard 1 reuses its own freed block");
+    }
+
+    #[test]
+    fn shard_stats_roll_up_into_global() {
+        let mut h = heap();
+        h.configure_shards(2);
+        h.set_active_shard(0);
+        let a = h.alloc(16);
+        let _b = h.alloc(32);
+        h.set_active_shard(1);
+        let _c = h.alloc(64);
+        h.free(a);
+        let (s0, s1) = (h.shard_stats(0).clone(), h.shard_stats(1).clone());
+        assert_eq!(s0.allocs + s1.allocs, h.stats().allocs);
+        assert_eq!(s0.frees + s1.frees, h.stats().frees);
+        assert_eq!(
+            s0.cumulative_alloc_bytes + s1.cumulative_alloc_bytes,
+            h.stats().cumulative_alloc_bytes
+        );
+        assert_eq!(s0.allocs, 2);
+        assert_eq!(s1.allocs, 1);
+        assert_eq!(s1.frees, 1, "free attributed to the freeing shard");
+    }
+
+    #[test]
+    fn pre_shard_blocks_free_into_shared_lists() {
+        let mut h = heap();
+        let a = h.alloc(100);
+        h.configure_shards(2);
+        h.free(a);
+        // A same-class allocation finds it via the shared fallback once
+        // the shard arena would otherwise be used — force fallback by
+        // checking the block is reused by *some* shard.
+        h.set_active_shard(1);
+        let b = h.alloc(100);
+        // Shard 1 prefers its own arena, so the pre-shard block stays in
+        // the shared list until arenas run dry; both behaviors keep the
+        // block valid. Just assert allocation still works and addresses
+        // never collide.
+        assert_ne!(a, b);
+        let _ = b;
+    }
+
+    #[test]
+    #[should_panic(expected = "already configured")]
+    fn double_shard_configuration_rejected() {
+        let mut h = heap();
+        h.configure_shards(2);
+        h.configure_shards(2);
     }
 
     #[test]

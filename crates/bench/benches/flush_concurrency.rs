@@ -1,9 +1,55 @@
-//! Host-side bench over the Fig 4 machinery: the WPQ event model and the
-//! analytical Amdahl curve at each concurrency level.
+//! Flush-concurrency benches: the Fig 4 machinery (WPQ event model and
+//! the analytical Amdahl curve) plus the *structure-level* scaling curve
+//! — pipelined FASE throughput over the sharded `SharedModHeap` at
+//! 1/2/4/8 worker threads, with the simulated-time speedup and the batch
+//! fill the pipeline achieved. `MOD_OPS` rescales the per-thread op
+//! count.
 
 use mod_bench::harness::{bench, bench_main};
+use mod_bench::TextTable;
 use mod_pmem::{LatencyModel, WpqModel};
+use mod_workloads::{run_pipelined, ConcurrencyConfig};
 use std::hint::black_box;
+
+fn structure_scaling() {
+    let ops: u64 = std::env::var("MOD_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(test) { 100 } else { 1_000 });
+    let mut table = TextTable::new(vec![
+        "threads",
+        "fases",
+        "batches",
+        "mean batch",
+        "fences/fase",
+        "sim ms",
+        "fases/sim ms",
+        "speedup",
+    ]);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ConcurrencyConfig {
+            ops_per_thread: ops,
+            ..ConcurrencyConfig::testing(threads)
+        };
+        let r = run_pipelined(&cfg);
+        let tput = r.fases_per_sim_ms();
+        let base_tput = *base.get_or_insert(tput);
+        table.row(vec![
+            format!("{threads}"),
+            format!("{}", r.fases),
+            format!("{}", r.batches),
+            format!("{:.2}", r.mean_batch()),
+            format!("{:.3}", r.pm.fences as f64 / r.fases as f64),
+            format!("{:.3}", r.sim_wall_ns / 1e6),
+            format!("{tput:.0}"),
+            format!("{:.2}x", tput / base_tput),
+        ]);
+    }
+    println!();
+    println!("pipelined FASE commits over SharedModHeap (producer/consumer, map+queue):");
+    println!("{}", table.render());
+}
 
 fn main() {
     bench_main(|| {
@@ -22,5 +68,7 @@ fn main() {
             }
             black_box(acc);
         });
+
+        structure_scaling();
     });
 }

@@ -24,13 +24,116 @@
 //! `*_in` methods, which stage the update on a [`Fase`] instead of
 //! committing immediately.
 
-use crate::codec::{frames, push_frame, KeyRepr, PmKey, PmValue, PmWord};
+use crate::codec::{
+    codec_compatible, codec_word_elem, codec_word_fields, codec_word_kv, frames, push_frame,
+    KeyRepr, PmKey, PmValue, PmWord,
+};
+use crate::erased::{DurableDs, RootKind};
 use crate::fase::Fase;
 use crate::heap::ModHeap;
 use crate::root::Root;
 use mod_alloc::HeapRead;
 use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
 use std::marker::PhantomData;
+
+/// Why reattaching a typed wrapper to a directory index failed.
+///
+/// Returned by the `try_open` constructors; the panicking `open`
+/// constructors surface the same conditions as panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpenError {
+    /// No root was ever published at this directory index.
+    NoSuchRoot {
+        /// The requested directory index.
+        index: usize,
+        /// How many roots the directory holds.
+        roots: usize,
+    },
+    /// The directory records a different datastructure kind (e.g. the
+    /// index holds a queue, not a map).
+    KindMismatch {
+        /// The requested directory index.
+        index: usize,
+        /// The kind recorded in the directory.
+        stored: RootKind,
+        /// The kind the wrapper expected.
+        expected: RootKind,
+    },
+    /// The directory records a different key/value codec discipline than
+    /// the wrapper's type parameters — e.g. a `DurableMap<u64, Vec<u8>>`
+    /// opened as `DurableMap<String, u64>`. Without this check the wrong
+    /// decoder would run over well-formed bytes and return garbage.
+    CodecMismatch {
+        /// The requested directory index.
+        index: usize,
+        /// The codec tag word recorded in the directory.
+        stored: u64,
+        /// The codec tag word derived from the wrapper's type parameters.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::NoSuchRoot { index, roots } => {
+                write!(
+                    f,
+                    "no root published at directory index {index} ({roots} roots exist)"
+                )
+            }
+            OpenError::KindMismatch {
+                index,
+                stored,
+                expected,
+            } => write!(f, "root {index} holds a {stored:?}, not a {expected:?}"),
+            OpenError::CodecMismatch {
+                index,
+                stored,
+                expected,
+            } => {
+                let (_, sk, sv) = codec_word_fields(*stored);
+                let (_, ek, ev) = codec_word_fields(*expected);
+                write!(
+                    f,
+                    "root {index} was written with codec key/elem={sk} value={sv}, \
+                     but was opened expecting key/elem={ek} value={ev}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Shared open path: kind check against the directory entry, then codec
+/// check against the persisted tag word.
+fn open_checked<D: DurableDs>(
+    heap: &ModHeap,
+    index: usize,
+    expected_codec: u64,
+) -> Result<Root<D>, OpenError> {
+    let entry = crate::root::peek_entry(heap.nv(), index).ok_or(OpenError::NoSuchRoot {
+        index,
+        roots: heap.root_count(),
+    })?;
+    if entry.kind != D::KIND {
+        return Err(OpenError::KindMismatch {
+            index,
+            stored: entry.kind,
+            expected: D::KIND,
+        });
+    }
+    let stored = heap.root_codec_tag(index);
+    if !codec_compatible(stored, expected_codec) {
+        return Err(OpenError::CodecMismatch {
+            index,
+            stored,
+            expected: expected_codec,
+        });
+    }
+    Ok(Root::new(index))
+}
 
 /// One map lookup through either read path (charged or peek).
 fn raw_get(cur: PmMap, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
@@ -83,26 +186,40 @@ impl<K: PmKey, V: PmValue> std::fmt::Debug for DurableMap<K, V> {
 }
 
 impl<K: PmKey, V: PmValue> DurableMap<K, V> {
-    /// Creates an empty map and publishes it as a new typed root.
+    /// The directory codec tag word for this map's `K`/`V` parameters.
+    const CODEC_WORD: u64 = codec_word_kv(K::CODEC, V::CODEC);
+
+    /// Creates an empty map and publishes it as a new typed root, with
+    /// the `K`/`V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
         let m0 = PmMap::empty(heap.nv_mut());
-        let root = heap.publish(m0);
+        let root = heap.publish_tagged(m0, Self::CODEC_WORD);
         Self::from_root(root)
     }
 
     /// Reattaches to the map published at directory `index` (after
     /// recovery).
     ///
-    /// The *structure* kind is checked against the persistent directory;
-    /// the `K`/`V` codec types are not persisted (yet), so reopening
-    /// with a different key/value encoding than the map was written
-    /// with is undetected — keep the types consistent across restarts.
+    /// Both the structure kind and the `K`/`V` codec discipline are
+    /// checked against the persistent directory entry: opening a
+    /// `DurableMap<u64, Vec<u8>>` root as `DurableMap<String, u64>`
+    /// fails instead of decoding garbage.
     ///
     /// # Panics
     ///
-    /// Panics if no root exists at `index` or it is not a map.
+    /// Panics on any [`OpenError`]; use [`DurableMap::try_open`] for a
+    /// recoverable result.
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        Self::from_root(heap.open_root(index))
+        match Self::try_open(heap, index) {
+            Ok(map) => map,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reattaches to the map published at directory `index`, reporting
+    /// kind and codec mismatches as a typed [`OpenError`].
+    pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
+        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
     }
 
     /// Wraps an already-opened typed root.
@@ -282,7 +399,8 @@ impl<K: PmKey> std::fmt::Debug for DurableSet<K> {
 }
 
 impl<K: PmKey> DurableSet<K> {
-    /// Creates an empty set and publishes it as a new typed root.
+    /// Creates an empty set and publishes it as a new typed root, with
+    /// the `K` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
         DurableSet {
             map: DurableMap::create(heap),
@@ -290,10 +408,21 @@ impl<K: PmKey> DurableSet<K> {
     }
 
     /// Reattaches to the set published at directory `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`OpenError`]; use [`DurableSet::try_open`] for a
+    /// recoverable result.
     pub fn open(heap: &ModHeap, index: usize) -> Self {
         DurableSet {
             map: DurableMap::open(heap, index),
         }
+    }
+
+    /// Reattaches to the set published at directory `index`, reporting
+    /// kind and codec mismatches as a typed [`OpenError`].
+    pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
+        DurableMap::try_open(heap, index).map(|map| DurableSet { map })
     }
 
     /// Wraps an already-opened typed root.
@@ -374,10 +503,14 @@ impl<V: PmWord> std::fmt::Debug for DurableVector<V> {
 }
 
 impl<V: PmWord> DurableVector<V> {
-    /// Creates an empty vector and publishes it as a new typed root.
+    /// The directory codec tag word for this vector's `V` parameter.
+    const CODEC_WORD: u64 = codec_word_elem(V::CODEC);
+
+    /// Creates an empty vector and publishes it as a new typed root,
+    /// with the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
         let v0 = PmVector::empty(heap.nv_mut());
-        let root = heap.publish(v0);
+        let root = heap.publish_tagged(v0, Self::CODEC_WORD);
         Self::from_root(root)
     }
 
@@ -385,13 +518,27 @@ impl<V: PmWord> DurableVector<V> {
     pub fn create_from(heap: &mut ModHeap, elems: &[V]) -> Self {
         let words: Vec<u64> = elems.iter().map(PmWord::to_word).collect();
         let v0 = PmVector::from_slice(heap.nv_mut(), &words);
-        let root = heap.publish(v0);
+        let root = heap.publish_tagged(v0, Self::CODEC_WORD);
         Self::from_root(root)
     }
 
     /// Reattaches to the vector published at directory `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`OpenError`]; use [`DurableVector::try_open`] for
+    /// a recoverable result.
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        Self::from_root(heap.open_root(index))
+        match Self::try_open(heap, index) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reattaches to the vector published at directory `index`,
+    /// reporting kind and codec mismatches as a typed [`OpenError`].
+    pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
+        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
     }
 
     /// Wraps an already-opened typed root.
@@ -516,16 +663,34 @@ impl<V: PmWord> std::fmt::Debug for DurableStack<V> {
 }
 
 impl<V: PmWord> DurableStack<V> {
-    /// Creates an empty stack and publishes it as a new typed root.
+    /// The directory codec tag word for this stack's `V` parameter.
+    const CODEC_WORD: u64 = codec_word_elem(V::CODEC);
+
+    /// Creates an empty stack and publishes it as a new typed root, with
+    /// the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
         let s0 = PmStack::empty(heap.nv_mut());
-        let root = heap.publish(s0);
+        let root = heap.publish_tagged(s0, Self::CODEC_WORD);
         Self::from_root(root)
     }
 
     /// Reattaches to the stack published at directory `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`OpenError`]; use [`DurableStack::try_open`] for a
+    /// recoverable result.
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        Self::from_root(heap.open_root(index))
+        match Self::try_open(heap, index) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reattaches to the stack published at directory `index`, reporting
+    /// kind and codec mismatches as a typed [`OpenError`].
+    pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
+        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
     }
 
     /// Wraps an already-opened typed root.
@@ -609,16 +774,34 @@ impl<V: PmWord> std::fmt::Debug for DurableQueue<V> {
 }
 
 impl<V: PmWord> DurableQueue<V> {
-    /// Creates an empty queue and publishes it as a new typed root.
+    /// The directory codec tag word for this queue's `V` parameter.
+    const CODEC_WORD: u64 = codec_word_elem(V::CODEC);
+
+    /// Creates an empty queue and publishes it as a new typed root, with
+    /// the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
         let q0 = PmQueue::empty(heap.nv_mut());
-        let root = heap.publish(q0);
+        let root = heap.publish_tagged(q0, Self::CODEC_WORD);
         Self::from_root(root)
     }
 
     /// Reattaches to the queue published at directory `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`OpenError`]; use [`DurableQueue::try_open`] for a
+    /// recoverable result.
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        Self::from_root(heap.open_root(index))
+        match Self::try_open(heap, index) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reattaches to the queue published at directory `index`, reporting
+    /// kind and codec mismatches as a typed [`OpenError`].
+    pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
+        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
     }
 
     /// Wraps an already-opened typed root.
@@ -752,6 +935,77 @@ mod tests {
         assert!(set.remove(&mut h, &Colliding("x")));
         assert!(!set.contains(&h, &Colliding("x")));
         assert!(set.contains(&h, &Colliding("y")), "sibling survives");
+    }
+
+    #[test]
+    fn open_rejects_codec_mismatch_with_typed_error() {
+        let mut h = mh();
+        let map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut h);
+        map.insert(&mut h, &7, &vec![1, 2, 3]);
+        h.quiesce();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (h2, _) = ModHeap::open(img);
+        // Correct types reopen fine.
+        assert!(DurableMap::<u64, Vec<u8>>::try_open(&h2, 0).is_ok());
+        // Wrong key AND value codecs: typed error, not garbage.
+        let err = DurableMap::<String, u64>::try_open(&h2, 0).unwrap_err();
+        assert!(matches!(err, OpenError::CodecMismatch { index: 0, .. }));
+        assert!(err.to_string().contains("codec"));
+        // Wrong value codec alone is also caught.
+        assert!(matches!(
+            DurableMap::<u64, String>::try_open(&h2, 0),
+            Err(OpenError::CodecMismatch { .. })
+        ));
+        // Wrong kind reports KindMismatch before codec.
+        assert!(matches!(
+            DurableQueue::<u64>::try_open(&h2, 0),
+            Err(OpenError::KindMismatch { .. })
+        ));
+        // Unpublished index reports NoSuchRoot.
+        assert!(matches!(
+            DurableMap::<u64, Vec<u8>>::try_open(&h2, 9),
+            Err(OpenError::NoSuchRoot { index: 9, roots: 1 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "was opened expecting")]
+    fn open_panics_on_codec_mismatch() {
+        let mut h = mh();
+        let _map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut h);
+        let _ = DurableMap::<String, u64>::open(&h, 0);
+    }
+
+    #[test]
+    fn untagged_custom_codecs_stay_compatible() {
+        // `Colliding` keeps the default CODEC = 0: nothing is recorded
+        // for the key field, so reopening with any key type whose codec
+        // could plausibly match is accepted (the historical behavior).
+        let mut h = mh();
+        let map: DurableMap<Colliding, String> = DurableMap::create(&mut h);
+        map.insert(&mut h, &Colliding("a"), &"v".to_string());
+        assert!(DurableMap::<Colliding, String>::try_open(&h, 0).is_ok());
+        assert!(DurableMap::<String, String>::try_open(&h, 0).is_ok());
+        // But a recorded *value* codec still protects against mismatch.
+        assert!(matches!(
+            DurableMap::<Colliding, u64>::try_open(&h, 0),
+            Err(OpenError::CodecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn elem_codec_mismatch_rejected_across_restart() {
+        let mut h = mh();
+        let q: DurableQueue<u64> = DurableQueue::create(&mut h);
+        q.enqueue(&mut h, &5);
+        h.quiesce();
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (h2, _) = ModHeap::open(img);
+        assert!(DurableQueue::<u64>::try_open(&h2, 0).is_ok());
+        assert!(matches!(
+            DurableQueue::<i32>::try_open(&h2, 0),
+            Err(OpenError::CodecMismatch { .. })
+        ));
     }
 
     #[test]

@@ -56,14 +56,22 @@ pub trait PmKey {
     /// entries in `O(1)`.
     const EXACT: bool;
 
+    /// Stable codec identifier persisted in the root directory so
+    /// reopening a structure with a different key encoding is rejected
+    /// ([`crate::basic::OpenError::CodecMismatch`]). `0` means "no codec
+    /// recorded": custom key types that keep the default are accepted
+    /// against anything (and record nothing), preserving compatibility.
+    const CODEC: u8 = 0;
+
     /// The key's representation on the `u64`-keyed substrate.
     fn repr(&self) -> KeyRepr;
 }
 
 macro_rules! exact_key {
-    ($($ty:ty),*) => {$(
+    ($($ty:ty => $tag:expr),*) => {$(
         impl PmKey for $ty {
             const EXACT: bool = true;
+            const CODEC: u8 = $tag;
 
             fn repr(&self) -> KeyRepr {
                 KeyRepr::Exact(*self as u64)
@@ -72,10 +80,21 @@ macro_rules! exact_key {
     )*};
 }
 
-exact_key!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize, bool, char);
+exact_key!(
+    u64 => 1, u32 => 2, u16 => 3, u8 => 4, usize => 5,
+    i64 => 6, i32 => 7, i16 => 8, i8 => 9, isize => 10,
+    bool => 11, char => 12
+);
+
+/// Codec id shared by all byte-string keys (`String`, `str`, `Vec<u8>`,
+/// `[u8]`, `[u8; N]`): they are interchangeable on the substrate (same
+/// FNV-1a hash of the same bytes, same frame layout), so they share one
+/// id and a pool written with `String` keys reopens fine with `&[u8]`.
+pub const BYTES_KEY_CODEC: u8 = 13;
 
 impl PmKey for String {
     const EXACT: bool = false;
+    const CODEC: u8 = BYTES_KEY_CODEC;
 
     fn repr(&self) -> KeyRepr {
         KeyRepr::Hashed {
@@ -87,6 +106,7 @@ impl PmKey for String {
 
 impl PmKey for str {
     const EXACT: bool = false;
+    const CODEC: u8 = BYTES_KEY_CODEC;
 
     fn repr(&self) -> KeyRepr {
         KeyRepr::Hashed {
@@ -98,6 +118,7 @@ impl PmKey for str {
 
 impl PmKey for Vec<u8> {
     const EXACT: bool = false;
+    const CODEC: u8 = BYTES_KEY_CODEC;
 
     fn repr(&self) -> KeyRepr {
         KeyRepr::Hashed {
@@ -109,6 +130,7 @@ impl PmKey for Vec<u8> {
 
 impl PmKey for [u8] {
     const EXACT: bool = false;
+    const CODEC: u8 = BYTES_KEY_CODEC;
 
     fn repr(&self) -> KeyRepr {
         KeyRepr::Hashed {
@@ -120,6 +142,7 @@ impl PmKey for [u8] {
 
 impl<const N: usize> PmKey for [u8; N] {
     const EXACT: bool = false;
+    const CODEC: u8 = BYTES_KEY_CODEC;
 
     fn repr(&self) -> KeyRepr {
         KeyRepr::Hashed {
@@ -131,6 +154,7 @@ impl<const N: usize> PmKey for [u8; N] {
 
 impl<K: PmKey + ?Sized> PmKey for &K {
     const EXACT: bool = K::EXACT;
+    const CODEC: u8 = K::CODEC;
 
     fn repr(&self) -> KeyRepr {
         (**self).repr()
@@ -139,6 +163,10 @@ impl<K: PmKey + ?Sized> PmKey for &K {
 
 /// A type usable as a [`crate::DurableMap`] value.
 pub trait PmValue: Sized {
+    /// Stable codec identifier persisted in the root directory (see
+    /// [`PmKey::CODEC`]); `0` means "no codec recorded".
+    const CODEC: u8 = 0;
+
     /// Encodes the value to bytes.
     fn value_bytes(&self) -> Vec<u8>;
 
@@ -153,6 +181,8 @@ pub trait PmValue: Sized {
 }
 
 impl PmValue for Vec<u8> {
+    const CODEC: u8 = 1;
+
     fn value_bytes(&self) -> Vec<u8> {
         self.clone()
     }
@@ -163,6 +193,8 @@ impl PmValue for Vec<u8> {
 }
 
 impl PmValue for String {
+    const CODEC: u8 = 2;
+
     fn value_bytes(&self) -> Vec<u8> {
         self.as_bytes().to_vec()
     }
@@ -173,6 +205,8 @@ impl PmValue for String {
 }
 
 impl PmValue for () {
+    const CODEC: u8 = 3;
+
     fn value_bytes(&self) -> Vec<u8> {
         Vec::new()
     }
@@ -181,8 +215,10 @@ impl PmValue for () {
 }
 
 macro_rules! int_value {
-    ($($ty:ty),*) => {$(
+    ($($ty:ty => $tag:expr),*) => {$(
         impl PmValue for $ty {
+            const CODEC: u8 = $tag;
+
             fn value_bytes(&self) -> Vec<u8> {
                 self.to_le_bytes().to_vec()
             }
@@ -194,9 +230,11 @@ macro_rules! int_value {
     )*};
 }
 
-int_value!(u64, u32, u16, i64, i32, i16);
+int_value!(u64 => 4, u32 => 5, u16 => 6, i64 => 7, i32 => 8, i16 => 9);
 
 impl<const N: usize> PmValue for [u8; N] {
+    const CODEC: u8 = 10;
+
     fn value_bytes(&self) -> Vec<u8> {
         self.to_vec()
     }
@@ -209,6 +247,10 @@ impl<const N: usize> PmValue for [u8; N] {
 /// A type usable as a [`crate::DurableVector`]/[`crate::DurableStack`]/
 /// [`crate::DurableQueue`] element (one 8-byte word on the substrate).
 pub trait PmWord: Sized {
+    /// Stable codec identifier persisted in the root directory (see
+    /// [`PmKey::CODEC`]); `0` means "no codec recorded".
+    const CODEC: u8 = 0;
+
     /// Encodes the element as a word.
     fn to_word(&self) -> u64;
 
@@ -217,8 +259,10 @@ pub trait PmWord: Sized {
 }
 
 macro_rules! word_elem {
-    ($($ty:ty),*) => {$(
+    ($($ty:ty => $tag:expr),*) => {$(
         impl PmWord for $ty {
+            const CODEC: u8 = $tag;
+
             fn to_word(&self) -> u64 {
                 *self as u64
             }
@@ -230,9 +274,11 @@ macro_rules! word_elem {
     )*};
 }
 
-word_elem!(u64, u32, u16, u8, usize);
+word_elem!(u64 => 1, u32 => 2, u16 => 3, u8 => 4, usize => 5);
 
 impl PmWord for i64 {
+    const CODEC: u8 = 6;
+
     fn to_word(&self) -> u64 {
         *self as u64
     }
@@ -243,6 +289,8 @@ impl PmWord for i64 {
 }
 
 impl PmWord for i32 {
+    const CODEC: u8 = 7;
+
     fn to_word(&self) -> u64 {
         *self as i64 as u64
     }
@@ -253,6 +301,8 @@ impl PmWord for i32 {
 }
 
 impl PmWord for bool {
+    const CODEC: u8 = 8;
+
     fn to_word(&self) -> u64 {
         *self as u64
     }
@@ -260,6 +310,50 @@ impl PmWord for bool {
     fn from_word(w: u64) -> Self {
         w != 0
     }
+}
+
+// ---------------------------------------------------------------------
+// Directory codec tags
+// ---------------------------------------------------------------------
+//
+// The root directory stores one tag word per entry recording the codec
+// discipline the structure was written with, so `DurableMap::<K, V>::open`
+// can reject a K/V mismatch the way `open_root` rejects a `RootKind`
+// mismatch. Word layout (LE):
+//
+//     bit 0       "tagged" marker (0 = no codec recorded)
+//     bits 8..16  key/element codec id
+//     bits 16..24 value codec id (maps/sets only)
+
+/// The directory tag word for a map/set written with key codec `key` and
+/// value codec `value` (each a `PmKey::CODEC`/`PmValue::CODEC` id).
+pub const fn codec_word_kv(key: u8, value: u8) -> u64 {
+    1 | ((key as u64) << 8) | ((value as u64) << 16)
+}
+
+/// The directory tag word for a vector/stack/queue written with element
+/// codec `elem` (a `PmWord::CODEC` id).
+pub const fn codec_word_elem(elem: u8) -> u64 {
+    1 | ((elem as u64) << 8)
+}
+
+/// Splits a tag word into `(tagged, key_or_elem, value)` fields.
+pub const fn codec_word_fields(word: u64) -> (bool, u8, u8) {
+    (word & 1 == 1, (word >> 8) as u8, (word >> 16) as u8)
+}
+
+/// Whether a structure written under `stored` may be opened as
+/// `expected`. Untagged words (either side) accept anything, as does a
+/// field whose id is 0 on either side (a custom codec that records
+/// nothing); otherwise every recorded field must match.
+pub fn codec_compatible(stored: u64, expected: u64) -> bool {
+    let (s_tagged, s_key, s_val) = codec_word_fields(stored);
+    let (e_tagged, e_key, e_val) = codec_word_fields(expected);
+    if !s_tagged || !e_tagged {
+        return true;
+    }
+    let field_ok = |s: u8, e: u8| s == 0 || e == 0 || s == e;
+    field_ok(s_key, e_key) && field_ok(s_val, e_val)
 }
 
 // ---------------------------------------------------------------------

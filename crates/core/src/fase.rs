@@ -44,16 +44,16 @@ use crate::root::{current_of, Root, ROOT_DIR_SLOT};
 use mod_alloc::NvHeap;
 use mod_pmem::{PmPtr, Pmem};
 
-/// One staged root update inside a FASE.
+/// One staged root update inside a FASE (or a pipelined batch of FASEs).
 #[derive(Debug)]
-struct PendingUpdate {
-    index: usize,
-    kind: RootKind,
+pub(crate) struct PendingUpdate {
+    pub(crate) index: usize,
+    pub(crate) kind: RootKind,
     /// The shadow that will be published for this root.
-    new: PmPtr,
+    pub(crate) new: PmPtr,
     /// Shadows superseded by later updates to the same root in this FASE
     /// (never published; reclaimed immediately after commit).
-    intermediates: Vec<ErasedDs>,
+    pub(crate) intermediates: Vec<ErasedDs>,
 }
 
 /// An in-progress failure-atomic section over typed roots.
@@ -65,17 +65,44 @@ struct PendingUpdate {
 pub struct Fase<'h> {
     heap: &'h mut ModHeap,
     pending: Vec<PendingUpdate>,
+    /// Batch overlay for pipelined commits (`SharedModHeap`): per-root
+    /// heads staged by *earlier FASEs in the same uncommitted batch*.
+    /// This FASE's updates chain on top of them, and "reverting" a chain
+    /// means returning to the overlay head, not the published version.
+    overlay: Vec<(usize, PmPtr)>,
 }
 
 impl Fase<'_> {
     /// The version of `root` this FASE currently sees: the shadow staged
-    /// by an earlier [`Fase::update`] in this FASE, or the published
-    /// version.
+    /// by an earlier [`Fase::update`] in this FASE, an earlier FASE of
+    /// the same pipelined batch, or the published version.
     pub fn current<D: DurableDs>(&self, root: Root<D>) -> D {
         match self.find(root.index()) {
             Some(p) => D::from_root_ptr(p.new),
-            None => current_of(self.heap.nv(), root),
+            None => match self.overlay_head(root.index()) {
+                Some(p) => D::from_root_ptr(p),
+                None => current_of(self.heap.nv(), root),
+            },
         }
+    }
+
+    /// The version this FASE's first update to `index` chains from.
+    fn baseline(&self, index: usize) -> PmPtr {
+        match self.overlay_head(index) {
+            Some(p) => p,
+            None => {
+                let entry = crate::root::peek_entry(self.heap.nv(), index)
+                    .unwrap_or_else(|| panic!("root {index} not in directory"));
+                entry.root
+            }
+        }
+    }
+
+    fn overlay_head(&self, index: usize) -> Option<PmPtr> {
+        self.overlay
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|&(_, p)| p)
     }
 
     /// Stages a pure update: `f` receives the heap and the current
@@ -97,13 +124,15 @@ impl Fase<'_> {
         if next.root_ptr() == cur.root_ptr() {
             return out; // no-op update: stage nothing
         }
-        let published = current_of(self.heap.nv(), root).root_ptr();
+        let baseline = self.baseline(root.index());
         match self.pending.iter().position(|p| p.index == root.index()) {
-            Some(i) if next.root_ptr() == published => {
-                // The chain reverted to the published version: the root is
-                // back to a no-op. Unstage it and reclaim every shadow this
-                // FASE built for it — publishing the already-owned version
-                // as "fresh" would double-release it at commit.
+            Some(i) if next.root_ptr() == baseline => {
+                // The chain reverted to the version it chained from (the
+                // published version, or the batch head in a pipelined
+                // commit): the root is back to a no-op. Unstage it and
+                // reclaim every shadow this FASE built for it —
+                // publishing the already-owned version as "fresh" would
+                // double-release it at commit.
                 let p = self.pending.remove(i);
                 ErasedDs {
                     kind: p.kind,
@@ -168,15 +197,30 @@ impl ModHeap {
     /// atomically with exactly one ordering point (or not at all, if the
     /// process dies first). Returns the closure's result.
     pub fn fase<R>(&mut self, f: impl FnOnce(&mut Fase<'_>) -> R) -> R {
+        let (pending, out) = self.stage_fase(Vec::new(), f);
+        self.commit_fase(pending);
+        out
+    }
+
+    /// Runs a FASE closure and returns its staged updates *without*
+    /// committing them — the building block of the pipelined commit path
+    /// (`SharedModHeap`), which merges staged updates from several
+    /// threads into one batch and publishes the batch with one ordering
+    /// point. `overlay` carries the batch's per-root staged heads so this
+    /// FASE chains on them (serializing the batch).
+    pub(crate) fn stage_fase<R>(
+        &mut self,
+        overlay: Vec<(usize, PmPtr)>,
+        f: impl FnOnce(&mut Fase<'_>) -> R,
+    ) -> (Vec<PendingUpdate>, R) {
         let mut tx = Fase {
             heap: self,
             pending: Vec::new(),
+            overlay,
         };
         let out = f(&mut tx);
         let pending = std::mem::take(&mut tx.pending);
-        drop(tx);
-        self.commit_fase(pending);
-        out
+        (pending, out)
     }
 
     /// Publishes staged FASE updates with exactly one ordering point.
@@ -187,7 +231,7 @@ impl ModHeap {
     /// directory rebuild, no allocation, one `clwb`. Multi-root FASEs
     /// build one fresh directory (Fig 8c): flush it, fence once, swing
     /// the directory slot.
-    fn commit_fase(&mut self, pending: Vec<PendingUpdate>) {
+    pub(crate) fn commit_fase(&mut self, pending: Vec<PendingUpdate>) {
         if pending.is_empty() {
             return;
         }
@@ -214,6 +258,7 @@ impl ModHeap {
             self.defer_release(old);
         } else {
             let mut children = parent::children_of(self.nv_mut(), dir);
+            let tags = parent::peek_tags_of(self.nv(), dir);
             let mut fresh = Vec::with_capacity(pending.len());
             for p in &pending {
                 let entry = &mut children[p.index];
@@ -221,7 +266,7 @@ impl ModHeap {
                 entry.root = p.new;
                 fresh.push(*entry);
             }
-            self.swing_directory(dir, &children, &fresh);
+            self.swing_directory(dir, &children, &fresh, &tags);
         }
         // Intra-FASE shadows were never published: reclaim immediately.
         for p in pending {

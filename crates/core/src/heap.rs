@@ -109,14 +109,16 @@ impl ModHeap {
     /// Publishes a fresh root directory (Fig 8c on the directory parent):
     /// flush the new parent, fence once, swing the directory pointer.
     /// `fresh` names the children whose temporary FASE ownership transfers
-    /// to the new directory.
+    /// to the new directory. `tags` carries one codec-discipline word per
+    /// entry (see [`crate::codec`]), preserved across directory rebuilds.
     pub(crate) fn swing_directory(
         &mut self,
         old_dir: PmPtr,
         children: &[ErasedDs],
         fresh: &[ErasedDs],
+        tags: &[u64],
     ) {
-        let new_dir = store_parent(&mut self.nv, children);
+        let new_dir = crate::parent::store_parent_tagged(&mut self.nv, children, tags);
         for f in fresh {
             self.nv.rc_dec(f.root);
         }

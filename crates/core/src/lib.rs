@@ -69,8 +69,10 @@ pub mod heap;
 pub mod parent;
 pub mod recovery;
 pub mod root;
+pub mod sched;
+pub mod shared;
 
-pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector};
+pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector, OpenError};
 pub use codec::{PmKey, PmValue, PmWord};
 pub use erased::{DurableDs, ErasedDs, RootKind};
 pub use fase::Fase;
@@ -78,3 +80,5 @@ pub use heap::{ModHeap, ULOG_CAP};
 #[allow(deprecated)]
 pub use recovery::{recover, root_handle, try_root_handle, RootSpec};
 pub use root::{Root, ROOT_DIR_SLOT};
+pub use sched::{SeededRoundRobin, Turn};
+pub use shared::{PipelineStats, SharedModHeap};

@@ -12,23 +12,55 @@ use mod_alloc::{HeapRead, NvHeap};
 use mod_pmem::PmPtr;
 
 /// Builds and flushes a parent object owning `children`. Layout:
-/// `[count][(kind, root) × count]`. Increments each child root's refcount
-/// (the parent owns its children).
+/// `[count][(kind, root) × count][tag × count]` — the trailing tag words
+/// carry per-child metadata (the root directory stores each entry's codec
+/// discipline there; plain sibling parents leave them zero). Increments
+/// each child root's refcount (the parent owns its children).
 pub fn store_parent(nv: &mut NvHeap, children: &[ErasedDs]) -> PmPtr {
+    store_parent_tagged(nv, children, &vec![0; children.len()])
+}
+
+/// [`store_parent`] with explicit per-child tag words.
+///
+/// # Panics
+///
+/// Panics if `children` is empty or `tags.len() != children.len()`.
+pub fn store_parent_tagged(nv: &mut NvHeap, children: &[ErasedDs], tags: &[u64]) -> PmPtr {
     assert!(!children.is_empty(), "parent object needs children");
-    let len = 8 + 16 * children.len() as u64;
+    assert_eq!(children.len(), tags.len(), "one tag word per child");
+    let n = children.len() as u64;
+    let len = 8 + 24 * n;
     let ptr = nv.alloc(len);
-    nv.write_u64(ptr.addr(), children.len() as u64);
+    nv.write_u64(ptr.addr(), n);
     for (i, c) in children.iter().enumerate() {
         let base = ptr.addr() + 8 + 16 * i as u64;
         nv.write_u64(base, c.kind.to_u64());
         nv.write_u64(base + 8, c.root.addr());
+    }
+    let tag_base = ptr.addr() + 8 + 16 * n;
+    for (i, &t) in tags.iter().enumerate() {
+        nv.write_u64(tag_base + 8 * i as u64, t);
     }
     nv.flush_block(ptr);
     for c in children {
         nv.rc_inc(c.root);
     }
     ptr
+}
+
+/// Reads the per-child tag words of a parent object (zeros for parents
+/// built without explicit tags).
+pub fn peek_tags_of(nv: &NvHeap, parent: PmPtr) -> Vec<u64> {
+    let n = nv.peek_u64(parent.addr());
+    let tag_base = parent.addr() + 8 + 16 * n;
+    (0..n).map(|i| nv.peek_u64(tag_base + 8 * i)).collect()
+}
+
+/// Reads one child's tag word without materializing the whole parent.
+pub fn peek_tag_of(nv: &NvHeap, parent: PmPtr, index: usize) -> u64 {
+    let n = nv.peek_u64(parent.addr());
+    assert!((index as u64) < n, "tag index {index} out of range ({n})");
+    nv.peek_u64(parent.addr() + 8 + 16 * n + 8 * index as u64)
 }
 
 /// Reads the children of a parent object.
@@ -120,5 +152,30 @@ mod tests {
     fn empty_parent_rejected() {
         let mut nv = heap();
         store_parent(&mut nv, &[]);
+    }
+
+    #[test]
+    fn tags_roundtrip_and_default_to_zero() {
+        let mut nv = heap();
+        let m = PmMap::empty(&mut nv);
+        let q = PmQueue::empty(&mut nv);
+        let untagged = store_parent(&mut nv, &[m.erase(), q.erase()]);
+        assert_eq!(peek_tags_of(&nv, untagged), vec![0, 0]);
+        let tagged = store_parent_tagged(&mut nv, &[m.erase(), q.erase()], &[7, 0x0101]);
+        assert_eq!(peek_tags_of(&nv, tagged), vec![7, 0x0101]);
+        assert_eq!(peek_tag_of(&nv, tagged, 0), 7);
+        assert_eq!(peek_tag_of(&nv, tagged, 1), 0x0101);
+        // Tags don't disturb the child entries.
+        let kids = children_of(&mut nv, tagged);
+        assert_eq!(kids[0].root, m.root());
+        assert_eq!(kids[1].root, q.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "one tag word per child")]
+    fn tag_arity_checked() {
+        let mut nv = heap();
+        let m = PmMap::empty(&mut nv);
+        store_parent_tagged(&mut nv, &[m.erase()], &[1, 2]);
     }
 }

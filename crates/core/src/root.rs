@@ -106,16 +106,38 @@ impl ModHeap {
     /// Ownership of `initial` transfers to the root directory; read it
     /// back later with [`ModHeap::current`].
     pub fn publish<D: DurableDs>(&mut self, initial: D) -> Root<D> {
+        self.publish_tagged(initial, 0)
+    }
+
+    /// [`ModHeap::publish`] with a codec-discipline tag word persisted in
+    /// the directory entry (see [`crate::codec::codec_word_kv`]); the
+    /// typed wrappers use it so reopening with mismatched key/value
+    /// codecs is rejected. Tag 0 means "no codec recorded".
+    pub fn publish_tagged<D: DurableDs>(&mut self, initial: D, tag: u64) -> Root<D> {
         let dir = self.nv_mut().read_root(ROOT_DIR_SLOT);
-        let mut children = if dir.is_null() {
-            Vec::new()
+        let (mut children, mut tags) = if dir.is_null() {
+            (Vec::new(), Vec::new())
         } else {
-            parent::children_of(self.nv_mut(), dir)
+            (
+                parent::children_of(self.nv_mut(), dir),
+                parent::peek_tags_of(self.nv(), dir),
+            )
         };
         let index = children.len();
         children.push(initial.erase());
-        self.swing_directory(dir, &children, &[initial.erase()]);
+        tags.push(tag);
+        self.swing_directory(dir, &children, &[initial.erase()], &tags);
         Root::new(index)
+    }
+
+    /// The codec tag word recorded for directory entry `index` (0 when
+    /// none was recorded or the index does not exist).
+    pub fn root_codec_tag(&self, index: usize) -> u64 {
+        let dir = self.nv().peek_root(ROOT_DIR_SLOT);
+        if dir.is_null() || index >= self.root_count() {
+            return 0;
+        }
+        parent::peek_tag_of(self.nv(), dir, index)
     }
 
     /// Number of published typed roots.

@@ -1,0 +1,293 @@
+//! Deterministic seeded round-robin scheduler for concurrent tests.
+//!
+//! Real OS threads make interleavings nondeterministic, which would make
+//! multi-threaded crash tests unreproducible. [`SeededRoundRobin`] fixes
+//! that with a *turnstile*: worker threads call [`SeededRoundRobin::step`]
+//! before each operation and block until the scheduler grants them the
+//! (single) run token, in an order derived deterministically from a seed
+//! — each scheduling round visits every unfinished worker once, in a
+//! seeded permutation. Only the token holder runs, so the global order of
+//! operations is a pure function of `(seed, worker count, per-worker op
+//! streams)`, even though the workers are genuine `std::thread`s.
+//!
+//! The scheduler can also *halt* after a fixed number of granted steps
+//! ([`SeededRoundRobin::with_halt`]): every subsequent `step` returns
+//! [`Turn::Halt`], letting a crash-injection harness freeze the run at an
+//! exact step boundary, snapshot the pool, and join the workers — the
+//! simulated-crash analogue of pulling the power mid-schedule.
+
+use std::sync::{Condvar, Mutex};
+
+/// What a worker should do after calling [`SeededRoundRobin::step`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Turn {
+    /// Run one operation, then call `step` (or `finish`) again.
+    Run,
+    /// The scheduler halted (crash injection): stop immediately without
+    /// performing further operations.
+    Halt,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    /// Permutation of workers for the current round.
+    order: Vec<usize>,
+    /// Position within `order`.
+    pos: usize,
+    /// Round counter (reseeds the permutation).
+    round: u64,
+    /// Which worker currently holds the run token, if any.
+    holder: Option<usize>,
+    /// Workers that called `finish` and leave the rotation.
+    done: Vec<bool>,
+    /// Steps granted so far.
+    steps: u64,
+    /// Halt before granting step number `halt_at` (1-based), if set.
+    halt_at: Option<u64>,
+    halted: bool,
+}
+
+/// A deterministic turnstile over `n` worker threads (see module docs).
+#[derive(Debug)]
+pub struct SeededRoundRobin {
+    seed: u64,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn xorshift64(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    // SplitMix64 scramble so that nearby seeds diverge; xorshift must
+    // not start at 0.
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    rng = (rng ^ (rng >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    if rng == 0 {
+        rng = 0x2545_F491_4F6C_DD1D;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (xorshift64(&mut rng) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+impl SeededRoundRobin {
+    /// A scheduler over `n` workers with the given seed, never halting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(seed: u64, n: usize) -> SeededRoundRobin {
+        SeededRoundRobin::with_halt(seed, n, None)
+    }
+
+    /// A scheduler that halts before granting step `halt_at` (1-based):
+    /// `halt_at = Some(0)` halts immediately, `Some(k)` lets exactly `k`
+    /// operations run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_halt(seed: u64, n: usize, halt_at: Option<u64>) -> SeededRoundRobin {
+        assert!(n > 0, "scheduler needs at least one worker");
+        SeededRoundRobin {
+            seed,
+            state: Mutex::new(SchedState {
+                order: permutation(seed, n),
+                pos: 0,
+                round: 0,
+                holder: None,
+                done: vec![false; n],
+                steps: 0,
+                halt_at,
+                halted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Whose turn it is, skipping finished workers; `None` when everyone
+    /// finished.
+    fn current_turn(state: &mut SchedState, seed: u64) -> Option<usize> {
+        loop {
+            if state.done.iter().all(|&d| d) {
+                return None;
+            }
+            if state.pos >= state.order.len() {
+                state.round += 1;
+                state.order = permutation(
+                    seed ^ state.round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    state.order.len(),
+                );
+                state.pos = 0;
+            }
+            let w = state.order[state.pos];
+            if state.done[w] {
+                state.pos += 1;
+                continue;
+            }
+            return Some(w);
+        }
+    }
+
+    /// Blocks until worker `w` is granted the run token (or the
+    /// scheduler halts). The worker's *previous* token is released first,
+    /// so exactly one worker is ever running.
+    pub fn step(&self, w: usize) -> Turn {
+        let mut state = self.state.lock().unwrap();
+        if state.holder == Some(w) {
+            state.holder = None;
+            state.pos += 1;
+            self.cv.notify_all();
+        }
+        loop {
+            if state.halted {
+                return Turn::Halt;
+            }
+            if state.holder.is_none() && Self::current_turn(&mut state, self.seed) == Some(w) {
+                break;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+        if let Some(h) = state.halt_at {
+            if state.steps >= h {
+                state.halted = true;
+                self.cv.notify_all();
+                return Turn::Halt;
+            }
+        }
+        state.steps += 1;
+        state.holder = Some(w);
+        Turn::Run
+    }
+
+    /// Worker `w` leaves the rotation (its op stream is exhausted),
+    /// releasing the token if it holds it.
+    pub fn finish(&self, w: usize) {
+        let mut state = self.state.lock().unwrap();
+        if state.holder == Some(w) {
+            state.holder = None;
+            state.pos += 1;
+        }
+        state.done[w] = true;
+        self.cv.notify_all();
+    }
+
+    /// Steps granted so far (total operations run before any halt).
+    pub fn steps_granted(&self) -> u64 {
+        self.state.lock().unwrap().steps
+    }
+
+    /// Whether the scheduler halted (crash injection fired).
+    pub fn halted(&self) -> bool {
+        self.state.lock().unwrap().halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Drives `n` workers doing `ops` steps each; returns the granted
+    /// global order of (worker, op#) pairs.
+    fn run_schedule(seed: u64, n: usize, ops: usize, halt_at: Option<u64>) -> Vec<(usize, usize)> {
+        let sched = Arc::new(SeededRoundRobin::with_halt(seed, n, halt_at));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for w in 0..n {
+            let sched = Arc::clone(&sched);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for op in 0..ops {
+                    match sched.step(w) {
+                        Turn::Run => log.lock().unwrap().push((w, op)),
+                        Turn::Halt => break,
+                    }
+                }
+                sched.finish(w);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let a = run_schedule(42, 4, 6, None);
+        let b = run_schedule(42, 4, 6, None);
+        let c = run_schedule(43, 4, 6, None);
+        assert_eq!(a, b, "same seed, same interleaving");
+        assert_ne!(a, c, "different seed, different interleaving");
+        assert_eq!(a.len(), 24, "every op ran");
+    }
+
+    #[test]
+    fn rounds_visit_every_worker_once() {
+        let order = run_schedule(7, 4, 5, None);
+        for round in 0..5 {
+            let mut workers: Vec<usize> = order[round * 4..(round + 1) * 4]
+                .iter()
+                .map(|&(w, _)| w)
+                .collect();
+            workers.sort_unstable();
+            assert_eq!(workers, vec![0, 1, 2, 3], "round {round} visits all");
+        }
+        // Per-worker ops arrive in program order.
+        for w in 0..4 {
+            let ops: Vec<usize> = order
+                .iter()
+                .filter(|&&(x, _)| x == w)
+                .map(|&(_, o)| o)
+                .collect();
+            assert_eq!(ops, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn halt_freezes_after_exact_step_count() {
+        for k in [0u64, 1, 5, 11] {
+            let order = run_schedule(9, 4, 5, Some(k));
+            assert_eq!(order.len(), k as usize, "halt_at={k}");
+            // The granted prefix matches the unhalted schedule.
+            let full = run_schedule(9, 4, 5, None);
+            assert_eq!(order, full[..k as usize]);
+        }
+    }
+
+    #[test]
+    fn early_finishers_leave_the_rotation() {
+        // Worker 0 does 1 op, others do 4: no deadlock, all ops granted.
+        let sched = Arc::new(SeededRoundRobin::new(3, 3));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let sched = Arc::clone(&sched);
+            let log = Arc::clone(&log);
+            let ops = if w == 0 { 1 } else { 4 };
+            handles.push(std::thread::spawn(move || {
+                for op in 0..ops {
+                    match sched.step(w) {
+                        Turn::Run => log.lock().unwrap().push((w, op)),
+                        Turn::Halt => break,
+                    }
+                }
+                sched.finish(w);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.lock().unwrap().len(), 9);
+    }
+}

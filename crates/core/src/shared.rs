@@ -1,0 +1,550 @@
+//! `SharedModHeap`: a thread-safe, sharded front end with pipelined FASE
+//! commits.
+//!
+//! The single-owner [`ModHeap`] gives one thread one FASE at a time, and
+//! every FASE pays its own ordering point. Under concurrency the paper's
+//! Fig 4 observation — flushes overlap almost for free, fences are the
+//! serial bottleneck (Amdahl f ≈ 0.82) — says we can do much better:
+//! *batch* the commit points. [`SharedModHeap`] lets `N` worker threads
+//! stage FASEs concurrently and funnels them through a **pipelined commit
+//! stage**: staged FASEs accumulate into a batch, and when every active
+//! worker has staged one (or the pipeline is flushed), the whole batch
+//! publishes with **one `sfence` + one atomic pointer store** — the same
+//! single ordering point a lone FASE costs, now amortized over `N` FASEs.
+//!
+//! ## Sharding
+//!
+//! Each worker owns a *shard*: a private allocation arena + free lists in
+//! the persistent heap ([`mod_alloc::NvHeap::configure_shards`]) and a
+//! private simulated timeline (a lane clock in [`mod_pmem::Pmem`]). Pure
+//! shadow building — the bulk of a FASE — happens on the worker's own
+//! lane, so `N` workers' update work overlaps in simulated time; at a
+//! batch commit the participant lanes synchronize (stall) on the shared
+//! fence, exactly like cores draining one write-pending queue.
+//!
+//! ## Semantics
+//!
+//! * Every FASE is individually failure-atomic: the batch publishes all
+//!   of its FASEs with one pointer store, so a crash leaves each FASE
+//!   entirely in or entirely out — never half-applied.
+//! * FASEs in a batch serialize in staging order: a later FASE sees the
+//!   staged shadows of earlier FASEs in the same batch (its `tx.current`
+//!   chains on the batch head), so two threads updating one map both
+//!   take effect.
+//! * Durability is *group-commit*: `fase` returns when the update is
+//!   staged; it becomes durable at the batch's fence. A crash can drop a
+//!   staged-but-unbatched suffix — each FASE still all-or-nothing.
+//!   [`SharedModHeap::flush`] forces a partial batch out.
+//!
+//! Determinism: `SharedModHeap` is `Send + Sync` and safe under any
+//! interleaving; driving the workers through a
+//! [`crate::sched::SeededRoundRobin`] turnstile makes runs bit-for-bit
+//! reproducible (the concurrent crash tests do exactly that).
+
+use crate::fase::{Fase, PendingUpdate};
+use crate::heap::ModHeap;
+use mod_alloc::RecoveryReport;
+use mod_pmem::{CrashPolicy, PmPtr, Pmem};
+use std::sync::{Arc, Mutex};
+
+/// Pipeline counters (volatile, observability only).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// FASEs staged through [`SharedModHeap::fase`].
+    pub fases: u64,
+    /// Batches committed (each cost exactly one ordering point).
+    pub batches: u64,
+    /// FASEs carried by those batches (≤ `fases`: all-no-op batches
+    /// commit nothing and are free).
+    pub batched_fases: u64,
+    /// Largest batch committed so far.
+    pub max_batch: usize,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    heap: ModHeap,
+    workers: usize,
+    active: Vec<bool>,
+    /// Whether each worker has a FASE staged in the current batch.
+    staged: Vec<bool>,
+    /// Merged per-root staged heads of the current batch.
+    batch: Vec<PendingUpdate>,
+    /// Workers participating in the current batch (stagers, including
+    /// no-op FASEs: they synchronize on the batch fence too).
+    participants: Vec<usize>,
+    stats: PipelineStats,
+}
+
+impl SharedState {
+    /// Merges one FASE's staged updates into the batch: chains on the
+    /// existing per-root heads (which the FASE already saw through its
+    /// overlay), turning superseded heads into intra-batch intermediates.
+    fn merge(&mut self, pending: Vec<PendingUpdate>) {
+        for p in pending {
+            match self.batch.iter_mut().find(|e| e.index == p.index) {
+                Some(entry) => {
+                    debug_assert_eq!(entry.kind, p.kind, "batch kind drift");
+                    let old_head = crate::erased::ErasedDs {
+                        kind: entry.kind,
+                        root: entry.new,
+                    };
+                    entry.intermediates.push(old_head);
+                    entry.intermediates.extend(p.intermediates);
+                    entry.new = p.new;
+                }
+                None => self.batch.push(p),
+            }
+        }
+    }
+
+    /// Publishes the current batch with one ordering point, synchronizing
+    /// the participants' lanes on the shared fence. `leader`'s shard is
+    /// charged the commit work itself.
+    fn commit_batch(&mut self, leader: Option<usize>) {
+        let participants = std::mem::take(&mut self.participants);
+        self.staged.iter_mut().for_each(|s| *s = false);
+        let batch = std::mem::take(&mut self.batch);
+        if batch.is_empty() {
+            return; // all-no-op batch: no fence, no cost
+        }
+        let fases = participants.len();
+        let lead = leader.or_else(|| participants.last().copied()).unwrap_or(0);
+        // The fence is a shared event: it starts once the slowest
+        // participant has finished staging.
+        let pm = self.heap.nv_mut().pm_mut();
+        let t0 = participants
+            .iter()
+            .map(|&w| pm.lane_ns(w))
+            .fold(0.0, f64::max);
+        for &w in &participants {
+            pm.sync_lane_to(w, t0);
+        }
+        self.heap.nv_mut().set_active_shard(lead);
+        self.heap.commit_fase(batch);
+        // Everyone leaves the commit at the fence's completion time.
+        let pm = self.heap.nv_mut().pm_mut();
+        let t1 = pm.lane_ns(lead);
+        for &w in &participants {
+            pm.sync_lane_to(w, t1);
+        }
+        self.stats.batches += 1;
+        self.stats.batched_fases += fases as u64;
+        self.stats.max_batch = self.stats.max_batch.max(fases);
+    }
+
+    /// Whether the current batch's quorum is complete: someone staged,
+    /// and no still-active worker is missing. Vacuously complete when
+    /// the *last* active worker deregisters with FASEs staged — the
+    /// batch must commit then, or cleanly exiting workers would strand
+    /// their final (acknowledged) FASEs unfenced.
+    fn all_active_staged(&self) -> bool {
+        !self.participants.is_empty()
+            && (0..self.workers).all(|w| !self.active[w] || self.staged[w])
+    }
+}
+
+/// A thread-safe, sharded MOD heap with pipelined FASE commits (see the
+/// module docs). Cheap to clone; all clones share one heap.
+#[derive(Clone, Debug)]
+pub struct SharedModHeap {
+    inner: Arc<Mutex<SharedState>>,
+}
+
+// `SharedModHeap` must stay shareable across worker threads; this is the
+// crate's Send/Sync audit point for the whole `PmPtr`-holding tower
+// (Pmem → NvHeap → ModHeap).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<SharedModHeap>();
+    assert_send::<ModHeap>();
+    assert_send::<crate::erased::ErasedDs>();
+    // Typed handles cross thread boundaries by value in the workers.
+    assert_send_sync::<crate::Root<mod_funcds::PmMap>>();
+    assert_send_sync::<crate::DurableMap<String, Vec<u8>>>();
+    assert_send_sync::<crate::DurableSet<u64>>();
+    assert_send_sync::<crate::DurableVector<u64>>();
+    assert_send_sync::<crate::DurableStack<u64>>();
+    assert_send_sync::<crate::DurableQueue<u64>>();
+    assert_send_sync::<crate::sched::SeededRoundRobin>();
+};
+
+impl SharedModHeap {
+    /// Formats a fresh pool into a shared heap with one shard (arena +
+    /// simulated timeline) per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or the pool is too small to shard.
+    pub fn create(pm: Pmem, workers: usize) -> SharedModHeap {
+        SharedModHeap::from_heap(ModHeap::create(pm), workers)
+    }
+
+    /// Wraps an existing single-owner heap (e.g. one that just finished
+    /// recovery), sharding it for `workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`, the heap already has shards, or the
+    /// remaining pool space is too small to shard.
+    pub fn from_heap(mut heap: ModHeap, workers: usize) -> SharedModHeap {
+        heap.nv_mut().configure_shards(workers);
+        SharedModHeap {
+            inner: Arc::new(Mutex::new(SharedState {
+                heap,
+                workers,
+                active: vec![true; workers],
+                staged: vec![false; workers],
+                batch: Vec::new(),
+                participants: Vec::new(),
+                stats: PipelineStats::default(),
+            })),
+        }
+    }
+
+    /// Opens a (possibly crashed) pool, recovers it, and shards it for
+    /// `workers` worker threads.
+    pub fn open(pm: Pmem, workers: usize) -> (SharedModHeap, RecoveryReport) {
+        let (heap, report) = ModHeap::open(pm);
+        (SharedModHeap::from_heap(heap, workers), report)
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.inner.lock().unwrap().workers
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SharedState> {
+        self.inner.lock().unwrap()
+    }
+
+    /// Runs a FASE on behalf of `worker`, staging its updates into the
+    /// current batch. The closure sees earlier FASEs of the batch
+    /// (read-your-batch); the batch publishes — one `sfence`, one pointer
+    /// store — once every active worker has staged (or on
+    /// [`SharedModHeap::flush`]). If `worker` already has a FASE staged,
+    /// the pipeline stalls: the open batch commits first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or deregistered.
+    pub fn fase<R>(&self, worker: usize, f: impl FnOnce(&mut Fase<'_>) -> R) -> R {
+        let mut st = self.lock();
+        assert!(worker < st.workers, "worker {worker} out of range");
+        assert!(st.active[worker], "worker {worker} deregistered");
+        if st.staged[worker] {
+            // This worker outpaced the batch: drain it before re-staging.
+            st.commit_batch(Some(worker));
+        }
+        st.heap.nv_mut().set_active_shard(worker);
+        let overlay: Vec<(usize, PmPtr)> = st.batch.iter().map(|p| (p.index, p.new)).collect();
+        let (pending, out) = st.heap.stage_fase(overlay, f);
+        st.merge(pending);
+        st.staged[worker] = true;
+        st.participants.push(worker);
+        st.stats.fases += 1;
+        if st.all_active_staged() {
+            st.commit_batch(Some(worker));
+        }
+        out
+    }
+
+    /// Commits any partially filled batch now (one ordering point). Used
+    /// at the end of a run and by orderly shutdown.
+    pub fn flush(&self) {
+        self.lock().commit_batch(None);
+    }
+
+    /// Removes `worker` from the batch-completion quorum (its op stream
+    /// is exhausted). If the remaining active workers have all staged,
+    /// the batch commits — stragglers cannot stall the pipeline forever.
+    pub fn deregister(&self, worker: usize) {
+        let mut st = self.lock();
+        st.active[worker] = false;
+        if st.all_active_staged() {
+            st.commit_batch(None);
+        }
+    }
+
+    /// Single-threaded setup access to the underlying heap (publishing
+    /// roots, preloading). Must not run concurrently with worker FASEs —
+    /// the lock enforces exclusion, the assert catches misuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is (partially) staged.
+    pub fn setup<R>(&self, f: impl FnOnce(&mut ModHeap) -> R) -> R {
+        let mut st = self.lock();
+        assert!(
+            st.batch.is_empty() && st.participants.is_empty(),
+            "setup() with FASEs staged in the pipeline"
+        );
+        f(&mut st.heap)
+    }
+
+    /// Read-only access to the heap (lookups, stats).
+    pub fn with<R>(&self, f: impl FnOnce(&ModHeap) -> R) -> R {
+        f(&self.lock().heap)
+    }
+
+    /// Pipeline counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.lock().stats.clone()
+    }
+
+    /// Simulated wall-clock time: the slowest worker lane (lanes run in
+    /// parallel; fences synchronize them).
+    pub fn sim_wall_ns(&self) -> f64 {
+        self.with(|h| h.nv().pm().wall_ns())
+    }
+
+    /// Flushes the pipeline, then issues an extra fence so all deferred
+    /// reclamation completes (see [`ModHeap::quiesce`]).
+    pub fn quiesce(&self) {
+        let mut st = self.lock();
+        st.commit_batch(None);
+        st.heap.quiesce();
+    }
+
+    /// Takes a crash image of the pool *as is* — staged-but-uncommitted
+    /// FASEs are naturally lost, exactly like power failing mid-pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the pool was created with crash simulation.
+    pub fn crash_image(&self, policy: CrashPolicy) -> Pmem {
+        self.with(|h| h.nv().pm().crash_image(policy))
+    }
+
+    /// Unwraps the shared heap after all workers are done (flushes the
+    /// pipeline first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if other clones of this handle are still alive.
+    pub fn into_heap(self) -> ModHeap {
+        self.flush();
+        let state = Arc::try_unwrap(self.inner)
+            .expect("into_heap with live SharedModHeap clones")
+            .into_inner()
+            .unwrap();
+        state.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{DurableMap, DurableQueue};
+    use mod_pmem::PmemConfig;
+
+    fn shared(workers: usize) -> SharedModHeap {
+        SharedModHeap::create(Pmem::new(PmemConfig::testing()), workers)
+    }
+
+    #[test]
+    fn batch_of_n_fases_costs_one_fence() {
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let fences = sh.with(|h| h.nv().pm().stats().fences);
+        for w in 0..4 {
+            sh.fase(w, |tx| map.insert_in(tx, &(w as u64), &1));
+        }
+        let delta = sh.with(|h| h.nv().pm().stats().fences) - fences;
+        assert_eq!(delta, 1, "four FASEs, one pipelined ordering point");
+        let stats = sh.stats();
+        assert_eq!(stats.fases, 4);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_fases, 4);
+        assert_eq!(stats.max_batch, 4);
+        // All four updates took effect (batch FASEs serialize).
+        sh.with(|h| {
+            for w in 0..4u64 {
+                assert_eq!(map.get(h, &w), Some(1));
+            }
+        });
+    }
+
+    #[test]
+    fn batch_fases_serialize_on_one_root() {
+        // All workers increment the same key: read-your-batch must chain
+        // them, not lose updates.
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        sh.setup(|h| map.insert(h, &0, &0));
+        for _round in 0..3 {
+            for w in 0..4 {
+                sh.fase(w, |tx| {
+                    let cur = map.get_in(tx, &0).unwrap();
+                    map.insert_in(tx, &0, &(cur + 1));
+                });
+            }
+        }
+        sh.flush();
+        assert_eq!(sh.with(|h| map.get(h, &0)), Some(12), "no lost updates");
+    }
+
+    #[test]
+    fn fast_worker_stalls_pipeline_instead_of_overwriting() {
+        let sh = shared(2);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        // Worker 0 stages twice in a row; the second fase forces the
+        // half-full batch out first.
+        sh.fase(0, |tx| q.enqueue_in(tx, &1));
+        sh.fase(0, |tx| q.enqueue_in(tx, &2));
+        sh.fase(1, |tx| q.enqueue_in(tx, &3));
+        let stats = sh.stats();
+        assert_eq!(stats.fases, 3);
+        // The stall drained {enq 1} as its own batch; {enq 2, enq 3}
+        // completed the quorum and committed together.
+        assert_eq!(stats.batches, 2, "stall split the batches");
+        assert_eq!(stats.batched_fases, 3);
+        sh.with(|h| assert_eq!(q.len(h), 3));
+    }
+
+    #[test]
+    fn last_deregistering_worker_drains_the_pipeline() {
+        // Worker 0 stages and leaves; worker 1 leaves without staging.
+        // The moment no active worker remains, the staged batch must
+        // commit — otherwise cleanly exiting workers would strand their
+        // final (acknowledged) FASEs unfenced.
+        let sh = shared(2);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        sh.fase(0, |tx| q.enqueue_in(tx, &1));
+        sh.deregister(0);
+        assert_eq!(sh.stats().batches, 0, "worker 1 still owes a FASE");
+        sh.deregister(1);
+        assert_eq!(sh.stats().batches, 1, "last deregister drains");
+        sh.with(|h| assert_eq!(q.len(h), 1));
+    }
+
+    #[test]
+    fn deregister_unblocks_partial_batch() {
+        let sh = shared(3);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        sh.fase(0, |tx| q.enqueue_in(tx, &1));
+        sh.fase(1, |tx| q.enqueue_in(tx, &2));
+        // Worker 2 exits without staging: its deregistration completes
+        // the quorum and the batch commits.
+        sh.deregister(2);
+        assert_eq!(sh.stats().batches, 1);
+        sh.with(|h| assert_eq!(q.len(h), 2));
+    }
+
+    #[test]
+    fn all_noop_batch_is_free() {
+        let sh = shared(2);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        let fences = sh.with(|h| h.nv().pm().stats().fences);
+        for w in 0..2 {
+            sh.fase(w, |tx| {
+                assert!(q.dequeue_in(tx).is_none());
+            });
+        }
+        sh.flush();
+        let delta = sh.with(|h| h.nv().pm().stats().fences) - fences;
+        assert_eq!(delta, 0, "empty-queue dequeues commit nothing");
+        assert_eq!(sh.stats().batches, 0);
+    }
+
+    #[test]
+    fn batched_commit_is_durable_and_recoverable() {
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        for w in 0..4u64 {
+            sh.fase(w as usize, |tx| {
+                q.enqueue_in(tx, &w);
+                map.insert_in(tx, &w, &(w * 10));
+            });
+        }
+        sh.quiesce();
+        let img = sh.crash_image(CrashPolicy::OnlyFenced);
+        let (h2, _) = ModHeap::open(img);
+        let map = DurableMap::<u64, u64>::open(&h2, 0);
+        let q = DurableQueue::<u64>::open(&h2, 1);
+        for w in 0..4u64 {
+            assert_eq!(map.get(&h2, &w), Some(w * 10));
+        }
+        assert_eq!(q.len(&h2), 4);
+    }
+
+    #[test]
+    fn crash_before_batch_commit_loses_whole_suffix_atomically() {
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        // One full committed batch...
+        for w in 0..4u64 {
+            sh.fase(w as usize, |tx| {
+                q.enqueue_in(tx, &w);
+                map.insert_in(tx, &w, &w);
+            });
+        }
+        sh.quiesce();
+        // ...then a partial batch that never commits.
+        for w in 0..2u64 {
+            sh.fase(w as usize, |tx| {
+                q.enqueue_in(tx, &(100 + w));
+                map.insert_in(tx, &(100 + w), &w);
+            });
+        }
+        let img = sh.crash_image(CrashPolicy::PersistAll);
+        let (h2, _) = ModHeap::open(img);
+        let map = DurableMap::<u64, u64>::open(&h2, 0);
+        let q = DurableQueue::<u64>::open(&h2, 1);
+        assert_eq!(q.len(&h2), 4, "staged suffix gone");
+        for w in 0..2u64 {
+            assert!(map.get(&h2, &(100 + w)).is_none());
+        }
+        for w in 0..4u64 {
+            assert_eq!(map.get(&h2, &w), Some(w), "committed batch intact");
+        }
+    }
+
+    #[test]
+    fn lanes_overlap_in_simulated_time() {
+        // The same total work across 4 workers must finish in less
+        // simulated wall time than the serial sum of the lanes.
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        sh.setup(|h| h.nv_mut().pm_mut().reset_metrics());
+        for i in 0..40u64 {
+            sh.fase((i % 4) as usize, |tx| map.insert_in(tx, &i, &i));
+        }
+        sh.flush();
+        let wall = sh.sim_wall_ns();
+        let serial = sh.with(|h| h.nv().pm().clock().now_ns());
+        assert!(wall > 0.0);
+        assert!(
+            wall < 0.6 * serial,
+            "wall {wall:.0} ns should be well under serial {serial:.0} ns"
+        );
+    }
+
+    #[test]
+    fn shared_heap_is_actually_shareable_across_threads() {
+        let sh = shared(4);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let sh = sh.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    sh.fase(w, |tx| q.enqueue_in(tx, &(w as u64 * 100 + i)));
+                }
+                sh.deregister(w);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        sh.flush();
+        sh.with(|h| assert_eq!(q.len(h), 100));
+        // Unwrapping succeeds once the worker clones are gone.
+        let mut heap = sh.into_heap();
+        heap.quiesce();
+        assert_eq!(heap.pending_reclaims(), 0);
+    }
+}

@@ -47,3 +47,19 @@ pub use list::PmStack;
 pub use queue::PmQueue;
 pub use rrb::PmVector;
 pub use set::PmSet;
+
+// Send/Sync audit: version handles are plain `(PmPtr, …)` values — pool
+// offsets, no interior mutability, no thread affinity — so they must be
+// freely sendable/shareable for the concurrent front end (`mod-core`'s
+// `SharedModHeap`) and its multi-threaded drivers. A compile error here
+// means a handle type grew non-`Send` state (e.g. an `Rc` or a raw
+// pointer), which would silently forbid sharded use.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PmMap>();
+    assert_send_sync::<PmSet>();
+    assert_send_sync::<PmVector>();
+    assert_send_sync::<PmStack>();
+    assert_send_sync::<PmQueue>();
+    assert_send_sync::<HashKind>();
+};

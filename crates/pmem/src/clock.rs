@@ -127,6 +127,17 @@ impl SimClock {
         }
     }
 
+    /// Advances the clock so that [`SimClock::now_ns`] is at least `t`,
+    /// charging the gap (if any) to `cat`. Used to synchronize per-shard
+    /// lane clocks at shared events like a pipelined batch fence: a lane
+    /// that arrives early stalls until the event time.
+    pub fn sync_to_ns(&mut self, t: f64, cat: TimeCategory) {
+        let gap = t - self.now_ns();
+        if gap > 0.0 {
+            self.advance_as(cat, gap);
+        }
+    }
+
     /// Resets the clock to zero, keeping the tag stack.
     pub fn reset(&mut self) {
         self.breakdown = TimeBreakdown::default();

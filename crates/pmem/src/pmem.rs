@@ -114,6 +114,15 @@ impl CrashPolicy {
     }
 }
 
+/// Per-shard execution lane: its own simulated clock and activity
+/// counters, so concurrent workers accumulate time in parallel timelines
+/// while the global clock/stats keep counting total work.
+#[derive(Debug, Default)]
+struct ShardLane {
+    clock: SimClock,
+    stats: PmStats,
+}
+
 /// The simulated PM pool plus its cache hierarchy, clock and counters.
 #[derive(Debug)]
 pub struct Pmem {
@@ -126,6 +135,9 @@ pub struct Pmem {
     llc: CacheSim,
     clock: SimClock,
     stats: PmStats,
+    /// Per-shard lanes (empty unless [`Pmem::configure_shards`] ran).
+    lanes: Vec<ShardLane>,
+    active_shard: usize,
     trace: Vec<TraceEvent>,
 }
 
@@ -141,6 +153,8 @@ impl Pmem {
             llc: CacheSim::new(cfg.llc.clone()),
             clock: SimClock::new(),
             stats: PmStats::new(),
+            lanes: Vec::new(),
+            active_shard: 0,
             trace: Vec::new(),
             cfg,
         }
@@ -154,6 +168,127 @@ impl Pmem {
     /// Pool capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.cfg.capacity
+    }
+
+    // ------------------------------------------------------------------
+    // Shard lanes (concurrent timelines)
+    // ------------------------------------------------------------------
+
+    /// Configures `n` shard lanes: per-shard clocks and counters that let
+    /// a thread-per-shard front end account work in parallel simulated
+    /// timelines while the global clock keeps the serial total. Resets
+    /// any previous lane state; shard 0 becomes active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn configure_shards(&mut self, n: usize) {
+        assert!(n > 0, "need at least one shard");
+        self.lanes = (0..n).map(|_| ShardLane::default()).collect();
+        self.active_shard = 0;
+    }
+
+    /// Number of configured shard lanes (0 when unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Routes subsequent charges and counters to shard `s`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn set_active_shard(&mut self, s: usize) {
+        assert!(
+            s < self.lanes.len().max(1),
+            "shard {s} out of range ({} configured)",
+            self.lanes.len()
+        );
+        self.active_shard = s;
+    }
+
+    /// The shard currently receiving charges (0 when unsharded).
+    pub fn active_shard(&self) -> usize {
+        self.active_shard
+    }
+
+    /// Activity counters attributed to shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn shard_stats(&self, s: usize) -> &PmStats {
+        &self.lanes[s].stats
+    }
+
+    /// Simulated time accumulated on shard `s`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn lane_ns(&self, s: usize) -> f64 {
+        self.lanes[s].clock.now_ns()
+    }
+
+    /// Per-category time breakdown of shard `s`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn lane_breakdown(&self, s: usize) -> crate::clock::TimeBreakdown {
+        self.lanes[s].clock.breakdown()
+    }
+
+    /// Advances shard `s`'s lane to at least `t` simulated nanoseconds,
+    /// charging the stall (waiting on a shared event such as a pipelined
+    /// batch fence) as flush time. The global clock is untouched: waiting
+    /// is not work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    pub fn sync_lane_to(&mut self, s: usize, t: f64) {
+        self.lanes[s].clock.sync_to_ns(t, TimeCategory::Flush);
+    }
+
+    /// Simulated wall-clock time of the pool: the slowest shard lane when
+    /// sharded (lanes run in parallel), else the global clock.
+    pub fn wall_ns(&self) -> f64 {
+        if self.lanes.is_empty() {
+            self.clock.now_ns()
+        } else {
+            self.lanes
+                .iter()
+                .map(|l| l.clock.now_ns())
+                .fold(0.0, f64::max)
+        }
+    }
+
+    /// Rolls all shard-lane counters up into one total (equals the global
+    /// counters for activity that happened while lanes were configured).
+    pub fn rolled_up_shard_stats(&self) -> PmStats {
+        let mut total = PmStats::new();
+        for lane in &self.lanes {
+            total.merge(&lane.stats);
+        }
+        total
+    }
+
+    /// Advances the global clock and the active shard's lane together.
+    fn tick(&mut self, cat: TimeCategory, ns: f64) {
+        self.clock.advance_as(cat, ns);
+        if let Some(lane) = self.lanes.get_mut(self.active_shard) {
+            lane.clock.advance_as(cat, ns);
+        }
+    }
+
+    /// [`Pmem::tick`] attributed to the current tag.
+    fn tick_tagged(&mut self, ns: f64) {
+        self.tick(self.clock.current_tag(), ns);
+    }
+
+    fn lane_stats_mut(&mut self) -> Option<&mut PmStats> {
+        self.lanes.get_mut(self.active_shard).map(|l| &mut l.stats)
     }
 
     // ------------------------------------------------------------------
@@ -174,16 +309,19 @@ impl Pmem {
     fn charge_read_lines(&mut self, addr: u64, len: u64) {
         for l in lines_covering(addr, len) {
             let ns = self.access_cost(l, self.cfg.latency.l1_hit_ns);
-            self.clock.advance(ns);
+            self.tick_tagged(ns);
         }
         self.stats.reads += 1;
+        if let Some(s) = self.lane_stats_mut() {
+            s.reads += 1;
+        }
     }
 
     fn charge_write_lines(&mut self, addr: u64, len: u64) {
         for l in lines_covering(addr, len) {
             // Write-allocate: a miss performs a read-for-ownership fill.
             let ns = self.access_cost(l, self.cfg.latency.store_ns);
-            self.clock.advance(ns);
+            self.tick_tagged(ns);
             if self.lines.insert(l, LineState::Dirty) == Some(LineState::Inflight) {
                 // A store raced an in-flight writeback. The writeback is
                 // modelled as completing with the pre-store content (a
@@ -196,6 +334,10 @@ impl Pmem {
         }
         self.stats.writes += 1;
         self.stats.bytes_written += len;
+        if let Some(s) = self.lane_stats_mut() {
+            s.writes += 1;
+            s.bytes_written += len;
+        }
     }
 
     /// Reads `buf.len()` bytes at `addr` through the cache model.
@@ -297,12 +439,17 @@ impl Pmem {
     pub fn clwb(&mut self, addr: u64) {
         let line = line_of(addr);
         self.stats.flushes += 1;
-        self.clock
-            .advance_as(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
+        if let Some(s) = self.lane_stats_mut() {
+            s.flushes += 1;
+        }
+        self.tick(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
         if self.lines.get(&line) == Some(&LineState::Dirty) {
             self.lines.insert(line, LineState::Inflight);
             self.inflight += 1;
             self.stats.effective_flushes += 1;
+            if let Some(s) = self.lane_stats_mut() {
+                s.effective_flushes += 1;
+            }
         }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Clwb { line });
@@ -321,9 +468,13 @@ impl Pmem {
     pub fn sfence(&mut self) {
         let n = self.inflight;
         let stall = self.cfg.latency.fence_stall_ns(n);
-        self.clock.advance_as(TimeCategory::Flush, stall);
+        self.tick(TimeCategory::Flush, stall);
         self.stats.fences += 1;
         self.stats.epoch_hist.record(n as u32);
+        if let Some(s) = self.lane_stats_mut() {
+            s.fences += 1;
+            s.epoch_hist.record(n as u32);
+        }
         if n > 0 {
             let flushed: Vec<u64> = self
                 .lines
@@ -398,13 +549,13 @@ impl Pmem {
 
     /// Charges `ns` of compute time to the current tag.
     pub fn charge_ns(&mut self, ns: f64) {
-        self.clock.advance(ns);
+        self.tick_tagged(ns);
     }
 
     /// Charges one DRAM access (volatile-data work in workloads).
     pub fn charge_dram_access(&mut self) {
         let ns = self.cfg.latency.dram_miss_ns;
-        self.clock.advance(ns);
+        self.tick_tagged(ns);
     }
 
     /// Raw activity counters.
@@ -434,6 +585,10 @@ impl Pmem {
         self.clock.reset();
         self.cache.reset_stats();
         self.llc.reset_stats();
+        for lane in &mut self.lanes {
+            lane.clock.reset();
+            lane.stats = PmStats::new();
+        }
     }
 
     /// The recorded trace so far.
@@ -478,6 +633,8 @@ impl Pmem {
             llc: CacheSim::new(self.cfg.llc.clone()),
             clock: SimClock::new(),
             stats: PmStats::new(),
+            lanes: Vec::new(),
+            active_shard: 0,
             trace: Vec::new(),
             cfg: self.cfg.clone(),
         }
@@ -683,6 +840,85 @@ mod tests {
         assert_eq!(pm.stats().writes, 0);
         assert_eq!(pm.clock().now_ns(), 0.0);
         assert_eq!(pm.read_u64(0x100), 9);
+    }
+
+    #[test]
+    fn shard_lanes_accumulate_in_parallel() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.set_active_shard(0);
+        pm.write_u64(0x100, 1);
+        pm.set_active_shard(1);
+        pm.write_u64(0x4100, 2);
+        // Each lane saw one write; the global counters saw both.
+        assert_eq!(pm.shard_stats(0).writes, 1);
+        assert_eq!(pm.shard_stats(1).writes, 1);
+        assert_eq!(pm.stats().writes, 2);
+        let rolled = pm.rolled_up_shard_stats();
+        assert_eq!(rolled.writes, pm.stats().writes);
+        assert_eq!(rolled.bytes_written, pm.stats().bytes_written);
+        // Wall time is the slowest lane, not the serial sum.
+        assert!(pm.lane_ns(0) > 0.0);
+        assert!(pm.lane_ns(1) > 0.0);
+        assert!(pm.wall_ns() < pm.clock().now_ns());
+        assert!((pm.wall_ns() - pm.lane_ns(0).max(pm.lane_ns(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_lane_charges_stall_as_flush() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.set_active_shard(0);
+        pm.write_u64(0x100, 1);
+        let t0 = pm.lane_ns(0);
+        pm.sync_lane_to(1, t0 + 100.0);
+        assert!((pm.lane_ns(1) - (t0 + 100.0)).abs() < 1e-9);
+        assert!((pm.lane_breakdown(1).flush_ns - (t0 + 100.0)).abs() < 1e-9);
+        // Syncing backwards is a no-op.
+        pm.sync_lane_to(1, 0.0);
+        assert!((pm.lane_ns(1) - (t0 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsharded_pool_wall_is_global_clock() {
+        let mut pm = testing_pmem();
+        pm.write_u64(0x100, 1);
+        assert_eq!(pm.wall_ns(), pm.clock().now_ns());
+        assert_eq!(pm.shard_count(), 0);
+        assert_eq!(pm.active_shard(), 0);
+    }
+
+    #[test]
+    fn fence_counts_land_on_active_lane() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.set_active_shard(1);
+        pm.write_u64(0x100, 1);
+        pm.clwb(0x100);
+        pm.sfence();
+        assert_eq!(pm.shard_stats(1).fences, 1);
+        assert_eq!(pm.shard_stats(1).flushes, 1);
+        assert_eq!(pm.shard_stats(0).fences, 0);
+        assert_eq!(pm.stats().fences, 1);
+    }
+
+    #[test]
+    fn reset_metrics_clears_lanes() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.write_u64(0x100, 1);
+        pm.reset_metrics();
+        assert_eq!(pm.shard_stats(0).writes, 0);
+        assert_eq!(pm.lane_ns(0), 0.0);
+        assert_eq!(pm.shard_count(), 2, "configuration survives reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_shard_rejected() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.set_active_shard(2);
     }
 
     #[test]

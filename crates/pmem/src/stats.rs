@@ -89,6 +89,22 @@ impl PmStats {
         PmStats::default()
     }
 
+    /// Counter-wise sum `self + other` (histograms merged by epoch
+    /// count). Used to roll per-shard counters up into a pool total.
+    pub fn merge(&mut self, other: &PmStats) {
+        self.flushes += other.flushes;
+        self.effective_flushes += other.effective_flushes;
+        self.fences += other.fences;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_written += other.bytes_written;
+        for (flushes, occurrences) in other.epoch_hist.iter() {
+            for _ in 0..occurrences {
+                self.epoch_hist.record(flushes);
+            }
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (histogram omitted: the
     /// difference of histograms is rarely meaningful; it is left empty).
     pub fn since(&self, earlier: &PmStats) -> PmStats {

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod graph;
 pub mod memcached;
 pub mod micro;
@@ -27,6 +28,7 @@ pub mod report;
 pub mod spec;
 pub mod vacation;
 
+pub use concurrent::{run_pipelined, ConcurrencyConfig, ConcurrencyReport};
 pub use report::{OpProfile, RunReport};
 pub use spec::{ScaleConfig, System, Workload, WorkloadRng};
 

@@ -1,0 +1,136 @@
+//! Regression pin for the deprecated raw-slot Composition interface.
+//!
+//! `publish_root`, `commit_single`, `commit_siblings`, `commit_unrelated`
+//! and spec-based `recover`/`root_handle` survive one more release as
+//! `#[deprecated]` shims. This test pins their externally observable
+//! behavior — fence counts, slot contents, recovery roundtrips, and
+//! coexistence with the typed root directory — so the scheduled removal
+//! in a later PR can be verified to be a pure deletion: when these shims
+//! go, this file goes with them, and nothing else may change.
+
+#![allow(deprecated)]
+
+use mod_core::recovery::{parent_children, RootSpec};
+use mod_core::{recover, root_handle, try_root_handle, DurableDs, DurableMap, ModHeap, RootKind};
+use mod_funcds::{PmMap, PmQueue};
+use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+fn mh() -> ModHeap {
+    ModHeap::create(Pmem::new(PmemConfig::testing()))
+}
+
+#[test]
+fn publish_and_commit_single_still_cost_one_fence() {
+    let mut h = mh();
+    let m0 = PmMap::empty(h.nv_mut());
+    let fences = h.nv().pm().stats().fences;
+    h.publish_root(0, m0);
+    assert_eq!(h.nv().pm().stats().fences - fences, 1, "publish_root");
+    let m1 = m0.insert(h.nv_mut(), 1, b"one");
+    let fences = h.nv().pm().stats().fences;
+    h.commit_single(0, m0, &[], m1);
+    assert_eq!(h.nv().pm().stats().fences - fences, 1, "commit_single");
+    assert_eq!(h.read_root(0), m1.root());
+}
+
+#[test]
+fn commit_siblings_still_costs_one_fence() {
+    let mut h = mh();
+    let m = PmMap::empty(h.nv_mut());
+    let q = PmQueue::empty(h.nv_mut());
+    h.commit_siblings(
+        3,
+        mod_pmem::PmPtr::NULL,
+        &[m.erase(), q.erase()],
+        &[m.erase(), q.erase()],
+    );
+    let old_parent = h.read_root(3);
+    let m2 = m.insert(h.nv_mut(), 1, b"x");
+    let fences = h.nv().pm().stats().fences;
+    h.commit_siblings(3, old_parent, &[m2.erase(), q.erase()], &[m2.erase()]);
+    assert_eq!(h.nv().pm().stats().fences - fences, 1, "commit_siblings");
+}
+
+#[test]
+fn commit_unrelated_still_costs_three_fences_and_retires_its_log() {
+    let mut h = mh();
+    let a0 = PmMap::empty(h.nv_mut());
+    let b0 = PmQueue::empty(h.nv_mut());
+    h.publish_root(0, a0);
+    h.publish_root(1, b0);
+    let a1 = a0.insert(h.nv_mut(), 1, b"x");
+    let b1 = b0.enqueue(h.nv_mut(), 9);
+    let fences = h.nv().pm().stats().fences;
+    h.commit_unrelated(&[(0, a0.erase(), a1.erase()), (1, b0.erase(), b1.erase())]);
+    assert_eq!(
+        h.nv().pm().stats().fences - fences,
+        3,
+        "Fig 8d stays at three ordering points"
+    );
+    assert_eq!(h.read_root(0), a1.root());
+    assert_eq!(h.read_root(1), b1.root());
+}
+
+#[test]
+fn spec_based_recover_and_root_handles_roundtrip() {
+    let mut h = mh();
+    let m0 = PmMap::empty(h.nv_mut());
+    h.publish_root(0, m0);
+    let m1 = m0.insert(h.nv_mut(), 10, b"ten");
+    h.commit_single(0, m0, &[], m1);
+    h.quiesce();
+    let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+    let (mut h2, report) = recover(img, &[RootSpec::new(0, RootKind::Map)]);
+    assert!(report.live_blocks > 0);
+    let m: PmMap = root_handle(&mut h2, 0);
+    assert_eq!(m.get(h2.nv_mut(), 10), Some(b"ten".to_vec()));
+    assert!(try_root_handle::<PmMap>(&mut h2, 5).is_none());
+}
+
+#[test]
+fn parent_children_reads_sibling_parents_after_recovery() {
+    let mut h = mh();
+    let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"one");
+    let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 2);
+    h.commit_siblings(
+        7,
+        mod_pmem::PmPtr::NULL,
+        &[m.erase(), q.erase()],
+        &[m.erase(), q.erase()],
+    );
+    h.quiesce();
+    let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+    let (mut h2, _) = recover(img, &[RootSpec::new(7, RootKind::Parent)]);
+    let kids = parent_children(&mut h2, 7);
+    assert_eq!(kids.len(), 2);
+    assert_eq!(kids[0].kind, RootKind::Map);
+    assert_eq!(kids[1].kind, RootKind::Queue);
+    let m = PmMap::from_root(kids[0].root);
+    assert_eq!(m.get(h2.nv_mut(), 1), Some(b"one".to_vec()));
+}
+
+#[test]
+fn raw_slots_and_typed_directory_coexist_across_recovery() {
+    // A legacy app migrating piecemeal: one raw slot plus one typed
+    // root in the same pool must both survive spec-based recovery.
+    let mut h = mh();
+    let raw = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"raw");
+    h.publish_root(0, raw);
+    let typed: DurableMap<u64, String> = DurableMap::create(&mut h);
+    typed.insert(&mut h, &2, &"typed".to_string());
+    h.quiesce();
+    let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+    let (mut h2, _) = recover(img, &[RootSpec::new(0, RootKind::Map)]);
+    let raw2: PmMap = root_handle(&mut h2, 0);
+    assert_eq!(raw2.get(h2.nv_mut(), 1), Some(b"raw".to_vec()));
+    let typed2 = DurableMap::<u64, String>::open(&h2, 0);
+    assert_eq!(typed2.get(&h2, &2), Some("typed".to_string()));
+}
+
+#[test]
+#[should_panic(expected = "reserved for the typed root directory")]
+fn raw_slots_still_cannot_touch_the_directory_slot() {
+    let mut h = mh();
+    let m0 = PmMap::empty(h.nv_mut());
+    h.publish_root(mod_core::ROOT_DIR_SLOT, m0);
+}
