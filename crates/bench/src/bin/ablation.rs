@@ -92,10 +92,9 @@ fn main() {
     let optane = LatencyModel::optane();
     // A hypothetical device whose flushes serialize completely: fencing
     // n flushes costs n full flush latencies (f = 0 ⇒ no overlap win).
-    let no_overlap = LatencyModel {
-        amdahl_f: 0.0,
-        ..LatencyModel::optane()
-    };
+    // Re-derives the WPQ launch/drain split so the background-drain
+    // calendar serializes too, not just the analytical curve.
+    let no_overlap = LatencyModel::with_parallel_fraction(0.0);
 
     let mut t = TextTable::new(vec![
         "hardware",

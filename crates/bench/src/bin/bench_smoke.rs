@@ -1,0 +1,157 @@
+//! `bench_smoke` — the deterministic CI perf-regression gate.
+//!
+//! Runs a fixed, CI-sized slice of the evaluation — the four
+//! applications/microbenchmarks the PR pipeline tracks (map, memcached,
+//! vacation, bfs on MOD) plus the 1→8-thread pipelined `SharedModHeap`
+//! curve — and emits a flat JSON metric map (fences/FASE, sim-ns/op,
+//! overlap ratio, 8-thread speedup). Every metric is *simulated* time or
+//! a counter, so the output is bit-for-bit deterministic across
+//! machines; any drift is a real model/code change.
+//!
+//! ```text
+//! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
+//! ```
+//!
+//! * `--out` (default `BENCH_PR3.json`): where to write this run's
+//!   metrics (uploaded as a CI artifact).
+//! * `--check`: compare against `--baseline` (default
+//!   `bench/baseline.json`) and exit non-zero if any metric regresses by
+//!   more than `--tolerance` percent (default 10). Direction-aware:
+//!   ns/op and fences/op gate upward, overlap/speedup gate downward.
+//!
+//! To refresh the baseline after an intentional perf change:
+//! `cargo run --release -p mod-bench --bin bench_smoke -- --out bench/baseline.json`
+//! and commit the diff with a justification.
+
+use mod_bench::gate::{from_json, gate, to_json, Metrics};
+use mod_workloads::{
+    run_pipelined, run_workload, ConcurrencyConfig, ScaleConfig, System, Workload,
+};
+use std::process::ExitCode;
+
+fn collect_metrics() -> Metrics {
+    let mut m = Metrics::new();
+    let scale = ScaleConfig::testing();
+    for w in [
+        Workload::Map,
+        Workload::Memcached,
+        Workload::Vacation,
+        Workload::Bfs,
+    ] {
+        eprintln!("  bench_smoke: {w} on MOD ...");
+        let r = run_workload(w, System::Mod, &scale);
+        let key = w.name().replace('-', "_");
+        m.insert(format!("{key}.sim_ns_per_op"), r.ns_per_op());
+        m.insert(
+            format!("{key}.fences_per_op"),
+            r.fences as f64 / r.ops as f64,
+        );
+        m.insert(
+            format!("{key}.flushes_per_op"),
+            r.flushes as f64 / r.ops as f64,
+        );
+        m.insert(format!("{key}.overlap_ratio"), r.overlap_ratio());
+    }
+    eprintln!("  bench_smoke: pipelined SharedModHeap 1..8 threads ...");
+    let solo = run_pipelined(&ConcurrencyConfig::testing(1));
+    let eight = run_pipelined(&ConcurrencyConfig::testing(8));
+    m.insert(
+        "pipeline1.sim_ns_per_op".to_string(),
+        solo.sim_ns_per_fase(),
+    );
+    m.insert(
+        "pipeline1.fences_per_op".to_string(),
+        solo.fences_per_fase(),
+    );
+    m.insert("pipeline1.overlap_ratio".to_string(), solo.overlap_ratio());
+    m.insert(
+        "pipeline8.sim_ns_per_op".to_string(),
+        eight.sim_ns_per_fase(),
+    );
+    m.insert(
+        "pipeline8.fences_per_op".to_string(),
+        eight.fences_per_fase(),
+    );
+    m.insert("pipeline8.overlap_ratio".to_string(), eight.overlap_ratio());
+    m.insert(
+        "pipeline8.fases_speedup".to_string(),
+        eight.fases_per_sim_ms() / solo.fases_per_sim_ms(),
+    );
+    m
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut out = String::from("BENCH_PR3.json");
+    let mut baseline = String::from("bench/baseline.json");
+    let mut tolerance = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = args.next().expect("--baseline needs a path"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a percentage")
+                    .parse()
+                    .expect("--tolerance must be a number")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let metrics = collect_metrics();
+    let json = to_json(&metrics);
+    std::fs::write(&out, format!("{json}\n")).expect("write metrics file");
+    println!("wrote {} metrics to {out}", metrics.len());
+
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let base_raw = match std::fs::read_to_string(&baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline}: {e}");
+            eprintln!("(generate one with `bench_smoke --out {baseline}` and commit it)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = match from_json(&base_raw) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline {baseline}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = gate(&base, &metrics, tolerance / 100.0);
+    if findings.is_empty() {
+        println!(
+            "perf gate OK: {} metrics within {tolerance}% of {baseline}",
+            base.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "perf gate FAILED: {} metric(s) regressed more than {tolerance}% vs {baseline}:",
+        findings.len()
+    );
+    for f in &findings {
+        eprintln!(
+            "  {:<28} baseline {:>12.4}  current {:>12.4}  ({:+.1}% in the bad direction)",
+            f.key,
+            f.baseline,
+            f.current,
+            f.regression * 100.0
+        );
+    }
+    eprintln!("(if intentional, refresh bench/baseline.json — see README \"Latency model\")");
+    ExitCode::FAILURE
+}

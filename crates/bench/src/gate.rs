@@ -1,0 +1,265 @@
+//! The CI perf-regression gate behind `bench_smoke`.
+//!
+//! The gate works on a *flat* metric map — `"workload.metric" → f64` —
+//! serialized as a tiny, sorted, dependency-free JSON object. All gated
+//! metrics come from the deterministic simulation (fences/FASE,
+//! sim-ns/op, overlap ratio), never from host wall-clock time, so a run
+//! is bit-for-bit reproducible on any machine and a >10 % delta against
+//! the committed `bench/baseline.json` is a real model/code change, not
+//! noise.
+//!
+//! Direction matters: for most metrics lower is better (latency,
+//! fences), but for a few — overlap ratio, speedup — higher is better.
+//! [`higher_is_better`] encodes the rule by key suffix.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flat metric map, ordered by key for stable serialization.
+pub type Metrics = BTreeMap<String, f64>;
+
+/// Whether a larger value of `key` is an improvement (keys ending in
+/// `_ratio`, `_speedup` or `_per_ms`) rather than a regression.
+pub fn higher_is_better(key: &str) -> bool {
+    key.ends_with("_ratio") || key.ends_with("_speedup") || key.ends_with("_per_ms")
+}
+
+/// Serializes metrics as a pretty-printed flat JSON object with stable
+/// key order and full float precision.
+///
+/// # Panics
+///
+/// Panics on a non-finite value: `NaN`/`inf` are not JSON, and a metric
+/// that degenerated to one (e.g. a division by zero ops) must fail the
+/// run loudly rather than poison the artifact.
+pub fn to_json(metrics: &Metrics) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        assert!(v.is_finite(), "metric `{k}` is not a finite number: {v}");
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        // Shortest roundtrip-exact float formatting.
+        out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    out.push('}');
+    out
+}
+
+/// Parse error for the flat JSON metric format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid metrics JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the flat JSON object emitted by [`to_json`] (also tolerant of
+/// arbitrary whitespace). Only the flat `{"key": number, ...}` shape is
+/// supported — nested objects are a format error.
+pub fn from_json(s: &str) -> Result<Metrics, ParseError> {
+    let body = s.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| ParseError("expected one top-level object".into()))?;
+    let mut out = Metrics::new();
+    for entry in split_top_level(body) {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (k, v) = entry
+            .split_once(':')
+            .ok_or_else(|| ParseError(format!("missing ':' in `{entry}`")))?;
+        let k = k.trim();
+        let k = k
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| ParseError(format!("unquoted key `{k}`")))?;
+        let v: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| ParseError(format!("non-numeric value for `{k}`: `{}`", v.trim())))?;
+        if out.insert(k.to_string(), v).is_some() {
+            return Err(ParseError(format!("duplicate key `{k}`")));
+        }
+    }
+    Ok(out)
+}
+
+/// Splits on commas (the format has no nested structure or quoted
+/// commas: keys are dotted identifiers, values plain numbers).
+fn split_top_level(body: &str) -> impl Iterator<Item = &str> {
+    body.split(',')
+}
+
+/// One metric's gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Metric key.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in the *bad* direction (0 if improved).
+    pub regression: f64,
+}
+
+/// Compares `current` against `baseline` with relative tolerance `tol`
+/// (0.10 = fail on >10 % regression). Returns the failing findings,
+/// worst first. A key present in the baseline but missing from the
+/// current run is a failure (a metric silently disappeared); new keys in
+/// `current` are allowed (they gate once the baseline is refreshed).
+pub fn gate(baseline: &Metrics, current: &Metrics, tol: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (key, &base) in baseline {
+        let Some(&cur) = current.get(key) else {
+            findings.push(Finding {
+                key: key.clone(),
+                baseline: base,
+                current: f64::NAN,
+                regression: f64::INFINITY,
+            });
+            continue;
+        };
+        let regression = regression_of(key, base, cur);
+        if regression > tol {
+            findings.push(Finding {
+                key: key.clone(),
+                baseline: base,
+                current: cur,
+                regression,
+            });
+        }
+    }
+    findings.sort_by(|a, b| b.regression.total_cmp(&a.regression));
+    findings
+}
+
+/// Relative change of `cur` vs `base` in the bad direction for `key`
+/// (0 when equal or improved). A zero baseline gates only appearances
+/// of bad non-zero values; a non-finite current value (a metric that
+/// degenerated to NaN/inf) is an unconditional failure — NaN must never
+/// slip through a `>` comparison as "within tolerance".
+fn regression_of(key: &str, base: f64, cur: f64) -> f64 {
+    if !cur.is_finite() {
+        return f64::INFINITY;
+    }
+    let worse = if higher_is_better(key) {
+        base - cur
+    } else {
+        cur - base
+    };
+    if worse <= 0.0 {
+        return 0.0;
+    }
+    if base.abs() < f64::EPSILON {
+        return f64::INFINITY;
+    }
+    worse / base.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, f64)]) -> Metrics {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let metrics = m(&[
+            ("map.sim_ns_per_op", 1234.5678901234567),
+            ("map.fences_per_op", 1.0),
+            ("pipeline8.overlap_ratio", 0.34256789),
+        ]);
+        let parsed = from_json(&to_json(&metrics)).unwrap();
+        assert_eq!(parsed, metrics);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"a\": }").is_err());
+        assert!(from_json("{\"a\": \"str\"}").is_err());
+        assert!(from_json("{a: 1}").is_err());
+        assert!(from_json("{\"a\": 1, \"a\": 2}").is_err());
+        assert_eq!(from_json("{}").unwrap(), Metrics::new());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = m(&[("x.sim_ns_per_op", 100.0)]);
+        let cur = m(&[("x.sim_ns_per_op", 109.0)]);
+        assert!(gate(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_lower_is_better_regression() {
+        let base = m(&[("x.sim_ns_per_op", 100.0)]);
+        let cur = m(&[("x.sim_ns_per_op", 112.0)]);
+        let f = gate(&base, &cur, 0.10);
+        assert_eq!(f.len(), 1);
+        assert!((f[0].regression - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_fails_higher_is_better_drop() {
+        let base = m(&[("p.overlap_ratio", 0.40), ("p.fases_speedup", 2.5)]);
+        let cur = m(&[("p.overlap_ratio", 0.30), ("p.fases_speedup", 2.6)]);
+        let f = gate(&base, &cur, 0.10);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].key, "p.overlap_ratio");
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = m(&[("x.sim_ns_per_op", 100.0), ("p.overlap_ratio", 0.3)]);
+        let cur = m(&[("x.sim_ns_per_op", 50.0), ("p.overlap_ratio", 0.9)]);
+        assert!(gate(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_fails_hard() {
+        let base = m(&[("x.sim_ns_per_op", 100.0)]);
+        let f = gate(&base, &Metrics::new(), 0.10);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].regression.is_infinite());
+    }
+
+    #[test]
+    fn new_metrics_are_allowed() {
+        let base = Metrics::new();
+        let cur = m(&[("fresh.sim_ns_per_op", 5.0)]);
+        assert!(gate(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn nan_current_fails_unconditionally() {
+        let base = m(&[("x.sim_ns_per_op", 100.0), ("p.overlap_ratio", 0.5)]);
+        let cur = m(&[("x.sim_ns_per_op", f64::NAN), ("p.overlap_ratio", 0.5)]);
+        let f = gate(&base, &cur, 0.10);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].key, "x.sim_ns_per_op");
+        assert!(f[0].regression.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite number")]
+    fn to_json_rejects_nan() {
+        to_json(&m(&[("x.sim_ns_per_op", f64::NAN)]));
+    }
+
+    #[test]
+    fn worst_regression_sorts_first() {
+        let base = m(&[("a.sim_ns_per_op", 100.0), ("b.sim_ns_per_op", 100.0)]);
+        let cur = m(&[("a.sim_ns_per_op", 120.0), ("b.sim_ns_per_op", 150.0)]);
+        let f = gate(&base, &cur, 0.10);
+        assert_eq!(f[0].key, "b.sim_ns_per_op");
+    }
+}

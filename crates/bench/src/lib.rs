@@ -19,6 +19,7 @@
 
 use mod_workloads::{RunReport, ScaleConfig, System, Workload};
 
+pub mod gate;
 pub mod harness;
 
 /// A simple fixed-width text table.

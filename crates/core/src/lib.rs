@@ -56,8 +56,9 @@
 //! ```
 //!
 //! The pre-0.2 raw-slot entry points (`publish_root`, `commit_single`,
-//! `commit_siblings`, `commit_unrelated`, spec-based `recover`) remain as
-//! deprecated shims for one release.
+//! `commit_siblings`, `commit_unrelated`, spec-based `recover`,
+//! `root_handle`) were removed in 0.3 after one deprecation release; the
+//! typed API above covers every use (see the README migration table).
 
 #![warn(missing_docs)]
 
@@ -77,8 +78,6 @@ pub use codec::{PmKey, PmValue, PmWord};
 pub use erased::{DurableDs, ErasedDs, RootKind};
 pub use fase::Fase;
 pub use heap::{ModHeap, ULOG_CAP};
-#[allow(deprecated)]
-pub use recovery::{recover, root_handle, try_root_handle, RootSpec};
 pub use root::{Root, ROOT_DIR_SLOT};
 pub use sched::{SeededRoundRobin, Turn};
 pub use shared::{PipelineStats, SharedModHeap};

@@ -2,43 +2,39 @@
 //!
 //! Opening a pool after a crash performs, in order:
 //!
-//! 1. **Unrelated-commit redo** — if the short transaction of Fig 8d had
-//!    reached its commit point (log state = committed), its slot stores
-//!    are re-applied idempotently and the log retired.
-//! 2. **Reachability GC** — every datastructure named in the caller's
-//!    root directory is walked from its slot, marking live blocks and
+//! 1. **Unrelated-commit redo** — if the short redo-logged transaction of
+//!    Fig 8d (written by pre-0.3 binaries; the typed FASE path never
+//!    needs it) had reached its commit point (log state = committed), its
+//!    slot stores are re-applied idempotently and the log retired.
+//! 2. **Reachability GC** — every datastructure named in the typed root
+//!    directory is walked from its entry, marking live blocks and
 //!    counting references (rebuilding the volatile refcounts the paper
 //!    deliberately never flushes). Everything unmarked — including shadow
 //!    nodes leaked by a FASE the crash interrupted — becomes free space.
 //!
 //! GC time is charged to the simulated clock: the paper includes recovery
 //! garbage collection in its measured results.
+//!
+//! The spec-based entry points (`recover` with `RootSpec` lists,
+//! `root_handle`, `parent_children`) were removed in 0.3: the root
+//! directory is self-describing, so [`ModHeap::open`] +
+//! [`ModHeap::open_root`] replace them with kind-checked equivalents.
+//! Consequently only directory-reachable structures survive GC:
+//! raw-slot structures from a pre-0.3 pool must be republished through
+//! the typed API (using a 0.2 binary) *before* upgrading, or recovery
+//! sweeps them as garbage. The Fig 8d log redo is kept so a pool that
+//! crashed mid-`commit_unrelated` at least replays its slot stores
+//! deterministically.
 
 use crate::erased::{ErasedDs, RootKind};
 use crate::heap::{ModHeap, ULOG_COMMITTED, ULOG_COUNT, ULOG_ENTRIES, ULOG_STATE};
 use mod_alloc::{NvHeap, RecoveryReport};
-use mod_pmem::{PmPtr, Pmem};
-
-/// A root directory entry: which datastructure type lives in which slot.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct RootSpec {
-    /// Root slot index.
-    pub slot: usize,
-    /// Type of the structure the slot points at.
-    pub kind: RootKind,
-}
-
-impl RootSpec {
-    /// Convenience constructor.
-    pub fn new(slot: usize, kind: RootKind) -> RootSpec {
-        RootSpec { slot, kind }
-    }
-}
+use mod_pmem::Pmem;
 
 impl ModHeap {
     /// Opens a (possibly crashed) pool and recovers it: redoes any
-    /// committed unrelated-commit log, walks every typed root reachable
-    /// from the root directory (whose entries carry their own
+    /// committed legacy unrelated-commit log, walks every typed root
+    /// reachable from the root directory (whose entries carry their own
     /// [`RootKind`] — no caller-supplied specs needed), rebuilds the
     /// volatile refcounts, and sweeps everything unreachable (including
     /// shadows leaked by an interrupted FASE) back into free space.
@@ -51,55 +47,21 @@ impl ModHeap {
     /// Panics if the pool is not a formatted MOD pool or its live blocks
     /// fail integrity checks.
     pub fn open(pm: Pmem) -> (ModHeap, RecoveryReport) {
-        recover_impl(pm, &[])
-    }
-}
-
-/// Recovers a MOD heap from a (possibly crashed) pool, marking the given
-/// raw root slots in addition to the typed root directory.
-///
-/// `roots` declares the application's raw-slot datastructures. Null slots
-/// are skipped, so passing the full directory of an app that crashed
-/// before creating some structures is fine.
-///
-/// # Panics
-///
-/// Panics if the pool is not a formatted MOD pool or its live blocks fail
-/// integrity checks.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ModHeap::open` — the typed root directory is self-describing"
-)]
-pub fn recover(pm: Pmem, roots: &[RootSpec]) -> (ModHeap, RecoveryReport) {
-    recover_impl(pm, roots)
-}
-
-fn recover_impl(pm: Pmem, roots: &[RootSpec]) -> (ModHeap, RecoveryReport) {
-    let mut nv = NvHeap::open(pm);
-    redo_unrelated_log(&mut nv);
-    // The typed root directory is self-describing: marking its parent
-    // object cascades to every typed root.
-    let dir = nv.read_root(crate::root::ROOT_DIR_SLOT);
-    if !dir.is_null() {
-        ErasedDs {
-            kind: RootKind::Parent,
-            root: dir,
+        let mut nv = NvHeap::open(pm);
+        redo_unrelated_log(&mut nv);
+        // The typed root directory is self-describing: marking its parent
+        // object cascades to every typed root.
+        let dir = nv.read_root(crate::root::ROOT_DIR_SLOT);
+        if !dir.is_null() {
+            ErasedDs {
+                kind: RootKind::Parent,
+                root: dir,
+            }
+            .mark(&mut nv);
         }
-        .mark(&mut nv);
+        let report = nv.finish_recovery();
+        (ModHeap::from_parts(nv), report)
     }
-    for spec in roots {
-        let root = nv.read_root(spec.slot);
-        if root.is_null() {
-            continue;
-        }
-        ErasedDs {
-            kind: spec.kind,
-            root,
-        }
-        .mark(&mut nv);
-    }
-    let report = nv.finish_recovery();
-    (ModHeap::from_parts(nv), report)
 }
 
 fn redo_unrelated_log(nv: &mut NvHeap) {
@@ -125,56 +87,11 @@ fn redo_unrelated_log(nv: &mut NvHeap) {
     pm.end_commit();
 }
 
-/// Reads a typed handle back out of a recovered slot.
-///
-/// # Panics
-///
-/// Panics if the slot is null — the structure was never published, which
-/// callers should handle by creating it afresh.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ModHeap::open_root`, which checks the stored kind"
-)]
-pub fn root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> D {
-    let root = heap.read_root(slot);
-    assert!(
-        !root.is_null(),
-        "slot {slot} is empty; create the structure"
-    );
-    D::from_root_ptr(root)
-}
-
-/// Reads a typed handle if the slot is non-null.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ModHeap::try_open_root`, which checks the stored kind"
-)]
-pub fn try_root_handle<D: crate::erased::DurableDs>(heap: &mut ModHeap, slot: usize) -> Option<D> {
-    let root = heap.read_root(slot);
-    (!root.is_null()).then(|| D::from_root_ptr(root))
-}
-
-/// Looks up a parent object's children after recovery (CommitSiblings
-/// pattern): returns the erased child handles in parent order.
-#[deprecated(
-    since = "0.2.0",
-    note = "typed roots are directory entries; use `ModHeap::open_root` per structure"
-)]
-pub fn parent_children(heap: &mut ModHeap, slot: usize) -> Vec<ErasedDs> {
-    let parent = heap.read_root(slot);
-    assert!(!parent.is_null(), "slot {slot} holds no parent object");
-    crate::parent::children_of(heap.nv_mut(), parent)
-}
-
-/// The null pointer, re-exported for root-directory code readability.
-pub const NULL_ROOT: PmPtr = PmPtr::NULL;
-
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated raw-slot recovery path
 mod tests {
     use super::*;
-    use crate::erased::DurableDs;
-    use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
+    use crate::Root;
+    use mod_funcds::{PmMap, PmQueue, PmSet, PmStack, PmVector};
     use mod_pmem::{CrashPolicy, PmemConfig};
 
     fn mh() -> ModHeap {
@@ -189,34 +106,39 @@ mod tests {
     fn recover_committed_map() {
         let mut h = mh();
         let m0 = PmMap::empty(h.nv_mut());
-        h.publish_root(0, m0);
-        let m1 = m0.insert(h.nv_mut(), 10, b"ten");
-        h.commit_single(0, m0, &[], m1);
-        h.quiesce(); // slot store durable
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 10, b"ten")));
+        h.quiesce(); // directory-entry store durable
         let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, report) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
+        let (h2, report) = ModHeap::open(pm);
         assert!(report.live_blocks > 0);
-        let m: PmMap = root_handle(&mut h2, 0);
-        assert_eq!(m.get(h2.nv_mut(), 10), Some(b"ten".to_vec()));
-        assert_eq!(m.len(h2.nv_mut()), 1);
+        let map: Root<PmMap> = h2.open_root(0);
+        let cur = h2.current(map);
+        assert_eq!(cur.peek_get(h2.nv(), 10), Some(b"ten".to_vec()));
+        assert_eq!(cur.peek_len(h2.nv()), 1);
     }
 
     #[test]
     fn crash_mid_fase_recovers_old_version_and_reclaims_shadow() {
         let mut h = mh();
         let m0 = PmMap::empty(h.nv_mut());
-        h.publish_root(0, m0);
-        let m1 = m0.insert(h.nv_mut(), 1, b"committed");
-        h.commit_single(0, m0, &[], m1);
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"committed")));
         h.quiesce();
         let live_at_commit = h.nv().stats().live_bytes;
         // FASE interrupted: shadow built and flushed, commit never runs.
-        let _shadow = m1.insert(h.nv_mut(), 2, b"lost");
+        let cur = h.current(map);
+        let _shadow = cur.insert(h.nv_mut(), 2, b"lost");
         let pm = crash(h, CrashPolicy::PersistAll); // even fully persisted
-        let (mut h2, report) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
-        let m: PmMap = root_handle(&mut h2, 0);
-        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"committed".to_vec()));
-        assert_eq!(m.get(h2.nv_mut(), 2), None, "uncommitted update invisible");
+        let (h2, report) = ModHeap::open(pm);
+        let map: Root<PmMap> = h2.open_root(0);
+        let cur = h2.current(map);
+        assert_eq!(cur.peek_get(h2.nv(), 1), Some(b"committed".to_vec()));
+        assert_eq!(
+            cur.peek_get(h2.nv(), 2),
+            None,
+            "uncommitted update invisible"
+        );
         // The shadow's blocks were leaked by the crash and swept by GC.
         assert_eq!(report.live_bytes, live_at_commit);
     }
@@ -227,44 +149,41 @@ mod tests {
         // the committed version only.
         let mut h = mh();
         let m0 = PmMap::empty(h.nv_mut());
-        h.publish_root(0, m0);
-        let mut cur = m0;
+        let map = h.publish(m0);
         for i in 0..10u64 {
-            let next = cur.insert(h.nv_mut(), i, &i.to_le_bytes());
-            h.commit_single(0, cur, &[], next);
-            cur = next;
+            h.fase(|tx| tx.update(map, move |nv, m| m.insert(nv, i, &i.to_le_bytes())));
         }
         h.quiesce();
+        let cur = h.current(map);
         let _shadow = cur.insert(h.nv_mut(), 99, b"inflight");
         for seed in 0..20u64 {
             let pm = h.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-            let (mut h2, _) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
-            let m: PmMap = root_handle(&mut h2, 0);
-            assert_eq!(m.len(h2.nv_mut()), 10, "seed {seed}");
+            let (h2, _) = ModHeap::open(pm);
+            let map: Root<PmMap> = h2.open_root(0);
+            let cur = h2.current(map);
+            assert_eq!(cur.peek_len(h2.nv()), 10, "seed {seed}");
             for i in 0..10u64 {
                 assert_eq!(
-                    m.get(h2.nv_mut(), i),
+                    cur.peek_get(h2.nv(), i),
                     Some(i.to_le_bytes().to_vec()),
                     "seed {seed} key {i}"
                 );
             }
-            assert!(!m.contains_key(h2.nv_mut(), 99));
+            assert_eq!(cur.peek_get(h2.nv(), 99), None);
         }
     }
 
     #[test]
     fn unrelated_log_redo_applies_after_commit_point() {
+        // A pool written by a pre-0.3 binary that crashed between the
+        // Fig 8d commit point and its slot stores: the log must be
+        // redone. The log is written here exactly as the removed
+        // commit_unrelated did.
         let mut h = mh();
-        let a0 = PmMap::empty(h.nv_mut());
-        let b0 = PmStack::empty(h.nv_mut());
-        h.publish_root(0, a0);
-        h.publish_root(1, b0);
-        h.quiesce();
-        let a1 = a0.insert(h.nv_mut(), 1, b"x");
-        let b1 = b0.push(h.nv_mut(), 7);
-        // Simulate the commit reaching its commit point but crashing
-        // before the slot stores: write the log exactly as
-        // commit_unrelated does, fence, set committed, fence, crash.
+        let a1 = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"x");
+        let b1 = PmStack::empty(h.nv_mut()).push(h.nv_mut(), 7);
+        // Raw-slot roots (slots 0 and 1 are outside the typed directory).
+        use crate::erased::DurableDs;
         {
             let pm = h.nv_mut().pm_mut();
             pm.begin_commit();
@@ -281,27 +200,29 @@ mod tests {
             pm.end_commit();
         }
         let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(
-            pm,
-            &[
-                RootSpec::new(0, RootKind::Map),
-                RootSpec::new(1, RootKind::Stack),
-            ],
+        // Redo happens inside open(); the typed directory is empty, so
+        // GC would sweep the raw-slot structures — inspect the redo
+        // before GC by reading the slots straight off the redone pool.
+        let mut nv = NvHeap::open(pm);
+        super::redo_unrelated_log(&mut nv);
+        assert_eq!(
+            nv.read_root(0).addr(),
+            a1.root_ptr().addr(),
+            "redo applied to slot 0"
         );
-        let a: PmMap = root_handle(&mut h2, 0);
-        let b: PmStack = root_handle(&mut h2, 1);
-        assert_eq!(a.get(h2.nv_mut(), 1), Some(b"x".to_vec()), "redo applied");
-        assert_eq!(b.peek(h2.nv_mut()), Some(7), "redo applied to stack too");
-        assert_eq!(h2.nv_mut().pm_mut().read_u64(ULOG_STATE), 0, "log retired");
+        assert_eq!(
+            nv.read_root(1).addr(),
+            b1.root_ptr().addr(),
+            "redo applied to slot 1"
+        );
+        assert_eq!(nv.pm_mut().read_u64(ULOG_STATE), 0, "log retired");
     }
 
     #[test]
     fn unrelated_log_ignored_before_commit_point() {
         let mut h = mh();
-        let a0 = PmMap::empty(h.nv_mut());
-        h.publish_root(0, a0);
-        h.quiesce();
-        let a1 = a0.insert(h.nv_mut(), 5, b"new");
+        let a1 = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 5, b"new");
+        use crate::erased::DurableDs;
         // Log written and fenced, but state flag never set.
         {
             let pm = h.nv_mut().pm_mut();
@@ -314,9 +235,11 @@ mod tests {
             pm.end_commit();
         }
         let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(pm, &[RootSpec::new(0, RootKind::Map)]);
-        let a: PmMap = root_handle(&mut h2, 0);
-        assert!(!a.contains_key(h2.nv_mut(), 5), "uncommitted tx discarded");
+        let (h2, _) = ModHeap::open(pm);
+        assert!(
+            h2.nv().peek_root(0).is_null(),
+            "uncommitted legacy tx discarded"
+        );
     }
 
     #[test]
@@ -324,75 +247,39 @@ mod tests {
         let mut h = mh();
         let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"m");
         let s = {
-            let s0 = mod_funcds::PmSet::empty(h.nv_mut());
+            let s0 = PmSet::empty(h.nv_mut());
             s0.insert(h.nv_mut(), 2).0
         };
         let v = PmVector::from_slice(h.nv_mut(), &[10, 20, 30]);
         let st = PmStack::empty(h.nv_mut()).push(h.nv_mut(), 4);
         let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 5);
-        h.publish_root(0, m);
-        h.publish_root(1, s);
-        h.publish_root(2, v);
-        h.publish_root(3, st);
-        h.publish_root(4, q);
+        h.publish(m);
+        h.publish(s);
+        h.publish(v);
+        h.publish(st);
+        h.publish(q);
         h.quiesce();
         let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(
-            pm,
-            &[
-                RootSpec::new(0, RootKind::Map),
-                RootSpec::new(1, RootKind::Set),
-                RootSpec::new(2, RootKind::Vector),
-                RootSpec::new(3, RootKind::Stack),
-                RootSpec::new(4, RootKind::Queue),
-            ],
-        );
-        let m: PmMap = root_handle(&mut h2, 0);
-        let s: mod_funcds::PmSet = root_handle(&mut h2, 1);
-        let v: PmVector = root_handle(&mut h2, 2);
-        let st: PmStack = root_handle(&mut h2, 3);
-        let q: PmQueue = root_handle(&mut h2, 4);
-        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"m".to_vec()));
-        assert!(s.contains(h2.nv_mut(), 2));
-        assert_eq!(v.to_vec(h2.nv_mut()), vec![10, 20, 30]);
-        assert_eq!(st.peek(h2.nv_mut()), Some(4));
-        assert_eq!(q.peek(h2.nv_mut()), Some(5));
+        let (h2, _) = ModHeap::open(pm);
+        let m: Root<PmMap> = h2.open_root(0);
+        let s: Root<PmSet> = h2.open_root(1);
+        let v: Root<PmVector> = h2.open_root(2);
+        let st: Root<PmStack> = h2.open_root(3);
+        let q: Root<PmQueue> = h2.open_root(4);
+        assert_eq!(h2.current(m).peek_get(h2.nv(), 1), Some(b"m".to_vec()));
+        assert!(h2.current(s).peek_contains(h2.nv(), 2));
+        assert_eq!(h2.current(v).peek_to_vec(h2.nv()), vec![10, 20, 30]);
+        assert_eq!(h2.current(st).peek_top(h2.nv()), Some(4));
+        assert_eq!(h2.current(q).peek_front(h2.nv()), Some(5));
     }
 
     #[test]
-    fn recover_parent_slot() {
-        let mut h = mh();
-        let m = PmMap::empty(h.nv_mut()).insert(h.nv_mut(), 1, b"one");
-        let q = PmQueue::empty(h.nv_mut()).enqueue(h.nv_mut(), 2);
-        h.commit_siblings(
-            7,
-            NULL_ROOT,
-            &[m.erase(), q.erase()],
-            &[m.erase(), q.erase()],
-        );
-        h.quiesce();
-        let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, _) = recover(pm, &[RootSpec::new(7, RootKind::Parent)]);
-        let kids = parent_children(&mut h2, 7);
-        assert_eq!(kids.len(), 2);
-        let m = PmMap::from_root(kids[0].root);
-        let q = PmQueue::from_root(kids[1].root);
-        assert_eq!(m.get(h2.nv_mut(), 1), Some(b"one".to_vec()));
-        assert_eq!(q.peek(h2.nv_mut()), Some(2));
-    }
-
-    #[test]
-    fn empty_slots_are_skipped() {
+    fn empty_pool_recovers_empty() {
         let h = mh();
         let pm = crash(h, CrashPolicy::OnlyFenced);
-        let (mut h2, report) = recover(
-            pm,
-            &[
-                RootSpec::new(0, RootKind::Map),
-                RootSpec::new(1, RootKind::Queue),
-            ],
-        );
+        let (h2, report) = ModHeap::open(pm);
         assert_eq!(report.live_blocks, 0);
-        assert!(try_root_handle::<PmMap>(&mut h2, 0).is_none());
+        assert_eq!(h2.root_count(), 0);
+        assert!(h2.try_open_root::<PmMap>(0).is_none());
     }
 }

@@ -29,7 +29,8 @@ use std::fmt;
 use std::marker::PhantomData;
 
 /// The root slot that holds the root directory parent object. Raw-slot
-/// code (the deprecated Composition interface) must not use this slot.
+/// code (e.g. legacy pools from pre-0.3 binaries) must not use this
+/// slot.
 pub const ROOT_DIR_SLOT: usize = mod_alloc::N_ROOTS - 1;
 
 /// A typed handle to a persistent datastructure root: an index into the

@@ -12,6 +12,13 @@
 //! publishes with **one `sfence` + one atomic pointer store** — the same
 //! single ordering point a lone FASE costs, now amortized over `N` FASEs.
 //!
+//! Since the overlapped-drain latency model, the amortization is double:
+//! every `clwb` a worker issues while *staging* starts draining on the
+//! shared WPQ immediately, so by the time the batch fence runs, much of
+//! the drain backlog has already been hidden under the other workers'
+//! staging compute and the fence pays only the residual
+//! ([`SharedModHeap::overlap_ratio`] reports how much was hidden).
+//!
 //! ## Sharding
 //!
 //! Each worker owns a *shard*: a private allocation arena + free lists in
@@ -299,6 +306,22 @@ impl SharedModHeap {
         self.with(|h| h.nv().pm().wall_ns())
     }
 
+    /// All worker lanes' PM counters rolled up into one total (the
+    /// per-lane overlap/residual accounting included).
+    pub fn lane_stats(&self) -> mod_pmem::PmStats {
+        self.with(|h| h.nv().pm().rolled_up_shard_stats())
+    }
+
+    /// Fraction of the workers' WPQ drain workload hidden under staging
+    /// compute instead of stalled on at batch fences
+    /// ([`mod_pmem::PmStats::overlap_ratio`] over the rolled-up lanes).
+    /// This is the number that shows group commits genuinely amortize:
+    /// 0 means every batch fence paid the full serialized drain, values
+    /// toward 1 mean the pipelined staging hid it.
+    pub fn overlap_ratio(&self) -> f64 {
+        self.lane_stats().overlap_ratio()
+    }
+
     /// Flushes the pipeline, then issues an extra fence so all deferred
     /// reclamation completes (see [`ModHeap::quiesce`]).
     pub fn quiesce(&self) {
@@ -517,10 +540,41 @@ mod tests {
         let wall = sh.sim_wall_ns();
         let serial = sh.with(|h| h.nv().pm().clock().now_ns());
         assert!(wall > 0.0);
+        // Pure PM churn with no app compute is drain-bandwidth-bound:
+        // the shared WPQ caps the parallel win, and background drain
+        // also speeds up the serial baseline. Lanes must still overlap
+        // the staging work.
         assert!(
-            wall < 0.6 * serial,
+            wall < 0.8 * serial,
             "wall {wall:.0} ns should be well under serial {serial:.0} ns"
         );
+    }
+
+    #[test]
+    fn batch_commit_overlaps_staging_with_drain() {
+        // While workers 1..3 stage (compute + their own flushes), worker
+        // 0's flushes drain in the background; the single batch fence
+        // pays only the residual, so the lanes record real overlap.
+        let sh = shared(4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        sh.setup(|h| h.nv_mut().pm_mut().reset_metrics());
+        for round in 0..5u64 {
+            for w in 0..4 {
+                sh.fase(w, |tx| {
+                    tx.nv_mut().pm_mut().charge_ns(500.0); // app compute
+                    map.insert_in(tx, &(round * 4 + w as u64), &(w as u64));
+                });
+            }
+        }
+        sh.flush();
+        let ratio = sh.overlap_ratio();
+        assert!(
+            ratio > 0.0,
+            "pipelined staging must hide some drain work, got {ratio:.3}"
+        );
+        let lanes = sh.lane_stats();
+        assert!(lanes.overlap_ns > 0.0);
+        assert!(lanes.residual_stall_ns >= 0.0);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //!
 //! * [`Pmem`] — a byte-addressable persistent pool with x86-64 persistence
 //!   semantics: stores dirty cachelines in a volatile cache, [`Pmem::clwb`]
-//!   starts weakly-ordered writebacks, [`Pmem::sfence`] is the ordering
-//!   point that makes flushed data durable;
+//!   starts a weakly-ordered writeback that drains in the background from
+//!   issue time ([`WpqDrain`]), [`Pmem::sfence`] is the ordering point
+//!   that stalls for the *residual* drain and makes flushed data durable;
 //! * [`LatencyModel`] — the paper's measured constants (353 ns flush+fence,
 //!   302 ns PM read, Amdahl overlap with f = 0.82) turning event counts
 //!   into simulated time, split into *flush*, *log* and *other* buckets
@@ -36,6 +37,7 @@
 pub mod arena;
 pub mod cache;
 pub mod clock;
+pub mod drain;
 pub mod line;
 pub mod model;
 pub mod pmem;
@@ -45,6 +47,7 @@ pub mod wpq;
 
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use clock::{SimClock, TimeBreakdown, TimeCategory};
+pub use drain::WpqDrain;
 pub use line::{line_of, lines_covering, PmPtr, CACHELINE};
 pub use model::{fit_parallel_fraction, karp_flatt_serial_fraction, LatencyModel};
 pub use pmem::{CrashPolicy, Pmem, PmemConfig};

@@ -10,6 +10,19 @@
 //! `stall(n) = fence_base_ns · (f + (1 − f)·n)`, so the *average* latency
 //! per flush is `fence_base_ns · (f/n + (1 − f))` — exactly the Amdahl
 //! curve the paper fits with the Karp–Flatt metric.
+//!
+//! Since the overlapped-drain rework, [`crate::Pmem`] no longer charges
+//! that whole stall at the fence. Each `clwb` schedules a background
+//! drain on its WPQ lane ([`crate::WpqDrain`]): an overlappable *launch*
+//! phase of [`LatencyModel::wpq_launch_ns`] (= `fence_base_ns · f`)
+//! followed by a serialized per-line *drain* occupancy of
+//! [`LatencyModel::wpq_drain_ns`] (= `fence_base_ns · (1 − f)`), and
+//! `sfence` stalls only for the **residual** — whatever of that calendar
+//! is still in the future. With flushes issued back-to-back (nothing to
+//! overlap), the residual equals the Amdahl stall above, so
+//! [`LatencyModel::fence_stall_ns`] remains the saturated limit and the
+//! charge-at-the-fence reference that [`crate::PmStats`] measures
+//! overlap against.
 
 /// Latency parameters of the simulated machine.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,7 +43,28 @@ pub struct LatencyModel {
     /// Latency of one un-overlapped `clwb + sfence` pair (§3: 353 ns).
     pub fence_base_ns: f64,
     /// Amdahl parallel fraction of concurrent flushes (Fig 4: 0.82).
+    ///
+    /// Coupled to [`LatencyModel::wpq_launch_ns`] /
+    /// [`LatencyModel::wpq_drain_ns`]: changing `amdahl_f` alone (e.g.
+    /// via struct-update syntax) leaves the background-drain calendar on
+    /// the old split and the overlap accounting stops balancing. Use
+    /// [`LatencyModel::with_parallel_fraction`], which re-derives all
+    /// three together.
     pub amdahl_f: f64,
+    /// Overlappable launch phase of a writeback: the parallel share of
+    /// the base flush latency (`fence_base_ns · amdahl_f`). Starts at
+    /// `clwb` issue and overlaps with anything, including other launches.
+    pub wpq_launch_ns: f64,
+    /// Serialized WPQ drain occupancy per line: the serial share of the
+    /// base flush latency (`fence_base_ns · (1 − amdahl_f)`). Lines on
+    /// the same WPQ lane drain one after another.
+    pub wpq_drain_ns: f64,
+    /// Number of independent WPQ drain lanes (line-addressed,
+    /// `line % wpq_lanes`). The paper's Optane fit behaves like a single
+    /// serialized channel, so the default is 1; more lanes model
+    /// hypothetical devices with parallel drain bandwidth (the saturated
+    /// limit then falls below the Amdahl curve).
+    pub wpq_lanes: usize,
     /// Cost of an `sfence` with no in-flight flushes.
     pub fence_overhead_ns: f64,
     /// CPU bookkeeping per STM log entry (range tracking, object lookup,
@@ -50,6 +84,9 @@ impl LatencyModel {
             clwb_issue_ns: 4.0,
             fence_base_ns: 353.0,
             amdahl_f: 0.82,
+            wpq_launch_ns: 353.0 * 0.82,
+            wpq_drain_ns: 353.0 * (1.0 - 0.82),
+            wpq_lanes: 1,
             fence_overhead_ns: 15.0,
             log_entry_overhead_ns: 100.0,
         }
@@ -67,9 +104,32 @@ impl LatencyModel {
             clwb_issue_ns: 0.0,
             fence_base_ns: 0.0,
             amdahl_f: 0.82,
+            wpq_launch_ns: 0.0,
+            wpq_drain_ns: 0.0,
+            wpq_lanes: 1,
             fence_overhead_ns: 0.0,
             log_entry_overhead_ns: 0.0,
         }
+    }
+
+    /// The Optane model with a different Amdahl parallel fraction `f`,
+    /// with the WPQ launch/drain split re-derived so the event model and
+    /// the analytical curve stay consistent (used by the ablation's
+    /// hypothetical no-overlap device).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ f ≤ 1.0`.
+    pub fn with_parallel_fraction(f: f64) -> LatencyModel {
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "parallel fraction must be in [0, 1]"
+        );
+        let mut m = LatencyModel::optane();
+        m.amdahl_f = f;
+        m.wpq_launch_ns = m.fence_base_ns * f;
+        m.wpq_drain_ns = m.fence_base_ns * (1.0 - f);
+        m
     }
 
     /// Stall time of an `sfence` with `n_inflight` weakly-ordered flushes
@@ -95,6 +155,18 @@ impl LatencyModel {
         ns.iter()
             .map(|&n| (n, self.avg_flush_latency_ns(n)))
             .collect()
+    }
+
+    /// Drain critical path of `n` lines issued at one instant on a
+    /// single WPQ lane: `wpq_launch_ns + n · wpq_drain_ns`. This is the
+    /// floor no timeline can beat — background drain can hide the work
+    /// under compute but cannot shrink it — and, with the default
+    /// launch/drain split, it equals [`LatencyModel::fence_stall_ns`].
+    pub fn drain_path_ns(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.wpq_launch_ns + n as f64 * self.wpq_drain_ns
     }
 }
 
@@ -236,5 +308,35 @@ mod tests {
         let m = LatencyModel::zero();
         assert_eq!(m.fence_stall_ns(10), 0.0);
         assert_eq!(m.fence_stall_ns(0), 0.0);
+        assert_eq!(m.drain_path_ns(10), 0.0);
+    }
+
+    #[test]
+    fn wpq_split_reconstructs_the_amdahl_stall() {
+        // launch + n·drain must equal fence_base·(f + (1−f)·n): the
+        // event model saturates to the analytical curve.
+        let m = LatencyModel::optane();
+        for n in [1usize, 2, 8, 32] {
+            assert!(
+                (m.drain_path_ns(n) - m.fence_stall_ns(n)).abs() < 1e-9,
+                "split drifted from the Amdahl stall at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_parallel_fraction_rederives_the_split() {
+        let m = LatencyModel::with_parallel_fraction(0.0);
+        assert_eq!(m.wpq_launch_ns, 0.0);
+        assert!((m.wpq_drain_ns - m.fence_base_ns).abs() < 1e-9);
+        let m = LatencyModel::with_parallel_fraction(1.0);
+        assert!((m.wpq_launch_ns - m.fence_base_ns).abs() < 1e-9);
+        assert_eq!(m.wpq_drain_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_parallel_fraction_rejected() {
+        LatencyModel::with_parallel_fraction(1.5);
     }
 }

@@ -6,18 +6,26 @@
 //! * stores land in a (simulated) volatile cache and mark their cacheline
 //!   *dirty* — they are **not** durable;
 //! * `clwb` starts a weakly-ordered writeback: the line becomes
-//!   *in-flight* and overlaps freely with other flushes (§3, Fig 3);
-//! * `sfence` stalls until all in-flight flushes complete — the stall is
-//!   charged by the Amdahl model of [`LatencyModel::fence_stall_ns`] — and
-//!   only then is the flushed data guaranteed durable;
-//! * at a crash, durable data survives; any *subset* of dirty/in-flight
-//!   lines may additionally have been written back (cache evictions and
-//!   completed-but-unfenced flushes), which [`Pmem::crash_image`] models
-//!   with a pluggable [`CrashPolicy`].
+//!   *in-flight* and its drain is scheduled on the line's WPQ lane
+//!   ([`crate::WpqDrain`]) **from issue time**, overlapping freely with
+//!   other flushes and with any compute charged afterwards (§3, Fig 3);
+//! * `sfence` stalls only until the latest in-flight drain completes —
+//!   the *residual* of the background calendar, which saturates to the
+//!   Amdahl stall of [`LatencyModel::fence_stall_ns`] when nothing
+//!   overlaps — and only then is the flushed data guaranteed durable.
+//!   The hidden share is accounted in [`PmStats::overlap_ns`], the paid
+//!   share in [`PmStats::residual_stall_ns`];
+//! * at a crash, durable data survives, and so does every in-flight line
+//!   whose background drain had already completed on the global timeline
+//!   (*drained-but-unfenced*: the writeback physically reached the
+//!   medium). Any subset of dirty and *issued-but-undrained* lines may
+//!   additionally persist (cache evictions, drains racing the failure),
+//!   which [`Pmem::crash_image`] models with a pluggable [`CrashPolicy`].
 
 use crate::arena::Arena;
 use crate::cache::{CacheConfig, CacheSim, CacheStats};
 use crate::clock::{SimClock, TimeCategory};
+use crate::drain::WpqDrain;
 use crate::line::{line_of, lines_covering, CACHELINE};
 use crate::model::LatencyModel;
 use crate::stats::PmStats;
@@ -78,10 +86,17 @@ impl PmemConfig {
     }
 }
 
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 enum LineState {
+    /// Written but not flushed: lost at a crash unless the policy evicts.
     Dirty,
-    Inflight,
+    /// `clwb` issued; the background drain completes at `done_ns` on the
+    /// global timeline. Before `done_ns` the line is
+    /// *issued-but-undrained* (crash persistence is policy-dependent);
+    /// after it the line is *drained-but-unfenced* (the writeback reached
+    /// the medium, so it survives any crash — only the *ordering*
+    /// guarantee still waits for the fence).
+    Inflight { done_ns: f64 },
 }
 
 /// Which non-durable lines additionally persist at a crash.
@@ -135,6 +150,14 @@ pub struct Pmem {
     llc: CacheSim,
     clock: SimClock,
     stats: PmStats,
+    /// WPQ drain calendar of the global timeline (also the authority for
+    /// per-line drained-at-crash decisions).
+    drain: WpqDrain,
+    /// WPQ drain calendar shared by the shard-lane timelines: the queue
+    /// is one piece of hardware, so drains from different lanes
+    /// serialize against each other even though the lanes' compute
+    /// overlaps.
+    shard_drain: WpqDrain,
     /// Per-shard lanes (empty unless [`Pmem::configure_shards`] ran).
     lanes: Vec<ShardLane>,
     active_shard: usize,
@@ -153,6 +176,8 @@ impl Pmem {
             llc: CacheSim::new(cfg.llc.clone()),
             clock: SimClock::new(),
             stats: PmStats::new(),
+            drain: WpqDrain::new(),
+            shard_drain: WpqDrain::new(),
             lanes: Vec::new(),
             active_shard: 0,
             trace: Vec::new(),
@@ -322,7 +347,10 @@ impl Pmem {
             // Write-allocate: a miss performs a read-for-ownership fill.
             let ns = self.access_cost(l, self.cfg.latency.store_ns);
             self.tick_tagged(ns);
-            if self.lines.insert(l, LineState::Dirty) == Some(LineState::Inflight) {
+            if matches!(
+                self.lines.insert(l, LineState::Dirty),
+                Some(LineState::Inflight { .. })
+            ) {
                 // A store raced an in-flight writeback. The writeback is
                 // modelled as completing with the pre-store content (a
                 // legal outcome — and the one `sfence` would have
@@ -367,7 +395,7 @@ impl Pmem {
         // (see charge_write_lines): do it before mutating `data`.
         if let Some(durable) = self.durable.as_mut() {
             for l in lines_covering(addr, buf.len() as u64) {
-                if self.lines.get(&l) == Some(&LineState::Inflight) {
+                if matches!(self.lines.get(&l), Some(LineState::Inflight { .. })) {
                     durable.copy_from(&self.data, l, CACHELINE);
                 }
             }
@@ -435,22 +463,37 @@ impl Pmem {
 
     /// Issues a `clwb` for the line containing `addr`: a weakly-ordered
     /// writeback that overlaps with other flushes. The line may stay in
-    /// the cache (clwb does not evict).
+    /// the cache (clwb does not evict). The writeback launches as the
+    /// instruction issues: its background drain is scheduled on the
+    /// line's WPQ lane at the pre-issue timestamp of every timeline, so
+    /// compute charged between here and the next `sfence` hides drain
+    /// work.
     pub fn clwb(&mut self, addr: u64) {
         let line = line_of(addr);
         self.stats.flushes += 1;
         if let Some(s) = self.lane_stats_mut() {
             s.flushes += 1;
         }
-        self.tick(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
-        if self.lines.get(&line) == Some(&LineState::Dirty) {
-            self.lines.insert(line, LineState::Inflight);
+        if matches!(self.lines.get(&line), Some(LineState::Dirty)) {
+            let launch = self.cfg.latency.wpq_launch_ns;
+            let occupancy = self.cfg.latency.wpq_drain_ns;
+            let wpq_lanes = self.cfg.latency.wpq_lanes;
+            let done_ns =
+                self.drain
+                    .schedule(line, self.clock.now_ns(), launch, occupancy, wpq_lanes);
+            if let Some(lane) = self.lanes.get(self.active_shard) {
+                let lane_now = lane.clock.now_ns();
+                self.shard_drain
+                    .schedule(line, lane_now, launch, occupancy, wpq_lanes);
+            }
+            self.lines.insert(line, LineState::Inflight { done_ns });
             self.inflight += 1;
             self.stats.effective_flushes += 1;
             if let Some(s) = self.lane_stats_mut() {
                 s.effective_flushes += 1;
             }
         }
+        self.tick(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
         if self.cfg.trace {
             self.trace.push(TraceEvent::Clwb { line });
         }
@@ -463,23 +506,57 @@ impl Pmem {
         }
     }
 
-    /// Executes an `sfence`: stalls until all in-flight flushes complete
-    /// (Amdahl stall model), after which their data is durable.
+    /// Executes an `sfence`: stalls until every in-flight drain
+    /// completes, after which their data is durable. The stall is the
+    /// **residual** of the background drain calendar — zero extra work
+    /// when everything already drained under compute, the full Amdahl
+    /// stall of [`LatencyModel::fence_stall_ns`] when the flushes were
+    /// issued back-to-back. The difference between those two is recorded
+    /// as [`PmStats::overlap_ns`].
     pub fn sfence(&mut self) {
         let n = self.inflight;
-        let stall = self.cfg.latency.fence_stall_ns(n);
-        self.tick(TimeCategory::Flush, stall);
+        let overhead = self.cfg.latency.fence_overhead_ns;
+        // The charge-at-the-fence reference: what this fence would have
+        // cost before drains ran in the background.
+        let serialized = self.cfg.latency.fence_stall_ns(n);
+        let g_stall = if n == 0 {
+            overhead
+        } else {
+            self.drain.residual_at(self.clock.now_ns()).max(overhead)
+        };
+        self.clock.advance_as(TimeCategory::Flush, g_stall);
+        if n > 0 {
+            self.stats.residual_stall_ns += g_stall;
+            self.stats.overlap_ns += (serialized - g_stall).max(0.0);
+        }
+        self.drain.reset();
         self.stats.fences += 1;
         self.stats.epoch_hist.record(n as u32);
-        if let Some(s) = self.lane_stats_mut() {
-            s.fences += 1;
-            s.epoch_hist.record(n as u32);
+        if let Some(lane) = self.lanes.get_mut(self.active_shard) {
+            // The WPQ is shared hardware: the fencing lane waits for the
+            // latest drain *any* lane scheduled (lane clocks are
+            // comparable — batch fences synchronize them).
+            let l_stall = if n == 0 {
+                overhead
+            } else {
+                self.shard_drain
+                    .residual_at(lane.clock.now_ns())
+                    .max(overhead)
+            };
+            lane.clock.advance_as(TimeCategory::Flush, l_stall);
+            if n > 0 {
+                lane.stats.residual_stall_ns += l_stall;
+                lane.stats.overlap_ns += (serialized - l_stall).max(0.0);
+            }
+            lane.stats.fences += 1;
+            lane.stats.epoch_hist.record(n as u32);
+            self.shard_drain.reset();
         }
         if n > 0 {
             let flushed: Vec<u64> = self
                 .lines
                 .iter()
-                .filter(|&(_, &s)| s == LineState::Inflight)
+                .filter(|&(_, s)| matches!(s, LineState::Inflight { .. }))
                 .map(|(&l, _)| l)
                 .collect();
             for l in flushed {
@@ -503,6 +580,18 @@ impl Pmem {
     /// Number of dirty (written, unflushed) lines.
     pub fn dirty_lines(&self) -> usize {
         self.lines.len() - self.inflight
+    }
+
+    /// Number of in-flight lines whose background drain has already
+    /// completed on the global timeline: *drained-but-unfenced*. Their
+    /// data survives any crash; only the ordering guarantee still waits
+    /// for the fence.
+    pub fn drained_unfenced_lines(&self) -> usize {
+        let now = self.clock.now_ns();
+        self.lines
+            .values()
+            .filter(|s| matches!(s, LineState::Inflight { done_ns } if *done_ns <= now))
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -579,12 +668,22 @@ impl Pmem {
     }
 
     /// Resets counters, clock and cache statistics (not contents) —
-    /// used to exclude setup phases from measurements.
+    /// used to exclude setup phases from measurements. The WPQ drain
+    /// calendars rebase with the clocks: any still-in-flight line is
+    /// treated as having drained during setup (its pre-reset completion
+    /// time would be meaningless against the zeroed clocks).
     pub fn reset_metrics(&mut self) {
         self.stats = PmStats::new();
         self.clock.reset();
         self.cache.reset_stats();
         self.llc.reset_stats();
+        self.drain.reset();
+        self.shard_drain.reset();
+        for state in self.lines.values_mut() {
+            if let LineState::Inflight { done_ns } = state {
+                *done_ns = 0.0;
+            }
+        }
         for lane in &mut self.lanes {
             lane.clock.reset();
             lane.stats = PmStats::new();
@@ -605,10 +704,13 @@ impl Pmem {
     // Crash simulation
     // ------------------------------------------------------------------
 
-    /// Produces the post-crash pool: durable data plus whichever
-    /// dirty/in-flight lines `policy` chooses to persist. The returned
-    /// pool starts with cold caches, a zeroed clock and no volatile line
-    /// state — exactly like a machine after power loss.
+    /// Produces the post-crash pool: durable data, every
+    /// *drained-but-unfenced* line (its background writeback physically
+    /// completed before the failure, so it persists no matter what),
+    /// plus whichever dirty / *issued-but-undrained* lines `policy`
+    /// chooses to persist. The returned pool starts with cold caches, a
+    /// zeroed clock and no volatile line state — exactly like a machine
+    /// after power loss.
     ///
     /// # Panics
     ///
@@ -619,8 +721,10 @@ impl Pmem {
             .as_ref()
             .expect("crash_image requires PmemConfig::crash_sim = true");
         let mut image = durable.clone();
-        for &line in self.lines.keys() {
-            if policy.keeps(line) {
+        let now = self.clock.now_ns();
+        for (&line, state) in &self.lines {
+            let drained = matches!(state, LineState::Inflight { done_ns } if *done_ns <= now);
+            if drained || policy.keeps(line) {
                 image.copy_from(&self.data, line, CACHELINE);
             }
         }
@@ -633,6 +737,8 @@ impl Pmem {
             llc: CacheSim::new(self.cfg.llc.clone()),
             clock: SimClock::new(),
             stats: PmStats::new(),
+            drain: WpqDrain::new(),
+            shard_drain: WpqDrain::new(),
             lanes: Vec::new(),
             active_shard: 0,
             trace: Vec::new(),
@@ -666,13 +772,30 @@ mod tests {
 
     #[test]
     fn flushed_but_unfenced_write_may_be_lost_or_kept() {
+        // Immediately after the clwb the line is issued-but-undrained:
+        // whether it persists is the crash policy's choice.
         let mut pm = testing_pmem();
         pm.write_u64(0x100, 42);
         pm.clwb(0x100);
+        assert_eq!(pm.drained_unfenced_lines(), 0);
         let lost = pm.crash_image(CrashPolicy::OnlyFenced);
         assert_eq!(lost.peek_u64(0x100), 0);
         let kept = pm.crash_image(CrashPolicy::PersistAll);
         assert_eq!(kept.peek_u64(0x100), 42);
+    }
+
+    #[test]
+    fn drained_but_unfenced_write_survives_every_policy() {
+        // Once the background drain completes, the writeback physically
+        // reached the medium: no crash policy can lose it, fence or not.
+        let mut pm = testing_pmem();
+        pm.write_u64(0x100, 42);
+        pm.clwb(0x100);
+        pm.charge_ns(1_000.0); // well past launch + drain
+        assert_eq!(pm.drained_unfenced_lines(), 1);
+        assert_eq!(pm.inflight_flushes(), 1, "still unfenced");
+        let img = pm.crash_image(CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(0x100), 42, "drained line persists");
     }
 
     #[test]
@@ -739,7 +862,11 @@ mod tests {
     }
 
     #[test]
-    fn fence_time_matches_amdahl_model() {
+    fn saturated_fence_reproduces_amdahl_stall() {
+        // Back-to-back flushes give the drains nothing to hide under:
+        // issue time is absorbed into the background calendar and the
+        // total flush timeline lands exactly on the old charge-at-the-
+        // fence Amdahl stall (the saturated limit).
         let mut pm = testing_pmem();
         let m = pm.config().latency.clone();
         for i in 0..16u64 {
@@ -751,8 +878,71 @@ mod tests {
         }
         pm.sfence();
         let flush_ns = pm.clock().breakdown().flush_ns - before;
-        let expected = 16.0 * m.clwb_issue_ns + m.fence_stall_ns(16);
-        assert!((flush_ns - expected).abs() < 1e-9);
+        let expected = m.fence_stall_ns(16);
+        assert!(
+            (flush_ns - expected).abs() < 1e-9,
+            "saturated timeline {flush_ns:.2} != Amdahl stall {expected:.2}"
+        );
+        // Only the clwb issue time overlapped; the drains all stalled.
+        let issue_overlap = 16.0 * m.clwb_issue_ns;
+        assert!((pm.stats().overlap_ns - issue_overlap).abs() < 1e-9);
+        assert!(pm.stats().residual_stall_ns > 0.0);
+    }
+
+    #[test]
+    fn single_flush_plus_fence_costs_353ns() {
+        // §3's headline number now falls out of the event model exactly:
+        // launch + drain = 353 ns from issue, minus nothing.
+        let mut pm = testing_pmem();
+        pm.write_u64(0x100, 1);
+        let before = pm.clock().breakdown().flush_ns;
+        pm.clwb(0x100);
+        pm.sfence();
+        let flush_ns = pm.clock().breakdown().flush_ns - before;
+        assert!((flush_ns - 353.0).abs() < 1e-9, "got {flush_ns:.2}");
+    }
+
+    #[test]
+    fn compute_between_flush_and_fence_hides_drain() {
+        let mut pm = testing_pmem();
+        let m = pm.config().latency.clone();
+        pm.write_u64(0x100, 1);
+        pm.clwb(0x100);
+        pm.charge_ns(10_000.0); // app compute while the WPQ drains
+        let before = pm.clock().breakdown().flush_ns;
+        pm.sfence();
+        let fence_ns = pm.clock().breakdown().flush_ns - before;
+        assert_eq!(
+            fence_ns, m.fence_overhead_ns,
+            "fully drained backlog: the fence pays only its own overhead"
+        );
+        assert!(pm.stats().overlap_ns > 0.0);
+        assert!(pm.stats().overlap_ratio() > 0.9);
+    }
+
+    #[test]
+    fn overlapped_fence_never_beats_the_drain_critical_path() {
+        // Partial overlap: the fence arrives mid-drain and pays exactly
+        // the remainder, so the flush timeline ends at the critical path.
+        let mut pm = testing_pmem();
+        let m = pm.config().latency.clone();
+        let t0 = pm.clock().now_ns();
+        for i in 0..4u64 {
+            pm.write_u64(0x100 + i * 64, i);
+        }
+        let issue_at = pm.clock().now_ns();
+        for i in 0..4u64 {
+            pm.clwb(0x100 + i * 64);
+        }
+        pm.charge_ns(100.0); // hides some, not all, of the drain
+        pm.sfence();
+        let end = pm.clock().now_ns();
+        let critical_path = issue_at + m.drain_path_ns(4);
+        assert!(
+            (end - critical_path).abs() < 1e-9,
+            "timeline end {end:.2} != drain critical path {critical_path:.2}"
+        );
+        let _ = t0;
     }
 
     #[test]
@@ -900,6 +1090,42 @@ mod tests {
         assert_eq!(pm.shard_stats(1).flushes, 1);
         assert_eq!(pm.shard_stats(0).fences, 0);
         assert_eq!(pm.stats().fences, 1);
+    }
+
+    #[test]
+    fn shard_lanes_share_one_wpq() {
+        // Both lanes flush one line each "at the same lane-time"; the
+        // drains serialize on the shared WPQ, so the fencing lane waits
+        // for both — the serial bottleneck survives sharding.
+        let mut pm = testing_pmem();
+        let m = pm.config().latency.clone();
+        pm.configure_shards(2);
+        pm.set_active_shard(0);
+        pm.write_u64(0x100, 1);
+        pm.clwb(0x100);
+        let lane0_issue = pm.lane_ns(0);
+        pm.set_active_shard(1);
+        pm.write_u64(0x4100, 2);
+        pm.clwb(0x4100);
+        pm.sfence();
+        // Two serialized drain occupancies behind one launch, ending no
+        // earlier than the first issue plus the 2-line critical path.
+        assert!(pm.lane_ns(1) >= lane0_issue + m.drain_path_ns(2) - m.drain_path_ns(1));
+        assert!(pm.shard_stats(1).residual_stall_ns > 0.0);
+    }
+
+    #[test]
+    fn lane_overlap_accrues_to_the_fencing_lane() {
+        let mut pm = testing_pmem();
+        pm.configure_shards(2);
+        pm.set_active_shard(0);
+        pm.write_u64(0x100, 1);
+        pm.clwb(0x100);
+        pm.charge_ns(10_000.0); // lane-0 compute hides the drain
+        pm.sfence();
+        assert!(pm.shard_stats(0).overlap_ns > 0.0);
+        assert!(pm.shard_stats(0).overlap_ratio() > 0.9);
+        assert_eq!(pm.shard_stats(1).overlap_ns, 0.0);
     }
 
     #[test]

@@ -79,6 +79,14 @@ pub struct PmStats {
     pub writes: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// WPQ drain work (ns) that completed in the background before its
+    /// fence — the stall the old charge-at-the-fence model would have
+    /// paid but the overlapped model hid under compute.
+    pub overlap_ns: f64,
+    /// Residual stall (ns) actually paid at fences that found flushes in
+    /// flight: the part of the drain calendar still in the future when
+    /// the `sfence` executed.
+    pub residual_stall_ns: f64,
     /// Distribution of flushes outstanding per fence.
     pub epoch_hist: EpochHistogram,
 }
@@ -98,6 +106,8 @@ impl PmStats {
         self.reads += other.reads;
         self.writes += other.writes;
         self.bytes_written += other.bytes_written;
+        self.overlap_ns += other.overlap_ns;
+        self.residual_stall_ns += other.residual_stall_ns;
         for (flushes, occurrences) in other.epoch_hist.iter() {
             for _ in 0..occurrences {
                 self.epoch_hist.record(flushes);
@@ -115,7 +125,23 @@ impl PmStats {
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            overlap_ns: self.overlap_ns - earlier.overlap_ns,
+            residual_stall_ns: self.residual_stall_ns - earlier.residual_stall_ns,
             epoch_hist: EpochHistogram::new(),
+        }
+    }
+
+    /// Fraction of the WPQ drain workload that overlapped with compute
+    /// instead of stalling a fence: `overlap / (overlap + residual)`,
+    /// 0 when no drain work happened. 0 means every fence paid the full
+    /// Amdahl stall (the old serialized model); values toward 1 mean
+    /// drains finished in the background before their fence.
+    pub fn overlap_ratio(&self) -> f64 {
+        let total = self.overlap_ns + self.residual_stall_ns;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.overlap_ns / total
         }
     }
 }
@@ -166,13 +192,31 @@ mod tests {
         let mut a = PmStats::new();
         a.flushes = 10;
         a.fences = 2;
+        a.overlap_ns = 100.0;
         let mut b = a.clone();
         b.flushes = 25;
         b.fences = 3;
         b.writes = 7;
+        b.overlap_ns = 250.0;
+        b.residual_stall_ns = 40.0;
         let d = b.since(&a);
         assert_eq!(d.flushes, 15);
         assert_eq!(d.fences, 1);
         assert_eq!(d.writes, 7);
+        assert_eq!(d.overlap_ns, 150.0);
+        assert_eq!(d.residual_stall_ns, 40.0);
+    }
+
+    #[test]
+    fn overlap_ratio_bounds() {
+        let mut s = PmStats::new();
+        assert_eq!(s.overlap_ratio(), 0.0, "no drain work yet");
+        s.overlap_ns = 300.0;
+        s.residual_stall_ns = 100.0;
+        assert!((s.overlap_ratio() - 0.75).abs() < 1e-12);
+        let mut t = PmStats::new();
+        t.overlap_ns = 100.0;
+        t.merge(&s);
+        assert!((t.overlap_ratio() - 0.8).abs() < 1e-12, "merge sums ns");
     }
 }

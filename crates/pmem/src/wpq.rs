@@ -31,11 +31,14 @@ pub struct WpqModel {
 impl WpqModel {
     /// Derives the WPQ model matching a [`LatencyModel`]: launch is the
     /// parallel share of the base flush latency and drain the serial
-    /// share, so the emergent behaviour matches the Amdahl fit.
+    /// share — the same split [`LatencyModel::wpq_launch_ns`] /
+    /// [`LatencyModel::wpq_drain_ns`] that [`crate::Pmem`]'s background
+    /// drain calendar uses — so the emergent behaviour matches the
+    /// Amdahl fit.
     pub fn from_latency(m: &LatencyModel) -> WpqModel {
         WpqModel {
-            launch_ns: m.fence_base_ns * m.amdahl_f,
-            drain_ns: m.fence_base_ns * (1.0 - m.amdahl_f),
+            launch_ns: m.wpq_launch_ns,
+            drain_ns: m.wpq_drain_ns,
             issue_ns: 2.0,
             jitter: 0.04,
             seed: 0xC0FFEE,

@@ -58,6 +58,10 @@ pub struct RunReport {
     pub flushes: u64,
     /// Fences in the measured phase.
     pub fences: u64,
+    /// WPQ drain work hidden under compute in the measured phase (ns).
+    pub overlap_ns: f64,
+    /// Residual drain stall actually paid at fences (ns).
+    pub residual_stall_ns: f64,
     /// L1D counters over the measured phase.
     pub cache: CacheStats,
     /// Live heap bytes at the end.
@@ -82,6 +86,18 @@ impl RunReport {
             self.total_ns() / self.ops as f64
         }
     }
+
+    /// Fraction of the WPQ drain workload that overlapped with compute
+    /// instead of stalling a fence (see
+    /// [`mod_pmem::PmStats::overlap_ratio`]).
+    pub fn overlap_ratio(&self) -> f64 {
+        let total = self.overlap_ns + self.residual_stall_ns;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.overlap_ns / total
+        }
+    }
 }
 
 /// Counter snapshot used to bracket the measured phase.
@@ -90,6 +106,8 @@ pub struct Snapshot {
     time: TimeBreakdown,
     flushes: u64,
     fences: u64,
+    overlap_ns: f64,
+    residual_stall_ns: f64,
     cache: CacheStats,
     alloc_cum: u64,
 }
@@ -101,6 +119,8 @@ impl Snapshot {
             time: pm.clock().breakdown(),
             flushes: pm.stats().flushes,
             fences: pm.stats().fences,
+            overlap_ns: pm.stats().overlap_ns,
+            residual_stall_ns: pm.stats().residual_stall_ns,
             cache: pm.cache_stats(),
             alloc_cum,
         }
@@ -125,6 +145,8 @@ impl Snapshot {
             time: pm.clock().breakdown().since(&self.time),
             flushes: pm.stats().flushes - self.flushes,
             fences: pm.stats().fences - self.fences,
+            overlap_ns: pm.stats().overlap_ns - self.overlap_ns,
+            residual_stall_ns: pm.stats().residual_stall_ns - self.residual_stall_ns,
             cache: pm.cache_stats().since(&self.cache),
             live_bytes,
             alloc_traffic_bytes: alloc_cum - self.alloc_cum,
