@@ -33,8 +33,10 @@ pub mod heap;
 pub mod layout;
 pub mod read;
 pub mod recovery;
+pub mod worker;
 
 pub use heap::{AllocStats, NvHeap};
 pub use layout::{class_size, HEADER_BYTES, HEAP_BASE, N_ROOTS, POOL_MAGIC};
 pub use read::HeapRead;
 pub use recovery::RecoveryReport;
+pub use worker::{AllocDelta, StagedAllocEffects};

@@ -1,0 +1,128 @@
+//! Worker-shard allocation state for lock-free FASE staging.
+//!
+//! [`crate::NvHeap::split_workers`] checks a slice of the pool out to
+//! each worker thread as a fully independent `NvHeap`: the worker
+//! allocates from its own arena (private bump pointer + free lists) and
+//! writes through its own [`mod_pmem::Pmem`] shard handle, so the whole
+//! staging hot path runs with **no shared lock**. Everything that would
+//! touch shared allocator state is either
+//!
+//! * **local** — fresh blocks' reference counts live in the worker's own
+//!   table until the FASE is handed to the commit stage;
+//! * **deferred** — increments on *foreign* (already-published) blocks
+//!   accumulate as deltas, and foreign frees queue up, both carried to
+//!   the commit stage in a [`StagedAllocEffects`] and applied there in
+//!   batch order; or
+//! * **funneled through a per-shard return bin** — when the commit stage
+//!   reclaims a superseded version whose blocks live in a worker arena,
+//!   the block addresses go into that shard's bin (a short uncontended
+//!   mutex), and the owning worker drains its bin into its free lists
+//!   the next time its arena misses.
+//!
+//! Decrements on foreign blocks are *never* legal during staging (a
+//! worker cannot know the true count, so it cannot decide to free); the
+//! FASE layer defers whole-version releases to the commit stage instead.
+
+use crate::heap::AllocStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Per-shard return bins: block headers freed by the commit stage on
+/// behalf of a worker arena, waiting for the owner to drain them back
+/// into its free lists. Indexed by worker/shard id.
+pub(crate) type ShardBins = Arc<Vec<Mutex<Vec<u64>>>>;
+
+/// Signed difference between two [`AllocStats`] snapshots, so a worker's
+/// traffic since the last handoff can be folded into the global roll-up
+/// (Table 3 stays exact under concurrency).
+#[derive(Clone, Debug, Default)]
+pub struct AllocDelta {
+    allocs: u64,
+    frees: u64,
+    cumulative_alloc_bytes: u64,
+    live_bytes: i64,
+    live_blocks: i64,
+}
+
+impl AllocDelta {
+    /// The traffic between `earlier` and `now`.
+    pub fn between(earlier: &AllocStats, now: &AllocStats) -> AllocDelta {
+        AllocDelta {
+            allocs: now.allocs - earlier.allocs,
+            frees: now.frees - earlier.frees,
+            cumulative_alloc_bytes: now.cumulative_alloc_bytes - earlier.cumulative_alloc_bytes,
+            live_bytes: now.live_bytes as i64 - earlier.live_bytes as i64,
+            live_blocks: now.live_blocks as i64 - earlier.live_blocks as i64,
+        }
+    }
+
+    /// Folds this delta into `stats`.
+    pub fn apply_to(&self, stats: &mut AllocStats) {
+        stats.allocs += self.allocs;
+        stats.frees += self.frees;
+        stats.cumulative_alloc_bytes += self.cumulative_alloc_bytes;
+        stats.live_bytes = (stats.live_bytes as i64 + self.live_bytes).max(0) as u64;
+        stats.live_blocks = (stats.live_blocks as i64 + self.live_blocks).max(0) as u64;
+        stats.hwm_live_bytes = stats.hwm_live_bytes.max(stats.live_bytes);
+    }
+}
+
+/// Allocator side effects of one staged FASE, in transit from a worker
+/// heap to the commit stage (the PM-line side travels separately as a
+/// [`mod_pmem::LineHandoff`]). Applied under the commit lock, in batch
+/// order, by [`crate::NvHeap::apply_staged_effects`].
+#[derive(Debug, Default)]
+pub struct StagedAllocEffects {
+    /// Fresh blocks whose authoritative reference counts move from the
+    /// worker's table to the global table (`(payload addr, count)`).
+    pub(crate) rc_transfer: Vec<(u64, u32)>,
+    /// Reference-count increments on foreign (already-published) blocks.
+    pub(crate) rc_deltas: Vec<(u64, i64)>,
+    /// Payload addresses of foreign blocks the worker freed (rare; the
+    /// authoritative free runs commit-side).
+    pub(crate) foreign_frees: Vec<u64>,
+    /// The worker's allocation traffic since its previous handoff.
+    pub(crate) stats: AllocDelta,
+}
+
+impl StagedAllocEffects {
+    /// Whether the FASE had no allocator side effects at all.
+    pub fn is_empty(&self) -> bool {
+        self.rc_transfer.is_empty() && self.rc_deltas.is_empty() && self.foreign_frees.is_empty()
+    }
+}
+
+/// Worker-mode state carried by a checked-out `NvHeap` (see module docs).
+#[derive(Debug)]
+pub(crate) struct WorkerMode {
+    /// This worker's shard index (its bin in [`ShardBins`]).
+    pub(crate) home: usize,
+    pub(crate) bins: ShardBins,
+    /// Foreign-block rc increments accumulated this FASE.
+    pub(crate) rc_deltas: HashMap<u64, i64>,
+    /// Payload addresses allocated this FASE and still live (rollback
+    /// log for conflict aborts).
+    pub(crate) fase_allocs: Vec<u64>,
+    /// Foreign blocks freed this FASE (deferred to the commit stage).
+    pub(crate) foreign_frees: Vec<u64>,
+    /// Global-stats snapshot at the last handoff (delta base).
+    pub(crate) stats_mark: AllocStats,
+}
+
+/// Commit-side view of a worker split: which address ranges are checked
+/// out, and the bins frees to those ranges are routed through.
+#[derive(Debug)]
+pub(crate) struct SplitState {
+    /// Worker arena bounds `[start, end)`, indexed by shard.
+    pub(crate) arenas: Vec<Option<(u64, u64)>>,
+    pub(crate) bins: ShardBins,
+}
+
+impl SplitState {
+    /// The worker arena containing `addr`, if still checked out.
+    pub(crate) fn arena_of(&self, addr: u64) -> Option<usize> {
+        self.arenas
+            .iter()
+            .position(|a| a.is_some_and(|(s, e)| addr >= s && addr < e))
+    }
+}

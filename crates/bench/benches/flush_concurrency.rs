@@ -1,14 +1,21 @@
 //! Flush-concurrency benches: the Fig 4 machinery (WPQ event model and
-//! the analytical Amdahl curve) plus the *structure-level* scaling curve
-//! — pipelined FASE throughput over the sharded `SharedModHeap` at
-//! 1/2/4/8 worker threads, with the simulated-time speedup and the batch
-//! fill the pipeline achieved. `MOD_OPS` rescales the per-thread op
-//! count.
+//! the analytical Amdahl curve) plus two *structure-level* scaling
+//! curves over the sharded `SharedModHeap` at 1/2/4/8 worker threads:
+//!
+//! * **simulated time** — the deterministic turnstile run (shared
+//!   structures, pipelined commits): FASE throughput per simulated ms,
+//!   batch fill, drain overlap;
+//! * **host time** — free-running OS threads in blocking group-commit
+//!   mode over per-worker structures: wall-clock FASE throughput, the
+//!   number that shows the lock-free staging path scales on real cores
+//!   (needs real cores — the table is skipped below 4).
+//!
+//! `MOD_OPS` rescales the per-thread op count.
 
 use mod_bench::harness::{bench, bench_main};
 use mod_bench::TextTable;
 use mod_pmem::{LatencyModel, WpqModel};
-use mod_workloads::{run_pipelined, ConcurrencyConfig};
+use mod_workloads::{run_host, run_pipelined, ConcurrencyConfig};
 use std::hint::black_box;
 
 fn structure_scaling() {
@@ -57,6 +64,60 @@ fn structure_scaling() {
     );
 }
 
+fn host_scaling() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        println!();
+        println!(
+            "host-time scaling skipped: {cores} core(s) available \
+             (free-running threads cannot scale without cores)"
+        );
+        return;
+    }
+    let ops: u64 = std::env::var("MOD_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(test) { 100 } else { 1_000 });
+    let mut table = TextTable::new(vec![
+        "threads",
+        "fases",
+        "batches",
+        "mean batch",
+        "fences/fase",
+        "host ns/op",
+        "fases/host ms",
+        "speedup",
+    ]);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ConcurrencyConfig {
+            ops_per_thread: ops,
+            ..ConcurrencyConfig::testing(threads)
+        };
+        let r = run_host(&cfg);
+        let tput = r.fases_per_host_ms();
+        let base_tput = *base.get_or_insert(tput);
+        table.row(vec![
+            format!("{threads}"),
+            format!("{}", r.fases),
+            format!("{}", r.batches),
+            format!("{:.2}", r.mean_batch()),
+            format!("{:.3}", r.fences_per_fase()),
+            format!("{:.0}", r.host_ns_per_op()),
+            format!("{tput:.0}"),
+            format!("{:.2}x", tput / base_tput),
+        ]);
+    }
+    println!();
+    println!(
+        "lock-free staging, host wall-clock (free-running threads, \
+         group commit, per-worker structures):"
+    );
+    println!("{}", table.render());
+}
+
 fn main() {
     bench_main(|| {
         let wpq = WpqModel::default();
@@ -76,5 +137,6 @@ fn main() {
         });
 
         structure_scaling();
+        host_scaling();
     });
 }

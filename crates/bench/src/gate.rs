@@ -114,10 +114,26 @@ pub struct Finding {
 /// worst first. A key present in the baseline but missing from the
 /// current run is a failure (a metric silently disappeared); new keys in
 /// `current` are allowed (they gate once the baseline is refreshed).
+///
+/// Two key-prefix escapes:
+///
+/// * `info.` — informational metrics (raw host timings, environment
+///   facts): recorded in the artifact, never gated, so a baseline
+///   refresh cannot accidentally start gating machine-dependent noise.
+/// * `host_` — host wall-clock metrics, gated *only when the current run
+///   reports them*: `bench_smoke` omits them on machines without enough
+///   cores for the concurrency curve to mean anything, and that omission
+///   must not read as "the metric regressed to nothing".
 pub fn gate(baseline: &Metrics, current: &Metrics, tol: f64) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (key, &base) in baseline {
+        if key.starts_with("info.") {
+            continue;
+        }
         let Some(&cur) = current.get(key) else {
+            if key.starts_with("host_") {
+                continue; // machine opted out of host metrics
+            }
             findings.push(Finding {
                 key: key.clone(),
                 baseline: base,
@@ -237,6 +253,29 @@ mod tests {
         let base = Metrics::new();
         let cur = m(&[("fresh.sim_ns_per_op", 5.0)]);
         assert!(gate(&base, &cur, 0.10).is_empty());
+    }
+
+    #[test]
+    fn info_keys_never_gate() {
+        let base = m(&[("info.host_pipeline8.ns_per_op", 100.0)]);
+        let cur = m(&[("info.host_pipeline8.ns_per_op", 500.0)]);
+        assert!(gate(&base, &cur, 0.10).is_empty(), "worse info is fine");
+        assert!(
+            gate(&base, &Metrics::new(), 0.10).is_empty(),
+            "absent info is fine"
+        );
+    }
+
+    #[test]
+    fn host_keys_gate_only_when_reported() {
+        let base = m(&[("host_pipeline8.fases_speedup", 2.5)]);
+        // A small machine omits host metrics entirely: no finding.
+        assert!(gate(&base, &Metrics::new(), 0.10).is_empty());
+        // A capable machine reporting a regression still fails.
+        let cur = m(&[("host_pipeline8.fases_speedup", 1.8)]);
+        let f = gate(&base, &cur, 0.10);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].key, "host_pipeline8.fases_speedup");
     }
 
     #[test]

@@ -43,6 +43,8 @@ use crate::parent;
 use crate::root::{current_of, Root, ROOT_DIR_SLOT};
 use mod_alloc::NvHeap;
 use mod_pmem::{PmPtr, Pmem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// One staged root update inside a FASE (or a pipelined batch of FASEs).
 #[derive(Debug)]
@@ -56,53 +58,220 @@ pub(crate) struct PendingUpdate {
     pub(crate) intermediates: Vec<ErasedDs>,
 }
 
+/// Maximum directory indices the concurrent staging path supports.
+pub(crate) const STAGING_LANES: usize = 256;
+
+/// Per-root staging lanes for lock-free concurrent FASEs.
+///
+/// Pure shadow building needs no coordination at all — each worker
+/// allocates and writes in its own arena. The *only* shared staging
+/// state is, per root, "which version does the next FASE chain from":
+/// the lane `head`. A FASE's first update to a root takes that root's
+/// lane lock and holds it until the FASE is handed to the commit queue,
+/// so same-root FASEs serialize (they are inherently dependent — the
+/// later one must read the earlier one's shadow), while FASEs over
+/// disjoint roots never touch the same lane and stage fully in
+/// parallel. Lane heads are read lock-free (a relaxed atomic load) by
+/// read-only `current` lookups.
+///
+/// Deadlock avoidance: lanes acquire in ascending root order for free;
+/// an out-of-order acquisition spins on `try_lock` and, if the lane
+/// stays contended, aborts the whole FASE (the staging driver rolls the
+/// worker heap back and retries the closure).
+#[derive(Debug)]
+pub(crate) struct RootLanes {
+    lanes: Box<[RootLane]>,
+}
+
+#[derive(Debug)]
+struct RootLane {
+    lock: Mutex<()>,
+    /// Latest staged head for this root (pointer address; 0 = nothing
+    /// staged since the lanes were created or last invalidated — read
+    /// the published directory entry instead). After a batch commits,
+    /// the head equals the published root pointer, so stale heads are
+    /// never wrong, just redundant.
+    head: AtomicU64,
+}
+
+impl RootLanes {
+    pub(crate) fn new() -> RootLanes {
+        RootLanes {
+            lanes: (0..STAGING_LANES)
+                .map(|_| RootLane {
+                    lock: Mutex::new(()),
+                    head: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn head(&self, index: usize) -> Option<PmPtr> {
+        // Acquire pairs with the Release in `set_head`: a lock-free
+        // reader that follows this pointer must see the shadow words
+        // written before the head was published.
+        match self.lanes[index].head.load(Ordering::Acquire) {
+            0 => None,
+            a => Some(PmPtr::from_addr(a)),
+        }
+    }
+
+    /// Publishes a staged head. Caller must hold the lane's lock.
+    pub(crate) fn set_head(&self, index: usize, p: PmPtr) {
+        self.lanes[index].head.store(p.addr(), Ordering::Release);
+    }
+
+    /// Forgets all staged heads (single-threaded setup changed the
+    /// published directory underneath them). Caller must guarantee no
+    /// FASE is staged or in flight.
+    pub(crate) fn clear_heads(&self) {
+        for lane in self.lanes.iter() {
+            lane.head.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Payload of the abort panic used to restart a FASE whose out-of-order
+/// lane acquisition would risk deadlock.
+pub(crate) struct LaneConflict;
+
 /// An in-progress failure-atomic section over typed roots.
 ///
-/// Created by [`ModHeap::fase`]; stages pure updates via [`Fase::update`]
-/// and [`Fase::update_with`]. Nothing becomes visible or durable until
-/// the `fase` closure returns.
+/// Created by [`ModHeap::fase`] (single-owner) or
+/// [`crate::SharedModHeap::fase`] (a worker shard staging with no global
+/// lock); stages pure updates via [`Fase::update`] and
+/// [`Fase::update_with`]. Nothing becomes visible or durable until the
+/// `fase` closure returns.
 #[derive(Debug)]
 pub struct Fase<'h> {
-    heap: &'h mut ModHeap,
+    nv: &'h mut NvHeap,
     pending: Vec<PendingUpdate>,
-    /// Batch overlay for pipelined commits (`SharedModHeap`): per-root
-    /// heads staged by *earlier FASEs in the same uncommitted batch*.
-    /// This FASE's updates chain on top of them, and "reverting" a chain
-    /// means returning to the overlay head, not the published version.
-    overlay: Vec<(usize, PmPtr)>,
+    staging: Option<StagingCtx<'h>>,
+}
+
+/// Worker-mode staging context: lane guards held by this FASE plus the
+/// release work it must defer to the commit stage.
+#[derive(Debug)]
+struct StagingCtx<'h> {
+    lanes: &'h RootLanes,
+    held: Vec<(usize, MutexGuard<'h, ()>)>,
+    /// Reverted chains to release at commit (a worker cannot touch
+    /// foreign refcounts during staging).
+    releases: Vec<ErasedDs>,
+}
+
+impl<'h> Fase<'h> {
+    /// A single-owner FASE (the [`ModHeap::fase`] path).
+    pub(crate) fn owner(nv: &'h mut NvHeap) -> Fase<'h> {
+        Fase {
+            nv,
+            pending: Vec::new(),
+            staging: None,
+        }
+    }
+
+    /// A worker-shard FASE staging against `lanes` with no global lock.
+    pub(crate) fn worker(nv: &'h mut NvHeap, lanes: &'h RootLanes) -> Fase<'h> {
+        Fase {
+            nv,
+            pending: Vec::new(),
+            staging: Some(StagingCtx {
+                lanes,
+                held: Vec::new(),
+                releases: Vec::new(),
+            }),
+        }
+    }
+
+    /// Finishes a worker FASE: publishes the new staging-lane heads and
+    /// hands back the staged updates + deferred releases. The lane
+    /// guards stay held by this `Fase` — the caller pushes the handoff
+    /// to the commit queue first and only then drops the `Fase`, so
+    /// queue order respects per-root chaining order.
+    pub(crate) fn finish_staging(&mut self) -> (Vec<PendingUpdate>, Vec<ErasedDs>) {
+        let st = self.staging.as_mut().expect("finish_staging on owner FASE");
+        for p in &self.pending {
+            st.lanes.set_head(p.index, p.new);
+        }
+        (
+            std::mem::take(&mut self.pending),
+            std::mem::take(&mut st.releases),
+        )
+    }
+
+    /// Ensures this FASE holds `index`'s staging lane (worker mode).
+    fn hold_lane(&mut self, index: usize) {
+        let Some(st) = self.staging.as_mut() else {
+            return;
+        };
+        if st.held.iter().any(|(i, _)| *i == index) {
+            return;
+        }
+        assert!(
+            index < STAGING_LANES,
+            "root index {index} beyond the concurrent staging lane limit"
+        );
+        let max_held = st.held.iter().map(|(i, _)| *i).max();
+        if max_held.is_none_or(|m| index > m) {
+            // Ascending acquisition is deadlock-free: block. A conflict
+            // abort unwinds through held guards, so poisoning carries no
+            // information here (the guarded state is `()`).
+            let g = st.lanes.lanes[index]
+                .lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            st.held.push((index, g));
+            return;
+        }
+        // Out of order: spin briefly, then abort-and-retry the FASE.
+        for _ in 0..64 {
+            match st.lanes.lanes[index].lock.try_lock() {
+                Ok(g) => {
+                    st.held.push((index, g));
+                    return;
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    st.held.push((index, e.into_inner()));
+                    return;
+                }
+                Err(std::sync::TryLockError::WouldBlock) => std::thread::yield_now(),
+            }
+        }
+        std::panic::panic_any(LaneConflict);
+    }
 }
 
 impl Fase<'_> {
     /// The version of `root` this FASE currently sees: the shadow staged
-    /// by an earlier [`Fase::update`] in this FASE, an earlier FASE of
-    /// the same pipelined batch, or the published version.
+    /// by an earlier [`Fase::update`] in this FASE, the latest head
+    /// staged by an earlier FASE of the same pipeline, or the published
+    /// version.
     pub fn current<D: DurableDs>(&self, root: Root<D>) -> D {
         match self.find(root.index()) {
             Some(p) => D::from_root_ptr(p.new),
-            None => match self.overlay_head(root.index()) {
+            None => match self.lane_head(root.index()) {
                 Some(p) => D::from_root_ptr(p),
-                None => current_of(self.heap.nv(), root),
+                None => current_of(self.nv, root),
             },
         }
     }
 
     /// The version this FASE's first update to `index` chains from.
     fn baseline(&self, index: usize) -> PmPtr {
-        match self.overlay_head(index) {
+        match self.lane_head(index) {
             Some(p) => p,
             None => {
-                let entry = crate::root::peek_entry(self.heap.nv(), index)
+                let entry = crate::root::peek_entry(self.nv, index)
                     .unwrap_or_else(|| panic!("root {index} not in directory"));
                 entry.root
             }
         }
     }
 
-    fn overlay_head(&self, index: usize) -> Option<PmPtr> {
-        self.overlay
-            .iter()
-            .find(|(i, _)| *i == index)
-            .map(|&(_, p)| p)
+    fn lane_head(&self, index: usize) -> Option<PmPtr> {
+        self.staging
+            .as_ref()
+            .and_then(|st| (index < STAGING_LANES).then(|| st.lanes.head(index))?)
     }
 
     /// Stages a pure update: `f` receives the heap and the current
@@ -119,8 +288,12 @@ impl Fase<'_> {
         root: Root<D>,
         f: impl FnOnce(&mut NvHeap, D) -> (D, R),
     ) -> R {
+        // Worker mode: own this root's staging lane before reading the
+        // version the update chains from, and keep it until the FASE is
+        // queued — same-root FASEs serialize, disjoint ones never meet.
+        self.hold_lane(root.index());
         let cur = self.current(root);
-        let (next, out) = f(self.heap.nv_mut(), cur);
+        let (next, out) = f(self.nv, cur);
         if next.root_ptr() == cur.root_ptr() {
             return out; // no-op update: stage nothing
         }
@@ -132,15 +305,25 @@ impl Fase<'_> {
                 // commit): the root is back to a no-op. Unstage it and
                 // reclaim every shadow this FASE built for it —
                 // publishing the already-owned version as "fresh" would
-                // double-release it at commit.
+                // double-release it at commit. A worker shard cannot
+                // release (foreign refcounts are commit-side): it defers
+                // the whole chain to the commit stage instead.
                 let p = self.pending.remove(i);
-                ErasedDs {
+                let head = ErasedDs {
                     kind: p.kind,
                     root: p.new,
-                }
-                .release(self.heap.nv_mut());
-                for im in p.intermediates {
-                    im.release(self.heap.nv_mut());
+                };
+                match self.staging.as_mut() {
+                    Some(st) => {
+                        st.releases.push(head);
+                        st.releases.extend(p.intermediates);
+                    }
+                    None => {
+                        head.release(self.nv);
+                        for im in p.intermediates {
+                            im.release(self.nv);
+                        }
+                    }
                 }
             }
             Some(i) => {
@@ -166,7 +349,7 @@ impl Fase<'_> {
 
     /// Read access to the underlying heap (peek reads, stats).
     pub fn nv(&self) -> &NvHeap {
-        self.heap.nv()
+        self.nv
     }
 
     /// Mutable heap access for charged reads or hand-built shadows.
@@ -174,12 +357,12 @@ impl Fase<'_> {
     /// path; direct writes here must follow the shadow discipline (write
     /// only to freshly allocated blocks).
     pub fn nv_mut(&mut self) -> &mut NvHeap {
-        self.heap.nv_mut()
+        self.nv
     }
 
     /// The underlying simulated PM pool (crash images in tests).
     pub fn pm(&self) -> &Pmem {
-        self.heap.nv().pm()
+        self.nv.pm()
     }
 
     /// Number of roots with updates staged so far.
@@ -197,30 +380,13 @@ impl ModHeap {
     /// atomically with exactly one ordering point (or not at all, if the
     /// process dies first). Returns the closure's result.
     pub fn fase<R>(&mut self, f: impl FnOnce(&mut Fase<'_>) -> R) -> R {
-        let (pending, out) = self.stage_fase(Vec::new(), f);
+        let (pending, out) = {
+            let mut tx = Fase::owner(self.nv_mut());
+            let out = f(&mut tx);
+            (std::mem::take(&mut tx.pending), out)
+        };
         self.commit_fase(pending);
         out
-    }
-
-    /// Runs a FASE closure and returns its staged updates *without*
-    /// committing them — the building block of the pipelined commit path
-    /// (`SharedModHeap`), which merges staged updates from several
-    /// threads into one batch and publishes the batch with one ordering
-    /// point. `overlay` carries the batch's per-root staged heads so this
-    /// FASE chains on them (serializing the batch).
-    pub(crate) fn stage_fase<R>(
-        &mut self,
-        overlay: Vec<(usize, PmPtr)>,
-        f: impl FnOnce(&mut Fase<'_>) -> R,
-    ) -> (Vec<PendingUpdate>, R) {
-        let mut tx = Fase {
-            heap: self,
-            pending: Vec::new(),
-            overlay,
-        };
-        let out = f(&mut tx);
-        let pending = std::mem::take(&mut tx.pending);
-        (pending, out)
     }
 
     /// Publishes staged FASE updates with exactly one ordering point.

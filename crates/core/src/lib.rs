@@ -68,6 +68,7 @@ pub mod erased;
 pub mod fase;
 pub mod heap;
 pub mod parent;
+pub mod queue;
 pub mod recovery;
 pub mod root;
 pub mod sched;
@@ -78,6 +79,7 @@ pub use codec::{PmKey, PmValue, PmWord};
 pub use erased::{DurableDs, ErasedDs, RootKind};
 pub use fase::Fase;
 pub use heap::{ModHeap, ULOG_CAP};
+pub use queue::HandoffQueue;
 pub use root::{Root, ROOT_DIR_SLOT};
 pub use sched::{SeededRoundRobin, Turn};
-pub use shared::{PipelineStats, SharedModHeap};
+pub use shared::{CommitMode, PipelineStats, SharedModHeap};

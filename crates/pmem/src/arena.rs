@@ -1,54 +1,90 @@
 //! Segmented byte storage backing the simulated PM pool.
 //!
+//! [`SharedArena`] is the storage layer that makes lock-free shard
+//! staging possible: it is a handle (cheap [`Clone`]) onto one shared,
+//! lazily-allocated byte space, and every access goes through **relaxed
+//! atomic `u64` words**. That gives the exact semantics of a real
+//! `mmap`ed PM pool shared by several cores:
+//!
+//! * concurrent accesses to *disjoint* ranges (each worker writes only
+//!   blocks inside its own allocation arena) are race-free and scale
+//!   across host threads with no lock;
+//! * racing accesses to the *same* 8-byte word are defined behavior —
+//!   the reader sees some complete 8-byte value, never UB — which is
+//!   precisely the publication guarantee MOD relies on for its one
+//!   atomic root-pointer store;
+//! * accesses spanning multiple words can tear at word granularity,
+//!   exactly like real PM, which is why the commit protocol only ever
+//!   publishes through single aligned 8-byte stores.
+//!
 //! Segments are allocated lazily (zero-filled) so a large pool costs
 //! memory only where it is touched — important because crash-simulation
 //! mode keeps a second arena holding the durable image.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// log2 of the segment size (4 MiB).
 const SEG_SHIFT: u32 = 22;
 /// Segment size in bytes.
 pub const SEGMENT_BYTES: u64 = 1 << SEG_SHIFT;
+/// Words per segment.
+const SEG_WORDS: usize = (SEGMENT_BYTES / 8) as usize;
 
-/// Lazily-allocated, zero-initialized flat byte space.
-#[derive(Clone, Debug, Default)]
-pub struct Arena {
-    segs: Vec<Option<Box<[u8]>>>,
+type Seg = Box<[AtomicU64]>;
+
+fn zeroed_seg() -> Seg {
+    (0..SEG_WORDS).map(|_| AtomicU64::new(0)).collect()
+}
+
+#[derive(Debug)]
+struct ArenaInner {
+    segs: Box<[OnceLock<Seg>]>,
     capacity: u64,
 }
 
-impl Arena {
+/// Lazily-allocated, zero-initialized flat byte space, shareable across
+/// threads (see the module docs for the concurrency contract).
+#[derive(Clone, Debug)]
+pub struct SharedArena {
+    inner: Arc<ArenaInner>,
+}
+
+impl SharedArena {
     /// Creates an arena addressing `[0, capacity)` bytes.
-    pub fn new(capacity: u64) -> Arena {
+    pub fn new(capacity: u64) -> SharedArena {
         let n_segs = capacity.div_ceil(SEGMENT_BYTES) as usize;
-        Arena {
-            segs: vec![None; n_segs],
-            capacity,
+        SharedArena {
+            inner: Arc::new(ArenaInner {
+                segs: (0..n_segs).map(|_| OnceLock::new()).collect(),
+                capacity,
+            }),
         }
     }
 
     /// Addressable capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        self.inner.capacity
     }
 
     /// Bytes of host memory actually committed to segments.
     pub fn resident_bytes(&self) -> u64 {
-        self.segs.iter().filter(|s| s.is_some()).count() as u64 * SEGMENT_BYTES
+        self.inner.segs.iter().filter(|s| s.get().is_some()).count() as u64 * SEGMENT_BYTES
+    }
+
+    /// Whether `other` is a handle onto the same storage.
+    pub fn same_storage(&self, other: &SharedArena) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     #[inline]
     fn check(&self, addr: u64, len: u64) {
         assert!(
             addr.checked_add(len)
-                .is_some_and(|end| end <= self.capacity),
+                .is_some_and(|end| end <= self.inner.capacity),
             "PM access out of bounds: [{addr:#x}, +{len}) beyond capacity {:#x}",
-            self.capacity
+            self.inner.capacity
         );
-    }
-
-    #[inline]
-    fn seg_mut(&mut self, idx: usize) -> &mut [u8] {
-        self.segs[idx].get_or_insert_with(|| vec![0u8; SEGMENT_BYTES as usize].into_boxed_slice())
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -64,8 +100,8 @@ impl Arena {
             let seg_idx = (a >> SEG_SHIFT) as usize;
             let in_seg = (a & (SEGMENT_BYTES - 1)) as usize;
             let chunk = usize::min(buf.len() - off, SEGMENT_BYTES as usize - in_seg);
-            match &self.segs[seg_idx] {
-                Some(seg) => buf[off..off + chunk].copy_from_slice(&seg[in_seg..in_seg + chunk]),
+            match self.inner.segs[seg_idx].get() {
+                Some(seg) => read_words(seg, in_seg, &mut buf[off..off + chunk]),
                 None => buf[off..off + chunk].fill(0),
             }
             off += chunk;
@@ -77,7 +113,7 @@ impl Arena {
     /// # Panics
     ///
     /// Panics if the range exceeds the arena capacity.
-    pub fn write(&mut self, addr: u64, buf: &[u8]) {
+    pub fn write(&self, addr: u64, buf: &[u8]) {
         self.check(addr, buf.len() as u64);
         let mut off = 0usize;
         while off < buf.len() {
@@ -85,15 +121,15 @@ impl Arena {
             let seg_idx = (a >> SEG_SHIFT) as usize;
             let in_seg = (a & (SEGMENT_BYTES - 1)) as usize;
             let chunk = usize::min(buf.len() - off, SEGMENT_BYTES as usize - in_seg);
-            let seg = self.seg_mut(seg_idx);
-            seg[in_seg..in_seg + chunk].copy_from_slice(&buf[off..off + chunk]);
+            let seg = self.inner.segs[seg_idx].get_or_init(zeroed_seg);
+            write_words(seg, in_seg, &buf[off..off + chunk]);
             off += chunk;
         }
     }
 
     /// Copies `len` bytes at `addr` from `src` into `self` (used to build
     /// durable images line by line).
-    pub fn copy_from(&mut self, src: &Arena, addr: u64, len: u64) {
+    pub fn copy_from(&self, src: &SharedArena, addr: u64, len: u64) {
         let mut buf = [0u8; 64];
         let mut remaining = len;
         let mut a = addr;
@@ -106,16 +142,86 @@ impl Arena {
         }
     }
 
-    /// Reads a little-endian `u64` at `addr`.
+    /// Deep copy into fresh, unshared storage (crash images must be
+    /// snapshots, not handles).
+    pub fn snapshot(&self) -> SharedArena {
+        let out = SharedArena::new(self.inner.capacity);
+        for (i, slot) in self.inner.segs.iter().enumerate() {
+            if let Some(seg) = slot.get() {
+                let dst = out.inner.segs[i].get_or_init(zeroed_seg);
+                for (d, s) in dst.iter().zip(seg.iter()) {
+                    d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reads a little-endian `u64` at `addr`. An aligned read is a single
+    /// atomic load (the root-pointer publication path).
     pub fn read_u64(&self, addr: u64) -> u64 {
+        if addr % 8 == 0 {
+            self.check(addr, 8);
+            let seg_idx = (addr >> SEG_SHIFT) as usize;
+            let word = ((addr & (SEGMENT_BYTES - 1)) / 8) as usize;
+            return match self.inner.segs[seg_idx].get() {
+                Some(seg) => seg[word].load(Ordering::Relaxed),
+                None => 0,
+            };
+        }
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
     }
 
-    /// Writes a little-endian `u64` at `addr`.
-    pub fn write_u64(&mut self, addr: u64, v: u64) {
+    /// Writes a little-endian `u64` at `addr`. An aligned write is a
+    /// single atomic store (the root-pointer publication path).
+    pub fn write_u64(&self, addr: u64, v: u64) {
+        if addr % 8 == 0 {
+            self.check(addr, 8);
+            let seg_idx = (addr >> SEG_SHIFT) as usize;
+            let word = ((addr & (SEGMENT_BYTES - 1)) / 8) as usize;
+            let seg = self.inner.segs[seg_idx].get_or_init(zeroed_seg);
+            seg[word].store(v, Ordering::Relaxed);
+            return;
+        }
         self.write(addr, &v.to_le_bytes());
+    }
+}
+
+/// Reads `buf.len()` bytes starting at byte offset `start` of `seg`.
+fn read_words(seg: &[AtomicU64], start: usize, buf: &mut [u8]) {
+    let mut off = 0usize;
+    while off < buf.len() {
+        let byte = start + off;
+        let word = byte / 8;
+        let in_word = byte % 8;
+        let n = usize::min(8 - in_word, buf.len() - off);
+        let w = seg[word].load(Ordering::Relaxed).to_le_bytes();
+        buf[off..off + n].copy_from_slice(&w[in_word..in_word + n]);
+        off += n;
+    }
+}
+
+/// Writes `buf` starting at byte offset `start` of `seg`. Partial-word
+/// edges read-modify-write their word; callers keep concurrently written
+/// ranges word-disjoint (allocation arenas are 64-byte aligned).
+fn write_words(seg: &[AtomicU64], start: usize, buf: &[u8]) {
+    let mut off = 0usize;
+    while off < buf.len() {
+        let byte = start + off;
+        let word = byte / 8;
+        let in_word = byte % 8;
+        let n = usize::min(8 - in_word, buf.len() - off);
+        if n == 8 {
+            let w = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            seg[word].store(w, Ordering::Relaxed);
+        } else {
+            let mut w = seg[word].load(Ordering::Relaxed).to_le_bytes();
+            w[in_word..in_word + n].copy_from_slice(&buf[off..off + n]);
+            seg[word].store(u64::from_le_bytes(w), Ordering::Relaxed);
+        }
+        off += n;
     }
 }
 
@@ -125,7 +231,7 @@ mod tests {
 
     #[test]
     fn zero_initialized() {
-        let a = Arena::new(1 << 24);
+        let a = SharedArena::new(1 << 24);
         let mut buf = [0xFFu8; 16];
         a.read(12345, &mut buf);
         assert_eq!(buf, [0u8; 16]);
@@ -133,7 +239,7 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let mut a = Arena::new(1 << 24);
+        let a = SharedArena::new(1 << 24);
         a.write(100, b"hello world");
         let mut buf = [0u8; 11];
         a.read(100, &mut buf);
@@ -141,8 +247,20 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_spans_roundtrip() {
+        let a = SharedArena::new(1 << 22);
+        for start in 0u64..16 {
+            let data: Vec<u8> = (0..37).map(|i| (start as u8) ^ i).collect();
+            a.write(1000 + start * 64 + start, &data);
+            let mut buf = vec![0u8; 37];
+            a.read(1000 + start * 64 + start, &mut buf);
+            assert_eq!(buf, data, "offset {start}");
+        }
+    }
+
+    #[test]
     fn cross_segment_access() {
-        let mut a = Arena::new(3 * SEGMENT_BYTES);
+        let a = SharedArena::new(3 * SEGMENT_BYTES);
         let addr = SEGMENT_BYTES - 5;
         let data: Vec<u8> = (0..32).collect();
         a.write(addr, &data);
@@ -153,14 +271,17 @@ mod tests {
 
     #[test]
     fn u64_roundtrip() {
-        let mut a = Arena::new(1 << 22);
+        let a = SharedArena::new(1 << 22);
         a.write_u64(64, 0xDEADBEEF_CAFEBABE);
         assert_eq!(a.read_u64(64), 0xDEADBEEF_CAFEBABE);
+        // Unaligned path too.
+        a.write_u64(101, 0x0102030405060708);
+        assert_eq!(a.read_u64(101), 0x0102030405060708);
     }
 
     #[test]
     fn lazy_segments() {
-        let mut a = Arena::new(64 * SEGMENT_BYTES);
+        let a = SharedArena::new(64 * SEGMENT_BYTES);
         assert_eq!(a.resident_bytes(), 0);
         a.write_u64(0, 1);
         assert_eq!(a.resident_bytes(), SEGMENT_BYTES);
@@ -170,8 +291,8 @@ mod tests {
 
     #[test]
     fn copy_from_moves_lines() {
-        let mut src = Arena::new(1 << 22);
-        let mut dst = Arena::new(1 << 22);
+        let src = SharedArena::new(1 << 22);
+        let dst = SharedArena::new(1 << 22);
         src.write(128, b"durable-data");
         dst.copy_from(&src, 128, 12);
         let mut buf = [0u8; 12];
@@ -180,9 +301,45 @@ mod tests {
     }
 
     #[test]
+    fn clone_is_a_handle_snapshot_is_a_copy() {
+        let a = SharedArena::new(1 << 22);
+        a.write_u64(0, 7);
+        let handle = a.clone();
+        let snap = a.snapshot();
+        assert!(a.same_storage(&handle));
+        assert!(!a.same_storage(&snap));
+        a.write_u64(0, 8);
+        assert_eq!(handle.read_u64(0), 8, "handle sees later writes");
+        assert_eq!(snap.read_u64(0), 7, "snapshot is frozen");
+    }
+
+    #[test]
+    fn disjoint_concurrent_writes_land() {
+        let a = SharedArena::new(1 << 22);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let a = a.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        a.write_u64(t * 65536 + i * 8, t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..256u64 {
+                assert_eq!(a.read_u64(t * 65536 + i * 8), t * 1000 + i);
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_read_panics() {
-        let a = Arena::new(100);
+        let a = SharedArena::new(100);
         let mut b = [0u8; 8];
         a.read(96, &mut b);
     }

@@ -70,6 +70,14 @@ impl WpqDrain {
         self.last_done
     }
 
+    /// Merges another calendar's watermark: a fence on this timeline now
+    /// also waits for drains scheduled there (used when a worker shard
+    /// hands its staged lines — and their in-flight drains — to the
+    /// commit stage).
+    pub fn note_done(&mut self, t: f64) {
+        self.last_done = self.last_done.max(t);
+    }
+
     /// Residual stall a fence executing at time `now` pays: how far the
     /// latest in-flight drain completion lies in the future (0 when the
     /// backlog already drained in the background).

@@ -45,12 +45,13 @@ pub mod stats;
 pub mod trace;
 pub mod wpq;
 
+pub use arena::SharedArena;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use clock::{SimClock, TimeBreakdown, TimeCategory};
 pub use drain::WpqDrain;
 pub use line::{line_of, lines_covering, PmPtr, CACHELINE};
 pub use model::{fit_parallel_fraction, karp_flatt_serial_fraction, LatencyModel};
-pub use pmem::{CrashPolicy, Pmem, PmemConfig};
+pub use pmem::{CrashPolicy, LineHandoff, Pmem, PmemConfig};
 pub use stats::{EpochHistogram, PmStats};
 pub use trace::{check_trace, TraceChecker, TraceEvent, Violation};
 pub use wpq::WpqModel;

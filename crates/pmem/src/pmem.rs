@@ -22,7 +22,7 @@
 //!   additionally persist (cache evictions, drains racing the failure),
 //!   which [`Pmem::crash_image`] models with a pluggable [`CrashPolicy`].
 
-use crate::arena::Arena;
+use crate::arena::SharedArena;
 use crate::cache::{CacheConfig, CacheSim, CacheStats};
 use crate::clock::{SimClock, TimeCategory};
 use crate::drain::WpqDrain;
@@ -138,12 +138,42 @@ struct ShardLane {
     stats: PmStats,
 }
 
+/// Volatile line states in transit from a worker's shard handle to the
+/// commit-stage pool (see [`Pmem::take_lines`] / [`Pmem::absorb_lines`]).
+/// Opaque: the line-state machine stays private to this module.
+#[derive(Debug)]
+pub struct LineHandoff {
+    lines: Vec<(u64, LineState)>,
+    /// In-flight count among `lines` (sanity checking).
+    inflight: usize,
+    /// WPQ calendar watermark: completion time of the latest drain the
+    /// worker scheduled, on the worker's (comparable) clock.
+    drain_last_done: f64,
+}
+
+impl LineHandoff {
+    /// Number of lines in transit.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the handoff carries no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// In-flight (flushed-but-unfenced) lines in transit.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+}
+
 /// The simulated PM pool plus its cache hierarchy, clock and counters.
 #[derive(Debug)]
 pub struct Pmem {
     cfg: PmemConfig,
-    data: Arena,
-    durable: Option<Arena>,
+    data: SharedArena,
+    durable: Option<SharedArena>,
     lines: HashMap<u64, LineState>,
     inflight: usize,
     cache: CacheSim,
@@ -168,8 +198,8 @@ impl Pmem {
     /// Creates a zero-filled pool.
     pub fn new(cfg: PmemConfig) -> Pmem {
         Pmem {
-            data: Arena::new(cfg.capacity),
-            durable: cfg.crash_sim.then(|| Arena::new(cfg.capacity)),
+            data: SharedArena::new(cfg.capacity),
+            durable: cfg.crash_sim.then(|| SharedArena::new(cfg.capacity)),
             lines: HashMap::new(),
             inflight: 0,
             cache: CacheSim::new(cfg.cache.clone()),
@@ -393,7 +423,7 @@ impl Pmem {
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
         // Persist pre-store content of any in-flight line being rewritten
         // (see charge_write_lines): do it before mutating `data`.
-        if let Some(durable) = self.durable.as_mut() {
+        if let Some(durable) = self.durable.as_ref() {
             for l in lines_covering(addr, buf.len() as u64) {
                 if matches!(self.lines.get(&l), Some(LineState::Inflight { .. })) {
                     durable.copy_from(&self.data, l, CACHELINE);
@@ -561,7 +591,7 @@ impl Pmem {
                 .collect();
             for l in flushed {
                 self.lines.remove(&l);
-                if let Some(d) = self.durable.as_mut() {
+                if let Some(d) = self.durable.as_ref() {
                     d.copy_from(&self.data, l, CACHELINE);
                 }
             }
@@ -701,6 +731,103 @@ impl Pmem {
     }
 
     // ------------------------------------------------------------------
+    // Shard handles (host-parallel staging)
+    // ------------------------------------------------------------------
+
+    /// Forks a *shard handle*: a new `Pmem` sharing this pool's storage
+    /// (data and durable image) but carrying its own private volatile
+    /// simulation state — clock, caches, line table, WPQ calendar, stats
+    /// and trace buffer. A worker thread owning a handle can read, write
+    /// and `clwb` with **no synchronization against other handles**, as
+    /// long as concurrently written ranges stay word-disjoint (each
+    /// worker writes only blocks inside its own allocation arena).
+    ///
+    /// The handle's clock starts at this pool's current time, so times
+    /// recorded by the handle are comparable with the parent timeline.
+    /// Line states accumulated by the handle are moved back into the
+    /// parent with [`Pmem::take_lines`] / [`Pmem::absorb_lines`] when a
+    /// staged FASE is handed to the commit stage.
+    pub fn fork_handle(&self) -> Pmem {
+        let mut clock = SimClock::new();
+        clock.sync_to_ns(self.clock.now_ns(), TimeCategory::Other);
+        Pmem {
+            data: self.data.clone(),
+            durable: self.durable.clone(),
+            lines: HashMap::new(),
+            inflight: 0,
+            cache: CacheSim::new(self.cfg.cache.clone()),
+            llc: CacheSim::new(self.cfg.llc.clone()),
+            clock,
+            stats: PmStats::new(),
+            drain: WpqDrain::new(),
+            shard_drain: WpqDrain::new(),
+            lanes: Vec::new(),
+            active_shard: 0,
+            trace: Vec::new(),
+            cfg: self.cfg.clone(),
+        }
+    }
+
+    /// Whether `other` is a handle onto the same shared storage.
+    pub fn same_storage(&self, other: &Pmem) -> bool {
+        self.data.same_storage(&other.data)
+    }
+
+    /// Advances the clock to at least `t` simulated nanoseconds, charging
+    /// the wait (e.g. synchronizing on a batch fence published by another
+    /// handle) as flush time.
+    pub fn sync_clock_to(&mut self, t: f64) {
+        self.clock.sync_to_ns(t, TimeCategory::Flush);
+    }
+
+    /// Drains this handle's volatile line states (dirty and in-flight
+    /// lines plus the WPQ calendar watermark) into a transferable
+    /// [`LineHandoff`], leaving the handle with a clean slate. Called by
+    /// a worker when its staged FASE is pushed to the commit stage: the
+    /// FASE's blocks — and responsibility for fencing them — travel with
+    /// it.
+    pub fn take_lines(&mut self) -> LineHandoff {
+        let lines: Vec<(u64, LineState)> = self.lines.drain().collect();
+        let inflight = std::mem::take(&mut self.inflight);
+        let drain_last_done = self.drain.last_done();
+        self.drain.reset();
+        LineHandoff {
+            lines,
+            inflight,
+            drain_last_done,
+        }
+    }
+
+    /// Merges a worker handle's [`LineHandoff`] into this pool: the lines
+    /// become this timeline's dirty/in-flight lines (the next
+    /// [`Pmem::sfence`] drains and persists them), and the handed-off
+    /// drain watermark joins the WPQ calendar. Shard arenas are 64-byte
+    /// aligned so two handles never hand off the same line; if they ever
+    /// do, the later state wins.
+    pub fn absorb_lines(&mut self, handoff: LineHandoff) {
+        for (line, state) in handoff.lines {
+            if matches!(
+                self.lines.insert(line, state),
+                Some(LineState::Inflight { .. })
+            ) {
+                self.inflight -= 1;
+            }
+            if matches!(state, LineState::Inflight { .. }) {
+                self.inflight += 1;
+            }
+        }
+        self.drain.note_done(handoff.drain_last_done);
+        debug_assert!(self.lines.len() >= self.inflight);
+    }
+
+    /// Appends trace events recorded by a worker handle (in batch order).
+    pub fn append_trace(&mut self, mut events: Vec<TraceEvent>) {
+        if self.cfg.trace {
+            self.trace.append(&mut events);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Crash simulation
     // ------------------------------------------------------------------
 
@@ -720,7 +847,7 @@ impl Pmem {
             .durable
             .as_ref()
             .expect("crash_image requires PmemConfig::crash_sim = true");
-        let mut image = durable.clone();
+        let image = durable.snapshot();
         let now = self.clock.now_ns();
         for (&line, state) in &self.lines {
             let drained = matches!(state, LineState::Inflight { done_ns } if *done_ns <= now);
@@ -729,8 +856,8 @@ impl Pmem {
             }
         }
         Pmem {
-            data: image.clone(),
-            durable: Some(image),
+            durable: Some(image.snapshot()),
+            data: image,
             lines: HashMap::new(),
             inflight: 0,
             cache: CacheSim::new(self.cfg.cache.clone()),
@@ -1145,6 +1272,83 @@ mod tests {
         let mut pm = testing_pmem();
         pm.configure_shards(2);
         pm.set_active_shard(2);
+    }
+
+    #[test]
+    fn fork_handle_shares_storage_not_sim_state() {
+        let mut pm = testing_pmem();
+        pm.write_u64(0x100, 7);
+        let mut h = pm.fork_handle();
+        assert!(pm.same_storage(&h));
+        assert_eq!(h.read_u64(0x100), 7, "handle reads the shared pool");
+        h.write_u64(0x4000, 9);
+        assert_eq!(pm.peek_u64(0x4000), 9, "parent sees handle writes");
+        // Volatile state is private: the parent's counters/lines did not
+        // move, and the handle started with the parent's clock.
+        assert_eq!(pm.stats().writes, 1);
+        assert_eq!(h.stats().writes, 1);
+        assert_eq!(pm.dirty_lines(), 1);
+        assert_eq!(h.dirty_lines(), 1);
+        assert!(h.clock().now_ns() >= pm.clock().now_ns() - 1e-9 || h.clock().now_ns() > 0.0);
+    }
+
+    #[test]
+    fn line_handoff_moves_persistence_responsibility() {
+        let mut pm = testing_pmem();
+        let mut h = pm.fork_handle();
+        h.write_u64(0x4000, 42);
+        h.clwb(0x4000);
+        h.write_u64(0x4040, 43); // dirty, unflushed
+        let handoff = h.take_lines();
+        assert_eq!(handoff.len(), 2);
+        assert_eq!(handoff.inflight(), 1);
+        assert_eq!(h.inflight_flushes(), 0, "handle slate is clean");
+        assert_eq!(h.dirty_lines(), 0);
+        pm.absorb_lines(handoff);
+        assert_eq!(pm.inflight_flushes(), 1);
+        assert_eq!(pm.dirty_lines(), 1);
+        // The parent's fence persists the handed-off flushed line.
+        pm.sfence();
+        let img = pm.crash_image(CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(0x4000), 42);
+        assert_eq!(img.peek_u64(0x4040), 0, "dirty line still volatile");
+    }
+
+    #[test]
+    fn handoff_drain_watermark_reaches_the_fence() {
+        // A worker flushes at lane time t; the commit fence (synced past
+        // t) pays only the residual of the worker's drain.
+        let mut pm = testing_pmem();
+        let mut h = pm.fork_handle();
+        h.write_u64(0x4000, 1);
+        h.clwb(0x4000);
+        let stage_end = h.clock().now_ns();
+        let handoff = h.take_lines();
+        pm.sync_clock_to(stage_end);
+        pm.absorb_lines(handoff);
+        pm.charge_ns(10_000.0); // commit-side compute hides the drain
+        let before = pm.clock().breakdown().flush_ns;
+        pm.sfence();
+        let fence_ns = pm.clock().breakdown().flush_ns - before;
+        assert_eq!(
+            fence_ns,
+            pm.config().latency.fence_overhead_ns,
+            "drain completed in the background before the fence"
+        );
+        assert!(pm.stats().overlap_ns > 0.0);
+    }
+
+    #[test]
+    fn crash_image_ignores_unhandled_worker_lines() {
+        // Staged-but-not-handed-off lines live only in the worker handle:
+        // the parent's crash image must lose them under every policy
+        // (legal — they are unreachable shadow blocks).
+        let pm = testing_pmem();
+        let mut h = pm.fork_handle();
+        h.write_u64(0x4000, 5);
+        h.clwb(0x4000);
+        let img = pm.crash_image(CrashPolicy::PersistAll);
+        assert_eq!(img.peek_u64(0x4000), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod report;
 pub mod spec;
 pub mod vacation;
 
-pub use concurrent::{run_pipelined, ConcurrencyConfig, ConcurrencyReport};
+pub use concurrent::{run_host, run_pipelined, ConcurrencyConfig, ConcurrencyReport, HostReport};
 pub use report::{OpProfile, RunReport};
 pub use spec::{ScaleConfig, System, Workload, WorkloadRng};
 

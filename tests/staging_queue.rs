@@ -1,0 +1,290 @@
+//! Interleaving tests for the lock-free staging path — the
+//! [`mod_core::HandoffQueue`] and the stage/commit handoff built on it —
+//! driven loom-style through every seeded turnstile schedule, with crash
+//! injection at every step.
+//!
+//! Two layers:
+//!
+//! * **Queue-level** — real producer threads and a batch drainer
+//!   interleaved by a [`SeededRoundRobin`]: at every possible halt point
+//!   the union of drained batches and the final sweep must be exactly
+//!   the multiset of completed pushes, in per-producer FIFO order —
+//!   nothing lost, nothing duplicated, whatever the schedule.
+//! * **Heap-level** — staging workers racing a dedicated *flusher*
+//!   thread that batch-drains the pipeline mid-run (the push-vs-drain
+//!   race the lock-free queue exists to make safe), frozen at every
+//!   scheduler step: recovery must see each FASE all-or-nothing across
+//!   both structures, and the op phase must cost exactly one fence per
+//!   committed batch (via `PmStats`).
+
+use mod_core::{
+    DurableMap, DurableQueue, HandoffQueue, ModHeap, SeededRoundRobin, SharedModHeap, Turn,
+};
+use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Queue-level schedules
+// ---------------------------------------------------------------------
+
+const PUSHERS: usize = 3;
+const PUSHES_PER_WORKER: u64 = 5;
+const DRAIN_STEPS: u64 = 6;
+
+/// Runs `PUSHERS` producer threads plus one batch drainer under a seeded
+/// turnstile, optionally halting before step `halt_at`. Returns
+/// `(batches drained during the run, items left at the freeze point,
+/// pushes that completed)`.
+fn run_queue_schedule(seed: u64, halt_at: Option<u64>) -> (Vec<Vec<u64>>, Vec<u64>, u64) {
+    let q = Arc::new(HandoffQueue::<u64>::new());
+    let sched = Arc::new(SeededRoundRobin::with_halt(seed, PUSHERS + 1, halt_at));
+    let drained = Arc::new(Mutex::new(Vec::new()));
+    let pushed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for w in 0..PUSHERS {
+        let q = Arc::clone(&q);
+        let sched = Arc::clone(&sched);
+        let pushed = Arc::clone(&pushed);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PUSHES_PER_WORKER {
+                if sched.step(w) == Turn::Halt {
+                    break;
+                }
+                q.push((w as u64) << 32 | i);
+                pushed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            sched.finish(w);
+        }));
+    }
+    {
+        let q = Arc::clone(&q);
+        let sched = Arc::clone(&sched);
+        let drained = Arc::clone(&drained);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..DRAIN_STEPS {
+                if sched.step(PUSHERS) == Turn::Halt {
+                    break;
+                }
+                let batch = q.drain();
+                if !batch.is_empty() {
+                    drained.lock().unwrap().push(batch);
+                }
+            }
+            sched.finish(PUSHERS);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let batches = Arc::try_unwrap(drained).unwrap().into_inner().unwrap();
+    let rest = q.drain();
+    let pushed = pushed.load(std::sync::atomic::Ordering::SeqCst);
+    (batches, rest, pushed)
+}
+
+fn assert_queue_outcome(seed: u64, k: u64, batches: &[Vec<u64>], rest: &[u64], pushed: u64) {
+    let all: Vec<u64> = batches
+        .iter()
+        .flatten()
+        .chain(rest.iter())
+        .copied()
+        .collect();
+    assert_eq!(
+        all.len() as u64,
+        pushed,
+        "seed {seed} halt {k}: {} items recovered from {pushed} completed pushes",
+        all.len()
+    );
+    let set: BTreeSet<u64> = all.iter().copied().collect();
+    assert_eq!(set.len(), all.len(), "seed {seed} halt {k}: duplicates");
+    // Per-producer FIFO across batch boundaries.
+    for p in 0..PUSHERS as u64 {
+        let seq: Vec<u64> = all
+            .iter()
+            .filter(|&&v| v >> 32 == p)
+            .map(|&v| v & 0xFFFF_FFFF)
+            .collect();
+        assert_eq!(
+            seq,
+            (0..seq.len() as u64).collect::<Vec<_>>(),
+            "seed {seed} halt {k}: producer {p} reordered"
+        );
+    }
+}
+
+#[test]
+fn queue_schedules_lose_nothing_at_any_halt_point() {
+    for seed in [1u64, 2, 3] {
+        let (_, _, total) = {
+            let (b, r, p) = run_queue_schedule(seed, None);
+            assert_queue_outcome(seed, u64::MAX, &b, &r, p);
+            (b, r, p)
+        };
+        assert_eq!(total, PUSHERS as u64 * PUSHES_PER_WORKER);
+        let steps = PUSHERS as u64 * PUSHES_PER_WORKER + DRAIN_STEPS;
+        for k in 0..=steps {
+            let (batches, rest, pushed) = run_queue_schedule(seed, Some(k));
+            assert_queue_outcome(seed, k, &batches, &rest, pushed);
+        }
+    }
+}
+
+#[test]
+fn queue_schedules_are_deterministic_in_the_seed() {
+    let a = run_queue_schedule(9, Some(10));
+    let b = run_queue_schedule(9, Some(10));
+    assert_eq!(a.0, b.0, "same seed, same drained batches");
+    assert_eq!(a.1, b.1, "same seed, same residue");
+}
+
+// ---------------------------------------------------------------------
+// Heap-level: staging vs batch-drain vs crash
+// ---------------------------------------------------------------------
+
+const STAGERS: usize = 3;
+const OPS_PER_STAGER: u64 = 4;
+const FLUSH_STEPS: u64 = 5;
+
+fn token(worker: usize, op: u64) -> u64 {
+    (worker as u64) * 100 + op
+}
+
+struct Outcome {
+    image: Pmem,
+    batches: u64,
+    fases: u64,
+    fences: u64,
+}
+
+/// `STAGERS` workers stage producer FASEs while a dedicated flusher
+/// thread batch-drains the pipeline at seeded points; the run freezes
+/// before step `halt_at`.
+fn run_with_flusher(seed: u64, halt_at: Option<u64>) -> Outcome {
+    let shared = SharedModHeap::create(Pmem::new(PmemConfig::testing()), STAGERS);
+    let queue: DurableQueue<u64> = shared.setup(DurableQueue::create);
+    let map: DurableMap<u64, u64> = shared.setup(DurableMap::create);
+    shared.quiesce();
+    let fences_before = shared.with(|h| h.nv().pm().stats().fences);
+
+    let sched = Arc::new(SeededRoundRobin::with_halt(seed, STAGERS + 1, halt_at));
+    let mut handles = Vec::new();
+    for w in 0..STAGERS {
+        let shared = shared.clone();
+        let sched = Arc::clone(&sched);
+        handles.push(std::thread::spawn(move || {
+            let mut halted = false;
+            for op in 0..OPS_PER_STAGER {
+                if sched.step(w) == Turn::Halt {
+                    halted = true;
+                    break;
+                }
+                let t = token(w, op);
+                shared.fase(w, |tx| {
+                    queue.enqueue_in(tx, &t);
+                    map.insert_in(tx, &t, &(t * 7));
+                });
+            }
+            if !halted {
+                shared.deregister(w);
+            }
+            sched.finish(w);
+        }));
+    }
+    {
+        // The flusher races the stagers' pushes with batch drains — the
+        // exact interleaving the lock-free handoff queue must survive.
+        let shared = shared.clone();
+        let sched = Arc::clone(&sched);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..FLUSH_STEPS {
+                if sched.step(STAGERS) == Turn::Halt {
+                    break;
+                }
+                shared.flush();
+            }
+            sched.finish(STAGERS);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = shared.stats();
+    let fences = shared.with(|h| h.nv().pm().stats().fences) - fences_before;
+    Outcome {
+        image: shared.crash_image(CrashPolicy::OnlyFenced),
+        batches: stats.batches,
+        fases: stats.fases,
+        fences,
+    }
+}
+
+fn recover(image: Pmem) -> (Vec<u64>, BTreeSet<u64>) {
+    let (heap, _) = ModHeap::open(image);
+    let queue = DurableQueue::<u64>::open(&heap, 0);
+    let map = DurableMap::<u64, u64>::open(&heap, 1);
+    let qtokens = heap.current(queue.root()).peek_to_vec(heap.nv());
+    let mkeys: BTreeSet<u64> = heap
+        .current(map.root())
+        .peek_to_vec(heap.nv())
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    for &k in &mkeys {
+        assert_eq!(map.get(&heap, &k), Some(k * 7), "ledger value for {k}");
+    }
+    (qtokens, mkeys)
+}
+
+fn assert_all_or_nothing(seed: u64, k: u64, qtokens: &[u64], mkeys: &BTreeSet<u64>) {
+    let qset: BTreeSet<u64> = qtokens.iter().copied().collect();
+    assert_eq!(
+        qset.len(),
+        qtokens.len(),
+        "seed {seed} step {k}: dup tokens"
+    );
+    assert_eq!(
+        &qset, mkeys,
+        "seed {seed} step {k}: FASE half-applied across queue and ledger"
+    );
+    for w in 0..STAGERS {
+        let ops: Vec<u64> = (0..OPS_PER_STAGER)
+            .filter(|&op| qset.contains(&token(w, op)))
+            .collect();
+        assert_eq!(
+            ops,
+            (0..ops.len() as u64).collect::<Vec<_>>(),
+            "seed {seed} step {k}: worker {w} out of order"
+        );
+    }
+}
+
+#[test]
+fn flusher_race_full_runs_cost_one_fence_per_batch() {
+    for seed in [1u64, 2, 3] {
+        let out = run_with_flusher(seed, None);
+        assert_eq!(out.fases, STAGERS as u64 * OPS_PER_STAGER);
+        assert_eq!(
+            out.fences, out.batches,
+            "seed {seed}: fences ≠ batches with a racing flusher"
+        );
+        let (qtokens, mkeys) = recover(out.image);
+        assert_all_or_nothing(seed, u64::MAX, &qtokens, &mkeys);
+    }
+}
+
+#[test]
+fn flusher_race_crash_at_every_step_is_all_or_nothing() {
+    for seed in [1u64, 2] {
+        let total = STAGERS as u64 * OPS_PER_STAGER + FLUSH_STEPS;
+        for k in 0..=total {
+            let out = run_with_flusher(seed, Some(k));
+            assert_eq!(
+                out.fences, out.batches,
+                "seed {seed} step {k}: fences ≠ batches"
+            );
+            let (qtokens, mkeys) = recover(out.image);
+            assert_all_or_nothing(seed, k, &qtokens, &mkeys);
+        }
+    }
+}
