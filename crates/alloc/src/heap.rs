@@ -77,17 +77,14 @@ pub struct NvHeap {
 }
 
 impl NvHeap {
-    /// Formats a fresh pool: writes the pool header, zeroes the root
-    /// slots, and makes both durable.
-    pub fn format(mut pm: Pmem) -> NvHeap {
-        pm.trace_alloc(0, HEAP_BASE); // metadata region is "allocated"
-        pm.write_u64(0, POOL_MAGIC);
-        pm.write_u64(8, pm.capacity());
-        for i in 0..crate::layout::N_ROOTS {
-            pm.write_u64(root_slot_offset(i), 0);
-        }
-        pm.flush_range(0, HEAP_BASE);
-        pm.sfence();
+    /// The one constructor behind every open-from-image path: fresh
+    /// volatile state (free lists, refcounts, bump pointer) over an
+    /// existing pool image, in recovery mode or ready to allocate.
+    /// [`NvHeap::format`], [`NvHeap::open`] and the worker heaps of
+    /// [`NvHeap::split_workers`] all funnel through here, so a pool
+    /// image rebuilt from disk ([`mod_pmem::Pmem::open_file`]) gets the
+    /// exact same heap object as one opened from a crash image.
+    fn from_pool(pm: Pmem, recovering: bool) -> NvHeap {
         NvHeap {
             pm,
             free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
@@ -99,14 +96,22 @@ impl NvHeap {
             active_shard: 0,
             worker: None,
             split: None,
-            mark: Some(MarkState::default()),
+            mark: recovering.then(MarkState::default),
         }
-        .into_ready()
     }
 
-    fn into_ready(mut self) -> NvHeap {
-        self.mark = None;
-        self
+    /// Formats a fresh pool: writes the pool header, zeroes the root
+    /// slots, and makes both durable.
+    pub fn format(mut pm: Pmem) -> NvHeap {
+        pm.trace_alloc(0, HEAP_BASE); // metadata region is "allocated"
+        pm.write_u64(0, POOL_MAGIC);
+        pm.write_u64(8, pm.capacity());
+        for i in 0..crate::layout::N_ROOTS {
+            pm.write_u64(root_slot_offset(i), 0);
+        }
+        pm.flush_range(0, HEAP_BASE);
+        pm.sfence();
+        NvHeap::from_pool(pm, false)
     }
 
     /// Opens an existing pool after a (simulated) restart or crash. The
@@ -120,19 +125,7 @@ impl NvHeap {
     pub fn open(mut pm: Pmem) -> NvHeap {
         let magic = pm.read_u64(0);
         assert_eq!(magic, POOL_MAGIC, "not a formatted MOD pool");
-        NvHeap {
-            pm,
-            free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
-            regions: BTreeMap::new(),
-            bump: HEAP_BASE,
-            rc: HashMap::new(),
-            stats: AllocStats::default(),
-            shards: Vec::new(),
-            active_shard: 0,
-            worker: None,
-            split: None,
-            mark: Some(MarkState::default()),
-        }
+        NvHeap::from_pool(pm, true)
     }
 
     /// Whether the heap is still in recovery mode.
@@ -337,35 +330,27 @@ impl NvHeap {
                 let start = abase + i * per;
                 let end = start + per;
                 arenas.push(Some((start, end)));
-                NvHeap {
-                    pm: self.pm.fork_handle(),
+                let mut w = NvHeap::from_pool(self.pm.fork_handle(), false);
+                // The global-bump fallback must never fire on a worker:
+                // point it at the capacity so exhaustion panics loudly
+                // instead of clobbering the pool.
+                w.bump = self.pm.capacity();
+                w.shards = vec![ShardAlloc {
                     free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
-                    regions: BTreeMap::new(),
-                    // The global-bump fallback must never fire on a
-                    // worker: point it at the capacity so exhaustion
-                    // panics loudly instead of clobbering the pool.
-                    bump: self.pm.capacity(),
-                    rc: HashMap::new(),
+                    start,
+                    end,
+                    bump: start,
                     stats: AllocStats::default(),
-                    shards: vec![ShardAlloc {
-                        free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
-                        start,
-                        end,
-                        bump: start,
-                        stats: AllocStats::default(),
-                    }],
-                    active_shard: 0,
-                    worker: Some(WorkerMode {
-                        home: i as usize,
-                        bins: Arc::clone(&bins),
-                        rc_deltas: HashMap::new(),
-                        fase_allocs: Vec::new(),
-                        foreign_frees: Vec::new(),
-                        stats_mark: AllocStats::default(),
-                    }),
-                    split: None,
-                    mark: None,
-                }
+                }];
+                w.worker = Some(WorkerMode {
+                    home: i as usize,
+                    bins: Arc::clone(&bins),
+                    rc_deltas: HashMap::new(),
+                    fase_allocs: Vec::new(),
+                    foreign_frees: Vec::new(),
+                    stats_mark: AllocStats::default(),
+                });
+                w
             })
             .collect();
         self.split = Some(SplitState { arenas, bins });

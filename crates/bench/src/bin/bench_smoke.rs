@@ -20,11 +20,16 @@
 //! section is skipped entirely (`host_` baseline keys do not gate when
 //! the current run omits them).
 //!
+//! The file-backend section runs a persistent session against a real
+//! pool file and records ungated `info.file_backend.*` keys: journal
+//! bytes appended per FASE, compactions, and the host time to replay the
+//! pool on reopen.
+//!
 //! ```text
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR4.json`): where to write this run's
+//! * `--out` (default `BENCH_PR5.json`): where to write this run's
 //!   metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
@@ -101,6 +106,44 @@ fn collect_metrics() -> Metrics {
         eight.mean_batch() / eight.threads as f64,
     );
 
+    eprintln!("  bench_smoke: file-backed session (journal traffic, replay) ...");
+    {
+        const SESSION_SEED: u64 = 0xBE5E_ED05;
+        const SESSION_OPS: u64 = 2_000;
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_bench_smoke_{}.pool", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut session =
+            mod_workloads::session::open_session(&path, SESSION_SEED).expect("session pool");
+        mod_workloads::session::run_ops(&mut session, SESSION_OPS);
+        let backend = session.heap.nv().pm().backend_stats();
+        // Drop without a checkpoint (as a kill would): the reopen below
+        // then measures a real journal replay, not just a snapshot load.
+        drop(session);
+        // info.* — never gated: journal traffic depends on the op mix and
+        // replay time on host IO, but both belong in the artifact.
+        m.insert(
+            "info.file_backend.journal_bytes_per_fase".to_string(),
+            backend.journal_bytes as f64 / SESSION_OPS as f64,
+        );
+        m.insert(
+            "info.file_backend.compactions".to_string(),
+            backend.compactions as f64,
+        );
+        let reopened = mod_pmem::Pmem::open_file(&path, mod_pmem::PmemConfig::default())
+            .expect("session reopen");
+        let replay = reopened.replay_stats().expect("replay stats").clone();
+        m.insert(
+            "info.file_backend.replay_ns".to_string(),
+            replay.host_ns as f64,
+        );
+        m.insert(
+            "info.file_backend.replayed_batches".to_string(),
+            replay.batches as f64,
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -165,7 +208,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR4.json");
+    let mut out = String::from("BENCH_PR5.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

@@ -26,7 +26,9 @@
 use crate::erased::ErasedDs;
 use crate::root::ROOT_DIR_SLOT;
 use mod_alloc::NvHeap;
-use mod_pmem::{PmPtr, Pmem};
+use mod_pmem::{PmPtr, Pmem, PmemConfig};
+use std::io;
+use std::path::Path;
 
 /// Byte offset of the unrelated-commit log's state word.
 pub(crate) const ULOG_STATE: u64 = 576;
@@ -57,6 +59,14 @@ impl ModHeap {
         }
     }
 
+    /// Formats a fresh **file-backed** pool at `path`: every FASE commit
+    /// appends its fence's lines to the pool file's journal, so the heap
+    /// survives the death of this process and reopens with
+    /// [`ModHeap::open_file`].
+    pub fn create_file(path: &Path, cfg: PmemConfig) -> io::Result<ModHeap> {
+        Ok(ModHeap::create(Pmem::create_file(path, cfg)?))
+    }
+
     pub(crate) fn from_parts(nv: NvHeap) -> ModHeap {
         ModHeap {
             nv,
@@ -75,9 +85,31 @@ impl ModHeap {
         &mut self.nv
     }
 
-    /// Consumes the heap, returning the raw pool (crash-image plumbing).
-    pub fn into_pm(self) -> Pmem {
+    /// Consumes the heap, returning the raw pool — an *orderly* close:
+    /// if version releases are still deferred (the last commit's pointer
+    /// store is not yet known durable), one final fence drains them
+    /// first, so the last FASE is durable and no superseded version
+    /// leaves the process unreclaimed. A heap with nothing pending pays
+    /// no extra fence (crash tests that quiesce and then build
+    /// uncommitted state are unaffected); to model a *crash* instead of
+    /// a close, take [`mod_pmem::Pmem::crash_image`] through
+    /// [`ModHeap::nv`] without consuming the heap.
+    pub fn into_pm(mut self) -> Pmem {
+        if !self.pending.is_empty() {
+            self.fence_and_drain();
+        }
         self.nv.into_pm()
+    }
+
+    /// Orderly shutdown of a file-backed heap: drains deferred
+    /// reclamation (one fence), checkpoints the pool file (journals
+    /// drained-but-unfenced lines, compacts, fsyncs) and returns the
+    /// pool. On a memory-backed heap the checkpoint is a no-op.
+    pub fn close(mut self) -> io::Result<Pmem> {
+        self.quiesce();
+        let mut pm = self.nv.into_pm();
+        pm.checkpoint()?;
+        Ok(pm)
     }
 
     /// Reads a root slot (raw-slot interface; typed code uses
@@ -250,5 +282,86 @@ mod tests {
     #[test]
     fn directory_slot_is_reserved() {
         assert_eq!(ROOT_DIR_SLOT, mod_alloc::N_ROOTS - 1);
+    }
+
+    #[test]
+    fn into_pm_drains_pending_reclaims() {
+        // Pin the orderly-close fix: consuming the heap right after a
+        // FASE (no quiesce) must fence the deferred releases, so the
+        // final commit is durable even under the lossiest policy and no
+        // superseded version leaves the process unreclaimed.
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"final")));
+        assert!(h.pending_reclaims() >= 1, "deferred release outstanding");
+        let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
+        let (h2, _) = ModHeap::open(img);
+        let map: crate::Root<PmMap> = h2.open_root(0);
+        assert_eq!(
+            h2.current(map).peek_get(h2.nv(), 1),
+            Some(b"final".to_vec()),
+            "the close fence made the last FASE durable"
+        );
+    }
+
+    #[test]
+    fn into_pm_reopens_like_a_quiesced_close() {
+        // The free state a reopened pool rebuilds must not depend on
+        // whether the closing process quiesced explicitly.
+        let run = |quiesce: bool| {
+            let mut h = mh();
+            let m0 = PmMap::empty(h.nv_mut());
+            let map = h.publish(m0);
+            for i in 0..10u64 {
+                h.fase(|tx| tx.update(map, move |nv, m| m.insert(nv, i, b"v")));
+            }
+            if quiesce {
+                h.quiesce();
+            }
+            let (h2, report) = ModHeap::open(h.into_pm().crash_image(CrashPolicy::OnlyFenced));
+            (report, h2.nv().stats().clone())
+        };
+        let (r_plain, s_plain) = run(false);
+        let (r_quiesced, s_quiesced) = run(true);
+        assert_eq!(r_plain, r_quiesced, "identical recovery reports");
+        assert_eq!(s_plain, s_quiesced, "identical rebuilt free state");
+    }
+
+    #[test]
+    fn into_pm_without_pending_adds_no_fence() {
+        let mut h = mh();
+        let m0 = PmMap::empty(h.nv_mut());
+        let map = h.publish(m0);
+        h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 1, b"x")));
+        h.quiesce();
+        assert_eq!(h.pending_reclaims(), 0);
+        let fences = h.nv().pm().stats().fences;
+        let pm = h.into_pm();
+        assert_eq!(
+            pm.stats().fences,
+            fences,
+            "quiesced heaps close without extra ordering points"
+        );
+    }
+
+    #[test]
+    fn file_heap_survives_process_style_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_core_heap_{}.pool", std::process::id()));
+        {
+            let mut h = ModHeap::create_file(&path, mod_pmem::PmemConfig::testing()).unwrap();
+            let m0 = PmMap::empty(h.nv_mut());
+            let map = h.publish(m0);
+            h.fase(|tx| tx.update(map, |nv, m| m.insert(nv, 5, b"disk")));
+            drop(h.close().unwrap());
+        }
+        // A "different process": nothing shared but the file.
+        let (h2, report) = ModHeap::open_file(&path, mod_pmem::PmemConfig::testing()).unwrap();
+        assert!(report.live_blocks > 0);
+        let map: crate::Root<PmMap> = h2.open_root(0);
+        assert_eq!(h2.current(map).peek_get(h2.nv(), 5), Some(b"disk".to_vec()));
+        assert!(h2.nv().pm().replay_stats().is_some());
+        std::fs::remove_file(&path).unwrap();
     }
 }

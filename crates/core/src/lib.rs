@@ -82,4 +82,4 @@ pub use heap::{ModHeap, ULOG_CAP};
 pub use queue::HandoffQueue;
 pub use root::{Root, ROOT_DIR_SLOT};
 pub use sched::{SeededRoundRobin, Turn};
-pub use shared::{CommitMode, PipelineStats, SharedModHeap};
+pub use shared::{CommitMode, LaneContention, PipelineStats, SharedModHeap};

@@ -62,6 +62,21 @@ impl ModHeap {
         let report = nv.finish_recovery();
         (ModHeap::from_parts(nv), report)
     }
+
+    /// Opens and recovers a **file-backed** pool written by a previous
+    /// process (or process lifetime): the pool file's snapshot and every
+    /// complete journaled fence are replayed into a fresh arena (a torn
+    /// tail — a record the dying process never finished — is discarded,
+    /// so the image lands on the last complete fence), and then the
+    /// exact same typed recovery as [`ModHeap::open`] runs against that
+    /// disk image: legacy log redo, root-directory walk, refcount
+    /// rebuild, reachability sweep.
+    pub fn open_file(
+        path: &std::path::Path,
+        cfg: mod_pmem::PmemConfig,
+    ) -> std::io::Result<(ModHeap, RecoveryReport)> {
+        Ok(ModHeap::open(Pmem::open_file(path, cfg)?))
+    }
 }
 
 fn redo_unrelated_log(nv: &mut NvHeap) {

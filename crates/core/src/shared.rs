@@ -98,6 +98,11 @@ pub struct PipelineStats {
     pub batched_fases: u64,
     /// Largest batch committed so far.
     pub max_batch: usize,
+    /// Staging attempts aborted on a discordant lane order and retried
+    /// after backoff (every conflict eventually committed or surfaced as
+    /// a [`LaneContention`] — this counter is the livelock-freedom
+    /// witness the discordant-lock-order tests assert on).
+    pub lane_conflicts: u64,
 }
 
 #[derive(Debug, Default)]
@@ -106,6 +111,7 @@ struct AtomicPipelineStats {
     batches: AtomicU64,
     batched_fases: AtomicU64,
     max_batch: AtomicUsize,
+    lane_conflicts: AtomicU64,
 }
 
 impl AtomicPipelineStats {
@@ -115,7 +121,54 @@ impl AtomicPipelineStats {
             batches: self.batches.load(Ordering::SeqCst),
             batched_fases: self.batched_fases.load(Ordering::SeqCst),
             max_batch: self.max_batch.load(Ordering::SeqCst),
+            lane_conflicts: self.lane_conflicts.load(Ordering::SeqCst),
         }
+    }
+}
+
+/// Typed staging failure: a FASE's lane acquisitions kept colliding with
+/// discordant lock orders until the bounded retry budget ran out. The
+/// staged work was rolled back each time — the heap is unchanged, and
+/// the FASE can be resubmitted (the contending FASEs hold lanes only
+/// while staging, so persistent contention means a peer is stalled
+/// inside its closure, not livelock).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneContention {
+    /// The worker whose FASE gave up.
+    pub worker: usize,
+    /// Staging attempts made (each aborted by a lane conflict).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for LaneContention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {}: FASE aborted by lane conflicts {} times (bounded backoff exhausted)",
+            self.worker, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for LaneContention {}
+
+/// Bounded retry budget for conflict-aborted FASEs (see
+/// [`SharedModHeap::try_fase`]). With the exponential backoff below the
+/// whole budget is ~50 ms of sleep — far beyond any scheduling hiccup
+/// (a lane holder descheduled on a loaded host), so exhausting it means
+/// a peer is genuinely parked inside its closure, not livelock.
+const CONFLICT_RETRY_CAP: u32 = 32;
+
+/// Exponential backoff between conflict retries: yield for the first few
+/// attempts, then sleep `2^attempt` µs capped at ~2 ms. Bounded and
+/// monotone, so two discordant FASEs cannot re-collide forever — one of
+/// them always gets a full lane-hold window.
+fn conflict_backoff(attempt: u32) {
+    if attempt < 3 {
+        std::thread::yield_now();
+    } else {
+        let micros = 1u64 << attempt.min(11);
+        std::thread::sleep(Duration::from_micros(micros));
     }
 }
 
@@ -386,8 +439,37 @@ impl SharedModHeap {
     ///
     /// # Panics
     ///
+    /// Panics if `worker` is out of range or deregistered, or if lane
+    /// contention exhausts the bounded retry budget (see
+    /// [`SharedModHeap::try_fase`] for the non-panicking form).
+    pub fn fase<R>(&self, worker: usize, f: impl FnMut(&mut Fase<'_>) -> R) -> R {
+        match self.try_fase(worker, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}; use try_fase to handle contention"),
+        }
+    }
+
+    /// [`SharedModHeap::fase`], surfacing lane contention as a typed
+    /// error instead of retrying forever: a staging attempt that loses a
+    /// discordant lane-order race aborts (its allocations roll back),
+    /// backs off exponentially (bounded — yields, then sleeps up to
+    /// ~2 ms) and retries, up to a fixed retry cap. Exhausting the cap
+    /// returns [`LaneContention`] with the heap unchanged; every abort
+    /// increments [`PipelineStats::lane_conflicts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaneContention`] if every staging attempt in the budget
+    /// was aborted by conflicting lane orders.
+    ///
+    /// # Panics
+    ///
     /// Panics if `worker` is out of range or deregistered.
-    pub fn fase<R>(&self, worker: usize, mut f: impl FnMut(&mut Fase<'_>) -> R) -> R {
+    pub fn try_fase<R>(
+        &self,
+        worker: usize,
+        mut f: impl FnMut(&mut Fase<'_>) -> R,
+    ) -> Result<R, LaneContention> {
         let inner = &*self.inner;
         assert!(worker < inner.shards.len(), "worker {worker} out of range");
         assert!(
@@ -410,6 +492,7 @@ impl SharedModHeap {
         // hand the FASE to the commit queue, release the lanes — happens
         // with the lane guards held, so queue order respects per-root
         // chaining order.
+        let mut attempts = 0u32;
         let out = loop {
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut tx = Fase::worker(&mut ctx.nv, &inner.lanes);
@@ -447,7 +530,12 @@ impl SharedModHeap {
                 Err(payload) => {
                     ctx.nv.abort_fase();
                     if payload.downcast_ref::<LaneConflict>().is_some() {
-                        std::thread::yield_now();
+                        inner.stats.lane_conflicts.fetch_add(1, Ordering::SeqCst);
+                        attempts += 1;
+                        if attempts >= CONFLICT_RETRY_CAP {
+                            return Err(LaneContention { worker, attempts });
+                        }
+                        conflict_backoff(attempts);
                         continue;
                     }
                     std::panic::resume_unwind(payload);
@@ -476,7 +564,7 @@ impl SharedModHeap {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Group-commit wait: block until this worker's staged FASE commits,
@@ -1029,5 +1117,94 @@ mod tests {
             assert_eq!(a.get(h, &0), Some(100), "map a saw every increment");
             assert_eq!(b.get(h, &0), Some(100), "map b saw every increment");
         });
+        // Livelock-freedom witness: every conflict-aborted attempt was
+        // retried to completion (100 + 100 increments landed), and the
+        // aborts are observable — never silent spinning.
+        let stats = sh.stats();
+        assert_eq!(stats.fases, 100, "every FASE committed despite conflicts");
+        assert!(
+            stats.lane_conflicts < CONFLICT_RETRY_CAP as u64 * 100,
+            "bounded backoff kept retries finite: {} aborts",
+            stats.lane_conflicts
+        );
+    }
+
+    #[test]
+    fn exhausted_conflict_budget_surfaces_typed_error() {
+        // Worker 0 parks inside a FASE holding root 0's lane; worker 1
+        // stages root 1 then root 0 — an out-of-order acquisition that
+        // aborts, backs off and retries until the bounded budget runs
+        // out and `try_fase` reports LaneContention instead of spinning
+        // forever.
+        use std::sync::mpsc;
+        let sh = shared(2);
+        let a: DurableMap<u64, u64> = sh.setup(DurableMap::create); // root 0
+        let b: DurableMap<u64, u64> = sh.setup(DurableMap::create); // root 1
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let holder = {
+            let sh = sh.clone();
+            std::thread::spawn(move || {
+                sh.fase(0, |tx| {
+                    a.insert_in(tx, &0, &1);
+                    entered_tx.send(()).unwrap();
+                    // Park while holding lane 0 until the peer gave up.
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let err = sh
+            .try_fase(1, |tx| {
+                b.insert_in(tx, &0, &2); // lane 1: ascending, fine
+                a.insert_in(tx, &0, &2); // lane 0: out of order → conflict
+            })
+            .unwrap_err();
+        assert_eq!(err.worker, 1);
+        assert_eq!(err.attempts, CONFLICT_RETRY_CAP);
+        assert!(err.to_string().contains("bounded backoff"));
+        assert!(sh.stats().lane_conflicts >= CONFLICT_RETRY_CAP as u64);
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        // The aborted FASE rolled back cleanly: resubmitting it works.
+        sh.fase(1, |tx| {
+            b.insert_in(tx, &0, &2);
+            a.insert_in(tx, &0, &2);
+        });
+        sh.flush();
+        sh.with(|h| {
+            assert_eq!(a.get(h, &0), Some(2));
+            assert_eq!(b.get(h, &0), Some(2));
+        });
+    }
+
+    #[test]
+    fn file_backed_shared_heap_appends_one_record_per_batch_fence() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_shared_{}.pool", std::process::id()));
+        let pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        let sh = SharedModHeap::create(pm, 4);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let setup_batches = sh.with(|h| h.nv().pm().backend_stats().fence_batches);
+        for round in 0..3u64 {
+            for w in 0..4 {
+                sh.fase(w, |tx| map.insert_in(tx, &(round * 4 + w as u64), &round));
+            }
+        }
+        let batches = sh.with(|h| h.nv().pm().backend_stats().fence_batches - setup_batches);
+        assert_eq!(
+            batches, 3,
+            "12 FASEs in 3 batches: one fence record per group fence"
+        );
+        // Orderly close, then recover in a "new process" and verify.
+        drop(sh.into_heap().close().unwrap());
+        let (h2, _) = ModHeap::open_file(&path, PmemConfig::testing()).unwrap();
+        let map2 = DurableMap::<u64, u64>::open(&h2, 0);
+        for round in 0..3u64 {
+            for w in 0..4u64 {
+                assert_eq!(map2.get(&h2, &(round * 4 + w)), Some(round));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

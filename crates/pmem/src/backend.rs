@@ -1,0 +1,456 @@
+//! Pluggable persistence backends: where a pool's durable bytes live.
+//!
+//! The simulator decides *what* is durable (the line-state machine in
+//! [`crate::Pmem`]: dirty → in-flight → fenced); a [`PoolBackend`]
+//! decides *where* that durable state lives:
+//!
+//! * [`MemBackend`] — volatile host memory (the original behavior): the
+//!   durable image is the crash-sim arena, and the pool dies with the
+//!   process. Every hook is a no-op, so pools built through
+//!   [`crate::Pmem::new`] behave byte-for-byte as before.
+//! * [`FileBackend`] — a real file: at each `sfence`, exactly the lines
+//!   the latency/crash model says became durable are appended as one
+//!   checksummed batch record (see [`crate::journal`]); the journal
+//!   periodically compacts into a full arena snapshot (written to a temp
+//!   file and atomically renamed). A pool written this way is
+//!   re-openable by a *different process* after a kill: replay is the
+//!   snapshot plus every complete batch, with any torn tail discarded at
+//!   the last complete fence.
+//!
+//! ## What a process kill preserves
+//!
+//! Each fence's batch is appended with a single `write(2)`: once the call
+//! returns, the record survives the death of the process (the page cache
+//! outlives it). A kill *during* the write leaves a torn record that
+//! replay discards — recovery lands on the previous fence, which is a
+//! legal crash outcome (the fence that died was never acknowledged).
+//! *Drained-but-unfenced* lines (`Inflight { done_ns }` whose background
+//! drain completed) are journaled when the model observes them — a store
+//! racing an in-flight writeback, or an orderly
+//! [`crate::Pmem::checkpoint`] — as [`BatchKind::Drained`] records; at an
+//! uncooperative kill they are lost, which realizes the
+//! [`crate::CrashPolicy::OnlyFenced`] choice on a medium whose WPQ dies
+//! with the machine. Power-loss-grade durability would add an
+//! `fsync` per fence; [`FileBackend`] syncs at compaction and checkpoint
+//! instead, which is exact for process kills (the headline scenario) and
+//! documented, not hidden.
+
+use crate::arena::SharedArena;
+use crate::journal::{
+    self, BatchKind, LineImage, Replay, ReplayError, SnapshotExtent, HEADER_BYTES,
+};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which backend family a pool uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Volatile host memory ([`MemBackend`]).
+    Mem,
+    /// File-backed journal + snapshot ([`FileBackend`]).
+    File,
+}
+
+/// Observability counters for a backend.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Batch records appended so far (all kinds).
+    pub batches_appended: u64,
+    /// [`BatchKind::Fence`] records: exactly one per `sfence` that had
+    /// in-flight lines — one per FASE batch on the MOD commit path.
+    pub fence_batches: u64,
+    /// [`BatchKind::Drained`] records: in-flight writebacks the model
+    /// observed completing without a fence (store races, checkpoints).
+    pub drained_batches: u64,
+    /// Total journal bytes appended (excluding snapshots).
+    pub journal_bytes: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+}
+
+/// The storage layer behind a [`crate::Pmem`] pool.
+///
+/// Implementations receive *durability events* from the simulator: one
+/// [`PoolBackend::append_batch`] per fence (or per drained-line
+/// observation), plus compaction/sync hooks at orderly points. All
+/// methods take `&self` — a backend is shared by every forked shard
+/// handle of its pool and must synchronize internally.
+pub trait PoolBackend: fmt::Debug + Send + Sync {
+    /// Which backend family this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Whether the pool should collect line images and deliver
+    /// durability batches at all. `false` lets the volatile backend keep
+    /// the fence path byte-for-byte identical to the pre-backend code
+    /// (no content reads, no allocation).
+    fn wants_batches(&self) -> bool {
+        false
+    }
+
+    /// One durability event: `lines` became durable at simulated time
+    /// `fence_ns` (see [`BatchKind`] for why). Called with the lines in
+    /// ascending address order.
+    fn append_batch(&self, _kind: BatchKind, _lines: &[LineImage], _fence_ns: f64) {}
+
+    /// Whether enough journal has accumulated that the caller should
+    /// offer a compaction ([`PoolBackend::compact`]) at the next orderly
+    /// point.
+    fn should_compact(&self) -> bool {
+        false
+    }
+
+    /// Compacts the journal into a full snapshot of `durable` (the
+    /// pool's durable image). Crash-safe: the snapshot is written to a
+    /// sibling temp file, synced, and atomically renamed over the pool.
+    fn compact(&self, _durable: &SharedArena) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Forces written data to stable storage (fsync).
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Observability counters.
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+}
+
+/// The volatile backend: durable state lives in the crash-sim arena and
+/// dies with the process. All hooks are no-ops.
+#[derive(Debug, Default)]
+pub struct MemBackend;
+
+impl PoolBackend for MemBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mem
+    }
+}
+
+/// Journal bytes since the last snapshot that trigger a compaction offer.
+const DEFAULT_COMPACT_BYTES: u64 = 1 << 20;
+
+#[derive(Debug)]
+struct FileState {
+    file: File,
+    /// Journal bytes appended since the last snapshot.
+    since_snapshot: u64,
+    /// Next batch sequence number.
+    seq: u64,
+}
+
+/// The file-backed backend: one pool file holding a snapshot plus an
+/// append-only, checksummed fence journal (see the module docs and
+/// [`crate::journal`] for the format and crash semantics).
+#[derive(Debug)]
+pub struct FileBackend {
+    path: PathBuf,
+    state: Mutex<FileState>,
+    compact_bytes: u64,
+    batches: AtomicU64,
+    fence_batches: AtomicU64,
+    drained_batches: AtomicU64,
+    journal_bytes: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl FileBackend {
+    /// Creates a fresh pool file (truncating any existing file): header
+    /// plus an empty snapshot, synced to disk.
+    pub fn create(path: &Path, capacity: u64) -> io::Result<FileBackend> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&journal::encode_header(capacity))?;
+        file.write_all(&journal::encode_snapshot(&[]))?;
+        file.sync_all()?;
+        Ok(FileBackend {
+            path: path.to_path_buf(),
+            state: Mutex::new(FileState {
+                file,
+                since_snapshot: 0,
+                seq: 0,
+            }),
+            compact_bytes: DEFAULT_COMPACT_BYTES,
+            batches: AtomicU64::new(0),
+            fence_batches: AtomicU64::new(0),
+            drained_batches: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing pool file, replaying snapshot + journal: every
+    /// complete batch is applied; a torn tail is truncated away so the
+    /// file ends at the last complete fence before appends resume.
+    /// Returns the backend plus the replay (capacity, extents, batches)
+    /// for the caller to rebuild the arena from.
+    pub fn open(path: &Path) -> io::Result<(FileBackend, Replay)> {
+        // A kill mid-compaction can leave a stale temp file; it was never
+        // renamed, so it is garbage.
+        let _ = std::fs::remove_file(tmp_path(path));
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let replay = journal::replay(&bytes).map_err(replay_io_err)?;
+        if replay.torn_bytes > 0 {
+            file.set_len(replay.valid_len as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let since_snapshot = (replay.valid_len - HEADER_BYTES) as u64
+            - journal::encode_snapshot(&replay.extents).len() as u64;
+        let seq = replay.batches.last().map_or(0, |b| b.seq + 1);
+        Ok((
+            FileBackend {
+                path: path.to_path_buf(),
+                state: Mutex::new(FileState {
+                    file,
+                    since_snapshot,
+                    seq,
+                }),
+                compact_bytes: DEFAULT_COMPACT_BYTES,
+                batches: AtomicU64::new(0),
+                fence_batches: AtomicU64::new(0),
+                drained_batches: AtomicU64::new(0),
+                journal_bytes: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
+            },
+            replay,
+        ))
+    }
+
+    /// Path of the pool file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn replay_io_err(e: ReplayError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Collects the durable arena's resident bytes as snapshot extents.
+/// Trailing zero bytes of each segment are trimmed (freshly formatted
+/// pools are almost entirely zero).
+fn extents_of(durable: &SharedArena) -> Vec<SnapshotExtent> {
+    let seg = crate::arena::SEGMENT_BYTES;
+    let mut extents = Vec::new();
+    let mut addr = 0u64;
+    while addr < durable.capacity() {
+        let len = seg.min(durable.capacity() - addr);
+        if durable.is_resident(addr) {
+            let mut data = vec![0u8; len as usize];
+            durable.read(addr, &mut data);
+            let used = data.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+            data.truncate(used);
+            if !data.is_empty() {
+                extents.push(SnapshotExtent { addr, data });
+            }
+        }
+        addr += len;
+    }
+    extents
+}
+
+impl PoolBackend for FileBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::File
+    }
+
+    fn wants_batches(&self) -> bool {
+        true
+    }
+
+    fn append_batch(&self, kind: BatchKind, lines: &[LineImage], fence_ns: f64) {
+        if lines.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        let record = journal::encode_batch(st.seq, kind, fence_ns, lines);
+        st.seq += 1;
+        st.since_snapshot += record.len() as u64;
+        // One write(2) per fence: complete once it returns, torn (and
+        // discarded at replay) if the process dies inside it.
+        st.file
+            .write_all(&record)
+            .expect("pool journal append failed");
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            BatchKind::Fence => &self.fence_batches,
+            BatchKind::Drained => &self.drained_batches,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.journal_bytes
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+    }
+
+    fn should_compact(&self) -> bool {
+        self.state.lock().unwrap().since_snapshot >= self.compact_bytes
+    }
+
+    fn compact(&self, durable: &SharedArena) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        let tmp = tmp_path(&self.path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&journal::encode_header(durable.capacity()))?;
+            f.write_all(&journal::encode_snapshot(&extents_of(durable)))?;
+            f.sync_all()?;
+        }
+        // Atomic cut-over: a kill before the rename leaves the old pool
+        // (plus a stale .tmp that open() removes); after it, the new one.
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        st.file = file;
+        st.since_snapshot = 0;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.state.lock().unwrap().file.sync_all()
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            batches_appended: self.batches.load(Ordering::Relaxed),
+            fence_batches: self.fence_batches.load(Ordering::Relaxed),
+            drained_batches: self.drained_batches.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mod_backend_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn line(addr: u64, fill: u8) -> LineImage {
+        LineImage {
+            addr,
+            data: [fill; 64],
+        }
+    }
+
+    #[test]
+    fn create_append_reopen_replays_batches() {
+        let path = tmp_file("roundtrip");
+        let be = FileBackend::create(&path, 1 << 20).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 1), line(64, 2)], 100.0);
+        be.append_batch(BatchKind::Drained, &[line(128, 3)], 150.0);
+        drop(be);
+        let (be2, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.capacity, 1 << 20);
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.batches[0].lines.len(), 2);
+        assert_eq!(replay.batches[1].kind, BatchKind::Drained);
+        assert_eq!(replay.torn_bytes, 0);
+        // Appends resume with a later sequence number.
+        be2.append_batch(BatchKind::Fence, &[line(192, 4)], 200.0);
+        drop(be2);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 3);
+        assert_eq!(replay.batches[2].seq, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp_file("torn");
+        let be = FileBackend::create(&path, 1 << 20).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 7)], 1.0);
+        be.append_batch(BatchKind::Fence, &[line(64, 8)], 2.0);
+        drop(be);
+        // Tear the last record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let (be2, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1, "partial batch discarded");
+        // The file was truncated to the valid prefix, so a new append
+        // followed by a reopen yields exactly [batch0, new batch].
+        be2.append_batch(BatchKind::Fence, &[line(128, 9)], 3.0);
+        drop(be2);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.batches[1].lines[0].data[0], 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_resets_journal_and_survives_reopen() {
+        let path = tmp_file("compact");
+        let be = FileBackend::create(&path, 1 << 22).unwrap();
+        let durable = SharedArena::new(1 << 22);
+        durable.write(0, b"durable-state");
+        durable.write_u64(4096, 42);
+        be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
+        be.compact(&durable).unwrap();
+        assert_eq!(be.stats().compactions, 1);
+        // Journal restarts empty after the snapshot.
+        be.append_batch(BatchKind::Fence, &[line(64, 5)], 2.0);
+        drop(be);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1, "pre-compaction batches folded in");
+        let ext = &replay.extents;
+        assert!(!ext.is_empty());
+        assert_eq!(&ext[0].data[..13], b"durable-state");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_file_is_ignored_on_open() {
+        let path = tmp_file("staletmp");
+        let be = FileBackend::create(&path, 1 << 20).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
+        drop(be);
+        std::fs::write(tmp_path(&path), b"half-written snapshot garbage").unwrap();
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert!(!tmp_path(&path).exists(), "stale tmp cleaned up");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_backend_is_inert() {
+        let be = MemBackend;
+        assert_eq!(be.kind(), BackendKind::Mem);
+        assert!(!be.wants_batches());
+        assert!(!be.should_compact());
+        be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
+        assert_eq!(be.stats(), BackendStats::default());
+    }
+
+    #[test]
+    fn open_missing_or_garbage_file_errors() {
+        let path = tmp_file("missing");
+        assert!(FileBackend::open(&path).is_err());
+        std::fs::write(&path, b"not a pool").unwrap();
+        let err = FileBackend::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,545 @@
+//! Pool-file codec: the on-disk format behind [`crate::FileBackend`].
+//!
+//! A file-backed pool is **one** file laid out as
+//!
+//! ```text
+//! [file header]  magic, format version, pool capacity      (fixed 24 B)
+//! [snapshot]     full durable arena image at compaction     (one record)
+//! [batch]*       one checksummed record per fence           (append-only)
+//! ```
+//!
+//! Every record is framed as `[tag: u32][body_len: u32][body][fnv64 of
+//! tag+len+body]`, so the replay scanner can always tell a *torn tail*
+//! (the process died mid-`write(2)`) from a complete record: if the
+//! remaining bytes cannot hold the frame, or the checksum does not match,
+//! the scan stops **at the last complete record** and reports the torn
+//! suffix for truncation. A batch record is the durability unit — exactly
+//! the lines one `sfence` made durable — so a torn tail never resurrects
+//! a partial fence: recovery lands on the previous complete fence, never
+//! a partial batch.
+//!
+//! The codec is pure (byte slices in, byte vectors out, no IO) so the
+//! property tests below can fuzz records and tear journals at every
+//! offset without touching a filesystem.
+
+use crate::line::CACHELINE;
+
+/// Pool-file magic ("MODPOOLF").
+pub const FILE_MAGIC: u64 = 0x4D4F_4450_4F4F_4C46;
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Bytes of the fixed file header.
+pub const HEADER_BYTES: usize = 24;
+
+/// Record tag: a full durable-arena snapshot (compaction point).
+const TAG_SNAPSHOT: u32 = 0x534E_4150; // "SNAP"
+/// Record tag: one fence's worth of durable lines.
+const TAG_BATCH: u32 = 0x4241_5443; // "BATC"
+
+/// Why a batch of lines became durable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// An `sfence` ordered the lines: the normal one-record-per-fence
+    /// append (one per FASE batch on the MOD commit path).
+    Fence,
+    /// `Inflight { done_ns }` lines whose background drain had already
+    /// completed — persisted without a fence (a store racing an in-flight
+    /// writeback, or drained-but-unfenced lines at an orderly
+    /// checkpoint). The crash model says these reached the medium.
+    Drained,
+}
+
+impl BatchKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            BatchKind::Fence => 0,
+            BatchKind::Drained => 1,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<BatchKind> {
+        match v {
+            0 => Some(BatchKind::Fence),
+            1 => Some(BatchKind::Drained),
+            _ => None,
+        }
+    }
+}
+
+/// One cacheline's durable image: address and contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineImage {
+    /// Line-aligned pool address.
+    pub addr: u64,
+    /// The 64 content bytes.
+    pub data: [u8; CACHELINE as usize],
+}
+
+/// One decoded batch record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRecord {
+    /// Monotonic sequence number (debugging/ordering sanity).
+    pub seq: u64,
+    /// Why the lines became durable.
+    pub kind: BatchKind,
+    /// Simulated time of the fence (bit-exact f64).
+    pub fence_ns: f64,
+    /// The lines this record makes durable.
+    pub lines: Vec<LineImage>,
+}
+
+/// One snapshot extent: a contiguous run of durable bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotExtent {
+    /// Pool address of the first byte.
+    pub addr: u64,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+/// FNV-1a 64-bit checksum (dependency-free, good torn-write detector).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Encodes the fixed file header.
+pub fn encode_header(capacity: u64) -> [u8; HEADER_BYTES] {
+    let mut out = [0u8; HEADER_BYTES];
+    out[0..8].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+    out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // [12..16) reserved (zero).
+    out[16..24].copy_from_slice(&capacity.to_le_bytes());
+    out
+}
+
+/// Decodes and validates the file header, returning the pool capacity.
+pub fn decode_header(bytes: &[u8]) -> Result<u64, ReplayError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(ReplayError::NotAPool("file shorter than the header"));
+    }
+    if read_u64(bytes, 0) != FILE_MAGIC {
+        return Err(ReplayError::NotAPool("bad magic"));
+    }
+    let version = read_u32(bytes, 8);
+    if version != FORMAT_VERSION {
+        return Err(ReplayError::UnsupportedVersion(version));
+    }
+    Ok(read_u64(bytes, 16))
+}
+
+/// Frames `body` as a record: tag, length, body, checksum.
+fn encode_record(tag: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + body.len());
+    push_u32(&mut out, tag);
+    push_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(body);
+    let sum = fnv1a64(&out);
+    push_u64(&mut out, sum);
+    out
+}
+
+/// Encodes one batch record (the per-fence append).
+pub fn encode_batch(seq: u64, kind: BatchKind, fence_ns: f64, lines: &[LineImage]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24 + lines.len() * (8 + CACHELINE as usize));
+    push_u64(&mut body, seq);
+    push_u32(&mut body, kind.to_u32());
+    push_u32(&mut body, lines.len() as u32);
+    push_u64(&mut body, fence_ns.to_bits());
+    for l in lines {
+        push_u64(&mut body, l.addr);
+        body.extend_from_slice(&l.data);
+    }
+    encode_record(TAG_BATCH, &body)
+}
+
+/// Encodes a snapshot record from durable extents.
+pub fn encode_snapshot(extents: &[SnapshotExtent]) -> Vec<u8> {
+    let payload: usize = extents.iter().map(|e| 16 + e.data.len()).sum();
+    let mut body = Vec::with_capacity(8 + payload);
+    push_u64(&mut body, extents.len() as u64);
+    for e in extents {
+        push_u64(&mut body, e.addr);
+        push_u64(&mut body, e.data.len() as u64);
+        body.extend_from_slice(&e.data);
+    }
+    encode_record(TAG_SNAPSHOT, &body)
+}
+
+/// A hard replay failure: the file is not a pool at all (a torn tail is
+/// *not* an error — it is the expected crash outcome and is reported in
+/// [`Replay::torn_bytes`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The header is missing or the magic does not match.
+    NotAPool(&'static str),
+    /// The header names a format version this binary does not read.
+    UnsupportedVersion(u32),
+    /// The mandatory snapshot record (directly after the header) is
+    /// damaged: with no base image the journal cannot be replayed.
+    SnapshotDamaged,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::NotAPool(why) => write!(f, "not a MOD pool file: {why}"),
+            ReplayError::UnsupportedVersion(v) => write!(f, "unsupported pool format v{v}"),
+            ReplayError::SnapshotDamaged => write!(f, "pool snapshot record damaged"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The result of scanning a pool file.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// Pool capacity from the header.
+    pub capacity: u64,
+    /// The snapshot's durable extents (the base image).
+    pub extents: Vec<SnapshotExtent>,
+    /// Every complete batch record after the snapshot, in journal order.
+    pub batches: Vec<BatchRecord>,
+    /// Length of the valid prefix; bytes past this are the torn tail and
+    /// should be truncated before appending resumes.
+    pub valid_len: usize,
+    /// Bytes discarded as a torn/corrupt tail.
+    pub torn_bytes: usize,
+}
+
+enum Scan {
+    Record {
+        tag: u32,
+        body: Vec<u8>,
+        next: usize,
+    },
+    Torn,
+}
+
+/// Scans one framed record at `at`. Anything short, oversized or
+/// checksum-failing is `Torn` — the crash model's "partial write".
+fn scan_record(bytes: &[u8], at: usize) -> Scan {
+    let remaining = bytes.len() - at;
+    if remaining < 16 {
+        return Scan::Torn;
+    }
+    let body_len = read_u32(bytes, at + 4) as usize;
+    let total = match body_len.checked_add(16) {
+        Some(t) if t <= remaining => t,
+        _ => return Scan::Torn, // length field torn or record truncated
+    };
+    let sum = read_u64(bytes, at + 8 + body_len);
+    if fnv1a64(&bytes[at..at + 8 + body_len]) != sum {
+        return Scan::Torn;
+    }
+    Scan::Record {
+        tag: read_u32(bytes, at),
+        body: bytes[at + 8..at + 8 + body_len].to_vec(),
+        next: at + total,
+    }
+}
+
+fn decode_batch_body(body: &[u8]) -> Option<BatchRecord> {
+    if body.len() < 24 {
+        return None;
+    }
+    let seq = read_u64(body, 0);
+    let kind = BatchKind::from_u32(read_u32(body, 8))?;
+    let n = read_u32(body, 12) as usize;
+    let fence_ns = f64::from_bits(read_u64(body, 16));
+    let line_bytes = 8 + CACHELINE as usize;
+    if body.len() != 24 + n * line_bytes {
+        return None;
+    }
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 24 + i * line_bytes;
+        let mut data = [0u8; CACHELINE as usize];
+        data.copy_from_slice(&body[at + 8..at + line_bytes]);
+        lines.push(LineImage {
+            addr: read_u64(body, at),
+            data,
+        });
+    }
+    Some(BatchRecord {
+        seq,
+        kind,
+        fence_ns,
+        lines,
+    })
+}
+
+fn decode_snapshot_body(body: &[u8]) -> Option<Vec<SnapshotExtent>> {
+    if body.len() < 8 {
+        return None;
+    }
+    let n = read_u64(body, 0) as usize;
+    let mut extents = Vec::with_capacity(n);
+    let mut at = 8usize;
+    for _ in 0..n {
+        if body.len() - at < 16 {
+            return None;
+        }
+        let addr = read_u64(body, at);
+        let len = read_u64(body, at + 8) as usize;
+        at += 16;
+        if body.len() - at < len {
+            return None;
+        }
+        extents.push(SnapshotExtent {
+            addr,
+            data: body[at..at + len].to_vec(),
+        });
+        at += len;
+    }
+    (at == body.len()).then_some(extents)
+}
+
+/// Replays a pool file image: header, snapshot, then every complete batch
+/// record. Scanning stops at the first torn or corrupt record — the state
+/// recovered is exactly the last complete fence, never a partial batch.
+pub fn replay(bytes: &[u8]) -> Result<Replay, ReplayError> {
+    let capacity = decode_header(bytes)?;
+    // The snapshot directly after the header is mandatory: compaction
+    // writes the whole file (header + snapshot) before the atomic rename,
+    // so a pool file can never legally have a torn snapshot.
+    let (extents, mut at) = match scan_record(bytes, HEADER_BYTES) {
+        Scan::Record {
+            tag: TAG_SNAPSHOT,
+            body,
+            next,
+        } => (
+            decode_snapshot_body(&body).ok_or(ReplayError::SnapshotDamaged)?,
+            next,
+        ),
+        _ => return Err(ReplayError::SnapshotDamaged),
+    };
+    let mut batches = Vec::new();
+    loop {
+        if at == bytes.len() {
+            break;
+        }
+        match scan_record(bytes, at) {
+            Scan::Record {
+                tag: TAG_BATCH,
+                body,
+                next,
+            } => match decode_batch_body(&body) {
+                Some(b) => {
+                    batches.push(b);
+                    at = next;
+                }
+                None => break, // framed but malformed: stop, truncate
+            },
+            // An unknown tag or a torn frame ends the valid prefix.
+            _ => break,
+        }
+    }
+    Ok(Replay {
+        capacity,
+        extents,
+        batches,
+        valid_len: at,
+        torn_bytes: bytes.len() - at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* for fuzzed records.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn fuzz_line(rng: &mut XorShift) -> LineImage {
+        let mut data = [0u8; 64];
+        for chunk in data.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next().to_le_bytes());
+        }
+        LineImage {
+            addr: (rng.next() % (1 << 26)) & !63,
+            data,
+        }
+    }
+
+    fn fuzz_batch(rng: &mut XorShift) -> BatchRecord {
+        let n = (rng.next() % 9) as usize;
+        BatchRecord {
+            seq: rng.next(),
+            kind: if rng.next() % 4 == 0 {
+                BatchKind::Drained
+            } else {
+                BatchKind::Fence
+            },
+            fence_ns: f64::from_bits(rng.next() % (1 << 62)).abs(),
+            lines: (0..n).map(|_| fuzz_line(rng)).collect(),
+        }
+    }
+
+    fn file_with(extents: &[SnapshotExtent], batches: &[BatchRecord]) -> Vec<u8> {
+        let mut f = encode_header(1 << 26).to_vec();
+        f.extend_from_slice(&encode_snapshot(extents));
+        for b in batches {
+            f.extend_from_slice(&encode_batch(b.seq, b.kind, b.fence_ns, &b.lines));
+        }
+        f
+    }
+
+    #[test]
+    fn fuzzed_batches_roundtrip() {
+        let mut rng = XorShift(0x5EED_CAFE);
+        for _ in 0..200 {
+            let batch = fuzz_batch(&mut rng);
+            let file = file_with(&[], std::slice::from_ref(&batch));
+            let r = replay(&file).unwrap();
+            assert_eq!(r.capacity, 1 << 26);
+            assert_eq!(r.batches, vec![batch]);
+            assert_eq!(r.torn_bytes, 0);
+            assert_eq!(r.valid_len, file.len());
+        }
+    }
+
+    #[test]
+    fn fuzzed_snapshots_roundtrip() {
+        let mut rng = XorShift(0x00A1_1CE5);
+        for _ in 0..50 {
+            let n = (rng.next() % 6) as usize;
+            let extents: Vec<SnapshotExtent> = (0..n)
+                .map(|_| SnapshotExtent {
+                    addr: rng.next() % (1 << 20),
+                    data: (0..(rng.next() % 300)).map(|_| rng.next() as u8).collect(),
+                })
+                .collect();
+            let r = replay(&file_with(&extents, &[])).unwrap();
+            assert_eq!(r.extents, extents);
+        }
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_fence_at_every_offset() {
+        // Truncate the journal at EVERY byte length: replay must always
+        // recover exactly the batches whose records fit completely —
+        // never a partial batch, never an error.
+        let mut rng = XorShift(7);
+        let batches: Vec<BatchRecord> = (0..5).map(|_| fuzz_batch(&mut rng)).collect();
+        let file = file_with(&[], &batches);
+        // Record boundaries: offsets at which k complete batches end.
+        let mut boundaries = vec![HEADER_BYTES + encode_snapshot(&[]).len()];
+        for b in &batches {
+            boundaries.push(
+                boundaries.last().unwrap()
+                    + encode_batch(b.seq, b.kind, b.fence_ns, &b.lines).len(),
+            );
+        }
+        for cut in boundaries[0]..=file.len() {
+            let r = replay(&file[..cut]).unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(
+                r.batches.len(),
+                complete,
+                "cut at {cut}: must land on the last complete fence"
+            );
+            assert_eq!(r.batches[..], batches[..complete]);
+            assert_eq!(r.valid_len, boundaries[complete]);
+            assert_eq!(r.torn_bytes, cut - boundaries[complete]);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_in_tail_record_discards_it() {
+        let mut rng = XorShift(99);
+        let batches: Vec<BatchRecord> = (0..3).map(|_| fuzz_batch(&mut rng)).collect();
+        let clean = file_with(&[], &batches);
+        let last_len = encode_batch(
+            batches[2].seq,
+            batches[2].kind,
+            batches[2].fence_ns,
+            &batches[2].lines,
+        )
+        .len();
+        // Flip one byte inside the last record: checksum must reject it.
+        for victim in [clean.len() - last_len + 2, clean.len() - 5] {
+            let mut file = clean.clone();
+            file[victim] ^= 0x40;
+            let r = replay(&file).unwrap();
+            assert_eq!(r.batches[..], batches[..2], "corrupt record dropped");
+            assert!(r.torn_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(matches!(replay(&[]), Err(ReplayError::NotAPool(_))));
+        assert!(matches!(replay(&[0u8; 64]), Err(ReplayError::NotAPool(_))));
+        let mut bad_version = encode_header(1 << 20).to_vec();
+        bad_version[8] = 99;
+        bad_version.extend_from_slice(&encode_snapshot(&[]));
+        assert!(matches!(
+            replay(&bad_version),
+            Err(ReplayError::UnsupportedVersion(99))
+        ));
+        // Missing or torn snapshot is a hard error, not a torn tail.
+        let headless = encode_header(1 << 20).to_vec();
+        assert!(matches!(
+            replay(&headless),
+            Err(ReplayError::SnapshotDamaged)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_is_torn_not_a_panic() {
+        // A torn length field can claim a huge body: the scanner must
+        // treat it as torn instead of slicing out of bounds.
+        let mut file = file_with(&[], &[]);
+        file.extend_from_slice(&TAG_BATCH.to_le_bytes());
+        file.extend_from_slice(&u32::MAX.to_le_bytes());
+        file.extend_from_slice(&[0u8; 32]);
+        let r = replay(&file).unwrap();
+        assert_eq!(r.batches.len(), 0);
+        assert_eq!(r.torn_bytes, 40);
+    }
+
+    #[test]
+    fn fence_ns_is_bit_exact() {
+        let b = BatchRecord {
+            seq: 1,
+            kind: BatchKind::Fence,
+            fence_ns: 353.000000000001,
+            lines: vec![],
+        };
+        let r = replay(&file_with(&[], std::slice::from_ref(&b))).unwrap();
+        assert_eq!(r.batches[0].fence_ns.to_bits(), b.fence_ns.to_bits());
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`trace`] — the §5.4 automated-testing trace and invariant checker;
 //! * crash simulation — [`Pmem::crash_image`] builds post-crash pools under
 //!   adversarial choices of which unfenced lines persisted;
+//! * pluggable persistence backends — [`PoolBackend`] with the volatile
+//!   [`MemBackend`] and the file-backed [`FileBackend`] (journaled fence
+//!   log + snapshot compaction; [`Pmem::create_file`] / [`Pmem::open_file`]
+//!   make pools that survive a real process kill);
 //! * [`WpqModel`] — the black-box memory-controller model behind Fig 4's
 //!   "observed" curve, plus the Karp–Flatt fit used by the paper.
 //!
@@ -35,9 +39,11 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod backend;
 pub mod cache;
 pub mod clock;
 pub mod drain;
+pub mod journal;
 pub mod line;
 pub mod model;
 pub mod pmem;
@@ -46,12 +52,14 @@ pub mod trace;
 pub mod wpq;
 
 pub use arena::SharedArena;
+pub use backend::{BackendKind, BackendStats, FileBackend, MemBackend, PoolBackend};
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use clock::{SimClock, TimeBreakdown, TimeCategory};
 pub use drain::WpqDrain;
+pub use journal::{BatchKind, LineImage};
 pub use line::{line_of, lines_covering, PmPtr, CACHELINE};
 pub use model::{fit_parallel_fraction, karp_flatt_serial_fraction, LatencyModel};
-pub use pmem::{CrashPolicy, LineHandoff, Pmem, PmemConfig};
+pub use pmem::{CrashPolicy, LineHandoff, Pmem, PmemConfig, ReplayStats};
 pub use stats::{EpochHistogram, PmStats};
 pub use trace::{check_trace, TraceChecker, TraceEvent, Violation};
 pub use wpq::WpqModel;

@@ -23,14 +23,19 @@
 //!   which [`Pmem::crash_image`] models with a pluggable [`CrashPolicy`].
 
 use crate::arena::SharedArena;
+use crate::backend::{BackendKind, BackendStats, FileBackend, MemBackend, PoolBackend};
 use crate::cache::{CacheConfig, CacheSim, CacheStats};
 use crate::clock::{SimClock, TimeCategory};
 use crate::drain::WpqDrain;
+use crate::journal::{BatchKind, LineImage};
 use crate::line::{line_of, lines_covering, CACHELINE};
 use crate::model::LatencyModel;
 use crate::stats::PmStats;
 use crate::trace::TraceEvent;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Construction parameters for a simulated PM pool.
 #[derive(Clone, Debug)]
@@ -168,12 +173,30 @@ impl LineHandoff {
     }
 }
 
+/// How a pool file was rebuilt by [`Pmem::open_file`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Complete batch records applied.
+    pub batches: u64,
+    /// Line images applied from those batches.
+    pub lines: u64,
+    /// Bytes discarded as a torn/corrupt journal tail.
+    pub torn_bytes: u64,
+    /// Host (wall-clock) nanoseconds the replay took.
+    pub host_ns: u64,
+}
+
 /// The simulated PM pool plus its cache hierarchy, clock and counters.
 #[derive(Debug)]
 pub struct Pmem {
     cfg: PmemConfig,
     data: SharedArena,
     durable: Option<SharedArena>,
+    /// Where durable bytes live ([`MemBackend`] or [`FileBackend`]);
+    /// shared with every forked shard handle.
+    backend: Arc<dyn PoolBackend>,
+    /// Set by [`Pmem::open_file`] on the pool it returns.
+    replay: Option<ReplayStats>,
     lines: HashMap<u64, LineState>,
     inflight: usize,
     cache: CacheSim,
@@ -195,11 +218,85 @@ pub struct Pmem {
 }
 
 impl Pmem {
-    /// Creates a zero-filled pool.
+    /// Creates a zero-filled, memory-backed pool (the pool dies with the
+    /// process; see [`Pmem::create_file`] for one that does not).
     pub fn new(cfg: PmemConfig) -> Pmem {
+        let data = SharedArena::new(cfg.capacity);
+        let durable = cfg.crash_sim.then(|| SharedArena::new(cfg.capacity));
+        Pmem::from_parts(cfg, data, durable, Arc::new(MemBackend), None)
+    }
+
+    /// Formats a fresh **file-backed** pool at `path` (truncating any
+    /// existing file): the pool header and an empty snapshot are written
+    /// and synced, and from then on every `sfence` appends its durable
+    /// lines to the file's journal. File-backed pools always maintain a
+    /// durable image (the compaction source), regardless of
+    /// [`PmemConfig::crash_sim`].
+    pub fn create_file(path: &Path, cfg: PmemConfig) -> io::Result<Pmem> {
+        let backend = FileBackend::create(path, cfg.capacity)?;
+        let data = SharedArena::new(cfg.capacity);
+        let durable = SharedArena::new(cfg.capacity);
+        Ok(Pmem::from_parts(
+            cfg,
+            data,
+            Some(durable),
+            Arc::new(backend),
+            None,
+        ))
+    }
+
+    /// Opens an existing file-backed pool, replaying its snapshot plus
+    /// every complete journal batch into a fresh arena; a torn tail
+    /// (a record the dying process never finished writing) is discarded
+    /// and truncated away, so recovery lands on the last complete fence,
+    /// never a partial batch. The pool's capacity comes from the file
+    /// header (overriding `cfg.capacity`); volatile state starts cold,
+    /// exactly like a machine after the crash. Replay metrics are
+    /// reported by [`Pmem::replay_stats`].
+    pub fn open_file(path: &Path, cfg: PmemConfig) -> io::Result<Pmem> {
+        let t0 = std::time::Instant::now();
+        let (backend, replay) = FileBackend::open(path)?;
+        let mut cfg = cfg;
+        cfg.capacity = replay.capacity;
+        let data = SharedArena::new(replay.capacity);
+        for e in &replay.extents {
+            data.write(e.addr, &e.data);
+        }
+        let mut lines = 0u64;
+        for b in &replay.batches {
+            for l in &b.lines {
+                data.write(l.addr, &l.data);
+                lines += 1;
+            }
+        }
+        let durable = data.snapshot();
+        let stats = ReplayStats {
+            batches: replay.batches.len() as u64,
+            lines,
+            torn_bytes: replay.torn_bytes as u64,
+            host_ns: t0.elapsed().as_nanos() as u64,
+        };
+        Ok(Pmem::from_parts(
+            cfg,
+            data,
+            Some(durable),
+            Arc::new(backend),
+            Some(stats),
+        ))
+    }
+
+    fn from_parts(
+        cfg: PmemConfig,
+        data: SharedArena,
+        durable: Option<SharedArena>,
+        backend: Arc<dyn PoolBackend>,
+        replay: Option<ReplayStats>,
+    ) -> Pmem {
         Pmem {
-            data: SharedArena::new(cfg.capacity),
-            durable: cfg.crash_sim.then(|| SharedArena::new(cfg.capacity)),
+            data,
+            durable,
+            backend,
+            replay,
             lines: HashMap::new(),
             inflight: 0,
             cache: CacheSim::new(cfg.cache.clone()),
@@ -213,6 +310,69 @@ impl Pmem {
             trace: Vec::new(),
             cfg,
         }
+    }
+
+    /// Which persistence backend this pool writes through.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Backend observability counters (journal bytes, batches appended,
+    /// compactions). All zero for memory-backed pools.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Replay metrics, if this pool was produced by [`Pmem::open_file`].
+    pub fn replay_stats(&self) -> Option<&ReplayStats> {
+        self.replay.as_ref()
+    }
+
+    /// Reads the 64 content bytes of each line in `addrs` (peek path: no
+    /// cache/time charges — journal appends are not simulated work).
+    fn line_images(&self, addrs: &[u64]) -> Vec<LineImage> {
+        addrs
+            .iter()
+            .map(|&addr| {
+                let mut data = [0u8; CACHELINE as usize];
+                self.data.read(addr, &mut data);
+                LineImage { addr, data }
+            })
+            .collect()
+    }
+
+    /// Orderly checkpoint of a file-backed pool: appends every
+    /// *drained-but-unfenced* line to the journal (their background
+    /// writebacks completed — per the crash model they reached the
+    /// medium), folds the journal into a fresh snapshot, and fsyncs.
+    /// No-op (and `Ok`) on memory-backed pools.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        if !self.backend.wants_batches() {
+            return Ok(());
+        }
+        let now = self.clock.now_ns();
+        let mut drained: Vec<u64> = self
+            .lines
+            .iter()
+            .filter(|&(_, s)| matches!(s, LineState::Inflight { done_ns } if *done_ns <= now))
+            .map(|(&l, _)| l)
+            .collect();
+        drained.sort_unstable();
+        if !drained.is_empty() {
+            // Durable copy first, journal second (see the same ordering
+            // note in `sfence`).
+            if let Some(d) = self.durable.as_ref() {
+                for &l in &drained {
+                    d.copy_from(&self.data, l, CACHELINE);
+                }
+            }
+            let images = self.line_images(&drained);
+            self.backend.append_batch(BatchKind::Drained, &images, now);
+        }
+        if let Some(d) = self.durable.as_ref() {
+            self.backend.compact(d)?;
+        }
+        self.backend.sync()
     }
 
     /// The pool configuration.
@@ -422,12 +582,21 @@ impl Pmem {
     /// Panics if the range is out of bounds.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
         // Persist pre-store content of any in-flight line being rewritten
-        // (see charge_write_lines): do it before mutating `data`.
+        // (see charge_write_lines): do it before mutating `data`. The
+        // racing writeback is modelled as having completed, so a file
+        // backend journals the pre-store content as a drained batch.
         if let Some(durable) = self.durable.as_ref() {
+            let mut raced: Vec<u64> = Vec::new();
             for l in lines_covering(addr, buf.len() as u64) {
                 if matches!(self.lines.get(&l), Some(LineState::Inflight { .. })) {
                     durable.copy_from(&self.data, l, CACHELINE);
+                    raced.push(l);
                 }
+            }
+            if !raced.is_empty() && self.backend.wants_batches() {
+                let images = self.line_images(&raced);
+                self.backend
+                    .append_batch(BatchKind::Drained, &images, self.clock.now_ns());
             }
         }
         self.charge_write_lines(addr, buf.len() as u64);
@@ -583,19 +752,45 @@ impl Pmem {
             self.shard_drain.reset();
         }
         if n > 0 {
-            let flushed: Vec<u64> = self
+            let mut flushed: Vec<u64> = self
                 .lines
                 .iter()
                 .filter(|&(_, s)| matches!(s, LineState::Inflight { .. }))
                 .map(|(&l, _)| l)
                 .collect();
-            for l in flushed {
+            // Copy into the durable image *before* the journal append:
+            // compaction (possibly racing from another forked handle)
+            // snapshots the durable arena and truncates the journal, so
+            // a fence's lines must be in the arena by the time its
+            // record can be folded away.
+            for &l in &flushed {
                 self.lines.remove(&l);
                 if let Some(d) = self.durable.as_ref() {
                     d.copy_from(&self.data, l, CACHELINE);
                 }
             }
             self.inflight = 0;
+            // The backend hook: exactly this fence's lines, as one
+            // checksummed batch record — one journal append per ordering
+            // point, however many FASEs the batch carried. Sorted for a
+            // deterministic journal (HashMap order is not).
+            if self.backend.wants_batches() {
+                flushed.sort_unstable();
+                let images = self.line_images(&flushed);
+                self.backend
+                    .append_batch(BatchKind::Fence, &images, self.clock.now_ns());
+            }
+            // Fold a grown journal into a snapshot while the durable
+            // image is quiescent (right after its fence updates).
+            if self.backend.should_compact() {
+                let d = self
+                    .durable
+                    .as_ref()
+                    .expect("file-backed pools always keep a durable image");
+                self.backend
+                    .compact(d)
+                    .expect("pool journal compaction failed");
+            }
         }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Fence);
@@ -750,22 +945,17 @@ impl Pmem {
     pub fn fork_handle(&self) -> Pmem {
         let mut clock = SimClock::new();
         clock.sync_to_ns(self.clock.now_ns(), TimeCategory::Other);
-        Pmem {
-            data: self.data.clone(),
-            durable: self.durable.clone(),
-            lines: HashMap::new(),
-            inflight: 0,
-            cache: CacheSim::new(self.cfg.cache.clone()),
-            llc: CacheSim::new(self.cfg.llc.clone()),
-            clock,
-            stats: PmStats::new(),
-            drain: WpqDrain::new(),
-            shard_drain: WpqDrain::new(),
-            lanes: Vec::new(),
-            active_shard: 0,
-            trace: Vec::new(),
-            cfg: self.cfg.clone(),
-        }
+        let mut handle = Pmem::from_parts(
+            self.cfg.clone(),
+            self.data.clone(),
+            self.durable.clone(),
+            // The backend is the pool's one durable device: handles share
+            // it, so a fence on any timeline journals through it.
+            Arc::clone(&self.backend),
+            None,
+        );
+        handle.clock = clock;
+        handle
     }
 
     /// Whether `other` is a handle onto the same shared storage.
@@ -855,22 +1045,18 @@ impl Pmem {
                 image.copy_from(&self.data, line, CACHELINE);
             }
         }
-        Pmem {
-            durable: Some(image.snapshot()),
-            data: image,
-            lines: HashMap::new(),
-            inflight: 0,
-            cache: CacheSim::new(self.cfg.cache.clone()),
-            llc: CacheSim::new(self.cfg.llc.clone()),
-            clock: SimClock::new(),
-            stats: PmStats::new(),
-            drain: WpqDrain::new(),
-            shard_drain: WpqDrain::new(),
-            lanes: Vec::new(),
-            active_shard: 0,
-            trace: Vec::new(),
-            cfg: self.cfg.clone(),
-        }
+        // Crash images are always memory-backed: they are hypothetical
+        // post-crash pools (tests take many, under different policies,
+        // from one live pool), not the pool file itself. Real-process
+        // recovery of a file-backed pool goes through [`Pmem::open_file`].
+        let durable_copy = image.snapshot();
+        Pmem::from_parts(
+            self.cfg.clone(),
+            image,
+            Some(durable_copy),
+            Arc::new(MemBackend),
+            None,
+        )
     }
 }
 
@@ -1359,5 +1545,184 @@ mod tests {
             ..PmemConfig::testing()
         });
         let _ = pm.crash_image(CrashPolicy::OnlyFenced);
+    }
+
+    // ------------------------------------------------------------------
+    // File-backed pools
+    // ------------------------------------------------------------------
+
+    fn pool_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mod_pmem_{}_{name}.pool", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mem_pools_use_the_mem_backend() {
+        let pm = testing_pmem();
+        assert_eq!(pm.backend_kind(), crate::backend::BackendKind::Mem);
+        assert_eq!(pm.backend_stats(), crate::backend::BackendStats::default());
+        assert!(pm.replay_stats().is_none());
+    }
+
+    #[test]
+    fn fenced_writes_survive_reopen_in_a_fresh_pool_object() {
+        let path = pool_path("reopen");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        assert_eq!(pm.backend_kind(), crate::backend::BackendKind::File);
+        pm.write_u64(0x100, 42);
+        pm.clwb(0x100);
+        pm.sfence();
+        pm.write_u64(0x140, 7); // dirty, never flushed: must not persist
+        assert_eq!(pm.backend_stats().batches_appended, 1);
+        drop(pm); // uncooperative: no checkpoint, like a kill
+        let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+        assert_eq!(pm2.peek_u64(0x100), 42, "fenced line replayed");
+        assert_eq!(pm2.peek_u64(0x140), 0, "unfenced store lost");
+        let rs = pm2.replay_stats().unwrap();
+        assert_eq!(rs.batches, 1);
+        assert_eq!(rs.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn one_fence_is_one_journal_record() {
+        let path = pool_path("one_record");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        for i in 0..8u64 {
+            pm.write_u64(0x1000 + i * 64, i + 1);
+            pm.clwb(0x1000 + i * 64);
+        }
+        pm.sfence();
+        let st = pm.backend_stats();
+        assert_eq!(st.batches_appended, 1, "8 lines, one fence, one record");
+        // An empty fence appends nothing.
+        pm.sfence();
+        assert_eq!(pm.backend_stats().batches_appended, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_bytes_are_deterministic_across_runs() {
+        // HashMap iteration order must not leak into the journal.
+        let run = |name: &str| {
+            let path = pool_path(name);
+            let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+            for i in (0..16u64).rev() {
+                pm.write_u64(0x2000 + i * 64, i);
+                pm.clwb(0x2000 + i * 64);
+            }
+            pm.sfence();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            bytes
+        };
+        assert_eq!(run("det_a"), run("det_b"));
+    }
+
+    #[test]
+    fn checkpoint_persists_drained_unfenced_lines() {
+        let path = pool_path("drained");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        pm.write_u64(0x100, 42);
+        pm.clwb(0x100);
+        pm.charge_ns(1_000.0); // drain completes in the background
+        assert_eq!(pm.drained_unfenced_lines(), 1);
+        pm.checkpoint().unwrap(); // orderly close, no fence ever issued
+        drop(pm);
+        let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+        assert_eq!(pm2.peek_u64(0x100), 42, "drained line reached the file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn store_racing_inflight_writeback_journals_preflush_content() {
+        let path = pool_path("race");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        pm.write_u64(0x100, 1);
+        pm.clwb(0x100);
+        pm.write_u64(0x100, 2); // races the in-flight writeback
+        drop(pm); // killed before any fence
+        let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+        assert_eq!(pm2.peek_u64(0x100), 1, "clwb'd content must be durable");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_journal_and_preserves_state() {
+        let path = pool_path("compact");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        for i in 0..32u64 {
+            pm.write_u64(0x3000 + i * 64, i + 100);
+            pm.clwb(0x3000 + i * 64);
+            pm.sfence();
+        }
+        pm.checkpoint().unwrap(); // forces a compaction
+        assert!(pm.backend_stats().compactions >= 1);
+        // Post-compaction appends still replay on top of the snapshot.
+        pm.write_u64(0x100, 5);
+        pm.clwb(0x100);
+        pm.sfence();
+        drop(pm);
+        let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+        for i in 0..32u64 {
+            assert_eq!(pm2.peek_u64(0x3000 + i * 64), i + 100);
+        }
+        assert_eq!(pm2.peek_u64(0x100), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_pool_capacity_comes_from_the_header() {
+        let path = pool_path("capacity");
+        let pm = Pmem::create_file(
+            &path,
+            PmemConfig {
+                capacity: 1 << 22,
+                ..PmemConfig::testing()
+            },
+        )
+        .unwrap();
+        drop(pm);
+        // Caller's capacity is overridden by the file's.
+        let pm2 = Pmem::open_file(
+            &path,
+            PmemConfig {
+                capacity: 1 << 30,
+                ..PmemConfig::testing()
+            },
+        )
+        .unwrap();
+        assert_eq!(pm2.capacity(), 1 << 22);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn forked_handles_share_the_file_backend() {
+        let path = pool_path("fork");
+        let pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        let mut h = pm.fork_handle();
+        h.write_u64(0x4000, 9);
+        h.clwb(0x4000);
+        h.sfence(); // a fence on any handle journals through the pool file
+        assert_eq!(pm.backend_stats().batches_appended, 1);
+        drop(h);
+        drop(pm);
+        let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+        assert_eq!(pm2.peek_u64(0x4000), 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_image_of_a_file_pool_is_memory_backed() {
+        let path = pool_path("crash_img");
+        let mut pm = Pmem::create_file(&path, PmemConfig::testing()).unwrap();
+        pm.write_u64(0x100, 3);
+        pm.clwb(0x100);
+        pm.sfence();
+        let img = pm.crash_image(CrashPolicy::OnlyFenced);
+        assert_eq!(img.backend_kind(), crate::backend::BackendKind::Mem);
+        assert_eq!(img.peek_u64(0x100), 3);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -25,11 +25,13 @@ pub mod graph;
 pub mod memcached;
 pub mod micro;
 pub mod report;
+pub mod session;
 pub mod spec;
 pub mod vacation;
 
 pub use concurrent::{run_host, run_pipelined, ConcurrencyConfig, ConcurrencyReport, HostReport};
 pub use report::{OpProfile, RunReport};
+pub use session::{open_session, run_ops, verify_session, Session, SessionRoots};
 pub use spec::{ScaleConfig, System, Workload, WorkloadRng};
 
 /// Runs any Table 2 workload on any system.

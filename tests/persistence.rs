@@ -1,0 +1,203 @@
+//! File-backed pools: cross-process kill/recover, torn journal tails,
+//! compaction, and MemBackend behavior-identity.
+//!
+//! The kill test re-invokes this very test binary as the writer child
+//! (the `writer_child` "test" below becomes the child's entry point when
+//! `MOD_SESSION_POOL` is set), so a genuine `SIGKILL` lands on a process
+//! mid-FASE-stream and recovery runs in a different process — no shared
+//! memory, only the pool file.
+
+use mod_core::{DurableMap, ModHeap};
+use mod_pmem::{Pmem, PmemConfig};
+use mod_workloads::session::{open_session, run_ops, verify_session, SLOTS, WINDOW};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn temp_pool(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mod_persist_{}_{name}.pool", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Child entry point: under `MOD_SESSION_POOL` this "test" writes the
+/// session until killed; in a normal test run it is an instant no-op.
+#[test]
+fn writer_child() {
+    let Ok(path) = std::env::var("MOD_SESSION_POOL") else {
+        return;
+    };
+    let seed: u64 = std::env::var("MOD_SESSION_SEED").unwrap().parse().unwrap();
+    let mut session = open_session(PathBuf::from(path).as_path(), seed).unwrap();
+    run_ops(&mut session, u64::MAX / 2); // write until the kill arrives
+}
+
+#[test]
+fn kill_and_reopen_recovers_committed_fases() {
+    let path = temp_pool("kill");
+    let seed = 0xDEAD_BEEFu64;
+    let exe = std::env::current_exe().unwrap();
+    let mut last = 0u64;
+    // The last round is generous so even a debug build on a loaded host
+    // commits work; an early kill that beats initialization verifies as
+    // the legal 0-committed state.
+    for (round, ms) in [60u64, 150, 400].into_iter().enumerate() {
+        let mut kid = Command::new(&exe)
+            .args(["writer_child", "--exact", "--nocapture"])
+            .env("MOD_SESSION_POOL", &path)
+            .env("MOD_SESSION_SEED", seed.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(ms));
+        kid.kill().unwrap(); // SIGKILL: no destructors, no checkpoint
+        kid.wait().unwrap();
+        let committed = verify_session(&path, seed)
+            .unwrap_or_else(|e| panic!("round {round}: verification failed: {e}"));
+        assert!(
+            committed >= last,
+            "round {round}: committed count regressed {last} -> {committed}"
+        );
+        last = committed;
+    }
+    assert!(
+        last > 0,
+        "three kill rounds committed nothing — writer never reached a fence"
+    );
+    // The survivor pool still works: resume, close cleanly, verify.
+    let mut session = open_session(&path, seed).unwrap();
+    let resume = session.committed;
+    assert_eq!(resume, last);
+    run_ops(&mut session, resume + 100);
+    drop(session.heap.close().unwrap());
+    assert_eq!(verify_session(&path, seed).unwrap(), resume + 100);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_journal_tail_recovers_to_a_complete_fence_at_any_cut() {
+    // Write a session, then simulate kills at many byte offsets by
+    // truncating a copy of the pool file: every cut must verify as a
+    // consistent all-or-nothing prefix, monotone in the cut point.
+    let path = temp_pool("torn");
+    let seed = 7u64;
+    let mut session = open_session(&path, seed).unwrap();
+    run_ops(&mut session, 120);
+    drop(session); // no close/checkpoint: the file is as a kill leaves it
+    let full = std::fs::read(&path).unwrap();
+    let base = {
+        // State with no journal suffix at all: right after initialization.
+        let cut_path = temp_pool("torn_cut");
+        std::fs::write(&cut_path, &full).unwrap();
+        verify_session(&cut_path, seed).unwrap()
+    };
+    // The last FASE's directory swing is fenced by the *next* FASE (or a
+    // close), so an un-closed file holds one less than the staged count.
+    assert_eq!(base, 119);
+    let cut_path = temp_pool("torn_cut");
+    // ~150 cuts spread over the whole file plus every byte of the tail.
+    let init_len = full.len() - (full.len() / 3);
+    let mut cuts: Vec<usize> = (0..100)
+        .map(|i| init_len + i * (full.len() - init_len) / 100)
+        .collect();
+    cuts.extend(full.len() - 200..=full.len());
+    let mut prev_n = None::<u64>;
+    let mut distinct = std::collections::BTreeSet::new();
+    for cut in cuts {
+        std::fs::write(&cut_path, &full[..cut]).unwrap();
+        let n = verify_session(&cut_path, seed)
+            .unwrap_or_else(|e| panic!("cut at {cut}: inconsistent state: {e}"));
+        if let Some(p) = prev_n {
+            assert!(
+                n >= p,
+                "cut {cut}: committed count not monotone ({p} -> {n})"
+            );
+        }
+        prev_n = Some(n);
+        distinct.insert(n);
+    }
+    assert!(
+        distinct.len() > 10,
+        "cuts should land on many distinct fences, got {distinct:?}"
+    );
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&cut_path).unwrap();
+}
+
+#[test]
+fn compaction_bounds_the_file_and_preserves_state() {
+    let path = temp_pool("compaction");
+    let seed = 42u64;
+    let mut session = open_session(&path, seed).unwrap();
+    // Enough churn that the journal crosses the compaction threshold.
+    run_ops(&mut session, 1_500);
+    let stats = session.heap.nv().pm().backend_stats();
+    assert!(
+        stats.compactions >= 1,
+        "1.5k FASEs must have crossed the compaction threshold \
+         ({} journal bytes appended)",
+        stats.journal_bytes
+    );
+    drop(session.heap.close().unwrap());
+    let file_len = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        file_len < stats.journal_bytes,
+        "compaction must keep the file ({file_len} B) well under the \
+         total journal traffic ({} B)",
+        stats.journal_bytes
+    );
+    // All state survives the compactions and the reopen.
+    let committed = verify_session(&path, seed).unwrap();
+    assert_eq!(committed, 1_500);
+    let mut session = open_session(&path, seed).unwrap();
+    run_ops(&mut session, 1_600);
+    drop(session.heap.close().unwrap());
+    assert_eq!(verify_session(&path, seed).unwrap(), 1_600);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn verifier_rejects_a_wrong_shadow_model() {
+    // The kill tests are only as strong as the verifier: feed it the
+    // wrong seed and it must notice every slot mismatching.
+    let path = temp_pool("wrong_seed");
+    let mut session = open_session(&path, 1).unwrap();
+    run_ops(&mut session, 50);
+    drop(session.heap.close().unwrap());
+    assert!(verify_session(&path, 2).is_err(), "wrong seed must fail");
+    assert_eq!(verify_session(&path, 1).unwrap(), 50);
+    std::fs::remove_file(&path).unwrap();
+}
+
+const _: () = assert!(WINDOW < SLOTS, "session model: window must fit the map");
+
+#[test]
+fn mem_backend_paths_are_behavior_identical_to_file_pools_minus_io() {
+    // The pluggable backend must not perturb the simulation: the same
+    // typed workload on a MemBackend pool and a FileBackend pool charges
+    // identical simulated time and identical PM counters — the only
+    // difference is where durable bytes land.
+    let run = |pm: Pmem| {
+        let mut h = ModHeap::create(pm);
+        let map: DurableMap<u64, u64> = DurableMap::create(&mut h);
+        for i in 0..64u64 {
+            map.insert(&mut h, &(i % 8), &i);
+        }
+        h.quiesce();
+        let stats = h.nv().pm().stats().clone();
+        let wall = h.nv().pm().clock().now_ns();
+        (stats, wall)
+    };
+    let (mem_stats, mem_wall) = run(Pmem::new(PmemConfig::testing()));
+    let path = temp_pool("identical");
+    let (file_stats, file_wall) = run(Pmem::create_file(&path, PmemConfig::testing()).unwrap());
+    assert_eq!(mem_stats, file_stats, "identical PM counters");
+    assert_eq!(
+        mem_wall.to_bits(),
+        file_wall.to_bits(),
+        "bit-identical simulated time"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
