@@ -25,11 +25,19 @@
 //! bytes appended per FASE, compactions, and the host time to replay the
 //! pool on reopen.
 //!
+//! The server section starts the `mod-server` network front end on a
+//! file-backed pool (in-process listener, real sockets) and drives the
+//! open-loop load generator at 1, 4 and 8 connections with a bounded
+//! in-flight window, recording ungated `info.server.*` keys: host req/s
+//! and p50/p99 reply latency (reply-after-fence — latency includes the
+//! batch fence wait) per connection count. Host-time only; connection
+//! counts above the core count oversubscribe and are reported as-is.
+//!
 //! ```text
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR5.json`): where to write this run's
+//! * `--out` (default `BENCH_PR6.json`): where to write this run's
 //!   metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
@@ -144,6 +152,64 @@ fn collect_metrics() -> Metrics {
         let _ = std::fs::remove_file(&path);
     }
 
+    eprintln!("  bench_smoke: mod-server loadgen, 1/4/8 connections ...");
+    {
+        use mod_server::{pool, serve_with, LoadgenConfig, ServerConfig};
+        const WINDOW: usize = 16;
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_bench_server_{}.pool", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (heap, roots) = pool::open_or_create(
+            &path,
+            4,
+            mod_core::CommitMode::Group {
+                max_batch: 8,
+                timeout: std::time::Duration::from_millis(2),
+            },
+        )
+        .expect("server pool");
+        let handle = serve_with(heap, roots, "127.0.0.1:0", ServerConfig { window: WINDOW })
+            .expect("bind server");
+        m.insert("info.server.inflight_window".to_string(), WINDOW as f64);
+        for conns in [1usize, 4, 8] {
+            let report = mod_server::run_loadgen(
+                handle.addr(),
+                &LoadgenConfig {
+                    conns,
+                    window: WINDOW,
+                    ops_per_conn: 300,
+                    ..LoadgenConfig::default()
+                },
+            )
+            .expect("loadgen run");
+            m.insert(
+                format!("info.server.conns{conns}.req_per_s"),
+                report.req_per_s(),
+            );
+            m.insert(
+                format!("info.server.conns{conns}.p50_ns"),
+                report.p50_ns() as f64,
+            );
+            m.insert(
+                format!("info.server.conns{conns}.p99_ns"),
+                report.p99_ns() as f64,
+            );
+            m.insert(
+                format!("info.server.conns{conns}.errors"),
+                report.errors as f64,
+            );
+            // The headline keys track the single-connection run: it is
+            // the least scheduler-sensitive configuration on small CI
+            // runners, and reply-after-fence cost shows up undiluted.
+            if conns == 1 {
+                m.insert("info.server.req_per_s".to_string(), report.req_per_s());
+                m.insert("info.server.p99_ns".to_string(), report.p99_ns() as f64);
+            }
+        }
+        handle.stop();
+        let _ = std::fs::remove_file(&path);
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -208,7 +274,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR5.json");
+    let mut out = String::from("BENCH_PR6.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

@@ -303,6 +303,17 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
         lookup(tx.current(self.root), &mut tx.nv().into(), &key.repr())
     }
 
+    /// Acquires this map's staging lane without staging an update
+    /// (worker FASEs only; a no-op in single-owner FASEs). Read-modify-
+    /// write sequences need this *before* their [`DurableMap::get_in`]:
+    /// plain reads are lock-free, so without the lane hold a concurrent
+    /// same-root FASE could stage between the read and the dependent
+    /// `insert_in`, losing its update. Stages nothing — a FASE that only
+    /// touches commits nothing and costs no ordering point.
+    pub fn touch_in(&self, tx: &mut Fase<'_>) {
+        tx.update(self.root, |_, m| m);
+    }
+
     /// Whether `key` is present. Read-only.
     pub fn contains_key(&self, heap: &ModHeap, key: &K) -> bool {
         match key.repr() {
@@ -616,6 +627,22 @@ impl<V: PmWord> DurableVector<V> {
     /// Panics if `index` is out of bounds.
     pub fn get(&self, heap: &ModHeap, index: u64) -> V {
         V::from_word(heap.current(self.root).peek_get(heap.nv(), index))
+    }
+
+    /// Element at `index` as this FASE sees it (read-your-writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get_in(&self, tx: &Fase<'_>, index: u64) -> V {
+        V::from_word(tx.current(self.root).peek_get(tx.nv(), index))
+    }
+
+    /// Acquires this vector's staging lane without staging an update —
+    /// see [`DurableMap::touch_in`] for when read-modify-write sequences
+    /// need it.
+    pub fn touch_in(&self, tx: &mut Fase<'_>) {
+        tx.update(self.root, |_, v| v);
     }
 
     /// Number of elements. Read-only.

@@ -82,4 +82,6 @@ pub use heap::{ModHeap, ULOG_CAP};
 pub use queue::HandoffQueue;
 pub use root::{Root, ROOT_DIR_SLOT};
 pub use sched::{SeededRoundRobin, Turn};
-pub use shared::{CommitMode, LaneContention, PipelineStats, SharedModHeap};
+pub use shared::{
+    CommitMode, CommitNotice, CommitTicket, LaneContention, PipelineStats, SharedModHeap,
+};

@@ -172,10 +172,90 @@ fn conflict_backoff(attempt: u32) {
     }
 }
 
+/// Shared durability state behind a [`CommitTicket`].
+#[derive(Debug, Default)]
+struct TicketState {
+    /// Set (after the batch's `sfence`) by the commit stage.
+    durable: AtomicBool,
+    /// Simulated time of the fence that made this FASE durable (f64
+    /// bits; valid once `durable` is set).
+    fence_ns: AtomicU64,
+}
+
+/// A durability handle for one staged FASE.
+///
+/// [`SharedModHeap::fase_ticketed`] returns one per FASE: the ticket
+/// turns *durable* the moment the batch carrying the FASE publishes —
+/// i.e. strictly after the batch's `sfence` has executed. This is the
+/// primitive a network front end needs for **reply-after-fence**
+/// semantics: a response may be flushed to the client only once the
+/// ticket of the FASE that produced it is durable, so an acknowledged
+/// operation is guaranteed to survive a crash.
+///
+/// Tickets are cheap (`Arc`-backed), cloneable, and safe to poll from
+/// any thread; [`SharedModHeap::wait_durable`] blocks on one (bounded by
+/// the group-commit timeout — it forces the batch out rather than wait
+/// forever).
+#[derive(Clone, Debug)]
+pub struct CommitTicket {
+    state: Arc<TicketState>,
+}
+
+impl CommitTicket {
+    fn new() -> CommitTicket {
+        CommitTicket {
+            state: Arc::new(TicketState::default()),
+        }
+    }
+
+    /// Whether the FASE's batch has published (its fence has executed).
+    pub fn is_durable(&self) -> bool {
+        self.state.durable.load(Ordering::SeqCst)
+    }
+
+    /// Simulated time of the fence that committed this FASE, once
+    /// durable (`None` before that).
+    pub fn fence_ns(&self) -> Option<f64> {
+        self.is_durable()
+            .then(|| f64::from_bits(self.state.fence_ns.load(Ordering::SeqCst)))
+    }
+}
+
+/// What a commit subscriber learns about one published batch (see
+/// [`SharedModHeap::subscribe_commits`]).
+#[derive(Clone, Debug)]
+pub struct CommitNotice {
+    /// Monotone batch sequence number (1 for the first drained batch).
+    pub batch_seq: u64,
+    /// FASEs the batch carried (including staged no-ops).
+    pub fases: usize,
+    /// Whether the batch actually published updates (an all-no-op batch
+    /// drains participants but pays no fence).
+    pub committed: bool,
+    /// The batch's fence watermark: simulated time after which every
+    /// FASE in this batch (and all earlier batches) is durable.
+    pub fence_ns: f64,
+}
+
+type CommitSubscriber = Box<dyn Fn(&CommitNotice) + Send + Sync>;
+
+/// Registered commit subscribers (manual `Debug`: closures aren't).
+#[derive(Default)]
+struct Subscribers(Mutex<Vec<CommitSubscriber>>);
+
+impl std::fmt::Debug for Subscribers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.0.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "Subscribers({n})")
+    }
+}
+
 /// One staged FASE in transit from a worker shard to the commit stage.
 #[derive(Debug)]
 struct StagedFase {
     worker: usize,
+    /// Durability notification slot, if the submitter asked for one.
+    ticket: Option<Arc<TicketState>>,
     pending: Vec<PendingUpdate>,
     /// Reverted chains whose release was deferred to the commit stage.
     releases: Vec<ErasedDs>,
@@ -205,6 +285,9 @@ struct GlobalState {
 struct GroupMeta {
     /// When the oldest FASE of the open batch was staged.
     opened_at: Option<Instant>,
+    /// Batches drained so far — mutex-protected so condvar waiters can
+    /// use it as a wake predicate with no missed-notify window.
+    batch_epoch: u64,
 }
 
 #[derive(Debug)]
@@ -224,6 +307,9 @@ struct Inner {
     last_fence_ns: AtomicU64,
     group: Mutex<GroupMeta>,
     group_cv: Condvar,
+    /// Monotone drained-batch counter (the `batch_seq` in notices).
+    batch_seq: AtomicU64,
+    subscribers: Subscribers,
 }
 
 impl Inner {
@@ -251,8 +337,10 @@ impl Inner {
         let mut batch: Vec<PendingUpdate> = Vec::new();
         let mut releases = Vec::new();
         let mut participants = Vec::with_capacity(drained.len());
+        let mut tickets = Vec::new();
         for sf in drained {
             participants.push(sf.worker);
+            tickets.extend(sf.ticket);
             st.heap.nv_mut().apply_staged_effects(sf.effects);
             {
                 let pm = st.heap.nv_mut().pm_mut();
@@ -270,6 +358,17 @@ impl Inner {
         for r in releases {
             r.release(st.heap.nv_mut());
         }
+        // `commit_fase` flushes the directory swing but does not fence
+        // it — in the closed-loop pipeline the *next* batch's fence
+        // covers it (epsilon-durability, one fence per FASE preserved).
+        // A ticket is a promise to an external client, and a reply must
+        // imply the swing itself is durable, so a batch carrying tickets
+        // pays the covering fence now. Ticket-free batches are untouched:
+        // the simulated fence counts of every existing workload are
+        // bit-identical.
+        if committed && !tickets.is_empty() {
+            st.heap.fence_and_drain();
+        }
         if committed {
             self.stats.batches.fetch_add(1, Ordering::SeqCst);
             self.stats
@@ -281,6 +380,18 @@ impl Inner {
                 Ordering::SeqCst,
             );
         }
+        // The batch's fence watermark. An all-no-op batch paid no fence,
+        // but its FASEs wrote nothing — they are trivially durable, so
+        // their tickets resolve too (a read-only request must not wait
+        // for a write that never happened).
+        let fence_ns = st.heap.nv().pm().clock().now_ns();
+        // Reply-after-fence gate: tickets flip durable strictly *after*
+        // `commit_fase` ran the batch's sfence + directory swing above.
+        for t in &tickets {
+            t.fence_ns.store(fence_ns.to_bits(), Ordering::SeqCst);
+            t.durable.store(true, Ordering::SeqCst);
+        }
+        let batch_seq = self.batch_seq.fetch_add(1, Ordering::SeqCst) + 1;
         for w in participants {
             self.staged[w].store(false, Ordering::SeqCst);
         }
@@ -296,8 +407,30 @@ impl Inner {
             } else if g.opened_at.is_none() {
                 g.opened_at = Some(Instant::now());
             }
+            // Publish the epoch and notify while *holding* the mutex.
+            // The old code notified after dropping it, which left the
+            // wakeup's delivery ordering resting on the accident that
+            // this block takes the same lock the waiters hold between
+            // their predicate check and `wait_timeout` — correct today,
+            // but one refactor away from a classic missed-notify. With
+            // the epoch bump + notify inside the lock, every waiter
+            // either sees the new epoch before sleeping or is already
+            // parked in `wait_timeout` and receives the notification.
+            g.batch_epoch += 1;
+            self.group_cv.notify_all();
         }
-        self.group_cv.notify_all();
+        // Commit subscribers run outside the group lock (waiters are
+        // already released) but still under the commit lock, so notices
+        // arrive in batch order with monotone fence watermarks.
+        let notice = CommitNotice {
+            batch_seq,
+            fases,
+            committed,
+            fence_ns,
+        };
+        for sub in self.subscribers.0.lock().unwrap().iter() {
+            sub(&notice);
+        }
     }
 }
 
@@ -399,8 +532,13 @@ impl SharedModHeap {
                 queued: AtomicUsize::new(0),
                 stats: AtomicPipelineStats::default(),
                 last_fence_ns: AtomicU64::new(0f64.to_bits()),
-                group: Mutex::new(GroupMeta { opened_at: None }),
+                group: Mutex::new(GroupMeta {
+                    opened_at: None,
+                    batch_epoch: 0,
+                }),
                 group_cv: Condvar::new(),
+                batch_seq: AtomicU64::new(0),
+                subscribers: Subscribers::default(),
             }),
         }
     }
@@ -468,7 +606,59 @@ impl SharedModHeap {
     pub fn try_fase<R>(
         &self,
         worker: usize,
+        f: impl FnMut(&mut Fase<'_>) -> R,
+    ) -> Result<R, LaneContention> {
+        self.try_fase_inner(worker, f, None)
+    }
+
+    /// [`SharedModHeap::fase`] returning a [`CommitTicket`] alongside the
+    /// closure's result: the ticket turns durable once the batch carrying
+    /// this FASE has published (its fence has executed). This is the
+    /// building block for reply-after-fence front ends — acknowledge the
+    /// operation to the client only after
+    /// [`SharedModHeap::wait_durable`] on the ticket returns.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SharedModHeap::fase`].
+    pub fn fase_ticketed<R>(
+        &self,
+        worker: usize,
+        f: impl FnMut(&mut Fase<'_>) -> R,
+    ) -> (R, CommitTicket) {
+        match self.try_fase_ticketed(worker, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}; use try_fase_ticketed to handle contention"),
+        }
+    }
+
+    /// [`SharedModHeap::fase_ticketed`], surfacing lane contention as a
+    /// typed error (see [`SharedModHeap::try_fase`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaneContention`] if every staging attempt in the budget
+    /// was aborted by conflicting lane orders (no ticket exists then —
+    /// nothing was staged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or deregistered.
+    pub fn try_fase_ticketed<R>(
+        &self,
+        worker: usize,
+        f: impl FnMut(&mut Fase<'_>) -> R,
+    ) -> Result<(R, CommitTicket), LaneContention> {
+        let ticket = CommitTicket::new();
+        self.try_fase_inner(worker, f, Some(Arc::clone(&ticket.state)))
+            .map(|out| (out, ticket))
+    }
+
+    fn try_fase_inner<R>(
+        &self,
+        worker: usize,
         mut f: impl FnMut(&mut Fase<'_>) -> R,
+        ticket: Option<Arc<TicketState>>,
     ) -> Result<R, LaneContention> {
         let inner = &*self.inner;
         assert!(worker < inner.shards.len(), "worker {worker} out of range");
@@ -504,6 +694,7 @@ impl SharedModHeap {
                 let (pending, releases) = tx.finish_staging();
                 let staged = StagedFase {
                     worker,
+                    ticket: ticket.clone(),
                     pending,
                     releases,
                     effects,
@@ -610,6 +801,74 @@ impl SharedModHeap {
             self.commit_now();
         }
         self.inner.group_cv.notify_all();
+    }
+
+    /// Re-adds `worker` to the batch-completion quorum (the inverse of
+    /// [`SharedModHeap::deregister`]). A network front end uses this to
+    /// activate a shard only while connections are pinned to it: idle
+    /// slots must not count toward the all-active-staged quorum, or a
+    /// single connection would pay the full group timeout on every
+    /// batch.
+    pub fn register(&self, worker: usize) {
+        assert!(
+            worker < self.inner.shards.len(),
+            "worker {worker} out of range"
+        );
+        self.inner.active[worker].store(true, Ordering::SeqCst);
+    }
+
+    /// Registers a commit subscriber: called once per drained batch (in
+    /// batch order, with monotone fence watermarks), strictly after the
+    /// batch's fence executed and its tickets turned durable. The
+    /// callback runs on whichever thread drove the commit, under the
+    /// commit lock — keep it short and never call back into the heap.
+    pub fn subscribe_commits(&self, f: impl Fn(&CommitNotice) + Send + Sync + 'static) {
+        self.inner.subscribers.0.lock().unwrap().push(Box::new(f));
+    }
+
+    /// Blocks until `ticket` is durable — i.e. the batch carrying its
+    /// FASE has published and its fence has executed. Returns the fence
+    /// watermark (simulated ns).
+    ///
+    /// The wait is bounded: if the batch has not published after the
+    /// group timeout (or ~1 ms in [`CommitMode::Pipelined`]), this
+    /// thread forces it out itself via [`SharedModHeap::flush`] — so a
+    /// lone connection on an otherwise idle server never deadlocks
+    /// waiting for peers that will never stage.
+    pub fn wait_durable(&self, ticket: &CommitTicket) -> f64 {
+        let inner = &*self.inner;
+        let bound = match inner.mode {
+            CommitMode::Group { timeout, .. } => timeout,
+            CommitMode::Pipelined => Duration::from_millis(1),
+        };
+        loop {
+            if let Some(ns) = ticket.fence_ns() {
+                return ns;
+            }
+            let deadline = Instant::now() + bound;
+            loop {
+                let g = inner.group.lock().unwrap();
+                if ticket.is_durable() {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(g);
+                    // Nobody committed within the latency bound: drain
+                    // the batch ourselves (re-check afterwards — the
+                    // ticket may have been resolved by a racing commit).
+                    self.flush();
+                    break;
+                }
+                let epoch = g.batch_epoch;
+                let (g, _) = inner.group_cv.wait_timeout(g, deadline - now).unwrap();
+                // Spurious wake or timeout with no batch drained: loop
+                // re-checks the predicate; an epoch bump means a batch
+                // published and the ticket is worth re-polling.
+                let _ = epoch;
+                drop(g);
+            }
+        }
     }
 
     /// Single-threaded setup access to the underlying heap (publishing
@@ -1206,5 +1465,180 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ticket_turns_durable_only_at_the_batch_fence() {
+        let sh = shared(2);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let ((), ticket) = sh.fase_ticketed(0, |tx| {
+            map.insert_in(tx, &1, &10);
+        });
+        // Staged but unpublished: an acknowledgement now would lie.
+        assert!(!ticket.is_durable(), "no fence has run yet");
+        assert_eq!(ticket.fence_ns(), None);
+        sh.fase(1, |tx| map.insert_in(tx, &2, &20)); // completes the quorum
+        assert!(ticket.is_durable(), "batch published ⇒ ticket durable");
+        let fence = ticket.fence_ns().unwrap();
+        assert!(fence > 0.0);
+        // The watermark is the commit stage's clock at publish time.
+        let last = f64::from_bits(sh.inner.last_fence_ns.load(Ordering::SeqCst));
+        assert_eq!(fence.to_bits(), last.to_bits());
+    }
+
+    #[test]
+    fn read_only_ticket_resolves_without_a_fence() {
+        // An all-no-op batch publishes nothing (no fence) but its FASEs
+        // wrote nothing either — their tickets must still resolve, or a
+        // read-mostly connection would hang on replies forever.
+        let sh = shared(2);
+        let q: DurableQueue<u64> = sh.setup(DurableQueue::create);
+        let (got, ticket) = sh.fase_ticketed(0, |tx| q.dequeue_in(tx));
+        assert!(got.is_none());
+        sh.fase(1, |tx| {
+            assert!(q.dequeue_in(tx).is_none());
+        });
+        assert!(ticket.is_durable(), "no-op batch still resolves tickets");
+        assert_eq!(sh.stats().batches, 0, "and it stayed free");
+    }
+
+    #[test]
+    fn wait_durable_forces_the_batch_after_the_group_timeout() {
+        // One connection on an otherwise idle server: nobody else will
+        // ever stage, so wait_durable must publish the batch itself
+        // after the mode's latency bound instead of deadlocking.
+        let timeout = Duration::from_millis(20);
+        let sh = SharedModHeap::create_with(
+            Pmem::new(PmemConfig::testing()),
+            2,
+            CommitMode::Group {
+                max_batch: 8,
+                timeout,
+            },
+        );
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let ((), ticket) = sh.fase_ticketed(0, |tx| {
+            map.insert_in(tx, &7, &7);
+        });
+        assert!(!ticket.is_durable());
+        let t0 = Instant::now();
+        let fence = sh.wait_durable(&ticket);
+        let waited = t0.elapsed();
+        assert!(ticket.is_durable());
+        assert_eq!(ticket.fence_ns(), Some(fence));
+        assert!(waited >= timeout, "honored the group latency bound");
+        assert!(waited < timeout * 20, "but not much more ({waited:?})");
+        assert_eq!(sh.stats().batches, 1, "the waiter drained the batch");
+        sh.with(|h| assert_eq!(map.get(h, &7), Some(7)));
+    }
+
+    #[test]
+    fn commit_subscribers_see_batches_in_order_with_fence_watermarks() {
+        let sh = shared(2);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let notices: Arc<Mutex<Vec<CommitNotice>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let notices = Arc::clone(&notices);
+            sh.subscribe_commits(move |n| notices.lock().unwrap().push(n.clone()));
+        }
+        for round in 0..3u64 {
+            let ((), ticket) = sh.fase_ticketed(0, |tx| {
+                map.insert_in(tx, &round, &round);
+            });
+            sh.fase(1, |tx| map.insert_in(tx, &(100 + round), &round));
+            let seen = notices.lock().unwrap();
+            let last = seen.last().expect("a notice per batch");
+            assert_eq!(last.batch_seq, round + 1, "monotone batch sequence");
+            assert_eq!(last.fases, 2);
+            assert!(last.committed);
+            assert_eq!(
+                Some(last.fence_ns),
+                ticket.fence_ns(),
+                "notice carries the same fence watermark as the tickets"
+            );
+        }
+        let seen = notices.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert!(
+            seen.windows(2).all(|w| w[0].fence_ns <= w[1].fence_ns),
+            "fence watermarks are monotone across batches"
+        );
+    }
+
+    #[test]
+    fn early_publish_wakes_all_lapped_group_waiters() {
+        // Regression for the missed-notify audit: two workers lap the
+        // pipeline and park on the group condvar with a long timeout; a
+        // third worker completes the quorum and the batch publishes
+        // early. BOTH lapped waiters must wake promptly — if either
+        // slept out the full timeout, a notify was lost.
+        use std::sync::mpsc;
+        let timeout = Duration::from_secs(5);
+        let sh = SharedModHeap::create_with(
+            Pmem::new(PmemConfig::testing()),
+            3,
+            CommitMode::Group {
+                max_batch: 64,
+                timeout,
+            },
+        );
+        let maps: Vec<DurableMap<u64, u64>> =
+            (0..3).map(|_| sh.setup(DurableMap::create)).collect();
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for (w, &map) in maps.iter().enumerate().take(2) {
+            let sh = sh.clone();
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                sh.fase(w, |t| map.insert_in(t, &0, &1)); // stages
+                tx.send(w).unwrap();
+                let t0 = Instant::now();
+                sh.fase(w, |t| map.insert_in(t, &1, &2)); // laps: waits
+                t0.elapsed()
+            }));
+        }
+        // Both workers have a FASE in the open batch and are lapping.
+        rx.recv().unwrap();
+        rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let them park
+        let t0 = Instant::now();
+        sh.fase(2, |t| maps[2].insert_in(t, &0, &3)); // quorum → publish
+        for h in handles {
+            let waited = h.join().unwrap();
+            assert!(
+                waited < timeout / 2,
+                "lapped waiter slept {waited:?} — missed the early publish"
+            );
+        }
+        assert!(t0.elapsed() < timeout / 2);
+        assert!(sh.stats().batches >= 1);
+        sh.flush();
+        sh.with(|h| {
+            for map in &maps {
+                assert_eq!(map.get(h, &0).map(|_| ()), Some(()));
+            }
+            assert_eq!(maps[0].get(h, &1), Some(2));
+            assert_eq!(maps[1].get(h, &1), Some(2));
+        });
+    }
+
+    #[test]
+    fn register_restores_a_slot_to_the_quorum() {
+        let sh = shared(2);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        sh.deregister(1);
+        // With slot 1 inactive, worker 0 alone is the quorum.
+        sh.fase(0, |tx| map.insert_in(tx, &1, &1));
+        assert_eq!(sh.stats().batches, 1, "solo quorum commits immediately");
+        sh.register(1);
+        sh.fase(0, |tx| map.insert_in(tx, &2, &2));
+        assert_eq!(sh.stats().batches, 1, "slot 1 active again: batch waits");
+        sh.fase(1, |tx| map.insert_in(tx, &3, &3));
+        assert_eq!(sh.stats().batches, 2, "full quorum commits");
+        sh.with(|h| {
+            for k in 1..=3u64 {
+                assert_eq!(map.get(h, &k), Some(k));
+            }
+        });
     }
 }

@@ -1,0 +1,114 @@
+//! The `mod-server` binary: serve a file-backed durable pool over TCP,
+//! or drive a running server with the open-loop load generator.
+//!
+//! ```text
+//! mod_server serve <pool-file> [--addr A] [--workers N] [--window W] [--timeout-ms T]
+//! mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]
+//! ```
+//!
+//! `serve` prints `LISTENING <addr>` once the socket is bound and runs
+//! until killed; a `SIGKILL` at any point leaves the pool recoverable
+//! (that is the point). `loadgen` prints a one-line throughput/latency
+//! summary.
+
+use mod_core::CommitMode;
+use mod_server::{pool, run_loadgen, serve_with, LoadgenConfig, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         mod_server serve <pool-file> [--addr A] [--workers N] [--window W] [--timeout-ms T]\n  \
+         mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]"
+    );
+    std::process::exit(2);
+}
+
+/// Pulls `--flag value` pairs out of `args`, returning leftover
+/// positional arguments.
+fn split_flags(args: &[String]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.next() {
+                Some(v) => flags.push((name.to_string(), v.clone())),
+                None => usage(),
+            }
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    (pos, flags)
+}
+
+fn flag<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> T {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else { usage() };
+    let (pos, flags) = split_flags(&args[1..]);
+    match mode.as_str() {
+        "serve" => {
+            let [pool_path] = pos.as_slice() else { usage() };
+            let addr: String = flag(&flags, "addr", "127.0.0.1:0".to_string());
+            let workers: usize = flag(&flags, "workers", 4).max(1);
+            let window: usize = flag(&flags, "window", 16).max(1);
+            let timeout_ms: u64 = flag(&flags, "timeout-ms", 2);
+            let mode = CommitMode::Group {
+                max_batch: workers.max(4),
+                timeout: Duration::from_millis(timeout_ms.max(1)),
+            };
+            let (heap, roots) = pool::open_or_create(pool_path.as_ref(), workers, mode)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open pool {pool_path}: {e}");
+                    std::process::exit(1);
+                });
+            let handle = serve_with(heap, roots, addr.as_str(), ServerConfig { window })
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                });
+            // Parsable by scripts and the kill -9 battery.
+            println!("LISTENING {}", handle.addr());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            loop {
+                std::thread::park();
+            }
+        }
+        "loadgen" => {
+            let [addr] = pos.as_slice() else { usage() };
+            let cfg = LoadgenConfig {
+                conns: flag(&flags, "conns", 4),
+                window: flag(&flags, "window", 16),
+                ops_per_conn: flag(&flags, "ops", 500),
+                set_percent: flag(&flags, "set-pct", 90),
+                ..LoadgenConfig::default()
+            };
+            let report = run_loadgen(addr.as_str(), &cfg).unwrap_or_else(|e| {
+                eprintln!("loadgen against {addr} failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "conns={} window={} reqs={} errors={} req_per_s={:.0} p50_us={:.1} p99_us={:.1}",
+                report.conns,
+                report.window,
+                report.reqs,
+                report.errors,
+                report.req_per_s(),
+                report.p50_ns() as f64 / 1e3,
+                report.p99_ns() as f64 / 1e3,
+            );
+        }
+        _ => usage(),
+    }
+}

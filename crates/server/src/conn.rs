@@ -1,0 +1,110 @@
+//! Per-connection loop: windowed pipelining with reply-after-fence.
+//!
+//! Each connection is pinned to a `SharedModHeap` worker slot and
+//! processes requests in windows of up to `window` frames: every decoded
+//! command stages one ticketed FASE, and the whole window's replies are
+//! flushed **only after** [`mod_core::SharedModHeap::wait_durable`] on
+//! the *last* ticket returns. Batches drain the handoff queue in FIFO
+//! order, so the last FASE durable implies every earlier FASE of the
+//! window is durable too — one wait covers the window.
+//!
+//! Backpressure is explicit: a FASE that loses its staging-lane retry
+//! budget is not buffered or blocked on — the client gets a `-BUSY`
+//! reply (queue-full) and decides when to retry. `PING` never touches
+//! the heap but its reply still rides the window, preserving
+//! per-connection reply order.
+
+use crate::engine::ServerRoots;
+use crate::proto::{Command, FrameDecoder, Reply};
+use mod_core::{CommitTicket, SharedModHeap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+pub(crate) struct ConnCtx {
+    pub heap: SharedModHeap,
+    pub roots: ServerRoots,
+    /// The worker slot this connection stages on (possibly shared).
+    pub worker: usize,
+    /// Max frames staged before a durability wait + reply flush.
+    pub window: usize,
+    pub shutdown: Arc<AtomicBool>,
+}
+
+pub(crate) fn serve_conn(ctx: &ConnCtx, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut dec = FrameDecoder::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut out = Vec::new();
+    'conn: while !ctx.shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // orderly EOF
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        // Drain everything decodable, one reply window at a time.
+        loop {
+            out.clear();
+            let mut batch = 0usize;
+            let mut last_ticket: Option<CommitTicket> = None;
+            while batch < ctx.window {
+                let tokens = match dec.next_frame() {
+                    Ok(Some(t)) => t,
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Unframeable stream: report and hang up.
+                        let _ = stream.write_all(&Reply::Err(format!("ERR {e}")).encode());
+                        break 'conn;
+                    }
+                };
+                batch += 1;
+                let reply = match Command::parse(&tokens) {
+                    Err(msg) => Reply::Err(msg),
+                    Ok(Command::Ping) => Reply::Pong,
+                    Ok(cmd) => {
+                        match ctx
+                            .heap
+                            .try_fase_ticketed(ctx.worker, |tx| ctx.roots.execute_in(tx, &cmd))
+                        {
+                            Ok((reply, ticket)) => {
+                                last_ticket = Some(ticket);
+                                reply
+                            }
+                            // Queue-full backpressure, not buffering.
+                            Err(_) => {
+                                Reply::Err("BUSY staging lanes contended; retry the request".into())
+                            }
+                        }
+                    }
+                };
+                reply.encode_into(&mut out);
+            }
+            if batch == 0 {
+                break;
+            }
+            // Reply-after-fence: nothing reaches the socket until the
+            // window's last FASE — and, by drain order, all before it —
+            // has been published by a batch fence.
+            if let Some(t) = &last_ticket {
+                ctx.heap.wait_durable(t);
+            }
+            if stream.write_all(&out).is_err() || stream.flush().is_err() {
+                break 'conn;
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The TCP listener: accepts connections and multiplexes them onto the
+//! shared heap's worker shards.
+//!
+//! Each accepted connection is pinned to the least-loaded worker slot
+//! for its lifetime (connections may share a slot — staging serializes
+//! on the shard mutex). A slot joins the batch-completion quorum
+//! ([`SharedModHeap::register`]) only while it carries at least one
+//! connection, so idle shards never stall group commits, and the last
+//! connection leaving a slot deregisters it — which also drains any
+//! batch the quorum was waiting on.
+
+use crate::conn::{serve_conn, ConnCtx};
+use crate::engine::ServerRoots;
+use mod_core::SharedModHeap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-connection pipelining window: max frames staged before a
+    /// durability wait and reply flush.
+    pub window: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { window: 16 }
+    }
+}
+
+/// Starts the server on `addr` (use port 0 for an ephemeral port) with
+/// the default config. Returns once the listener is bound; connections
+/// are served on background threads until [`ServerHandle::stop`].
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(
+    heap: SharedModHeap,
+    roots: ServerRoots,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    serve_with(heap, roots, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit tunables.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_with(
+    heap: SharedModHeap,
+    roots: ServerRoots,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // No connections yet: take every shard out of the quorum so the
+    // first connection's FASEs don't wait on idle workers.
+    let workers = heap.workers();
+    for w in 0..workers {
+        heap.deregister(w);
+    }
+    // Per-slot connection counts; guarded by one mutex so the count
+    // transition and the (de)registration it implies stay atomic.
+    let slots: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0; workers]));
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let window = cfg.window.max(1);
+        std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let worker = {
+                            let mut s = slots.lock().unwrap();
+                            let w = (0..s.len()).min_by_key(|&w| s[w]).unwrap_or(0);
+                            s[w] += 1;
+                            if s[w] == 1 {
+                                heap.register(w);
+                            }
+                            w
+                        };
+                        let ctx = ConnCtx {
+                            heap: heap.clone(),
+                            roots,
+                            worker,
+                            window,
+                            shutdown: Arc::clone(&shutdown),
+                        };
+                        let slots = Arc::clone(&slots);
+                        conns.push(std::thread::spawn(move || {
+                            serve_conn(&ctx, stream);
+                            let mut s = slots.lock().unwrap();
+                            s[worker] -= 1;
+                            if s[worker] == 0 {
+                                // Last connection off this slot: leave
+                                // the quorum (drains a waiting batch).
+                                ctx.heap.deregister(worker);
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                        conns.retain(|h| !h.is_finished());
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in conns {
+                let _ = h.join();
+            }
+        })
+    };
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// A running server. Dropping it (or calling [`ServerHandle::stop`])
+/// shuts the listener down and joins every connection thread, so the
+/// caller's `SharedModHeap` clone is the only one left afterwards.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects idle connections, and joins all
+    /// server threads.
+    pub fn stop(mut self) {
+        self.shutdown_join();
+    }
+
+    fn shutdown_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_join();
+    }
+}

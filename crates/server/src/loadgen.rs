@@ -1,0 +1,219 @@
+//! Open-loop load generator: pipelined clients with bounded in-flight
+//! windows, measuring host-time throughput and latency percentiles.
+//!
+//! Each client connection keeps up to `window` requests in flight —
+//! writes never stall behind replies until the window fills, which is
+//! exactly the regime where group commit amortizes fences — and stamps
+//! every request at send time, so a reply's latency covers queueing,
+//! staging, the batch fence wait, and the socket round trip.
+
+use crate::proto::{Command, Reply, ReplyDecoder};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Load-generator tunables.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Per-connection in-flight window.
+    pub window: usize,
+    /// Requests per connection.
+    pub ops_per_conn: u64,
+    /// Percentage of SETs (the rest are GETs).
+    pub set_percent: u32,
+    /// Value payload bytes for SETs.
+    pub value_bytes: usize,
+    /// Key-space size (keys are `k<small int>`).
+    pub key_space: u64,
+    /// Deterministic op-mix seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            conns: 4,
+            window: 16,
+            ops_per_conn: 500,
+            set_percent: 90,
+            value_bytes: 64,
+            key_space: 1024,
+            seed: 0x10AD_5EED,
+        }
+    }
+}
+
+/// What a load-generator run measured (host time, not simulated time).
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Connections driven.
+    pub conns: usize,
+    /// Per-connection in-flight window.
+    pub window: usize,
+    /// Requests acknowledged.
+    pub reqs: u64,
+    /// Replies that were errors (`-BUSY` backpressure included).
+    pub errors: u64,
+    /// Wall-clock span of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies, sorted ascending (ns).
+    latencies_ns: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Acknowledged requests per wall-clock second.
+    pub fn req_per_s(&self) -> f64 {
+        self.reqs as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency percentile in ns (`q` in 0..=1).
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_ns[idx]
+    }
+
+    /// Median latency (ns).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// Tail latency (ns).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free op mix.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Runs the load against a server at `addr` and aggregates all
+/// connections' measurements.
+///
+/// # Errors
+///
+/// Returns the first connection or socket error.
+pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..cfg.conns {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || drive_conn(addr, &cfg, c as u64)));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (mut lat, errs) = h.join().expect("loadgen thread panicked")?;
+        latencies.append(&mut lat);
+        errors += errs;
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+    Ok(LoadgenReport {
+        conns: cfg.conns,
+        window: cfg.window,
+        reqs: latencies.len() as u64,
+        errors,
+        elapsed,
+        latencies_ns: latencies,
+    })
+}
+
+/// One pipelined client: fill the window, reap replies, repeat.
+fn drive_conn(
+    addr: std::net::SocketAddr,
+    cfg: &LoadgenConfig,
+    conn_id: u64,
+) -> io::Result<(Vec<u64>, u64)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut rng = Rng::new(cfg.seed ^ (conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut dec = ReplyDecoder::new();
+    let mut latencies = Vec::with_capacity(cfg.ops_per_conn as usize);
+    let mut errors = 0u64;
+    let mut send_times: VecDeque<Instant> = VecDeque::with_capacity(cfg.window);
+    let mut sent = 0u64;
+    let mut recvd = 0u64;
+    let mut wire = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let window = cfg.window.max(1) as u64;
+    while recvd < cfg.ops_per_conn {
+        // Fill the in-flight window.
+        wire.clear();
+        let now = Instant::now();
+        while sent < cfg.ops_per_conn && sent - recvd < window {
+            let key = format!("k{}", rng.next() % cfg.key_space.max(1)).into_bytes();
+            let cmd = if rng.next() % 100 < u64::from(cfg.set_percent) {
+                let mut value = vec![0u8; cfg.value_bytes];
+                let fill = rng.next().to_le_bytes();
+                for (i, b) in value.iter_mut().enumerate() {
+                    *b = fill[i % 8];
+                }
+                Command::Set { key, value }
+            } else {
+                Command::Get { key }
+            };
+            wire.extend_from_slice(&cmd.encode());
+            send_times.push_back(now);
+            sent += 1;
+        }
+        if !wire.is_empty() {
+            stream.write_all(&wire)?;
+        }
+        // Reap at least one reply before refilling.
+        let before = recvd;
+        while recvd == before {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-run",
+                ));
+            }
+            dec.feed(&chunk[..n]);
+            loop {
+                match dec.next_reply() {
+                    Ok(Some(reply)) => {
+                        let t = send_times.pop_front().expect("reply without a request");
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        recvd += 1;
+                        if matches!(reply, Reply::Err(_)) {
+                            errors += 1;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("reply stream: {e}"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok((latencies, errors))
+}

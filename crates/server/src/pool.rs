@@ -1,0 +1,48 @@
+//! File-backed pool lifecycle for the server: atomic creation, recovery
+//! on reopen, and sharding onto worker slots.
+
+use crate::engine::ServerRoots;
+use mod_core::{CommitMode, ModHeap, SharedModHeap};
+use mod_pmem::PmemConfig;
+use std::io;
+use std::path::Path;
+
+/// The server's pool configuration: a real file journal, no crash
+/// simulation (crashes here are real process kills).
+pub fn pool_config() -> PmemConfig {
+    PmemConfig {
+        capacity: 1 << 26,
+        crash_sim: false,
+        trace: false,
+        ..PmemConfig::default()
+    }
+}
+
+/// Opens (recovering) or creates the server pool at `path` and shards
+/// it for `workers` connection slots in the given commit mode.
+///
+/// Initialization is atomic against kills: a fresh pool is built and
+/// closed under a temporary `.init` name and renamed into place, so a
+/// recovery only ever sees "no pool yet" or a fully formed one.
+///
+/// # Errors
+///
+/// Returns file I/O or recovery errors; an existing pool whose roots
+/// are not the server's five panics (it is some other application's).
+pub fn open_or_create(
+    path: &Path,
+    workers: usize,
+    mode: CommitMode,
+) -> io::Result<(SharedModHeap, ServerRoots)> {
+    if !path.exists() {
+        let init = path.with_extension("init");
+        let _ = std::fs::remove_file(&init); // stale half-init from a kill
+        let mut heap = ModHeap::create_file(&init, pool_config())?;
+        let _ = ServerRoots::create(&mut heap);
+        drop(heap.close()?);
+        std::fs::rename(&init, path)?;
+    }
+    let (heap, _report) = ModHeap::open_file(path, pool_config())?;
+    let roots = ServerRoots::open(&heap).map_err(io::Error::other)?;
+    Ok((SharedModHeap::from_heap_with(heap, workers, mode), roots))
+}

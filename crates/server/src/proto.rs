@@ -1,0 +1,645 @@
+//! The wire protocol: a small RESP-style framing plus the typed command
+//! and reply enums shared between the network server and the closed-loop
+//! simulations.
+//!
+//! Requests are arrays of bulk strings, exactly like RESP:
+//!
+//! ```text
+//! *<argc>\r\n  then argc × ( $<len>\r\n <len bytes> \r\n )
+//! ```
+//!
+//! and replies use the classic five shapes: `+OK`/`+PONG`, `:<int>`,
+//! `$<len>`-prefixed bulk values, `$-1` for nil, and `-<message>` for
+//! errors — all CRLF-terminated.
+//!
+//! Decoding is **resumable at every byte boundary**: [`FrameDecoder`]
+//! and [`ReplyDecoder`] buffer partial input and return `Ok(None)` until
+//! a complete frame is available, never consuming a partial one. Frames
+//! that cannot be valid — oversized bulk strings or counts, malformed
+//! headers, missing terminators — surface as a typed [`ProtoError`]
+//! (connection-fatal), while *well-formed* frames carrying a bad command
+//! (unknown verb, wrong arity) decode fine and fail at
+//! [`Command::parse`] with an error string the server returns as a
+//! normal `-ERR` reply, keeping the connection alive.
+
+/// Largest bulk string (key or value) a frame may carry.
+pub const MAX_BULK: usize = 1 << 20;
+/// Largest argument count a request array may carry (`SESSION c s SET
+/// k v` is 6).
+pub const MAX_ARGS: usize = 16;
+/// Longest `*…`/`$…`/`:…` header line (excluding CRLF) before the frame
+/// is declared corrupt: 1 marker byte + 20 digits fits every valid case.
+const MAX_LINE: usize = 32;
+
+/// Error replies carry a whole human-readable message on the header
+/// line, so they get a larger (but still bounded) line budget.
+const MAX_ERR_LINE: usize = 256;
+
+/// Typed decode failure: the byte stream cannot be a valid frame. These
+/// are connection-fatal — resynchronizing inside a corrupt RESP stream
+/// is guesswork, so the server replies once and hangs up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A length field exceeds the protocol limit.
+    Oversized {
+        /// Which limit was exceeded ("bulk string", "argument count").
+        what: &'static str,
+        /// The length the frame claimed.
+        len: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// The stream is structurally invalid (bad marker byte, non-decimal
+    /// length, missing CRLF terminator, header line too long).
+    Corrupt {
+        /// Which element was malformed.
+        what: &'static str,
+        /// What was wrong with it.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Oversized { what, len, max } => {
+                write!(f, "{what} of {len} exceeds the limit of {max}")
+            }
+            ProtoError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn corrupt(what: &'static str, detail: &'static str) -> ProtoError {
+    ProtoError::Corrupt { what, detail }
+}
+
+/// One client request, decoded. This is the *single* command vocabulary
+/// of the system: the TCP server executes it against the durable engine
+/// and the closed-loop memcached simulation generates and executes the
+/// very same enum (through the same wire codec), so the two paths cannot
+/// drift.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Liveness probe; replies `+PONG` without touching the heap.
+    Ping,
+    /// KV lookup; replies the value or nil.
+    Get {
+        /// The key to look up.
+        key: Vec<u8>,
+    },
+    /// KV insert/overwrite; replies `+OK`.
+    Set {
+        /// The key to write.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// KV removal; replies `:1` if the key existed, `:0` otherwise.
+    Del {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+    /// Atomic counter increment over an ASCII-decimal value (absent
+    /// counts as 0); replies the new value as `:<int>`.
+    Incr {
+        /// The counter key.
+        key: Vec<u8>,
+    },
+    /// Pushes a value onto the durable list; replies `:<id>` with the
+    /// monotone id assigned to the element.
+    LPush {
+        /// The element payload.
+        value: Vec<u8>,
+    },
+    /// Pops the oldest list element; replies the value or nil.
+    RPop,
+    /// Exactly-once envelope: `(client, seq)` must be the session's next
+    /// sequence number. A retry of the last applied `seq` returns the
+    /// memoized reply without re-executing `inner`.
+    Session {
+        /// Durable session (client) identifier.
+        client: u64,
+        /// This request's sequence number (sessions start at 1).
+        seq: u64,
+        /// The command to execute exactly once.
+        inner: Box<Command>,
+    },
+}
+
+impl Command {
+    /// The command as wire tokens (the inverse of [`Command::parse`]).
+    pub fn tokens(&self) -> Vec<Vec<u8>> {
+        match self {
+            Command::Ping => vec![b"PING".to_vec()],
+            Command::Get { key } => vec![b"GET".to_vec(), key.clone()],
+            Command::Set { key, value } => vec![b"SET".to_vec(), key.clone(), value.clone()],
+            Command::Del { key } => vec![b"DEL".to_vec(), key.clone()],
+            Command::Incr { key } => vec![b"INCR".to_vec(), key.clone()],
+            Command::LPush { value } => vec![b"LPUSH".to_vec(), value.clone()],
+            Command::RPop => vec![b"RPOP".to_vec()],
+            Command::Session { client, seq, inner } => {
+                let mut t = vec![
+                    b"SESSION".to_vec(),
+                    client.to_string().into_bytes(),
+                    seq.to_string().into_bytes(),
+                ];
+                t.extend(inner.tokens());
+                t
+            }
+        }
+    }
+
+    /// Encodes the command as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_tokens(&self.tokens())
+    }
+
+    /// Parses a decoded frame's tokens into a command. Errors are plain
+    /// strings the server returns as `-ERR` replies (the frame itself
+    /// was well-formed, so the connection survives).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error message for unknown verbs, wrong arity, a
+    /// non-decimal `SESSION` client/seq, or a nested `SESSION`.
+    pub fn parse(tokens: &[Vec<u8>]) -> Result<Command, String> {
+        let Some(verb) = tokens.first() else {
+            return Err("ERR empty command".into());
+        };
+        let verb = verb.to_ascii_uppercase();
+        let arity = |n: usize| -> Result<(), String> {
+            if tokens.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "ERR wrong number of arguments for '{}'",
+                    String::from_utf8_lossy(&verb[..verb.len().min(32)])
+                ))
+            }
+        };
+        match verb.as_slice() {
+            b"PING" => arity(1).map(|()| Command::Ping),
+            b"GET" => arity(2).map(|()| Command::Get {
+                key: tokens[1].clone(),
+            }),
+            b"SET" => arity(3).map(|()| Command::Set {
+                key: tokens[1].clone(),
+                value: tokens[2].clone(),
+            }),
+            b"DEL" => arity(2).map(|()| Command::Del {
+                key: tokens[1].clone(),
+            }),
+            b"INCR" => arity(2).map(|()| Command::Incr {
+                key: tokens[1].clone(),
+            }),
+            b"LPUSH" => arity(2).map(|()| Command::LPush {
+                value: tokens[1].clone(),
+            }),
+            b"RPOP" => arity(1).map(|()| Command::RPop),
+            b"SESSION" => {
+                if tokens.len() < 4 {
+                    return Err("ERR SESSION needs <client> <seq> <command...>".into());
+                }
+                let client = parse_decimal_u64(&tokens[1])
+                    .ok_or("ERR SESSION client must be a decimal u64")?;
+                let seq =
+                    parse_decimal_u64(&tokens[2]).ok_or("ERR SESSION seq must be a decimal u64")?;
+                let inner = Command::parse(&tokens[3..])?;
+                if matches!(inner, Command::Session { .. }) {
+                    return Err("ERR SESSION cannot nest".into());
+                }
+                Ok(Command::Session {
+                    client,
+                    seq,
+                    inner: Box::new(inner),
+                })
+            }
+            _ => Err(format!(
+                "ERR unknown command '{}'",
+                String::from_utf8_lossy(&verb[..verb.len().min(32)])
+            )),
+        }
+    }
+}
+
+/// Encodes raw tokens as one `*argc` + bulk-string frame.
+pub fn encode_tokens(tokens: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + tokens.iter().map(|t| t.len() + 16).sum::<usize>());
+    out.extend_from_slice(format!("*{}\r\n", tokens.len()).as_bytes());
+    for t in tokens {
+        out.extend_from_slice(format!("${}\r\n", t.len()).as_bytes());
+        out.extend_from_slice(t);
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK` — the write was accepted (and, by the time the bytes reach
+    /// the socket, fenced).
+    Ok,
+    /// `+PONG`.
+    Pong,
+    /// `:<int>` — counter values, removal counts, list ids.
+    Int(i64),
+    /// `$<len>`-prefixed bulk value, or `$-1` nil.
+    Value(Option<Vec<u8>>),
+    /// `-<message>` — command-level failure (`ERR …`) or backpressure
+    /// (`BUSY …`). CR/LF in the message are replaced on encode.
+    Err(String),
+}
+
+impl Reply {
+    /// Appends the wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Ok => out.extend_from_slice(b"+OK\r\n"),
+            Reply::Pong => out.extend_from_slice(b"+PONG\r\n"),
+            Reply::Int(i) => out.extend_from_slice(format!(":{i}\r\n").as_bytes()),
+            Reply::Value(None) => out.extend_from_slice(b"$-1\r\n"),
+            Reply::Value(Some(v)) => {
+                out.extend_from_slice(format!("${}\r\n", v.len()).as_bytes());
+                out.extend_from_slice(v);
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Err(msg) => {
+                out.push(b'-');
+                // Bound the header line so a message that quotes client
+                // input can never exceed the decoder's line budget.
+                let mut cut = msg.len().min(MAX_ERR_LINE - 1);
+                while !msg.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                out.extend(
+                    msg[..cut]
+                        .bytes()
+                        .map(|b| if b == b'\r' || b == b'\n' { b' ' } else { b }),
+                );
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+
+    /// The wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes exactly one reply spanning all of `bytes` (used to replay
+    /// memoized session replies). `None` if the bytes are not one
+    /// complete reply.
+    pub fn decode_exact(bytes: &[u8]) -> Option<Reply> {
+        let mut dec = ReplyDecoder::new();
+        dec.feed(bytes);
+        match dec.next_reply() {
+            Ok(Some(r)) if dec.is_empty() => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Strict decimal u64: non-empty, digits only, no sign, ≤ 20 chars.
+fn parse_decimal_u64(bytes: &[u8]) -> Option<u64> {
+    if bytes.is_empty() || bytes.len() > 20 || !bytes.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    std::str::from_utf8(bytes).ok()?.parse().ok()
+}
+
+/// Shared scan state for both decoders: a byte buffer plus a consumed
+/// offset, compacted lazily.
+#[derive(Debug, Default)]
+struct ScanBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl ScanBuf {
+    fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Finds the CRLF-terminated header line starting at `from` in `buf`.
+/// Returns the line body (CRLF excluded) and the cursor past the CRLF;
+/// `None` if more bytes are needed.
+fn scan_line(
+    buf: &[u8],
+    from: usize,
+    what: &'static str,
+    max: usize,
+) -> Result<Option<(std::ops::Range<usize>, usize)>, ProtoError> {
+    let window = &buf[from.min(buf.len())..];
+    for (i, pair) in window.windows(2).enumerate() {
+        if i > max {
+            return Err(corrupt(what, "header line too long"));
+        }
+        if pair == b"\r\n" {
+            return Ok(Some((from..from + i, from + i + 2)));
+        }
+    }
+    if window.len() > max + 1 {
+        return Err(corrupt(what, "header line too long"));
+    }
+    Ok(None)
+}
+
+/// Resumable request-frame decoder (server side). Feed bytes as they
+/// arrive; [`FrameDecoder::next_frame`] yields one complete token array
+/// at a time and never consumes a partial frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    scan: ScanBuf,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffers newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.scan.feed(bytes);
+    }
+
+    /// Whether every fed byte has been consumed by decoded frames.
+    pub fn is_empty(&self) -> bool {
+        self.scan.is_empty()
+    }
+
+    /// Decodes the next complete request frame, or `Ok(None)` if the
+    /// buffered bytes end mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] if the stream cannot be a valid frame;
+    /// the decoder is then poisoned garbage and the connection should
+    /// close.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<Vec<u8>>>, ProtoError> {
+        let buf = self.scan.rest();
+        let Some((line, mut cur)) = scan_line(buf, 0, "frame header", MAX_LINE)? else {
+            return Ok(None);
+        };
+        let line = &buf[line];
+        if line.first() != Some(&b'*') {
+            return Err(corrupt("frame header", "expected '*<count>'"));
+        }
+        let argc = parse_decimal_u64(&line[1..])
+            .ok_or_else(|| corrupt("frame header", "argument count is not a decimal"))?
+            as usize;
+        if argc == 0 {
+            return Err(corrupt("frame header", "empty command array"));
+        }
+        if argc > MAX_ARGS {
+            return Err(ProtoError::Oversized {
+                what: "argument count",
+                len: argc,
+                max: MAX_ARGS,
+            });
+        }
+        let mut tokens = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            let Some((line, body_start)) = scan_line(buf, cur, "bulk header", MAX_LINE)? else {
+                return Ok(None);
+            };
+            let line = &buf[line];
+            if line.first() != Some(&b'$') {
+                return Err(corrupt("bulk header", "expected '$<len>'"));
+            }
+            let len = parse_decimal_u64(&line[1..])
+                .ok_or_else(|| corrupt("bulk header", "length is not a decimal"))?
+                as usize;
+            if len > MAX_BULK {
+                return Err(ProtoError::Oversized {
+                    what: "bulk string",
+                    len,
+                    max: MAX_BULK,
+                });
+            }
+            if buf.len() < body_start + len + 2 {
+                return Ok(None);
+            }
+            if &buf[body_start + len..body_start + len + 2] != b"\r\n" {
+                return Err(corrupt("bulk string", "missing CRLF terminator"));
+            }
+            tokens.push(buf[body_start..body_start + len].to_vec());
+            cur = body_start + len + 2;
+        }
+        self.scan.consume(cur);
+        Ok(Some(tokens))
+    }
+}
+
+/// Resumable reply decoder (client side: the load generator, tests and
+/// the kill-replay battery).
+#[derive(Debug, Default)]
+pub struct ReplyDecoder {
+    scan: ScanBuf,
+}
+
+impl ReplyDecoder {
+    /// An empty decoder.
+    pub fn new() -> ReplyDecoder {
+        ReplyDecoder::default()
+    }
+
+    /// Buffers newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.scan.feed(bytes);
+    }
+
+    /// Whether every fed byte has been consumed by decoded replies.
+    pub fn is_empty(&self) -> bool {
+        self.scan.is_empty()
+    }
+
+    /// Decodes the next complete reply, or `Ok(None)` mid-reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] if the stream cannot be a valid reply.
+    pub fn next_reply(&mut self) -> Result<Option<Reply>, ProtoError> {
+        let buf = self.scan.rest();
+        // Error replies put the whole message on the header line, so
+        // reply headers get the error-line budget.
+        let Some((line, cur)) = scan_line(buf, 0, "reply header", MAX_ERR_LINE)? else {
+            return Ok(None);
+        };
+        let line = &buf[line];
+        let (marker, body) = match line.split_first() {
+            Some(p) => p,
+            None => return Err(corrupt("reply header", "empty line")),
+        };
+        let reply = match marker {
+            b'+' => match body {
+                b"OK" => Reply::Ok,
+                b"PONG" => Reply::Pong,
+                _ => return Err(corrupt("simple string", "unknown status")),
+            },
+            b'-' => Reply::Err(String::from_utf8_lossy(body).into_owned()),
+            b':' => {
+                let (neg, digits) = match body.split_first() {
+                    Some((b'-', rest)) => (true, rest),
+                    _ => (false, body),
+                };
+                let mag = parse_decimal_u64(digits)
+                    .filter(|&m| m <= i64::MAX as u64 + u64::from(neg))
+                    .ok_or_else(|| corrupt("integer reply", "not a decimal"))?;
+                Reply::Int(if neg {
+                    (mag as i64).wrapping_neg()
+                } else {
+                    mag as i64
+                })
+            }
+            b'$' => {
+                if body == b"-1" {
+                    Reply::Value(None)
+                } else {
+                    let len = parse_decimal_u64(body)
+                        .ok_or_else(|| corrupt("bulk reply", "length is not a decimal"))?
+                        as usize;
+                    if len > MAX_BULK {
+                        return Err(ProtoError::Oversized {
+                            what: "bulk string",
+                            len,
+                            max: MAX_BULK,
+                        });
+                    }
+                    if buf.len() < cur + len + 2 {
+                        return Ok(None);
+                    }
+                    if &buf[cur + len..cur + len + 2] != b"\r\n" {
+                        return Err(corrupt("bulk reply", "missing CRLF terminator"));
+                    }
+                    let v = buf[cur..cur + len].to_vec();
+                    self.scan.consume(cur + len + 2);
+                    return Ok(Some(Reply::Value(Some(v))));
+                }
+            }
+            _ => return Err(corrupt("reply header", "unknown marker byte")),
+        };
+        self.scan.consume(cur);
+        Ok(Some(reply))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cmd: Command) {
+        let wire = cmd.encode();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let tokens = dec.next_frame().unwrap().unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(Command::parse(&tokens).unwrap(), cmd);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        roundtrip(Command::Ping);
+        roundtrip(Command::Get { key: b"k".to_vec() });
+        roundtrip(Command::Set {
+            key: b"k\r\n$9".to_vec(), // framing survives protocol bytes
+            value: vec![0u8; 300],
+        });
+        roundtrip(Command::Del { key: vec![] });
+        roundtrip(Command::Incr {
+            key: b"counter".to_vec(),
+        });
+        roundtrip(Command::LPush {
+            value: b"job".to_vec(),
+        });
+        roundtrip(Command::RPop);
+        roundtrip(Command::Session {
+            client: u64::MAX,
+            seq: 1,
+            inner: Box::new(Command::Set {
+                key: b"a".to_vec(),
+                value: b"b".to_vec(),
+            }),
+        });
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for r in [
+            Reply::Ok,
+            Reply::Pong,
+            Reply::Int(0),
+            Reply::Int(-7),
+            Reply::Int(i64::MAX),
+            Reply::Int(i64::MIN),
+            Reply::Value(None),
+            Reply::Value(Some(vec![1, 2, 3])),
+            Reply::Err("ERR boom".into()),
+        ] {
+            assert_eq!(Reply::decode_exact(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn error_reply_sanitizes_crlf() {
+        let r = Reply::Err("a\r\nb".into());
+        assert_eq!(r.encode(), b"-a  b\r\n");
+    }
+
+    #[test]
+    fn command_level_failures_keep_the_frame_valid() {
+        for tokens in [
+            vec![b"NOPE".to_vec()],
+            vec![b"GET".to_vec()],
+            vec![b"SET".to_vec(), b"k".to_vec()],
+            vec![b"SESSION".to_vec(), b"x".to_vec()],
+            vec![
+                b"SESSION".to_vec(),
+                b"1".to_vec(),
+                b"nope".to_vec(),
+                b"PING".to_vec(),
+            ],
+        ] {
+            let wire = encode_tokens(&tokens);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&wire);
+            let decoded = dec.next_frame().unwrap().unwrap();
+            assert!(Command::parse(&decoded).is_err());
+        }
+    }
+
+    #[test]
+    fn nested_session_rejected() {
+        let inner = Command::Session {
+            client: 1,
+            seq: 1,
+            inner: Box::new(Command::Ping),
+        };
+        let mut tokens = vec![b"SESSION".to_vec(), b"2".to_vec(), b"1".to_vec()];
+        tokens.extend(inner.tokens());
+        assert!(Command::parse(&tokens).unwrap_err().contains("nest"));
+    }
+}

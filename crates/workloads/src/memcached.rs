@@ -11,11 +11,20 @@
 //! the collision check a real KV store performs, which this module used
 //! to hand-roll. The STM baselines keep the manual hash-and-embed scheme
 //! (they model PMDK applications, which have no such codec layer).
+//!
+//! The MOD op stream is the **same command enum the network server
+//! executes**: every simulated op is a [`mod_server::Command`] round-
+//! tripped through the shared wire codec (encode → [`FrameDecoder`] →
+//! parse) before it touches the heap, so the closed-loop sim and
+//! `mod-server` cannot drift apart in what GET/SET mean. The roundtrip
+//! is host-time only — it never touches the simulated Pmem, so the
+//! gated simulated metrics are bit-identical to executing directly.
 
 use crate::report::{OpCounters, OpProfile, RunReport, Snapshot};
 use crate::spec::{ScaleConfig, System, Workload, WorkloadRng};
 use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{Pmem, PmemConfig};
+use mod_server::{Command, FrameDecoder};
 use mod_stm::{StmHashMap, TxHeap, TxMode};
 
 /// Value payload size (Table 2).
@@ -52,6 +61,20 @@ fn build_payload(payload_seed: u64) -> Vec<u8> {
     v
 }
 
+/// Round-trips a command through the server's wire codec: encode to the
+/// RESP-style frame, feed it to the resumable decoder, parse the tokens
+/// back. What comes out is what a real connection would execute.
+fn wire_roundtrip(cmd: &Command) -> Command {
+    let mut dec = FrameDecoder::new();
+    dec.feed(&cmd.encode());
+    let tokens = dec
+        .next_frame()
+        .expect("sim-generated frame is well formed")
+        .expect("one complete frame");
+    assert!(dec.is_empty(), "one command encodes to exactly one frame");
+    Command::parse(&tokens).expect("sim-generated command parses")
+}
+
 fn verify_get(key: &[u8; 16], stored: Option<&[u8]>) -> bool {
     match stored {
         Some(bytes) => &bytes[..16] == key,
@@ -75,7 +98,15 @@ fn memcached_mod(scale: &ScaleConfig) -> RunReport {
     let key_space = scale.preload.max(16);
     for _ in 0..scale.preload {
         let (key, _) = gen_key(&mut rng, key_space);
-        map.insert(&mut heap, &key, &build_payload(0));
+        let cmd = wire_roundtrip(&Command::Set {
+            key: key.to_vec(),
+            value: build_payload(0),
+        });
+        let Command::Set { key, value } = cmd else {
+            unreachable!("SET round-trips as SET")
+        };
+        let key: [u8; 16] = key.try_into().expect("16-byte keys");
+        map.insert(&mut heap, &key, &value);
     }
     let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
     let mut set = OpProfile {
@@ -86,11 +117,24 @@ fn memcached_mod(scale: &ScaleConfig) -> RunReport {
     for op in 0..scale.ops {
         let (key, _) = gen_key(&mut rng, key_space);
         if rng.percent(95) {
+            let cmd = wire_roundtrip(&Command::Set {
+                key: key.to_vec(),
+                value: build_payload(op),
+            });
+            let Command::Set { key, value } = cmd else {
+                unreachable!("SET round-trips as SET")
+            };
+            let key: [u8; 16] = key.try_into().expect("16-byte keys");
             let before = OpCounters::read(heap.nv().pm());
-            map.insert(&mut heap, &key, &build_payload(op));
+            map.insert(&mut heap, &key, &value);
             let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
             set.record(f, s);
         } else {
+            let cmd = wire_roundtrip(&Command::Get { key: key.to_vec() });
+            let Command::Get { key } = cmd else {
+                unreachable!("GET round-trips as GET")
+            };
+            let key: [u8; 16] = key.try_into().expect("16-byte keys");
             // Charged read path so MOD gets pay the same simulated
             // cache/time costs the STM baselines pay (Fig 9 fidelity);
             // the codec layer already verified the framed key bytes.
@@ -172,6 +216,24 @@ mod tests {
         assert!(!verify_get(&[8u8; 16], Some(&v)));
         assert!(!verify_get(&key, None));
         assert_eq!(v.len(), VALUE_BYTES);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_identity_for_sim_ops() {
+        let mut rng = WorkloadRng::new(42);
+        for op in 0..200u64 {
+            let (key, _) = gen_key(&mut rng, 64);
+            let cmds = [
+                Command::Set {
+                    key: key.to_vec(),
+                    value: build_payload(op),
+                },
+                Command::Get { key: key.to_vec() },
+            ];
+            for cmd in cmds {
+                assert_eq!(wire_roundtrip(&cmd), cmd);
+            }
+        }
     }
 
     #[test]

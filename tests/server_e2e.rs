@@ -1,0 +1,295 @@
+//! End-to-end kill -9 battery for `mod-server`: a real child process
+//! serving a real `FileBackend` pool over real sockets, killed mid-
+//! stream, reopened, and replayed from the client's request log.
+//!
+//! The contract under test is the wire contract:
+//!
+//! * **reply-after-fence** — an acknowledged op is durable: after any
+//!   SIGKILL, a direct reopen of the pool shows every acked `(seq)`
+//!   applied;
+//! * **exactly-once sessions** — replaying the request log never
+//!   double-applies: stale seqs are rejected with a typed error, the
+//!   last seq returns the memoized reply, and the maybe-in-flight op a
+//!   kill leaves behind is resolved by the client's ordinary retry.
+//!
+//! The child entry point mirrors `persistence.rs`: the `server_child`
+//! "test" below becomes a real server process when `MOD_SERVER_POOL` is
+//! set, so the SIGKILL lands on a different process and recovery shares
+//! nothing with the writer but the pool file.
+
+use mod_core::{CommitMode, ModHeap};
+use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+use mod_server::{pool, serve, Command, Reply, ReplyDecoder, ServerRoots};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Stdio};
+use std::time::Duration;
+
+fn temp_pool(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mod_server_{}_{name}.pool", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Child entry point: under `MOD_SERVER_POOL` this "test" serves the
+/// pool until killed; in a normal test run it is an instant no-op.
+#[test]
+fn server_child() {
+    let Ok(path) = std::env::var("MOD_SERVER_POOL") else {
+        return;
+    };
+    let (heap, roots) = pool::open_or_create(
+        Path::new(&path),
+        2,
+        CommitMode::Group {
+            max_batch: 8,
+            timeout: Duration::from_millis(2),
+        },
+    )
+    .unwrap();
+    let handle = serve(heap, roots, "127.0.0.1:0").unwrap();
+    println!("LISTENING {}", handle.addr());
+    std::io::stdout().flush().unwrap();
+    loop {
+        std::thread::park(); // until SIGKILL
+    }
+}
+
+// The returned child is always SIGKILLed and reaped by the caller; the
+// lint can't see ownership across the return.
+#[allow(clippy::zombie_processes)]
+fn spawn_server(path: &Path) -> (Child, SocketAddr) {
+    let exe = std::env::current_exe().unwrap();
+    let mut kid = std::process::Command::new(&exe)
+        .args(["server_child", "--exact", "--nocapture"])
+        .env("MOD_SERVER_POOL", path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(kid.stdout.take().unwrap());
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = lines.read_line(&mut line).unwrap();
+        assert!(n > 0, "server child exited before listening");
+        // The marker may share a line with libtest's "test ..." banner.
+        if let Some(at) = line.find("LISTENING ") {
+            let addr = line[at + "LISTENING ".len()..].trim();
+            return (kid, addr.parse().unwrap());
+        }
+    }
+}
+
+/// One synchronous request: write the frame, block for the reply. By
+/// reply-after-fence, returning from here means the op is durable.
+fn request(stream: &mut TcpStream, dec: &mut ReplyDecoder, cmd: &Command) -> Reply {
+    stream.write_all(&cmd.encode()).unwrap();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(r) = dec.next_reply().expect("valid reply stream") {
+            return r;
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server hung up mid-request");
+        dec.feed(&buf[..n]);
+    }
+}
+
+fn sess(client: u64, seq: u64, inner: Command) -> Command {
+    Command::Session {
+        client,
+        seq,
+        inner: Box::new(inner),
+    }
+}
+
+fn incr(seq: u64) -> Command {
+    sess(
+        7,
+        seq,
+        Command::Incr {
+            key: b"counter".to_vec(),
+        },
+    )
+}
+
+fn lpush(seq: u64) -> Command {
+    sess(
+        9,
+        seq,
+        Command::LPush {
+            value: format!("job-{seq}").into_bytes(),
+        },
+    )
+}
+
+/// Reads the pool directly (no server) and returns the counter value
+/// and the list length.
+fn inspect_pool(path: &Path) -> (i64, u64) {
+    let (heap, _) = ModHeap::open_file(path, pool::pool_config()).unwrap();
+    let roots = ServerRoots::open(&heap).unwrap();
+    let counter = roots
+        .kv
+        .get(&heap, &b"counter".to_vec())
+        .map(|b| String::from_utf8(b).unwrap().parse().unwrap())
+        .unwrap_or(0);
+    (counter, roots.list_ids.len(&heap))
+}
+
+#[test]
+fn acked_ops_survive_sigkill_and_replay_is_exactly_once() {
+    let path = temp_pool("kill");
+    // The client's durable request log: every acked (seq, reply) pair
+    // for the INCR session; LPUSH acks counted separately.
+    let mut acked: Vec<(u64, Reply)> = Vec::new();
+    let mut pushes = 0u64;
+    for round in 0..3u64 {
+        let (mut kid, addr) = spawn_server(&path);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut dec = ReplyDecoder::new();
+        // Replay the whole log from the top: exactly-once means stale
+        // seqs are rejected (typed error, no re-execution) and the most
+        // recent seq returns its memoized reply verbatim.
+        for (i, (seq, reply)) in acked.iter().enumerate() {
+            let got = request(&mut stream, &mut dec, &incr(*seq));
+            if i + 1 == acked.len() {
+                assert_eq!(&got, reply, "memoized replay of seq {seq}");
+            } else {
+                match &got {
+                    Reply::Err(e) => assert!(
+                        e.contains("out of order"),
+                        "stale seq {seq} must be rejected, got {e:?}"
+                    ),
+                    other => panic!("stale seq {seq} re-executed: {other:?}"),
+                }
+            }
+        }
+        // The kill may have left one request in flight: retry it. The
+        // server either applies it now (it was lost) or replays the
+        // memoized reply (it committed before the kill) — the client
+        // cannot tell and must not need to.
+        let mut seq = acked.len() as u64 + 1;
+        let retry = request(&mut stream, &mut dec, &incr(seq));
+        assert_eq!(
+            retry,
+            Reply::Int(seq as i64),
+            "retried seq {seq}: exactly-once INCR implies reply == seq"
+        );
+        acked.push((seq, retry));
+        // Fresh traffic for this round: INCRs with an LPUSH sprinkled in.
+        for _ in 0..10 {
+            seq += 1;
+            let r = request(&mut stream, &mut dec, &incr(seq));
+            assert_eq!(r, Reply::Int(seq as i64), "acked INCR reply == seq");
+            acked.push((seq, r));
+        }
+        let p = request(&mut stream, &mut dec, &lpush(pushes + 1));
+        assert!(matches!(p, Reply::Int(_)), "LPUSH acks an id: {p:?}");
+        pushes += 1;
+        // Fire one more request and kill without reading the reply —
+        // a genuinely in-flight op for the next round to resolve.
+        stream.write_all(&incr(seq + 1).encode()).unwrap();
+        stream.flush().unwrap();
+        kid.kill().unwrap(); // SIGKILL: no destructors, no checkpoint
+        kid.wait().unwrap();
+        drop(stream);
+        // Reply-after-fence, checked in a third process-independent way:
+        // a direct reopen shows every acked op, and at most the one
+        // in-flight op beyond them.
+        let (counter, list_len) = inspect_pool(&path);
+        let max_acked = acked.len() as i64;
+        assert!(
+            counter >= max_acked,
+            "round {round}: acked seq {max_acked} lost (counter {counter})"
+        );
+        assert!(
+            counter <= max_acked + 1,
+            "round {round}: counter {counter} beyond sent ops {}",
+            max_acked + 1
+        );
+        assert_eq!(list_len, pushes, "round {round}: LPUSH exactly-once");
+    }
+    // Final session: resolve the last in-flight op, then verify the
+    // whole history one more time.
+    let (mut kid, addr) = spawn_server(&path);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut dec = ReplyDecoder::new();
+    let seq = acked.len() as u64 + 1;
+    let r = request(&mut stream, &mut dec, &incr(seq));
+    assert_eq!(r, Reply::Int(seq as i64));
+    acked.push((seq, r));
+    // Retrying an LPUSH seq must not grow the list.
+    let p = request(&mut stream, &mut dec, &lpush(pushes));
+    assert!(matches!(p, Reply::Int(_)), "memoized LPUSH id: {p:?}");
+    let v = request(
+        &mut stream,
+        &mut dec,
+        &Command::Get {
+            key: b"counter".to_vec(),
+        },
+    );
+    assert_eq!(
+        v,
+        Reply::Value(Some(acked.len().to_string().into_bytes())),
+        "counter equals the number of distinct acked seqs: exactly-once"
+    );
+    kid.kill().unwrap();
+    kid.wait().unwrap();
+    let (counter, list_len) = inspect_pool(&path);
+    assert_eq!(counter, acked.len() as i64);
+    assert_eq!(list_len, pushes, "LPUSH retries never double-apply");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn acked_op_is_recoverable_at_every_step() {
+    // The in-process, deterministic half of the battery: drive the exact
+    // code path a connection uses (ticketed FASE → wait_durable → ack)
+    // and take a crash image at *every* step — both before the fence
+    // wait (op may or may not be in; state must be consistent) and after
+    // it (op must be in: that is the ack the server would flush).
+    use mod_core::SharedModHeap;
+    let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+    let roots = ServerRoots::create(&mut heap);
+    let sh = SharedModHeap::from_heap_with(
+        heap,
+        2,
+        CommitMode::Group {
+            max_batch: 4,
+            timeout: Duration::from_millis(1),
+        },
+    );
+    sh.deregister(1); // one-connection server: a lone slot carries all ops
+    let reopen = |img: Pmem| {
+        let (h, _) = ModHeap::open(img);
+        let counter: i64 = ServerRoots::open(&h)
+            .unwrap()
+            .kv
+            .get(&h, &b"counter".to_vec())
+            .map(|b| String::from_utf8(b).unwrap().parse().unwrap())
+            .unwrap_or(0);
+        counter
+    };
+    for k in 1..=32i64 {
+        let (reply, ticket) = sh
+            .try_fase_ticketed(0, |tx| roots.execute_in(tx, &incr(k as u64)))
+            .unwrap();
+        assert_eq!(reply, Reply::Int(k));
+        // Crash between commit-request and fence wait: the op is either
+        // fully in or fully out, never torn.
+        let mid = reopen(sh.crash_image(CrashPolicy::OnlyFenced));
+        assert!(
+            mid == k || mid == k - 1,
+            "step {k}: torn recovery state (counter {mid})"
+        );
+        // The ack point. Crashing anywhere after this — before the
+        // reply bytes ever reach the socket — must preserve the op.
+        sh.wait_durable(&ticket);
+        let acked = reopen(sh.crash_image(CrashPolicy::OnlyFenced));
+        assert_eq!(acked, k, "step {k}: acknowledged op lost");
+    }
+}

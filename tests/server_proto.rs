@@ -1,0 +1,325 @@
+//! Wire-protocol property battery for the `mod-server` RESP-style codec
+//! (the socket-facing sibling of `codec_properties.rs`):
+//!
+//! * xorshift-fuzzed frame and reply roundtrips — arbitrary binary
+//!   tokens, including embedded CRLFs and protocol metacharacters;
+//! * partial-read resumption: a multi-frame stream split at **every**
+//!   byte boundary decodes to the same frames, and a decoder never
+//!   consumes a partial frame;
+//! * oversized and corrupt frames are rejected with the typed
+//!   [`ProtoError`] variants, never a panic or a silent skip.
+
+use mod_server::{
+    encode_tokens, Command, FrameDecoder, ProtoError, Reply, ReplyDecoder, MAX_ARGS, MAX_BULK,
+};
+
+/// The same xorshift* generator the other test batteries use.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Binary-heavy token bytes: biased toward protocol metacharacters
+    /// so framing bugs can't hide behind benign alphabets.
+    fn token(&mut self, max_len: usize) -> Vec<u8> {
+        let len = (self.next() as usize) % (max_len + 1);
+        (0..len)
+            .map(|_| match self.next() % 8 {
+                0 => b'\r',
+                1 => b'\n',
+                2 => b'*',
+                3 => b'$',
+                _ => self.next() as u8,
+            })
+            .collect()
+    }
+}
+
+fn decode_all(dec: &mut FrameDecoder) -> Vec<Vec<Vec<u8>>> {
+    let mut frames = Vec::new();
+    while let Some(f) = dec.next_frame().expect("valid stream") {
+        frames.push(f);
+    }
+    frames
+}
+
+// ---------------------------------------------------------------------
+// Fuzzed roundtrips
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzzed_frames_roundtrip() {
+    let mut rng = Rng::new(0xF4A3E5);
+    for _ in 0..500 {
+        let argc = 1 + (rng.next() as usize) % MAX_ARGS;
+        let tokens: Vec<Vec<u8>> = (0..argc).map(|_| rng.token(200)).collect();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_tokens(&tokens));
+        assert_eq!(decode_all(&mut dec), vec![tokens]);
+        assert!(dec.is_empty(), "roundtrip leaves no residue");
+    }
+}
+
+#[test]
+fn fuzzed_commands_roundtrip_through_tokens() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for i in 0..300u64 {
+        let key = rng.token(40);
+        let cmd = match i % 8 {
+            0 => Command::Ping,
+            1 => Command::Get { key },
+            2 => Command::Set {
+                key,
+                value: rng.token(300),
+            },
+            3 => Command::Del { key },
+            4 => Command::Incr { key },
+            5 => Command::LPush {
+                value: rng.token(300),
+            },
+            6 => Command::RPop,
+            _ => Command::Session {
+                client: rng.next(),
+                seq: rng.next().max(1),
+                inner: Box::new(Command::Set {
+                    key,
+                    value: rng.token(100),
+                }),
+            },
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&cmd.encode());
+        let tokens = dec.next_frame().unwrap().expect("one frame");
+        assert_eq!(Command::parse(&tokens).expect("parses back"), cmd);
+        assert!(dec.is_empty());
+    }
+}
+
+#[test]
+fn fuzzed_replies_roundtrip() {
+    let mut rng = Rng::new(0x5E44F);
+    for i in 0..500u64 {
+        let reply = match i % 5 {
+            0 => Reply::Ok,
+            1 => Reply::Pong,
+            2 => Reply::Int(rng.next() as i64),
+            3 => Reply::Value(if rng.next() % 4 == 0 {
+                None
+            } else {
+                Some(rng.token(300))
+            }),
+            // Errors are sanitized on the wire: fuzz with clean text.
+            _ => Reply::Err(format!("ERR fuzz {i}")),
+        };
+        let mut dec = ReplyDecoder::new();
+        dec.feed(&reply.encode());
+        assert_eq!(dec.next_reply().unwrap(), Some(reply));
+        assert!(dec.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial-read resumption
+// ---------------------------------------------------------------------
+
+/// A short pipelined stream of adversarial frames (binary keys with
+/// embedded CRLF and `$`/`*` bytes, empty tokens, a max-arity frame).
+fn sample_stream() -> (Vec<u8>, Vec<Vec<Vec<u8>>>) {
+    let frames: Vec<Vec<Vec<u8>>> = vec![
+        vec![b"PING".to_vec()],
+        vec![b"SET".to_vec(), b"k\r\n$9".to_vec(), b"*2\r\nv".to_vec()],
+        vec![b"GET".to_vec(), Vec::new()],
+        (0..MAX_ARGS)
+            .map(|i| vec![b'a' + (i as u8 % 26); i])
+            .collect(),
+        vec![b"DEL".to_vec(), vec![0u8; 37]],
+    ];
+    let wire: Vec<u8> = frames.iter().flat_map(|f| encode_tokens(f)).collect();
+    (wire, frames)
+}
+
+#[test]
+fn every_byte_boundary_split_resumes() {
+    let (wire, frames) = sample_stream();
+    for split in 0..=wire.len() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..split]);
+        let mut got = decode_all(&mut dec);
+        dec.feed(&wire[split..]);
+        got.extend(decode_all(&mut dec));
+        assert_eq!(got, frames, "split at byte {split}");
+        assert!(dec.is_empty(), "split at byte {split} leaves residue");
+    }
+}
+
+#[test]
+fn byte_at_a_time_feeding_decodes_the_whole_stream() {
+    let (wire, frames) = sample_stream();
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    for b in &wire {
+        dec.feed(std::slice::from_ref(b));
+        got.extend(decode_all(&mut dec));
+    }
+    assert_eq!(got, frames);
+    assert!(dec.is_empty());
+}
+
+#[test]
+fn a_partial_frame_is_never_consumed() {
+    let (wire, _) = sample_stream();
+    // Any strict prefix of a single frame yields no frame and keeps
+    // waiting; completing the bytes later must still decode.
+    let one = encode_tokens(&[b"SET".to_vec(), b"key".to_vec(), b"value".to_vec()]);
+    for cut in 0..one.len() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&one[..cut]);
+        assert_eq!(dec.next_frame().unwrap(), None, "prefix of {cut} bytes");
+        dec.feed(&one[cut..]);
+        assert!(dec.next_frame().unwrap().is_some());
+    }
+    // And reply streams resume the same way.
+    let reply_wire: Vec<u8> = [
+        Reply::Ok,
+        Reply::Value(Some(b"x\r\n+OK\r\n".to_vec())),
+        Reply::Int(-42),
+        Reply::Value(None),
+    ]
+    .iter()
+    .flat_map(Reply::encode)
+    .collect();
+    for split in 0..=reply_wire.len() {
+        let mut dec = ReplyDecoder::new();
+        let mut got = Vec::new();
+        dec.feed(&reply_wire[..split]);
+        while let Some(r) = dec.next_reply().unwrap() {
+            got.push(r);
+        }
+        dec.feed(&reply_wire[split..]);
+        while let Some(r) = dec.next_reply().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got.len(), 4, "split at {split}");
+        assert!(dec.is_empty());
+    }
+    drop(wire);
+}
+
+// ---------------------------------------------------------------------
+// Oversized and corrupt frames → typed errors
+// ---------------------------------------------------------------------
+
+fn expect_err(wire: &[u8]) -> ProtoError {
+    let mut dec = FrameDecoder::new();
+    dec.feed(wire);
+    loop {
+        match dec.next_frame() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("stream accepted: {wire:?}"),
+            Err(e) => return e,
+        }
+    }
+}
+
+#[test]
+fn oversized_frames_are_typed_errors() {
+    // Bulk length beyond MAX_BULK — rejected from the header alone,
+    // without buffering a gigabyte.
+    let wire = format!("*1\r\n${}\r\n", MAX_BULK + 1).into_bytes();
+    assert!(matches!(
+        expect_err(&wire),
+        ProtoError::Oversized { len, .. } if len == MAX_BULK + 1
+    ));
+    // Arity beyond MAX_ARGS.
+    let wire = format!("*{}\r\n", MAX_ARGS + 1).into_bytes();
+    assert!(matches!(
+        expect_err(&wire),
+        ProtoError::Oversized { len, .. } if len == MAX_ARGS + 1
+    ));
+    // A length line longer than any valid header can be is structural
+    // corruption (Corrupt, not Oversized: no length was parsed).
+    let wire = format!("*1\r\n${}\r\n", "9".repeat(64)).into_bytes();
+    assert!(matches!(expect_err(&wire), ProtoError::Corrupt { .. }));
+}
+
+#[test]
+fn corrupt_frames_are_typed_errors() {
+    for wire in [
+        b"+OK\r\n".to_vec(),              // reply where a request belongs
+        b"*x\r\n".to_vec(),               // non-numeric argc
+        b"*0\r\n".to_vec(),               // empty frame
+        b"*1\r\nGET\r\n".to_vec(),        // missing $ bulk header
+        b"*1\r\n$a\r\n".to_vec(),         // non-numeric bulk length
+        b"*1\r\n$3\r\nGETX\r\n".to_vec(), // bulk not CRLF-terminated
+        b"*1\r\n$-1\r\n".to_vec(),        // negative bulk in a request
+        b"*1\n$3\r\nGET\r\n".to_vec(),    // bare LF line ending
+    ] {
+        assert!(
+            matches!(expect_err(&wire), ProtoError::Corrupt { .. }),
+            "wire {wire:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_replies_are_typed_errors() {
+    for wire in [
+        b"*1\r\n$4\r\nPING\r\n".to_vec(), // request where a reply belongs
+        b"+WAT\r\n".to_vec(),             // unknown simple string
+        b":12x\r\n".to_vec(),             // non-numeric int
+        b":\r\n".to_vec(),                // empty int
+        b"$-2\r\n".to_vec(),              // invalid null marker
+        b"$3\r\nabX-\r\n".to_vec(),       // bulk not CRLF-terminated
+    ] {
+        let mut dec = ReplyDecoder::new();
+        dec.feed(&wire);
+        assert!(dec.next_reply().is_err(), "wire {wire:?}");
+    }
+    // Oversized reply bulk is the Oversized variant, not Corrupt.
+    let mut dec = ReplyDecoder::new();
+    dec.feed(format!("${}\r\n", MAX_BULK + 1).as_bytes());
+    assert!(matches!(
+        dec.next_reply(),
+        Err(ProtoError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn long_error_replies_truncate_but_stay_decodable() {
+    // A server error that quotes client input could otherwise blow the
+    // decoder's header-line budget and kill the connection.
+    let huge = Reply::Err(format!("ERR {}", "x".repeat(10_000)));
+    let wire = huge.encode();
+    let mut dec = ReplyDecoder::new();
+    dec.feed(&wire);
+    match dec.next_reply().expect("bounded line decodes") {
+        Some(Reply::Err(msg)) => {
+            assert!(msg.starts_with("ERR xxx"));
+            assert!(msg.len() < 300, "truncated to the line budget");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    assert!(dec.is_empty());
+}
+
+#[test]
+fn errors_are_sticky_no_resync_after_corruption() {
+    // After a framing error the decoder must not silently resynchronize
+    // and hand out frames from an unknown stream position.
+    let mut dec = FrameDecoder::new();
+    dec.feed(b"*x\r\n");
+    dec.feed(&encode_tokens(&[b"PING".to_vec()]));
+    assert!(dec.next_frame().is_err());
+    assert!(dec.next_frame().is_err(), "error repeats, no resync");
+}
