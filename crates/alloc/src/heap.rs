@@ -83,7 +83,11 @@ impl NvHeap {
     /// [`NvHeap::format`], [`NvHeap::open`] and the worker heaps of
     /// [`NvHeap::split_workers`] all funnel through here, so a pool
     /// image rebuilt from disk ([`mod_pmem::Pmem::open_file`]) gets the
-    /// exact same heap object as one opened from a crash image.
+    /// exact same heap object as one opened from a crash image. That
+    /// holds for pool *sets* too: a sharded journal is replayed by
+    /// parallel scan threads and merged by global batch sequence before
+    /// this constructor ever sees the image, so the heap (and the typed
+    /// recovery that follows) is bit-identical to a single-journal open.
     fn from_pool(pm: Pmem, recovering: bool) -> NvHeap {
         NvHeap {
             pm,

@@ -23,7 +23,11 @@
 //! The file-backend section runs a persistent session against a real
 //! pool file and records ungated `info.file_backend.*` keys: journal
 //! bytes appended per FASE, compactions, and the host time to replay the
-//! pool on reopen.
+//! pool on reopen. A second pass runs group-committed FASEs against a
+//! power-loss-grade **pool set** (4 shard journals, fsync per fence) and
+//! records the fsync amortization (`fsync_rounds_per_fase` ≤ 1/N for
+//! batch size N), per-shard journal traffic, and the parallel-replay
+//! width the reopen used (`replay_parallelism`).
 //!
 //! The server section starts the `mod-server` network front end on a
 //! file-backed pool (in-process listener, real sockets) and drives the
@@ -37,7 +41,7 @@
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR6.json`): where to write this run's
+//! * `--out` (default `BENCH_PR7.json`): where to write this run's
 //!   metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
@@ -150,6 +154,74 @@ fn collect_metrics() -> Metrics {
             replay.batches as f64,
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    eprintln!("  bench_smoke: pool set, 4 shards, fsync-per-fence group commit ...");
+    {
+        use mod_core::{CommitMode, DurableVector, ModHeap, SharedModHeap};
+        use mod_pmem::{Durability, PmemConfig};
+        const WORKERS: usize = 4;
+        const FASES: u64 = 400;
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_bench_poolset_{}.pool", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        for s in 0..WORKERS {
+            let _ = std::fs::remove_file(format!("{}.s{s}", path.display()));
+        }
+        let cfg = PmemConfig {
+            journal_shards: WORKERS as u16,
+            durability: Durability::Fsync,
+            ..PmemConfig::default()
+        };
+        let mut heap = ModHeap::create_file(&path, cfg.clone()).expect("pool set");
+        let vecs: Vec<DurableVector<u64>> = (0..WORKERS)
+            .map(|_| DurableVector::create_from(&mut heap, &[0u64]))
+            .collect();
+        let sh = SharedModHeap::from_heap_with(
+            heap,
+            WORKERS,
+            CommitMode::Group {
+                max_batch: WORKERS,
+                timeout: std::time::Duration::from_millis(2),
+            },
+        );
+        // Round-robin staging keeps every batch full, so the per-fence
+        // fsync round is amortized over max_batch FASEs.
+        for k in 0..FASES {
+            let w = (k as usize) % WORKERS;
+            sh.try_fase(w, |tx| vecs[w].update_in(tx, 0, &k))
+                .expect("staged FASE");
+        }
+        sh.flush();
+        let heap = sh.into_heap();
+        let backend = heap.nv().pm().backend_stats();
+        m.insert(
+            "info.file_backend.fsync_rounds_per_fase".to_string(),
+            backend.fsync_rounds as f64 / FASES as f64,
+        );
+        m.insert(
+            "info.file_backend.fsyncs_per_fase".to_string(),
+            backend.fsyncs as f64 / FASES as f64,
+        );
+        for (s, bytes) in backend.journal_bytes_by_shard.iter().enumerate() {
+            m.insert(
+                format!("info.file_backend.shard{s}.journal_bytes_per_fase"),
+                *bytes as f64 / FASES as f64,
+            );
+        }
+        // Drop without a checkpoint so the reopen replays the set's
+        // journals — one scan thread per shard.
+        drop(heap);
+        let reopened = mod_pmem::Pmem::open_file(&path, cfg).expect("pool-set reopen");
+        let replay = reopened.replay_stats().expect("replay stats");
+        m.insert(
+            "info.file_backend.replay_parallelism".to_string(),
+            replay.replay_parallelism as f64,
+        );
+        let _ = std::fs::remove_file(&path);
+        for s in 0..WORKERS {
+            let _ = std::fs::remove_file(format!("{}.s{s}", path.display()));
+        }
     }
 
     eprintln!("  bench_smoke: mod-server loadgen, 1/4/8 connections ...");
@@ -274,7 +346,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR6.json");
+    let mut out = String::from("BENCH_PR7.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

@@ -83,5 +83,6 @@ pub use queue::HandoffQueue;
 pub use root::{Root, ROOT_DIR_SLOT};
 pub use sched::{SeededRoundRobin, Turn};
 pub use shared::{
-    CommitMode, CommitNotice, CommitTicket, LaneContention, PipelineStats, SharedModHeap,
+    CommitMode, CommitNotice, CommitTicket, EngineError, HeapPoisoned, LaneContention,
+    PipelineStats, SharedModHeap,
 };

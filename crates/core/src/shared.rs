@@ -56,6 +56,33 @@
 //! runs bit-for-bit reproducible (the concurrent crash tests do exactly
 //! that — merges happen in handoff-queue order, which the turnstile
 //! fixes).
+//!
+//! ## Lock ordering and poison policy
+//!
+//! The lock hierarchy is `global` (commit) → per-shard → `group` (batch
+//! metadata) → `subscribers`: a lock may only be acquired while holding
+//! locks strictly *earlier* in that list. Every blocking wait respects
+//! it — [`SharedModHeap::wait_durable`]'s bounded-wait fallback and the
+//! group-commit lap wait both **drop the group lock before** calling
+//! into `flush()`/`commit_now()` (which take `global`), so a reader
+//! thread forcing a batch out can never invert the commit stage's
+//! `global → group` order, and the group condvar's waiters park holding
+//! only `group`.
+//!
+//! Poisoning is handled per lock, by what a panic unwinding through it
+//! can leave behind:
+//!
+//! * **shard / group / subscriber mutexes** — consistent at every
+//!   unlock (a panicking FASE runs `abort_fase` before the unwind
+//!   releases its shard; `GroupMeta` and the subscriber list are plain
+//!   values). These recover silently via [`PoisonError::into_inner`]
+//!   (`relock`), so one panicking worker never cascades into failures
+//!   on every other server connection.
+//! * **the global commit lock** — guards the multi-step batch merge in
+//!   `commit_locked`; a panic there can strand a half-applied batch, so
+//!   poison is surfaced as a typed [`HeapPoisoned`] /
+//!   [`EngineError::Poisoned`] on the `try_*` APIs and the pool must be
+//!   reopened (journal replay recovers to the last published batch).
 
 use crate::erased::ErasedDs;
 use crate::fase::{Fase, LaneConflict, PendingUpdate, RootLanes};
@@ -64,7 +91,7 @@ use crate::queue::HandoffQueue;
 use mod_alloc::{NvHeap, RecoveryReport, StagedAllocEffects};
 use mod_pmem::{CrashPolicy, LineHandoff, PmStats, Pmem, TraceEvent};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// When the pipelined commit stage publishes a batch (see module docs).
@@ -151,6 +178,83 @@ impl std::fmt::Display for LaneContention {
 }
 
 impl std::error::Error for LaneContention {}
+
+/// The commit machinery is wedged: a thread panicked while holding the
+/// **global commit lock** (mid-`commit_locked`), so the single-owner
+/// heap may hold a half-merged batch. Unlike the shard/group/subscriber
+/// mutexes — whose state is consistent whenever a panic unwinds through
+/// them, and which this module recovers silently (see the module docs'
+/// poison policy) — the global lock guards multi-step merge state, so
+/// its poison is surfaced as this typed error instead of being relocked.
+/// Durable state is safe: reopening the pool replays the journal to the
+/// last *published* batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapPoisoned;
+
+impl std::fmt::Display for HeapPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared heap poisoned: a thread panicked mid-commit; reopen the pool to recover"
+        )
+    }
+}
+
+impl std::error::Error for HeapPoisoned {}
+
+/// Typed failure surface of the server-facing staging APIs
+/// ([`SharedModHeap::try_fase`], [`SharedModHeap::try_fase_ticketed`]).
+/// Splitting the two cases matters to a front end: contention is
+/// per-request and retryable, poison is engine-fatal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Bounded lane-conflict retry budget exhausted. The heap is
+    /// unchanged; the FASE can be resubmitted.
+    Contention(LaneContention),
+    /// The commit machinery is poisoned; see [`HeapPoisoned`]. Further
+    /// staging on this handle will keep failing — reopen the pool.
+    Poisoned(HeapPoisoned),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Contention(e) => e.fmt(f),
+            EngineError::Poisoned(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Contention(e) => Some(e),
+            EngineError::Poisoned(e) => Some(e),
+        }
+    }
+}
+
+impl From<LaneContention> for EngineError {
+    fn from(e: LaneContention) -> EngineError {
+        EngineError::Contention(e)
+    }
+}
+
+impl From<HeapPoisoned> for EngineError {
+    fn from(e: HeapPoisoned) -> EngineError {
+        EngineError::Poisoned(e)
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Only correct for locks whose invariants hold at every unlock — the
+/// shard, group-metadata and subscriber mutexes here (see the module
+/// docs' poison policy). The global commit lock must NOT go through
+/// this: its poison means a half-merged batch and is surfaced as
+/// [`HeapPoisoned`] instead.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Bounded retry budget for conflict-aborted FASEs (see
 /// [`SharedModHeap::try_fase`]). With the exponential backoff below the
@@ -401,7 +505,7 @@ impl Inner {
             // the open-time must survive (the Group timeout bound relies
             // on it), so clear it only when the queue really emptied and
             // (re)stamp it when it did not.
-            let mut g = self.group.lock().unwrap();
+            let mut g = relock(&self.group);
             if self.queued.load(Ordering::SeqCst) == 0 {
                 g.opened_at = None;
             } else if g.opened_at.is_none() {
@@ -428,7 +532,7 @@ impl Inner {
             committed,
             fence_ns,
         };
-        for sub in self.subscribers.0.lock().unwrap().iter() {
+        for sub in relock(&self.subscribers.0).iter() {
             sub(&notice);
         }
     }
@@ -577,13 +681,14 @@ impl SharedModHeap {
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range or deregistered, or if lane
-    /// contention exhausts the bounded retry budget (see
-    /// [`SharedModHeap::try_fase`] for the non-panicking form).
+    /// Panics if `worker` is out of range or deregistered, if lane
+    /// contention exhausts the bounded retry budget, or if the commit
+    /// machinery is poisoned (see [`SharedModHeap::try_fase`] for the
+    /// non-panicking form).
     pub fn fase<R>(&self, worker: usize, f: impl FnMut(&mut Fase<'_>) -> R) -> R {
         match self.try_fase(worker, f) {
             Ok(out) => out,
-            Err(e) => panic!("{e}; use try_fase to handle contention"),
+            Err(e) => panic!("{e}; use try_fase to handle it"),
         }
     }
 
@@ -597,8 +702,13 @@ impl SharedModHeap {
     ///
     /// # Errors
     ///
-    /// Returns [`LaneContention`] if every staging attempt in the budget
-    /// was aborted by conflicting lane orders.
+    /// Returns [`EngineError::Contention`] if every staging attempt in
+    /// the budget was aborted by conflicting lane orders (the heap is
+    /// unchanged; resubmit), or [`EngineError::Poisoned`] if a thread
+    /// panicked mid-commit and wedged the commit machinery (engine-
+    /// fatal; reopen the pool). In the poisoned case the FASE may be
+    /// staged but unpublished — exactly like a crash before the fence,
+    /// it is all-or-nothing lost unless a later commit succeeds.
     ///
     /// # Panics
     ///
@@ -607,7 +717,7 @@ impl SharedModHeap {
         &self,
         worker: usize,
         f: impl FnMut(&mut Fase<'_>) -> R,
-    ) -> Result<R, LaneContention> {
+    ) -> Result<R, EngineError> {
         self.try_fase_inner(worker, f, None)
     }
 
@@ -628,18 +738,20 @@ impl SharedModHeap {
     ) -> (R, CommitTicket) {
         match self.try_fase_ticketed(worker, f) {
             Ok(out) => out,
-            Err(e) => panic!("{e}; use try_fase_ticketed to handle contention"),
+            Err(e) => panic!("{e}; use try_fase_ticketed to handle it"),
         }
     }
 
-    /// [`SharedModHeap::fase_ticketed`], surfacing lane contention as a
-    /// typed error (see [`SharedModHeap::try_fase`]).
+    /// [`SharedModHeap::fase_ticketed`], surfacing lane contention and
+    /// commit-machinery poison as typed errors (see
+    /// [`SharedModHeap::try_fase`]).
     ///
     /// # Errors
     ///
-    /// Returns [`LaneContention`] if every staging attempt in the budget
-    /// was aborted by conflicting lane orders (no ticket exists then —
-    /// nothing was staged).
+    /// Returns [`EngineError::Contention`] if every staging attempt in
+    /// the budget was aborted by conflicting lane orders (no ticket
+    /// exists then — nothing was staged), or [`EngineError::Poisoned`]
+    /// if the commit machinery is wedged.
     ///
     /// # Panics
     ///
@@ -648,7 +760,7 @@ impl SharedModHeap {
         &self,
         worker: usize,
         f: impl FnMut(&mut Fase<'_>) -> R,
-    ) -> Result<(R, CommitTicket), LaneContention> {
+    ) -> Result<(R, CommitTicket), EngineError> {
         let ticket = CommitTicket::new();
         self.try_fase_inner(worker, f, Some(Arc::clone(&ticket.state)))
             .map(|out| (out, ticket))
@@ -659,7 +771,7 @@ impl SharedModHeap {
         worker: usize,
         mut f: impl FnMut(&mut Fase<'_>) -> R,
         ticket: Option<Arc<TicketState>>,
-    ) -> Result<R, LaneContention> {
+    ) -> Result<R, EngineError> {
         let inner = &*self.inner;
         assert!(worker < inner.shards.len(), "worker {worker} out of range");
         assert!(
@@ -669,11 +781,13 @@ impl SharedModHeap {
         if inner.staged[worker].load(Ordering::SeqCst) {
             // This worker outpaced the batch.
             match inner.mode {
-                CommitMode::Pipelined => self.commit_now(),
-                CommitMode::Group { timeout, .. } => self.wait_for_batch(worker, timeout),
+                CommitMode::Pipelined => self.commit_now()?,
+                CommitMode::Group { timeout, .. } => self.wait_for_batch(worker, timeout)?,
             }
         }
-        let mut ctx = inner.shards[worker].lock().unwrap();
+        // The shard mutex is safe to relock after a poison: a panicking
+        // FASE runs `abort_fase` before its unwind releases the guard.
+        let mut ctx = relock(&inner.shards[worker]);
         // Catch up with the latest batch fence (a shared event).
         let fence = f64::from_bits(inner.last_fence_ns.load(Ordering::SeqCst));
         ctx.nv.pm_mut().sync_clock_to(fence);
@@ -707,7 +821,7 @@ impl SharedModHeap {
                 {
                     // Stamp the batch's open time if it has none (the
                     // committer clears it only when the queue empties).
-                    let mut g = inner.group.lock().unwrap();
+                    let mut g = relock(&inner.group);
                     if g.opened_at.is_none() {
                         g.opened_at = Some(Instant::now());
                     }
@@ -724,7 +838,7 @@ impl SharedModHeap {
                         inner.stats.lane_conflicts.fetch_add(1, Ordering::SeqCst);
                         attempts += 1;
                         if attempts >= CONFLICT_RETRY_CAP {
-                            return Err(LaneContention { worker, attempts });
+                            return Err(LaneContention { worker, attempts }.into());
                         }
                         conflict_backoff(attempts);
                         continue;
@@ -739,19 +853,16 @@ impl SharedModHeap {
         match inner.mode {
             CommitMode::Pipelined => {
                 if inner.all_active_staged() {
-                    self.commit_now();
+                    self.commit_now()?;
                 }
             }
             CommitMode::Group { max_batch, timeout } => {
                 let full = inner.queued.load(Ordering::SeqCst) >= max_batch;
-                let timed_out = inner
-                    .group
-                    .lock()
-                    .unwrap()
+                let timed_out = relock(&inner.group)
                     .opened_at
                     .is_some_and(|t| t.elapsed() >= timeout);
                 if full || timed_out || inner.all_active_staged() {
-                    self.commit_now();
+                    self.commit_now()?;
                 }
             }
         }
@@ -759,37 +870,61 @@ impl SharedModHeap {
     }
 
     /// Group-commit wait: block until this worker's staged FASE commits,
-    /// or force the batch out after `timeout`.
-    fn wait_for_batch(&self, worker: usize, timeout: Duration) {
+    /// or force the batch out after `timeout`. Waits holding only the
+    /// group lock, and **drops it** before forcing the batch (which
+    /// takes the global commit lock) — see the module docs' lock order.
+    fn wait_for_batch(&self, worker: usize, timeout: Duration) -> Result<(), HeapPoisoned> {
         let inner = &*self.inner;
         let deadline = Instant::now() + timeout;
         loop {
             if !inner.staged[worker].load(Ordering::SeqCst) {
-                return;
+                return Ok(());
             }
             let now = Instant::now();
             if now >= deadline {
-                self.commit_now();
-                return;
+                return self.commit_now();
             }
-            let g = inner.group.lock().unwrap();
+            let g = relock(&inner.group);
             if !inner.staged[worker].load(Ordering::SeqCst) {
-                return;
+                return Ok(());
             }
-            let (g, _) = inner.group_cv.wait_timeout(g, deadline - now).unwrap();
+            let (g, _) = inner
+                .group_cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             drop(g);
         }
     }
 
     /// Commits any staged batch now (one ordering point). Used at the
     /// end of a run and by orderly shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the commit machinery is poisoned (see
+    /// [`SharedModHeap::try_flush`] for the non-panicking form).
     pub fn flush(&self) {
-        self.commit_now();
+        if let Err(e) = self.try_flush() {
+            panic!("{e}");
+        }
     }
 
-    fn commit_now(&self) {
-        let mut st = self.inner.global.lock().unwrap();
+    /// [`SharedModHeap::flush`], surfacing a poisoned commit lock as a
+    /// typed error instead of panicking — the server's connection
+    /// teardown uses this so one wedged engine degrades to clean error
+    /// replies rather than a panic cascade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapPoisoned`] if a thread panicked mid-commit.
+    pub fn try_flush(&self) -> Result<(), HeapPoisoned> {
+        self.commit_now()
+    }
+
+    fn commit_now(&self) -> Result<(), HeapPoisoned> {
+        let mut st = self.inner.global.lock().map_err(|_| HeapPoisoned)?;
         self.inner.commit_locked(&mut st);
+        Ok(())
     }
 
     /// Removes `worker` from the batch-completion quorum (its op stream
@@ -798,7 +933,11 @@ impl SharedModHeap {
     pub fn deregister(&self, worker: usize) {
         self.inner.active[worker].store(false, Ordering::SeqCst);
         if self.inner.all_active_staged() {
-            self.commit_now();
+            // Deregistration runs on teardown paths (a connection that
+            // just panicked its worker included): tolerate a poisoned
+            // commit lock — the staged batch is lost either way, exactly
+            // like a crash before the fence.
+            let _ = self.commit_now();
         }
         self.inner.group_cv.notify_all();
     }
@@ -823,7 +962,7 @@ impl SharedModHeap {
     /// callback runs on whichever thread drove the commit, under the
     /// commit lock — keep it short and never call back into the heap.
     pub fn subscribe_commits(&self, f: impl Fn(&CommitNotice) + Send + Sync + 'static) {
-        self.inner.subscribers.0.lock().unwrap().push(Box::new(f));
+        relock(&self.inner.subscribers.0).push(Box::new(f));
     }
 
     /// Blocks until `ticket` is durable — i.e. the batch carrying its
@@ -835,7 +974,28 @@ impl SharedModHeap {
     /// thread forces it out itself via [`SharedModHeap::flush`] — so a
     /// lone connection on an otherwise idle server never deadlocks
     /// waiting for peers that will never stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the commit machinery is poisoned (see
+    /// [`SharedModHeap::try_wait_durable`] for the non-panicking form).
     pub fn wait_durable(&self, ticket: &CommitTicket) -> f64 {
+        match self.try_wait_durable(ticket) {
+            Ok(ns) => ns,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`SharedModHeap::wait_durable`], surfacing a poisoned commit lock
+    /// as a typed error. The reply path of a network front end uses
+    /// this: a wedged engine must fail the reply, not take the
+    /// connection thread down with a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapPoisoned`] if the ticket is still unresolved and
+    /// draining the batch found the commit lock poisoned.
+    pub fn try_wait_durable(&self, ticket: &CommitTicket) -> Result<f64, HeapPoisoned> {
         let inner = &*self.inner;
         let bound = match inner.mode {
             CommitMode::Group { timeout, .. } => timeout,
@@ -843,25 +1003,31 @@ impl SharedModHeap {
         };
         loop {
             if let Some(ns) = ticket.fence_ns() {
-                return ns;
+                return Ok(ns);
             }
             let deadline = Instant::now() + bound;
             loop {
-                let g = inner.group.lock().unwrap();
+                let g = relock(&inner.group);
                 if ticket.is_durable() {
                     break;
                 }
                 let now = Instant::now();
                 if now >= deadline {
-                    drop(g);
                     // Nobody committed within the latency bound: drain
                     // the batch ourselves (re-check afterwards — the
                     // ticket may have been resolved by a racing commit).
-                    self.flush();
+                    // The group lock is dropped FIRST: `commit_now`
+                    // takes global → group, so flushing while holding
+                    // `g` would invert the lock order (module docs).
+                    drop(g);
+                    self.try_flush()?;
                     break;
                 }
                 let epoch = g.batch_epoch;
-                let (g, _) = inner.group_cv.wait_timeout(g, deadline - now).unwrap();
+                let (g, _) = inner
+                    .group_cv
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 // Spurious wake or timeout with no batch drained: loop
                 // re-checks the predicate; an epoch bump means a batch
                 // published and the ticket is worth re-polling.
@@ -887,12 +1053,7 @@ impl SharedModHeap {
         // Workers never hold their shard lock while waiting on the
         // commit lock, so global → shards (in index order) cannot
         // deadlock; holding all of them means no FASE is mid-closure.
-        let _shards: Vec<_> = self
-            .inner
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap())
-            .collect();
+        let _shards: Vec<_> = self.inner.shards.iter().map(relock).collect();
         assert!(
             self.inner.queue.is_empty() && self.inner.queued.load(Ordering::SeqCst) == 0,
             "setup() with FASEs staged in the pipeline"
@@ -903,8 +1064,28 @@ impl SharedModHeap {
     }
 
     /// Read-only access to the heap (lookups, stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the commit machinery is poisoned (see
+    /// [`SharedModHeap::try_with`] for the non-panicking form).
     pub fn with<R>(&self, f: impl FnOnce(&ModHeap) -> R) -> R {
-        f(&self.inner.global.lock().unwrap().heap)
+        match self.try_with(f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`SharedModHeap::with`], surfacing a poisoned commit lock as a
+    /// typed error: a heap whose commit panicked midway may hold a
+    /// half-merged batch, so reads must not silently proceed on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapPoisoned`] if a thread panicked mid-commit.
+    pub fn try_with<R>(&self, f: impl FnOnce(&ModHeap) -> R) -> Result<R, HeapPoisoned> {
+        let st = self.inner.global.lock().map_err(|_| HeapPoisoned)?;
+        Ok(f(&st.heap))
     }
 
     /// Pipeline counters — read lock-free from atomics, so the bench
@@ -919,7 +1100,7 @@ impl SharedModHeap {
     pub fn sim_wall_ns(&self) -> f64 {
         let mut wall = self.with(|h| h.nv().pm().clock().now_ns());
         for shard in &self.inner.shards {
-            wall = wall.max(shard.lock().unwrap().nv.pm().clock().now_ns());
+            wall = wall.max(relock(shard).nv.pm().clock().now_ns());
         }
         wall
     }
@@ -932,9 +1113,21 @@ impl SharedModHeap {
     pub fn lane_stats(&self) -> PmStats {
         let mut total = PmStats::new();
         for shard in &self.inner.shards {
-            total.merge(shard.lock().unwrap().nv.pm().stats());
+            total.merge(relock(shard).nv.pm().stats());
         }
-        total.merge(self.inner.global.lock().unwrap().heap.nv().pm().stats());
+        // PM counters are plain values, valid even mid-commit — a
+        // reporter reading them must not turn one worker panic into a
+        // cascade, so the global lock is relocked here (reads only).
+        total.merge(
+            self.inner
+                .global
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .heap
+                .nv()
+                .pm()
+                .stats(),
+        );
         total
     }
 
@@ -979,7 +1172,9 @@ impl SharedModHeap {
         let inner = Arc::try_unwrap(self.inner).expect("into_heap with live SharedModHeap clones");
         let mut state = inner.global.into_inner().unwrap();
         for shard in inner.shards {
-            let ctx = shard.into_inner().unwrap();
+            // A worker that panicked (and was recovered via `relock`)
+            // leaves its shard mutex poisoned but its state consistent.
+            let ctx = shard.into_inner().unwrap_or_else(PoisonError::into_inner);
             state.heap.nv_mut().absorb_worker(ctx.nv);
         }
         state.heap
@@ -990,7 +1185,7 @@ impl SharedModHeap {
 mod tests {
     use super::*;
     use crate::basic::{DurableMap, DurableQueue};
-    use mod_pmem::PmemConfig;
+    use mod_pmem::{Durability, PmemConfig};
 
     fn shared(workers: usize) -> SharedModHeap {
         SharedModHeap::create(Pmem::new(PmemConfig::testing()), workers)
@@ -1419,9 +1614,12 @@ mod tests {
                 a.insert_in(tx, &0, &2); // lane 0: out of order → conflict
             })
             .unwrap_err();
+        assert!(err.to_string().contains("bounded backoff"));
+        let EngineError::Contention(err) = err else {
+            panic!("lane exhaustion must surface as Contention, got {err:?}");
+        };
         assert_eq!(err.worker, 1);
         assert_eq!(err.attempts, CONFLICT_RETRY_CAP);
-        assert!(err.to_string().contains("bounded backoff"));
         assert!(sh.stats().lane_conflicts >= CONFLICT_RETRY_CAP as u64);
         release_tx.send(()).unwrap();
         holder.join().unwrap();
@@ -1620,6 +1818,203 @@ mod tests {
             assert_eq!(maps[0].get(h, &1), Some(2));
             assert_eq!(maps[1].get(h, &1), Some(2));
         });
+    }
+
+    #[test]
+    fn worker_panic_does_not_poison_the_shard_for_later_fases() {
+        // An application bug (a non-LaneConflict panic inside a FASE
+        // closure) unwinds through the worker's shard guard and poisons
+        // the mutex. `abort_fase` already rolled the staging back before
+        // the unwind, so the shard state is consistent — later FASEs on
+        // the same worker must recover the lock and commit normally
+        // instead of cascading `PoisonError` panics to every caller.
+        let sh = shared(2);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sh.fase(0, |tx| {
+                map.insert_in(tx, &1, &1);
+                panic!("application bug mid-FASE");
+            })
+        }));
+        assert!(crashed.is_err(), "the app panic propagates to its caller");
+        // The same worker keeps working; the aborted staging left no
+        // trace.
+        sh.fase(0, |tx| map.insert_in(tx, &2, &20));
+        sh.fase(1, |tx| map.insert_in(tx, &3, &30));
+        sh.flush();
+        sh.with(|h| {
+            assert_eq!(map.get(h, &1), None, "panicked FASE fully rolled back");
+            assert_eq!(map.get(h, &2), Some(20));
+            assert_eq!(map.get(h, &3), Some(30));
+        });
+        // Teardown absorbs the (recovered) poisoned shard cleanly too.
+        let mut heap = sh.into_heap();
+        heap.quiesce();
+    }
+
+    #[test]
+    fn poisoned_commit_lock_surfaces_typed_errors_not_panics() {
+        // Poison the GLOBAL commit lock (a panic while holding it, as a
+        // mid-commit panic would) and verify every server-facing `try_*`
+        // API degrades to a typed error instead of a panic cascade.
+        let sh = shared(2);
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        // A ticket staged before the poison: its durability wait must
+        // also fail typed (the batch can never publish).
+        let ((), ticket) = sh.fase_ticketed(0, |tx| map.insert_in(tx, &1, &1));
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sh.setup(|_| panic!("die holding the commit lock"));
+        }));
+        assert!(crashed.is_err());
+        assert_eq!(sh.try_with(|h| map.get(h, &1)), Err(HeapPoisoned));
+        assert_eq!(sh.try_flush(), Err(HeapPoisoned));
+        assert_eq!(sh.try_wait_durable(&ticket), Err(HeapPoisoned));
+        // Worker 0 already has a staged FASE: its lap path hits the
+        // poisoned commit. Worker 1 stages fresh and fails at the
+        // commit-policy step (quorum complete, commit wedged).
+        let err = sh.try_fase(0, |tx| map.insert_in(tx, &2, &2)).unwrap_err();
+        assert_eq!(err, EngineError::Poisoned(HeapPoisoned));
+        let err = sh
+            .try_fase_ticketed(1, |tx| map.insert_in(tx, &3, &3))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, EngineError::Poisoned(HeapPoisoned));
+        // Teardown paths tolerate the wedge instead of double-panicking.
+        sh.deregister(0);
+        sh.deregister(1);
+        // Reporters still read (counters are plain values).
+        let _ = sh.lane_stats();
+    }
+
+    #[test]
+    fn lapped_worker_and_timed_out_durability_waiters_all_release() {
+        // Lock-order regression alongside
+        // `early_publish_wakes_all_lapped_group_waiters`: two reader
+        // threads park in `wait_durable` on tickets of an open batch
+        // while a third worker laps the pipeline and parks in the group
+        // wait. Nobody completes the quorum, so release depends entirely
+        // on the bounded-wait fallback — each waiter must drop the group
+        // lock *before* forcing the flush (group → global would
+        // deadlock against the committer's global → group), and all
+        // three threads must come back within a few timeouts. Worker 3
+        // exists but never stages, so the quorum stays incomplete and
+        // nothing publishes the batch early — release is the fallback's
+        // job alone.
+        use std::sync::mpsc;
+        let timeout = Duration::from_millis(60);
+        let sh = SharedModHeap::create_with(
+            Pmem::new(PmemConfig::testing()),
+            4,
+            CommitMode::Group {
+                max_batch: 64,
+                timeout,
+            },
+        );
+        let maps: Vec<DurableMap<u64, u64>> =
+            (0..3).map(|_| sh.setup(DurableMap::create)).collect();
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for (w, &map) in maps.iter().enumerate().skip(1) {
+            let sh = sh.clone();
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let ((), ticket) = sh.fase_ticketed(w, |t| map.insert_in(t, &0, &(w as u64)));
+                tx.send(()).unwrap();
+                let t0 = Instant::now();
+                let fence = sh.wait_durable(&ticket);
+                assert!(fence > 0.0);
+                assert!(ticket.is_durable());
+                t0.elapsed()
+            }));
+        }
+        rx.recv().unwrap();
+        rx.recv().unwrap();
+        let lapper = {
+            let sh = sh.clone();
+            let map = maps[0];
+            std::thread::spawn(move || {
+                sh.fase(0, |t| map.insert_in(t, &0, &0)); // stages batch 1
+                let t0 = Instant::now();
+                sh.fase(0, |t| map.insert_in(t, &1, &1)); // laps: parks
+                t0.elapsed()
+            })
+        };
+        for h in handles {
+            let waited = h.join().unwrap();
+            assert!(
+                waited < timeout * 10,
+                "durability waiter slept {waited:?} past the bounded fallback"
+            );
+        }
+        let lapped = lapper.join().unwrap();
+        assert!(
+            lapped < timeout * 10,
+            "lapped worker slept {lapped:?} past the group timeout"
+        );
+        assert!(sh.stats().batches >= 1, "someone forced the batch out");
+        sh.flush();
+        sh.with(|h| {
+            for (w, map) in maps.iter().enumerate() {
+                assert_eq!(map.get(h, &0), Some(w as u64));
+            }
+            assert_eq!(maps[0].get(h, &1), Some(1), "the lap's FASE landed too");
+        });
+    }
+
+    #[test]
+    fn fsync_group_commit_amortizes_fsync_rounds() {
+        // Power-loss-grade durability at group-commit cost: with
+        // `Durability::Fsync` on a 4-shard pool set and
+        // `CommitMode::Group { max_batch: 4 }`, N FASEs share one fence
+        // record and therefore one fsync round — fsync rounds per FASE
+        // must be ≤ 1/max_batch.
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_shared_fsync_{}.pool", std::process::id()));
+        let cfg = PmemConfig {
+            journal_shards: 4,
+            durability: Durability::Fsync,
+            ..PmemConfig::testing()
+        };
+        let pm = Pmem::create_file(&path, cfg.clone()).unwrap();
+        let sh = SharedModHeap::create_with(
+            pm,
+            4,
+            CommitMode::Group {
+                max_batch: 4,
+                timeout: Duration::from_millis(100),
+            },
+        );
+        let map: DurableMap<u64, u64> = sh.setup(DurableMap::create);
+        let before = sh.with(|h| h.nv().pm().backend_stats());
+        assert_eq!(before.journal_shards, 4, "pool set is live");
+        let fases = 16u64;
+        for i in 0..fases {
+            sh.fase((i % 4) as usize, |tx| map.insert_in(tx, &i, &i));
+        }
+        let after = sh.with(|h| h.nv().pm().backend_stats());
+        let rounds = after.fsync_rounds - before.fsync_rounds;
+        assert!(rounds >= 1, "Fsync mode must actually sync");
+        assert!(
+            rounds <= fases / 4,
+            "group commit amortizes: {rounds} fsync rounds for {fases} FASEs \
+             exceeds 1/max_batch"
+        );
+        assert!(
+            after.fsyncs >= rounds,
+            "each round syncs at least one shard journal"
+        );
+        drop(sh.into_heap().close().unwrap());
+        // The set survives reopen with everything acked present.
+        let (h2, _) = ModHeap::open_file(&path, cfg).unwrap();
+        let map2 = DurableMap::<u64, u64>::open(&h2, 0);
+        for i in 0..fases {
+            assert_eq!(map2.get(&h2, &i), Some(i));
+        }
+        drop(h2);
+        std::fs::remove_file(&path).unwrap();
+        for s in 0..4 {
+            let _ = std::fs::remove_file(format!("{}.s{s}", path.display()));
+        }
     }
 
     #[test]

@@ -17,27 +17,51 @@
 //!   snapshot plus every complete batch, with any torn tail discarded at
 //!   the last complete fence.
 //!
+//! ## Pool sets
+//!
+//! A pool created with more than one journal shard
+//! ([`FileBackend::create_set`]) is a **pool set**: the base file holds
+//! the snapshot, and each shard journal `pool.s<i>` receives the slice
+//! of every fence that falls in its contiguous address range. Records
+//! carry the global batch sequence plus the mask of shards the fence
+//! touched, so recovery scans the journals **in parallel threads** and
+//! merges them back into the single global order — bit-identical to what
+//! a one-journal pool would have recorded (fences slice their
+//! already-address-sorted lines across ascending shard ranges, so
+//! concatenating slices in shard order restores the original record).
+//! A fence is recovered only if *every* shard it touched holds its
+//! slice; recovery truncates each journal back to that durable frontier.
+//!
 //! ## What a process kill preserves
 //!
-//! Each fence's batch is appended with a single `write(2)`: once the call
-//! returns, the record survives the death of the process (the page cache
-//! outlives it). A kill *during* the write leaves a torn record that
-//! replay discards — recovery lands on the previous fence, which is a
-//! legal crash outcome (the fence that died was never acknowledged).
-//! *Drained-but-unfenced* lines (`Inflight { done_ns }` whose background
-//! drain completed) are journaled when the model observes them — a store
-//! racing an in-flight writeback, or an orderly
-//! [`crate::Pmem::checkpoint`] — as [`BatchKind::Drained`] records; at an
-//! uncooperative kill they are lost, which realizes the
-//! [`crate::CrashPolicy::OnlyFenced`] choice on a medium whose WPQ dies
-//! with the machine. Power-loss-grade durability would add an
-//! `fsync` per fence; [`FileBackend`] syncs at compaction and checkpoint
-//! instead, which is exact for process kills (the headline scenario) and
-//! documented, not hidden.
+//! Each fence's batch is appended with a single `write(2)` per touched
+//! journal: once the call returns, the record survives the death of the
+//! process (the page cache outlives it). A kill *during* the write
+//! leaves a torn record that replay discards — recovery lands on the
+//! previous fence, which is a legal crash outcome (the fence that died
+//! was never acknowledged). *Drained-but-unfenced* lines
+//! (`Inflight { done_ns }` whose background drain completed) are
+//! journaled when the model observes them — a store racing an in-flight
+//! writeback, or an orderly [`crate::Pmem::checkpoint`] — as
+//! [`BatchKind::Drained`] records; at an uncooperative kill they are
+//! lost, which realizes the [`crate::CrashPolicy::OnlyFenced`] choice on
+//! a medium whose WPQ dies with the machine.
+//!
+//! ## Durability grades
+//!
+//! [`Durability::Buffered`] (the default) stops there: appends are
+//! process-kill-grade — the page cache survives the process but not the
+//! machine — and the backend fsyncs only at compaction and checkpoint.
+//! [`Durability::Fsync`] upgrades every fence to power-loss-grade: each
+//! touched shard journal is fdatasync'd before the append returns, so an
+//! acknowledged fence is on the medium. Group commit amortizes the cost:
+//! batching N FASEs into one fence costs one fsync round (one fsync per
+//! touched shard journal) for all N.
 
 use crate::arena::SharedArena;
 use crate::journal::{
-    self, BatchKind, LineImage, Replay, ReplayError, SnapshotExtent, HEADER_BYTES,
+    self, BatchKind, LineImage, Replay, ReplayError, ShardReplay, SnapshotExtent, HEADER_BYTES,
+    MAX_SHARDS, SHARD_BASE,
 };
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -55,6 +79,24 @@ pub enum BackendKind {
     File,
 }
 
+/// How hard a [`FileBackend`] pushes each fence toward the medium.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Append with `write(2)` only: the record survives a process kill
+    /// (page cache), not a power loss. Fsync happens at compaction and
+    /// checkpoint. The default, and the only mode prior formats had.
+    #[default]
+    Buffered,
+    /// fdatasync every dirty shard journal before a **fence** append
+    /// returns: an acknowledged fence survives power loss. Drained-line
+    /// records stay buffered until the next fence's sync round covers
+    /// them (they carry earlier sequence numbers, so recovery's
+    /// contiguous frontier would otherwise recede past an acked fence),
+    /// and group commit amortizes the whole thing to one fsync round
+    /// per batch of FASEs.
+    Fsync,
+}
+
 /// Observability counters for a backend.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BackendStats {
@@ -70,6 +112,19 @@ pub struct BackendStats {
     pub journal_bytes: u64,
     /// Snapshot compactions performed.
     pub compactions: u64,
+    /// Journal shards (1 = classic single-file pool; 0 = no journal).
+    /// Also the scan parallelism a recovery of this pool uses.
+    pub journal_shards: u64,
+    /// Journal bytes appended per shard (len = `journal_shards`).
+    pub journal_bytes_by_shard: Vec<u64>,
+    /// Individual fsync calls issued on the per-fence append path
+    /// ([`Durability::Fsync`] only; compaction/checkpoint syncs are not
+    /// counted here).
+    pub fsyncs: u64,
+    /// Fsync *rounds*: append events that fsync'd (each round syncs
+    /// every touched shard journal once). Under group commit this is one
+    /// per batch, so rounds/FASE ≤ 1/N for batch size N.
+    pub fsync_rounds: u64,
 }
 
 /// The storage layer behind a [`crate::Pmem`] pool.
@@ -115,6 +170,13 @@ pub trait PoolBackend: fmt::Debug + Send + Sync {
         Ok(())
     }
 
+    /// Total on-disk bytes of the pool's files. A backend with no files
+    /// reports 0. Errors (e.g. a pool member deleted out from under the
+    /// process) surface as typed io errors, never a panic.
+    fn durable_file_bytes(&self) -> io::Result<u64> {
+        Ok(0)
+    }
+
     /// Observability counters.
     fn stats(&self) -> BackendStats {
         BackendStats::default()
@@ -136,48 +198,136 @@ impl PoolBackend for MemBackend {
 const DEFAULT_COMPACT_BYTES: u64 = 1 << 20;
 
 #[derive(Debug)]
-struct FileState {
-    file: File,
-    /// Journal bytes appended since the last snapshot.
+struct SetState {
+    /// The base pool file. For a single-file (v1) pool this is also the
+    /// journal; for a pool set it holds only the snapshot + seq mark.
+    base: File,
+    /// Per-shard journal files (empty for a single-file pool).
+    journals: Vec<File>,
+    /// Journal bytes appended since the last snapshot (set-wide).
     since_snapshot: u64,
-    /// Next batch sequence number.
+    /// Next global batch sequence number.
     seq: u64,
+    /// Bitmask of journal members with appended-but-unsynced bytes
+    /// (bit 0 = the base file for a single-file pool). A fence's fsync
+    /// round must cover every dirty member, not just the shards the
+    /// fence touched: a buffered drained-line record holds an earlier
+    /// sequence number, and losing it to power-off would recede the
+    /// recovery frontier below an already-acknowledged fence.
+    dirty: u64,
 }
 
-/// The file-backed backend: one pool file holding a snapshot plus an
-/// append-only, checksummed fence journal (see the module docs and
-/// [`crate::journal`] for the format and crash semantics).
+/// The file-backed backend: a pool file (or pool set) holding a snapshot
+/// plus an append-only, checksummed fence journal — one journal file per
+/// address shard when created with [`FileBackend::create_set`] (see the
+/// module docs and [`crate::journal`] for formats and crash semantics).
 #[derive(Debug)]
 pub struct FileBackend {
     path: PathBuf,
-    state: Mutex<FileState>,
+    durability: Durability,
+    /// Journal shard count (1 = classic single-file pool).
+    shards: u16,
+    /// Bytes of pool address space per shard (64-aligned; the last shard
+    /// absorbs the remainder).
+    span: u64,
+    state: Mutex<SetState>,
     compact_bytes: u64,
     batches: AtomicU64,
     fence_batches: AtomicU64,
     drained_batches: AtomicU64,
     journal_bytes: AtomicU64,
     compactions: AtomicU64,
+    fsyncs: AtomicU64,
+    fsync_rounds: AtomicU64,
+    per_shard_bytes: Vec<AtomicU64>,
+}
+
+/// The fixed address partition of a pool set: contiguous equal 64-byte-
+/// aligned ranges. Deterministic in (capacity, shards) alone, so every
+/// open of the set — and every writer generation — agrees on it.
+fn shard_span(capacity: u64, shards: u16) -> u64 {
+    let raw = capacity.div_ceil(shards as u64);
+    ((raw + 63) & !63).max(64)
+}
+
+fn shard_path(path: &Path, shard: u16) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".s{shard}"));
+    PathBuf::from(os)
 }
 
 impl FileBackend {
-    /// Creates a fresh pool file (truncating any existing file): header
-    /// plus an empty snapshot, synced to disk.
+    /// Creates a fresh single-file pool (truncating any existing file):
+    /// header plus an empty snapshot, synced to disk.
     pub fn create(path: &Path, capacity: u64) -> io::Result<FileBackend> {
-        let mut file = OpenOptions::new()
+        FileBackend::create_set(path, capacity, 1, Durability::Buffered)
+    }
+
+    /// Creates a fresh pool with `shards` journal files (1 = the classic
+    /// single-file v1 pool, bit-identical to [`FileBackend::create`])
+    /// and the given per-fence durability grade. `shards` is clamped to
+    /// `1..=64` (the touched-shard mask is a `u64`).
+    pub fn create_set(
+        path: &Path,
+        capacity: u64,
+        shards: u16,
+        durability: Durability,
+    ) -> io::Result<FileBackend> {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let mut base = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        file.write_all(&journal::encode_header(capacity))?;
-        file.write_all(&journal::encode_snapshot(&[]))?;
-        file.sync_all()?;
-        Ok(FileBackend {
+        let mut journals = Vec::new();
+        if shards == 1 {
+            base.write_all(&journal::encode_header(capacity))?;
+            base.write_all(&journal::encode_snapshot(&[]))?;
+        } else {
+            base.write_all(&journal::encode_set_header(capacity, shards, SHARD_BASE))?;
+            base.write_all(&journal::encode_snapshot(&[]))?;
+            base.write_all(&journal::encode_seq_mark(0))?;
+            for i in 0..shards {
+                let mut j = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(shard_path(path, i))?;
+                j.write_all(&journal::encode_set_header(capacity, shards, i))?;
+                j.sync_all()?;
+                journals.push(j);
+            }
+        }
+        base.sync_all()?;
+        Ok(FileBackend::assemble(
+            path, durability, shards, capacity, base, journals, 0, 0,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        path: &Path,
+        durability: Durability,
+        shards: u16,
+        capacity: u64,
+        base: File,
+        journals: Vec<File>,
+        since_snapshot: u64,
+        seq: u64,
+    ) -> FileBackend {
+        FileBackend {
             path: path.to_path_buf(),
-            state: Mutex::new(FileState {
-                file,
-                since_snapshot: 0,
-                seq: 0,
+            durability,
+            shards,
+            span: shard_span(capacity, shards),
+            state: Mutex::new(SetState {
+                base,
+                journals,
+                since_snapshot,
+                seq,
+                dirty: 0,
             }),
             compact_bytes: DEFAULT_COMPACT_BYTES,
             batches: AtomicU64::new(0),
@@ -185,51 +335,166 @@ impl FileBackend {
             drained_batches: AtomicU64::new(0),
             journal_bytes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
-        })
+            fsyncs: AtomicU64::new(0),
+            fsync_rounds: AtomicU64::new(0),
+            per_shard_bytes: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
-    /// Opens an existing pool file, replaying snapshot + journal: every
-    /// complete batch is applied; a torn tail is truncated away so the
-    /// file ends at the last complete fence before appends resume.
-    /// Returns the backend plus the replay (capacity, extents, batches)
-    /// for the caller to rebuild the arena from.
+    /// Opens an existing pool (single-file or set; the header says
+    /// which) with [`Durability::Buffered`] appends.
     pub fn open(path: &Path) -> io::Result<(FileBackend, Replay)> {
+        FileBackend::open_with(path, Durability::Buffered)
+    }
+
+    /// Opens an existing pool file or pool set, replaying snapshot +
+    /// journal(s): every complete batch is applied; torn tails — and,
+    /// for a set, complete records whose fence lost a slice in a sibling
+    /// journal — are truncated away so appends resume at the durable
+    /// frontier. A set's shard journals are scanned in parallel, one
+    /// thread per journal, then merged by global sequence; the merged
+    /// batch order is bit-identical to a single-journal replay. Returns
+    /// the backend plus the replay for the caller to rebuild the arena.
+    pub fn open_with(path: &Path, durability: Durability) -> io::Result<(FileBackend, Replay)> {
         // A kill mid-compaction can leave a stale temp file; it was never
         // renamed, so it is garbage.
         let _ = std::fs::remove_file(tmp_path(path));
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut base = OpenOptions::new().read(true).write(true).open(path)?;
         let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        let replay = journal::replay(&bytes).map_err(replay_io_err)?;
-        if replay.torn_bytes > 0 {
-            file.set_len(replay.valid_len as u64)?;
-        }
-        file.seek(SeekFrom::End(0))?;
-        let since_snapshot = (replay.valid_len - HEADER_BYTES) as u64
-            - journal::encode_snapshot(&replay.extents).len() as u64;
-        let seq = replay.batches.last().map_or(0, |b| b.seq + 1);
-        Ok((
-            FileBackend {
-                path: path.to_path_buf(),
-                state: Mutex::new(FileState {
-                    file,
+        base.read_to_end(&mut bytes)?;
+        if journal::header_version(&bytes).map_err(replay_io_err)? == journal::FORMAT_VERSION {
+            // v1 single-file pool.
+            let replay = journal::replay(&bytes).map_err(replay_io_err)?;
+            if replay.torn_bytes > 0 {
+                base.set_len(replay.valid_len as u64)?;
+            }
+            base.seek(SeekFrom::End(0))?;
+            let since_snapshot = (replay.valid_len - HEADER_BYTES) as u64
+                - journal::encode_snapshot(&replay.extents).len() as u64;
+            let seq = replay.batches.last().map_or(0, |b| b.seq + 1);
+            let capacity = replay.capacity;
+            return Ok((
+                FileBackend::assemble(
+                    path,
+                    durability,
+                    1,
+                    capacity,
+                    base,
+                    Vec::new(),
                     since_snapshot,
                     seq,
-                }),
-                compact_bytes: DEFAULT_COMPACT_BYTES,
-                batches: AtomicU64::new(0),
-                fence_batches: AtomicU64::new(0),
-                drained_batches: AtomicU64::new(0),
-                journal_bytes: AtomicU64::new(0),
-                compactions: AtomicU64::new(0),
-            },
+                ),
+                replay,
+            ));
+        }
+        let set = journal::replay_set_base(&bytes).map_err(replay_io_err)?;
+        // Scan every shard journal in parallel: the scans are
+        // independent (checksums, framing, decode), and the merge below
+        // is a pure function of their results — so the recovered image
+        // cannot depend on thread interleaving.
+        let scans: Vec<(File, ShardReplay, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..set.shards)
+                .map(|i| {
+                    let p = shard_path(path, i);
+                    scope.spawn(move || -> io::Result<(File, ShardReplay, u64)> {
+                        let mut f = OpenOptions::new()
+                            .read(true)
+                            .write(true)
+                            .open(&p)
+                            .map_err(|e| member_err(&p, &e))?;
+                        let mut jbytes = Vec::new();
+                        f.read_to_end(&mut jbytes)?;
+                        let scan = journal::replay_shard_journal(&jbytes).map_err(replay_io_err)?;
+                        if scan.header.capacity != set.capacity
+                            || scan.header.shards != set.shards
+                            || scan.header.shard_index != i
+                        {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("pool-set member {} does not match its base", p.display()),
+                            ));
+                        }
+                        Ok((f, scan, jbytes.len() as u64))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scan thread panicked"))
+                .collect::<io::Result<Vec<_>>>()
+        })?;
+        let per_shard: Vec<Vec<journal::ShardBatchRecord>> =
+            scans.iter().map(|(_, s, _)| s.records.clone()).collect();
+        let merged = journal::merge_shard_records(&per_shard, set.snap_seq);
+        // Truncate each journal back to the durable frontier: both torn
+        // tails and complete records of fences that lost a slice
+        // elsewhere. Journal order is sequence order, so the cut is the
+        // end of the last record below the frontier.
+        let mut journals = Vec::with_capacity(scans.len());
+        let mut since_snapshot = 0u64;
+        let mut torn = 0u64;
+        let mut valid = bytes.len();
+        for (mut f, scan, len) in scans {
+            let keep = scan
+                .records
+                .iter()
+                .position(|r| r.batch.seq >= merged.frontier)
+                .unwrap_or(scan.records.len());
+            let cut = if keep == 0 {
+                HEADER_BYTES
+            } else {
+                scan.ends[keep - 1]
+            };
+            if (cut as u64) < len {
+                f.set_len(cut as u64)?;
+            }
+            f.seek(SeekFrom::End(0))?;
+            since_snapshot += (cut - HEADER_BYTES) as u64;
+            torn += len - cut as u64;
+            valid += cut;
+            journals.push(f);
+        }
+        let replay = Replay {
+            capacity: set.capacity,
+            extents: set.extents,
+            batches: merged.batches,
+            valid_len: valid,
+            torn_bytes: torn as usize,
+        };
+        Ok((
+            FileBackend::assemble(
+                path,
+                durability,
+                set.shards,
+                set.capacity,
+                base,
+                journals,
+                since_snapshot,
+                merged.frontier,
+            ),
             replay,
         ))
     }
 
-    /// Path of the pool file.
+    /// Path of the pool's base file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Journal shard count (1 = classic single-file pool). Recovery
+    /// scans a set's journals with this many parallel threads.
+    pub fn shard_count(&self) -> u16 {
+        self.shards
+    }
+
+    /// The per-fence durability grade appends use.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Which journal shard owns a pool address.
+    fn shard_of(&self, addr: u64) -> usize {
+        ((addr / self.span) as usize).min(self.shards as usize - 1)
     }
 }
 
@@ -241,6 +506,10 @@ fn tmp_path(path: &Path) -> PathBuf {
 
 fn replay_io_err(e: ReplayError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+fn member_err(path: &Path, e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("pool member {}: {e}", path.display()))
 }
 
 /// Collects the durable arena's resident bytes as snapshot extents.
@@ -280,22 +549,79 @@ impl PoolBackend for FileBackend {
             return;
         }
         let mut st = self.state.lock().unwrap();
-        let record = journal::encode_batch(st.seq, kind, fence_ns, lines);
+        let seq = st.seq;
         st.seq += 1;
-        st.since_snapshot += record.len() as u64;
-        // One write(2) per fence: complete once it returns, torn (and
-        // discarded at replay) if the process dies inside it.
-        st.file
-            .write_all(&record)
-            .expect("pool journal append failed");
+        let mut appended = 0u64;
+        if self.shards == 1 {
+            let record = journal::encode_batch(seq, kind, fence_ns, lines);
+            // One write(2) per fence: complete once it returns, torn
+            // (and discarded at replay) if the process dies inside it.
+            st.base
+                .write_all(&record)
+                .expect("pool journal append failed");
+            appended = record.len() as u64;
+            self.per_shard_bytes[0].fetch_add(appended, Ordering::Relaxed);
+            st.dirty |= 1;
+            if self.durability == Durability::Fsync && kind == BatchKind::Fence {
+                st.base.sync_data().expect("pool journal fsync failed");
+                st.dirty = 0;
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.fsync_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            // Slice the (address-sorted) fence across the contiguous
+            // shard ranges; every slice carries the global sequence and
+            // the full touched mask so recovery can tell a complete
+            // fence from one that lost a slice.
+            let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+            let mut start = 0usize;
+            while start < lines.len() {
+                let shard = self.shard_of(lines[start].addr);
+                let mut end = start + 1;
+                while end < lines.len() && self.shard_of(lines[end].addr) == shard {
+                    end += 1;
+                }
+                runs.push((shard, start..end));
+                start = end;
+            }
+            let mask: u64 = runs.iter().map(|(s, _)| 1u64 << s).sum();
+            for (shard, range) in &runs {
+                let record =
+                    journal::encode_shard_batch(seq, kind, fence_ns, mask, &lines[range.clone()]);
+                st.journals[*shard]
+                    .write_all(&record)
+                    .expect("pool journal append failed");
+                appended += record.len() as u64;
+                self.per_shard_bytes[*shard].fetch_add(record.len() as u64, Ordering::Relaxed);
+            }
+            st.dirty |= mask;
+            if self.durability == Durability::Fsync && kind == BatchKind::Fence {
+                // The round covers every dirty member, not just this
+                // fence's shards: buffered drained-line records hold
+                // earlier sequence numbers, and an acked fence must
+                // never outlive them on disk (frontier contiguity).
+                let mut synced = 0u64;
+                for shard in 0..self.shards as usize {
+                    if st.dirty & (1u64 << shard) != 0 {
+                        st.journals[shard]
+                            .sync_data()
+                            .expect("pool journal fsync failed");
+                        synced += 1;
+                    }
+                }
+                st.dirty = 0;
+                self.fsyncs.fetch_add(synced, Ordering::Relaxed);
+                self.fsync_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        st.since_snapshot += appended;
         self.batches.fetch_add(1, Ordering::Relaxed);
         match kind {
             BatchKind::Fence => &self.fence_batches,
             BatchKind::Drained => &self.drained_batches,
         }
         .fetch_add(1, Ordering::Relaxed);
-        self.journal_bytes
-            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(appended, Ordering::Relaxed);
     }
 
     fn should_compact(&self) -> bool {
@@ -307,23 +633,64 @@ impl PoolBackend for FileBackend {
         let tmp = tmp_path(&self.path);
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(&journal::encode_header(durable.capacity()))?;
-            f.write_all(&journal::encode_snapshot(&extents_of(durable)))?;
+            if self.shards == 1 {
+                f.write_all(&journal::encode_header(durable.capacity()))?;
+                f.write_all(&journal::encode_snapshot(&extents_of(durable)))?;
+            } else {
+                f.write_all(&journal::encode_set_header(
+                    durable.capacity(),
+                    self.shards,
+                    SHARD_BASE,
+                ))?;
+                f.write_all(&journal::encode_snapshot(&extents_of(durable)))?;
+                f.write_all(&journal::encode_seq_mark(st.seq))?;
+            }
             f.sync_all()?;
         }
         // Atomic cut-over: a kill before the rename leaves the old pool
         // (plus a stale .tmp that open() removes); after it, the new one.
         std::fs::rename(&tmp, &self.path)?;
-        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(0))?;
-        st.file = file;
+        let mut base = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        base.seek(SeekFrom::End(0))?;
+        st.base = base;
+        // Only after the base holds the new snapshot + seq mark may the
+        // shard journals shrink: a kill mid-truncation leaves records
+        // below the mark, which recovery ignores as stale. The reverse
+        // order would lose the un-snapshotted records.
+        for j in &mut st.journals {
+            j.set_len(HEADER_BYTES as u64)?;
+            j.seek(SeekFrom::Start(HEADER_BYTES as u64))?;
+            j.sync_all()?;
+        }
         st.since_snapshot = 0;
+        st.dirty = 0;
         self.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn sync(&self) -> io::Result<()> {
-        self.state.lock().unwrap().file.sync_all()
+        let mut st = self.state.lock().unwrap();
+        st.base.sync_all()?;
+        for j in &st.journals {
+            j.sync_all()?;
+        }
+        st.dirty = 0;
+        Ok(())
+    }
+
+    fn durable_file_bytes(&self) -> io::Result<u64> {
+        let len = |p: &Path| -> io::Result<u64> {
+            std::fs::metadata(p)
+                .map(|m| m.len())
+                .map_err(|e| member_err(p, &e))
+        };
+        let mut total = len(&self.path)?;
+        if self.shards > 1 {
+            for i in 0..self.shards {
+                total += len(&shard_path(&self.path, i))?;
+            }
+        }
+        Ok(total)
     }
 
     fn stats(&self) -> BackendStats {
@@ -333,6 +700,14 @@ impl PoolBackend for FileBackend {
             drained_batches: self.drained_batches.load(Ordering::Relaxed),
             journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            journal_shards: self.shards as u64,
+            journal_bytes_by_shard: self
+                .per_shard_bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            fsync_rounds: self.fsync_rounds.load(Ordering::Relaxed),
         }
     }
 }
@@ -351,6 +726,13 @@ mod tests {
         LineImage {
             addr,
             data: [fill; 64],
+        }
+    }
+
+    fn remove_set(path: &Path, shards: u16) {
+        let _ = std::fs::remove_file(path);
+        for i in 0..shards {
+            let _ = std::fs::remove_file(shard_path(path, i));
         }
     }
 
@@ -442,6 +824,7 @@ mod tests {
         assert!(!be.should_compact());
         be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
         assert_eq!(be.stats(), BackendStats::default());
+        assert_eq!(be.durable_file_bytes().unwrap(), 0);
     }
 
     #[test]
@@ -452,5 +835,213 @@ mod tests {
         let err = FileBackend::open(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The fence sequence the pool-set tests replay: address-sorted
+    /// lines spread across the 4-shard partition of a 1 MiB pool, plus
+    /// fences confined to a single shard.
+    fn set_workload(be: &FileBackend) {
+        let span = shard_span(1 << 20, 4);
+        be.append_batch(
+            BatchKind::Fence,
+            &[line(0, 1), line(span, 2), line(3 * span, 3)],
+            1.0,
+        );
+        be.append_batch(BatchKind::Fence, &[line(64, 4)], 2.0);
+        be.append_batch(
+            BatchKind::Drained,
+            &[line(span + 64, 5), line(2 * span, 6)],
+            3.0,
+        );
+        be.append_batch(
+            BatchKind::Fence,
+            &[
+                line(128, 7),
+                line(span + 128, 8),
+                line(2 * span + 64, 9),
+                line(3 * span + 64, 10),
+            ],
+            4.0,
+        );
+    }
+
+    #[test]
+    fn pool_set_reopen_is_bit_identical_to_a_single_file_pool() {
+        // The same fence sequence through a single-file pool and a
+        // 4-shard set must replay to identical batch streams — same
+        // sequences, same kinds, same line order, same bytes.
+        let single = tmp_file("seteq_single");
+        let set = tmp_file("seteq_set");
+        let b1 = FileBackend::create(&single, 1 << 20).unwrap();
+        let b4 = FileBackend::create_set(&set, 1 << 20, 4, Durability::Buffered).unwrap();
+        set_workload(&b1);
+        set_workload(&b4);
+        drop(b1);
+        drop(b4);
+        let (_, r1) = FileBackend::open(&single).unwrap();
+        let (be4, r4) = FileBackend::open(&set).unwrap();
+        assert_eq!(r1.batches, r4.batches, "merged replay == serial replay");
+        assert_eq!(r1.extents, r4.extents);
+        assert_eq!(be4.shard_count(), 4);
+        assert_eq!(r4.torn_bytes, 0);
+        std::fs::remove_file(&single).unwrap();
+        remove_set(&set, 4);
+    }
+
+    #[test]
+    fn pool_set_append_reopen_resumes_the_global_sequence() {
+        let path = tmp_file("setresume");
+        let be = FileBackend::create_set(&path, 1 << 20, 4, Durability::Buffered).unwrap();
+        set_workload(&be);
+        drop(be);
+        let (be2, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 4);
+        be2.append_batch(BatchKind::Fence, &[line(0, 11)], 5.0);
+        drop(be2);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 5);
+        assert_eq!(replay.batches[4].seq, 4, "global sequence resumes");
+        remove_set(&path, 4);
+    }
+
+    #[test]
+    fn pool_set_torn_shard_tail_truncates_every_member_to_the_frontier() {
+        // Tear the tail of ONE shard journal: the whole set must recover
+        // to the last fence every shard holds completely, and the
+        // sibling journals must be truncated back to that frontier so
+        // appends resume consistently.
+        let path = tmp_file("settorn");
+        let be = FileBackend::create_set(&path, 1 << 20, 4, Durability::Buffered).unwrap();
+        set_workload(&be);
+        drop(be);
+        // Shard 0 saw fences 0, 1 and 3: tearing its last record drops
+        // fence 3 set-wide even though shards 1..3 hold their slices.
+        let s0 = shard_path(&path, 0);
+        let len = std::fs::metadata(&s0).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&s0).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        let (be2, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 3, "fence 3 lost its shard-0 slice");
+        assert_eq!(replay.batches.last().unwrap().seq, 2);
+        assert!(replay.torn_bytes > 0);
+        // Appends resume at the frontier; a reopen sees 4 batches again
+        // with the new fence in slot 3.
+        be2.append_batch(BatchKind::Fence, &[line(0, 12), line(1 << 19, 13)], 9.0);
+        drop(be2);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 4);
+        assert_eq!(replay.batches[3].seq, 3);
+        assert_eq!(replay.batches[3].lines[0].data[0], 12);
+        assert_eq!(replay.torn_bytes, 0, "members were truncated consistently");
+        remove_set(&path, 4);
+    }
+
+    #[test]
+    fn pool_set_compaction_folds_journals_and_keeps_members_consistent() {
+        let path = tmp_file("setcompact");
+        let be = FileBackend::create_set(&path, 1 << 20, 4, Durability::Buffered).unwrap();
+        let durable = SharedArena::new(1 << 20);
+        durable.write(0, b"set-durable-state");
+        set_workload(&be);
+        be.compact(&durable).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 21)], 10.0);
+        drop(be);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1, "pre-compaction fences folded in");
+        assert_eq!(replay.batches[0].seq, 4, "sequence survives compaction");
+        assert_eq!(&replay.extents[0].data[..17], b"set-durable-state");
+        remove_set(&path, 4);
+    }
+
+    #[test]
+    fn pool_set_stale_records_after_interrupted_truncation_are_ignored() {
+        // Crash window: compaction renamed the new base (snapshot +
+        // seq mark) but died before truncating the shard journals. The
+        // stale records sit below the mark and must neither resurface
+        // nor cap the frontier.
+        let path = tmp_file("setstale");
+        let be = FileBackend::create_set(&path, 1 << 20, 4, Durability::Buffered).unwrap();
+        let durable = SharedArena::new(1 << 20);
+        durable.write(0, b"post-compaction");
+        set_workload(&be);
+        // Snapshot the journal files, compact, then restore the old
+        // journals over the truncated ones — the on-disk state of a kill
+        // between the rename and the truncations.
+        let saved: Vec<Vec<u8>> = (0..4)
+            .map(|i| std::fs::read(shard_path(&path, i)).unwrap())
+            .collect();
+        be.compact(&durable).unwrap();
+        drop(be);
+        for (i, bytes) in saved.iter().enumerate() {
+            std::fs::write(shard_path(&path, i as u16), bytes).unwrap();
+        }
+        let (be2, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 0, "stale records not resurrected");
+        assert_eq!(&replay.extents[0].data[..15], b"post-compaction");
+        be2.append_batch(BatchKind::Fence, &[line(64, 30)], 20.0);
+        drop(be2);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.batches[0].seq, 4, "resumes past the seq mark");
+        remove_set(&path, 4);
+    }
+
+    #[test]
+    fn pool_set_missing_member_is_a_typed_error() {
+        let path = tmp_file("setmissing");
+        let be = FileBackend::create_set(&path, 1 << 20, 3, Durability::Buffered).unwrap();
+        drop(be);
+        std::fs::remove_file(shard_path(&path, 1)).unwrap();
+        let err = FileBackend::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains(".s1"), "names the member: {err}");
+        remove_set(&path, 3);
+    }
+
+    #[test]
+    fn fsync_mode_counts_one_round_per_fence() {
+        let path = tmp_file("fsynccount");
+        let be = FileBackend::create_set(&path, 1 << 20, 4, Durability::Fsync).unwrap();
+        assert_eq!(be.durability(), Durability::Fsync);
+        set_workload(&be);
+        let s = be.stats();
+        assert_eq!(
+            s.fsync_rounds, 3,
+            "one round per FENCE append; the drained append stays buffered"
+        );
+        // Each round syncs the dirty members: fence 1 dirtied {0,1,3},
+        // fence 2 {0}, then the drained append leaves {1,2} buffered so
+        // fence 3 (touching all four shards) syncs {0,1,2,3}: 3 + 1 + 4.
+        assert_eq!(s.fsyncs, 8);
+        assert_eq!(s.journal_shards, 4);
+        assert_eq!(s.journal_bytes_by_shard.len(), 4);
+        assert!(s.journal_bytes_by_shard.iter().all(|&b| b > 0));
+        assert_eq!(
+            s.journal_bytes_by_shard.iter().sum::<u64>(),
+            s.journal_bytes
+        );
+        drop(be);
+        let be = FileBackend::create(&path, 1 << 20).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
+        assert_eq!(be.stats().fsync_rounds, 0, "buffered mode never fsyncs");
+        drop(be);
+        remove_set(&path, 4);
+    }
+
+    #[test]
+    fn durable_file_bytes_is_typed_not_a_panic() {
+        // Satellite: the stats path must report a missing pool member as
+        // a typed io error, never a panic.
+        let path = tmp_file("statbytes");
+        let be = FileBackend::create_set(&path, 1 << 20, 2, Durability::Buffered).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 1)], 1.0);
+        let on_disk = be.durable_file_bytes().unwrap();
+        assert!(on_disk > 3 * HEADER_BYTES as u64);
+        std::fs::remove_file(shard_path(&path, 1)).unwrap();
+        let err = be.durable_file_bytes().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains(".s1"), "names the member: {err}");
+        remove_set(&path, 2);
     }
 }

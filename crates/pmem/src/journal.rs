@@ -1,12 +1,31 @@
 //! Pool-file codec: the on-disk format behind [`crate::FileBackend`].
 //!
-//! A file-backed pool is **one** file laid out as
+//! A v1 file-backed pool is **one** file laid out as
 //!
 //! ```text
 //! [file header]  magic, format version, pool capacity      (fixed 24 B)
 //! [snapshot]     full durable arena image at compaction     (one record)
 //! [batch]*       one checksummed record per fence           (append-only)
 //! ```
+//!
+//! A v2 **pool set** splits the journal across one file per address
+//! shard so recovery can scan them in parallel:
+//!
+//! ```text
+//! pool          [set header: base]  [snapshot]  [seq-mark: snap_seq]
+//! pool.s0       [set header: shard 0]  [shard batch]*
+//! pool.s1       [set header: shard 1]  [shard batch]*
+//! ...
+//! ```
+//!
+//! Every shard-batch record carries the **global** batch sequence plus a
+//! bitmask of the shards that fence touched, so recovery merges the
+//! per-shard journals back into one global order: a sequence is durable
+//! only when *every* shard in its mask holds the record, and the durable
+//! frontier is the largest prefix of complete sequences. The base file's
+//! seq-mark pins the sequence the snapshot folded in; shard records below
+//! it are stale leftovers of an interrupted post-compaction truncation
+//! and are ignored.
 //!
 //! Every record is framed as `[tag: u32][body_len: u32][body][fnv64 of
 //! tag+len+body]`, so the replay scanner can always tell a *torn tail*
@@ -26,15 +45,27 @@ use crate::line::CACHELINE;
 
 /// Pool-file magic ("MODPOOLF").
 pub const FILE_MAGIC: u64 = 0x4D4F_4450_4F4F_4C46;
-/// On-disk format version.
+/// On-disk format version (single-file pools).
 pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version for pool-set members (base + shard journals).
+pub const SET_FORMAT_VERSION: u32 = 2;
 /// Bytes of the fixed file header.
 pub const HEADER_BYTES: usize = 24;
+/// `shard_index` sentinel naming the base (snapshot) member of a set.
+pub const SHARD_BASE: u16 = 0xFFFF;
+/// Most shards a set can have (the touched-shard mask is a `u64`).
+pub const MAX_SHARDS: u16 = 64;
 
 /// Record tag: a full durable-arena snapshot (compaction point).
 const TAG_SNAPSHOT: u32 = 0x534E_4150; // "SNAP"
 /// Record tag: one fence's worth of durable lines.
 const TAG_BATCH: u32 = 0x4241_5443; // "BATC"
+/// Record tag: one shard's slice of a fence, tagged with the global
+/// sequence and the mask of shards the fence touched (pool sets only).
+const TAG_SHARD_BATCH: u32 = 0x5342_4154; // "SBAT"
+/// Record tag: the base file's sequence mark — the first global sequence
+/// *not* folded into the snapshot it follows (pool sets only).
+const TAG_SEQ_MARK: u32 = 0x5345_514D; // "SEQM"
 
 /// Why a batch of lines became durable.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -148,6 +179,64 @@ pub fn decode_header(bytes: &[u8]) -> Result<u64, ReplayError> {
     Ok(read_u64(bytes, 16))
 }
 
+/// The on-disk format version of a pool file, if it is one at all. Used
+/// to route an `open` to the v1 single-file or v2 pool-set reader.
+pub fn header_version(bytes: &[u8]) -> Result<u32, ReplayError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(ReplayError::NotAPool("file shorter than the header"));
+    }
+    if read_u64(bytes, 0) != FILE_MAGIC {
+        return Err(ReplayError::NotAPool("bad magic"));
+    }
+    Ok(read_u32(bytes, 8))
+}
+
+/// Decoded v2 pool-set member header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SetHeader {
+    /// Pool capacity in bytes (identical across every member).
+    pub capacity: u64,
+    /// Number of journal shards in the set.
+    pub shards: u16,
+    /// Which member this file is: `0..shards` for a shard journal,
+    /// [`SHARD_BASE`] for the base (snapshot) file.
+    pub shard_index: u16,
+}
+
+/// Encodes a v2 pool-set member header. The reserved word of the v1
+/// header carries the shard geometry: low half the shard count, high
+/// half this member's index ([`SHARD_BASE`] for the base file).
+pub fn encode_set_header(capacity: u64, shards: u16, shard_index: u16) -> [u8; HEADER_BYTES] {
+    let mut out = [0u8; HEADER_BYTES];
+    out[0..8].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+    out[8..12].copy_from_slice(&SET_FORMAT_VERSION.to_le_bytes());
+    let geom = (shards as u32) | ((shard_index as u32) << 16);
+    out[12..16].copy_from_slice(&geom.to_le_bytes());
+    out[16..24].copy_from_slice(&capacity.to_le_bytes());
+    out
+}
+
+/// Decodes and validates a v2 pool-set member header.
+pub fn decode_set_header(bytes: &[u8]) -> Result<SetHeader, ReplayError> {
+    if header_version(bytes)? != SET_FORMAT_VERSION {
+        return Err(ReplayError::UnsupportedVersion(read_u32(bytes, 8)));
+    }
+    let geom = read_u32(bytes, 12);
+    let shards = (geom & 0xFFFF) as u16;
+    let shard_index = (geom >> 16) as u16;
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(ReplayError::NotAPool("pool-set shard count out of range"));
+    }
+    if shard_index != SHARD_BASE && shard_index >= shards {
+        return Err(ReplayError::NotAPool("pool-set shard index out of range"));
+    }
+    Ok(SetHeader {
+        capacity: read_u64(bytes, 16),
+        shards,
+        shard_index,
+    })
+}
+
 /// Frames `body` as a record: tag, length, body, checksum.
 fn encode_record(tag: u32, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + body.len());
@@ -171,6 +260,34 @@ pub fn encode_batch(seq: u64, kind: BatchKind, fence_ns: f64, lines: &[LineImage
         body.extend_from_slice(&l.data);
     }
     encode_record(TAG_BATCH, &body)
+}
+
+/// Encodes one shard-batch record: shard `slice` of the fence `seq`,
+/// which touched the shards in `shard_mask` (bit *i* = shard *i*).
+pub fn encode_shard_batch(
+    seq: u64,
+    kind: BatchKind,
+    fence_ns: f64,
+    shard_mask: u64,
+    lines: &[LineImage],
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + lines.len() * (8 + CACHELINE as usize));
+    push_u64(&mut body, seq);
+    push_u32(&mut body, kind.to_u32());
+    push_u32(&mut body, lines.len() as u32);
+    push_u64(&mut body, fence_ns.to_bits());
+    push_u64(&mut body, shard_mask);
+    for l in lines {
+        push_u64(&mut body, l.addr);
+        body.extend_from_slice(&l.data);
+    }
+    encode_record(TAG_SHARD_BATCH, &body)
+}
+
+/// Encodes the base file's sequence mark: the first global sequence not
+/// folded into the preceding snapshot.
+pub fn encode_seq_mark(snap_seq: u64) -> Vec<u8> {
+    encode_record(TAG_SEQ_MARK, &snap_seq.to_le_bytes())
 }
 
 /// Encodes a snapshot record from durable extents.
@@ -365,6 +482,262 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, ReplayError> {
     })
 }
 
+/// One decoded shard-batch record: the global batch plus the mask of
+/// shards its fence touched.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardBatchRecord {
+    /// The batch slice this journal holds (lines restricted to the
+    /// owning shard's address range, still in ascending address order).
+    pub batch: BatchRecord,
+    /// Bit *i* set ⇔ shard *i* holds a slice of this fence.
+    pub shard_mask: u64,
+}
+
+fn decode_shard_batch_body(body: &[u8]) -> Option<ShardBatchRecord> {
+    if body.len() < 32 {
+        return None;
+    }
+    let seq = read_u64(body, 0);
+    let kind = BatchKind::from_u32(read_u32(body, 8))?;
+    let n = read_u32(body, 12) as usize;
+    let fence_ns = f64::from_bits(read_u64(body, 16));
+    let shard_mask = read_u64(body, 24);
+    let line_bytes = 8 + CACHELINE as usize;
+    if shard_mask == 0 || body.len() != 32 + n * line_bytes {
+        return None;
+    }
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = 32 + i * line_bytes;
+        let mut data = [0u8; CACHELINE as usize];
+        data.copy_from_slice(&body[at + 8..at + line_bytes]);
+        lines.push(LineImage {
+            addr: read_u64(body, at),
+            data,
+        });
+    }
+    Some(ShardBatchRecord {
+        batch: BatchRecord {
+            seq,
+            kind,
+            fence_ns,
+            lines,
+        },
+        shard_mask,
+    })
+}
+
+/// The decoded base member of a pool set: the snapshot image plus the
+/// sequence mark that fences its journals.
+#[derive(Clone, Debug)]
+pub struct SetBase {
+    /// Pool capacity from the header.
+    pub capacity: u64,
+    /// Number of journal shards in the set.
+    pub shards: u16,
+    /// The snapshot's durable extents (the base image).
+    pub extents: Vec<SnapshotExtent>,
+    /// First global sequence *not* folded into the snapshot: shard
+    /// records below this are stale and must be ignored.
+    pub snap_seq: u64,
+}
+
+/// Replays a pool-set base file: set header (base member), snapshot,
+/// sequence mark. The base is only ever written whole (create, or
+/// compaction's write-then-rename), so any damage is a hard error — a
+/// torn base is not a legal crash outcome.
+pub fn replay_set_base(bytes: &[u8]) -> Result<SetBase, ReplayError> {
+    let hdr = decode_set_header(bytes)?;
+    if hdr.shard_index != SHARD_BASE {
+        return Err(ReplayError::NotAPool(
+            "shard journal where the base file belongs",
+        ));
+    }
+    let (extents, at) = match scan_record(bytes, HEADER_BYTES) {
+        Scan::Record {
+            tag: TAG_SNAPSHOT,
+            body,
+            next,
+        } => (
+            decode_snapshot_body(&body).ok_or(ReplayError::SnapshotDamaged)?,
+            next,
+        ),
+        _ => return Err(ReplayError::SnapshotDamaged),
+    };
+    let snap_seq = match scan_record(bytes, at) {
+        Scan::Record {
+            tag: TAG_SEQ_MARK,
+            body,
+            next,
+        } if body.len() == 8 && next == bytes.len() => read_u64(&body, 0),
+        _ => return Err(ReplayError::SnapshotDamaged),
+    };
+    Ok(SetBase {
+        capacity: hdr.capacity,
+        shards: hdr.shards,
+        extents,
+        snap_seq,
+    })
+}
+
+/// One scanned shard journal: its complete records plus, for each, the
+/// byte offset just past it (so the caller can truncate the journal back
+/// to any record boundary — the durable frontier may sit below the last
+/// complete record when a sibling journal lost part of a later fence).
+#[derive(Clone, Debug)]
+pub struct ShardReplay {
+    /// The member header (capacity, shard count, this journal's index).
+    pub header: SetHeader,
+    /// Every complete shard-batch record, in journal (= sequence) order.
+    pub records: Vec<ShardBatchRecord>,
+    /// `ends[i]` = byte offset just past `records[i]`.
+    pub ends: Vec<usize>,
+    /// Length of the valid prefix (end of the last complete record).
+    pub valid_len: usize,
+    /// Bytes past `valid_len` — the torn tail.
+    pub torn_bytes: usize,
+}
+
+/// Scans one shard journal: set header, then shard-batch records until
+/// the torn tail. Pure and thread-safe — pool-set recovery runs one scan
+/// per journal in parallel.
+pub fn replay_shard_journal(bytes: &[u8]) -> Result<ShardReplay, ReplayError> {
+    let header = decode_set_header(bytes)?;
+    if header.shard_index == SHARD_BASE {
+        return Err(ReplayError::NotAPool(
+            "base file where a shard journal belongs",
+        ));
+    }
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
+    let mut at = HEADER_BYTES;
+    loop {
+        if at == bytes.len() {
+            break;
+        }
+        match scan_record(bytes, at) {
+            Scan::Record {
+                tag: TAG_SHARD_BATCH,
+                body,
+                next,
+            } => match decode_shard_batch_body(&body) {
+                Some(r) => {
+                    records.push(r);
+                    ends.push(next);
+                    at = next;
+                }
+                None => break,
+            },
+            _ => break,
+        }
+    }
+    Ok(ShardReplay {
+        header,
+        records,
+        ends,
+        valid_len: at,
+        torn_bytes: bytes.len() - at,
+    })
+}
+
+/// The merge of a pool set's shard journals back into one global order.
+#[derive(Clone, Debug, Default)]
+pub struct MergedJournal {
+    /// Every *complete* batch at or above the snapshot's sequence mark,
+    /// in ascending sequence order, each with its slices concatenated in
+    /// shard-index order. Because a fence's lines are sorted by address
+    /// before being sliced across the set's contiguous address ranges,
+    /// this restores exactly the line order a v1 single journal records —
+    /// which is what makes pool-set replay bit-identical to serial
+    /// single-journal replay.
+    pub batches: Vec<BatchRecord>,
+    /// The next expected global sequence: every sequence below it is
+    /// complete and merged; everything at or above it (incomplete sets,
+    /// records past a gap) is discarded.
+    pub frontier: u64,
+    /// Complete shard records discarded for sitting at or past the
+    /// frontier (their fence lost a slice in a sibling journal).
+    pub dropped_records: usize,
+}
+
+/// Merges per-shard records (indexed by shard) into the global batch
+/// order, computing the durable frontier.
+///
+/// A sequence is durable only if every shard in its mask holds its
+/// record. Sequences are allocated densely, so a missing sequence (every
+/// slice torn) or an incomplete one ends the durable prefix: later
+/// records — even complete ones — belong to fences that were never fully
+/// on disk and are dropped, exactly as a v1 journal drops everything
+/// past its first torn record. Records below `snap_seq` are stale
+/// leftovers of an interrupted post-compaction truncation; their content
+/// is already in the snapshot and they are skipped entirely.
+pub fn merge_shard_records(per_shard: &[Vec<ShardBatchRecord>], snap_seq: u64) -> MergedJournal {
+    use std::collections::BTreeMap;
+    struct Pending {
+        want: u64,
+        have: u64,
+        kind: BatchKind,
+        fence_ns_bits: u64,
+        slices: Vec<(usize, Vec<LineImage>)>,
+        damaged: bool,
+    }
+    let mut by_seq: BTreeMap<u64, Pending> = BTreeMap::new();
+    for (shard, records) in per_shard.iter().enumerate() {
+        for r in records {
+            if r.batch.seq < snap_seq {
+                continue;
+            }
+            let p = by_seq.entry(r.batch.seq).or_insert_with(|| Pending {
+                want: r.shard_mask,
+                have: 0,
+                kind: r.batch.kind,
+                fence_ns_bits: r.batch.fence_ns.to_bits(),
+                slices: Vec::new(),
+                damaged: false,
+            });
+            // Every slice of a fence carries identical metadata; a
+            // mismatch (or a duplicate slice) means the set is not a
+            // consistent image of that fence.
+            if p.want != r.shard_mask
+                || p.kind != r.batch.kind
+                || p.fence_ns_bits != r.batch.fence_ns.to_bits()
+                || p.have & (1 << shard) != 0
+                || r.shard_mask & (1 << shard) == 0
+            {
+                p.damaged = true;
+                continue;
+            }
+            p.have |= 1 << shard;
+            p.slices.push((shard, r.batch.lines.clone()));
+        }
+    }
+    let mut batches = Vec::new();
+    let mut frontier = snap_seq;
+    for (&seq, p) in by_seq.iter_mut() {
+        if seq != frontier || p.damaged || p.have != p.want {
+            break;
+        }
+        p.slices.sort_by_key(|(shard, _)| *shard);
+        let lines = p.slices.drain(..).flat_map(|(_, l)| l).collect();
+        batches.push(BatchRecord {
+            seq,
+            kind: p.kind,
+            fence_ns: f64::from_bits(p.fence_ns_bits),
+            lines,
+        });
+        frontier = seq + 1;
+    }
+    let dropped_records = by_seq
+        .range(frontier..)
+        .map(|(_, p)| p.have.count_ones() as usize)
+        .sum();
+    MergedJournal {
+        batches,
+        frontier,
+        dropped_records,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +902,250 @@ mod tests {
         let r = replay(&file).unwrap();
         assert_eq!(r.batches.len(), 0);
         assert_eq!(r.torn_bytes, 40);
+    }
+
+    /// Fixed 4-shard geometry for the pool-set tests: contiguous equal
+    /// address ranges, the same map [`crate::FileBackend`] uses.
+    const SET_SHARDS: usize = 4;
+    const SET_SPAN: u64 = (1 << 26) / SET_SHARDS as u64;
+
+    fn shard_of(addr: u64) -> usize {
+        ((addr / SET_SPAN) as usize).min(SET_SHARDS - 1)
+    }
+
+    /// Slices globally-ordered batches into per-shard journal images,
+    /// returning the shard journal bytes plus each shard's records.
+    fn shard_journals(batches: &[BatchRecord]) -> (Vec<Vec<u8>>, Vec<Vec<ShardBatchRecord>>) {
+        let mut bytes: Vec<Vec<u8>> = (0..SET_SHARDS)
+            .map(|i| encode_set_header(1 << 26, SET_SHARDS as u16, i as u16).to_vec())
+            .collect();
+        let mut records: Vec<Vec<ShardBatchRecord>> = vec![Vec::new(); SET_SHARDS];
+        for b in batches {
+            let mut slices: Vec<Vec<LineImage>> = vec![Vec::new(); SET_SHARDS];
+            for l in &b.lines {
+                slices[shard_of(l.addr)].push(l.clone());
+            }
+            let mask: u64 = slices
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(i, _)| 1u64 << i)
+                .sum();
+            // An empty fence never reaches the backend; every encoded
+            // batch touches at least one shard.
+            for (i, lines) in slices.into_iter().enumerate() {
+                if lines.is_empty() {
+                    continue;
+                }
+                bytes[i].extend_from_slice(&encode_shard_batch(
+                    b.seq, b.kind, b.fence_ns, mask, &lines,
+                ));
+                records[i].push(ShardBatchRecord {
+                    batch: BatchRecord {
+                        seq: b.seq,
+                        kind: b.kind,
+                        fence_ns: b.fence_ns,
+                        lines,
+                    },
+                    shard_mask: mask,
+                });
+            }
+        }
+        (bytes, records)
+    }
+
+    /// Dense-seq batches with sorted line addresses — the exact shape
+    /// the `sfence` path appends.
+    fn fenced_batches(rng: &mut XorShift, n: usize) -> Vec<BatchRecord> {
+        (0..n as u64)
+            .map(|seq| {
+                let mut b = fuzz_batch(rng);
+                b.seq = seq;
+                if b.lines.is_empty() {
+                    b.lines.push(fuzz_line(rng));
+                }
+                b.lines.sort_by_key(|l| l.addr);
+                b.lines.dedup_by_key(|l| l.addr);
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn set_header_roundtrip_and_validation() {
+        let h = encode_set_header(1 << 26, 4, 2);
+        let d = decode_set_header(&h).unwrap();
+        assert_eq!(
+            d,
+            SetHeader {
+                capacity: 1 << 26,
+                shards: 4,
+                shard_index: 2
+            }
+        );
+        let base = encode_set_header(1 << 20, 8, SHARD_BASE);
+        assert_eq!(decode_set_header(&base).unwrap().shard_index, SHARD_BASE);
+        // A v1 header is not a set member; a v2 header is not a v1 pool.
+        assert!(matches!(
+            decode_set_header(&encode_header(1 << 20)),
+            Err(ReplayError::UnsupportedVersion(1))
+        ));
+        assert!(matches!(
+            decode_header(&h),
+            Err(ReplayError::UnsupportedVersion(2))
+        ));
+        assert!(decode_set_header(&encode_set_header(1, 4, 4)).is_err());
+        assert!(decode_set_header(&encode_set_header(1, 0, 0)).is_err());
+        assert!(decode_set_header(&encode_set_header(1, 65, 0)).is_err());
+        assert_eq!(header_version(&h).unwrap(), SET_FORMAT_VERSION);
+    }
+
+    #[test]
+    fn set_base_roundtrips_and_rejects_damage() {
+        let extents = vec![SnapshotExtent {
+            addr: 128,
+            data: vec![7u8; 100],
+        }];
+        let mut f = encode_set_header(1 << 26, 3, SHARD_BASE).to_vec();
+        f.extend_from_slice(&encode_snapshot(&extents));
+        f.extend_from_slice(&encode_seq_mark(42));
+        let base = replay_set_base(&f).unwrap();
+        assert_eq!(base.shards, 3);
+        assert_eq!(base.snap_seq, 42);
+        assert_eq!(base.extents, extents);
+        // The base is written whole then renamed: any tear is a hard
+        // error, never a silently-truncated recovery.
+        for cut in HEADER_BYTES..f.len() {
+            assert!(replay_set_base(&f[..cut]).is_err(), "cut at {cut}");
+        }
+        // A shard journal is not a base.
+        let j = encode_set_header(1 << 26, 3, 0);
+        assert!(matches!(replay_set_base(&j), Err(ReplayError::NotAPool(_))));
+    }
+
+    #[test]
+    fn pool_set_merge_is_bit_identical_to_single_journal_replay() {
+        // The headline property, journal level: slice fenced batches
+        // across 4 shard journals, scan each independently, merge — the
+        // merged batches must equal the single v1 journal's replay,
+        // record for record, line order and all.
+        let mut rng = XorShift(0xD15C_0B07);
+        let batches = fenced_batches(&mut rng, 24);
+        let single = replay(&file_with(&[], &batches)).unwrap();
+        let (bytes, _) = shard_journals(&batches);
+        let scans: Vec<ShardReplay> = bytes
+            .iter()
+            .map(|b| replay_shard_journal(b).unwrap())
+            .collect();
+        let per_shard: Vec<Vec<ShardBatchRecord>> = scans.into_iter().map(|s| s.records).collect();
+        let merged = merge_shard_records(&per_shard, 0);
+        assert_eq!(merged.frontier, 24);
+        assert_eq!(merged.dropped_records, 0);
+        assert_eq!(merged.batches, single.batches);
+    }
+
+    #[test]
+    fn pool_set_torn_tail_per_shard_at_every_offset_recovers_a_maximal_prefix() {
+        // Truncate EACH shard journal at EVERY byte offset (siblings
+        // intact): the merge must always converge on a prefix of the
+        // global batch order — bit-identical to the single journal
+        // truncated at the same frontier — and the frontier must be
+        // maximal (the first dropped fence really lost a slice).
+        let mut rng = XorShift(0x7EA2_7A11);
+        let batches = fenced_batches(&mut rng, 12);
+        let (bytes, full_records) = shard_journals(&batches);
+        for victim in 0..SET_SHARDS {
+            for cut in HEADER_BYTES..=bytes[victim].len() {
+                let scan = replay_shard_journal(&bytes[victim][..cut]).unwrap();
+                let mut per_shard: Vec<Vec<ShardBatchRecord>> = full_records.clone();
+                per_shard[victim] = scan.records;
+                let merged = merge_shard_records(&per_shard, 0);
+                let n = merged.batches.len();
+                assert_eq!(merged.frontier, n as u64, "cut {victim}@{cut}");
+                assert_eq!(
+                    merged.batches[..],
+                    batches[..n],
+                    "cut {victim}@{cut}: must be a bit-identical prefix"
+                );
+                // Maximality: the first dropped fence, if any, must have
+                // lost its slice in the victim journal.
+                if n < batches.len() {
+                    let next = &batches[n];
+                    let touched = next.lines.iter().any(|l| shard_of(l.addr) == victim);
+                    let survived = per_shard[victim].iter().any(|r| r.batch.seq == next.seq);
+                    assert!(
+                        touched && !survived,
+                        "cut {victim}@{cut}: fence {} dropped without cause",
+                        next.seq
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_records_below_the_seq_mark_are_ignored() {
+        // Crash between compaction's base rename and the journal
+        // truncations: shard journals still hold records below the new
+        // snap_seq. They are already folded into the snapshot and must
+        // not cap the frontier or resurface.
+        let mut rng = XorShift(0x57A1E);
+        let batches = fenced_batches(&mut rng, 8);
+        let (_, per_shard) = shard_journals(&batches);
+        let merged = merge_shard_records(&per_shard, 5);
+        assert_eq!(merged.frontier, 8);
+        assert_eq!(merged.batches[..], batches[5..]);
+        // ... including when a stale record is torn away entirely: only
+        // sequences >= snap_seq gate the frontier.
+        let mut holey = per_shard.clone();
+        for recs in &mut holey {
+            recs.retain(|r| r.batch.seq >= 3);
+        }
+        let merged = merge_shard_records(&holey, 5);
+        assert_eq!(merged.batches[..], batches[5..]);
+    }
+
+    #[test]
+    fn inconsistent_slices_end_the_durable_prefix() {
+        let mut rng = XorShift(0xBAD);
+        let batches = fenced_batches(&mut rng, 6);
+        let (_, per_shard) = shard_journals(&batches);
+        // Corrupt one fence's metadata in one shard: mask disagreement.
+        let mut bad = per_shard.clone();
+        'outer: for recs in bad.iter_mut() {
+            for r in recs.iter_mut() {
+                if r.batch.seq == 3 {
+                    r.shard_mask ^= 1 << 63;
+                    break 'outer;
+                }
+            }
+        }
+        let merged = merge_shard_records(&bad, 0);
+        assert_eq!(merged.batches[..], batches[..3], "prefix before the damage");
+        assert_eq!(merged.frontier, 3);
+        assert!(merged.dropped_records > 0);
+    }
+
+    #[test]
+    fn shard_batch_records_roundtrip_with_offsets() {
+        let mut rng = XorShift(0x0FF5);
+        let batches = fenced_batches(&mut rng, 5);
+        let (bytes, records) = shard_journals(&batches);
+        for (i, b) in bytes.iter().enumerate() {
+            let scan = replay_shard_journal(b).unwrap();
+            assert_eq!(scan.header.shard_index, i as u16);
+            assert_eq!(scan.records, records[i]);
+            assert_eq!(scan.torn_bytes, 0);
+            assert_eq!(scan.valid_len, b.len());
+            assert_eq!(scan.ends.last().copied().unwrap_or(HEADER_BYTES), b.len());
+            // ends[] really are record boundaries: rescanning a prefix
+            // cut at ends[k] yields exactly k+1 records.
+            for (k, &end) in scan.ends.iter().enumerate() {
+                let again = replay_shard_journal(&b[..end]).unwrap();
+                assert_eq!(again.records.len(), k + 1);
+                assert_eq!(again.torn_bytes, 0);
+            }
+        }
     }
 
     #[test]

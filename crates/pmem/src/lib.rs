@@ -52,7 +52,7 @@ pub mod trace;
 pub mod wpq;
 
 pub use arena::SharedArena;
-pub use backend::{BackendKind, BackendStats, FileBackend, MemBackend, PoolBackend};
+pub use backend::{BackendKind, BackendStats, Durability, FileBackend, MemBackend, PoolBackend};
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use clock::{SimClock, TimeBreakdown, TimeCategory};
 pub use drain::WpqDrain;

@@ -23,7 +23,7 @@
 //!   which [`Pmem::crash_image`] models with a pluggable [`CrashPolicy`].
 
 use crate::arena::SharedArena;
-use crate::backend::{BackendKind, BackendStats, FileBackend, MemBackend, PoolBackend};
+use crate::backend::{BackendKind, BackendStats, Durability, FileBackend, MemBackend, PoolBackend};
 use crate::cache::{CacheConfig, CacheSim, CacheStats};
 use crate::clock::{SimClock, TimeCategory};
 use crate::drain::WpqDrain;
@@ -53,6 +53,17 @@ pub struct PmemConfig {
     pub cache: CacheConfig,
     /// Last-level cache geometry.
     pub llc: CacheConfig,
+    /// Per-fence durability grade of a file-backed pool (ignored by
+    /// memory-backed pools). [`Durability::Fsync`] makes an acknowledged
+    /// fence power-loss durable; the default [`Durability::Buffered`]
+    /// is process-kill grade.
+    pub durability: Durability,
+    /// Journal shard count for [`Pmem::create_file`]: >1 creates a pool
+    /// *set* (one journal file per contiguous address range, replayed in
+    /// parallel on open). Clamped to `1..=64`; 1 (the default) keeps the
+    /// classic single-file v1 format. On [`Pmem::open_file`] the shard
+    /// count comes from the file set itself, not this field.
+    pub journal_shards: u16,
 }
 
 impl Default for PmemConfig {
@@ -64,6 +75,8 @@ impl Default for PmemConfig {
             latency: LatencyModel::optane(),
             cache: CacheConfig::l1d(),
             llc: CacheConfig::llc(),
+            durability: Durability::Buffered,
+            journal_shards: 1,
         }
     }
 }
@@ -184,6 +197,9 @@ pub struct ReplayStats {
     pub torn_bytes: u64,
     /// Host (wall-clock) nanoseconds the replay took.
     pub host_ns: u64,
+    /// Journal scan threads the open used: the pool set's shard count
+    /// (1 for a classic single-file pool).
+    pub replay_parallelism: u64,
 }
 
 /// The simulated PM pool plus its cache hierarchy, clock and counters.
@@ -233,7 +249,8 @@ impl Pmem {
     /// durable image (the compaction source), regardless of
     /// [`PmemConfig::crash_sim`].
     pub fn create_file(path: &Path, cfg: PmemConfig) -> io::Result<Pmem> {
-        let backend = FileBackend::create(path, cfg.capacity)?;
+        let backend =
+            FileBackend::create_set(path, cfg.capacity, cfg.journal_shards, cfg.durability)?;
         let data = SharedArena::new(cfg.capacity);
         let durable = SharedArena::new(cfg.capacity);
         Ok(Pmem::from_parts(
@@ -255,7 +272,7 @@ impl Pmem {
     /// reported by [`Pmem::replay_stats`].
     pub fn open_file(path: &Path, cfg: PmemConfig) -> io::Result<Pmem> {
         let t0 = std::time::Instant::now();
-        let (backend, replay) = FileBackend::open(path)?;
+        let (backend, replay) = FileBackend::open_with(path, cfg.durability)?;
         let mut cfg = cfg;
         cfg.capacity = replay.capacity;
         let data = SharedArena::new(replay.capacity);
@@ -275,6 +292,7 @@ impl Pmem {
             lines,
             torn_bytes: replay.torn_bytes as u64,
             host_ns: t0.elapsed().as_nanos() as u64,
+            replay_parallelism: backend.shard_count() as u64,
         };
         Ok(Pmem::from_parts(
             cfg,
@@ -326,6 +344,13 @@ impl Pmem {
     /// Replay metrics, if this pool was produced by [`Pmem::open_file`].
     pub fn replay_stats(&self) -> Option<&ReplayStats> {
         self.replay.as_ref()
+    }
+
+    /// Total on-disk bytes of the pool's file(s); 0 for memory-backed
+    /// pools. A missing pool member surfaces as a typed io error naming
+    /// the file — never a panic.
+    pub fn backend_file_bytes(&self) -> io::Result<u64> {
+        self.backend.durable_file_bytes()
     }
 
     /// Reads the 64 content bytes of each line in `addrs` (peek path: no
@@ -1711,6 +1736,86 @@ mod tests {
         let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
         assert_eq!(pm2.peek_u64(0x4000), 9);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pool_set_recovery_is_bit_identical_to_a_single_file_pool() {
+        // The same simulated workload through a 1-shard pool and a
+        // 4-shard set: the recovered pools must agree word for word, and
+        // the set must report its parallel replay.
+        let run = |name: &str, shards: u16, durability: Durability| {
+            let path = pool_path(name);
+            let mut pm = Pmem::create_file(
+                &path,
+                PmemConfig {
+                    journal_shards: shards,
+                    durability,
+                    ..PmemConfig::testing()
+                },
+            )
+            .unwrap();
+            // Addresses spanning all four shard ranges of a 64 MiB pool.
+            for i in 0..64u64 {
+                let addr = (i % 4) * (1 << 24) + (i / 4) * 64;
+                pm.write_u64(addr, i + 1);
+                pm.clwb(addr);
+                if i % 3 == 2 {
+                    pm.sfence();
+                }
+            }
+            pm.sfence();
+            drop(pm); // uncooperative: no checkpoint, like a kill
+            let pm2 = Pmem::open_file(&path, PmemConfig::testing()).unwrap();
+            let words: Vec<u64> = (0..64u64)
+                .map(|i| pm2.peek_u64((i % 4) * (1 << 24) + (i / 4) * 64))
+                .collect();
+            let rs = pm2.replay_stats().unwrap().clone();
+            std::fs::remove_file(&path).unwrap();
+            for s in 0..shards {
+                let mut sp = path.as_os_str().to_os_string();
+                sp.push(format!(".s{s}"));
+                let _ = std::fs::remove_file(sp);
+            }
+            (words, rs)
+        };
+        let (single, rs1) = run("set_single", 1, Durability::Buffered);
+        let (set, rs4) = run("set_sharded", 4, Durability::Fsync);
+        assert_eq!(single, set, "recovered images must be bit-identical");
+        assert_eq!(rs1.replay_parallelism, 1);
+        assert_eq!(rs4.replay_parallelism, 4);
+        assert_eq!(rs1.batches, rs4.batches);
+        assert_eq!(rs1.lines, rs4.lines);
+        assert_eq!((0..64u64).map(|i| i + 1).sum::<u64>(), single.iter().sum());
+    }
+
+    #[test]
+    fn fsync_pool_reports_rounds_and_file_bytes() {
+        let path = pool_path("fsync_rounds");
+        let mut pm = Pmem::create_file(
+            &path,
+            PmemConfig {
+                journal_shards: 2,
+                durability: Durability::Fsync,
+                ..PmemConfig::testing()
+            },
+        )
+        .unwrap();
+        for i in 0..4u64 {
+            pm.write_u64(i * 64, i + 1);
+            pm.clwb(i * 64);
+            pm.sfence();
+        }
+        let st = pm.backend_stats();
+        assert_eq!(st.fsync_rounds, 4, "one fsync round per non-empty fence");
+        assert_eq!(st.journal_shards, 2);
+        assert!(pm.backend_file_bytes().unwrap() > 0);
+        drop(pm);
+        std::fs::remove_file(&path).unwrap();
+        for s in 0..2 {
+            let mut sp = path.as_os_str().to_os_string();
+            sp.push(format!(".s{s}"));
+            let _ = std::fs::remove_file(sp);
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! summary.
 
 use mod_core::CommitMode;
+use mod_pmem::Durability;
 use mod_server::{pool, run_loadgen, serve_with, LoadgenConfig, ServerConfig};
 use std::time::Duration;
 
@@ -19,6 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          mod_server serve <pool-file> [--addr A] [--workers N] [--window W] [--timeout-ms T]\n  \
+         \x20                         [--durability fsync|buffered] [--journal-shards N]\n  \
          mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]"
     );
     std::process::exit(2);
@@ -63,15 +65,30 @@ fn main() {
             let workers: usize = flag(&flags, "workers", 4).max(1);
             let window: usize = flag(&flags, "window", 16).max(1);
             let timeout_ms: u64 = flag(&flags, "timeout-ms", 2);
+            // Power-loss-grade by default: an acked op must survive a
+            // power cut, not just a SIGKILL. The group-commit fence
+            // amortizes the fsync round over the batch.
+            let durability = match flag(&flags, "durability", "fsync".to_string()).as_str() {
+                "fsync" => Durability::Fsync,
+                "buffered" => Durability::Buffered,
+                _ => usage(),
+            };
+            let journal_shards: u16 = flag(&flags, "journal-shards", workers as u16).max(1);
             let mode = CommitMode::Group {
                 max_batch: workers.max(4),
                 timeout: Duration::from_millis(timeout_ms.max(1)),
             };
-            let (heap, roots) = pool::open_or_create(pool_path.as_ref(), workers, mode)
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot open pool {pool_path}: {e}");
-                    std::process::exit(1);
-                });
+            let (heap, roots) = pool::open_or_create_with(
+                pool_path.as_ref(),
+                workers,
+                mode,
+                durability,
+                journal_shards,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open pool {pool_path}: {e}");
+                std::process::exit(1);
+            });
             let handle = serve_with(heap, roots, addr.as_str(), ServerConfig { window })
                 .unwrap_or_else(|e| {
                     eprintln!("cannot bind {addr}: {e}");

@@ -16,7 +16,7 @@
 
 use crate::engine::ServerRoots;
 use crate::proto::{Command, FrameDecoder, Reply};
-use mod_core::{CommitTicket, SharedModHeap};
+use mod_core::{CommitTicket, EngineError, SharedModHeap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,8 +85,18 @@ pub(crate) fn serve_conn(ctx: &ConnCtx, mut stream: TcpStream) {
                                 reply
                             }
                             // Queue-full backpressure, not buffering.
-                            Err(_) => {
+                            Err(EngineError::Contention(_)) => {
                                 Reply::Err("BUSY staging lanes contended; retry the request".into())
+                            }
+                            // Engine-fatal: another thread panicked
+                            // mid-commit. Earlier replies in this window
+                            // were never acked (their fence can't run),
+                            // so drop them — flushing would promise
+                            // durability the journal no longer has —
+                            // answer with the typed error, and hang up.
+                            Err(EngineError::Poisoned(e)) => {
+                                let _ = stream.write_all(&Reply::Err(format!("ERR {e}")).encode());
+                                break 'conn;
                             }
                         }
                     }
@@ -98,9 +108,15 @@ pub(crate) fn serve_conn(ctx: &ConnCtx, mut stream: TcpStream) {
             }
             // Reply-after-fence: nothing reaches the socket until the
             // window's last FASE — and, by drain order, all before it —
-            // has been published by a batch fence.
+            // has been published by a batch fence. A poisoned engine
+            // fails the wait: the window's replies are unackable, so
+            // they are dropped and the connection closes with a typed
+            // error instead of a worker-thread panic cascade.
             if let Some(t) = &last_ticket {
-                ctx.heap.wait_durable(t);
+                if let Err(e) = ctx.heap.try_wait_durable(t) {
+                    let _ = stream.write_all(&Reply::Err(format!("ERR {e}")).encode());
+                    break 'conn;
+                }
             }
             if stream.write_all(&out).is_err() || stream.flush().is_err() {
                 break 'conn;

@@ -3,7 +3,7 @@
 
 use crate::engine::ServerRoots;
 use mod_core::{CommitMode, ModHeap, SharedModHeap};
-use mod_pmem::PmemConfig;
+use mod_pmem::{Durability, PmemConfig};
 use std::io;
 use std::path::Path;
 
@@ -19,7 +19,9 @@ pub fn pool_config() -> PmemConfig {
 }
 
 /// Opens (recovering) or creates the server pool at `path` and shards
-/// it for `workers` connection slots in the given commit mode.
+/// it for `workers` connection slots in the given commit mode, with
+/// kill-grade (buffered, single-journal) durability. See
+/// [`open_or_create_with`] for power-loss-grade pool sets.
 ///
 /// Initialization is atomic against kills: a fresh pool is built and
 /// closed under a temporary `.init` name and renamed into place, so a
@@ -34,15 +36,64 @@ pub fn open_or_create(
     workers: usize,
     mode: CommitMode,
 ) -> io::Result<(SharedModHeap, ServerRoots)> {
+    open_or_create_with(path, workers, mode, Durability::Buffered, 1)
+}
+
+/// [`open_or_create`] with an explicit durability grade and journal
+/// shard count. `Durability::Fsync` makes an acked `SESSION` op durable
+/// across power loss, not just SIGKILL — the group-commit fence
+/// amortizes the fsync round over the whole batch — and
+/// `journal_shards > 1` splits the journal into a pool set replayed by
+/// parallel threads at recovery.
+///
+/// The shard count is a property of the *file set*: it applies when
+/// this call creates the pool, while reopening an existing pool keeps
+/// the on-disk layout (the header is authoritative). Durability applies
+/// either way.
+///
+/// # Errors
+///
+/// Same contract as [`open_or_create`].
+pub fn open_or_create_with(
+    path: &Path,
+    workers: usize,
+    mode: CommitMode,
+    durability: Durability,
+    journal_shards: u16,
+) -> io::Result<(SharedModHeap, ServerRoots)> {
+    let cfg = PmemConfig {
+        durability,
+        journal_shards,
+        ..pool_config()
+    };
     if !path.exists() {
         let init = path.with_extension("init");
         let _ = std::fs::remove_file(&init); // stale half-init from a kill
-        let mut heap = ModHeap::create_file(&init, pool_config())?;
+                                             // Stale shard journals from a killed init: the rename below
+                                             // only moves the base file, so sweep the set members too.
+        for s in 0..journal_shards {
+            let mut sp = init.as_os_str().to_os_string();
+            sp.push(format!(".s{s}"));
+            let _ = std::fs::remove_file(sp);
+        }
+        let mut heap = ModHeap::create_file(&init, cfg.clone())?;
         let _ = ServerRoots::create(&mut heap);
         drop(heap.close()?);
+        // Move the shard journals first, the base last: recovery keys
+        // off the base file, so a kill mid-rename still reads as
+        // "no pool yet" until the base lands.
+        for s in 0..journal_shards {
+            let mut from = init.as_os_str().to_os_string();
+            from.push(format!(".s{s}"));
+            let mut to = path.as_os_str().to_os_string();
+            to.push(format!(".s{s}"));
+            if std::path::Path::new(&from).exists() {
+                std::fs::rename(&from, &to)?;
+            }
+        }
         std::fs::rename(&init, path)?;
     }
-    let (heap, _report) = ModHeap::open_file(path, pool_config())?;
+    let (heap, _report) = ModHeap::open_file(path, cfg)?;
     let roots = ServerRoots::open(&heap).map_err(io::Error::other)?;
     Ok((SharedModHeap::from_heap_with(heap, workers, mode), roots))
 }

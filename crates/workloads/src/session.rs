@@ -21,7 +21,7 @@
 //! committed FASEs present, all-or-nothing, torn journal tail discarded.
 
 use mod_core::{DurableMap, DurableQueue, DurableVector, ModHeap};
-use mod_pmem::PmemConfig;
+use mod_pmem::{Durability, PmemConfig};
 use std::io;
 use std::path::Path;
 
@@ -71,11 +71,31 @@ fn last_writer(n: u64, j: u64) -> Option<u64> {
     Some(j + SLOTS * ((n - 1 - j) / SLOTS))
 }
 
+/// Session pool configuration. The CI kill battery reruns the whole
+/// write → SIGKILL → verify cycle in pool-set / power-loss-grade shapes
+/// through two env knobs (a binary re-invoking itself as a child cannot
+/// take structured arguments):
+///
+/// * `MOD_SESSION_SHARDS=<n>` — create new pools as an `n`-shard pool
+///   set (parallel replay at recovery). Reopens keep the on-disk shape.
+/// * `MOD_SESSION_FSYNC=1` — append with [`Durability::Fsync`]: every
+///   fence record hits the medium before the op is counted committed.
 fn pool_config() -> PmemConfig {
+    let journal_shards = std::env::var("MOD_SESSION_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let durability = if std::env::var("MOD_SESSION_FSYNC").is_ok_and(|v| v == "1") {
+        Durability::Fsync
+    } else {
+        Durability::Buffered
+    };
     PmemConfig {
         capacity: 1 << 26,
         crash_sim: false,
         trace: false,
+        journal_shards,
+        durability,
         ..PmemConfig::default()
     }
 }
@@ -90,13 +110,31 @@ fn pool_config() -> PmemConfig {
 /// verifier only ever sees "no session yet" or a fully initialized one.
 pub fn open_session(path: &Path, seed: u64) -> io::Result<Session> {
     if !path.exists() {
+        let cfg = pool_config();
         let init = path.with_extension("init");
         let _ = std::fs::remove_file(&init); // stale half-init from a kill
-        let mut heap = ModHeap::create_file(&init, pool_config())?;
+        for s in 0..cfg.journal_shards {
+            let mut sp = init.as_os_str().to_os_string();
+            sp.push(format!(".s{s}"));
+            let _ = std::fs::remove_file(sp);
+        }
+        let mut heap = ModHeap::create_file(&init, cfg.clone())?;
         let _map: DurableMap<u64, u64> = DurableMap::create(&mut heap); // root 0
         let _queue: DurableQueue<u64> = DurableQueue::create(&mut heap); // root 1
         let _count: DurableVector<u64> = DurableVector::create_from(&mut heap, &[0u64]); // root 2
         drop(heap.close()?);
+        // Shard journals move first, the base last: a verifier keys off
+        // the base file, so a kill mid-rename still reads "no session
+        // yet" until the base lands.
+        for s in 0..cfg.journal_shards {
+            let mut from = init.as_os_str().to_os_string();
+            from.push(format!(".s{s}"));
+            let mut to = path.as_os_str().to_os_string();
+            to.push(format!(".s{s}"));
+            if Path::new(&from).exists() {
+                std::fs::rename(&from, &to)?;
+            }
+        }
         std::fs::rename(&init, path)?;
     }
     let (heap, _report) = ModHeap::open_file(path, pool_config())?;

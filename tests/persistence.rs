@@ -127,6 +127,108 @@ fn torn_journal_tail_recovers_to_a_complete_fence_at_any_cut() {
 }
 
 #[test]
+fn pool_set_torn_shard_tail_recovers_to_the_frontier_at_any_cut() {
+    // The pool-set variant of the torn-tail test, driven end-to-end: a
+    // writer child runs in the power-loss-grade shape (4 shard journals,
+    // fsync per fence — the env knobs the CI kill battery uses), gets
+    // SIGKILLed, and then one shard journal of a copy of the set is
+    // truncated at many byte offsets. Every cut must recover to a
+    // consistent all-or-nothing prefix — the durable frontier: losing a
+    // record in one shard journal must also retire every *complete*
+    // record of later fences sitting in the sibling journals.
+    let path = temp_pool("set_torn");
+    let seed = 21u64;
+    let exe = std::env::current_exe().unwrap();
+    let mut kid = Command::new(&exe)
+        .args(["writer_child", "--exact", "--nocapture"])
+        .env("MOD_SESSION_POOL", &path)
+        .env("MOD_SESSION_SEED", seed.to_string())
+        .env("MOD_SESSION_SHARDS", "4")
+        .env("MOD_SESSION_FSYNC", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    kid.kill().unwrap(); // SIGKILL: no destructors, no checkpoint
+    kid.wait().unwrap();
+    // First recovery truncates real torn tails in place and leaves a
+    // clean set at the frontier — the baseline for the cut sweep.
+    let committed = verify_session(&path, seed).unwrap();
+    assert!(committed > 0, "child committed nothing before the kill");
+    let shard_paths: Vec<PathBuf> = (0..4)
+        .map(|s| {
+            let mut p = path.as_os_str().to_os_string();
+            p.push(format!(".s{s}"));
+            PathBuf::from(p)
+        })
+        .collect();
+    let base_bytes = std::fs::read(&path).unwrap();
+    let shard_bytes: Vec<Vec<u8>> = shard_paths
+        .iter()
+        .map(|p| std::fs::read(p).unwrap())
+        .collect();
+    // Shards own contiguous address ranges, so a small workload in a big
+    // pool concentrates in the low shards: cut the busiest journal.
+    let victim = (0..4).max_by_key(|&s| shard_bytes[s].len()).unwrap();
+    assert!(
+        shard_bytes[victim].len() > 24,
+        "no shard journal holds any records"
+    );
+    let cut_path = temp_pool("set_torn_cut");
+    let cut_shards: Vec<PathBuf> = (0..4)
+        .map(|s| {
+            let mut p = cut_path.as_os_str().to_os_string();
+            p.push(format!(".s{s}"));
+            PathBuf::from(p)
+        })
+        .collect();
+    // 24 = the shard-journal header; below that the member is invalid,
+    // which a power loss cannot produce (headers are synced at create).
+    let len = shard_bytes[victim].len();
+    let mut cuts: Vec<usize> = (0..60).map(|i| 24 + i * (len - 24) / 60).collect();
+    cuts.extend(len.saturating_sub(100).max(24)..=len);
+    let mut prev_n = None::<u64>;
+    let mut distinct = std::collections::BTreeSet::new();
+    for cut in cuts {
+        // Recovery truncates in place, so every cut starts from a fresh
+        // copy of the whole set.
+        std::fs::write(&cut_path, &base_bytes).unwrap();
+        for (s, p) in cut_shards.iter().enumerate() {
+            if s == victim {
+                std::fs::write(p, &shard_bytes[s][..cut]).unwrap();
+            } else {
+                std::fs::write(p, &shard_bytes[s]).unwrap();
+            }
+        }
+        let n = verify_session(&cut_path, seed)
+            .unwrap_or_else(|e| panic!("cut shard {victim} at {cut}: inconsistent state: {e}"));
+        if let Some(p) = prev_n {
+            assert!(
+                n >= p,
+                "cut {cut}: committed count not monotone ({p} -> {n})"
+            );
+        }
+        prev_n = Some(n);
+        distinct.insert(n);
+    }
+    assert_eq!(
+        prev_n,
+        Some(committed),
+        "an uncut victim journal must recover everything"
+    );
+    assert!(
+        distinct.len() > 5,
+        "cuts should land on many distinct frontiers, got {distinct:?}"
+    );
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&cut_path).unwrap();
+    for p in shard_paths.iter().chain(cut_shards.iter()) {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
 fn compaction_bounds_the_file_and_preserves_state() {
     let path = temp_pool("compaction");
     let seed = 42u64;

@@ -18,7 +18,7 @@
 //! nothing with the writer but the pool file.
 
 use mod_core::{CommitMode, ModHeap};
-use mod_pmem::{CrashPolicy, Pmem, PmemConfig};
+use mod_pmem::{CrashPolicy, Durability, Pmem, PmemConfig};
 use mod_server::{pool, serve, Command, Reply, ReplyDecoder, ServerRoots};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -29,24 +29,40 @@ use std::time::Duration;
 fn temp_pool(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("mod_server_{}_{name}.pool", std::process::id()));
-    let _ = std::fs::remove_file(&p);
+    remove_pool(&p);
     p
+}
+
+/// Removes a pool and any shard journals of its set.
+fn remove_pool(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    for s in 0..8 {
+        let mut sp = path.as_os_str().to_os_string();
+        sp.push(format!(".s{s}"));
+        let _ = std::fs::remove_file(sp);
+    }
 }
 
 /// Child entry point: under `MOD_SERVER_POOL` this "test" serves the
 /// pool until killed; in a normal test run it is an instant no-op.
+///
+/// The child serves a **2-shard pool set with `Durability::Fsync`** —
+/// the power-loss-grade shape — so every SIGKILL round in this file
+/// also exercises per-shard journal recovery with parallel replay.
 #[test]
 fn server_child() {
     let Ok(path) = std::env::var("MOD_SERVER_POOL") else {
         return;
     };
-    let (heap, roots) = pool::open_or_create(
+    let (heap, roots) = pool::open_or_create_with(
         Path::new(&path),
         2,
         CommitMode::Group {
             max_batch: 8,
             timeout: Duration::from_millis(2),
         },
+        Durability::Fsync,
+        2,
     )
     .unwrap();
     let handle = serve(heap, roots, "127.0.0.1:0").unwrap();
@@ -242,7 +258,93 @@ fn acked_ops_survive_sigkill_and_replay_is_exactly_once() {
     let (counter, list_len) = inspect_pool(&path);
     assert_eq!(counter, acked.len() as i64);
     assert_eq!(list_len, pushes, "LPUSH retries never double-apply");
-    std::fs::remove_file(&path).unwrap();
+    remove_pool(&path);
+}
+
+#[test]
+fn session_retry_replays_a_memoized_error_verbatim() {
+    // Exactly-once covers failures too: a SESSION op that answered
+    // `-ERR` has *completed* — the error is the memoized reply, and a
+    // retry of that seq must replay it verbatim, never re-execute the
+    // inner command. Re-execution is observable here because the key is
+    // repaired between the first delivery and the retry: a re-executed
+    // INCR would suddenly succeed with `:6`.
+    let path = temp_pool("memoerr");
+    let key = || b"gauge".to_vec();
+    let (mut kid, addr) = spawn_server(&path);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut dec = ReplyDecoder::new();
+    // Poison the key: INCR over a non-integer value fails.
+    let r = request(
+        &mut stream,
+        &mut dec,
+        &Command::Set {
+            key: key(),
+            value: b"not-a-number".to_vec(),
+        },
+    );
+    assert_eq!(r, Reply::Ok);
+    let first = request(
+        &mut stream,
+        &mut dec,
+        &sess(11, 1, Command::Incr { key: key() }),
+    );
+    let Reply::Err(msg) = &first else {
+        panic!("INCR over a non-integer must fail, got {first:?}");
+    };
+    assert!(!msg.is_empty());
+    // Repair the key: a *re-executed* INCR would now succeed.
+    let r = request(
+        &mut stream,
+        &mut dec,
+        &Command::Set {
+            key: key(),
+            value: b"5".to_vec(),
+        },
+    );
+    assert_eq!(r, Reply::Ok);
+    let retry = request(
+        &mut stream,
+        &mut dec,
+        &sess(11, 1, Command::Incr { key: key() }),
+    );
+    assert_eq!(retry, first, "retried seq 1 must replay the memoized -ERR");
+    // The memoized error must survive a SIGKILL too: the (seq, reply)
+    // pair committed in the same FASE as the session bump.
+    kid.kill().unwrap();
+    kid.wait().unwrap();
+    drop(stream);
+    let (mut kid, addr) = spawn_server(&path);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut dec = ReplyDecoder::new();
+    let replayed = request(
+        &mut stream,
+        &mut dec,
+        &sess(11, 1, Command::Incr { key: key() }),
+    );
+    assert_eq!(
+        replayed, first,
+        "memoized -ERR must replay verbatim across a kill"
+    );
+    // A fresh seq executes for real — proof the session is live and the
+    // replays above were memoization, not a wedged error state.
+    let next = request(
+        &mut stream,
+        &mut dec,
+        &sess(11, 2, Command::Incr { key: key() }),
+    );
+    assert_eq!(
+        next,
+        Reply::Int(6),
+        "seq 2 executes against the repaired key"
+    );
+    // And the failed seq never bumped the value behind the scenes.
+    let v = request(&mut stream, &mut dec, &Command::Get { key: key() });
+    assert_eq!(v, Reply::Value(Some(b"6".to_vec())));
+    kid.kill().unwrap();
+    kid.wait().unwrap();
+    remove_pool(&path);
 }
 
 #[test]
