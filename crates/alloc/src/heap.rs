@@ -104,6 +104,17 @@ impl NvHeap {
         }
     }
 
+    /// A read-only view over the same storage: a fresh heap object whose
+    /// `Pmem` handle shares this heap's pool (word-atomic shared arena)
+    /// but owns private volatile sim state. The view carries no free
+    /// lists, refcounts, or bump authority — it exists solely so
+    /// `peek_*` traversals can run on other threads without touching
+    /// this heap's allocator state. Callers must only invoke `&self`
+    /// peek methods on it.
+    pub fn read_view(&self) -> NvHeap {
+        NvHeap::from_pool(self.pm.fork_handle(), false)
+    }
+
     /// Formats a fresh pool: writes the pool header, zeroes the root
     /// slots, and makes both durable.
     pub fn format(mut pm: Pmem) -> NvHeap {

@@ -29,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod heap;
 pub mod layout;
 pub mod read;
 pub mod recovery;
 pub mod worker;
 
+pub use epoch::{EpochRegistry, MAX_READERS, UNPINNED};
 pub use heap::{AllocStats, NvHeap};
 pub use layout::{class_size, HEADER_BYTES, HEAP_BASE, N_ROOTS, POOL_MAGIC};
 pub use read::HeapRead;

@@ -20,6 +20,16 @@
 //! section is skipped entirely (`host_` baseline keys do not gate when
 //! the current run omits them).
 //!
+//! The read-heavy section runs the 95/5 snapshot-read workload twice:
+//! a deterministic turnstile pass whose `read95.*` keys gate bit-exactly
+//! (including `snapshot_epochs_lagged`, the count of reader turns served
+//! from a stale pinned view), and — on ≥ 4 cores — a free-running pass
+//! at 1 and 8 reader threads whose `host_read95.reader_speedup_1to8`
+//! gate (capped like the pipeline speedup) asserts that wait-free
+//! snapshot readers actually scale. `host_read95.ns_per_op` is floored
+//! (see [`READ95_NS_FLOOR`]) so it only fires on a genuine read-path
+//! slowdown, not runner noise.
+//!
 //! The file-backend section runs a persistent session against a real
 //! pool file and records ungated `info.file_backend.*` keys: journal
 //! bytes appended per FASE, compactions, and the host time to replay the
@@ -41,8 +51,8 @@
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR7.json`): where to write this run's
-//!   metrics (uploaded as a CI artifact).
+//! * `--out` (default `BENCH_PR8.json`; CI passes `--out "$BENCH_OUT"`):
+//!   where to write this run's metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
 //!   more than `--tolerance` percent (default 10). Direction-aware:
@@ -56,12 +66,20 @@
 
 use mod_bench::gate::{from_json, gate, to_json, Metrics};
 use mod_workloads::{
-    run_host, run_pipelined, run_workload, ConcurrencyConfig, ScaleConfig, System, Workload,
+    run_host, run_host_readers, run_pipelined, run_read_heavy, run_workload, ConcurrencyConfig,
+    ReadHeavyConfig, ScaleConfig, System, Workload,
 };
 use std::process::ExitCode;
 
-/// Cap on the gated host-speedup metric (see module docs).
+/// Cap on the gated host-speedup metrics (see module docs).
 const HOST_SPEEDUP_CAP: f64 = 2.5;
+
+/// Floor on the gated `host_read95.ns_per_op` key: per-read wall time is
+/// reported as `measured.max(floor)`, so a fast dev box cannot commit a
+/// sub-floor baseline that flakes slower CI runners, and the gate only
+/// fires when snapshot reads genuinely blow past the floor (e.g. a lock
+/// or fence sneaking back onto the read path).
+const READ95_NS_FLOOR: f64 = 2_000.0;
 
 fn collect_metrics() -> Metrics {
     let mut m = Metrics::new();
@@ -117,6 +135,24 @@ fn collect_metrics() -> Metrics {
         "pipeline8.batch_occupancy_ratio".to_string(),
         eight.mean_batch() / eight.threads as f64,
     );
+
+    eprintln!("  bench_smoke: read-heavy 95/5 snapshot reads (deterministic) ...");
+    {
+        let r95 = run_read_heavy(&ReadHeavyConfig::testing());
+        m.insert("read95.sim_ns_per_op".to_string(), r95.sim_ns_per_op());
+        // Exact and deterministic: how many reader turns were served from
+        // a view that lagged the published epoch. Drift means the
+        // publication or pinning discipline changed.
+        m.insert(
+            "read95.snapshot_epochs_lagged".to_string(),
+            r95.epochs_lagged as f64,
+        );
+        m.insert("info.read95.reads".to_string(), r95.reads as f64);
+        m.insert(
+            "info.read95.final_epoch".to_string(),
+            r95.final_epoch as f64,
+        );
+    }
 
     eprintln!("  bench_smoke: file-backed session (journal traffic, replay) ...");
     {
@@ -334,6 +370,39 @@ fn collect_metrics() -> Metrics {
             format!("info.host_pipeline{host_threads}.raw_speedup"),
             speedup,
         );
+
+        eprintln!("  bench_smoke: host-time snapshot-read scaling, 1 vs 8 readers ...");
+        let read_cfg = ReadHeavyConfig {
+            reader_reads: 40_000,
+            keys: 4_000,
+            ..ReadHeavyConfig::testing()
+        };
+        let best_readers = |readers| {
+            (0..3)
+                .map(|_| run_host_readers(&read_cfg, readers))
+                .min_by(|a, b| a.ns_per_read().total_cmp(&b.ns_per_read()))
+                .unwrap()
+        };
+        let solo_read = best_readers(1);
+        let eight_read = best_readers(8);
+        let read_speedup = eight_read.reads_per_host_ms() / solo_read.reads_per_host_ms();
+        m.insert(
+            "host_read95.reader_speedup_1to8".to_string(),
+            read_speedup.min(HOST_SPEEDUP_CAP),
+        );
+        m.insert(
+            "host_read95.ns_per_op".to_string(),
+            eight_read.ns_per_read().max(READ95_NS_FLOOR),
+        );
+        m.insert("info.host_read95.raw_speedup".to_string(), read_speedup);
+        m.insert(
+            "info.host_read95.raw_ns_per_read_8r".to_string(),
+            eight_read.ns_per_read(),
+        );
+        m.insert(
+            "info.host_read95.raw_ns_per_read_1r".to_string(),
+            solo_read.ns_per_read(),
+        );
     } else {
         eprintln!(
             "  bench_smoke: {cores} core(s) — skipping host-time throughput \
@@ -346,7 +415,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR7.json");
+    let mut out = String::from("BENCH_PR8.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

@@ -136,7 +136,9 @@ fn open_checked<D: DurableDs>(
 }
 
 /// One map lookup through either read path (charged or peek).
-fn raw_get(cur: PmMap, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
+/// `pub(crate)` so [`crate::snapshot::SnapshotView`] reuses the exact
+/// decode logic over its pinned root image.
+pub(crate) fn raw_get(cur: PmMap, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
     match heap {
         HeapRead::Charged(nv) => cur.get(nv, key),
         HeapRead::Peek(nv) => cur.peek_get(nv, key),
@@ -145,7 +147,7 @@ fn raw_get(cur: PmMap, heap: &mut HeapRead<'_>, key: u64) -> Option<Vec<u8>> {
 
 /// Decodes a typed lookup: exact keys read the value directly; hashed
 /// keys scan the bucket's frames for the matching key bytes.
-fn lookup<V: PmValue>(cur: PmMap, heap: &mut HeapRead<'_>, repr: &KeyRepr) -> Option<V> {
+pub(crate) fn lookup<V: PmValue>(cur: PmMap, heap: &mut HeapRead<'_>, repr: &KeyRepr) -> Option<V> {
     match repr {
         KeyRepr::Exact(w) => raw_get(cur, heap, *w).map(|b| V::from_value_bytes(&b)),
         KeyRepr::Hashed { hash, bytes } => {
@@ -866,6 +868,18 @@ impl<V: PmWord> DurableQueue<V> {
             Some((nq, e)) => (nq, Some(V::from_word(e))),
             None => (q, None),
         })
+    }
+
+    /// Acquires this queue's staging lane without staging an update
+    /// (see [`DurableMap::touch_in`]); a read that must stay consistent
+    /// with reads of *other* roots in the same FASE needs it first.
+    pub fn touch_in(&self, tx: &mut Fase<'_>) {
+        tx.update(self.root, |_, q| q);
+    }
+
+    /// Head element as this FASE sees it (read-your-writes).
+    pub fn front_in(&self, tx: &Fase<'_>) -> Option<V> {
+        tx.current(self.root).peek_front(tx.nv()).map(V::from_word)
     }
 
     /// Head element. Read-only: no flushes, fences, or `&mut`.

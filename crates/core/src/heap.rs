@@ -123,6 +123,16 @@ impl ModHeap {
         self.pending.push(old);
     }
 
+    /// Steals the deferred-release queue. The shared-heap commit stage
+    /// calls this after every batch commit so superseded chains move to
+    /// *epoch-gated* limbo instead of being freed at the next fence —
+    /// a snapshot reader pinned at an older epoch may still reach them.
+    /// The next `fence_and_drain` then drains an empty queue (the fence
+    /// itself still runs; fence counts are unchanged).
+    pub(crate) fn take_pending(&mut self) -> Vec<ErasedDs> {
+        std::mem::take(&mut self.pending)
+    }
+
     pub(crate) fn fence_and_drain(&mut self) {
         self.nv.sfence();
         // The previous commit's pointer store is now durable; its old

@@ -73,6 +73,7 @@ pub mod recovery;
 pub mod root;
 pub mod sched;
 pub mod shared;
+pub mod snapshot;
 
 pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector, OpenError};
 pub use codec::{PmKey, PmValue, PmWord};
@@ -86,3 +87,4 @@ pub use shared::{
     CommitMode, CommitNotice, CommitTicket, EngineError, HeapPoisoned, LaneContention,
     PipelineStats, SharedModHeap,
 };
+pub use snapshot::{DirSnapshot, SnapshotView};

@@ -100,6 +100,27 @@ pub(crate) fn peek_entry(nv: &NvHeap, index: usize) -> Option<ErasedDs> {
     })
 }
 
+/// Materializes every directory entry in index order — the commit stage
+/// uses this to build an immutable [`crate::snapshot::DirSnapshot`] from
+/// the just-swung directory (runs under the commit lock, so the
+/// directory is stable for the duration).
+pub(crate) fn all_entries(nv: &NvHeap) -> Vec<ErasedDs> {
+    let dir = nv.peek_root(ROOT_DIR_SLOT);
+    if dir.is_null() {
+        return Vec::new();
+    }
+    let count = nv.peek_u64(dir.addr()) as usize;
+    (0..count)
+        .map(|i| {
+            let base = dir.addr() + 8 + 16 * i as u64;
+            ErasedDs {
+                kind: crate::erased::RootKind::from_u64(nv.peek_u64(base)),
+                root: mod_pmem::PmPtr::from_addr(nv.peek_u64(base + 8)),
+            }
+        })
+        .collect()
+}
+
 impl ModHeap {
     /// Publishes the initial version of a datastructure as a new typed
     /// root, returning its handle. One FASE, one ordering point.

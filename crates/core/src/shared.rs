@@ -67,7 +67,12 @@
 //! into `flush()`/`commit_now()` (which take `global`), so a reader
 //! thread forcing a batch out can never invert the commit stage's
 //! `global → group` order, and the group condvar's waiters park holding
-//! only `group`.
+//! only `group`. Snapshot readers ([`SharedModHeap::snapshot`]) sit
+//! entirely *outside* the hierarchy: pinning is two atomic stores in
+//! the [`EpochRegistry`] plus one pointer load, so a view can be taken
+//! and traversed while any (or all) of the locks above are held by
+//! other threads — the commit stage coordinates with readers only
+//! through the epoch gate on reclamation, never through a lock.
 //!
 //! Poisoning is handled per lock, by what a panic unwinding through it
 //! can leave behind:
@@ -88,9 +93,10 @@ use crate::erased::ErasedDs;
 use crate::fase::{Fase, LaneConflict, PendingUpdate, RootLanes};
 use crate::heap::ModHeap;
 use crate::queue::HandoffQueue;
-use mod_alloc::{NvHeap, RecoveryReport, StagedAllocEffects};
+use crate::snapshot::{DirSnapshot, SnapshotView};
+use mod_alloc::{EpochRegistry, NvHeap, RecoveryReport, StagedAllocEffects};
 use mod_pmem::{CrashPolicy, LineHandoff, PmStats, Pmem, TraceEvent};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -380,9 +386,89 @@ struct WorkerCtx {
     nv: NvHeap,
 }
 
+/// One committed batch's superseded version chains, parked until the
+/// **epoch gate** opens: no snapshot reader pinned at an epoch ≤
+/// `retire_epoch` (the epoch of the last snapshot that can still reach
+/// these chains). Once clear, the chains return to the single-owner
+/// deferral queue and are freed by the next `fence_and_drain` — which
+/// also preserves the crash-safety rule (never free a superseded chain
+/// before a fence covers the swing that superseded it) *and* keeps the
+/// charge location of the frees identical to the pre-snapshot code.
+#[derive(Debug)]
+struct RetiredBatch {
+    retire_epoch: u64,
+    versions: Vec<ErasedDs>,
+}
+
 #[derive(Debug)]
 struct GlobalState {
     heap: ModHeap,
+    /// Superseded version chains awaiting epoch-gated reclamation.
+    limbo: Vec<RetiredBatch>,
+    /// Superseded snapshot images: readers pinned at their epoch may
+    /// still hold pointers into them, so they wait out the epoch gate
+    /// like version chains (no fence gate — they are volatile). The
+    /// `Box` is load-bearing: a pinned reader's `&DirSnapshot` points
+    /// at the heap allocation `SnapPtr::swap` recovered, so the image
+    /// must keep that address — unboxing into the `Vec` would move it.
+    #[allow(clippy::vec_box)]
+    old_snaps: Vec<Box<DirSnapshot>>,
+}
+
+/// Owner of the currently published [`DirSnapshot`]: readers load the
+/// pointer with no lock; the commit stage swings it under the commit
+/// lock. A dedicated newtype with its own `Drop` rather than a `Drop`
+/// impl on `Inner`, because [`SharedModHeap::into_heap`] partially
+/// moves `Inner`'s fields — which a `Drop` on `Inner` would forbid.
+struct SnapPtr(AtomicPtr<DirSnapshot>);
+
+impl SnapPtr {
+    fn new(snap: Box<DirSnapshot>) -> SnapPtr {
+        SnapPtr(AtomicPtr::new(Box::into_raw(snap)))
+    }
+
+    fn load(&self) -> *const DirSnapshot {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Publishes `snap` (one atomic pointer swing) and returns the
+    /// superseded image, which the caller must keep alive until no
+    /// reader is pinned at its epoch.
+    fn swap(&self, snap: Box<DirSnapshot>) -> Box<DirSnapshot> {
+        let old = self.0.swap(Box::into_raw(snap), Ordering::SeqCst);
+        // SAFETY: every pointer stored here came from `Box::into_raw`,
+        // and each is recovered exactly once — `swap` runs only under
+        // the commit lock, and `Drop` has `&mut self`.
+        unsafe { Box::from_raw(old) }
+    }
+}
+
+impl Drop for SnapPtr {
+    fn drop(&mut self) {
+        // SAFETY: sole owner at drop time; any `SnapshotView` borrows
+        // the `SharedModHeap` handle, so none can outlive `Inner`.
+        drop(unsafe { Box::from_raw(*self.0.get_mut()) });
+    }
+}
+
+impl std::fmt::Debug for SnapPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SnapPtr({:p})", self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Test-only hook run inside `commit_locked` between the directory
+/// swing and the snapshot publication (manual `Debug`: closures
+/// aren't).
+#[cfg(test)]
+#[derive(Default)]
+struct MidCommitHook(Mutex<Option<Box<dyn Fn() + Send + Sync>>>);
+
+#[cfg(test)]
+impl std::fmt::Debug for MidCommitHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MidCommitHook")
+    }
 }
 
 #[derive(Debug)]
@@ -414,6 +500,16 @@ struct Inner {
     /// Monotone drained-batch counter (the `batch_seq` in notices).
     batch_seq: AtomicU64,
     subscribers: Subscribers,
+    /// The currently published snapshot (readers load it lock-free).
+    snap: SnapPtr,
+    /// Snapshot reader registry: pin/unpin slots + the published epoch.
+    registry: EpochRegistry,
+    /// Read-only heap view for snapshot traversals: shares the pool
+    /// storage with every shard, owns only private volatile sim state,
+    /// and is never mutated (readers use `&self` peek paths only).
+    read_nv: NvHeap,
+    #[cfg(test)]
+    mid_commit_hook: MidCommitHook,
 }
 
 impl Inner {
@@ -456,7 +552,28 @@ impl Inner {
         }
         let fases = participants.len();
         let committed = !batch.is_empty();
+        if committed {
+            // Epoch-clear limbo chains go back onto the deferral queue
+            // *now*, so the fence inside `commit_fase` frees them at
+            // exactly the point the pre-snapshot code always did — with
+            // no reader pinned, commit timing (and the gated simulated-
+            // latency metrics) is bit-identical to the old path.
+            self.reinject_unpinned(st);
+        }
         st.heap.commit_fase(batch);
+        if committed {
+            // Steal the chains this batch superseded out of the heap's
+            // deferral queue before any later fence can free them — a
+            // reader pinned at the pre-batch epoch may still be
+            // traversing them through its snapshot.
+            let versions = st.heap.take_pending();
+            if !versions.is_empty() {
+                st.limbo.push(RetiredBatch {
+                    retire_epoch: self.registry.current(),
+                    versions,
+                });
+            }
+        }
         // Deferred revert chains were never published: reclaim now that
         // their refcount authority has arrived.
         for r in releases {
@@ -471,6 +588,10 @@ impl Inner {
         // the simulated fence counts of every existing workload are
         // bit-identical.
         if committed && !tickets.is_empty() {
+            // With no reader pinned, this batch's own chains (stolen
+            // above) come straight back and the covering fence frees
+            // them — matching the old path, which drained them here.
+            self.reinject_unpinned(st);
             st.heap.fence_and_drain();
         }
         if committed {
@@ -483,6 +604,18 @@ impl Inner {
                 st.heap.nv().pm().clock().now_ns().to_bits(),
                 Ordering::SeqCst,
             );
+        }
+        // Mid-commit test hook: observes the window where the directory
+        // has swung but the new snapshot has not yet published.
+        #[cfg(test)]
+        if let Some(hook) = relock(&self.mid_commit_hook.0).as_ref() {
+            hook();
+        }
+        if committed {
+            // Publish the batch's snapshot *before* resolving tickets:
+            // once a client learns its write is durable, any snapshot
+            // taken afterwards must already contain that write.
+            self.publish_snapshot(st);
         }
         // The batch's fence watermark. An all-no-op batch paid no fence,
         // but its FASEs wrote nothing — they are trivially durable, so
@@ -536,6 +669,54 @@ impl Inner {
             sub(&notice);
         }
     }
+
+    /// Publishes the current root directory as the next epoch's
+    /// [`DirSnapshot`] — one atomic pointer swing, piggybacked on the
+    /// directory swing the batch already paid for — then runs a
+    /// reclamation pass. Must be called with `st` locked.
+    ///
+    /// Publication order is load-bearing: the pointer swings *before*
+    /// the registry's epoch advances, so the published image's epoch is
+    /// always ≥ the counter a reader pins against (a reader pinned at
+    /// `e` can only ever load a snapshot of epoch ≥ `e`, which the
+    /// epoch gate then keeps alive for it).
+    fn publish_snapshot(&self, st: &mut GlobalState) {
+        let epoch = self.registry.current() + 1;
+        let roots = crate::root::all_entries(st.heap.nv());
+        let old = self.snap.swap(Box::new(DirSnapshot { epoch, roots }));
+        st.old_snaps.push(old);
+        self.registry.advance();
+        self.prune_old_snaps(st);
+    }
+
+    /// Moves every epoch-clear limbo batch back onto the single-owner
+    /// deferral queue, in retirement order: a batch's chains are clear
+    /// once the oldest pinned epoch is strictly newer than their
+    /// `retire_epoch`. The next `fence_and_drain` then frees them —
+    /// after a fence, as crash safety demands, and (when no reader was
+    /// ever pinned) at the exact charge point of the pre-snapshot code.
+    /// Must be called with `st` locked.
+    fn reinject_unpinned(&self, st: &mut GlobalState) {
+        let min = self.registry.min_pinned();
+        for b in std::mem::take(&mut st.limbo) {
+            if min > b.retire_epoch {
+                for v in b.versions {
+                    st.heap.defer_release(v);
+                }
+            } else {
+                st.limbo.push(b);
+            }
+        }
+    }
+
+    /// Drops superseded snapshot images no reader can still hold (pure
+    /// volatile boxes — freeing them charges no simulated time, so this
+    /// is safe anywhere in the commit path). Must be called with `st`
+    /// locked.
+    fn prune_old_snaps(&self, st: &mut GlobalState) {
+        let min = self.registry.min_pinned();
+        st.old_snaps.retain(|s| s.epoch >= min);
+    }
 }
 
 /// Merges one FASE's staged updates into the batch: chains on the
@@ -578,6 +759,13 @@ const _: () = {
     assert_send::<ModHeap>();
     assert_send::<crate::erased::ErasedDs>();
     assert_send_sync::<HandoffQueue<StagedFase>>();
+    // Snapshot machinery: `Inner` holds the read-only `NvHeap` *bare*
+    // (readers on many threads traverse it through `&`), so `NvHeap`
+    // must be `Sync` — its interior mutability is confined to the
+    // word-atomic shared arena. The registry is all atomics.
+    assert_send_sync::<NvHeap>();
+    assert_send_sync::<EpochRegistry>();
+    assert_send_sync::<crate::snapshot::DirSnapshot>();
     // Typed handles cross thread boundaries by value in the workers.
     assert_send_sync::<crate::Root<mod_funcds::PmMap>>();
     assert_send_sync::<crate::DurableMap<String, Vec<u8>>>();
@@ -621,9 +809,20 @@ impl SharedModHeap {
             assert!(max_batch > 0, "group commit needs max_batch >= 1");
         }
         let worker_heaps = heap.nv_mut().split_workers(workers);
+        let read_nv = heap.nv().read_view();
+        // Epoch 0: the pre-first-commit image (whatever roots the heap
+        // already holds, e.g. after recovery).
+        let snap = SnapPtr::new(Box::new(DirSnapshot {
+            epoch: 0,
+            roots: crate::root::all_entries(heap.nv()),
+        }));
         SharedModHeap {
             inner: Arc::new(Inner {
-                global: Mutex::new(GlobalState { heap }),
+                global: Mutex::new(GlobalState {
+                    heap,
+                    limbo: Vec::new(),
+                    old_snaps: Vec::new(),
+                }),
                 shards: worker_heaps
                     .into_iter()
                     .map(|nv| Mutex::new(WorkerCtx { nv }))
@@ -643,6 +842,11 @@ impl SharedModHeap {
                 group_cv: Condvar::new(),
                 batch_seq: AtomicU64::new(0),
                 subscribers: Subscribers::default(),
+                snap,
+                registry: EpochRegistry::new(),
+                read_nv,
+                #[cfg(test)]
+                mid_commit_hook: MidCommitHook::default(),
             }),
         }
     }
@@ -1028,11 +1232,16 @@ impl SharedModHeap {
                     .group_cv
                     .wait_timeout(g, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner);
-                // Spurious wake or timeout with no batch drained: loop
-                // re-checks the predicate; an epoch bump means a batch
-                // published and the ticket is worth re-polling.
-                let _ = epoch;
+                // Predicate re-check: only an epoch bump (a published
+                // batch) can have resolved the ticket, so only that
+                // wake is worth breaking out to re-poll it. A spurious
+                // wake with no bump keeps waiting out the bound instead
+                // of burning poll cycles as if something had happened.
+                let advanced = g.batch_epoch != epoch;
                 drop(g);
+                if advanced {
+                    break;
+                }
             }
         }
     }
@@ -1058,8 +1267,27 @@ impl SharedModHeap {
             self.inner.queue.is_empty() && self.inner.queued.load(Ordering::SeqCst) == 0,
             "setup() with FASEs staged in the pipeline"
         );
+        // Single-owner FASEs inside `f` fence as they go, freeing their
+        // own deferral queue immediately — a live snapshot view could
+        // still be traversing those chains. Snapshot readers take no
+        // lock, so (like the worker-FASE exclusion above) this is a
+        // caller contract; the assert catches violations at entry.
+        assert_eq!(
+            self.inner.registry.live_pins(),
+            0,
+            "setup() with live snapshot views"
+        );
         let out = f(&mut st.heap);
         self.inner.lanes.clear_heads();
+        // Setup may have swung the directory: republish so views taken
+        // after setup see the new roots immediately. Trailing superseded
+        // chains stay on the heap's own deferral queue (not epoch
+        // limbo): no view is live — asserted above — and none taken from
+        // here on can reach pre-setup versions, so the next fence may
+        // free them exactly as it always did. Routing them through limbo
+        // would defer the frees into the measured phase of benchmarks
+        // that `reset_metrics` inside a setup, shifting charge points.
+        self.inner.publish_snapshot(&mut st);
         out
     }
 
@@ -1086,6 +1314,65 @@ impl SharedModHeap {
     pub fn try_with<R>(&self, f: impl FnOnce(&ModHeap) -> R) -> Result<R, HeapPoisoned> {
         let st = self.inner.global.lock().map_err(|_| HeapPoisoned)?;
         Ok(f(&st.heap))
+    }
+
+    /// Takes a wait-free, consistent snapshot of every published root.
+    ///
+    /// The returned [`SnapshotView`] reads the multi-root image the
+    /// most recently published batch left behind — all roots from the
+    /// *same* batch, never a torn mix — and is **completely off the
+    /// commit pipeline**: no staging lanes, no handoff-queue pushes, no
+    /// fences, no group lock, not even the commit lock. The cost is two
+    /// atomic stores (registry pin) plus one pointer load; traversals
+    /// are then pure memory reads, so reader threads scale with no
+    /// shared state beyond their registry slots.
+    ///
+    /// Holding the view defers reclamation of every chain it can reach
+    /// (see [`crate::snapshot`]) — drop it promptly. The view does not
+    /// observe batches published after it was taken; take a fresh one
+    /// for fresh data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`mod_alloc::MAX_READERS`] views are live at
+    /// once.
+    pub fn snapshot(&self) -> SnapshotView<'_> {
+        let inner = &*self.inner;
+        let (slot, pinned) = inner.registry.pin();
+        // SAFETY: the pointer was published by `SnapPtr::swap` (or
+        // `new`) and stays alive while any reader is pinned at an epoch
+        // ≤ its own: the swing-before-advance publication order means
+        // this load observes an image of epoch ≥ `pinned`, and the
+        // epoch gate in `reclaim_locked` keeps such images (and every
+        // chain they reach) alive until our slot unpins.
+        let snap = unsafe { &*inner.snap.load() };
+        debug_assert!(
+            snap.epoch >= pinned,
+            "snapshot epoch {} older than pinned epoch {pinned}",
+            snap.epoch
+        );
+        SnapshotView::new(snap, &inner.read_nv, &inner.registry, slot)
+    }
+
+    /// The epoch of the most recently published snapshot (0 before the
+    /// first committed batch; bumped once per committed batch and once
+    /// per [`SharedModHeap::setup`]).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.inner.registry.current()
+    }
+
+    /// Number of currently live (pinned) snapshot views — observability
+    /// for reclamation stalls: limbo only drains past the oldest pin.
+    pub fn live_reader_pins(&self) -> usize {
+        self.inner.registry.live_pins()
+    }
+
+    /// Installs a hook that `commit_locked` runs between the directory
+    /// swing and the snapshot publication — the race-window tests pin
+    /// readers exactly there.
+    #[cfg(test)]
+    pub(crate) fn set_mid_commit_hook(&self, f: impl Fn() + Send + Sync + 'static) {
+        *relock(&self.inner.mid_commit_hook.0) = Some(Box::new(f));
     }
 
     /// Pipeline counters — read lock-free from atomics, so the bench
@@ -1146,7 +1433,12 @@ impl SharedModHeap {
     pub fn quiesce(&self) {
         let mut st = self.inner.global.lock().unwrap();
         self.inner.commit_locked(&mut st);
+        // Epoch-clear limbo chains rejoin the deferral queue so the
+        // quiesce fence frees them; chains a live view can still reach
+        // stay in limbo until their readers unpin.
+        self.inner.reinject_unpinned(&mut st);
         st.heap.quiesce();
+        self.inner.prune_old_snaps(&mut st);
     }
 
     /// Takes a crash image of the pool *as is* — staged-but-uncommitted
@@ -1176,6 +1468,15 @@ impl SharedModHeap {
             // leaves its shard mutex poisoned but its state consistent.
             let ctx = shard.into_inner().unwrap_or_else(PoisonError::into_inner);
             state.heap.nv_mut().absorb_worker(ctx.nv);
+        }
+        // Sole owner now, so no snapshot view is live (views borrow the
+        // handle this call consumed). Chains still in epoch limbo go
+        // back onto the single-owner deferral queue, to be freed at the
+        // next fence (`close`/`quiesce`).
+        for b in state.limbo.drain(..) {
+            for v in b.versions {
+                state.heap.defer_release(v);
+            }
         }
         state.heap
     }

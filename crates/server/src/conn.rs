@@ -75,6 +75,23 @@ pub(crate) fn serve_conn(ctx: &ConnCtx, mut stream: TcpStream) {
                 let reply = match Command::parse(&tokens) {
                     Err(msg) => Reply::Err(msg),
                     Ok(Command::Ping) => Reply::Pong,
+                    // Plain reads with no write in flight in this window
+                    // are served from the latest published snapshot:
+                    // wait-free, off the commit pipeline entirely (no
+                    // lane, no handoff push, no fence). Once a write has
+                    // staged, reads rejoin the pipeline so the window
+                    // keeps read-your-writes; sessioned reads always take
+                    // the pipeline (their reply must be memoized in a
+                    // FASE). Writes of *earlier* windows are covered:
+                    // their snapshot published before their reply was
+                    // flushed, so a client that saw an ack sees its write
+                    // in every later snapshot.
+                    Ok(Command::Get { ref key }) if last_ticket.is_none() => {
+                        ctx.roots.get_from_snapshot(&ctx.heap.snapshot(), key)
+                    }
+                    Ok(Command::RPeek) if last_ticket.is_none() => {
+                        ctx.roots.rpeek_from_snapshot(&ctx.heap.snapshot())
+                    }
                     Ok(cmd) => {
                         match ctx
                             .heap

@@ -37,7 +37,7 @@
 //! and lose an update or double-apply a session.
 
 use crate::proto::{Command, Reply};
-use mod_core::{DurableMap, DurableQueue, DurableVector, Fase, ModHeap, OpenError};
+use mod_core::{DurableMap, DurableQueue, DurableVector, Fase, ModHeap, OpenError, SnapshotView};
 
 /// Handles to the five typed server roots (cheap to copy; all state is
 /// in the heap).
@@ -149,6 +149,22 @@ impl ServerRoots {
                 self.list_blobs.insert_in(tx, &id, value);
                 Reply::Int(id as i64)
             }
+            Command::RPeek => {
+                // Lane-held read pair: the front id and its payload must
+                // come from one list state, so both lanes are taken in
+                // root order before either read.
+                self.list_ids.touch_in(tx);
+                match self.list_ids.front_in(tx) {
+                    None => Reply::Value(None),
+                    Some(id) => {
+                        self.list_blobs.touch_in(tx);
+                        match self.list_blobs.get_in(tx, &id) {
+                            Some(b) => Reply::Value(Some(b)),
+                            None => Reply::Err("ERR list id without payload".into()),
+                        }
+                    }
+                }
+            }
             Command::RPop => match self.list_ids.dequeue_in(tx) {
                 None => Reply::Value(None),
                 Some(id) => {
@@ -162,6 +178,27 @@ impl ServerRoots {
                 }
             },
             Command::Session { .. } => Reply::Err("ERR SESSION cannot nest".into()),
+        }
+    }
+
+    /// Answers a `GET` from a pinned snapshot view — wait-free: no
+    /// staging lanes, no handoff push, no fence. The view is one
+    /// batch-atomic image, so the reply can never mix commits.
+    pub fn get_from_snapshot(&self, view: &SnapshotView<'_>, key: &Vec<u8>) -> Reply {
+        Reply::Value(view.map_get(&self.kv, key))
+    }
+
+    /// Answers an `RPEEK` from a pinned snapshot view. The front id and
+    /// its payload come from the same epoch by construction — the
+    /// cross-root consistency the pipelined path needs two lane holds
+    /// for is free here.
+    pub fn rpeek_from_snapshot(&self, view: &SnapshotView<'_>) -> Reply {
+        match view.queue_front(&self.list_ids) {
+            None => Reply::Value(None),
+            Some(id) => match view.map_get(&self.list_blobs, &id) {
+                Some(b) => Reply::Value(Some(b)),
+                None => Reply::Err("ERR list id without payload".into()),
+            },
         }
     }
 
@@ -319,6 +356,86 @@ mod tests {
                 }
             ),
             Reply::Int(2)
+        );
+    }
+
+    #[test]
+    fn rpeek_reads_without_removing() {
+        let (mut h, r) = heap();
+        run(
+            &mut h,
+            &r,
+            Command::LPush {
+                value: b"a".to_vec(),
+            },
+        );
+        run(
+            &mut h,
+            &r,
+            Command::LPush {
+                value: b"b".to_vec(),
+            },
+        );
+        let fences = h.nv().pm().stats().fences;
+        assert_eq!(
+            run(&mut h, &r, Command::RPeek),
+            Reply::Value(Some(b"a".to_vec()))
+        );
+        assert_eq!(
+            run(&mut h, &r, Command::RPeek),
+            Reply::Value(Some(b"a".to_vec())),
+            "peek does not consume"
+        );
+        assert_eq!(
+            h.nv().pm().stats().fences,
+            fences,
+            "RPEEK stages nothing and pays no ordering point"
+        );
+        assert_eq!(
+            run(&mut h, &r, Command::RPop),
+            Reply::Value(Some(b"a".to_vec()))
+        );
+        assert_eq!(
+            run(&mut h, &r, Command::RPeek),
+            Reply::Value(Some(b"b".to_vec()))
+        );
+        run(&mut h, &r, Command::RPop);
+        assert_eq!(run(&mut h, &r, Command::RPeek), Reply::Value(None));
+    }
+
+    #[test]
+    fn snapshot_helpers_serve_published_state() {
+        use mod_core::SharedModHeap;
+        let sh = SharedModHeap::create(Pmem::new(PmemConfig::testing()), 1);
+        let r = sh.setup(ServerRoots::create);
+        sh.fase(0, |tx| {
+            r.execute_in(
+                tx,
+                &Command::Set {
+                    key: b"k".to_vec(),
+                    value: b"v".to_vec(),
+                },
+            );
+            r.execute_in(
+                tx,
+                &Command::LPush {
+                    value: b"job".to_vec(),
+                },
+            )
+        });
+        sh.flush();
+        let view = sh.snapshot();
+        assert_eq!(
+            r.get_from_snapshot(&view, &b"k".to_vec()),
+            Reply::Value(Some(b"v".to_vec()))
+        );
+        assert_eq!(
+            r.get_from_snapshot(&view, &b"absent".to_vec()),
+            Reply::Value(None)
+        );
+        assert_eq!(
+            r.rpeek_from_snapshot(&view),
+            Reply::Value(Some(b"job".to_vec()))
         );
     }
 

@@ -116,6 +116,9 @@ pub enum Command {
     },
     /// Pops the oldest list element; replies the value or nil.
     RPop,
+    /// Reads the oldest list element without removing it; replies the
+    /// value or nil. Read-only: eligible for snapshot serving.
+    RPeek,
     /// Exactly-once envelope: `(client, seq)` must be the session's next
     /// sequence number. A retry of the last applied `seq` returns the
     /// memoized reply without re-executing `inner`.
@@ -140,6 +143,7 @@ impl Command {
             Command::Incr { key } => vec![b"INCR".to_vec(), key.clone()],
             Command::LPush { value } => vec![b"LPUSH".to_vec(), value.clone()],
             Command::RPop => vec![b"RPOP".to_vec()],
+            Command::RPeek => vec![b"RPEEK".to_vec()],
             Command::Session { client, seq, inner } => {
                 let mut t = vec![
                     b"SESSION".to_vec(),
@@ -199,6 +203,7 @@ impl Command {
                 value: tokens[1].clone(),
             }),
             b"RPOP" => arity(1).map(|()| Command::RPop),
+            b"RPEEK" => arity(1).map(|()| Command::RPeek),
             b"SESSION" => {
                 if tokens.len() < 4 {
                     return Err("ERR SESSION needs <client> <seq> <command...>".into());
@@ -576,6 +581,7 @@ mod tests {
             value: b"job".to_vec(),
         });
         roundtrip(Command::RPop);
+        roundtrip(Command::RPeek);
         roundtrip(Command::Session {
             client: u64::MAX,
             seq: 1,

@@ -24,12 +24,16 @@ pub mod concurrent;
 pub mod graph;
 pub mod memcached;
 pub mod micro;
+pub mod read_heavy;
 pub mod report;
 pub mod session;
 pub mod spec;
 pub mod vacation;
 
 pub use concurrent::{run_host, run_pipelined, ConcurrencyConfig, ConcurrencyReport, HostReport};
+pub use read_heavy::{
+    run_host_readers, run_sim as run_read_heavy, ReadHeavyConfig, ReadHeavyReport, ReadHostReport,
+};
 pub use report::{OpProfile, RunReport};
 pub use session::{open_session, run_ops, verify_session, Session, SessionRoots};
 pub use spec::{ScaleConfig, System, Workload, WorkloadRng};
