@@ -1,9 +1,10 @@
 //! The persistent heap: allocation, deallocation, root slots and the
 //! volatile reference-count table.
 
+use crate::annex::RootAnnex;
 use crate::layout::{
-    class_index, class_size, root_slot_offset, BLOCK_MAGIC, HEADER_BYTES, HEAP_BASE, MIN_BLOCK,
-    POOL_MAGIC, SIZE_CLASSES,
+    class_index, class_size, is_volatile_shape, root_slot_offset, volatile_class_size, BLOCK_MAGIC,
+    HEADER_BYTES, HEAP_BASE, MIN_BLOCK, POOL_MAGIC, SIZE_CLASSES,
 };
 use crate::recovery::MarkState;
 use crate::worker::{AllocDelta, SplitState, StagedAllocEffects, WorkerMode};
@@ -73,6 +74,16 @@ pub struct NvHeap {
     /// Commit-side view of a worker split (this heap issued
     /// [`NvHeap::split_workers`]).
     split: Option<SplitState>,
+    /// Depth of nested [`NvHeap::begin_volatile`] scopes: while > 0,
+    /// allocations land in the volatile node cache.
+    volatile_depth: u32,
+    /// Free lists for volatile-shaped blocks (64-aligned, whole-line
+    /// footprint; see [`crate::layout::is_volatile_shape`]), keyed by
+    /// exact class size.
+    volatile_free: HashMap<u64, Vec<u64>>,
+    /// Volatile heads of hybrid roots, shared by every heap handle over
+    /// this pool (see [`RootAnnex`]).
+    annex: Arc<RootAnnex>,
     pub(crate) mark: Option<MarkState>,
 }
 
@@ -100,6 +111,9 @@ impl NvHeap {
             active_shard: 0,
             worker: None,
             split: None,
+            volatile_depth: 0,
+            volatile_free: HashMap::new(),
+            annex: Arc::new(RootAnnex::new()),
             mark: recovering.then(MarkState::default),
         }
     }
@@ -112,7 +126,9 @@ impl NvHeap {
     /// this heap's allocator state. Callers must only invoke `&self`
     /// peek methods on it.
     pub fn read_view(&self) -> NvHeap {
-        NvHeap::from_pool(self.pm.fork_handle(), false)
+        let mut view = NvHeap::from_pool(self.pm.fork_handle(), false);
+        view.annex = Arc::clone(&self.annex);
+        view
     }
 
     /// Formats a fresh pool: writes the pool header, zeroes the root
@@ -350,6 +366,7 @@ impl NvHeap {
                 // point it at the capacity so exhaustion panics loudly
                 // instead of clobbering the pool.
                 w.bump = self.pm.capacity();
+                w.annex = Arc::clone(&self.annex);
                 w.shards = vec![ShardAlloc {
                     free_by_class: vec![Vec::new(); SIZE_CLASSES.len()],
                     start,
@@ -493,14 +510,12 @@ impl NvHeap {
         for (idx, list) in shard.free_by_class.into_iter().enumerate() {
             self.free_by_class[idx].extend(list);
         }
+        for (class, list) in w.volatile_free.drain() {
+            self.volatile_free.entry(class).or_default().extend(list);
+        }
         for hdr in bin {
             let class = self.pm.peek_u64(hdr);
-            match class_index(class) {
-                Some(idx) => self.free_by_class[idx].push(hdr),
-                None => {
-                    self.regions.insert(hdr, HEADER_BYTES + class);
-                }
-            }
+            self.stash_free_block(hdr, class, false);
         }
         if shard.end - shard.bump >= MIN_BLOCK {
             self.regions.insert(shard.bump, shard.end - shard.bump);
@@ -516,7 +531,12 @@ impl NvHeap {
     fn free_untracked(&mut self, ptr: PmPtr) {
         let class = self.block_len(ptr);
         let hdr = ptr.addr() - HEADER_BYTES;
-        self.pm.trace_free(hdr, HEADER_BYTES + class);
+        let volatile = self.pm.is_volatile(hdr);
+        if volatile {
+            self.pm.clear_volatile(hdr, HEADER_BYTES + class);
+        } else {
+            self.pm.trace_free(hdr, HEADER_BYTES + class);
+        }
         let s = &mut self.shards[0];
         s.stats.allocs -= 1;
         s.stats.live_blocks -= 1;
@@ -526,11 +546,52 @@ impl NvHeap {
         self.stats.live_blocks -= 1;
         self.stats.live_bytes -= class;
         self.stats.cumulative_alloc_bytes -= class;
-        if let Some(idx) = class_index(class) {
+        if volatile {
+            self.volatile_free.entry(class).or_default().push(hdr);
+        } else if let Some(idx) = class_index(class) {
             self.shards[0].free_by_class[idx].push(hdr);
         } else {
             self.regions.insert(hdr, HEADER_BYTES + class);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Volatile node cache ("Don't Persist All" hybrid roots)
+    // ------------------------------------------------------------------
+
+    /// Enters a volatile allocation scope: until the matching
+    /// [`NvHeap::end_volatile`], every [`NvHeap::alloc`] produces a
+    /// *volatile node-cache block* — 64-byte aligned with a whole-line
+    /// footprint, its lines marked volatile on the pool so stores,
+    /// flushes and journaling are all elided (see
+    /// [`mod_pmem::Pmem::mark_volatile`]). Scopes nest.
+    pub fn begin_volatile(&mut self) {
+        self.volatile_depth += 1;
+    }
+
+    /// Leaves a volatile allocation scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn end_volatile(&mut self) {
+        assert!(
+            self.volatile_depth > 0,
+            "end_volatile without begin_volatile"
+        );
+        self.volatile_depth -= 1;
+    }
+
+    /// Whether a volatile allocation scope is open.
+    pub fn in_volatile(&self) -> bool {
+        self.volatile_depth > 0
+    }
+
+    /// The pool's shared volatile root annex (committed volatile heads
+    /// of hybrid roots; one instance per pool, cloned into every worker
+    /// heap and read view).
+    pub fn annex(&self) -> &Arc<RootAnnex> {
+        &self.annex
     }
 
     // ------------------------------------------------------------------
@@ -547,13 +608,30 @@ impl NvHeap {
     /// Panics on pool exhaustion, zero-size requests, or in recovery mode.
     pub fn alloc(&mut self, len: u64) -> PmPtr {
         self.assert_ready();
-        let class = class_size(len);
-        let hdr = self.take_block(class);
+        let volatile = self.volatile_depth > 0;
+        let class = if volatile {
+            volatile_class_size(len)
+        } else {
+            class_size(len)
+        };
+        let hdr = if volatile {
+            self.take_block_volatile(class)
+        } else {
+            self.take_block(class)
+        };
         let payload = hdr + HEADER_BYTES;
-        self.pm.trace_alloc(hdr, HEADER_BYTES + class);
+        if volatile {
+            // Mark before the header store so nothing below charges the
+            // model: a volatile node block is DRAM state, not simulated
+            // PM traffic (and not §5.4 trace material either).
+            self.pm.mark_volatile(hdr, HEADER_BYTES + class);
+        } else {
+            self.pm.trace_alloc(hdr, HEADER_BYTES + class);
+            // 15 ns models nvm_malloc's bin bookkeeping.
+            self.pm.charge_ns(15.0);
+        }
         // Header: [class size][magic ^ class] — integrity-checkable at
-        // recovery. 15 ns models nvm_malloc's bin bookkeeping.
-        self.pm.charge_ns(15.0);
+        // recovery.
         self.pm.write_u64(hdr, class);
         self.pm.write_u64(hdr + 8, BLOCK_MAGIC ^ class);
         self.rc.insert(payload, 1);
@@ -599,12 +677,7 @@ impl NvHeap {
             if !returned.is_empty() {
                 for hdr in returned {
                     let c = self.pm.peek_u64(hdr);
-                    match class_index(c) {
-                        Some(idx) => self.shards[0].free_by_class[idx].push(hdr),
-                        None => {
-                            self.regions.insert(hdr, HEADER_BYTES + c);
-                        }
-                    }
+                    self.stash_free_block(hdr, c, true);
                 }
                 if let Some(idx) = class_index(class) {
                     if let Some(hdr) = self.shards[0].free_by_class[idx].pop() {
@@ -617,6 +690,12 @@ impl NvHeap {
             if let Some(hdr) = self.free_by_class[idx].pop() {
                 return hdr;
             }
+        }
+        // A volatile-shaped block serves a persistent request of the same
+        // class fine (its alignment is harmless; its marks were cleared
+        // at free time).
+        if let Some(hdr) = self.volatile_free.get_mut(&class).and_then(|l| l.pop()) {
+            return hdr;
         }
         // First-fit from recovered regions.
         if let Some((&start, &rlen)) = self.regions.iter().find(|&(_, &rlen)| rlen >= need) {
@@ -656,6 +735,83 @@ impl NvHeap {
         hdr
     }
 
+    /// Takes a volatile-shaped block: 64-byte aligned header, whole-line
+    /// footprint. Recycles from the volatile free lists first, then bump
+    /// allocates with the alignment gap (if any) returned to the region
+    /// list.
+    fn take_block_volatile(&mut self, class: u64) -> u64 {
+        let need = HEADER_BYTES + class;
+        debug_assert_eq!(need % 64, 0);
+        if let Some(hdr) = self.volatile_free.get_mut(&class).and_then(|l| l.pop()) {
+            return hdr;
+        }
+        if self.shards.get(self.active_shard).is_some() {
+            let shard = &self.shards[self.active_shard];
+            let aligned = (shard.bump + 63) & !63;
+            if aligned + need <= shard.end {
+                let (old_bump, gap) = (shard.bump, aligned - shard.bump);
+                let shard = &mut self.shards[self.active_shard];
+                shard.bump = aligned + need;
+                if gap >= MIN_BLOCK {
+                    self.regions.insert(old_bump, gap);
+                }
+                return aligned;
+            }
+        }
+        if let Some((bins, home)) = self.worker.as_ref().map(|w| (Arc::clone(&w.bins), w.home)) {
+            // Drain the return bin (blocks of ours the commit stage
+            // freed) and retry: recycled node blocks come back this way.
+            let returned = std::mem::take(&mut *bins[home].lock().unwrap());
+            if !returned.is_empty() {
+                for hdr in returned {
+                    let c = self.pm.peek_u64(hdr);
+                    self.stash_free_block(hdr, c, true);
+                }
+                if let Some(hdr) = self.volatile_free.get_mut(&class).and_then(|l| l.pop()) {
+                    return hdr;
+                }
+            }
+        }
+        assert!(
+            self.worker.is_none(),
+            "worker shard arena exhausted ({need} bytes requested, volatile): \
+             grow the pool or reduce per-worker churn"
+        );
+        let aligned = (self.bump + 63) & !63;
+        assert!(
+            aligned + need <= self.pm.capacity(),
+            "persistent pool exhausted: bump {aligned:#x} + {need} > capacity {:#x}",
+            self.pm.capacity()
+        );
+        let gap = aligned - self.bump;
+        if gap >= MIN_BLOCK {
+            self.regions.insert(self.bump, gap);
+        }
+        self.bump = aligned + need;
+        aligned
+    }
+
+    /// Routes a freed (or recycled-from-bin) block into the right free
+    /// pool: volatile-shaped blocks into the volatile lists, exact
+    /// classes into the shard/global segregated lists, everything else
+    /// into the region map. `to_shard` prefers the worker's own shard
+    /// lists for class blocks.
+    fn stash_free_block(&mut self, hdr: u64, class: u64, to_shard: bool) {
+        if is_volatile_shape(hdr, class) {
+            self.volatile_free.entry(class).or_default().push(hdr);
+            return;
+        }
+        match class_index(class) {
+            Some(idx) if to_shard && !self.shards.is_empty() => {
+                self.shards[0].free_by_class[idx].push(hdr)
+            }
+            Some(idx) => self.free_by_class[idx].push(hdr),
+            None => {
+                self.regions.insert(hdr, HEADER_BYTES + class);
+            }
+        }
+    }
+
     /// Frees the block at `ptr` (payload pointer), returning its payload
     /// to the free lists. Removes any refcount entry.
     ///
@@ -684,12 +840,20 @@ impl NvHeap {
         }
         let class = self.block_len(ptr);
         let hdr = ptr.addr() - HEADER_BYTES;
+        // A volatile node-cache block frees silently: clear its marks
+        // (the space must not inherit volatility when recycled) and skip
+        // the charge/trace a persistent free pays.
+        let volatile = self.pm.is_volatile(hdr);
         if let Some(s) = self.split.as_ref().and_then(|sp| sp.arena_of(hdr)) {
             // Commit-side free of a block inside a checked-out worker
             // arena: bookkeeping here, the space returns via the owner's
-            // bin.
-            self.pm.trace_free(hdr, HEADER_BYTES + class);
-            self.pm.charge_ns(10.0);
+            // bin (the owner re-routes it by shape when draining).
+            if volatile {
+                self.pm.clear_volatile(hdr, HEADER_BYTES + class);
+            } else {
+                self.pm.trace_free(hdr, HEADER_BYTES + class);
+                self.pm.charge_ns(10.0);
+            }
             self.rc.remove(&ptr.addr());
             self.stats.frees += 1;
             self.stats.live_blocks -= 1;
@@ -698,22 +862,31 @@ impl NvHeap {
             split.bins[s].lock().unwrap().push(hdr);
             return;
         }
-        self.pm.trace_free(hdr, HEADER_BYTES + class);
-        self.pm.charge_ns(10.0);
+        if volatile {
+            self.pm.clear_volatile(hdr, HEADER_BYTES + class);
+        } else {
+            self.pm.trace_free(hdr, HEADER_BYTES + class);
+            self.pm.charge_ns(10.0);
+        }
         self.rc.remove(&ptr.addr());
-        // Blocks return to the free lists of the shard whose arena owns
-        // them (locality: that shard's allocations reuse them); blocks
-        // predating shard configuration go back to the shared lists.
-        let owner = self.shard_of_addr(hdr);
-        let list = match (owner, class_index(class)) {
-            (Some(s), Some(idx)) => Some(&mut self.shards[s].free_by_class[idx]),
-            (None, Some(idx)) => Some(&mut self.free_by_class[idx]),
-            (_, None) => None,
-        };
-        match list {
-            Some(l) => l.push(hdr),
-            None => {
-                self.regions.insert(hdr, HEADER_BYTES + class);
+        if volatile {
+            self.volatile_free.entry(class).or_default().push(hdr);
+        } else {
+            // Blocks return to the free lists of the shard whose arena
+            // owns them (locality: that shard's allocations reuse them);
+            // blocks predating shard configuration go back to the shared
+            // lists.
+            let owner = self.shard_of_addr(hdr);
+            let list = match (owner, class_index(class)) {
+                (Some(s), Some(idx)) => Some(&mut self.shards[s].free_by_class[idx]),
+                (None, Some(idx)) => Some(&mut self.free_by_class[idx]),
+                (_, None) => None,
+            };
+            match list {
+                Some(l) => l.push(hdr),
+                None => {
+                    self.regions.insert(hdr, HEADER_BYTES + class);
+                }
             }
         }
         self.stats.frees += 1;
@@ -977,6 +1150,120 @@ mod tests {
         h.free(a);
         let b = h.alloc(100);
         assert_eq!(a, b, "same class should reuse the freed block");
+    }
+
+    #[test]
+    fn volatile_alloc_owns_whole_lines_and_is_uncharged() {
+        let mut h = heap();
+        let t0 = h.pm().clock().now_ns();
+        let flushes0 = h.pm().stats().flushes;
+        h.begin_volatile();
+        let a = h.alloc(24);
+        h.end_volatile();
+        let hdr = a.addr() - HEADER_BYTES;
+        assert_eq!(hdr % 64, 0, "volatile blocks are line-aligned");
+        assert_eq!((HEADER_BYTES + h.block_len(a)) % 64, 0);
+        assert!(h.pm().is_volatile(hdr));
+        assert!(h.pm().is_volatile(a.addr()));
+        assert_eq!(
+            h.pm().clock().now_ns(),
+            t0,
+            "volatile alloc charges nothing"
+        );
+        h.write_u64(a.addr(), 9);
+        h.flush_block(a);
+        h.sfence();
+        assert_eq!(h.pm().stats().flushes, flushes0, "no new real flushes");
+        assert!(h.pm().stats().flushes_avoided > 0);
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::PersistAll);
+        assert_eq!(
+            img.peek_u64(a.addr()),
+            0,
+            "node cache dies with the process"
+        );
+    }
+
+    #[test]
+    fn volatile_free_recycles_and_clears_marks() {
+        let mut h = heap();
+        h.begin_volatile();
+        let a = h.alloc(24);
+        h.end_volatile();
+        let hdr = a.addr() - HEADER_BYTES;
+        h.free(a);
+        assert!(!h.pm().is_volatile(hdr), "marks cleared on free");
+        h.begin_volatile();
+        let b = h.alloc(30); // same volatile class (48)
+        h.end_volatile();
+        assert_eq!(a, b, "volatile free list recycles the block");
+        assert!(h.pm().is_volatile(hdr), "re-marked on reuse");
+        h.free(b);
+        // And a persistent alloc of the same class may also take it.
+        let c = h.alloc(48);
+        assert_eq!(c, a);
+        assert!(!h.pm().is_volatile(hdr), "persistent reuse is not volatile");
+    }
+
+    #[test]
+    fn volatile_and_persistent_blocks_never_share_a_line() {
+        let mut h = heap();
+        h.begin_volatile();
+        let v = h.alloc(10);
+        h.end_volatile();
+        let p = h.alloc(16);
+        h.write_u64(p.addr(), 7);
+        h.flush_block(p);
+        h.sfence();
+        let img = h.pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(p.addr()), 7, "neighbor persists normally");
+        let vh = v.addr() - HEADER_BYTES;
+        let ph = p.addr() - HEADER_BYTES;
+        assert_ne!(vh / 64, (ph + HEADER_BYTES + 15) / 64, "disjoint lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "end_volatile without begin_volatile")]
+    fn unbalanced_end_volatile_panics() {
+        let mut h = heap();
+        h.end_volatile();
+    }
+
+    #[test]
+    fn worker_volatile_blocks_round_trip_through_commit_free() {
+        let mut owner = heap();
+        let mut workers = owner.split_workers(2);
+        let mut w0 = workers.remove(0);
+        w0.begin_volatile();
+        let v = w0.alloc(24);
+        w0.end_volatile();
+        assert!(
+            owner.pm().is_volatile(v.addr()),
+            "marks shared with the pool"
+        );
+        let fx = w0.take_staged_effects();
+        owner.apply_staged_effects(fx);
+        // Commit stage frees the published-then-superseded volatile node.
+        owner.free(v);
+        assert!(!owner.pm().is_volatile(v.addr()));
+        // The space returns via the owner's bin on its next drain.
+        w0.begin_volatile();
+        let v2 = w0.alloc(24);
+        let mut found = v2 == v;
+        // The bin drain only fires on arena exhaustion; loop until the
+        // recycled block resurfaces or the arena provides fresh space.
+        for _ in 0..4096 {
+            if found {
+                break;
+            }
+            let n = w0.alloc(24);
+            found = n == v;
+        }
+        w0.end_volatile();
+        assert!(found || w0.pm().is_volatile(v2.addr()));
+        for w in workers {
+            owner.absorb_worker(w);
+        }
+        owner.absorb_worker(w0);
     }
 
     #[test]

@@ -65,6 +65,31 @@ pub fn class_index(class: u64) -> Option<usize> {
     SIZE_CLASSES.iter().position(|&c| c == class)
 }
 
+/// The payload size allocated for a *volatile node-cache* request of
+/// `len` bytes: header + payload rounded up to whole 64-byte cachelines
+/// (classes 48, 112, 176, …). Heap blocks are only 16-byte aligned, so a
+/// cacheline can straddle two blocks; a volatile block must own its
+/// lines exclusively or marking them volatile would swallow a
+/// neighboring persistent block's stores.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn volatile_class_size(len: u64) -> u64 {
+    assert!(len > 0, "zero-sized volatile allocation");
+    (HEADER_BYTES + len).div_ceil(64) * 64 - HEADER_BYTES
+}
+
+/// Whether a block at header address `hdr` with payload class `class`
+/// has the exclusive-cacheline footprint of a volatile node-cache block
+/// (see [`volatile_class_size`]). Shape is geometry, not state: freed
+/// volatile blocks keep their shape and are recycled for the next
+/// volatile allocation.
+#[inline]
+pub fn is_volatile_shape(hdr: u64, class: u64) -> bool {
+    hdr % 64 == 0 && (HEADER_BYTES + class) % 64 == 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +128,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn root_slot_bounds_checked() {
         root_slot_offset(N_ROOTS);
+    }
+
+    #[test]
+    fn volatile_classes_cover_whole_lines() {
+        for len in [1u64, 16, 47, 48, 49, 100, 1000, 4096] {
+            let c = volatile_class_size(len);
+            assert!(c >= len);
+            assert_eq!((HEADER_BYTES + c) % 64, 0, "len {len} -> class {c}");
+            assert!(is_volatile_shape(64, c));
+            assert!(
+                !is_volatile_shape(16, c),
+                "unaligned start is not the shape"
+            );
+        }
+        assert_eq!(volatile_class_size(1), 48);
+        assert_eq!(volatile_class_size(48), 48);
+        assert_eq!(volatile_class_size(49), 112);
     }
 
     #[test]

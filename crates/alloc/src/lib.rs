@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod annex;
 pub mod epoch;
 pub mod heap;
 pub mod layout;
@@ -36,9 +37,10 @@ pub mod read;
 pub mod recovery;
 pub mod worker;
 
+pub use annex::RootAnnex;
 pub use epoch::{EpochRegistry, MAX_READERS, UNPINNED};
 pub use heap::{AllocStats, NvHeap};
-pub use layout::{class_size, HEADER_BYTES, HEAP_BASE, N_ROOTS, POOL_MAGIC};
+pub use layout::{class_size, volatile_class_size, HEADER_BYTES, HEAP_BASE, N_ROOTS, POOL_MAGIC};
 pub use read::HeapRead;
 pub use recovery::RecoveryReport;
 pub use worker::{AllocDelta, StagedAllocEffects};

@@ -51,7 +51,7 @@
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR8.json`; CI passes `--out "$BENCH_OUT"`):
+//! * `--out` (default `BENCH_PR9.json`; CI passes `--out "$BENCH_OUT"`):
 //!   where to write this run's metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
@@ -135,6 +135,72 @@ fn collect_metrics() -> Metrics {
         "pipeline8.batch_occupancy_ratio".to_string(),
         eight.mean_batch() / eight.threads as f64,
     );
+
+    eprintln!("  bench_smoke: hybrid-policy ablation (map micro, file-backed memcached mix) ...");
+    {
+        use mod_core::{DurableMap, ModHeap, PersistPolicy};
+        use mod_workloads::WorkloadRng;
+        // Deterministic sim half — gated: the hybrid map run's flushes/op
+        // must stay low (the point of "Don't Persist All"), and any drift
+        // in the volatile-node accounting shows up here bit-exactly.
+        let hyb = mod_workloads::run_map_hybrid(&scale);
+        m.insert(
+            "hybrid.flushes_per_op".to_string(),
+            hyb.flushes as f64 / hyb.ops as f64,
+        );
+        m.insert("info.hybrid.sim_ns_per_op".to_string(), hyb.ns_per_op());
+
+        // File-backed half — ungated info keys: the memcached mix
+        // (16-byte keys, 512-byte values, 95 % sets) against a real pool,
+        // recording flush and journal traffic per op plus the host time
+        // the reopen spent rebuilding the volatile index from the spine.
+        const HYBRID_OPS: u64 = 1_000;
+        let mut path = std::env::temp_dir();
+        path.push(format!("mod_bench_hybrid_{}.pool", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = mod_pmem::PmemConfig {
+            capacity: 1 << 26,
+            crash_sim: false,
+            ..mod_pmem::PmemConfig::default()
+        };
+        let mut heap = ModHeap::create_file(&path, cfg.clone()).expect("hybrid pool");
+        let map: DurableMap<[u8; 16], Vec<u8>> =
+            heap.root(0).policy(PersistPolicy::Hybrid).create();
+        let mut rng = WorkloadRng::new(0xD0_4A11);
+        for op in 0..HYBRID_OPS {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&rng.below(256).to_le_bytes());
+            if rng.percent(95) {
+                let mut v = vec![0u8; 512];
+                v[..8].copy_from_slice(&op.to_le_bytes());
+                map.insert(&mut heap, &key, &v);
+            } else {
+                let _ = map.get(&heap, &key);
+            }
+        }
+        heap.quiesce();
+        let stats = heap.nv().pm().stats().clone();
+        let backend = heap.nv().pm().backend_stats();
+        m.insert(
+            "info.hybrid.flushes_per_op".to_string(),
+            stats.flushes as f64 / HYBRID_OPS as f64,
+        );
+        m.insert(
+            "info.hybrid.flushes_avoided_per_op".to_string(),
+            stats.flushes_avoided as f64 / HYBRID_OPS as f64,
+        );
+        m.insert(
+            "info.hybrid.journal_bytes_per_op".to_string(),
+            backend.journal_bytes as f64 / HYBRID_OPS as f64,
+        );
+        // Drop without a checkpoint (as a kill would): the reopen replays
+        // the journal and rebuilds the volatile index from the spine.
+        drop(heap);
+        let (h2, _report) = ModHeap::open_file(&path, cfg).expect("hybrid reopen");
+        m.insert("info.hybrid.rebuild_ns".to_string(), h2.rebuild_ns() as f64);
+        drop(h2);
+        let _ = std::fs::remove_file(&path);
+    }
 
     eprintln!("  bench_smoke: read-heavy 95/5 snapshot reads (deterministic) ...");
     {
@@ -415,7 +481,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR8.json");
+    let mut out = String::from("BENCH_PR9.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

@@ -28,12 +28,14 @@ use crate::codec::{
     codec_compatible, codec_word_elem, codec_word_fields, codec_word_kv, frames, push_frame,
     KeyRepr, PmKey, PmValue, PmWord,
 };
-use crate::erased::{DurableDs, RootKind};
+use crate::erased::{DurableDs, ErasedDs, RootKind};
 use crate::fase::Fase;
 use crate::heap::ModHeap;
 use crate::root::Root;
+use crate::spine::{self, PersistPolicy, SpineOp, SpineState};
 use mod_alloc::HeapRead;
 use mod_funcds::{PmMap, PmQueue, PmStack, PmVector};
+use mod_pmem::PmPtr;
 use std::marker::PhantomData;
 
 /// Why reattaching a typed wrapper to a directory index failed.
@@ -71,6 +73,20 @@ pub enum OpenError {
         /// The codec tag word derived from the wrapper's type parameters.
         expected: u64,
     },
+    /// The root was created under a different [`PersistPolicy`] than the
+    /// one requested. The policy is recorded durably in the directory
+    /// entry: a hybrid root's persistent image is a spine of op records,
+    /// not a full structure, so opening it as `Full` would traverse
+    /// records as trie nodes (and opening a full root as `Hybrid` would
+    /// replay trie nodes as records).
+    PolicyMismatch {
+        /// The requested directory index.
+        index: usize,
+        /// The policy the root was created under.
+        stored: PersistPolicy,
+        /// The policy the open requested.
+        requested: PersistPolicy,
+    },
 }
 
 impl std::fmt::Display for OpenError {
@@ -100,27 +116,58 @@ impl std::fmt::Display for OpenError {
                      but was opened expecting key/elem={ek} value={ev}"
                 )
             }
+            OpenError::PolicyMismatch {
+                index,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "root {index} was created with PersistPolicy::{stored:?}, \
+                 but was opened requesting PersistPolicy::{requested:?}"
+            ),
         }
     }
 }
 
 impl std::error::Error for OpenError {}
 
-/// Shared open path: kind check against the directory entry, then codec
-/// check against the persisted tag word.
+/// Shared open path: policy check (the directory entry's kind *is* the
+/// durable policy record — hybrid roots are stored as
+/// [`RootKind::Spine`]), then kind check, then codec check against the
+/// persisted tag word.
 fn open_checked<D: DurableDs>(
     heap: &ModHeap,
     index: usize,
     expected_codec: u64,
+    policy: PersistPolicy,
 ) -> Result<Root<D>, OpenError> {
     let entry = crate::root::peek_entry(heap.nv(), index).ok_or(OpenError::NoSuchRoot {
         index,
         roots: heap.root_count(),
     })?;
-    if entry.kind != D::KIND {
+    let stored_kind = match (policy, entry.kind) {
+        (PersistPolicy::Full, RootKind::Spine) => {
+            return Err(OpenError::PolicyMismatch {
+                index,
+                stored: PersistPolicy::Hybrid,
+                requested: PersistPolicy::Full,
+            });
+        }
+        (PersistPolicy::Full, k) => k,
+        (PersistPolicy::Hybrid, RootKind::Spine) => spine::logical_kind(heap.nv(), entry.root),
+        (PersistPolicy::Hybrid, k) if k == D::KIND => {
+            return Err(OpenError::PolicyMismatch {
+                index,
+                stored: PersistPolicy::Full,
+                requested: PersistPolicy::Hybrid,
+            });
+        }
+        (PersistPolicy::Hybrid, k) => k,
+    };
+    if stored_kind != D::KIND {
         return Err(OpenError::KindMismatch {
             index,
-            stored: entry.kind,
+            stored: stored_kind,
             expected: D::KIND,
         });
     }
@@ -133,6 +180,134 @@ fn open_checked<D: DurableDs>(
         });
     }
     Ok(Root::new(index))
+}
+
+/// Creates and publishes a hybrid root: an empty volatile index, a
+/// durable genesis snapshot record, and a directory entry of kind
+/// [`RootKind::Spine`] (the durable policy record). Returns the index.
+fn create_hybrid(heap: &mut ModHeap, logical: RootKind, codec: u64) -> usize {
+    let nv = heap.nv_mut();
+    nv.begin_volatile();
+    let v0 = match logical {
+        RootKind::Map => PmMap::empty(nv).root().addr(),
+        RootKind::Vector => PmVector::empty(nv).root().addr(),
+        RootKind::Stack => PmStack::empty(nv).root().addr(),
+        RootKind::Queue => PmQueue::empty(nv).root().addr(),
+        k => unreachable!("no hybrid form for {k:?}"),
+    };
+    nv.end_volatile();
+    let genesis = match logical {
+        RootKind::Map => SpineOp::Snapshot(SpineState::Map(Vec::new())),
+        _ => SpineOp::Snapshot(SpineState::Words(Vec::new())),
+    };
+    let rec = spine::store_record(heap.nv_mut(), PmPtr::NULL, logical, 0, &genesis);
+    let index = heap.publish_erased_tagged(
+        ErasedDs {
+            kind: RootKind::Spine,
+            root: rec,
+        },
+        codec,
+    );
+    heap.nv().annex().set(index, spine::pack_annex(logical, v0));
+    index
+}
+
+// ---------------------------------------------------------------------
+// Root builder (the unified constructor API)
+// ---------------------------------------------------------------------
+
+/// A typed wrapper that can be created and reopened through
+/// [`ModHeap::root`]'s builder: the five `Durable*` collections.
+pub trait DurableRoot: Sized {
+    /// Creates the structure under `policy`, publishing it as a new root
+    /// at the directory's next free index.
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self;
+
+    /// Reattaches to the root at `index`, checking kind, codec, and
+    /// persistence policy against the durable directory entry.
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError>;
+}
+
+/// Builder for opening or creating a typed root at one directory index —
+/// the one constructor path for all five `Durable*` wrappers:
+///
+/// ```
+/// use mod_core::{DurableMap, ModHeap, PersistPolicy};
+/// use mod_pmem::{Pmem, PmemConfig};
+///
+/// let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
+/// let map: DurableMap<u64, Vec<u8>> = heap
+///     .root(0)
+///     .policy(PersistPolicy::Hybrid)
+///     .open_or_create()
+///     .unwrap();
+/// map.insert(&mut heap, &7, &b"x".to_vec());
+/// ```
+#[derive(Debug)]
+pub struct RootBuilder<'h, D: DurableRoot> {
+    heap: &'h mut ModHeap,
+    index: usize,
+    policy: PersistPolicy,
+    _d: PhantomData<fn() -> D>,
+}
+
+impl ModHeap {
+    /// Starts opening or creating the typed root at directory `index`.
+    /// Defaults to [`PersistPolicy::Full`]; select hybrid persistence
+    /// with [`RootBuilder::policy`].
+    pub fn root<D: DurableRoot>(&mut self, index: usize) -> RootBuilder<'_, D> {
+        RootBuilder {
+            heap: self,
+            index,
+            policy: PersistPolicy::Full,
+            _d: PhantomData,
+        }
+    }
+}
+
+impl<D: DurableRoot> RootBuilder<'_, D> {
+    /// Selects the persistence policy (checked against the durable
+    /// directory entry on open, recorded in it on create).
+    pub fn policy(mut self, policy: PersistPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Reattaches to the existing root at this index.
+    pub fn open(self) -> Result<D, OpenError> {
+        D::open_with(self.heap, self.index, self.policy)
+    }
+
+    /// Opens the root if the index exists, creates it if the index is
+    /// the directory's next free slot, and fails with
+    /// [`OpenError::NoSuchRoot`] on a gap (a create there would land at
+    /// a different index than the one named).
+    pub fn open_or_create(self) -> Result<D, OpenError> {
+        let count = self.heap.root_count();
+        match self.index {
+            i if i < count => D::open_with(self.heap, i, self.policy),
+            i if i == count => Ok(D::create_with(self.heap, self.policy)),
+            i => Err(OpenError::NoSuchRoot {
+                index: i,
+                roots: count,
+            }),
+        }
+    }
+
+    /// Creates the root at this index, which must be the directory's
+    /// next free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not `heap.root_count()`.
+    pub fn create(self) -> D {
+        assert_eq!(
+            self.index,
+            self.heap.root_count(),
+            "create must target the directory's next free index"
+        );
+        D::create_with(self.heap, self.policy)
+    }
 }
 
 /// One map lookup through either read path (charged or peek).
@@ -170,6 +345,7 @@ pub(crate) fn lookup<V: PmValue>(cur: PmMap, heap: &mut HeapRead<'_>, repr: &Key
 /// byte keys) and `V` the value encoding; see [`crate::codec`].
 pub struct DurableMap<K: PmKey, V: PmValue> {
     root: Root<PmMap>,
+    policy: PersistPolicy,
     _kv: PhantomData<fn() -> (K, V)>,
 }
 
@@ -194,9 +370,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     /// Creates an empty map and publishes it as a new typed root, with
     /// the `K`/`V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
-        let m0 = PmMap::empty(heap.nv_mut());
-        let root = heap.publish_tagged(m0, Self::CODEC_WORD);
-        Self::from_root(root)
+        Self::create_with(heap, PersistPolicy::Full)
     }
 
     /// Reattaches to the map published at directory `index` (after
@@ -209,10 +383,10 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     ///
     /// # Panics
     ///
-    /// Panics on any [`OpenError`]; use [`DurableMap::try_open`] for a
-    /// recoverable result.
+    /// Panics on any [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        match Self::try_open(heap, index) {
+        match Self::open_with(heap, index, PersistPolicy::Full) {
             Ok(map) => map,
             Err(e) => panic!("{e}"),
         }
@@ -220,14 +394,16 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
 
     /// Reattaches to the map published at directory `index`, reporting
     /// kind and codec mismatches as a typed [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
-        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
+        Self::open_with(heap, index, PersistPolicy::Full)
     }
 
-    /// Wraps an already-opened typed root.
+    /// Wraps an already-opened typed root (full persistence).
     pub fn from_root(root: Root<PmMap>) -> Self {
         DurableMap {
             root,
+            policy: PersistPolicy::Full,
             _kv: PhantomData,
         }
     }
@@ -235,6 +411,36 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     /// The typed root this map is published under.
     pub fn root(&self) -> Root<PmMap> {
         self.root
+    }
+
+    /// The persistence policy this handle operates under.
+    pub fn policy(&self) -> PersistPolicy {
+        self.policy
+    }
+
+    /// The current substrate version under either policy: the published
+    /// trie root (full) or the committed volatile head (hybrid).
+    fn cur(&self, heap: &ModHeap) -> PmMap {
+        match self.policy {
+            PersistPolicy::Full => heap.current(self.root),
+            PersistPolicy::Hybrid => {
+                let (kind, addr) = heap
+                    .hybrid_head(self.root.index())
+                    .expect("hybrid map has no volatile head (pool not opened hybrid-aware?)");
+                debug_assert_eq!(kind, RootKind::Map);
+                PmMap::from_root(PmPtr::from_addr(addr))
+            }
+        }
+    }
+
+    /// The substrate version as an in-progress FASE sees it.
+    fn cur_in(&self, tx: &Fase<'_>) -> PmMap {
+        match self.policy {
+            PersistPolicy::Full => tx.current(self.root),
+            PersistPolicy::Hybrid => {
+                PmMap::from_root(PmPtr::from_addr(tx.hybrid_vhead(self.root.index())))
+            }
+        }
     }
 
     /// Failure-atomically inserts or updates `key` (one FASE).
@@ -245,6 +451,27 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     /// Stages an insert on an in-progress FASE.
     pub fn insert_in(&self, tx: &mut Fase<'_>, key: &K, value: &V) {
         let value = value.value_bytes();
+        if self.policy == PersistPolicy::Hybrid {
+            let index = self.root.index();
+            let vcur = PmMap::from_root(PmPtr::from_addr(tx.hybrid_current(index)));
+            let (key, val) = match key.repr() {
+                KeyRepr::Exact(w) => (w, value),
+                KeyRepr::Hashed { hash, bytes } => {
+                    let mut bucket = Vec::with_capacity(8 + bytes.len() + value.len());
+                    push_frame(&mut bucket, &bytes, &value);
+                    if let Some(old) = vcur.peek_get(tx.nv(), hash) {
+                        for (k, v) in frames(&old) {
+                            if k != bytes {
+                                push_frame(&mut bucket, k, v);
+                            }
+                        }
+                    }
+                    (hash, bucket)
+                }
+            };
+            tx.apply_hybrid(index, RootKind::Map, SpineOp::MapInsert { key, val });
+            return;
+        }
         match key.repr() {
             KeyRepr::Exact(w) => tx.update(self.root, |nv, m| m.insert(nv, w, &value)),
             KeyRepr::Hashed { hash, bytes } => tx.update(self.root, |nv, m| {
@@ -271,6 +498,42 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
 
     /// Stages a removal on an in-progress FASE.
     pub fn remove_in(&self, tx: &mut Fase<'_>, key: &K) -> bool {
+        if self.policy == PersistPolicy::Hybrid {
+            let index = self.root.index();
+            let vcur = PmMap::from_root(PmPtr::from_addr(tx.hybrid_current(index)));
+            let op = match key.repr() {
+                KeyRepr::Exact(w) => {
+                    if !vcur.peek_contains_key(tx.nv(), w) {
+                        return false;
+                    }
+                    SpineOp::MapRemove { key: w }
+                }
+                KeyRepr::Hashed { hash, bytes } => {
+                    let Some(old) = vcur.peek_get(tx.nv(), hash) else {
+                        return false;
+                    };
+                    if !frames(&old).any(|(k, _)| k == bytes) {
+                        return false;
+                    }
+                    let mut bucket = Vec::new();
+                    for (k, v) in frames(&old) {
+                        if k != bytes {
+                            push_frame(&mut bucket, k, v);
+                        }
+                    }
+                    if bucket.is_empty() {
+                        SpineOp::MapRemove { key: hash }
+                    } else {
+                        SpineOp::MapInsert {
+                            key: hash,
+                            val: bucket,
+                        }
+                    }
+                }
+            };
+            tx.apply_hybrid(index, RootKind::Map, op);
+            return true;
+        }
         match key.repr() {
             KeyRepr::Exact(w) => tx.update_with(self.root, |nv, m| m.remove(nv, w)),
             KeyRepr::Hashed { hash, bytes } => tx.update_with(self.root, |nv, m| {
@@ -297,12 +560,12 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
 
     /// Looks up `key`. Read-only: no flushes, no fences, no `&mut`.
     pub fn get(&self, heap: &ModHeap, key: &K) -> Option<V> {
-        lookup(heap.current(self.root), &mut heap.nv().into(), &key.repr())
+        lookup(self.cur(heap), &mut heap.nv().into(), &key.repr())
     }
 
     /// Looks up `key` as this FASE sees it (read-your-writes).
     pub fn get_in(&self, tx: &Fase<'_>, key: &K) -> Option<V> {
-        lookup(tx.current(self.root), &mut tx.nv().into(), &key.repr())
+        lookup(self.cur_in(tx), &mut tx.nv().into(), &key.repr())
     }
 
     /// Acquires this map's staging lane without staging an update
@@ -313,13 +576,18 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     /// `insert_in`, losing its update. Stages nothing — a FASE that only
     /// touches commits nothing and costs no ordering point.
     pub fn touch_in(&self, tx: &mut Fase<'_>) {
-        tx.update(self.root, |_, m| m);
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |_, m| m),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+            }
+        }
     }
 
     /// Whether `key` is present. Read-only.
     pub fn contains_key(&self, heap: &ModHeap, key: &K) -> bool {
         match key.repr() {
-            KeyRepr::Exact(w) => heap.current(self.root).peek_contains_key(heap.nv(), w),
+            KeyRepr::Exact(w) => self.cur(heap).peek_contains_key(heap.nv(), w),
             KeyRepr::Hashed { .. } => self.get(heap, key).is_some(),
         }
     }
@@ -328,7 +596,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     /// keys this scans the buckets (`O(n)`) because a rare 64-bit hash
     /// collision packs two entries into one substrate slot.
     pub fn len(&self, heap: &ModHeap) -> u64 {
-        let cur = heap.current(self.root);
+        let cur = self.cur(heap);
         if !K::EXACT {
             cur.peek_to_vec(heap.nv())
                 .iter()
@@ -341,7 +609,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
 
     /// Whether the map is empty. Read-only, `O(1)`.
     pub fn is_empty(&self, heap: &ModHeap) -> bool {
-        heap.current(self.root).peek_is_empty(heap.nv())
+        self.cur(heap).peek_is_empty(heap.nv())
     }
 
     /// Looks up `key` through the charged (instrumented) read path.
@@ -350,7 +618,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
         note = "use `DurableMap::get`, which takes `&ModHeap`"
     )]
     pub fn get_mut(&self, heap: &mut ModHeap, key: &K) -> Option<V> {
-        let cur = heap.current(self.root);
+        let cur = self.cur(heap);
         lookup(cur, &mut heap.nv_mut().into(), &key.repr())
     }
 
@@ -362,7 +630,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
     #[allow(deprecated)]
     pub fn contains_key_mut(&self, heap: &mut ModHeap, key: &K) -> bool {
         match key.repr() {
-            KeyRepr::Exact(w) => heap.current(self.root).contains_key(heap.nv_mut(), w),
+            KeyRepr::Exact(w) => self.cur(heap).contains_key(heap.nv_mut(), w),
             KeyRepr::Hashed { .. } => self.get_mut(heap, key).is_some(),
         }
     }
@@ -373,7 +641,7 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
         note = "use `DurableMap::len`, which takes `&ModHeap`"
     )]
     pub fn len_mut(&self, heap: &mut ModHeap) -> u64 {
-        let cur = heap.current(self.root);
+        let cur = self.cur(heap);
         if !K::EXACT {
             cur.to_vec(heap.nv_mut())
                 .iter()
@@ -382,6 +650,33 @@ impl<K: PmKey, V: PmValue> DurableMap<K, V> {
         } else {
             cur.len(heap.nv_mut())
         }
+    }
+}
+
+impl<K: PmKey, V: PmValue> DurableRoot for DurableMap<K, V> {
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self {
+        let root = match policy {
+            PersistPolicy::Full => {
+                let m0 = PmMap::empty(heap.nv_mut());
+                heap.publish_tagged(m0, Self::CODEC_WORD)
+            }
+            PersistPolicy::Hybrid => {
+                Root::new(create_hybrid(heap, RootKind::Map, Self::CODEC_WORD))
+            }
+        };
+        DurableMap {
+            root,
+            policy,
+            _kv: PhantomData,
+        }
+    }
+
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError> {
+        open_checked::<PmMap>(heap, index, Self::CODEC_WORD, policy).map(|root| DurableMap {
+            root,
+            policy,
+            _kv: PhantomData,
+        })
     }
 }
 
@@ -415,30 +710,30 @@ impl<K: PmKey> DurableSet<K> {
     /// Creates an empty set and publishes it as a new typed root, with
     /// the `K` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
-        DurableSet {
-            map: DurableMap::create(heap),
-        }
+        Self::create_with(heap, PersistPolicy::Full)
     }
 
     /// Reattaches to the set published at directory `index`.
     ///
     /// # Panics
     ///
-    /// Panics on any [`OpenError`]; use [`DurableSet::try_open`] for a
-    /// recoverable result.
+    /// Panics on any [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        DurableSet {
-            map: DurableMap::open(heap, index),
+        match Self::open_with(heap, index, PersistPolicy::Full) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Reattaches to the set published at directory `index`, reporting
     /// kind and codec mismatches as a typed [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
-        DurableMap::try_open(heap, index).map(|map| DurableSet { map })
+        Self::open_with(heap, index, PersistPolicy::Full)
     }
 
-    /// Wraps an already-opened typed root.
+    /// Wraps an already-opened typed root (full persistence).
     pub fn from_root(root: Root<PmMap>) -> Self {
         DurableSet {
             map: DurableMap::from_root(root),
@@ -448,6 +743,11 @@ impl<K: PmKey> DurableSet<K> {
     /// The typed root this set is published under.
     pub fn root(&self) -> Root<PmMap> {
         self.map.root()
+    }
+
+    /// The persistence policy this handle operates under.
+    pub fn policy(&self) -> PersistPolicy {
+        self.map.policy()
     }
 
     /// Failure-atomically inserts `key`; returns whether it was new. A
@@ -491,6 +791,18 @@ impl<K: PmKey> DurableSet<K> {
     }
 }
 
+impl<K: PmKey> DurableRoot for DurableSet<K> {
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self {
+        DurableSet {
+            map: DurableMap::create_with(heap, policy),
+        }
+    }
+
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError> {
+        DurableMap::open_with(heap, index, policy).map(|map| DurableSet { map })
+    }
+}
+
 // ---------------------------------------------------------------------
 // Vector
 // ---------------------------------------------------------------------
@@ -498,6 +810,7 @@ impl<K: PmKey> DurableSet<K> {
 /// A durable vector with logically in-place updates (Basic interface).
 pub struct DurableVector<V: PmWord> {
     root: Root<PmVector>,
+    policy: PersistPolicy,
     _v: PhantomData<fn() -> V>,
 }
 
@@ -522,9 +835,7 @@ impl<V: PmWord> DurableVector<V> {
     /// Creates an empty vector and publishes it as a new typed root,
     /// with the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
-        let v0 = PmVector::empty(heap.nv_mut());
-        let root = heap.publish_tagged(v0, Self::CODEC_WORD);
-        Self::from_root(root)
+        Self::create_with(heap, PersistPolicy::Full)
     }
 
     /// Creates a vector pre-filled from `elems`, published as a new root.
@@ -539,10 +850,10 @@ impl<V: PmWord> DurableVector<V> {
     ///
     /// # Panics
     ///
-    /// Panics on any [`OpenError`]; use [`DurableVector::try_open`] for
-    /// a recoverable result.
+    /// Panics on any [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        match Self::try_open(heap, index) {
+        match Self::open_with(heap, index, PersistPolicy::Full) {
             Ok(v) => v,
             Err(e) => panic!("{e}"),
         }
@@ -550,14 +861,16 @@ impl<V: PmWord> DurableVector<V> {
 
     /// Reattaches to the vector published at directory `index`,
     /// reporting kind and codec mismatches as a typed [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
-        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
+        Self::open_with(heap, index, PersistPolicy::Full)
     }
 
-    /// Wraps an already-opened typed root.
+    /// Wraps an already-opened typed root (full persistence).
     pub fn from_root(root: Root<PmVector>) -> Self {
         DurableVector {
             root,
+            policy: PersistPolicy::Full,
             _v: PhantomData,
         }
     }
@@ -565,6 +878,33 @@ impl<V: PmWord> DurableVector<V> {
     /// The typed root this vector is published under.
     pub fn root(&self) -> Root<PmVector> {
         self.root
+    }
+
+    /// The persistence policy this handle operates under.
+    pub fn policy(&self) -> PersistPolicy {
+        self.policy
+    }
+
+    fn cur(&self, heap: &ModHeap) -> PmVector {
+        match self.policy {
+            PersistPolicy::Full => heap.current(self.root),
+            PersistPolicy::Hybrid => {
+                let (kind, addr) = heap
+                    .hybrid_head(self.root.index())
+                    .expect("hybrid vector has no volatile head");
+                debug_assert_eq!(kind, RootKind::Vector);
+                PmVector::from_root(PmPtr::from_addr(addr))
+            }
+        }
+    }
+
+    fn cur_in(&self, tx: &Fase<'_>) -> PmVector {
+        match self.policy {
+            PersistPolicy::Full => tx.current(self.root),
+            PersistPolicy::Hybrid => {
+                PmVector::from_root(PmPtr::from_addr(tx.hybrid_vhead(self.root.index())))
+            }
+        }
     }
 
     /// Failure-atomically appends `elem` (one FASE).
@@ -575,7 +915,12 @@ impl<V: PmWord> DurableVector<V> {
     /// Stages an append on an in-progress FASE.
     pub fn push_back_in(&self, tx: &mut Fase<'_>, elem: &V) {
         let w = elem.to_word();
-        tx.update(self.root, |nv, v| v.push_back(nv, w));
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |nv, v| v.push_back(nv, w)),
+            PersistPolicy::Hybrid => {
+                tx.apply_hybrid(self.root.index(), RootKind::Vector, SpineOp::VecPush(w))
+            }
+        }
     }
 
     /// Failure-atomically writes `elem` at `index` (one FASE).
@@ -590,16 +935,34 @@ impl<V: PmWord> DurableVector<V> {
     /// Stages a point write on an in-progress FASE.
     pub fn update_in(&self, tx: &mut Fase<'_>, index: u64, elem: &V) {
         let w = elem.to_word();
-        tx.update(self.root, |nv, v| v.update(nv, index, w));
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |nv, v| v.update(nv, index, w)),
+            PersistPolicy::Hybrid => tx.apply_hybrid(
+                self.root.index(),
+                RootKind::Vector,
+                SpineOp::VecSet { index, elem: w },
+            ),
+        }
     }
 
     /// Failure-atomically removes and returns the last element.
     pub fn pop_back(&self, heap: &mut ModHeap) -> Option<V> {
-        heap.fase(|tx| {
-            tx.update_with(self.root, |nv, v| match v.pop_back(nv) {
+        heap.fase(|tx| match self.policy {
+            PersistPolicy::Full => tx.update_with(self.root, |nv, v| match v.pop_back(nv) {
                 Some((nv2, e)) => (nv2, Some(V::from_word(e))),
                 None => (v, None),
-            })
+            }),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+                let cur = self.cur_in(tx);
+                let len = cur.peek_len(tx.nv());
+                if len == 0 {
+                    return None;
+                }
+                let e = cur.peek_get(tx.nv(), len - 1);
+                tx.apply_hybrid(self.root.index(), RootKind::Vector, SpineOp::VecPop);
+                Some(V::from_word(e))
+            }
         })
     }
 
@@ -613,12 +976,31 @@ impl<V: PmWord> DurableVector<V> {
         if i == j {
             return;
         }
-        heap.fase(|tx| {
-            let cur = tx.current(self.root);
-            let vi = cur.peek_get(tx.nv(), i);
-            let vj = cur.peek_get(tx.nv(), j);
-            tx.update(self.root, |nv, v| v.update(nv, i, vj));
-            tx.update(self.root, |nv, v| v.update(nv, j, vi));
+        heap.fase(|tx| match self.policy {
+            PersistPolicy::Full => {
+                let cur = tx.current(self.root);
+                let vi = cur.peek_get(tx.nv(), i);
+                let vj = cur.peek_get(tx.nv(), j);
+                tx.update(self.root, |nv, v| v.update(nv, i, vj));
+                tx.update(self.root, |nv, v| v.update(nv, j, vi));
+            }
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+                let cur = self.cur_in(tx);
+                let vi = cur.peek_get(tx.nv(), i);
+                let vj = cur.peek_get(tx.nv(), j);
+                let idx = self.root.index();
+                tx.apply_hybrid(
+                    idx,
+                    RootKind::Vector,
+                    SpineOp::VecSet { index: i, elem: vj },
+                );
+                tx.apply_hybrid(
+                    idx,
+                    RootKind::Vector,
+                    SpineOp::VecSet { index: j, elem: vi },
+                );
+            }
         });
     }
 
@@ -628,7 +1010,7 @@ impl<V: PmWord> DurableVector<V> {
     ///
     /// Panics if `index` is out of bounds.
     pub fn get(&self, heap: &ModHeap, index: u64) -> V {
-        V::from_word(heap.current(self.root).peek_get(heap.nv(), index))
+        V::from_word(self.cur(heap).peek_get(heap.nv(), index))
     }
 
     /// Element at `index` as this FASE sees it (read-your-writes).
@@ -637,19 +1019,24 @@ impl<V: PmWord> DurableVector<V> {
     ///
     /// Panics if `index` is out of bounds.
     pub fn get_in(&self, tx: &Fase<'_>, index: u64) -> V {
-        V::from_word(tx.current(self.root).peek_get(tx.nv(), index))
+        V::from_word(self.cur_in(tx).peek_get(tx.nv(), index))
     }
 
     /// Acquires this vector's staging lane without staging an update —
     /// see [`DurableMap::touch_in`] for when read-modify-write sequences
     /// need it.
     pub fn touch_in(&self, tx: &mut Fase<'_>) {
-        tx.update(self.root, |_, v| v);
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |_, v| v),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+            }
+        }
     }
 
     /// Number of elements. Read-only.
     pub fn len(&self, heap: &ModHeap) -> u64 {
-        heap.current(self.root).peek_len(heap.nv())
+        self.cur(heap).peek_len(heap.nv())
     }
 
     /// Whether the vector is empty. Read-only.
@@ -659,11 +1046,38 @@ impl<V: PmWord> DurableVector<V> {
 
     /// Collects all elements in order. Read-only.
     pub fn to_vec(&self, heap: &ModHeap) -> Vec<V> {
-        heap.current(self.root)
+        self.cur(heap)
             .peek_to_vec(heap.nv())
             .into_iter()
             .map(V::from_word)
             .collect()
+    }
+}
+
+impl<V: PmWord> DurableRoot for DurableVector<V> {
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self {
+        let root = match policy {
+            PersistPolicy::Full => {
+                let v0 = PmVector::empty(heap.nv_mut());
+                heap.publish_tagged(v0, Self::CODEC_WORD)
+            }
+            PersistPolicy::Hybrid => {
+                Root::new(create_hybrid(heap, RootKind::Vector, Self::CODEC_WORD))
+            }
+        };
+        DurableVector {
+            root,
+            policy,
+            _v: PhantomData,
+        }
+    }
+
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError> {
+        open_checked::<PmVector>(heap, index, Self::CODEC_WORD, policy).map(|root| DurableVector {
+            root,
+            policy,
+            _v: PhantomData,
+        })
     }
 }
 
@@ -674,6 +1088,7 @@ impl<V: PmWord> DurableVector<V> {
 /// A durable stack with logically in-place updates (Basic interface).
 pub struct DurableStack<V: PmWord> {
     root: Root<PmStack>,
+    policy: PersistPolicy,
     _v: PhantomData<fn() -> V>,
 }
 
@@ -698,19 +1113,17 @@ impl<V: PmWord> DurableStack<V> {
     /// Creates an empty stack and publishes it as a new typed root, with
     /// the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
-        let s0 = PmStack::empty(heap.nv_mut());
-        let root = heap.publish_tagged(s0, Self::CODEC_WORD);
-        Self::from_root(root)
+        Self::create_with(heap, PersistPolicy::Full)
     }
 
     /// Reattaches to the stack published at directory `index`.
     ///
     /// # Panics
     ///
-    /// Panics on any [`OpenError`]; use [`DurableStack::try_open`] for a
-    /// recoverable result.
+    /// Panics on any [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        match Self::try_open(heap, index) {
+        match Self::open_with(heap, index, PersistPolicy::Full) {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
         }
@@ -718,14 +1131,16 @@ impl<V: PmWord> DurableStack<V> {
 
     /// Reattaches to the stack published at directory `index`, reporting
     /// kind and codec mismatches as a typed [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
-        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
+        Self::open_with(heap, index, PersistPolicy::Full)
     }
 
-    /// Wraps an already-opened typed root.
+    /// Wraps an already-opened typed root (full persistence).
     pub fn from_root(root: Root<PmStack>) -> Self {
         DurableStack {
             root,
+            policy: PersistPolicy::Full,
             _v: PhantomData,
         }
     }
@@ -733,6 +1148,33 @@ impl<V: PmWord> DurableStack<V> {
     /// The typed root this stack is published under.
     pub fn root(&self) -> Root<PmStack> {
         self.root
+    }
+
+    /// The persistence policy this handle operates under.
+    pub fn policy(&self) -> PersistPolicy {
+        self.policy
+    }
+
+    fn cur(&self, heap: &ModHeap) -> PmStack {
+        match self.policy {
+            PersistPolicy::Full => heap.current(self.root),
+            PersistPolicy::Hybrid => {
+                let (kind, addr) = heap
+                    .hybrid_head(self.root.index())
+                    .expect("hybrid stack has no volatile head");
+                debug_assert_eq!(kind, RootKind::Stack);
+                PmStack::from_root(PmPtr::from_addr(addr))
+            }
+        }
+    }
+
+    fn cur_in(&self, tx: &Fase<'_>) -> PmStack {
+        match self.policy {
+            PersistPolicy::Full => tx.current(self.root),
+            PersistPolicy::Hybrid => {
+                PmStack::from_root(PmPtr::from_addr(tx.hybrid_vhead(self.root.index())))
+            }
+        }
     }
 
     /// Failure-atomically pushes `elem` (one FASE).
@@ -743,7 +1185,12 @@ impl<V: PmWord> DurableStack<V> {
     /// Stages a push on an in-progress FASE.
     pub fn push_in(&self, tx: &mut Fase<'_>, elem: &V) {
         let w = elem.to_word();
-        tx.update(self.root, |nv, s| s.push(nv, w));
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |nv, s| s.push(nv, w)),
+            PersistPolicy::Hybrid => {
+                tx.apply_hybrid(self.root.index(), RootKind::Stack, SpineOp::StackPush(w))
+            }
+        }
     }
 
     /// Failure-atomically pops the top element (no-op FASE when empty).
@@ -753,27 +1200,60 @@ impl<V: PmWord> DurableStack<V> {
 
     /// Stages a pop on an in-progress FASE.
     pub fn pop_in(&self, tx: &mut Fase<'_>) -> Option<V> {
-        tx.update_with(self.root, |nv, s| match s.pop(nv) {
-            Some((ns, e)) => (ns, Some(V::from_word(e))),
-            None => (s, None),
-        })
+        match self.policy {
+            PersistPolicy::Full => tx.update_with(self.root, |nv, s| match s.pop(nv) {
+                Some((ns, e)) => (ns, Some(V::from_word(e))),
+                None => (s, None),
+            }),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+                let top = self.cur_in(tx).peek_top(tx.nv())?;
+                tx.apply_hybrid(self.root.index(), RootKind::Stack, SpineOp::StackPop);
+                Some(V::from_word(top))
+            }
+        }
     }
 
     /// Top element. Read-only: no flushes, fences, or `&mut`.
     pub fn peek(&self, heap: &ModHeap) -> Option<V> {
-        heap.current(self.root)
-            .peek_top(heap.nv())
-            .map(V::from_word)
+        self.cur(heap).peek_top(heap.nv()).map(V::from_word)
     }
 
     /// Number of elements. Read-only.
     pub fn len(&self, heap: &ModHeap) -> u64 {
-        heap.current(self.root).peek_len(heap.nv())
+        self.cur(heap).peek_len(heap.nv())
     }
 
     /// Whether the stack is empty. Read-only.
     pub fn is_empty(&self, heap: &ModHeap) -> bool {
         self.len(heap) == 0
+    }
+}
+
+impl<V: PmWord> DurableRoot for DurableStack<V> {
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self {
+        let root = match policy {
+            PersistPolicy::Full => {
+                let s0 = PmStack::empty(heap.nv_mut());
+                heap.publish_tagged(s0, Self::CODEC_WORD)
+            }
+            PersistPolicy::Hybrid => {
+                Root::new(create_hybrid(heap, RootKind::Stack, Self::CODEC_WORD))
+            }
+        };
+        DurableStack {
+            root,
+            policy,
+            _v: PhantomData,
+        }
+    }
+
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError> {
+        open_checked::<PmStack>(heap, index, Self::CODEC_WORD, policy).map(|root| DurableStack {
+            root,
+            policy,
+            _v: PhantomData,
+        })
     }
 }
 
@@ -785,6 +1265,7 @@ impl<V: PmWord> DurableStack<V> {
 /// interface).
 pub struct DurableQueue<V: PmWord> {
     root: Root<PmQueue>,
+    policy: PersistPolicy,
     _v: PhantomData<fn() -> V>,
 }
 
@@ -809,19 +1290,17 @@ impl<V: PmWord> DurableQueue<V> {
     /// Creates an empty queue and publishes it as a new typed root, with
     /// the `V` codec discipline recorded in the directory entry.
     pub fn create(heap: &mut ModHeap) -> Self {
-        let q0 = PmQueue::empty(heap.nv_mut());
-        let root = heap.publish_tagged(q0, Self::CODEC_WORD);
-        Self::from_root(root)
+        Self::create_with(heap, PersistPolicy::Full)
     }
 
     /// Reattaches to the queue published at directory `index`.
     ///
     /// # Panics
     ///
-    /// Panics on any [`OpenError`]; use [`DurableQueue::try_open`] for a
-    /// recoverable result.
+    /// Panics on any [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn open(heap: &ModHeap, index: usize) -> Self {
-        match Self::try_open(heap, index) {
+        match Self::open_with(heap, index, PersistPolicy::Full) {
             Ok(q) => q,
             Err(e) => panic!("{e}"),
         }
@@ -829,14 +1308,16 @@ impl<V: PmWord> DurableQueue<V> {
 
     /// Reattaches to the queue published at directory `index`, reporting
     /// kind and codec mismatches as a typed [`OpenError`].
+    #[deprecated(since = "0.4.0", note = "use `heap.root(index).open()`")]
     pub fn try_open(heap: &ModHeap, index: usize) -> Result<Self, OpenError> {
-        open_checked(heap, index, Self::CODEC_WORD).map(Self::from_root)
+        Self::open_with(heap, index, PersistPolicy::Full)
     }
 
-    /// Wraps an already-opened typed root.
+    /// Wraps an already-opened typed root (full persistence).
     pub fn from_root(root: Root<PmQueue>) -> Self {
         DurableQueue {
             root,
+            policy: PersistPolicy::Full,
             _v: PhantomData,
         }
     }
@@ -844,6 +1325,33 @@ impl<V: PmWord> DurableQueue<V> {
     /// The typed root this queue is published under.
     pub fn root(&self) -> Root<PmQueue> {
         self.root
+    }
+
+    /// The persistence policy this handle operates under.
+    pub fn policy(&self) -> PersistPolicy {
+        self.policy
+    }
+
+    fn cur(&self, heap: &ModHeap) -> PmQueue {
+        match self.policy {
+            PersistPolicy::Full => heap.current(self.root),
+            PersistPolicy::Hybrid => {
+                let (kind, addr) = heap
+                    .hybrid_head(self.root.index())
+                    .expect("hybrid queue has no volatile head");
+                debug_assert_eq!(kind, RootKind::Queue);
+                PmQueue::from_root(PmPtr::from_addr(addr))
+            }
+        }
+    }
+
+    fn cur_in(&self, tx: &Fase<'_>) -> PmQueue {
+        match self.policy {
+            PersistPolicy::Full => tx.current(self.root),
+            PersistPolicy::Hybrid => {
+                PmQueue::from_root(PmPtr::from_addr(tx.hybrid_vhead(self.root.index())))
+            }
+        }
     }
 
     /// Failure-atomically enqueues `elem` (one FASE).
@@ -854,7 +1362,12 @@ impl<V: PmWord> DurableQueue<V> {
     /// Stages an enqueue on an in-progress FASE.
     pub fn enqueue_in(&self, tx: &mut Fase<'_>, elem: &V) {
         let w = elem.to_word();
-        tx.update(self.root, |nv, q| q.enqueue(nv, w));
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |nv, q| q.enqueue(nv, w)),
+            PersistPolicy::Hybrid => {
+                tx.apply_hybrid(self.root.index(), RootKind::Queue, SpineOp::QueueEnq(w))
+            }
+        }
     }
 
     /// Failure-atomically dequeues the head (no-op FASE when empty).
@@ -864,39 +1377,77 @@ impl<V: PmWord> DurableQueue<V> {
 
     /// Stages a dequeue on an in-progress FASE.
     pub fn dequeue_in(&self, tx: &mut Fase<'_>) -> Option<V> {
-        tx.update_with(self.root, |nv, q| match q.dequeue(nv) {
-            Some((nq, e)) => (nq, Some(V::from_word(e))),
-            None => (q, None),
-        })
+        match self.policy {
+            PersistPolicy::Full => tx.update_with(self.root, |nv, q| match q.dequeue(nv) {
+                Some((nq, e)) => (nq, Some(V::from_word(e))),
+                None => (q, None),
+            }),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+                let front = self.cur_in(tx).peek_front(tx.nv())?;
+                tx.apply_hybrid(self.root.index(), RootKind::Queue, SpineOp::QueueDeq);
+                Some(V::from_word(front))
+            }
+        }
     }
 
     /// Acquires this queue's staging lane without staging an update
     /// (see [`DurableMap::touch_in`]); a read that must stay consistent
     /// with reads of *other* roots in the same FASE needs it first.
     pub fn touch_in(&self, tx: &mut Fase<'_>) {
-        tx.update(self.root, |_, q| q);
+        match self.policy {
+            PersistPolicy::Full => tx.update(self.root, |_, q| q),
+            PersistPolicy::Hybrid => {
+                tx.hybrid_current(self.root.index());
+            }
+        }
     }
 
     /// Head element as this FASE sees it (read-your-writes).
     pub fn front_in(&self, tx: &Fase<'_>) -> Option<V> {
-        tx.current(self.root).peek_front(tx.nv()).map(V::from_word)
+        self.cur_in(tx).peek_front(tx.nv()).map(V::from_word)
     }
 
     /// Head element. Read-only: no flushes, fences, or `&mut`.
     pub fn peek(&self, heap: &ModHeap) -> Option<V> {
-        heap.current(self.root)
-            .peek_front(heap.nv())
-            .map(V::from_word)
+        self.cur(heap).peek_front(heap.nv()).map(V::from_word)
     }
 
     /// Number of elements. Read-only.
     pub fn len(&self, heap: &ModHeap) -> u64 {
-        heap.current(self.root).peek_len(heap.nv())
+        self.cur(heap).peek_len(heap.nv())
     }
 
     /// Whether the queue is empty. Read-only.
     pub fn is_empty(&self, heap: &ModHeap) -> bool {
         self.len(heap) == 0
+    }
+}
+
+impl<V: PmWord> DurableRoot for DurableQueue<V> {
+    fn create_with(heap: &mut ModHeap, policy: PersistPolicy) -> Self {
+        let root = match policy {
+            PersistPolicy::Full => {
+                let q0 = PmQueue::empty(heap.nv_mut());
+                heap.publish_tagged(q0, Self::CODEC_WORD)
+            }
+            PersistPolicy::Hybrid => {
+                Root::new(create_hybrid(heap, RootKind::Queue, Self::CODEC_WORD))
+            }
+        };
+        DurableQueue {
+            root,
+            policy,
+            _v: PhantomData,
+        }
+    }
+
+    fn open_with(heap: &ModHeap, index: usize, policy: PersistPolicy) -> Result<Self, OpenError> {
+        open_checked::<PmQueue>(heap, index, Self::CODEC_WORD, policy).map(|root| DurableQueue {
+            root,
+            policy,
+            _v: PhantomData,
+        })
     }
 }
 
@@ -985,33 +1536,34 @@ mod tests {
         map.insert(&mut h, &7, &vec![1, 2, 3]);
         h.quiesce();
         let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
+        let (mut h2, _) = ModHeap::open(img);
         // Correct types reopen fine.
-        assert!(DurableMap::<u64, Vec<u8>>::try_open(&h2, 0).is_ok());
+        assert!(h2.root::<DurableMap<u64, Vec<u8>>>(0).open().is_ok());
         // Wrong key AND value codecs: typed error, not garbage.
-        let err = DurableMap::<String, u64>::try_open(&h2, 0).unwrap_err();
+        let err = h2.root::<DurableMap<String, u64>>(0).open().unwrap_err();
         assert!(matches!(err, OpenError::CodecMismatch { index: 0, .. }));
         assert!(err.to_string().contains("codec"));
         // Wrong value codec alone is also caught.
         assert!(matches!(
-            DurableMap::<u64, String>::try_open(&h2, 0),
+            h2.root::<DurableMap<u64, String>>(0).open(),
             Err(OpenError::CodecMismatch { .. })
         ));
         // Wrong kind reports KindMismatch before codec.
         assert!(matches!(
-            DurableQueue::<u64>::try_open(&h2, 0),
+            h2.root::<DurableQueue<u64>>(0).open(),
             Err(OpenError::KindMismatch { .. })
         ));
         // Unpublished index reports NoSuchRoot.
         assert!(matches!(
-            DurableMap::<u64, Vec<u8>>::try_open(&h2, 9),
+            h2.root::<DurableMap<u64, Vec<u8>>>(9).open(),
             Err(OpenError::NoSuchRoot { index: 9, roots: 1 })
         ));
     }
 
     #[test]
     #[should_panic(expected = "was opened expecting")]
-    fn open_panics_on_codec_mismatch() {
+    #[allow(deprecated)]
+    fn deprecated_open_still_delegates_and_panics_on_codec_mismatch() {
         let mut h = mh();
         let _map: DurableMap<u64, Vec<u8>> = DurableMap::create(&mut h);
         let _ = DurableMap::<String, u64>::open(&h, 0);
@@ -1025,11 +1577,11 @@ mod tests {
         let mut h = mh();
         let map: DurableMap<Colliding, String> = DurableMap::create(&mut h);
         map.insert(&mut h, &Colliding("a"), &"v".to_string());
-        assert!(DurableMap::<Colliding, String>::try_open(&h, 0).is_ok());
-        assert!(DurableMap::<String, String>::try_open(&h, 0).is_ok());
+        assert!(h.root::<DurableMap<Colliding, String>>(0).open().is_ok());
+        assert!(h.root::<DurableMap<String, String>>(0).open().is_ok());
         // But a recorded *value* codec still protects against mismatch.
         assert!(matches!(
-            DurableMap::<Colliding, u64>::try_open(&h, 0),
+            h.root::<DurableMap<Colliding, u64>>(0).open(),
             Err(OpenError::CodecMismatch { .. })
         ));
     }
@@ -1041,10 +1593,10 @@ mod tests {
         q.enqueue(&mut h, &5);
         h.quiesce();
         let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
-        assert!(DurableQueue::<u64>::try_open(&h2, 0).is_ok());
+        let (mut h2, _) = ModHeap::open(img);
+        assert!(h2.root::<DurableQueue<u64>>(0).open().is_ok());
         assert!(matches!(
-            DurableQueue::<i32>::try_open(&h2, 0),
+            h2.root::<DurableQueue<i32>>(0).open(),
             Err(OpenError::CodecMismatch { .. })
         ));
     }
@@ -1062,11 +1614,11 @@ mod tests {
         vec.update(&mut h, 1, &100);
         h.quiesce();
         let img = h.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
-        let map: DurableMap<String, u32> = DurableMap::open(&h2, 0);
-        let vec: DurableVector<i64> = DurableVector::open(&h2, 1);
-        let stack: DurableStack<u64> = DurableStack::open(&h2, 2);
-        let queue: DurableQueue<u32> = DurableQueue::open(&h2, 3);
+        let (mut h2, _) = ModHeap::open(img);
+        let map: DurableMap<String, u32> = h2.root(0).open().unwrap();
+        let vec: DurableVector<i64> = h2.root(1).open().unwrap();
+        let stack: DurableStack<u64> = h2.root(2).open().unwrap();
+        let queue: DurableQueue<u32> = h2.root(3).open().unwrap();
         assert_eq!(map.get(&h2, &"k".to_string()), Some(9));
         assert_eq!(vec.to_vec(&h2), vec![-3, 100, 7]);
         assert_eq!(stack.peek(&h2), Some(5));

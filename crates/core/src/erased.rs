@@ -26,6 +26,10 @@ pub enum RootKind {
     Queue,
     /// A parent object grouping sibling datastructures (Fig 8c).
     Parent,
+    /// The persistent spine of a hybrid ("Don't Persist All") root: a
+    /// chain of per-op records replayed at recovery to rebuild the
+    /// volatile index (see [`crate::spine`]).
+    Spine,
 }
 
 impl RootKind {
@@ -38,6 +42,7 @@ impl RootKind {
             RootKind::Stack => 4,
             RootKind::Queue => 5,
             RootKind::Parent => 6,
+            RootKind::Spine => 7,
         }
     }
 
@@ -54,6 +59,7 @@ impl RootKind {
             4 => RootKind::Stack,
             5 => RootKind::Queue,
             6 => RootKind::Parent,
+            7 => RootKind::Spine,
             _ => panic!("corrupt RootKind tag {v}"),
         }
     }
@@ -139,6 +145,7 @@ impl ErasedDs {
             RootKind::Stack => PmStack::from_root(self.root).release(nv),
             RootKind::Queue => PmQueue::from_root(self.root).release(nv),
             RootKind::Parent => parent::release_parent(nv, self.root),
+            RootKind::Spine => crate::spine::release_record(nv, self.root),
         }
     }
 
@@ -151,6 +158,7 @@ impl ErasedDs {
             RootKind::Stack => PmStack::from_root(self.root).mark(nv),
             RootKind::Queue => PmQueue::from_root(self.root).mark(nv),
             RootKind::Parent => parent::mark_parent(nv, self.root),
+            RootKind::Spine => crate::spine::mark_record(nv, self.root),
         }
     }
 }
@@ -168,6 +176,7 @@ mod tests {
             RootKind::Stack,
             RootKind::Queue,
             RootKind::Parent,
+            RootKind::Spine,
         ] {
             assert_eq!(RootKind::from_u64(k.to_u64()), k);
         }

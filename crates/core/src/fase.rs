@@ -41,6 +41,7 @@ use crate::erased::{DurableDs, ErasedDs, RootKind};
 use crate::heap::ModHeap;
 use crate::parent;
 use crate::root::{current_of, Root, ROOT_DIR_SLOT};
+use crate::spine::{self, SpineOp, COMPACT_FACTOR, COMPACT_MIN_OPS};
 use mod_alloc::NvHeap;
 use mod_pmem::{PmPtr, Pmem};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +57,20 @@ pub(crate) struct PendingUpdate {
     /// Shadows superseded by later updates to the same root in this FASE
     /// (never published; reclaimed immediately after commit).
     pub(crate) intermediates: Vec<ErasedDs>,
+    /// For hybrid roots (`kind == RootKind::Spine`): the volatile-index
+    /// version that accompanies the staged spine record. Published to
+    /// the root annex when the record commits.
+    pub(crate) hybrid: Option<HybridUpdate>,
+}
+
+/// The volatile half of a staged hybrid-root update.
+#[derive(Debug)]
+pub(crate) struct HybridUpdate {
+    /// The root's logical datastructure kind (the directory says
+    /// `Spine`; this says what the spine encodes).
+    pub(crate) logical: RootKind,
+    /// Root address of the new volatile-index version.
+    pub(crate) new_v: u64,
 }
 
 /// Maximum directory indices the concurrent staging path supports.
@@ -92,6 +107,10 @@ struct RootLane {
     /// the head equals the published root pointer, so stale heads are
     /// never wrong, just redundant.
     head: AtomicU64,
+    /// Hybrid roots only: the volatile-index root address staged
+    /// alongside `head` (0 = none staged — read the root annex). Written
+    /// under the lane lock together with `head`.
+    aux: AtomicU64,
 }
 
 impl RootLanes {
@@ -101,6 +120,7 @@ impl RootLanes {
                 .map(|_| RootLane {
                     lock: Mutex::new(()),
                     head: AtomicU64::new(0),
+                    aux: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -121,12 +141,22 @@ impl RootLanes {
         self.lanes[index].head.store(p.addr(), Ordering::Release);
     }
 
+    fn aux(&self, index: usize) -> u64 {
+        self.lanes[index].aux.load(Ordering::Acquire)
+    }
+
+    /// Publishes a staged volatile head. Caller must hold the lane's lock.
+    fn set_aux(&self, index: usize, addr: u64) {
+        self.lanes[index].aux.store(addr, Ordering::Release);
+    }
+
     /// Forgets all staged heads (single-threaded setup changed the
     /// published directory underneath them). Caller must guarantee no
     /// FASE is staged or in flight.
     pub(crate) fn clear_heads(&self) {
         for lane in self.lanes.iter() {
             lane.head.store(0, Ordering::Relaxed);
+            lane.aux.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -192,6 +222,9 @@ impl<'h> Fase<'h> {
         let st = self.staging.as_mut().expect("finish_staging on owner FASE");
         for p in &self.pending {
             st.lanes.set_head(p.index, p.new);
+            if let Some(h) = &p.hybrid {
+                st.lanes.set_aux(p.index, h.new_v);
+            }
         }
         (
             std::mem::take(&mut self.pending),
@@ -342,9 +375,107 @@ impl Fase<'_> {
                 kind: D::KIND,
                 new: next.root_ptr(),
                 intermediates: Vec::new(),
+                hybrid: None,
             }),
         }
         out
+    }
+
+    /// The volatile-index head of hybrid root `index` as this FASE sees
+    /// it, after serializing on the root's staging lane: a version
+    /// staged earlier in this FASE, a head staged by an earlier FASE of
+    /// the same pipeline, or the committed head from the root annex.
+    /// Returns 0 only for a root that was never hybrid (caller bug).
+    pub(crate) fn hybrid_current(&mut self, index: usize) -> u64 {
+        self.hold_lane(index);
+        self.hybrid_vhead(index)
+    }
+
+    pub(crate) fn hybrid_vhead(&self, index: usize) -> u64 {
+        if let Some(p) = self.find(index) {
+            if let Some(h) = &p.hybrid {
+                return h.new_v;
+            }
+        }
+        if let Some(st) = &self.staging {
+            if index < STAGING_LANES {
+                let a = st.lanes.aux(index);
+                if a != 0 {
+                    return a;
+                }
+            }
+        }
+        match self.nv.annex().get(index) {
+            0 => 0,
+            w => spine::unpack_annex(w).1,
+        }
+    }
+
+    /// Stages one effectful op on hybrid root `index`: applies it to the
+    /// volatile index (inside the volatile allocation scope — nothing
+    /// flushed, nothing charged) and stages a spine record carrying the
+    /// op, or a compaction snapshot when the chain has outgrown the live
+    /// structure. The caller has already decided the op is effectful
+    /// (no-ops must not reach the spine: replay would still be correct,
+    /// but the chain would grow for nothing).
+    pub(crate) fn apply_hybrid(&mut self, index: usize, logical: RootKind, op: SpineOp) {
+        self.hold_lane(index);
+        let vcur = self.hybrid_vhead(index);
+        assert!(vcur != 0, "hybrid op on root {index} with no volatile head");
+        // The volatile scope must be closed even if the op panics (e.g.
+        // an out-of-bounds `VecSet`): a stuck scope would silently mark
+        // every later allocation volatile, and shared mode retries FASE
+        // closures after catching panics.
+        self.nv.begin_volatile();
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            op.apply(self.nv, logical, vcur)
+        }));
+        self.nv.end_volatile();
+        let new_v = match applied {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        if new_v == vcur {
+            return; // defensive: the op turned out to be a no-op
+        }
+        let head = match self.find(index) {
+            Some(p) => p.new,
+            None => self.baseline(index),
+        };
+        let count = spine::peek_record_meta(self.nv, head).2 + 1;
+        let live = spine::live_len(self.nv, logical, new_v);
+        let rec = if count >= COMPACT_MIN_OPS && count >= COMPACT_FACTOR * live.max(1) {
+            // The chain dwarfs the structure: persist a fresh snapshot
+            // with no predecessor. Committing it drops the directory's
+            // reference to the old head, reclaiming the whole old chain
+            // through the normal deferred-release path.
+            let snap = spine::state_of(self.nv, logical, new_v);
+            spine::store_record(self.nv, PmPtr::NULL, logical, 0, &snap)
+        } else {
+            spine::store_record(self.nv, head, logical, count, &op)
+        };
+        match self.pending.iter_mut().find(|p| p.index == index) {
+            Some(p) => {
+                let h = p.hybrid.as_mut().expect("hybrid op on non-hybrid pending");
+                p.intermediates.push(ErasedDs {
+                    kind: RootKind::Spine,
+                    root: p.new,
+                });
+                p.intermediates.push(ErasedDs {
+                    kind: h.logical,
+                    root: PmPtr::from_addr(h.new_v),
+                });
+                p.new = rec;
+                h.new_v = new_v;
+            }
+            None => self.pending.push(PendingUpdate {
+                index,
+                kind: RootKind::Spine,
+                new: rec,
+                intermediates: Vec::new(),
+                hybrid: Some(HybridUpdate { logical, new_v }),
+            }),
+        }
     }
 
     /// Read access to the underlying heap (peek reads, stats).
@@ -433,6 +564,24 @@ impl ModHeap {
                 fresh.push(*entry);
             }
             self.swing_directory(dir, &children, &fresh, &tags);
+        }
+        // Hybrid roots: the committed spine record is durable; publish
+        // the matching volatile-index head to the annex and retire the
+        // superseded one through deferred reclaim (epoch-protected in
+        // shared mode, next drain in single-owner mode).
+        let annex = self.nv().annex().clone();
+        for p in &pending {
+            if let Some(h) = &p.hybrid {
+                let old = annex.get(p.index);
+                annex.set(p.index, spine::pack_annex(h.logical, h.new_v));
+                if old != 0 {
+                    let (kind, addr) = spine::unpack_annex(old);
+                    self.defer_release(ErasedDs {
+                        kind,
+                        root: PmPtr::from_addr(addr),
+                    });
+                }
+            }
         }
         // Intra-FASE shadows were never published: reclaim immediately.
         for p in pending {

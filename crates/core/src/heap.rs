@@ -48,6 +48,11 @@ pub struct ModHeap {
     /// Versions superseded by a committed pointer store that is not yet
     /// known durable; released after the next fence.
     pending: Vec<ErasedDs>,
+    /// Wall-clock nanoseconds [`ModHeap::open`] spent replaying hybrid
+    /// spines into volatile indices (0 when the pool had no hybrid
+    /// roots). Host time, not simulated time: the rebuild is volatile
+    /// work the paper's timeline never charges.
+    rebuild_ns: u64,
 }
 
 impl ModHeap {
@@ -56,6 +61,7 @@ impl ModHeap {
         ModHeap {
             nv: NvHeap::format(pm),
             pending: Vec::new(),
+            rebuild_ns: 0,
         }
     }
 
@@ -71,6 +77,42 @@ impl ModHeap {
         ModHeap {
             nv,
             pending: Vec::new(),
+            rebuild_ns: 0,
+        }
+    }
+
+    /// Wall-clock nanoseconds the last [`ModHeap::open`] spent rebuilding
+    /// hybrid roots' volatile indices (0 if there were none).
+    pub fn rebuild_ns(&self) -> u64 {
+        self.rebuild_ns
+    }
+
+    /// Replays every hybrid root's spine into a fresh volatile index and
+    /// publishes the heads to the root annex. Runs once per open, after
+    /// the reachability sweep.
+    pub(crate) fn rebuild_hybrid_roots(&mut self) {
+        let t0 = std::time::Instant::now();
+        let entries = crate::root::all_entries(self.nv());
+        let mut any = false;
+        for (i, e) in entries.iter().enumerate() {
+            if e.kind == crate::erased::RootKind::Spine {
+                any = true;
+                let (logical, v) = crate::spine::replay(&mut self.nv, e.root);
+                self.nv.annex().set(i, crate::spine::pack_annex(logical, v));
+            }
+        }
+        if any {
+            self.rebuild_ns = t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// The committed volatile head of hybrid root `index`: its logical
+    /// kind and volatile root address, or `None` if the root is not
+    /// hybrid (or does not exist).
+    pub(crate) fn hybrid_head(&self, index: usize) -> Option<(crate::erased::RootKind, u64)> {
+        match self.nv.annex().get(index) {
+            0 => None,
+            w => Some(crate::spine::unpack_annex(w)),
         }
     }
 

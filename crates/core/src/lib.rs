@@ -74,8 +74,12 @@ pub mod root;
 pub mod sched;
 pub mod shared;
 pub mod snapshot;
+pub mod spine;
 
-pub use basic::{DurableMap, DurableQueue, DurableSet, DurableStack, DurableVector, OpenError};
+pub use basic::{
+    DurableMap, DurableQueue, DurableRoot, DurableSet, DurableStack, DurableVector, OpenError,
+    RootBuilder,
+};
 pub use codec::{PmKey, PmValue, PmWord};
 pub use erased::{DurableDs, ErasedDs, RootKind};
 pub use fase::Fase;
@@ -88,3 +92,4 @@ pub use shared::{
     PipelineStats, SharedModHeap,
 };
 pub use snapshot::{DirSnapshot, SnapshotView};
+pub use spine::PersistPolicy;

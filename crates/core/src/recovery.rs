@@ -60,7 +60,12 @@ impl ModHeap {
             .mark(&mut nv);
         }
         let report = nv.finish_recovery();
-        (ModHeap::from_parts(nv), report)
+        let mut heap = ModHeap::from_parts(nv);
+        // Hybrid ("Don't Persist All") roots: their interior nodes were
+        // volatile and died with the crash; replay each spine into a
+        // fresh volatile index (§ Don't Persist All recovery contract).
+        heap.rebuild_hybrid_roots();
+        (heap, report)
     }
 
     /// Opens and recovers a **file-backed** pool written by a previous

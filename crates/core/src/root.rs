@@ -152,6 +152,26 @@ impl ModHeap {
         Root::new(index)
     }
 
+    /// [`ModHeap::publish_tagged`] for entries whose kind has no typed
+    /// handle — hybrid roots publish their spine head under
+    /// [`crate::RootKind::Spine`]. Returns the new directory index.
+    pub(crate) fn publish_erased_tagged(&mut self, initial: ErasedDs, tag: u64) -> usize {
+        let dir = self.nv_mut().read_root(ROOT_DIR_SLOT);
+        let (mut children, mut tags) = if dir.is_null() {
+            (Vec::new(), Vec::new())
+        } else {
+            (
+                parent::children_of(self.nv_mut(), dir),
+                parent::peek_tags_of(self.nv(), dir),
+            )
+        };
+        let index = children.len();
+        children.push(initial);
+        tags.push(tag);
+        self.swing_directory(dir, &children, &[initial], &tags);
+        index
+    }
+
     /// The codec tag word recorded for directory entry `index` (0 when
     /// none was recorded or the index does not exist).
     pub fn root_codec_tag(&self, index: usize) -> u64 {

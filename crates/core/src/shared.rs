@@ -682,7 +682,26 @@ impl Inner {
     /// epoch gate then keeps alive for it).
     fn publish_snapshot(&self, st: &mut GlobalState) {
         let epoch = self.registry.current() + 1;
-        let roots = crate::root::all_entries(st.heap.nv());
+        // Hybrid roots publish their *logical* volatile head (from the
+        // annex, set by `commit_fase` just before this) instead of the
+        // durable spine record: snapshot readers traverse the live
+        // index, never the op log. The superseded volatile versions sit
+        // in limbo under the same epoch guard as persistent chains.
+        let annex = st.heap.nv().annex().clone();
+        let roots = crate::root::all_entries(st.heap.nv())
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| match (e.kind, annex.get(i)) {
+                (crate::erased::RootKind::Spine, w) if w != 0 => {
+                    let (kind, addr) = crate::spine::unpack_annex(w);
+                    ErasedDs {
+                        kind,
+                        root: mod_pmem::PmPtr::from_addr(addr),
+                    }
+                }
+                _ => e,
+            })
+            .collect();
         let old = self.snap.swap(Box::new(DirSnapshot { epoch, roots }));
         st.old_snaps.push(old);
         self.registry.advance();
@@ -733,8 +752,18 @@ fn merge(batch: &mut Vec<PendingUpdate>, pending: Vec<PendingUpdate>) {
                     root: entry.new,
                 };
                 entry.intermediates.push(old_head);
+                // A hybrid root's superseded volatile head is an
+                // intra-batch intermediate too: only the final head gets
+                // published to the annex at commit.
+                if let Some(old_h) = entry.hybrid.take() {
+                    entry.intermediates.push(ErasedDs {
+                        kind: old_h.logical,
+                        root: mod_pmem::PmPtr::from_addr(old_h.new_v),
+                    });
+                }
                 entry.intermediates.extend(p.intermediates);
                 entry.new = p.new;
+                entry.hybrid = p.hybrid;
             }
             None => batch.push(p),
         }
@@ -1225,6 +1254,14 @@ impl SharedModHeap {
                     // `g` would invert the lock order (module docs).
                     drop(g);
                     self.try_flush()?;
+                    // Explicit post-flush re-check: the drain this thread
+                    // just drove (or a racing commit that beat it to the
+                    // lock) must have resolved the ticket — return its
+                    // fence watermark directly instead of relying on the
+                    // outer loop's poll to pick it up.
+                    if let Some(ns) = ticket.fence_ns() {
+                        return Ok(ns);
+                    }
                     break;
                 }
                 let epoch = g.batch_epoch;
@@ -1610,9 +1647,9 @@ mod tests {
         }
         sh.quiesce();
         let img = sh.crash_image(CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
-        let map = DurableMap::<u64, u64>::open(&h2, 0);
-        let q = DurableQueue::<u64>::open(&h2, 1);
+        let (mut h2, _) = ModHeap::open(img);
+        let map: DurableMap<u64, u64> = h2.root(0).open().unwrap();
+        let q: DurableQueue<u64> = h2.root(1).open().unwrap();
         for w in 0..4u64 {
             assert_eq!(map.get(&h2, &w), Some(w * 10));
         }
@@ -1640,9 +1677,9 @@ mod tests {
             });
         }
         let img = sh.crash_image(CrashPolicy::PersistAll);
-        let (h2, _) = ModHeap::open(img);
-        let map = DurableMap::<u64, u64>::open(&h2, 0);
-        let q = DurableQueue::<u64>::open(&h2, 1);
+        let (mut h2, _) = ModHeap::open(img);
+        let map: DurableMap<u64, u64> = h2.root(0).open().unwrap();
+        let q: DurableQueue<u64> = h2.root(1).open().unwrap();
         assert_eq!(q.len(&h2), 4, "staged suffix gone");
         for w in 0..2u64 {
             assert!(map.get(&h2, &(100 + w)).is_none());
@@ -1956,8 +1993,8 @@ mod tests {
         );
         // Orderly close, then recover in a "new process" and verify.
         drop(sh.into_heap().close().unwrap());
-        let (h2, _) = ModHeap::open_file(&path, PmemConfig::testing()).unwrap();
-        let map2 = DurableMap::<u64, u64>::open(&h2, 0);
+        let (mut h2, _) = ModHeap::open_file(&path, PmemConfig::testing()).unwrap();
+        let map2: DurableMap<u64, u64> = h2.root(0).open().unwrap();
         for round in 0..3u64 {
             for w in 0..4u64 {
                 assert_eq!(map2.get(&h2, &(round * 4 + w)), Some(round));
@@ -2306,8 +2343,8 @@ mod tests {
         );
         drop(sh.into_heap().close().unwrap());
         // The set survives reopen with everything acked present.
-        let (h2, _) = ModHeap::open_file(&path, cfg).unwrap();
-        let map2 = DurableMap::<u64, u64>::open(&h2, 0);
+        let (mut h2, _) = ModHeap::open_file(&path, cfg).unwrap();
+        let map2: DurableMap<u64, u64> = h2.root(0).open().unwrap();
         for i in 0..fases {
             assert_eq!(map2.get(&h2, &i), Some(i));
         }

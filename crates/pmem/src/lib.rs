@@ -49,6 +49,7 @@ pub mod model;
 pub mod pmem;
 pub mod stats;
 pub mod trace;
+pub mod volatile;
 pub mod wpq;
 
 pub use arena::SharedArena;
@@ -62,4 +63,5 @@ pub use model::{fit_parallel_fraction, karp_flatt_serial_fraction, LatencyModel}
 pub use pmem::{CrashPolicy, LineHandoff, Pmem, PmemConfig, ReplayStats};
 pub use stats::{EpochHistogram, PmStats};
 pub use trace::{check_trace, TraceChecker, TraceEvent, Violation};
+pub use volatile::VolatileSet;
 pub use wpq::WpqModel;

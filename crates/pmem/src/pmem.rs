@@ -32,6 +32,7 @@ use crate::line::{line_of, lines_covering, CACHELINE};
 use crate::model::LatencyModel;
 use crate::stats::PmStats;
 use crate::trace::TraceEvent;
+use crate::volatile::VolatileSet;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
@@ -230,6 +231,10 @@ pub struct Pmem {
     /// Per-shard lanes (empty unless [`Pmem::configure_shards`] ran).
     lanes: Vec<ShardLane>,
     active_shard: usize,
+    /// Volatile node-cache marks ("Don't Persist All" hybrid roots):
+    /// shared by every forked handle, empty on crash images and fresh
+    /// opens — volatility is process state.
+    volatile: Arc<VolatileSet>,
     trace: Vec<TraceEvent>,
 }
 
@@ -325,6 +330,7 @@ impl Pmem {
             shard_drain: WpqDrain::new(),
             lanes: Vec::new(),
             active_shard: 0,
+            volatile: Arc::new(VolatileSet::new(cfg.capacity)),
             trace: Vec::new(),
             cfg,
         }
@@ -584,12 +590,16 @@ impl Pmem {
     }
 
     /// Reads `buf.len()` bytes at `addr` through the cache model.
+    /// Volatile node-cache lines bypass the model: a hybrid root's
+    /// interior index is DRAM state, not simulated PM traffic.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
-        self.charge_read_lines(addr, buf.len() as u64);
+        if !self.volatile.contains(addr) {
+            self.charge_read_lines(addr, buf.len() as u64);
+        }
         self.data.read(addr, buf);
     }
 
@@ -606,6 +616,19 @@ impl Pmem {
     ///
     /// Panics if the range is out of bounds.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        if self.volatile.contains(addr) {
+            // Volatile node-cache store: never dirty, never flushed,
+            // never journaled, never charged. The line can't be in the
+            // dirty/in-flight table (volatile blocks own whole lines and
+            // are marked before their first store), so the raced-
+            // writeback pre-image logic below can't apply either.
+            debug_assert!(
+                lines_covering(addr, buf.len() as u64).all(|l| self.volatile.contains(l)),
+                "write straddles a volatile/persistent block boundary"
+            );
+            self.data.write(addr, buf);
+            return;
+        }
         // Persist pre-store content of any in-flight line being rewritten
         // (see charge_write_lines): do it before mutating `data`. The
         // racing writeback is modelled as having completed, so a file
@@ -694,6 +717,16 @@ impl Pmem {
     /// work.
     pub fn clwb(&mut self, addr: u64) {
         let line = line_of(addr);
+        if self.volatile.contains(line) {
+            // Flush of a volatile node-cache line: the whole point of
+            // the hybrid policy is that this writeback never happens.
+            // Count what full persistence would have paid.
+            self.stats.flushes_avoided += 1;
+            if let Some(s) = self.lane_stats_mut() {
+                s.flushes_avoided += 1;
+            }
+            return;
+        }
         self.stats.flushes += 1;
         if let Some(s) = self.lane_stats_mut() {
             s.flushes += 1;
@@ -820,6 +853,49 @@ impl Pmem {
         if self.cfg.trace {
             self.trace.push(TraceEvent::Fence);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Volatile node cache ("Don't Persist All" hybrid roots)
+    // ------------------------------------------------------------------
+
+    /// Marks `[addr, addr + len)` as volatile node-cache lines: stores
+    /// bypass the cache/latency model, `clwb` is elided (counted in
+    /// [`PmStats::flushes_avoided`]) and the data is excluded from
+    /// journaling, checkpoints and crash images. The range must cover
+    /// whole cachelines — the allocator gives hybrid node blocks
+    /// exclusive-line footprints. Marks are shared with every handle of
+    /// the pool and die with the process (crash images start empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not a multiple of 64.
+    pub fn mark_volatile(&mut self, addr: u64, len: u64) {
+        self.volatile.mark(addr, len);
+        self.stats.volatile_node_bytes += len;
+        if let Some(s) = self.lane_stats_mut() {
+            s.volatile_node_bytes += len;
+        }
+    }
+
+    /// Clears the volatile marks of `[addr, addr + len)` (block freed:
+    /// a recycled block must not inherit volatility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not a multiple of 64.
+    pub fn clear_volatile(&mut self, addr: u64, len: u64) {
+        self.volatile.clear(addr, len);
+    }
+
+    /// Whether `addr` lies on a volatile node-cache line.
+    pub fn is_volatile(&self, addr: u64) -> bool {
+        self.volatile.contains(addr)
+    }
+
+    /// Number of currently volatile node-cache lines.
+    pub fn volatile_lines(&self) -> u64 {
+        self.volatile.marked_lines()
     }
 
     /// Number of flushes issued but not yet ordered by a fence.
@@ -980,6 +1056,9 @@ impl Pmem {
             None,
         );
         handle.clock = clock;
+        // One pool, one volatile-mark set: a worker's hybrid node blocks
+        // must look volatile to the commit stage and to every reader.
+        handle.volatile = Arc::clone(&self.volatile);
         handle
     }
 
@@ -1309,6 +1388,73 @@ mod tests {
         pm.write_bytes(0x100, &[1u8; 200]);
         pm.flush_range(0x100, 200);
         assert_eq!(pm.inflight_flushes(), 4); // 0x100..0x1c8 → 4 lines
+    }
+
+    #[test]
+    fn volatile_lines_bypass_the_persistence_pipeline() {
+        let mut pm = testing_pmem();
+        pm.mark_volatile(0x1000, 64);
+        let t0 = pm.clock().now_ns();
+        pm.write_u64(0x1000, 77);
+        pm.clwb(0x1000);
+        assert_eq!(pm.clock().now_ns(), t0, "volatile traffic is uncharged");
+        assert_eq!(pm.stats().flushes, 0);
+        assert_eq!(pm.stats().flushes_avoided, 1);
+        assert_eq!(pm.stats().writes, 0);
+        assert_eq!(pm.stats().volatile_node_bytes, 64);
+        assert_eq!(pm.inflight_flushes(), 0, "never enters the line table");
+        pm.sfence();
+        assert_eq!(pm.read_u64(0x1000), 77, "reads see the live value");
+        assert!(pm.clock().now_ns() > t0, "the fence itself charges");
+        let img = pm.crash_image(CrashPolicy::PersistAll);
+        assert_eq!(
+            img.peek_u64(0x1000),
+            0,
+            "volatile data never survives a crash"
+        );
+    }
+
+    #[test]
+    fn volatile_marks_are_shared_with_forked_handles() {
+        let mut pm = testing_pmem();
+        let mut worker = pm.fork_handle();
+        worker.mark_volatile(0x2000, 128);
+        assert!(
+            pm.is_volatile(0x2040),
+            "commit stage sees the worker's mark"
+        );
+        pm.write_u64(0x2040, 9);
+        assert_eq!(pm.stats().writes, 0, "uncharged on the parent too");
+        assert_eq!(worker.stats().volatile_node_bytes, 128);
+        assert_eq!(
+            pm.stats().volatile_node_bytes,
+            0,
+            "charged to the marking handle"
+        );
+    }
+
+    #[test]
+    fn cleared_volatile_line_persists_again() {
+        let mut pm = testing_pmem();
+        pm.mark_volatile(0x3000, 64);
+        pm.clear_volatile(0x3000, 64);
+        pm.write_u64(0x3000, 5);
+        pm.clwb(0x3000);
+        pm.sfence();
+        let img = pm.crash_image(CrashPolicy::OnlyFenced);
+        assert_eq!(img.peek_u64(0x3000), 5, "unmarked line is ordinary PM");
+        assert_eq!(pm.stats().flushes, 1);
+        assert_eq!(pm.stats().flushes_avoided, 0);
+    }
+
+    #[test]
+    fn crash_image_starts_with_an_empty_volatile_set() {
+        let mut pm = testing_pmem();
+        pm.mark_volatile(0x1000, 64);
+        let mut img = pm.crash_image(CrashPolicy::OnlyFenced);
+        assert!(!img.is_volatile(0x1000));
+        img.write_u64(0x1000, 3);
+        assert_eq!(img.stats().writes, 1, "post-crash pool charges normally");
     }
 
     #[test]

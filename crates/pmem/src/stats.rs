@@ -87,6 +87,14 @@ pub struct PmStats {
     /// flight: the part of the drain calendar still in the future when
     /// the `sfence` executed.
     pub residual_stall_ns: f64,
+    /// `clwb`s that targeted a volatile node-cache line and were elided
+    /// ("Don't Persist All" hybrid roots): flush traffic a full-
+    /// persistence structure would have paid.
+    pub flushes_avoided: u64,
+    /// Cumulative bytes of interior-node blocks marked volatile by this
+    /// handle (hybrid roots' index footprint kept out of the persistence
+    /// pipeline).
+    pub volatile_node_bytes: u64,
     /// Distribution of flushes outstanding per fence.
     pub epoch_hist: EpochHistogram,
 }
@@ -108,6 +116,8 @@ impl PmStats {
         self.bytes_written += other.bytes_written;
         self.overlap_ns += other.overlap_ns;
         self.residual_stall_ns += other.residual_stall_ns;
+        self.flushes_avoided += other.flushes_avoided;
+        self.volatile_node_bytes += other.volatile_node_bytes;
         for (flushes, occurrences) in other.epoch_hist.iter() {
             for _ in 0..occurrences {
                 self.epoch_hist.record(flushes);
@@ -127,6 +137,8 @@ impl PmStats {
             bytes_written: self.bytes_written - earlier.bytes_written,
             overlap_ns: self.overlap_ns - earlier.overlap_ns,
             residual_stall_ns: self.residual_stall_ns - earlier.residual_stall_ns,
+            flushes_avoided: self.flushes_avoided - earlier.flushes_avoided,
+            volatile_node_bytes: self.volatile_node_bytes - earlier.volatile_node_bytes,
             epoch_hist: EpochHistogram::new(),
         }
     }

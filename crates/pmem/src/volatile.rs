@@ -1,0 +1,176 @@
+//! The volatile node cache: per-line volatility marks for "Don't
+//! Persist All" hybrid roots.
+//!
+//! A hybrid root keeps its interior CHAMP/RRB index in ordinary pool
+//! storage but marks the cachelines of those blocks *volatile*: stores
+//! to a volatile line bypass the cache/latency model entirely, `clwb`
+//! on one is a counted no-op ([`crate::PmStats::flushes_avoided`]), and
+//! — because a volatile line never enters the dirty/in-flight line
+//! table — it is never copied to the durable image, never journaled by
+//! a fence, and never part of a [`crate::Pmem::crash_image`]. Recovery
+//! rebuilds the index from the root's persistent spine and re-marks the
+//! fresh blocks.
+//!
+//! The mark set is shared by every handle forked from a pool
+//! ([`crate::Pmem::fork_handle`]): a worker marks the blocks it
+//! allocates and the commit stage (or any reader) observes the same
+//! marks. Marks are line-granular and only ever cover whole lines —
+//! the allocator rounds hybrid node blocks up to exclusive-cacheline
+//! footprints so a volatile mark can never swallow a neighboring
+//! persistent block's bytes.
+//!
+//! Crash images and freshly opened pools start with an empty set:
+//! volatility is process state, exactly like the simulated cache.
+
+use crate::line::CACHELINE;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared set of volatile cachelines, indexed by line number
+/// (`addr / 64`). Lock-free: bits are set/cleared with atomic RMW and
+/// read with relaxed loads. The `enabled` flag short-circuits every
+/// check on pools that never mark anything (pure `Full`-policy pools
+/// pay one relaxed load per access path).
+#[derive(Debug)]
+pub struct VolatileSet {
+    /// One bit per cacheline of the pool.
+    bits: Vec<AtomicU64>,
+    /// True once any line was ever marked; never cleared (the fast-path
+    /// gate, not a count).
+    enabled: AtomicBool,
+}
+
+impl VolatileSet {
+    /// An empty set for a pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> VolatileSet {
+        let lines = capacity.div_ceil(CACHELINE);
+        let words = lines.div_ceil(64) as usize;
+        let mut bits = Vec::with_capacity(words);
+        bits.resize_with(words, || AtomicU64::new(0));
+        VolatileSet {
+            bits,
+            enabled: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any line was ever marked (fast gate for the hot paths).
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether the line containing `addr` is marked volatile.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        if !self.any() {
+            return false;
+        }
+        let line = addr / CACHELINE;
+        let (w, b) = (line / 64, line % 64);
+        match self.bits.get(w as usize) {
+            Some(word) => word.load(Ordering::Relaxed) & (1 << b) != 0,
+            None => false,
+        }
+    }
+
+    /// Marks every line of `[addr, addr + len)` volatile. The range must
+    /// be line-aligned on both ends: volatile blocks own whole lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not a multiple of the cacheline size.
+    pub fn mark(&self, addr: u64, len: u64) {
+        assert_eq!(addr % CACHELINE, 0, "volatile mark must be line-aligned");
+        assert_eq!(len % CACHELINE, 0, "volatile mark must cover whole lines");
+        self.enabled.store(true, Ordering::Relaxed);
+        for line in addr / CACHELINE..(addr + len) / CACHELINE {
+            let (w, b) = (line / 64, line % 64);
+            self.bits[w as usize].fetch_or(1 << b, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears the volatile marks of `[addr, addr + len)` (on free, so a
+    /// recycled block never inherits stale volatility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `len` is not a multiple of the cacheline size.
+    pub fn clear(&self, addr: u64, len: u64) {
+        assert_eq!(addr % CACHELINE, 0, "volatile clear must be line-aligned");
+        assert_eq!(len % CACHELINE, 0, "volatile clear must cover whole lines");
+        for line in addr / CACHELINE..(addr + len) / CACHELINE {
+            let (w, b) = (line / 64, line % 64);
+            self.bits[w as usize].fetch_and(!(1 << b), Ordering::Relaxed);
+        }
+    }
+
+    /// Number of currently marked lines (observability; O(pool lines)).
+    pub fn marked_lines(&self) -> u64 {
+        if !self.any() {
+            return 0;
+        }
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_contains_nothing() {
+        let s = VolatileSet::new(1 << 20);
+        assert!(!s.any());
+        assert!(!s.contains(0));
+        assert!(!s.contains(4096));
+        assert_eq!(s.marked_lines(), 0);
+    }
+
+    #[test]
+    fn mark_covers_every_byte_of_the_range() {
+        let s = VolatileSet::new(1 << 20);
+        s.mark(256, 128);
+        assert!(s.any());
+        assert!(s.contains(256));
+        assert!(s.contains(300), "mid-line byte");
+        assert!(s.contains(383), "last byte of the range");
+        assert!(!s.contains(255), "byte before");
+        assert!(!s.contains(384), "line after");
+        assert_eq!(s.marked_lines(), 2);
+    }
+
+    #[test]
+    fn clear_removes_marks_but_not_the_gate() {
+        let s = VolatileSet::new(1 << 20);
+        s.mark(0, 64);
+        s.mark(1024, 64);
+        s.clear(0, 64);
+        assert!(!s.contains(0));
+        assert!(s.contains(1024));
+        assert!(s.any(), "gate stays up once anything was marked");
+        assert_eq!(s.marked_lines(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn unaligned_mark_panics() {
+        let s = VolatileSet::new(1 << 20);
+        s.mark(16, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lines")]
+    fn partial_line_mark_panics() {
+        let s = VolatileSet::new(1 << 20);
+        s.mark(64, 48);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = VolatileSet::new(128);
+        s.mark(0, 64);
+        assert!(!s.contains(1 << 30));
+    }
+}

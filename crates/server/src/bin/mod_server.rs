@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! mod_server serve <pool-file> [--addr A] [--workers N] [--window W] [--timeout-ms T]
+//!                              [--durability fsync|buffered] [--journal-shards N]
+//!                              [--persist-policy full|hybrid]
 //! mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]
 //! ```
 //!
@@ -11,7 +13,7 @@
 //! (that is the point). `loadgen` prints a one-line throughput/latency
 //! summary.
 
-use mod_core::CommitMode;
+use mod_core::{CommitMode, PersistPolicy};
 use mod_pmem::Durability;
 use mod_server::{pool, run_loadgen, serve_with, LoadgenConfig, ServerConfig};
 use std::time::Duration;
@@ -21,7 +23,11 @@ fn usage() -> ! {
         "usage:\n  \
          mod_server serve <pool-file> [--addr A] [--workers N] [--window W] [--timeout-ms T]\n  \
          \x20                         [--durability fsync|buffered] [--journal-shards N]\n  \
-         mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]"
+         \x20                         [--persist-policy full|hybrid]\n  \
+         mod_server loadgen <addr> [--conns N] [--window W] [--ops N] [--set-pct P]\n\n\
+         --persist-policy hybrid keeps interior index nodes volatile (journaling only\n\
+         compact op records; the index is rebuilt from them at recovery). The policy is\n\
+         recorded in the pool: reopening under the other policy fails with a typed error."
     );
     std::process::exit(2);
 }
@@ -74,6 +80,11 @@ fn main() {
                 _ => usage(),
             };
             let journal_shards: u16 = flag(&flags, "journal-shards", workers as u16).max(1);
+            let policy = match flag(&flags, "persist-policy", "full".to_string()).as_str() {
+                "full" => PersistPolicy::Full,
+                "hybrid" => PersistPolicy::Hybrid,
+                _ => usage(),
+            };
             let mode = CommitMode::Group {
                 max_batch: workers.max(4),
                 timeout: Duration::from_millis(timeout_ms.max(1)),
@@ -84,6 +95,7 @@ fn main() {
                 mode,
                 durability,
                 journal_shards,
+                policy,
             )
             .unwrap_or_else(|e| {
                 eprintln!("cannot open pool {pool_path}: {e}");

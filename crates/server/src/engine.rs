@@ -37,7 +37,9 @@
 //! and lose an update or double-apply a session.
 
 use crate::proto::{Command, Reply};
-use mod_core::{DurableMap, DurableQueue, DurableVector, Fase, ModHeap, OpenError, SnapshotView};
+use mod_core::{
+    DurableMap, DurableQueue, DurableVector, Fase, ModHeap, OpenError, PersistPolicy, SnapshotView,
+};
 
 /// Handles to the five typed server roots (cheap to copy; all state is
 /// in the heap).
@@ -58,38 +60,45 @@ pub struct ServerRoots {
 impl ServerRoots {
     /// Publishes the five roots into a fresh heap (directory indices
     /// 0–4, in lane order).
-    pub fn create(heap: &mut ModHeap) -> ServerRoots {
+    pub fn create(heap: &mut ModHeap, policy: PersistPolicy) -> ServerRoots {
+        let sessions = heap.root(0).policy(policy).create();
+        let kv = heap.root(1).policy(policy).create();
+        let next_id: DurableVector<u64> = heap.root(2).policy(policy).create();
+        next_id.push_back(heap, &0);
+        let list_ids = heap.root(3).policy(policy).create();
+        let list_blobs = heap.root(4).policy(policy).create();
         ServerRoots {
-            sessions: DurableMap::create(heap),
-            kv: DurableMap::create(heap),
-            next_id: DurableVector::create_from(heap, &[0u64]),
-            list_ids: DurableQueue::create(heap),
-            list_blobs: DurableMap::create(heap),
+            sessions,
+            kv,
+            next_id,
+            list_ids,
+            list_blobs,
         }
     }
 
-    /// Reattaches to the roots of a reopened pool, verifying kinds and
-    /// codecs against the persistent directory.
+    /// Reattaches to the roots of a reopened pool, verifying kinds,
+    /// codecs, and persistence policy against the persistent directory.
     ///
     /// # Errors
     ///
-    /// Returns the first root that is missing or of the wrong shape.
-    pub fn open(heap: &ModHeap) -> Result<ServerRoots, OpenError> {
+    /// Returns the first root that is missing or of the wrong shape —
+    /// including a pool created under the other [`PersistPolicy`].
+    pub fn open(heap: &mut ModHeap, policy: PersistPolicy) -> Result<ServerRoots, OpenError> {
         Ok(ServerRoots {
-            sessions: DurableMap::try_open(heap, 0)?,
-            kv: DurableMap::try_open(heap, 1)?,
-            next_id: DurableVector::try_open(heap, 2)?,
-            list_ids: DurableQueue::try_open(heap, 3)?,
-            list_blobs: DurableMap::try_open(heap, 4)?,
+            sessions: heap.root(0).policy(policy).open()?,
+            kv: heap.root(1).policy(policy).open()?,
+            next_id: heap.root(2).policy(policy).open()?,
+            list_ids: heap.root(3).policy(policy).open()?,
+            list_blobs: heap.root(4).policy(policy).open()?,
         })
     }
 
     /// Opens the roots if the pool has them, creates them otherwise.
-    pub fn ensure(heap: &mut ModHeap) -> ServerRoots {
-        match ServerRoots::open(heap) {
+    pub fn ensure(heap: &mut ModHeap, policy: PersistPolicy) -> ServerRoots {
+        match ServerRoots::open(heap, policy) {
             Ok(r) => r,
             Err(OpenError::NoSuchRoot { .. }) if heap.root_count() == 0 => {
-                ServerRoots::create(heap)
+                ServerRoots::create(heap, policy)
             }
             Err(e) => panic!("pool holds incompatible roots: {e}"),
         }
@@ -246,7 +255,7 @@ mod tests {
 
     fn heap() -> (ModHeap, ServerRoots) {
         let mut h = ModHeap::create(Pmem::new(PmemConfig::testing()));
-        let roots = ServerRoots::create(&mut h);
+        let roots = ServerRoots::create(&mut h, PersistPolicy::Full);
         (h, roots)
     }
 
@@ -407,7 +416,7 @@ mod tests {
     fn snapshot_helpers_serve_published_state() {
         use mod_core::SharedModHeap;
         let sh = SharedModHeap::create(Pmem::new(PmemConfig::testing()), 1);
-        let r = sh.setup(ServerRoots::create);
+        let r = sh.setup(|h| ServerRoots::create(h, PersistPolicy::Full));
         sh.fase(0, |tx| {
             r.execute_in(
                 tx,
@@ -538,8 +547,8 @@ mod tests {
         );
         h.quiesce();
         let img = h.nv().pm().crash_image(mod_pmem::CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
-        let r2 = ServerRoots::open(&h2).unwrap();
+        let (mut h2, _) = ModHeap::open(img);
+        let r2 = ServerRoots::open(&mut h2, PersistPolicy::Full).unwrap();
         assert_eq!(r2.kv.get(&h2, &b"k".to_vec()), Some(b"v".to_vec()));
         assert_eq!(r2.list_ids.len(&h2), 1);
     }

@@ -2,7 +2,7 @@
 //! on reopen, and sharding onto worker slots.
 
 use crate::engine::ServerRoots;
-use mod_core::{CommitMode, ModHeap, SharedModHeap};
+use mod_core::{CommitMode, ModHeap, PersistPolicy, SharedModHeap};
 use mod_pmem::{Durability, PmemConfig};
 use std::io;
 use std::path::Path;
@@ -36,7 +36,14 @@ pub fn open_or_create(
     workers: usize,
     mode: CommitMode,
 ) -> io::Result<(SharedModHeap, ServerRoots)> {
-    open_or_create_with(path, workers, mode, Durability::Buffered, 1)
+    open_or_create_with(
+        path,
+        workers,
+        mode,
+        Durability::Buffered,
+        1,
+        PersistPolicy::Full,
+    )
 }
 
 /// [`open_or_create`] with an explicit durability grade and journal
@@ -51,6 +58,12 @@ pub fn open_or_create(
 /// the on-disk layout (the header is authoritative). Durability applies
 /// either way.
 ///
+/// `policy` selects the persistence mode the roots are created under —
+/// [`PersistPolicy::Hybrid`] keeps interior index nodes volatile and
+/// journals only compact op records, rebuilding the index at recovery.
+/// The policy is recorded durably in the root directory, so reopening
+/// an existing pool under the other policy fails rather than corrupt.
+///
 /// # Errors
 ///
 /// Same contract as [`open_or_create`].
@@ -60,6 +73,7 @@ pub fn open_or_create_with(
     mode: CommitMode,
     durability: Durability,
     journal_shards: u16,
+    policy: PersistPolicy,
 ) -> io::Result<(SharedModHeap, ServerRoots)> {
     let cfg = PmemConfig {
         durability,
@@ -77,7 +91,7 @@ pub fn open_or_create_with(
             let _ = std::fs::remove_file(sp);
         }
         let mut heap = ModHeap::create_file(&init, cfg.clone())?;
-        let _ = ServerRoots::create(&mut heap);
+        let _ = ServerRoots::create(&mut heap, policy);
         drop(heap.close()?);
         // Move the shard journals first, the base last: recovery keys
         // off the base file, so a kill mid-rename still reads as
@@ -93,7 +107,7 @@ pub fn open_or_create_with(
         }
         std::fs::rename(&init, path)?;
     }
-    let (heap, _report) = ModHeap::open_file(path, cfg)?;
-    let roots = ServerRoots::open(&heap).map_err(io::Error::other)?;
+    let (mut heap, _report) = ModHeap::open_file(path, cfg)?;
+    let roots = ServerRoots::open(&mut heap, policy).map_err(io::Error::other)?;
     Ok((SharedModHeap::from_heap_with(heap, workers, mode), roots))
 }

@@ -150,6 +150,49 @@ fn mod_map(scale: &ScaleConfig, as_set: bool) -> RunReport {
     }
 }
 
+/// The map microbenchmark on MOD under [`PersistPolicy::Hybrid`]
+/// ("Don't Persist All"): same key mix and op count as the `Full` run in
+/// [`run_micro`], but the interior index nodes live in the volatile node
+/// cache and only compact spine records are persisted. Fully
+/// deterministic in the simulation, so its flushes/op gates bit-exactly.
+///
+/// [`PersistPolicy::Hybrid`]: mod_core::PersistPolicy::Hybrid
+pub fn run_map_hybrid(scale: &ScaleConfig) -> RunReport {
+    use mod_core::{DurableMap, PersistPolicy};
+    let mut heap = ModHeap::create(bench_pm(scale));
+    let map: DurableMap<u64, Vec<u8>> = heap.root(0).policy(PersistPolicy::Hybrid).create();
+    let mut rng = WorkloadRng::new(scale.seed);
+    let key_space = (scale.preload * 2).max(16);
+    let mut profile = OpProfile {
+        op: "map-insert".to_string(),
+        ..OpProfile::default()
+    };
+    for _ in 0..scale.preload {
+        let k = rng.below(key_space);
+        map.insert(&mut heap, &k, &value32(k).to_vec());
+    }
+    let snap = Snapshot::take(heap.nv().pm(), heap.nv().stats().cumulative_alloc_bytes);
+    for _ in 0..scale.ops {
+        let k = rng.below(key_space);
+        let before = OpCounters::read(heap.nv().pm());
+        map.insert(&mut heap, &k, &value32(k).to_vec());
+        let (f, s) = OpCounters::read(heap.nv().pm()).since(&before);
+        profile.record(f, s);
+        let probe = rng.below(key_space);
+        #[allow(deprecated)]
+        let _ = map.get_mut(&mut heap, &probe); // charged probe, as in the Full run
+    }
+    snap.finish(
+        heap.nv().pm(),
+        heap.nv().stats().cumulative_alloc_bytes,
+        heap.nv().stats().live_bytes,
+        Workload::Map,
+        System::Mod,
+        scale.ops,
+        vec![profile],
+    )
+}
+
 fn stm_map(scale: &ScaleConfig, mode: TxMode, sys: System, as_set: bool) -> RunReport {
     let (workload, label) = if as_set {
         (Workload::Set, "set-insert")

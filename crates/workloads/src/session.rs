@@ -20,7 +20,7 @@
 //! kill-test asserts after `SIGKILL`ing a writer at a random point: all
 //! committed FASEs present, all-or-nothing, torn journal tail discarded.
 
-use mod_core::{DurableMap, DurableQueue, DurableVector, ModHeap};
+use mod_core::{DurableMap, DurableQueue, DurableVector, ModHeap, PersistPolicy};
 use mod_pmem::{Durability, PmemConfig};
 use std::io;
 use std::path::Path;
@@ -80,6 +80,11 @@ fn last_writer(n: u64, j: u64) -> Option<u64> {
 ///   set (parallel replay at recovery). Reopens keep the on-disk shape.
 /// * `MOD_SESSION_FSYNC=1` — append with [`Durability::Fsync`]: every
 ///   fence record hits the medium before the op is counted committed.
+/// * `MOD_SESSION_POLICY=hybrid` — create (and reopen) the three roots
+///   under [`PersistPolicy::Hybrid`]: interior index nodes stay
+///   volatile, only compact op records are journaled, and recovery
+///   rebuilds the index by replay. The verifier checks the identical
+///   shadow model either way.
 fn pool_config() -> PmemConfig {
     let journal_shards = std::env::var("MOD_SESSION_SHARDS")
         .ok()
@@ -97,6 +102,17 @@ fn pool_config() -> PmemConfig {
         journal_shards,
         durability,
         ..PmemConfig::default()
+    }
+}
+
+/// The persistence policy the session's roots are created and reopened
+/// under (`MOD_SESSION_POLICY=hybrid` selects hybrid; anything else —
+/// including unset — selects full persistence).
+pub fn session_policy() -> PersistPolicy {
+    if std::env::var("MOD_SESSION_POLICY").is_ok_and(|v| v == "hybrid") {
+        PersistPolicy::Hybrid
+    } else {
+        PersistPolicy::Full
     }
 }
 
@@ -119,9 +135,11 @@ pub fn open_session(path: &Path, seed: u64) -> io::Result<Session> {
             let _ = std::fs::remove_file(sp);
         }
         let mut heap = ModHeap::create_file(&init, cfg.clone())?;
-        let _map: DurableMap<u64, u64> = DurableMap::create(&mut heap); // root 0
-        let _queue: DurableQueue<u64> = DurableQueue::create(&mut heap); // root 1
-        let _count: DurableVector<u64> = DurableVector::create_from(&mut heap, &[0u64]); // root 2
+        let policy = session_policy();
+        let _map: DurableMap<u64, u64> = heap.root(0).policy(policy).create();
+        let _queue: DurableQueue<u64> = heap.root(1).policy(policy).create();
+        let count: DurableVector<u64> = heap.root(2).policy(policy).create();
+        count.push_back(&mut heap, &0);
         drop(heap.close()?);
         // Shard journals move first, the base last: a verifier keys off
         // the base file, so a kill mid-rename still reads "no session
@@ -137,8 +155,8 @@ pub fn open_session(path: &Path, seed: u64) -> io::Result<Session> {
         }
         std::fs::rename(&init, path)?;
     }
-    let (heap, _report) = ModHeap::open_file(path, pool_config())?;
-    let (roots, committed) = check_session(&heap, seed).map_err(io::Error::other)?;
+    let (mut heap, _report) = ModHeap::open_file(path, pool_config())?;
+    let (roots, committed) = check_session(&mut heap, seed).map_err(io::Error::other)?;
     Ok(Session {
         heap,
         roots,
@@ -185,16 +203,29 @@ pub fn verify_session(path: &Path, seed: u64) -> io::Result<u64> {
     if !path.exists() {
         return Ok(0);
     }
-    let (heap, _report) = ModHeap::open_file(path, pool_config())?;
-    let (_roots, n) = check_session(&heap, seed).map_err(io::Error::other)?;
+    let (mut heap, _report) = ModHeap::open_file(path, pool_config())?;
+    let (_roots, n) = check_session(&mut heap, seed).map_err(io::Error::other)?;
     Ok(n)
 }
 
-fn check_session(heap: &ModHeap, seed: u64) -> Result<(SessionRoots, u64), String> {
+fn check_session(heap: &mut ModHeap, seed: u64) -> Result<(SessionRoots, u64), String> {
+    let policy = session_policy();
     let roots = SessionRoots {
-        map: DurableMap::try_open(heap, 0).map_err(|e| format!("map root: {e:?}"))?,
-        queue: DurableQueue::try_open(heap, 1).map_err(|e| format!("queue root: {e:?}"))?,
-        count: DurableVector::try_open(heap, 2).map_err(|e| format!("count root: {e:?}"))?,
+        map: heap
+            .root(0)
+            .policy(policy)
+            .open()
+            .map_err(|e| format!("map root: {e:?}"))?,
+        queue: heap
+            .root(1)
+            .policy(policy)
+            .open()
+            .map_err(|e| format!("queue root: {e:?}"))?,
+        count: heap
+            .root(2)
+            .policy(policy)
+            .open()
+            .map_err(|e| format!("count root: {e:?}"))?,
     };
     if roots.count.len(heap) != 1 {
         return Err("count vector must hold exactly one element".into());

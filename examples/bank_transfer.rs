@@ -72,9 +72,9 @@ fn main() {
     println!("-- crash mid-transfer (testing 5 adversarial subsets) --");
     for seed in 0..5u64 {
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (h2, _) = ModHeap::open(img);
-        let c2: Book = DurableMap::open(&h2, 0);
-        let s2: Book = DurableMap::open(&h2, 1);
+        let (mut h2, _) = ModHeap::open(img);
+        let c2: Book = h2.root(0).open().unwrap();
+        let s2: Book = h2.root(1).open().unwrap();
         let t = total(&h2, &c2, &s2);
         println!("  seed {seed}: total after recovery = {t}");
         assert_eq!(t, 6000, "money neither created nor destroyed");

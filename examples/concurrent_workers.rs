@@ -90,9 +90,9 @@ fn main() {
     // FASE all-or-nothing.
     shared.quiesce();
     let img = shared.crash_image(CrashPolicy::OnlyFenced);
-    let (heap, report) = ModHeap::open(img);
-    let queue = DurableQueue::<u64>::open(&heap, 0);
-    let ledger = DurableMap::<u64, u64>::open(&heap, 1);
+    let (mut heap, report) = ModHeap::open(img);
+    let queue: DurableQueue<u64> = heap.root(0).open().unwrap();
+    let ledger: DurableMap<u64, u64> = heap.root(1).open().unwrap();
     println!(
         "after crash + recovery: {} live blocks, queue {} / ledger {}",
         report.live_blocks,

@@ -72,8 +72,8 @@ fn main() {
     heap.quiesce();
     let img = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
     let (mut heap, report) = ModHeap::open(img);
-    let frontier: DurableQueue<u32> = DurableQueue::open(&heap, 0);
-    let levels: DurableMap<u64, u32> = DurableMap::open(&heap, 1);
+    let frontier: DurableQueue<u32> = heap.root(0).open().unwrap();
+    let levels: DurableMap<u64, u32> = heap.root(1).open().unwrap();
     println!(
         "recovered: frontier holds {} nodes, {} levels recorded, {} live blocks",
         frontier.len(&heap),

@@ -26,9 +26,9 @@ impl KvStore {
         }
     }
 
-    fn open(heap: &ModHeap) -> KvStore {
+    fn open(heap: &mut ModHeap) -> KvStore {
         KvStore {
-            map: DurableMap::open(heap, 0),
+            map: heap.root(0).open().unwrap(),
         }
     }
 
@@ -76,8 +76,8 @@ fn main() {
     heap.quiesce();
     let img = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
     println!("-- restart --");
-    let (heap, _) = ModHeap::open(img);
-    let kv = KvStore::open(&heap);
+    let (mut heap, _) = ModHeap::open(img);
+    let kv = KvStore::open(&mut heap);
     assert_eq!(
         kv.get(&heap, "user:42:email"),
         Some(b"ada@example.org".to_vec())

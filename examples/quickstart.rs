@@ -49,12 +49,12 @@ fn main() {
 
     // Recovery is self-describing: the root directory knows there is a
     // map at index 0 (opening it as another type would panic).
-    let (heap, report) = ModHeap::open(crashed);
+    let (mut heap, report) = ModHeap::open(crashed);
     println!(
         "recovered {} live blocks ({} bytes); leaked shadow reclaimed by GC",
         report.live_blocks, report.live_bytes
     );
-    let map: DurableMap<u64, String> = DurableMap::open(&heap, 0);
+    let map: DurableMap<u64, String> = heap.root(0).open().unwrap();
     for k in [1u64, 2, 3, 99] {
         match map.get(&heap, &k) {
             Some(v) => println!("  key {k} -> {v:?}"),

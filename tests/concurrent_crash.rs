@@ -98,9 +98,9 @@ fn run(seed: u64, halt_at: Option<u64>) -> RunOutcome {
 
 /// Recovers a crash image and returns `(queue tokens, ledger keys)`.
 fn recover(image: Pmem) -> (Vec<u64>, BTreeSet<u64>) {
-    let (heap, _report) = ModHeap::open(image);
-    let queue = DurableQueue::<u64>::open(&heap, 0);
-    let map = DurableMap::<u64, u64>::open(&heap, 1);
+    let (mut heap, _report) = ModHeap::open(image);
+    let queue: DurableQueue<u64> = heap.root(0).open().unwrap();
+    let map: DurableMap<u64, u64> = heap.root(1).open().unwrap();
     let root = queue.root();
     let qtokens = heap.current(root).peek_to_vec(heap.nv());
     let mroot = map.root();

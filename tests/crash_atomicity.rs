@@ -63,7 +63,7 @@ fn map_recovers_to_a_committed_prefix() {
         }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
         let (mut h2, _) = ModHeap::open(img);
-        let recovered: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 0);
+        let recovered: DurableMap<u64, Vec<u8>> = h2.root(0).open().unwrap();
         let mut got: Vec<(u64, Vec<u8>)> = h2.current(recovered.root()).to_vec(h2.nv_mut());
         got.sort();
         let matches_some_prefix = prefix_states.iter().any(|state| {
@@ -106,7 +106,7 @@ fn queue_recovers_to_a_committed_prefix() {
         }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
         let (mut h2, _) = ModHeap::open(img);
-        let q: DurableQueue<u64> = DurableQueue::open(&h2, 0);
+        let q: DurableQueue<u64> = h2.root(0).open().unwrap();
         let got = h2.current(q.root()).to_vec(h2.nv_mut());
         assert!(
             prefix_states.contains(&got),
@@ -137,7 +137,7 @@ fn stack_recovers_to_a_committed_prefix() {
         }
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
         let (mut h2, _) = ModHeap::open(img);
-        let s: DurableStack<u64> = DurableStack::open(&h2, 0);
+        let s: DurableStack<u64> = h2.root(0).open().unwrap();
         let got = h2.current(s.root()).to_vec(h2.nv_mut());
         assert!(
             prefix_states.contains(&got),
@@ -160,9 +160,9 @@ struct TriState {
 
 fn observe(pm: Pmem) -> TriState {
     let (mut h, _) = ModHeap::open(pm);
-    let map: DurableMap<u64, Vec<u8>> = DurableMap::open(&h, 0);
-    let queue: DurableQueue<u64> = DurableQueue::open(&h, 1);
-    let stack: DurableStack<u64> = DurableStack::open(&h, 2);
+    let map: DurableMap<u64, Vec<u8>> = h.root(0).open().unwrap();
+    let queue: DurableQueue<u64> = h.root(1).open().unwrap();
+    let stack: DurableStack<u64> = h.root(2).open().unwrap();
     let mut m = h.current(map.root()).to_vec(h.nv_mut());
     m.sort();
     TriState {
@@ -273,9 +273,9 @@ fn multi_root_fase_is_all_or_nothing_under_crashes() {
             b.insert_in(tx, &2, &b"b1".to_vec());
         });
         let img = heap.nv().pm().crash_image(CrashPolicy::Seeded(seed));
-        let (h2, _) = ModHeap::open(img);
-        let a2: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 0);
-        let b2: DurableMap<u64, Vec<u8>> = DurableMap::open(&h2, 1);
+        let (mut h2, _) = ModHeap::open(img);
+        let a2: DurableMap<u64, Vec<u8>> = h2.root(0).open().unwrap();
+        let b2: DurableMap<u64, Vec<u8>> = h2.root(1).open().unwrap();
         let a_new = a2.contains_key(&h2, &1);
         let b_new = b2.contains_key(&h2, &2);
         assert_eq!(

@@ -112,7 +112,7 @@ fn multiple_process_lifetimes() {
     };
     for generation in 1..=5u64 {
         let (mut heap, report) = ModHeap::open(pm);
-        let map: DurableMap<u64, Vec<u8>> = DurableMap::open(&heap, 0);
+        let map: DurableMap<u64, Vec<u8>> = heap.root(0).open().unwrap();
         // Everything from previous generations is present.
         for g in 0..generation {
             let want = format!("generation-{g}");

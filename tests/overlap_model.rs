@@ -280,8 +280,8 @@ fn recovery_sees_committed_state_regardless_of_drain_timing() {
             heap.nv_mut().pm_mut().charge_ns(drain_time); // shadows drain
         }
         let img = heap.into_pm().crash_image(CrashPolicy::OnlyFenced);
-        let (h2, _) = ModHeap::open(img);
-        let map = DurableMap::<u64, u64>::open(&h2, 0);
+        let (mut h2, _) = ModHeap::open(img);
+        let map: DurableMap<u64, u64> = h2.root(0).open().unwrap();
         assert_eq!(map.get(&h2, &1), Some(11), "drain_time {drain_time}");
         assert_eq!(map.get(&h2, &2), None, "uncommitted stays invisible");
     }

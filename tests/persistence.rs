@@ -9,7 +9,9 @@
 
 use mod_core::{DurableMap, ModHeap};
 use mod_pmem::{Pmem, PmemConfig};
-use mod_workloads::session::{open_session, run_ops, verify_session, SLOTS, WINDOW};
+use mod_workloads::session::{
+    open_session, run_ops, session_policy, verify_session, SLOTS, WINDOW,
+};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::Duration;
@@ -230,6 +232,14 @@ fn pool_set_torn_shard_tail_recovers_to_the_frontier_at_any_cut() {
 
 #[test]
 fn compaction_bounds_the_file_and_preserves_state() {
+    // This is a journal-*volume* test: it pins how much the Full-policy
+    // journal grows and when it compacts. Under MOD_SESSION_POLICY=hybrid
+    // the same op count journals a fraction of the bytes and legitimately
+    // never crosses the threshold, so the hybrid battery skips it.
+    if session_policy() != mod_core::PersistPolicy::Full {
+        eprintln!("skipping: compaction volume test pins the Full journal shape");
+        return;
+    }
     let path = temp_pool("compaction");
     let seed = 42u64;
     let mut session = open_session(&path, seed).unwrap();

@@ -17,7 +17,7 @@
 //! set, so the SIGKILL lands on a different process and recovery shares
 //! nothing with the writer but the pool file.
 
-use mod_core::{CommitMode, ModHeap};
+use mod_core::{CommitMode, ModHeap, PersistPolicy};
 use mod_pmem::{CrashPolicy, Durability, Pmem, PmemConfig};
 use mod_server::{pool, serve, Command, Reply, ReplyDecoder, ServerRoots};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -25,6 +25,16 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Stdio};
 use std::time::Duration;
+
+/// Persistence policy for the battery: `MOD_SESSION_POLICY=hybrid`
+/// reruns every SIGKILL round with hybrid (volatile-index) roots, so
+/// recovery additionally exercises the spine replay path.
+fn test_policy() -> PersistPolicy {
+    match std::env::var("MOD_SESSION_POLICY").as_deref() {
+        Ok("hybrid") => PersistPolicy::Hybrid,
+        _ => PersistPolicy::Full,
+    }
+}
 
 fn temp_pool(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -63,6 +73,7 @@ fn server_child() {
         },
         Durability::Fsync,
         2,
+        test_policy(),
     )
     .unwrap();
     let handle = serve(heap, roots, "127.0.0.1:0").unwrap();
@@ -145,8 +156,8 @@ fn lpush(seq: u64) -> Command {
 /// Reads the pool directly (no server) and returns the counter value
 /// and the list length.
 fn inspect_pool(path: &Path) -> (i64, u64) {
-    let (heap, _) = ModHeap::open_file(path, pool::pool_config()).unwrap();
-    let roots = ServerRoots::open(&heap).unwrap();
+    let (mut heap, _) = ModHeap::open_file(path, pool::pool_config()).unwrap();
+    let roots = ServerRoots::open(&mut heap, test_policy()).unwrap();
     let counter = roots
         .kv
         .get(&heap, &b"counter".to_vec())
@@ -356,7 +367,7 @@ fn acked_op_is_recoverable_at_every_step() {
     // it (op must be in: that is the ack the server would flush).
     use mod_core::SharedModHeap;
     let mut heap = ModHeap::create(Pmem::new(PmemConfig::testing()));
-    let roots = ServerRoots::create(&mut heap);
+    let roots = ServerRoots::create(&mut heap, test_policy());
     let sh = SharedModHeap::from_heap_with(
         heap,
         2,
@@ -367,8 +378,8 @@ fn acked_op_is_recoverable_at_every_step() {
     );
     sh.deregister(1); // one-connection server: a lone slot carries all ops
     let reopen = |img: Pmem| {
-        let (h, _) = ModHeap::open(img);
-        let counter: i64 = ServerRoots::open(&h)
+        let (mut h, _) = ModHeap::open(img);
+        let counter: i64 = ServerRoots::open(&mut h, test_policy())
             .unwrap()
             .kv
             .get(&h, &b"counter".to_vec())

@@ -220,9 +220,9 @@ fn run_with_flusher(seed: u64, halt_at: Option<u64>) -> Outcome {
 }
 
 fn recover(image: Pmem) -> (Vec<u64>, BTreeSet<u64>) {
-    let (heap, _) = ModHeap::open(image);
-    let queue = DurableQueue::<u64>::open(&heap, 0);
-    let map = DurableMap::<u64, u64>::open(&heap, 1);
+    let (mut heap, _) = ModHeap::open(image);
+    let queue: DurableQueue<u64> = heap.root(0).open().unwrap();
+    let map: DurableMap<u64, u64> = heap.root(1).open().unwrap();
     let qtokens = heap.current(queue.root()).peek_to_vec(heap.nv());
     let mkeys: BTreeSet<u64> = heap
         .current(map.root())
