@@ -1156,7 +1156,7 @@ mod tests {
     fn volatile_alloc_owns_whole_lines_and_is_uncharged() {
         let mut h = heap();
         let t0 = h.pm().clock().now_ns();
-        let flushes0 = h.pm().stats().flushes;
+        let flushes0 = h.pm().stats().effective_flushes;
         h.begin_volatile();
         let a = h.alloc(24);
         h.end_volatile();
@@ -1173,7 +1173,11 @@ mod tests {
         h.write_u64(a.addr(), 9);
         h.flush_block(a);
         h.sfence();
-        assert_eq!(h.pm().stats().flushes, flushes0, "no new real flushes");
+        assert_eq!(
+            h.pm().stats().effective_flushes,
+            flushes0,
+            "no new real flushes"
+        );
         assert!(h.pm().stats().flushes_avoided > 0);
         let img = h.pm().crash_image(mod_pmem::CrashPolicy::PersistAll);
         assert_eq!(

@@ -40,7 +40,7 @@ fn run_mod(scale: &ScaleConfig, latency: LatencyModel) -> Outcome {
         map.insert(&mut heap, &k, &value32(k));
     }
     let t0 = heap.nv().pm().clock().now_ns();
-    let f0 = heap.nv().pm().stats().flushes;
+    let f0 = heap.nv().pm().stats().effective_flushes;
     let s0 = heap.nv().pm().stats().fences;
     for _ in 0..scale.ops {
         let k = rng.below(key_space);
@@ -48,7 +48,7 @@ fn run_mod(scale: &ScaleConfig, latency: LatencyModel) -> Outcome {
     }
     Outcome {
         ns_per_op: (heap.nv().pm().clock().now_ns() - t0) / scale.ops as f64,
-        flushes_per_op: (heap.nv().pm().stats().flushes - f0) as f64 / scale.ops as f64,
+        flushes_per_op: (heap.nv().pm().stats().effective_flushes - f0) as f64 / scale.ops as f64,
         fences_per_op: (heap.nv().pm().stats().fences - s0) as f64 / scale.ops as f64,
     }
 }
@@ -68,7 +68,7 @@ fn run_pmdk(scale: &ScaleConfig, latency: LatencyModel) -> Outcome {
         map.insert(&mut heap, k, &value32(k));
     }
     let t0 = heap.nv().pm().clock().now_ns();
-    let f0 = heap.nv().pm().stats().flushes;
+    let f0 = heap.nv().pm().stats().effective_flushes;
     let s0 = heap.nv().pm().stats().fences;
     for _ in 0..scale.ops {
         let k = rng.below(key_space);
@@ -76,7 +76,7 @@ fn run_pmdk(scale: &ScaleConfig, latency: LatencyModel) -> Outcome {
     }
     Outcome {
         ns_per_op: (heap.nv().pm().clock().now_ns() - t0) / scale.ops as f64,
-        flushes_per_op: (heap.nv().pm().stats().flushes - f0) as f64 / scale.ops as f64,
+        flushes_per_op: (heap.nv().pm().stats().effective_flushes - f0) as f64 / scale.ops as f64,
         fences_per_op: (heap.nv().pm().stats().fences - s0) as f64 / scale.ops as f64,
     }
 }

@@ -30,6 +30,14 @@
 //! (see [`READ95_NS_FLOOR`]) so it only fires on a genuine read-path
 //! slowdown, not runner noise.
 //!
+//! The flush-coalescing section runs the map micro with the fence-epoch
+//! flush cache on and off: the on-run's effective flushes/op gates
+//! bit-exactly (`coalesce.flushes_per_op`), the dedup rate and the
+//! uncoalesced count land under ungated `info.coalesce.*` keys, and the
+//! file-backend session's journal bytes per FASE additionally gate as
+//! `coalesce.journal_bytes_per_fase` — the compact journal codec is a
+//! product surface, and its traffic is bit-deterministic.
+//!
 //! The file-backend section runs a persistent session against a real
 //! pool file and records ungated `info.file_backend.*` keys: journal
 //! bytes appended per FASE, compactions, and the host time to replay the
@@ -51,7 +59,7 @@
 //! bench_smoke [--check] [--out FILE] [--baseline FILE] [--tolerance PCT]
 //! ```
 //!
-//! * `--out` (default `BENCH_PR9.json`; CI passes `--out "$BENCH_OUT"`):
+//! * `--out` (default `BENCH_PR10.json`; CI passes `--out "$BENCH_OUT"`):
 //!   where to write this run's metrics (uploaded as a CI artifact).
 //! * `--check`: compare against `--baseline` (default
 //!   `bench/baseline.json`) and exit non-zero if any metric regresses by
@@ -183,7 +191,7 @@ fn collect_metrics() -> Metrics {
         let backend = heap.nv().pm().backend_stats();
         m.insert(
             "info.hybrid.flushes_per_op".to_string(),
-            stats.flushes as f64 / HYBRID_OPS as f64,
+            stats.effective_flushes as f64 / HYBRID_OPS as f64,
         );
         m.insert(
             "info.hybrid.flushes_avoided_per_op".to_string(),
@@ -200,6 +208,32 @@ fn collect_metrics() -> Metrics {
         m.insert("info.hybrid.rebuild_ns".to_string(), h2.rebuild_ns() as f64);
         drop(h2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    eprintln!("  bench_smoke: flush-coalescing ablation (map micro, on vs off) ...");
+    {
+        // Gated: the map micro with the fence-epoch flush cache on (the
+        // default shape every other section already runs in). Bit-exact;
+        // drift means the elision coverage itself changed. The off-run
+        // pins the cache's contribution as ungated info keys.
+        let on = mod_workloads::run_map_coalesce(&scale, true);
+        let off = mod_workloads::run_map_coalesce(&scale, false);
+        assert_eq!(
+            on.fences, off.fences,
+            "flush coalescing must never change the fence schedule"
+        );
+        m.insert(
+            "coalesce.flushes_per_op".to_string(),
+            on.flushes as f64 / on.ops as f64,
+        );
+        m.insert(
+            "info.coalesce.flushes_deduped_per_op".to_string(),
+            on.flushes_deduped as f64 / on.ops as f64,
+        );
+        m.insert(
+            "info.coalesce.flushes_per_op_uncoalesced".to_string(),
+            off.flushes as f64 / off.ops as f64,
+        );
     }
 
     eprintln!("  bench_smoke: read-heavy 95/5 snapshot reads (deterministic) ...");
@@ -234,8 +268,14 @@ fn collect_metrics() -> Metrics {
         // Drop without a checkpoint (as a kill would): the reopen below
         // then measures a real journal replay, not just a snapshot load.
         drop(session);
-        // info.* — never gated: journal traffic depends on the op mix and
-        // replay time on host IO, but both belong in the artifact.
+        // Journal traffic is bit-deterministic (sim time and line
+        // contents both are), so the codec's compactness gates: a
+        // regression in the v3 varint/delta encoding fails CI here. The
+        // `info.` twin stays for artifact continuity.
+        m.insert(
+            "coalesce.journal_bytes_per_fase".to_string(),
+            backend.journal_bytes as f64 / SESSION_OPS as f64,
+        );
         m.insert(
             "info.file_backend.journal_bytes_per_fase".to_string(),
             backend.journal_bytes as f64 / SESSION_OPS as f64,
@@ -481,7 +521,7 @@ fn collect_metrics() -> Metrics {
 
 fn main() -> ExitCode {
     let mut check = false;
-    let mut out = String::from("BENCH_PR9.json");
+    let mut out = String::from("BENCH_PR10.json");
     let mut baseline = String::from("bench/baseline.json");
     let mut tolerance = 10.0f64;
     let mut args = std::env::args().skip(1);

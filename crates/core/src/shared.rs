@@ -136,6 +136,13 @@ pub struct PipelineStats {
     /// a [`LaneContention`] — this counter is the livelock-freedom
     /// witness the discordant-lock-order tests assert on).
     pub lane_conflicts: u64,
+    /// Flush-set entries combined away when member FASEs' line tables
+    /// merged into a batch: the line table is keyed by address, so a
+    /// merged batch holds one entry per unique dirty line and its
+    /// covering fence issues exactly one effective `clwb` per line, no
+    /// matter how many FASEs touched it. Each unit here is a `clwb` the
+    /// batch did not pay.
+    pub coalesced_lines: u64,
 }
 
 #[derive(Debug, Default)]
@@ -145,6 +152,7 @@ struct AtomicPipelineStats {
     batched_fases: AtomicU64,
     max_batch: AtomicUsize,
     lane_conflicts: AtomicU64,
+    coalesced_lines: AtomicU64,
 }
 
 impl AtomicPipelineStats {
@@ -155,6 +163,7 @@ impl AtomicPipelineStats {
             batched_fases: self.batched_fases.load(Ordering::SeqCst),
             max_batch: self.max_batch.load(Ordering::SeqCst),
             lane_conflicts: self.lane_conflicts.load(Ordering::SeqCst),
+            coalesced_lines: self.coalesced_lines.load(Ordering::SeqCst),
         }
     }
 }
@@ -538,17 +547,28 @@ impl Inner {
         let mut releases = Vec::new();
         let mut participants = Vec::with_capacity(drained.len());
         let mut tickets = Vec::new();
+        // Merging the members' flush sets into the owner's line table
+        // combines duplicate lines (the table is keyed by address), so
+        // the batch's covering fence issues exactly one effective `clwb`
+        // per unique dirty line across all member FASEs. `coalesced` is
+        // the count of cross-FASE duplicates the merge eliminated.
+        let mut coalesced = 0u64;
         for sf in drained {
             participants.push(sf.worker);
             tickets.extend(sf.ticket);
             st.heap.nv_mut().apply_staged_effects(sf.effects);
             {
                 let pm = st.heap.nv_mut().pm_mut();
-                pm.absorb_lines(sf.lines);
+                coalesced += pm.absorb_lines(sf.lines) as u64;
                 pm.append_trace(sf.trace);
             }
             merge(&mut batch, sf.pending);
             releases.extend(sf.releases);
+        }
+        if coalesced > 0 {
+            self.stats
+                .coalesced_lines
+                .fetch_add(coalesced, Ordering::SeqCst);
         }
         let fases = participants.len();
         let committed = !batch.is_empty();

@@ -14,14 +14,14 @@
 //! Commit cost per update: one record block (flushed, journaled), one
 //! directory-entry swing — the interior path copies that dominate full
 //! persistence are gone. Recovery replays the chain oldest-to-newest
-//! through [`SpineOp::apply`] — the *same* function staging uses — to
+//! through `SpineOp::apply` — the *same* function staging uses — to
 //! rebuild the volatile index, so replay and live execution cannot
 //! drift.
 //!
 //! The chain is bounded by compaction: once a root has accumulated
-//! [`COMPACT_MIN_OPS`] records and the chain is [`COMPACT_FACTOR`]×
+//! `COMPACT_MIN_OPS` records and the chain is `COMPACT_FACTOR`×
 //! longer than the structure's live size, the next record is written as
-//! a [`SpineOp::Snapshot`] of the full logical state with no
+//! a `SpineOp::Snapshot` of the full logical state with no
 //! predecessor, and the old chain is reclaimed through the normal
 //! deferred-release path.
 
@@ -232,7 +232,7 @@ impl SpineOp {
     /// Applies the op to the volatile version rooted at `cur`, returning
     /// the new version's root address. The caller must have entered the
     /// volatile allocation scope; `cur` is ignored (and may be 0) for
-    /// [`SpineOp::Snapshot`], which rebuilds from its own payload.
+    /// `SpineOp::Snapshot`, which rebuilds from its own payload.
     pub(crate) fn apply(&self, nv: &mut NvHeap, kind: RootKind, cur: u64) -> u64 {
         debug_assert!(nv.in_volatile(), "spine replay outside volatile scope");
         if let SpineOp::Snapshot(state) = self {
@@ -440,7 +440,7 @@ pub(crate) fn mark_record(nv: &mut NvHeap, rec: PmPtr) {
 
 /// Replays a spine chain into a fresh volatile version: collects the
 /// records newest-to-oldest, then applies oldest-to-newest through the
-/// same [`SpineOp::apply`] staging uses. Returns the logical kind and
+/// same `SpineOp::apply` staging uses. Returns the logical kind and
 /// the rebuilt version's root address.
 pub(crate) fn replay(nv: &mut NvHeap, head: PmPtr) -> (RootKind, u64) {
     let mut ops = Vec::new();

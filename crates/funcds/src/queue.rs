@@ -303,9 +303,9 @@ mod tests {
         for i in 0..5 {
             q = q.enqueue(&mut h, i);
         }
-        let flushes_before = h.pm().stats().flushes;
+        let flushes_before = h.pm().stats().flushes_issued;
         let (q2, e) = q.dequeue(&mut h).unwrap();
-        let flushes_after = h.pm().stats().flushes;
+        let flushes_after = h.pm().stats().flushes_issued;
         assert_eq!(e, 0);
         // The reversal allocated 5 fresh cells → extra flushing, as §6.4
         // describes for MOD queue pops.

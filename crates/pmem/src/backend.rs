@@ -57,6 +57,15 @@
 //! acknowledged fence is on the medium. Group commit amortizes the cost:
 //! batching N FASEs into one fence costs one fsync round (one fsync per
 //! touched shard journal) for all N.
+//!
+//! ## Journal format versions
+//!
+//! New pools are created with v3 headers and append **compact** batch
+//! records (sorted, deduplicated line sets with varint delta-encoded
+//! addresses — see [`crate::journal`]). Opening negotiates the version
+//! from the pool header: v1 single-file pools and v2 pool sets replay
+//! bit-identically and then accumulate v3 records in place, since the
+//! record tag (not the header) names each record's codec.
 
 use crate::arena::SharedArena;
 use crate::journal::{
@@ -263,10 +272,12 @@ impl FileBackend {
         FileBackend::create_set(path, capacity, 1, Durability::Buffered)
     }
 
-    /// Creates a fresh pool with `shards` journal files (1 = the classic
-    /// single-file v1 pool, bit-identical to [`FileBackend::create`])
-    /// and the given per-fence durability grade. `shards` is clamped to
-    /// `1..=64` (the touched-shard mask is a `u64`).
+    /// Creates a fresh pool with `shards` journal files (1 = a classic
+    /// single-file pool, bit-identical to [`FileBackend::create`]) and
+    /// the given per-fence durability grade. `shards` is clamped to
+    /// `1..=64` (the touched-shard mask is a `u64`). New pools carry v3
+    /// headers and compact (varint/delta) batch records; pools with v1
+    /// or v2 headers still open and replay bit-identically.
     pub fn create_set(
         path: &Path,
         capacity: u64,
@@ -282,10 +293,10 @@ impl FileBackend {
             .open(path)?;
         let mut journals = Vec::new();
         if shards == 1 {
-            base.write_all(&journal::encode_header(capacity))?;
+            base.write_all(&journal::encode_header_v3(capacity))?;
             base.write_all(&journal::encode_snapshot(&[]))?;
         } else {
-            base.write_all(&journal::encode_set_header(capacity, shards, SHARD_BASE))?;
+            base.write_all(&journal::encode_set_header_v3(capacity, shards, SHARD_BASE))?;
             base.write_all(&journal::encode_snapshot(&[]))?;
             base.write_all(&journal::encode_seq_mark(0))?;
             for i in 0..shards {
@@ -295,7 +306,7 @@ impl FileBackend {
                     .create(true)
                     .truncate(true)
                     .open(shard_path(path, i))?;
-                j.write_all(&journal::encode_set_header(capacity, shards, i))?;
+                j.write_all(&journal::encode_set_header_v3(capacity, shards, i))?;
                 j.sync_all()?;
                 journals.push(j);
             }
@@ -362,8 +373,8 @@ impl FileBackend {
         let mut base = OpenOptions::new().read(true).write(true).open(path)?;
         let mut bytes = Vec::new();
         base.read_to_end(&mut bytes)?;
-        if journal::header_version(&bytes).map_err(replay_io_err)? == journal::FORMAT_VERSION {
-            // v1 single-file pool.
+        if !journal::is_set_member(&bytes).map_err(replay_io_err)? {
+            // Single-file pool (v1, or v3 with a zero geometry word).
             let replay = journal::replay(&bytes).map_err(replay_io_err)?;
             if replay.torn_bytes > 0 {
                 base.set_len(replay.valid_len as u64)?;
@@ -553,7 +564,10 @@ impl PoolBackend for FileBackend {
         st.seq += 1;
         let mut appended = 0u64;
         if self.shards == 1 {
-            let record = journal::encode_batch(seq, kind, fence_ns, lines);
+            // Appends always use the compact v3 record codec, whatever
+            // the file's header version: replay keys record decoding off
+            // the tag, so a pre-upgrade pool legally mixes generations.
+            let record = journal::encode_batch_v3(seq, kind, fence_ns, lines);
             // One write(2) per fence: complete once it returns, torn
             // (and discarded at replay) if the process dies inside it.
             st.base
@@ -586,8 +600,13 @@ impl PoolBackend for FileBackend {
             }
             let mask: u64 = runs.iter().map(|(s, _)| 1u64 << s).sum();
             for (shard, range) in &runs {
-                let record =
-                    journal::encode_shard_batch(seq, kind, fence_ns, mask, &lines[range.clone()]);
+                let record = journal::encode_shard_batch_v3(
+                    seq,
+                    kind,
+                    fence_ns,
+                    mask,
+                    &lines[range.clone()],
+                );
                 st.journals[*shard]
                     .write_all(&record)
                     .expect("pool journal append failed");
@@ -634,10 +653,10 @@ impl PoolBackend for FileBackend {
         {
             let mut f = File::create(&tmp)?;
             if self.shards == 1 {
-                f.write_all(&journal::encode_header(durable.capacity()))?;
+                f.write_all(&journal::encode_header_v3(durable.capacity()))?;
                 f.write_all(&journal::encode_snapshot(&extents_of(durable)))?;
             } else {
-                f.write_all(&journal::encode_set_header(
+                f.write_all(&journal::encode_set_header_v3(
                     durable.capacity(),
                     self.shards,
                     SHARD_BASE,
@@ -1027,6 +1046,112 @@ mod tests {
         assert_eq!(be.stats().fsync_rounds, 0, "buffered mode never fsyncs");
         drop(be);
         remove_set(&path, 4);
+    }
+
+    #[test]
+    fn new_pools_carry_v3_headers_and_compact_records() {
+        let path = tmp_file("v3fresh");
+        let be = FileBackend::create(&path, 1 << 20).unwrap();
+        be.append_batch(BatchKind::Fence, &[line(0, 1), line(64, 2)], 1.0);
+        let compact_bytes = be.stats().journal_bytes;
+        let v1_bytes = journal::encode_batch(0, BatchKind::Fence, 1.0, &[line(0, 1), line(64, 2)])
+            .len() as u64;
+        assert!(
+            compact_bytes < v1_bytes,
+            "v3 appends must be smaller: {compact_bytes} vs {v1_bytes}"
+        );
+        drop(be);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            journal::V3_FORMAT_VERSION
+        );
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.batches[0].lines.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_upgrade_v1_pool_replays_and_accumulates_v3_appends() {
+        // Handcraft a pool exactly as a v1-era build laid it down:
+        // v1 header, empty snapshot, v1 batch records. The new build
+        // must replay it bit-identically, then append v3 records into
+        // the same (still v1-headered) journal.
+        let path = tmp_file("v1upgrade");
+        let mut f = journal::encode_header(1 << 20).to_vec();
+        f.extend_from_slice(&journal::encode_snapshot(&[]));
+        let old = [
+            (0u64, vec![line(0, 1), line(64, 2)], 10.0),
+            (1u64, vec![line(128, 3)], 20.0),
+        ];
+        for (seq, lines, ns) in &old {
+            f.extend_from_slice(&journal::encode_batch(*seq, BatchKind::Fence, *ns, lines));
+        }
+        std::fs::write(&path, &f).unwrap();
+        let (be, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.batches[0].lines, old[0].1);
+        assert_eq!(replay.batches[1].lines, old[1].1);
+        assert_eq!(replay.torn_bytes, 0);
+        be.append_batch(BatchKind::Fence, &[line(192, 4)], 30.0);
+        drop(be);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            journal::FORMAT_VERSION,
+            "the header stays v1; only the records upgrade"
+        );
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 3, "v1 records + the v3 append");
+        assert_eq!(replay.batches[2].seq, 2);
+        assert_eq!(replay.batches[2].lines, vec![line(192, 4)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_upgrade_v2_set_replays_and_accumulates_v3_appends() {
+        // A v2-era pool set: v2 member headers, v2 shard-batch records.
+        // The new build opens it, merges bit-identically, and appends
+        // compact records to the same journals.
+        let path = tmp_file("v2upgrade");
+        let span = shard_span(1 << 20, 2);
+        let mut base = journal::encode_set_header(1 << 20, 2, SHARD_BASE).to_vec();
+        base.extend_from_slice(&journal::encode_snapshot(&[]));
+        base.extend_from_slice(&journal::encode_seq_mark(0));
+        std::fs::write(&path, &base).unwrap();
+        let mut j0 = journal::encode_set_header(1 << 20, 2, 0).to_vec();
+        j0.extend_from_slice(&journal::encode_shard_batch(
+            0,
+            BatchKind::Fence,
+            1.0,
+            0b11,
+            &[line(0, 1)],
+        ));
+        std::fs::write(shard_path(&path, 0), &j0).unwrap();
+        let mut j1 = journal::encode_set_header(1 << 20, 2, 1).to_vec();
+        j1.extend_from_slice(&journal::encode_shard_batch(
+            0,
+            BatchKind::Fence,
+            1.0,
+            0b11,
+            &[line(span, 2)],
+        ));
+        std::fs::write(shard_path(&path, 1), &j1).unwrap();
+        let (be, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.batches[0].lines, vec![line(0, 1), line(span, 2)]);
+        be.append_batch(BatchKind::Fence, &[line(64, 3), line(span + 64, 4)], 2.0);
+        drop(be);
+        let (_, replay) = FileBackend::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 2, "v2 base + v3 append merged");
+        assert_eq!(replay.batches[1].seq, 1);
+        assert_eq!(
+            replay.batches[1].lines,
+            vec![line(64, 3), line(span + 64, 4)]
+        );
+        assert_eq!(replay.torn_bytes, 0);
+        remove_set(&path, 2);
     }
 
     #[test]

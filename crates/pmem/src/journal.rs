@@ -27,6 +27,17 @@
 //! it are stale leftovers of an interrupted post-compaction truncation
 //! and are ignored.
 //!
+//! A v3 pool keeps the same file layout but writes **compact batch
+//! records**: the fence's line set is deduplicated last-write-wins,
+//! sorted by address, and the addresses are stored as varint *deltas*
+//! over line indices instead of 8-byte absolutes. The header version
+//! distinguishes the layouts — a v3 header with a zero geometry word is
+//! a single-file pool, nonzero a set member — while the **record tag**
+//! (not the header) names each record's codec, so every replay scanner
+//! accepts both record generations in any journal: a v1/v2 pool keeps
+//! replaying bit-identically under a v3 build and simply accumulates v3
+//! records from then on (mixed journals are legal).
+//!
 //! Every record is framed as `[tag: u32][body_len: u32][body][fnv64 of
 //! tag+len+body]`, so the replay scanner can always tell a *torn tail*
 //! (the process died mid-`write(2)`) from a complete record: if the
@@ -49,6 +60,10 @@ pub const FILE_MAGIC: u64 = 0x4D4F_4450_4F4F_4C46;
 pub const FORMAT_VERSION: u32 = 1;
 /// On-disk format version for pool-set members (base + shard journals).
 pub const SET_FORMAT_VERSION: u32 = 2;
+/// On-disk format version for v3 pools (compact varint/delta batch
+/// records). The geometry word routes the open: zero means a
+/// single-file pool, nonzero a pool-set member.
+pub const V3_FORMAT_VERSION: u32 = 3;
 /// Bytes of the fixed file header.
 pub const HEADER_BYTES: usize = 24;
 /// `shard_index` sentinel naming the base (snapshot) member of a set.
@@ -66,6 +81,10 @@ const TAG_SHARD_BATCH: u32 = 0x5342_4154; // "SBAT"
 /// Record tag: the base file's sequence mark — the first global sequence
 /// *not* folded into the snapshot it follows (pool sets only).
 const TAG_SEQ_MARK: u32 = 0x5345_514D; // "SEQM"
+/// Record tag: a compact (varint/delta) batch record.
+const TAG_BATCH_V3: u32 = 0x4241_5433; // "BAT3"
+/// Record tag: a compact shard-batch record (pool sets only).
+const TAG_SHARD_BATCH_V3: u32 = 0x5342_4133; // "SBA3"
 
 /// Why a batch of lines became durable.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -154,6 +173,44 @@ fn read_u64(b: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
 }
 
+/// Appends a canonical LEB128 varint (7 payload bits per byte, high bit
+/// = continuation, no redundant trailing zero bytes).
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a canonical LEB128 varint at `*at`, advancing it past the
+/// encoding. `None` on truncation, 64-bit overflow, or a non-canonical
+/// encoding (a redundant trailing zero byte) — the v3 decoders treat all
+/// three as a malformed record, i.e. a torn tail.
+fn read_varint(b: &[u8], at: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = b.get(*at)?;
+        *at += 1;
+        if shift > 63 || (shift == 63 && byte & 0x7E != 0) {
+            return None; // would overflow u64
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            if byte == 0 && shift != 0 {
+                return None; // non-canonical: redundant high byte
+            }
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
 /// Encodes the fixed file header.
 pub fn encode_header(capacity: u64) -> [u8; HEADER_BYTES] {
     let mut out = [0u8; HEADER_BYTES];
@@ -164,19 +221,45 @@ pub fn encode_header(capacity: u64) -> [u8; HEADER_BYTES] {
     out
 }
 
-/// Decodes and validates the file header, returning the pool capacity.
+/// Encodes the fixed file header of a v3 single-file pool (zero
+/// geometry word).
+pub fn encode_header_v3(capacity: u64) -> [u8; HEADER_BYTES] {
+    let mut out = [0u8; HEADER_BYTES];
+    out[0..8].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+    out[8..12].copy_from_slice(&V3_FORMAT_VERSION.to_le_bytes());
+    // [12..16) geometry (zero: single-file).
+    out[16..24].copy_from_slice(&capacity.to_le_bytes());
+    out
+}
+
+/// Decodes and validates a single-file pool header (v1, or v3 with a
+/// zero geometry word), returning the pool capacity.
 pub fn decode_header(bytes: &[u8]) -> Result<u64, ReplayError> {
-    if bytes.len() < HEADER_BYTES {
-        return Err(ReplayError::NotAPool("file shorter than the header"));
+    match header_version(bytes)? {
+        FORMAT_VERSION => Ok(read_u64(bytes, 16)),
+        V3_FORMAT_VERSION => {
+            if read_u32(bytes, 12) != 0 {
+                return Err(ReplayError::NotAPool(
+                    "pool-set member where a single-file pool belongs",
+                ));
+            }
+            Ok(read_u64(bytes, 16))
+        }
+        v => Err(ReplayError::UnsupportedVersion(v)),
     }
-    if read_u64(bytes, 0) != FILE_MAGIC {
-        return Err(ReplayError::NotAPool("bad magic"));
+}
+
+/// Whether a pool header names a set member (per-shard journals) or a
+/// single-file pool — the routing decision behind `FileBackend::open`.
+/// v1 is always single-file and v2 always a set member; a v3 header is
+/// a set member exactly when its geometry word is nonzero.
+pub fn is_set_member(bytes: &[u8]) -> Result<bool, ReplayError> {
+    match header_version(bytes)? {
+        FORMAT_VERSION => Ok(false),
+        SET_FORMAT_VERSION => Ok(true),
+        V3_FORMAT_VERSION => Ok(read_u32(bytes, 12) != 0),
+        v => Err(ReplayError::UnsupportedVersion(v)),
     }
-    let version = read_u32(bytes, 8);
-    if version != FORMAT_VERSION {
-        return Err(ReplayError::UnsupportedVersion(version));
-    }
-    Ok(read_u64(bytes, 16))
 }
 
 /// The on-disk format version of a pool file, if it is one at all. Used
@@ -216,12 +299,31 @@ pub fn encode_set_header(capacity: u64, shards: u16, shard_index: u16) -> [u8; H
     out
 }
 
-/// Decodes and validates a v2 pool-set member header.
+/// Encodes a v3 pool-set member header (same geometry word as v2, but
+/// the journal carries compact batch records).
+pub fn encode_set_header_v3(capacity: u64, shards: u16, shard_index: u16) -> [u8; HEADER_BYTES] {
+    let mut out = [0u8; HEADER_BYTES];
+    out[0..8].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+    out[8..12].copy_from_slice(&V3_FORMAT_VERSION.to_le_bytes());
+    let geom = (shards as u32) | ((shard_index as u32) << 16);
+    out[12..16].copy_from_slice(&geom.to_le_bytes());
+    out[16..24].copy_from_slice(&capacity.to_le_bytes());
+    out
+}
+
+/// Decodes and validates a pool-set member header (v2, or v3 with a
+/// nonzero geometry word).
 pub fn decode_set_header(bytes: &[u8]) -> Result<SetHeader, ReplayError> {
-    if header_version(bytes)? != SET_FORMAT_VERSION {
-        return Err(ReplayError::UnsupportedVersion(read_u32(bytes, 8)));
+    let version = header_version(bytes)?;
+    if version != SET_FORMAT_VERSION && version != V3_FORMAT_VERSION {
+        return Err(ReplayError::UnsupportedVersion(version));
     }
     let geom = read_u32(bytes, 12);
+    if version == V3_FORMAT_VERSION && geom == 0 {
+        return Err(ReplayError::NotAPool(
+            "single-file pool where a pool-set member belongs",
+        ));
+    }
     let shards = (geom & 0xFFFF) as u16;
     let shard_index = (geom >> 16) as u16;
     if shards == 0 || shards > MAX_SHARDS {
@@ -282,6 +384,129 @@ pub fn encode_shard_batch(
         body.extend_from_slice(&l.data);
     }
     encode_record(TAG_SHARD_BATCH, &body)
+}
+
+/// Builds a v3 body: the line set deduplicated last-write-wins and
+/// sorted by address, addresses delta-encoded as varints over line
+/// indices (`addr / 64`): the first delta is the index itself, each
+/// subsequent one the gap to the previous index minus one (indices are
+/// strictly ascending). `fence_ns` stays a bit-exact 8-byte f64.
+fn encode_v3_body(
+    seq: u64,
+    kind: BatchKind,
+    fence_ns: f64,
+    shard_mask: Option<u64>,
+    lines: &[LineImage],
+) -> Vec<u8> {
+    use std::collections::BTreeMap;
+    let mut sorted: BTreeMap<u64, &[u8; CACHELINE as usize]> = BTreeMap::new();
+    for l in lines {
+        debug_assert_eq!(l.addr % CACHELINE, 0, "v3 records hold whole lines");
+        sorted.insert(l.addr / CACHELINE, &l.data);
+    }
+    let mut body = Vec::with_capacity(24 + sorted.len() * (3 + CACHELINE as usize));
+    push_varint(&mut body, seq);
+    body.push(kind.to_u32() as u8);
+    push_varint(&mut body, sorted.len() as u64);
+    push_u64(&mut body, fence_ns.to_bits());
+    if let Some(mask) = shard_mask {
+        push_varint(&mut body, mask);
+    }
+    let mut prev: Option<u64> = None;
+    for (&index, data) in &sorted {
+        let delta = match prev {
+            None => index,
+            Some(p) => index - p - 1,
+        };
+        push_varint(&mut body, delta);
+        body.extend_from_slice(&data[..]);
+        prev = Some(index);
+    }
+    body
+}
+
+/// Encodes one compact (v3) batch record. The line set is deduplicated
+/// last-write-wins and sorted by address before encoding, so the decoded
+/// record may be smaller than the input. Addresses must be line-aligned.
+pub fn encode_batch_v3(seq: u64, kind: BatchKind, fence_ns: f64, lines: &[LineImage]) -> Vec<u8> {
+    encode_record(
+        TAG_BATCH_V3,
+        &encode_v3_body(seq, kind, fence_ns, None, lines),
+    )
+}
+
+/// Encodes one compact (v3) shard-batch record; see [`encode_batch_v3`]
+/// and [`encode_shard_batch`].
+pub fn encode_shard_batch_v3(
+    seq: u64,
+    kind: BatchKind,
+    fence_ns: f64,
+    shard_mask: u64,
+    lines: &[LineImage],
+) -> Vec<u8> {
+    encode_record(
+        TAG_SHARD_BATCH_V3,
+        &encode_v3_body(seq, kind, fence_ns, Some(shard_mask), lines),
+    )
+}
+
+/// Decodes a v3 body (batch, or shard batch when `with_mask`), returning
+/// the record and its shard mask (0 for plain batches). `None` marks a
+/// malformed record — truncation, a non-canonical varint, an index
+/// overflow, or trailing bytes — which replay treats as a torn tail.
+fn decode_v3_body(body: &[u8], with_mask: bool) -> Option<(BatchRecord, u64)> {
+    let mut at = 0usize;
+    let seq = read_varint(body, &mut at)?;
+    let kind = BatchKind::from_u32(*body.get(at)? as u32)?;
+    at += 1;
+    let n = read_varint(body, &mut at)?;
+    if body.len() < at + 8 {
+        return None;
+    }
+    let fence_ns = f64::from_bits(read_u64(body, at));
+    at += 8;
+    let shard_mask = if with_mask {
+        let mask = read_varint(body, &mut at)?;
+        if mask == 0 {
+            return None;
+        }
+        mask
+    } else {
+        0
+    };
+    // Each line needs at least one delta byte plus its 64 content bytes;
+    // a count the remaining body cannot hold is malformed (and must not
+    // drive a huge allocation).
+    if n as u128 * (1 + CACHELINE as u128) > (body.len() - at) as u128 {
+        return None;
+    }
+    let mut lines = Vec::with_capacity(n as usize);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n {
+        let delta = read_varint(body, &mut at)?;
+        let index = match prev {
+            None => delta,
+            Some(p) => p.checked_add(delta)?.checked_add(1)?,
+        };
+        let addr = index.checked_mul(CACHELINE)?;
+        if body.len() < at + CACHELINE as usize {
+            return None;
+        }
+        let mut data = [0u8; CACHELINE as usize];
+        data.copy_from_slice(&body[at..at + CACHELINE as usize]);
+        at += CACHELINE as usize;
+        lines.push(LineImage { addr, data });
+        prev = Some(index);
+    }
+    (at == body.len()).then_some((
+        BatchRecord {
+            seq,
+            kind,
+            fence_ns,
+            lines,
+        },
+        shard_mask,
+    ))
 }
 
 /// Encodes the base file's sequence mark: the first global sequence not
@@ -457,6 +682,8 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, ReplayError> {
         if at == bytes.len() {
             break;
         }
+        // Both record generations are accepted in any journal: a pre-v3
+        // pool keeps its v1 records and accumulates v3 appends.
         match scan_record(bytes, at) {
             Scan::Record {
                 tag: TAG_BATCH,
@@ -468,6 +695,17 @@ pub fn replay(bytes: &[u8]) -> Result<Replay, ReplayError> {
                     at = next;
                 }
                 None => break, // framed but malformed: stop, truncate
+            },
+            Scan::Record {
+                tag: TAG_BATCH_V3,
+                body,
+                next,
+            } => match decode_v3_body(&body, false) {
+                Some((b, _)) => {
+                    batches.push(b);
+                    at = next;
+                }
+                None => break,
             },
             // An unknown tag or a torn frame ends the valid prefix.
             _ => break,
@@ -623,6 +861,18 @@ pub fn replay_shard_journal(bytes: &[u8]) -> Result<ShardReplay, ReplayError> {
             } => match decode_shard_batch_body(&body) {
                 Some(r) => {
                     records.push(r);
+                    ends.push(next);
+                    at = next;
+                }
+                None => break,
+            },
+            Scan::Record {
+                tag: TAG_SHARD_BATCH_V3,
+                body,
+                next,
+            } => match decode_v3_body(&body, true) {
+                Some((batch, shard_mask)) => {
+                    records.push(ShardBatchRecord { batch, shard_mask });
                     ends.push(next);
                     at = next;
                 }
@@ -1146,6 +1396,331 @@ mod tests {
                 assert_eq!(again.torn_bytes, 0);
             }
         }
+    }
+
+    /// The v3 encoder's normalization: last-write-wins per address,
+    /// ascending address order.
+    fn v3_normalize(lines: &[LineImage]) -> Vec<LineImage> {
+        let mut m = std::collections::BTreeMap::new();
+        for l in lines {
+            m.insert(l.addr, l.data);
+        }
+        m.into_iter()
+            .map(|(addr, data)| LineImage { addr, data })
+            .collect()
+    }
+
+    fn file_with_v3(extents: &[SnapshotExtent], batches: &[BatchRecord]) -> Vec<u8> {
+        let mut f = encode_header_v3(1 << 26).to_vec();
+        f.extend_from_slice(&encode_snapshot(extents));
+        for b in batches {
+            f.extend_from_slice(&encode_batch_v3(b.seq, b.kind, b.fence_ns, &b.lines));
+        }
+        f
+    }
+
+    #[test]
+    fn varint_roundtrips_and_rejects_noncanonical() {
+        let mut rng = XorShift(0x7A21_0717);
+        let probe = |v: u64| {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut at = 0;
+            assert_eq!(read_varint(&buf, &mut at), Some(v));
+            assert_eq!(at, buf.len(), "no trailing bytes consumed or left");
+            // Every strict prefix is truncation, not a value.
+            for cut in 0..buf.len() {
+                let mut at = 0;
+                assert_eq!(read_varint(&buf[..cut], &mut at), None, "v={v} cut={cut}");
+            }
+        };
+        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            probe(v);
+        }
+        for _ in 0..500 {
+            let shift = rng.next() % 64;
+            probe(rng.next() >> shift);
+        }
+        // Non-canonical: the same value padded with a redundant zero
+        // continuation byte must be rejected, so every value has exactly
+        // one encoding (re-encoding a decoded record is byte-identical).
+        for v in [0u64, 1, 127, 300] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let last = buf.len() - 1;
+            buf[last] |= 0x80;
+            buf.push(0x00);
+            let mut at = 0;
+            assert_eq!(read_varint(&buf, &mut at), None, "padded v={v}");
+        }
+        // Overflow: 11 continuation bytes, or bit 64 and up set.
+        let mut too_long = vec![0x80u8; 10];
+        too_long.push(0x01);
+        let mut at = 0;
+        assert_eq!(read_varint(&too_long, &mut at), None);
+        let mut overflow = vec![0xFFu8; 9];
+        overflow.push(0x02); // bit 64
+        let mut at = 0;
+        assert_eq!(read_varint(&overflow, &mut at), None);
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01); // exactly u64::MAX
+        let mut at = 0;
+        assert_eq!(read_varint(&max, &mut at), Some(u64::MAX));
+    }
+
+    #[test]
+    fn fuzzed_v3_batches_roundtrip() {
+        // Same shape as `fuzzed_batches_roundtrip`, through the compact
+        // codec: the decoded record is the encoder's normalized line set
+        // (sorted, deduplicated last-write-wins), metadata bit-exact.
+        let mut rng = XorShift(0x5EED_BA73);
+        for _ in 0..200 {
+            let batch = fuzz_batch(&mut rng);
+            let file = file_with_v3(&[], std::slice::from_ref(&batch));
+            let r = replay(&file).unwrap();
+            assert_eq!(r.capacity, 1 << 26);
+            assert_eq!(r.batches.len(), 1);
+            assert_eq!(r.batches[0].seq, batch.seq);
+            assert_eq!(r.batches[0].kind, batch.kind);
+            assert_eq!(
+                r.batches[0].fence_ns.to_bits(),
+                batch.fence_ns.to_bits(),
+                "fence_ns stays bit-exact through v3"
+            );
+            assert_eq!(r.batches[0].lines, v3_normalize(&batch.lines));
+            assert_eq!(r.torn_bytes, 0);
+            assert_eq!(r.valid_len, file.len());
+        }
+    }
+
+    #[test]
+    fn v3_dedup_is_last_write_wins() {
+        let mk = |addr: u64, fill: u8| LineImage {
+            addr,
+            data: [fill; 64],
+        };
+        // Two writes to 0x1000 (the later wins), one to 0x0040, out of
+        // address order on purpose.
+        let lines = vec![mk(0x1000, 0xAA), mk(0x40, 0x11), mk(0x1000, 0xBB)];
+        let file = file_with_v3(
+            &[],
+            &[BatchRecord {
+                seq: 9,
+                kind: BatchKind::Fence,
+                fence_ns: 1.5,
+                lines,
+            }],
+        );
+        let r = replay(&file).unwrap();
+        assert_eq!(
+            r.batches[0].lines,
+            vec![mk(0x40, 0x11), mk(0x1000, 0xBB)],
+            "sorted ascending, duplicate collapsed to the last write"
+        );
+    }
+
+    #[test]
+    fn v3_records_are_smaller_than_v1() {
+        // The win the compact codec exists for: sorted fence batches
+        // (the real append shape) shrink per record, dramatically so for
+        // address-local batches where most deltas are one byte.
+        let mut rng = XorShift(0xC0DE_C355);
+        let batches = fenced_batches(&mut rng, 30);
+        let mut v1 = 0usize;
+        let mut v3 = 0usize;
+        for b in &batches {
+            v1 += encode_batch(b.seq, b.kind, b.fence_ns, &b.lines).len();
+            v3 += encode_batch_v3(b.seq, b.kind, b.fence_ns, &b.lines).len();
+        }
+        assert!(
+            v3 < v1,
+            "compact codec must shrink fenced batches: {v3} vs {v1}"
+        );
+        // A dense run of adjacent lines: every delta after the first is
+        // one byte, so the per-line overhead drops from 8 B to ~1 B.
+        let dense: Vec<LineImage> = (0..32u64)
+            .map(|i| LineImage {
+                addr: 0x8000 + i * 64,
+                data: [i as u8; 64],
+            })
+            .collect();
+        let v1 = encode_batch(1, BatchKind::Fence, 0.0, &dense).len();
+        let v3 = encode_batch_v3(1, BatchKind::Fence, 0.0, &dense).len();
+        assert!(
+            (v3 as f64) < (v1 as f64) * 0.92,
+            "dense batch must shrink ≥8%: v3={v3} v1={v1}"
+        );
+    }
+
+    #[test]
+    fn v3_torn_tail_recovers_to_last_complete_fence_at_every_offset() {
+        // The v1 tear battery, replayed over compact records: truncate
+        // at EVERY byte length — replay always lands on the last
+        // complete fence, never a partial batch, never an error. Tears
+        // mid-varint are exercised by construction.
+        let mut rng = XorShift(0x7EA2_0003);
+        let batches = fenced_batches(&mut rng, 5);
+        let file = file_with_v3(&[], &batches);
+        let mut boundaries = vec![HEADER_BYTES + encode_snapshot(&[]).len()];
+        for b in &batches {
+            boundaries.push(
+                boundaries.last().unwrap()
+                    + encode_batch_v3(b.seq, b.kind, b.fence_ns, &b.lines).len(),
+            );
+        }
+        for cut in boundaries[0]..=file.len() {
+            let r = replay(&file[..cut]).unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(
+                r.batches.len(),
+                complete,
+                "cut at {cut}: must land on the last complete fence"
+            );
+            assert_eq!(r.batches[..], batches[..complete]);
+            assert_eq!(r.valid_len, boundaries[complete]);
+            assert_eq!(r.torn_bytes, cut - boundaries[complete]);
+        }
+    }
+
+    #[test]
+    fn mixed_generation_journal_replays_in_order() {
+        // A pre-upgrade pool keeps its v1 records and accumulates v3
+        // appends: the record tag, not the header version, names each
+        // record's codec, so one journal legally holds both.
+        let mut rng = XorShift(0x3311_BEEF);
+        let batches = fenced_batches(&mut rng, 9);
+        for header in [encode_header(1 << 26), encode_header_v3(1 << 26)] {
+            let mut f = header.to_vec();
+            f.extend_from_slice(&encode_snapshot(&[]));
+            for (i, b) in batches.iter().enumerate() {
+                let rec = if i < 4 {
+                    encode_batch(b.seq, b.kind, b.fence_ns, &b.lines)
+                } else {
+                    encode_batch_v3(b.seq, b.kind, b.fence_ns, &b.lines)
+                };
+                f.extend_from_slice(&rec);
+            }
+            let r = replay(&f).unwrap();
+            assert_eq!(r.batches, batches, "both generations, one order");
+            assert_eq!(r.torn_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn v2_shard_set_with_v3_appends_merges_bit_identically() {
+        // Mixed-version pool set: a v2-era set (v2 headers, v2 records)
+        // that a v3 build appended compact records to. Scan + merge must
+        // equal the single-journal replay of the same batches.
+        let mut rng = XorShift(0xAB5E_7001);
+        let batches = fenced_batches(&mut rng, 16);
+        let (mut bytes, _) = shard_journals(&batches[..8]); // v2 era
+        for b in &batches[8..] {
+            // Append the upgrade-era fences as v3 shard records.
+            let mut slices: Vec<Vec<LineImage>> = vec![Vec::new(); SET_SHARDS];
+            for l in &b.lines {
+                slices[shard_of(l.addr)].push(l.clone());
+            }
+            let mask: u64 = slices
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(i, _)| 1u64 << i)
+                .sum();
+            for (i, lines) in slices.into_iter().enumerate() {
+                if lines.is_empty() {
+                    continue;
+                }
+                bytes[i].extend_from_slice(&encode_shard_batch_v3(
+                    b.seq, b.kind, b.fence_ns, mask, &lines,
+                ));
+            }
+        }
+        let per_shard: Vec<Vec<ShardBatchRecord>> = bytes
+            .iter()
+            .map(|b| replay_shard_journal(b).unwrap().records)
+            .collect();
+        let merged = merge_shard_records(&per_shard, 0);
+        assert_eq!(merged.frontier, 16);
+        assert_eq!(merged.dropped_records, 0);
+        let single = replay(&file_with(&[], &batches)).unwrap();
+        assert_eq!(merged.batches, single.batches);
+    }
+
+    #[test]
+    fn v3_header_roundtrip_and_routing() {
+        // Single-file v3: decode_header accepts it, set decoding and the
+        // set-member route reject it.
+        let single = encode_header_v3(1 << 22);
+        assert_eq!(decode_header(&single).unwrap(), 1 << 22);
+        assert!(!is_set_member(&single).unwrap());
+        assert!(matches!(
+            decode_set_header(&single),
+            Err(ReplayError::NotAPool(_))
+        ));
+        // Set-member v3: decode_set_header accepts it, single rejects.
+        let member = encode_set_header_v3(1 << 22, 4, 1);
+        assert_eq!(
+            decode_set_header(&member).unwrap(),
+            SetHeader {
+                capacity: 1 << 22,
+                shards: 4,
+                shard_index: 1
+            }
+        );
+        assert!(is_set_member(&member).unwrap());
+        assert!(matches!(
+            decode_header(&member),
+            Err(ReplayError::NotAPool(_))
+        ));
+        // The v3 base member replays like a v2 base.
+        let mut base = encode_set_header_v3(1 << 22, 4, SHARD_BASE).to_vec();
+        base.extend_from_slice(&encode_snapshot(&[]));
+        base.extend_from_slice(&encode_seq_mark(7));
+        assert_eq!(replay_set_base(&base).unwrap().snap_seq, 7);
+        // Routing over the old generations is unchanged.
+        assert!(!is_set_member(&encode_header(1)).unwrap());
+        assert!(is_set_member(&encode_set_header(1, 2, 0)).unwrap());
+        assert!(matches!(
+            is_set_member(&{
+                let mut h = encode_header(1);
+                h[8] = 9;
+                h
+            }),
+            Err(ReplayError::UnsupportedVersion(9))
+        ));
+        // Geometry validation still applies to v3 members.
+        assert!(decode_set_header(&encode_set_header_v3(1, 4, 4)).is_err());
+        assert!(decode_set_header(&encode_set_header_v3(1, 65, 0)).is_err());
+    }
+
+    #[test]
+    fn v3_record_with_noncanonical_varint_is_torn() {
+        // Corrupting a delta into a padded (non-canonical) encoding
+        // changes the bytes, so the checksum already rejects it; here we
+        // re-frame with a fixed checksum to prove the *decoder* also
+        // refuses — torn tail, not a mis-parsed batch.
+        let b = BatchRecord {
+            seq: 1,
+            kind: BatchKind::Fence,
+            fence_ns: 2.0,
+            lines: vec![LineImage {
+                addr: 0x40,
+                data: [3u8; 64],
+            }],
+        };
+        let rec = encode_batch_v3(b.seq, b.kind, b.fence_ns, &b.lines);
+        // Body layout: seq=1 (1 B), kind (1 B), n=1 (1 B), fence (8 B),
+        // then the first delta varint — pad it to two bytes.
+        let mut body = rec[8..rec.len() - 8].to_vec();
+        assert_eq!(body[11], 1, "first delta is index 1, one byte");
+        body[11] = 0x81;
+        body.insert(12, 0x00);
+        let reframed = encode_record(TAG_BATCH_V3, &body);
+        let mut file = file_with_v3(&[], &[]);
+        file.extend_from_slice(&reframed);
+        let r = replay(&file).unwrap();
+        assert_eq!(r.batches.len(), 0, "non-canonical delta is not a batch");
+        assert_eq!(r.torn_bytes, reframed.len());
     }
 
     #[test]

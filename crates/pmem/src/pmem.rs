@@ -65,6 +65,15 @@ pub struct PmemConfig {
     /// classic single-file v1 format. On [`Pmem::open_file`] the shard
     /// count comes from the file set itself, not this field.
     pub journal_shards: u16,
+    /// Enable the fence-epoch flush cache: a `clwb` whose writeback could
+    /// not change what persists — the line is already in flight and not
+    /// re-dirtied since the last `sfence`, is clean, or its content is
+    /// bit-identical to its last-fenced image — is elided: no issue
+    /// charge, no WPQ slot, counted in [`PmStats::flushes_deduped`].
+    /// Off restores the issue-everything pipeline (requests that schedule
+    /// nothing still pay the issue charge); classification counters are
+    /// maintained either way.
+    pub coalesce_flushes: bool,
 }
 
 impl Default for PmemConfig {
@@ -78,6 +87,7 @@ impl Default for PmemConfig {
             llc: CacheConfig::llc(),
             durability: Durability::Buffered,
             journal_shards: 1,
+            coalesce_flushes: true,
         }
     }
 }
@@ -243,7 +253,12 @@ impl Pmem {
     /// process; see [`Pmem::create_file`] for one that does not).
     pub fn new(cfg: PmemConfig) -> Pmem {
         let data = SharedArena::new(cfg.capacity);
-        let durable = cfg.crash_sim.then(|| SharedArena::new(cfg.capacity));
+        // The durable image is maintained unconditionally: besides crash
+        // simulation it is the fence-epoch flush cache's authority for
+        // "bytes already persistent" (see `clwb`). Segments materialize
+        // lazily, so the cost tracks the touched working set, not
+        // capacity.
+        let durable = Some(SharedArena::new(cfg.capacity));
         Pmem::from_parts(cfg, data, durable, Arc::new(MemBackend), None)
     }
 
@@ -708,6 +723,23 @@ impl Pmem {
     // Persistence operations
     // ------------------------------------------------------------------
 
+    /// Whether `line`'s cached content is bit-identical to its
+    /// last-fenced (durable) image: flushing such a line cannot change
+    /// what persists, under any crash policy, at any point in time.
+    /// Bypasses the cache/latency model — this is the software flush
+    /// cache's bookkeeping, not a simulated memory access.
+    fn line_matches_fenced_image(&self, line: u64) -> bool {
+        let Some(durable) = self.durable.as_ref() else {
+            return false;
+        };
+        let len = CACHELINE.min(self.cfg.capacity - line) as usize;
+        let mut cached = [0u8; CACHELINE as usize];
+        let mut fenced = [0u8; CACHELINE as usize];
+        self.data.read(line, &mut cached[..len]);
+        durable.read(line, &mut fenced[..len]);
+        cached[..len] == fenced[..len]
+    }
+
     /// Issues a `clwb` for the line containing `addr`: a weakly-ordered
     /// writeback that overlaps with other flushes. The line may stay in
     /// the cache (clwb does not evict). The writeback launches as the
@@ -715,23 +747,50 @@ impl Pmem {
     /// line's WPQ lane at the pre-issue timestamp of every timeline, so
     /// compute charged between here and the next `sfence` hides drain
     /// work.
+    ///
+    /// With [`PmemConfig::coalesce_flushes`] on (the default), requests
+    /// pass through a **fence-epoch flush cache** first: a request whose
+    /// writeback provably cannot change what persists is elided — no
+    /// issue charge, no WPQ slot — and counted in
+    /// [`PmStats::flushes_deduped`]. Three cases qualify:
+    ///
+    /// * the line is already in flight and has not been re-dirtied since
+    ///   (the writeback is already scheduled);
+    /// * the line is clean (there is nothing to write back);
+    /// * the line is dirty but bit-identical to its last-fenced image
+    ///   (the steady-state shadow-update case: a recycled block is
+    ///   rewritten with mostly-unchanged content, so most of its lines
+    ///   carry bytes the medium already holds).
     pub fn clwb(&mut self, addr: u64) {
         let line = line_of(addr);
         if self.volatile.contains(line) {
             // Flush of a volatile node-cache line: the whole point of
             // the hybrid policy is that this writeback never happens.
             // Count what full persistence would have paid.
+            self.stats.flushes_issued += 1;
             self.stats.flushes_avoided += 1;
             if let Some(s) = self.lane_stats_mut() {
+                s.flushes_issued += 1;
                 s.flushes_avoided += 1;
             }
             return;
         }
-        self.stats.flushes += 1;
+        self.stats.flushes_issued += 1;
         if let Some(s) = self.lane_stats_mut() {
-            s.flushes += 1;
+            s.flushes_issued += 1;
         }
-        if matches!(self.lines.get(&line), Some(LineState::Dirty)) {
+        let coalesce = self.cfg.coalesce_flushes;
+        let mut effective = matches!(self.lines.get(&line), Some(LineState::Dirty));
+        if effective && coalesce && self.line_matches_fenced_image(line) {
+            // The dirty bytes are the bytes the medium already holds
+            // (typical of shadow updates into recycled blocks): drop the
+            // dirty mark instead of scheduling a no-op writeback. Every
+            // later observation is unchanged — a crash that would have
+            // kept this line persists the identical durable copy.
+            self.lines.remove(&line);
+            effective = false;
+        }
+        if effective {
             let launch = self.cfg.latency.wpq_launch_ns;
             let occupancy = self.cfg.latency.wpq_drain_ns;
             let wpq_lanes = self.cfg.latency.wpq_lanes;
@@ -749,8 +808,18 @@ impl Pmem {
             if let Some(s) = self.lane_stats_mut() {
                 s.effective_flushes += 1;
             }
+        } else {
+            self.stats.flushes_deduped += 1;
+            if let Some(s) = self.lane_stats_mut() {
+                s.flushes_deduped += 1;
+            }
         }
-        self.tick(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
+        if effective || !coalesce {
+            // An elided request never issues, so it pays nothing; with
+            // the cache off every request pays the issue charge, exactly
+            // the pre-coalescing pipeline.
+            self.tick(TimeCategory::Flush, self.cfg.latency.clwb_issue_ns);
+        }
         if self.cfg.trace {
             self.trace.push(TraceEvent::Clwb { line });
         }
@@ -1098,13 +1167,22 @@ impl Pmem {
     /// drain watermark joins the WPQ calendar. Shard arenas are 64-byte
     /// aligned so two handles never hand off the same line; if they ever
     /// do, the later state wins.
-    pub fn absorb_lines(&mut self, handoff: LineHandoff) {
+    ///
+    /// Because the line table is keyed by line address, merging the flush
+    /// sets of every FASE in a batch leaves **one entry per unique dirty
+    /// line** — the batch's covering fence issues exactly one effective
+    /// `clwb` per line no matter how many member FASEs touched it.
+    /// Returns the number of handed-off entries that combined with an
+    /// entry already present (the cross-FASE duplicates this coalescing
+    /// eliminated).
+    pub fn absorb_lines(&mut self, handoff: LineHandoff) -> usize {
+        let mut combined = 0;
         for (line, state) in handoff.lines {
-            if matches!(
-                self.lines.insert(line, state),
-                Some(LineState::Inflight { .. })
-            ) {
-                self.inflight -= 1;
+            if let Some(prior) = self.lines.insert(line, state) {
+                combined += 1;
+                if matches!(prior, LineState::Inflight { .. }) {
+                    self.inflight -= 1;
+                }
             }
             if matches!(state, LineState::Inflight { .. }) {
                 self.inflight += 1;
@@ -1112,6 +1190,7 @@ impl Pmem {
         }
         self.drain.note_done(handoff.drain_last_done);
         debug_assert!(self.lines.len() >= self.inflight);
+        combined
     }
 
     /// Appends trace events recorded by a worker handle (in batch order).
@@ -1137,10 +1216,14 @@ impl Pmem {
     ///
     /// Panics unless the pool was created with `crash_sim: true`.
     pub fn crash_image(&self, policy: CrashPolicy) -> Pmem {
+        assert!(
+            self.cfg.crash_sim || self.backend.wants_batches(),
+            "crash_image requires PmemConfig::crash_sim = true"
+        );
         let durable = self
             .durable
             .as_ref()
-            .expect("crash_image requires PmemConfig::crash_sim = true");
+            .expect("pools always keep a durable image");
         let image = durable.snapshot();
         let now = self.clock.now_ns();
         for (&line, state) in &self.lines {
@@ -1256,26 +1339,28 @@ mod tests {
     fn fence_counts_inflight_epoch() {
         let mut pm = testing_pmem();
         for i in 0..8u64 {
-            pm.write_u64(0x100 + i * 64, i);
+            pm.write_u64(0x100 + i * 64, i + 1);
             pm.clwb(0x100 + i * 64);
         }
         assert_eq!(pm.inflight_flushes(), 8);
         pm.sfence();
         assert_eq!(pm.inflight_flushes(), 0);
         assert_eq!(pm.stats().fences, 1);
-        assert_eq!(pm.stats().flushes, 8);
+        assert_eq!(pm.stats().flushes_issued, 8);
         assert_eq!(pm.stats().epoch_hist.median(), 8);
     }
 
     #[test]
-    fn redundant_clwb_counts_but_is_ineffective() {
+    fn redundant_clwb_counts_but_is_deduped() {
         let mut pm = testing_pmem();
         pm.write_u64(0x100, 1);
         pm.clwb(0x100);
         pm.clwb(0x100);
-        assert_eq!(pm.stats().flushes, 2);
+        assert_eq!(pm.stats().flushes_issued, 2);
         assert_eq!(pm.stats().effective_flushes, 1);
+        assert_eq!(pm.stats().flushes_deduped, 1, "second request elided");
         assert_eq!(pm.inflight_flushes(), 1);
+        assert!(pm.stats().flush_identity_holds());
     }
 
     #[test]
@@ -1287,7 +1372,7 @@ mod tests {
         let mut pm = testing_pmem();
         let m = pm.config().latency.clone();
         for i in 0..16u64 {
-            pm.write_u64(0x100 + i * 64, i);
+            pm.write_u64(0x100 + i * 64, i + 1);
         }
         let before = pm.clock().breakdown().flush_ns;
         for i in 0..16u64 {
@@ -1345,7 +1430,7 @@ mod tests {
         let m = pm.config().latency.clone();
         let t0 = pm.clock().now_ns();
         for i in 0..4u64 {
-            pm.write_u64(0x100 + i * 64, i);
+            pm.write_u64(0x100 + i * 64, i + 1);
         }
         let issue_at = pm.clock().now_ns();
         for i in 0..4u64 {
@@ -1398,8 +1483,12 @@ mod tests {
         pm.write_u64(0x1000, 77);
         pm.clwb(0x1000);
         assert_eq!(pm.clock().now_ns(), t0, "volatile traffic is uncharged");
-        assert_eq!(pm.stats().flushes, 0);
+        // The request is counted (accounting identity) but classified
+        // avoided: no writeback work, no issue charge.
+        assert_eq!(pm.stats().flushes_issued, 1);
+        assert_eq!(pm.stats().effective_flushes, 0);
         assert_eq!(pm.stats().flushes_avoided, 1);
+        assert!(pm.stats().flush_identity_holds());
         assert_eq!(pm.stats().writes, 0);
         assert_eq!(pm.stats().volatile_node_bytes, 64);
         assert_eq!(pm.inflight_flushes(), 0, "never enters the line table");
@@ -1443,7 +1532,7 @@ mod tests {
         pm.sfence();
         let img = pm.crash_image(CrashPolicy::OnlyFenced);
         assert_eq!(img.peek_u64(0x3000), 5, "unmarked line is ordinary PM");
-        assert_eq!(pm.stats().flushes, 1);
+        assert_eq!(pm.stats().flushes_issued, 1);
         assert_eq!(pm.stats().flushes_avoided, 0);
     }
 
@@ -1484,7 +1573,7 @@ mod tests {
         assert_eq!(img.dirty_lines(), 0);
         assert_eq!(img.inflight_flushes(), 0);
         assert_eq!(img.clock().now_ns(), 0.0);
-        assert_eq!(img.stats().flushes, 0);
+        assert_eq!(img.stats().flushes_issued, 0);
     }
 
     #[test]
@@ -1571,7 +1660,7 @@ mod tests {
         pm.clwb(0x100);
         pm.sfence();
         assert_eq!(pm.shard_stats(1).fences, 1);
-        assert_eq!(pm.shard_stats(1).flushes, 1);
+        assert_eq!(pm.shard_stats(1).flushes_issued, 1);
         assert_eq!(pm.shard_stats(0).fences, 0);
         assert_eq!(pm.stats().fences, 1);
     }

@@ -64,13 +64,25 @@ impl EpochHistogram {
 }
 
 /// Raw counters of simulated PM activity.
+///
+/// Flush requests obey the accounting identity
+/// `flushes_issued == effective_flushes + flushes_deduped + flushes_avoided`:
+/// every request is classified exactly once as real writeback work
+/// (effective), elided by the fence-epoch flush cache (deduped), or elided
+/// because the line is volatile node-cache state (avoided).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PmStats {
-    /// `clwb` instructions issued.
-    pub flushes: u64,
+    /// Flush requests: every `clwb` the commit pipeline asked for,
+    /// whether or not the instruction was ultimately issued.
+    pub flushes_issued: u64,
     /// `clwb`s that actually transitioned a dirty line to in-flight
     /// (excludes redundant flushes of clean/already-flushed lines).
     pub effective_flushes: u64,
+    /// Flush requests elided by the fence-epoch flush cache: the line was
+    /// already in flight and not re-dirtied since the last `sfence`, was
+    /// clean, or its content was bit-identical to its last-fenced image —
+    /// so the writeback could not change what persists.
+    pub flushes_deduped: u64,
     /// `sfence` instructions executed.
     pub fences: u64,
     /// Read accesses (of any width).
@@ -108,8 +120,9 @@ impl PmStats {
     /// Counter-wise sum `self + other` (histograms merged by epoch
     /// count). Used to roll per-shard counters up into a pool total.
     pub fn merge(&mut self, other: &PmStats) {
-        self.flushes += other.flushes;
+        self.flushes_issued += other.flushes_issued;
         self.effective_flushes += other.effective_flushes;
+        self.flushes_deduped += other.flushes_deduped;
         self.fences += other.fences;
         self.reads += other.reads;
         self.writes += other.writes;
@@ -129,8 +142,9 @@ impl PmStats {
     /// difference of histograms is rarely meaningful; it is left empty).
     pub fn since(&self, earlier: &PmStats) -> PmStats {
         PmStats {
-            flushes: self.flushes - earlier.flushes,
+            flushes_issued: self.flushes_issued - earlier.flushes_issued,
             effective_flushes: self.effective_flushes - earlier.effective_flushes,
+            flushes_deduped: self.flushes_deduped - earlier.flushes_deduped,
             fences: self.fences - earlier.fences,
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
@@ -155,6 +169,12 @@ impl PmStats {
         } else {
             self.overlap_ns / total
         }
+    }
+
+    /// Whether the flush classification adds up: every request must be
+    /// counted exactly once as effective, deduped, or avoided.
+    pub fn flush_identity_holds(&self) -> bool {
+        self.flushes_issued == self.effective_flushes + self.flushes_deduped + self.flushes_avoided
     }
 }
 
@@ -202,21 +222,36 @@ mod tests {
     #[test]
     fn stats_since() {
         let mut a = PmStats::new();
-        a.flushes = 10;
+        a.flushes_issued = 10;
         a.fences = 2;
         a.overlap_ns = 100.0;
         let mut b = a.clone();
-        b.flushes = 25;
+        b.flushes_issued = 25;
+        b.flushes_deduped = 4;
         b.fences = 3;
         b.writes = 7;
         b.overlap_ns = 250.0;
         b.residual_stall_ns = 40.0;
         let d = b.since(&a);
-        assert_eq!(d.flushes, 15);
+        assert_eq!(d.flushes_issued, 15);
+        assert_eq!(d.flushes_deduped, 4);
         assert_eq!(d.fences, 1);
         assert_eq!(d.writes, 7);
         assert_eq!(d.overlap_ns, 150.0);
         assert_eq!(d.residual_stall_ns, 40.0);
+    }
+
+    #[test]
+    fn flush_identity() {
+        let mut s = PmStats::new();
+        assert!(s.flush_identity_holds(), "zeroed counters satisfy it");
+        s.flushes_issued = 10;
+        s.effective_flushes = 6;
+        s.flushes_deduped = 3;
+        s.flushes_avoided = 1;
+        assert!(s.flush_identity_holds());
+        s.flushes_deduped = 4;
+        assert!(!s.flush_identity_holds(), "double counting must be caught");
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! use std::time::Duration;
 //!
 //! let mut heap = mod_core::ModHeap::create(Pmem::new(PmemConfig::testing()));
-//! let roots = ServerRoots::create(&mut heap);
+//! let roots = ServerRoots::create(&mut heap, mod_core::PersistPolicy::Full);
 //! let shared = SharedModHeap::from_heap_with(
 //!     heap,
 //!     2,

@@ -127,7 +127,7 @@ fn bfs_mod(g: &Graph, scale: &ScaleConfig) -> RunReport {
         }
     }
     profile.count = ops;
-    profile.flushes = heap.nv().pm().stats().flushes;
+    profile.flushes = heap.nv().pm().stats().effective_flushes;
     profile.fences = heap.nv().pm().stats().fences;
     snap.finish(
         heap.nv().pm(),

@@ -31,7 +31,7 @@ pub mod spec;
 pub mod vacation;
 
 pub use concurrent::{run_host, run_pipelined, ConcurrencyConfig, ConcurrencyReport, HostReport};
-pub use micro::run_map_hybrid;
+pub use micro::{run_map_coalesce, run_map_hybrid};
 pub use read_heavy::{
     run_host_readers, run_sim as run_read_heavy, ReadHeavyConfig, ReadHeavyReport, ReadHostReport,
 };

@@ -10,7 +10,7 @@ pub struct OpProfile {
     pub op: String,
     /// Operations of this kind executed.
     pub count: u64,
-    /// `clwb`s issued across them.
+    /// Effective `clwb`s (real writebacks scheduled) across them.
     pub flushes: u64,
     /// `sfence`s across them.
     pub fences: u64,
@@ -54,8 +54,12 @@ pub struct RunReport {
     pub ops: u64,
     /// Simulated time breakdown over the measured phase.
     pub time: TimeBreakdown,
-    /// Flushes in the measured phase.
+    /// Effective flushes (writebacks actually scheduled) in the
+    /// measured phase.
     pub flushes: u64,
+    /// Flush requests elided by the fence-epoch flush cache in the
+    /// measured phase.
+    pub flushes_deduped: u64,
     /// Fences in the measured phase.
     pub fences: u64,
     /// WPQ drain work hidden under compute in the measured phase (ns).
@@ -105,6 +109,7 @@ impl RunReport {
 pub struct Snapshot {
     time: TimeBreakdown,
     flushes: u64,
+    flushes_deduped: u64,
     fences: u64,
     overlap_ns: f64,
     residual_stall_ns: f64,
@@ -117,7 +122,8 @@ impl Snapshot {
     pub fn take(pm: &Pmem, alloc_cum: u64) -> Snapshot {
         Snapshot {
             time: pm.clock().breakdown(),
-            flushes: pm.stats().flushes,
+            flushes: pm.stats().effective_flushes,
+            flushes_deduped: pm.stats().flushes_deduped,
             fences: pm.stats().fences,
             overlap_ns: pm.stats().overlap_ns,
             residual_stall_ns: pm.stats().residual_stall_ns,
@@ -143,7 +149,8 @@ impl Snapshot {
             system,
             ops,
             time: pm.clock().breakdown().since(&self.time),
-            flushes: pm.stats().flushes - self.flushes,
+            flushes: pm.stats().effective_flushes - self.flushes,
+            flushes_deduped: pm.stats().flushes_deduped - self.flushes_deduped,
             fences: pm.stats().fences - self.fences,
             overlap_ns: pm.stats().overlap_ns - self.overlap_ns,
             residual_stall_ns: pm.stats().residual_stall_ns - self.residual_stall_ns,
@@ -166,7 +173,7 @@ impl OpCounters {
     /// Reads the pool's counters.
     pub fn read(pm: &Pmem) -> OpCounters {
         OpCounters {
-            flushes: pm.stats().flushes,
+            flushes: pm.stats().effective_flushes,
             fences: pm.stats().fences,
         }
     }

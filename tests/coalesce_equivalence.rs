@@ -1,0 +1,196 @@
+//! Crash-equivalence property test for the fence-epoch flush cache:
+//! flush coalescing is a *performance* transformation — it must be
+//! invisible to every crash outcome.
+//!
+//! The same 4-worker turnstile-driven workload as `concurrent_crash.rs`
+//! (each FASE moves a token into a `DurableQueue` and a `DurableMap`)
+//! runs twice per schedule point — once with `coalesce_flushes` on, once
+//! off — frozen at EVERY scheduler step, and the crash images are
+//! compared **byte for byte** over every line either run ever wrote,
+//! under all three persistence policies (`OnlyFenced`, `PersistAll`, and
+//! a seeded adversarial subset).
+//!
+//! Why equality holds: the cache only elides a `clwb` whose writeback
+//! cannot change what persists — the line is clean, already in flight
+//! un-re-dirtied, or bit-identical to its durable image. Lines treated
+//! differently by the two runs therefore always carry bytes the durable
+//! image already holds, and elision *removes* such a line from the
+//! owner's line table exactly where the off-run's fence would have
+//! retired it — so at every scheduler-step boundary the two runs' line
+//! tables are identical, and even the seeded subset policy draws the
+//! same choice.
+
+use mod_core::{DurableMap, DurableQueue, ModHeap, SeededRoundRobin, SharedModHeap, Turn};
+use mod_pmem::{CrashPolicy, PmStats, Pmem, PmemConfig, TraceEvent};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: u64 = 4;
+
+fn token(worker: usize, op: u64) -> u64 {
+    (worker as u64) * 100 + op
+}
+
+/// Crash images under the three persistence policies, in a fixed order.
+const POLICIES: [CrashPolicy; 3] = [
+    CrashPolicy::OnlyFenced,
+    CrashPolicy::PersistAll,
+    CrashPolicy::Seeded(0xC0A1),
+];
+
+struct RunOutcome {
+    images: Vec<Pmem>,
+    /// Every line address the committed trace wrote.
+    lines: BTreeSet<u64>,
+    steps: u64,
+    /// PM activity between setup and the freeze.
+    pm: PmStats,
+}
+
+/// Runs the seeded 4-worker schedule with the flush cache on or off,
+/// halting before step `halt_at`, and images the frozen pool under
+/// every policy.
+fn run(seed: u64, halt_at: Option<u64>, coalesce: bool) -> RunOutcome {
+    let cfg = PmemConfig {
+        coalesce_flushes: coalesce,
+        ..PmemConfig::testing()
+    };
+    let shared = SharedModHeap::create(Pmem::new(cfg), WORKERS);
+    let queue: DurableQueue<u64> = shared.setup(DurableQueue::create);
+    let map: DurableMap<u64, u64> = shared.setup(DurableMap::create);
+    shared.quiesce();
+    let pm_before = shared.with(|h| h.nv().pm().stats().clone());
+
+    let sched = Arc::new(SeededRoundRobin::with_halt(seed, WORKERS, halt_at));
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let shared = shared.clone();
+        let sched = Arc::clone(&sched);
+        handles.push(std::thread::spawn(move || {
+            let mut halted = false;
+            for op in 0..OPS_PER_WORKER {
+                if sched.step(w) == Turn::Halt {
+                    halted = true;
+                    break;
+                }
+                let t = token(w, op);
+                shared.fase(w, |tx| {
+                    queue.enqueue_in(tx, &t);
+                    map.insert_in(tx, &t, &(t * 7));
+                });
+            }
+            if !halted {
+                shared.deregister(w);
+            }
+            sched.finish(w);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let pm_after = shared.with(|h| h.nv().pm().stats().clone());
+    let lines = shared.with(|h| {
+        let mut lines = BTreeSet::new();
+        for e in h.nv().pm().trace() {
+            if let TraceEvent::Write { addr, len } = *e {
+                let mut l = addr & !63;
+                while l < addr + len {
+                    lines.insert(l);
+                    l += 64;
+                }
+            }
+        }
+        lines
+    });
+    RunOutcome {
+        images: POLICIES.iter().map(|&p| shared.crash_image(p)).collect(),
+        lines,
+        steps: sched.steps_granted(),
+        pm: pm_after.since(&pm_before),
+    }
+}
+
+/// The image's bytes over `lines`, concatenated in address order.
+fn image_bytes(img: &Pmem, lines: &BTreeSet<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.len() * 64);
+    let mut buf = [0u8; 64];
+    for &l in lines {
+        img.peek_bytes(l, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+    out
+}
+
+fn assert_equivalent(seed: u64, k: u64, on: &RunOutcome, off: &RunOutcome) {
+    assert_eq!(
+        on.steps, off.steps,
+        "seed {seed} step {k}: schedules diverged"
+    );
+    // Ordering behavior is untouched: the elision may drop flushes but
+    // never a fence, and the two runs commit the same batches.
+    assert_eq!(
+        on.pm.fences, off.pm.fences,
+        "seed {seed} step {k}: coalescing changed the fence count"
+    );
+    assert!(
+        on.pm.effective_flushes <= off.pm.effective_flushes,
+        "seed {seed} step {k}: the flush cache added writebacks"
+    );
+    // The comparison footprint is every line either run wrote.
+    let lines: BTreeSet<u64> = on.lines.union(&off.lines).copied().collect();
+    for (i, policy) in POLICIES.iter().enumerate() {
+        assert_eq!(
+            image_bytes(&on.images[i], &lines),
+            image_bytes(&off.images[i], &lines),
+            "seed {seed} step {k}: crash image differs under {policy:?}"
+        );
+    }
+}
+
+#[test]
+fn coalescing_leaves_every_crash_image_bit_identical_at_every_step() {
+    // Two seeded interleavings, frozen before every scheduler step; the
+    // full (unhalted) run rides along as k == total.
+    for seed in [1u64, 2] {
+        let total = run(seed, None, true).steps;
+        for k in 0..=total {
+            let halt = if k == total { None } else { Some(k) };
+            let on = run(seed, halt, true);
+            let off = run(seed, halt, false);
+            assert_equivalent(seed, k, &on, &off);
+        }
+    }
+}
+
+#[test]
+fn coalescing_is_active_and_recovery_agrees() {
+    // Guard against vacuity: the full run must actually elide flushes,
+    // and recovery from the two OnlyFenced images must land on the same
+    // structure contents.
+    let on = run(3, None, true);
+    let off = run(3, None, false);
+    assert!(
+        on.pm.flushes_deduped > 0,
+        "the equivalence test exercised no elision at all"
+    );
+    assert_eq!(
+        on.pm.flushes_issued, off.pm.flushes_issued,
+        "the request stream itself must not depend on the cache"
+    );
+    assert!(on.pm.flush_identity_holds());
+    assert!(off.pm.flush_identity_holds());
+    let recover = |img: Pmem| -> (Vec<u64>, Vec<(u64, Vec<u8>)>) {
+        let (mut heap, _) = ModHeap::open(img);
+        let queue: DurableQueue<u64> = heap.root(0).open().unwrap();
+        let map: DurableMap<u64, u64> = heap.root(1).open().unwrap();
+        let q = heap.current(queue.root()).peek_to_vec(heap.nv());
+        let m = heap.current(map.root()).peek_to_vec(heap.nv());
+        (q, m)
+    };
+    let (q_on, m_on) = recover(on.images.into_iter().next().unwrap());
+    let (q_off, m_off) = recover(off.images.into_iter().next().unwrap());
+    assert_eq!(q_on, q_off);
+    assert_eq!(m_on, m_off);
+}

@@ -174,7 +174,11 @@ fn hybrid_interior_updates_avoid_flushes() {
             map.insert(&mut h, &i, &vec![i as u8; 32]);
         }
         let s = h.nv().pm().stats().clone();
-        (s.flushes, s.flushes_avoided, s.volatile_node_bytes)
+        (
+            s.effective_flushes,
+            s.flushes_avoided,
+            s.volatile_node_bytes,
+        )
     };
     let (full_flushes, full_avoided, full_vbytes) = run(PersistPolicy::Full);
     let (hyb_flushes, hyb_avoided, hyb_vbytes) = run(PersistPolicy::Hybrid);

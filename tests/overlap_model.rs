@@ -103,10 +103,14 @@ fn replay(ops: &[Op]) -> (f64, f64, f64) {
                 }
             }
             Op::Clwb(l) => {
-                let dirty_before = pm.dirty_lines();
+                // A request can be elided by the fence-epoch flush cache
+                // (clean line, already in flight, or content-identical to
+                // the fenced image) — only a grown in-flight set means a
+                // writeback was actually scheduled.
+                let inflight_before = pm.inflight_flushes();
                 let issue_at = pm.clock().now_ns();
                 pm.clwb(addr_of(l));
-                if pm.dirty_lines() < dirty_before {
+                if pm.inflight_flushes() > inflight_before {
                     shadow.schedule(l, issue_at, m.wpq_launch_ns, m.wpq_drain_ns, m.wpq_lanes);
                     inflight.insert(l);
                 }
